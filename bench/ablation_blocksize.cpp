@@ -1,0 +1,64 @@
+// Ablation: BLOCK_SIZE sweep — the paper's stated future work ("quest a
+// method to find the best block size used in the GPU").
+//
+// Sweeps the threads-per-block over {32..512} for both parallelization
+// mappings on the Fig. 5 workload and reports the modeled GPU time: the
+// occupancy model makes the trade-offs visible (small blocks underfill
+// SMs; the mapping determines how much that matters).
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("ablation_blocksize", "BLOCK_SIZE sweep for both GPU mappings");
+  const auto* n = cli.add_int("N", 256, "number of moments");
+  const auto* r = cli.add_int("R", 14, "random vectors per realization");
+  const auto* s = cli.add_int("S", 128, "realizations");
+  const auto* sample = cli.add_int("sample", 8, "instances executed functionally (0 = all)");
+  const auto* csv = cli.add_string("csv", "ablation_blocksize.csv", "CSV output path");
+  cli.parse(argc, argv);
+
+  const auto lat = lattice::HypercubicLattice::cubic(10, 10, 10);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator raw(h);
+  const auto transform = linalg::make_spectral_transform(raw);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op(ht);
+
+  core::MomentParams params;
+  params.num_moments = static_cast<std::size_t>(*n);
+  params.random_vectors = static_cast<std::size_t>(*r);
+  params.realizations = static_cast<std::size_t>(*s);
+
+  bench::print_banner("=== Ablation: BLOCK_SIZE sweep (paper section V future work) ===",
+                      lat.describe() + ", N=" + std::to_string(params.num_moments), params,
+                      static_cast<std::size_t>(*sample));
+
+  Table table({"BLOCK_SIZE", "mapping", "GPU s", "kernel s", "vs best"});
+  struct Entry {
+    std::uint32_t block;
+    core::GpuMapping mapping;
+    double total, kernel;
+  };
+  std::vector<Entry> entries;
+  for (const auto mapping :
+       {core::GpuMapping::InstancePerBlock, core::GpuMapping::InstancePerThread}) {
+    for (std::uint32_t block = 32; block <= 512; block *= 2) {
+      core::GpuEngineConfig cfg;
+      cfg.mapping = mapping;
+      cfg.block_size = block;
+      core::GpuMomentEngine gpu(cfg);
+      const auto result = gpu.compute(op, params, static_cast<std::size_t>(*sample));
+      entries.push_back({block, mapping, result.model_seconds, result.compute_seconds});
+    }
+  }
+  double best = entries.front().total;
+  for (const auto& e : entries) best = std::min(best, e.total);
+  for (const auto& e : entries)
+    table.add_row({std::to_string(e.block), core::to_string(e.mapping),
+                   strprintf("%.3f", e.total), strprintf("%.3f", e.kernel),
+                   strprintf("%.2fx", e.total / best)});
+  bench::finish(table, *csv);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: chunked execution and copy/compute overlap.
+//
+// VRAM forces large instance sets into chunks; the stream model lets the
+// next chunk's RNG fill hide under the current chunk's recursion.  This
+// bench sweeps the chunk size on a fixed workload and reports the modeled
+// wall clock with and without overlap, plus the fraction of fill time the
+// second stream hides.
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "core/moments_gpu_chunked.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("ablation_chunking",
+                "chunk-size sweep with and without stream overlap (executed in full: "
+                "chunking happens over functionally executed instances)");
+  const auto* n = cli.add_int("N", 64, "number of moments");
+  const auto* r = cli.add_int("R", 14, "random vectors per realization");
+  const auto* s = cli.add_int("S", 32, "realizations");
+  const auto* sample = cli.add_int("sample", 0, "instances executed functionally (0 = all)");
+  const auto* edge = cli.add_int("edge", 8, "lattice edge");
+  const auto* csv = cli.add_string("csv", "ablation_chunking.csv", "CSV output path");
+  cli.parse(argc, argv);
+
+  const auto lat = lattice::HypercubicLattice::cubic(static_cast<std::size_t>(*edge),
+                                                     static_cast<std::size_t>(*edge),
+                                                     static_cast<std::size_t>(*edge));
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator raw(h);
+  const auto transform = linalg::make_spectral_transform(raw);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op(ht);
+
+  core::MomentParams params;
+  params.num_moments = static_cast<std::size_t>(*n);
+  params.random_vectors = static_cast<std::size_t>(*r);
+  params.realizations = static_cast<std::size_t>(*s);
+
+  bench::print_banner("=== Ablation: chunked execution + copy/compute overlap ===",
+                      lat.describe() + ", N=" + std::to_string(params.num_moments), params,
+                      static_cast<std::size_t>(*sample));
+
+  const std::size_t d = op.dim();
+  const std::size_t per_instance = 4 * d * sizeof(double) + params.num_moments * sizeof(double);
+
+  Table table({"chunk insts", "chunks", "serial s", "overlap s", "hidden"});
+  for (std::size_t chunk_insts : {28u, 56u, 112u, 224u, 448u}) {
+    core::ChunkedGpuEngineConfig cfg;
+    cfg.workspace_bytes = chunk_insts * per_instance;
+    cfg.base.context_setup_seconds = 0.0;
+
+    cfg.overlap_fill = false;
+    core::ChunkedGpuMomentEngine serial(cfg);
+    const double t_serial =
+        serial.compute(op, params, static_cast<std::size_t>(*sample)).model_seconds;
+
+    cfg.overlap_fill = true;
+    core::ChunkedGpuMomentEngine overlapped(cfg);
+    const double t_overlap =
+        overlapped.compute(op, params, static_cast<std::size_t>(*sample)).model_seconds;
+
+    table.add_row({std::to_string(overlapped.last_chunk_instances()),
+                   std::to_string(overlapped.last_chunk_count()), strprintf("%.4f", t_serial),
+                   strprintf("%.4f", t_overlap),
+                   strprintf("%.1f%%", 100.0 * (1.0 - t_overlap / t_serial))});
+  }
+  bench::finish(table, *csv);
+  std::printf("expected: overlap hides the RNG-fill kernels (a few %% here — the\n"
+              "recursion dominates; the win grows when fills or uploads are larger)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: the harness's own instance-sampling methodology.
+//
+// The fig* benches execute K of the S*R = 1792 instances functionally and
+// extrapolate the cost (exact for operation counts; DESIGN.md §2).  This
+// bench validates the method on its accuracy axis: how does the sampled
+// DoS deviate from the exact (closed-form-spectrum) DoS as K grows, and
+// how does the functional host cost scale?  The modeled platform time is
+// also printed to confirm it is K-independent.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("ablation_sampling", "instance-sampling accuracy and cost");
+  const auto* n = cli.add_int("N", 256, "number of moments");
+  const auto* csv = cli.add_string("csv", "ablation_sampling.csv", "CSV output path");
+  cli.parse(argc, argv);
+
+  const auto lat = lattice::HypercubicLattice::cubic(10, 10, 10);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator raw(h);
+  const auto transform = linalg::make_spectral_transform(raw);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op(ht);
+
+  core::MomentParams params;
+  params.num_moments = static_cast<std::size_t>(*n);
+  params.random_vectors = 14;
+  params.realizations = 128;
+
+  // Exact reference at the same truncation.
+  const auto spectrum = lattice::periodic_tight_binding_spectrum(lat);
+  const auto exact_mu = diag::exact_chebyshev_moments(spectrum, transform, params.num_moments);
+  core::ReconstructOptions ropts;
+  ropts.points = 512;
+  const auto exact = core::reconstruct_dos_fft(exact_mu, transform, ropts);
+
+  std::printf("=== Ablation: instance sampling (K of %zu instances) ===\n", params.instances());
+  std::printf("workload: %s, N=%zu; error = max |rho_K - rho_exact|\n\n", lat.describe().c_str(),
+              params.num_moments);
+
+  Table table({"K", "max DoS err", "expected 1/sqrt(KD)", "host s", "model GPU s"});
+  core::GpuMomentEngine engine;
+  for (std::size_t k : {2u, 8u, 32u, 128u, 512u}) {
+    Stopwatch wall;
+    const auto result = engine.compute(op, params, k);
+    const double host_s = wall.seconds();
+    const auto curve = core::reconstruct_dos_fft(result.mu, transform, ropts);
+    double err = 0.0;
+    for (std::size_t j = 0; j < curve.density.size(); ++j)
+      err = std::max(err, std::abs(curve.density[j] - exact.density[j]));
+    table.add_row({std::to_string(k), strprintf("%.4f", err),
+                   strprintf("%.4f", 1.0 / std::sqrt(static_cast<double>(k) * 1000.0)),
+                   strprintf("%.3f", host_s), strprintf("%.3f", result.model_seconds)});
+  }
+  bench::finish(table, *csv);
+  std::printf("expected: error falls ~1/sqrt(K D); the modeled platform time is\n"
+              "K-independent (the extrapolation is exact for operation counts)\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every fig*/ablation_* binary:
+//   1. builds the paper's workload for one figure,
+//   2. runs the CPU-model engine and the GPU-model engine over the swept
+//      parameter,
+//   3. prints the same rows the figure plots (exec times + speedup), and
+//   4. writes a CSV next to the binary for re-plotting.
+//
+// Timing semantics (DESIGN.md §2): "CPU s" / "GPU s" are *modeled* seconds
+// on the paper's platforms (Core i7-930, Tesla C2050) extrapolated to all
+// S*R instances; "host s" is the real wall-clock of the functional
+// execution of the sampled instances on this machine.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/kpm.hpp"
+
+namespace kpm::bench {
+
+/// One CPU-vs-GPU comparison outcome.
+struct Comparison {
+  core::MomentResult cpu;
+  core::MomentResult gpu;
+
+  [[nodiscard]] double speedup() const { return cpu.model_seconds / gpu.model_seconds; }
+};
+
+/// Runs both engines on the same rescaled operator with the same params.
+inline Comparison compare_engines(const linalg::MatrixOperator& h_tilde,
+                                  const core::MomentParams& params, std::size_t sample,
+                                  const core::GpuEngineConfig& gpu_cfg = {}) {
+  core::CpuMomentEngine cpu;
+  core::GpuMomentEngine gpu(gpu_cfg);
+  Comparison c{cpu.compute(h_tilde, params, sample), gpu.compute(h_tilde, params, sample)};
+  return c;
+}
+
+/// Standard header block printed by every bench.
+inline void print_banner(const std::string& title, const std::string& workload,
+                         const core::MomentParams& p, std::size_t sample) {
+  std::printf("%s\n", title.c_str());
+  std::printf("workload : %s\n", workload.c_str());
+  std::printf("params   : R=%zu S=%zu (S*R=%zu instances), seed=%llu, vectors=%s\n",
+              p.random_vectors, p.realizations, p.instances(),
+              static_cast<unsigned long long>(p.seed), rng::to_string(p.vector_kind));
+  std::printf("platforms: CPU model = Core i7-930 (1 thread); GPU model = Tesla C2050\n");
+  std::printf("sampling : %zu instances executed functionally, cost extrapolated to %zu\n\n",
+              sample == 0 ? p.instances() : std::min(sample, p.instances()), p.instances());
+}
+
+/// Writes the CSV and tells the user where it went.
+inline void finish(const Table& table, const std::string& csv_name) {
+  std::printf("%s\n", table.to_text().c_str());
+  table.write_csv(csv_name);
+  std::printf("series written to %s\n", csv_name.c_str());
+}
+
+}  // namespace kpm::bench

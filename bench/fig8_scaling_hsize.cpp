@@ -1,0 +1,53 @@
+// Figure 8 reproduction: "Performance comparison increasing H_SIZE."
+//
+// Fixed N = 128, R = 14, S = 128; dense H_SIZE swept over {512 .. 4096}.
+// The paper's observation: memory usage grows as H_SIZE^2; the CPU curve
+// steepens once the matrix no longer fits the cache hierarchy, while the
+// GPU stays ~O(H_SIZE^2) thanks to shared-memory staging — holding the
+// speedup around 4x.
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("fig8_scaling_hsize", "Reproduces Fig. 8: dense N=128, H_SIZE sweep");
+  const auto* n = cli.add_int("N", 128, "number of moments (paper: 128)");
+  const auto* r = cli.add_int("R", 14, "random vectors per realization");
+  const auto* s = cli.add_int("S", 128, "realizations");
+  const auto* sample = cli.add_int("sample", 2, "instances executed functionally (0 = all)");
+  const auto* d_max = cli.add_int("h-size-max", 4096, "largest matrix dimension");
+  const auto* csv = cli.add_string("csv", "fig8_scaling_hsize.csv", "CSV output path");
+  cli.parse(argc, argv);
+
+  core::MomentParams params;
+  params.num_moments = static_cast<std::size_t>(*n);
+  params.random_vectors = static_cast<std::size_t>(*r);
+  params.realizations = static_cast<std::size_t>(*s);
+
+  bench::print_banner("=== Fig. 8: execution time and speedup vs H_SIZE (dense storage) ===",
+                      "random symmetric dense, H_SIZE in {512..." + std::to_string(*d_max) + "}",
+                      params, static_cast<std::size_t>(*sample));
+
+  Table table({"H_SIZE", "H bytes", "CPU s", "CPU bound", "GPU s", "speedup", "host s"});
+  for (std::size_t d = 512; d <= static_cast<std::size_t>(*d_max); d *= 2) {
+    const auto h = lattice::random_symmetric_dense(d, 0xF16'8u + d);
+    linalg::MatrixOperator raw(h);
+    const auto transform = linalg::make_spectral_transform(raw);
+    const auto ht = linalg::rescale(h, transform);
+    linalg::MatrixOperator op(ht);
+
+    const auto c = bench::compare_engines(op, params, static_cast<std::size_t>(*sample));
+    // Which side of the LLC the per-pass working set falls on.
+    const auto spec = cpumodel::CpuSpec::core_i7_930();
+    const double ws = static_cast<double>(op.spmv_matrix_bytes()) + 4.0 * static_cast<double>(d) * 8.0;
+    const bool in_cache = ws <= static_cast<double>(spec.caches.back().capacity_bytes);
+    table.add_row({std::to_string(d), format_bytes(static_cast<double>(op.spmv_matrix_bytes())),
+                   strprintf("%.2f", c.cpu.model_seconds), in_cache ? "LLC" : "DRAM",
+                   strprintf("%.2f", c.gpu.model_seconds), strprintf("%.2f", c.speedup()),
+                   strprintf("%.3f", c.cpu.wall_seconds + c.gpu.wall_seconds)});
+  }
+  bench::finish(table, *csv);
+  std::printf("paper shape: CPU steepens past the LLC; GPU ~O(H_SIZE^2); speedup ~4x\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Master reproduction digest: all four paper figures in one run.
+//
+// Runs trimmed-sample versions of Figs. 5-8 and prints one compact
+// paper-claim vs measured-result table — the quickest way to check the
+// reproduction after a build (the individual fig* binaries print the full
+// series).
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("fig_summary", "one-screen digest of the four figure reproductions");
+  const auto* sample = cli.add_int("sample", 4, "instances executed functionally per point");
+  cli.parse(argc, argv);
+  const auto k = static_cast<std::size_t>(*sample);
+
+  core::MomentParams params;
+  params.random_vectors = 14;
+  params.realizations = 128;
+
+  Table table({"figure", "paper claim", "measured", "verdict"});
+
+  // --- Fig. 5: cubic lattice, speedup ~3.5 across N.
+  {
+    const auto lat = lattice::HypercubicLattice::cubic(10, 10, 10);
+    const auto h = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator raw(h);
+    const auto ht = linalg::rescale(h, linalg::make_spectral_transform(raw));
+    linalg::MatrixOperator op(ht);
+    params.num_moments = 128;
+    const double s_lo = bench::compare_engines(op, params, k).speedup();
+    params.num_moments = 1024;
+    const double s_hi = bench::compare_engines(op, params, k).speedup();
+    const bool ok = s_lo > 2.5 && s_hi > 3.0 && s_hi < 5.0;
+    table.add_row({"Fig.5 lattice N-sweep", "speedup ~3.5x, flat",
+                   strprintf("%.2fx -> %.2fx", s_lo, s_hi), ok ? "shape OK" : "CHECK"});
+  }
+
+  // --- Fig. 6: N=512 resolves more than N=256.
+  {
+    const auto lat = lattice::HypercubicLattice::cubic(10, 10, 10);
+    const auto spectrum = lattice::periodic_tight_binding_spectrum(lat);
+    const auto h = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator raw(h);
+    const auto t = linalg::make_spectral_transform(raw);
+    auto curvature = [&](std::size_t n) {
+      const auto mu = diag::exact_chebyshev_moments(spectrum, t, n);
+      const auto c = core::reconstruct_dos_fft(mu, t, {.points = 512});
+      double m = 0.0;
+      for (std::size_t j = 1; j + 1 < c.density.size(); ++j)
+        m = std::max(m, std::abs(c.density[j + 1] - 2 * c.density[j] + c.density[j - 1]));
+      return m;
+    };
+    const double ratio = curvature(512) / curvature(256);
+    table.add_row({"Fig.6 DoS resolution", "N=512 sharper than N=256",
+                   strprintf("curvature x%.2f", ratio), ratio > 1.3 ? "shape OK" : "CHECK"});
+  }
+
+  // --- Fig. 7: dense D=128, speedup rises with N toward ~4.
+  {
+    const auto h = lattice::random_symmetric_dense(128, 0x51CA);
+    linalg::MatrixOperator raw(h);
+    const auto ht = linalg::rescale(h, linalg::make_spectral_transform(raw));
+    linalg::MatrixOperator op(ht);
+    params.num_moments = 128;
+    const double s_lo = bench::compare_engines(op, params, k).speedup();
+    params.num_moments = 2048;
+    const double s_hi = bench::compare_engines(op, params, k).speedup();
+    const bool ok = s_hi > s_lo && s_hi > 3.5 && s_hi < 5.5;
+    table.add_row({"Fig.7 dense N-sweep", "speedup rises to ~4x",
+                   strprintf("%.2fx -> %.2fx", s_lo, s_hi), ok ? "shape OK" : "CHECK"});
+  }
+
+  // --- Fig. 8: dense H_SIZE sweep, CPU steepens past LLC, speedup ~4.
+  {
+    params.num_moments = 128;
+    auto speedup_at = [&](std::size_t d) {
+      const auto h = lattice::random_symmetric_dense(d, 0xF168u + d);
+      linalg::MatrixOperator raw(h);
+      const auto ht = linalg::rescale(h, linalg::make_spectral_transform(raw));
+      linalg::MatrixOperator op(ht);
+      return bench::compare_engines(op, params, std::min<std::size_t>(k, 2));
+    };
+    const auto at_1k = speedup_at(1024);
+    const auto at_2k = speedup_at(2048);
+    const double cpu_scaling = at_2k.cpu.model_seconds / at_1k.cpu.model_seconds;
+    const bool ok = at_2k.speedup() > 3.0 && at_2k.speedup() < 5.0 && cpu_scaling > 3.5;
+    table.add_row({"Fig.8 dense D-sweep", "~4x; CPU ~O(D^2) past LLC",
+                   strprintf("%.2fx; CPU x%.1f per 2x D", at_2k.speedup(), cpu_scaling),
+                   ok ? "shape OK" : "CHECK"});
+  }
+
+  std::printf("=== Paper reproduction digest (R=14, S=128 modeled; %zu sampled) ===\n\n", k);
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("full series: run the individual fig5..fig8 binaries; analysis in EXPERIMENTS.md\n");
+  return 0;
+}

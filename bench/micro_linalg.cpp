@@ -1,0 +1,135 @@
+// Real wall-clock microbenchmarks (google-benchmark) of the numeric
+// kernels underlying the KPM recursion: dot, axpby, the fused Chebyshev
+// combine, and dense/CRS SpMV.  These time the *functional* host
+// implementations on the build machine — unlike the fig* benches, no
+// platform model is involved.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/reconstruct.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/crs_matrix.hpp"
+#include "linalg/spectral_transform.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+
+namespace {
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = kpm::rng::u64_to_uniform(kpm::rng::philox_u64(seed, 0, i), -1.0, 1.0);
+  return v;
+}
+
+void BM_Dot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vector(n, 1);
+  const auto y = random_vector(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(kpm::linalg::dot(x, y));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Dot)->Arg(1000)->Arg(16384)->Arg(262144);
+
+void BM_Axpby(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vector(n, 3);
+  auto y = random_vector(n, 4);
+  for (auto _ : state) {
+    kpm::linalg::axpby(1.5, x, 0.5, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Axpby)->Arg(1000)->Arg(262144);
+
+void BM_ChebyshevCombine(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto hx = random_vector(n, 5);
+  const auto prev = random_vector(n, 6);
+  std::vector<double> next(n);
+  for (auto _ : state) {
+    kpm::linalg::chebyshev_combine(hx, prev, next);
+    benchmark::DoNotOptimize(next.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ChebyshevCombine)->Arg(1000)->Arg(262144);
+
+void BM_SpmvCrsCubicLattice(benchmark::State& state) {
+  const auto edge = static_cast<std::size_t>(state.range(0));
+  const auto lat = kpm::lattice::HypercubicLattice::cubic(edge, edge, edge);
+  const auto h = kpm::lattice::build_tight_binding_crs(lat);
+  const auto x = random_vector(h.cols(), 7);
+  std::vector<double> y(h.rows());
+  for (auto _ : state) {
+    h.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(h.nnz()));
+}
+BENCHMARK(BM_SpmvCrsCubicLattice)->Arg(10)->Arg(16)->Arg(24);
+
+void BM_SpmvDense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto h = kpm::lattice::random_symmetric_dense(n, 8);
+  const auto x = random_vector(n, 9);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    h.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SpmvDense)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_PhiloxFill(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> v(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i)
+      v[i] = kpm::rng::draw_random_element(kpm::rng::RandomVectorKind::Rademacher, 42, 1, i);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PhiloxFill)->Arg(1000)->Arg(262144);
+
+/// Direct (Clenshaw per point) vs FFT reconstruction of the same curve.
+void BM_ReconstructDirect(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  std::vector<double> mu(512);
+  const double theta0 = std::acos(0.37);
+  for (std::size_t n = 0; n < mu.size(); ++n) mu[n] = std::cos(static_cast<double>(n) * theta0);
+  const kpm::linalg::SpectralTransform t({-1.0, 1.0}, 0.0);
+  kpm::core::ReconstructOptions opts;
+  opts.points = m;
+  for (auto _ : state) benchmark::DoNotOptimize(kpm::core::reconstruct_dos(mu, t, opts));
+}
+BENCHMARK(BM_ReconstructDirect)->Arg(1024)->Arg(8192);
+
+void BM_ReconstructFft(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  std::vector<double> mu(512);
+  const double theta0 = std::acos(0.37);
+  for (std::size_t n = 0; n < mu.size(); ++n) mu[n] = std::cos(static_cast<double>(n) * theta0);
+  const kpm::linalg::SpectralTransform t({-1.0, 1.0}, 0.0);
+  kpm::core::ReconstructOptions opts;
+  opts.points = m;
+  for (auto _ : state) benchmark::DoNotOptimize(kpm::core::reconstruct_dos_fft(mu, t, opts));
+}
+BENCHMARK(BM_ReconstructFft)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

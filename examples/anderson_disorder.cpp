@@ -1,0 +1,92 @@
+// Anderson disorder study: what the paper's S "realizations" are for.
+//
+// Physically, S independent realizations of randomness matter most when
+// the Hamiltonian itself is random.  This example computes the
+// disorder-averaged DoS of a 3D Anderson model (cubic lattice + uniform
+// on-site disorder of width W) for several W, averaging both the KPM
+// random vectors (R) and the disorder realizations (S): the band develops
+// Lifshitz tails and flattens as W grows.
+//
+//   $ anderson_disorder [--edge=8] [--width=6] [--realizations=8]
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/kpm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("anderson_disorder", "disorder-averaged DoS of the 3D Anderson model");
+  const auto* edge = cli.add_int("edge", 8, "lattice edge length");
+  const auto* n = cli.add_int("moments", 128, "Chebyshev moments");
+  const auto* r = cli.add_int("R", 4, "random vectors per realization");
+  const auto* s = cli.add_int("realizations", 8, "disorder realizations S");
+  const auto* wmax = cli.add_double("width", 6.0, "largest disorder width W");
+  const auto* csv = cli.add_string("csv", "anderson_dos.csv", "output CSV");
+  cli.parse(argc, argv);
+
+  const auto lat = lattice::HypercubicLattice::cubic(static_cast<std::size_t>(*edge),
+                                                     static_cast<std::size_t>(*edge),
+                                                     static_cast<std::size_t>(*edge));
+  std::printf("lattice: %s (D = %zu), N = %lld, R = %lld, S = %lld\n\n", lat.describe().c_str(),
+              lat.sites(), static_cast<long long>(*n), static_cast<long long>(*r),
+              static_cast<long long>(*s));
+
+  // Common energy window wide enough for the strongest disorder: the
+  // clean band [-6, 6] broadened by +-W/2.
+  const linalg::SpectralBounds window{-6.0 - 0.5 * *wmax, 6.0 + 0.5 * *wmax};
+  const linalg::SpectralTransform transform(window, 0.02);
+  std::vector<double> energies;
+  for (double x = -0.98; x <= 0.98; x += 0.04) energies.push_back(transform.to_physical(x));
+
+  std::vector<double> widths{0.0, *wmax / 3.0, 2.0 * *wmax / 3.0, *wmax};
+  std::vector<std::vector<double>> curves;
+  double total_gpu_seconds = 0.0;
+
+  for (double w : widths) {
+    // Disorder-average: S independent Hamiltonians, R random vectors each.
+    std::vector<double> mu_avg(static_cast<std::size_t>(*n), 0.0);
+    for (std::size_t real = 0; real < static_cast<std::size_t>(*s); ++real) {
+      const auto h = lattice::build_tight_binding_crs(
+          lat, {}, lattice::anderson_disorder(w, 0xA11DE5, real));
+      const auto ht = linalg::rescale(h, transform);
+      linalg::MatrixOperator op(ht);
+
+      core::MomentParams params;
+      params.num_moments = static_cast<std::size_t>(*n);
+      params.random_vectors = static_cast<std::size_t>(*r);
+      params.realizations = 1;
+      params.seed += real;  // independent vectors per realization
+      core::GpuMomentEngine engine;
+      const auto result = engine.compute(op, params);
+      total_gpu_seconds += result.model_seconds;
+      for (std::size_t k = 0; k < mu_avg.size(); ++k)
+        mu_avg[k] += result.mu[k] / static_cast<double>(*s);
+    }
+    const auto curve = core::reconstruct_dos_at(mu_avg, transform, energies);
+    curves.push_back(curve.density);
+  }
+
+  Table table({"E", "W=0", strprintf("W=%.1f", widths[1]), strprintf("W=%.1f", widths[2]),
+               strprintf("W=%.1f", widths[3])});
+  for (std::size_t j = 0; j < energies.size(); ++j)
+    table.add_row({strprintf("%.3f", energies[j]), strprintf("%.5f", curves[0][j]),
+                   strprintf("%.5f", curves[1][j]), strprintf("%.5f", curves[2][j]),
+                   strprintf("%.5f", curves[3][j])});
+  std::printf("%s\n", table.to_text().c_str());
+  table.write_csv(*csv);
+
+  // Quantify the band broadening: density at the clean band edge E = 6.
+  std::size_t edge_idx = 0;
+  for (std::size_t j = 0; j < energies.size(); ++j)
+    if (std::abs(energies[j] - 6.0) < std::abs(energies[edge_idx] - 6.0)) edge_idx = j;
+  std::printf("rho(E=%.2f): clean %.5f -> W=%.1f: %.5f (Lifshitz tail forms)\n",
+              energies[edge_idx], curves.front()[edge_idx], widths.back(),
+              curves.back()[edge_idx]);
+  std::printf("total simulated GPU time across %zu KPM runs: %.2f s\n",
+              widths.size() * static_cast<std::size_t>(*s), total_gpu_seconds);
+  std::printf("series written to %s\n", csv->c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Kubo-Greenwood conductivity sigma(E_F) of a 2D lattice via 2D KPM
+// moments — clean vs Anderson-disordered.
+//
+// The clean square lattice conducts throughout its band; with on-site
+// disorder the conductivity collapses, strongest near the band edges
+// (precursor of localization).  Everything runs through the public API:
+// current operator -> mu_nm -> sigma(E).
+//
+//   $ kubo_conductivity [--edge=24] [--disorder=2.0]
+#include <algorithm>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/kpm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("kubo_conductivity", "sigma(E_F) of the square lattice, clean vs disordered");
+  const auto* edge = cli.add_int("edge", 24, "square lattice edge");
+  const auto* n = cli.add_int("moments", 32, "Chebyshev moments per index");
+  const auto* w = cli.add_double("disorder", 4.0, "Anderson disorder width");
+  const auto* r = cli.add_int("R", 24, "random vectors");
+  const auto* csv = cli.add_string("csv", "kubo_conductivity.csv", "output CSV");
+  cli.parse(argc, argv);
+
+  const auto l = static_cast<std::size_t>(*edge);
+  const auto lat = lattice::HypercubicLattice::square(l, l);
+  core::MomentParams params;
+  params.num_moments = static_cast<std::size_t>(*n);
+  params.random_vectors = static_cast<std::size_t>(*r);
+  params.realizations = 2;
+
+  std::printf("lattice: %s (D = %zu), N = %zu, %zu instances, disorder W = %.1f\n\n",
+              lat.describe().c_str(), lat.sites(), params.num_moments, params.instances(), *w);
+
+  auto run = [&](double width) {
+    const auto onsite =
+        width > 0.0 ? lattice::anderson_disorder(width, 0xD15C0) : lattice::OnsiteFunction{};
+    const auto h = lattice::build_tight_binding_crs(lat, {}, onsite);
+    linalg::MatrixOperator op(h);
+    const auto transform = linalg::make_spectral_transform(op);
+    const auto ht = linalg::rescale(h, transform);
+    const auto a = lattice::build_current_operator_crs(lat, 0);
+    linalg::MatrixOperator op_t(ht), op_a(a);
+    const auto mu = core::conductivity_moments(op_t, op_a, params);
+    return core::reconstruct_conductivity(mu, transform, {.points = 41});
+  };
+
+  const auto clean = run(0.0);
+  const auto dirty = run(*w);
+
+  Table table({"E_F", "sigma clean", "sigma disordered", "ratio"});
+  for (std::size_t j = 0; j < clean.energy.size(); ++j) {
+    const double ratio = clean.sigma[j] > 1e-9 ? dirty.sigma[j] / clean.sigma[j] : 0.0;
+    table.add_row({strprintf("%.3f", clean.energy[j]), strprintf("%.5f", clean.sigma[j]),
+                   strprintf("%.5f", dirty.sigma[j]), strprintf("%.2f", ratio)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  table.write_csv(*csv);
+
+  const double peak_clean = *std::max_element(clean.sigma.begin(), clean.sigma.end());
+  const double peak_dirty = *std::max_element(dirty.sigma.begin(), dirty.sigma.end());
+  std::printf("peak sigma: clean %.4f -> W=%.1f: %.4f (%.0f%% suppression)\n", peak_clean, *w,
+              peak_dirty, 100.0 * (1.0 - peak_dirty / peak_clean));
+  std::printf("series written to %s\n", csv->c_str());
+  return 0;
+}

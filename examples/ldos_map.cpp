@@ -1,0 +1,85 @@
+// STM-style LDOS map via the GPU LDOS engine.
+//
+// Computes the local DoS at EVERY site of a square lattice with a strong
+// impurity (one launch on the simulated GPU: one block per site) and
+// renders the spatial map at two energies as ASCII heat maps — the
+// Friedel-oscillation picture an STM would see, at the impurity bound
+// state energy and inside the band.
+//
+//   $ ldos_map [--edge=21] [--strength=-8] [--moments=256]
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/cli.hpp"
+#include "core/kpm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("ldos_map", "full-lattice LDOS maps from one simulated-GPU launch");
+  const auto* edge = cli.add_int("edge", 21, "square lattice edge (odd keeps a center)");
+  const auto* strength = cli.add_double("strength", -8.0, "impurity on-site energy");
+  const auto* n = cli.add_int("moments", 256, "Chebyshev moments");
+  cli.parse(argc, argv);
+
+  const auto l = static_cast<std::size_t>(*edge);
+  const auto lat = lattice::HypercubicLattice::square(l, l);
+  const std::size_t center = lat.site_index(l / 2, l / 2, 0);
+  const double impurity = *strength;
+  const auto h = lattice::build_tight_binding_crs(
+      lat, {}, [&](std::size_t site) { return site == center ? impurity : 0.0; });
+  linalg::MatrixOperator op(h);
+  const auto transform = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op_t(ht);
+
+  // All sites in one engine call.
+  std::vector<std::size_t> sites(lat.sites());
+  std::iota(sites.begin(), sites.end(), std::size_t{0});
+  core::GpuLdosEngine engine;
+  const auto map = engine.compute(op_t, sites, static_cast<std::size_t>(*n));
+  std::printf("%s, impurity eps = %.1f at the center; %zu sites x %lld moments\n",
+              lat.describe().c_str(), impurity, lat.sites(), static_cast<long long>(*n));
+  std::printf("simulated GPU time for the whole map: %.3f s\n\n", engine.last_model_seconds());
+
+  // Bound-state energy: scan the impurity site's LDOS below the band.
+  const auto center_mu = map.site_moments(center);
+  double e_bound = -4.5;
+  {
+    double best = 0.0;
+    for (double e = transform.to_physical(-0.98); e < -4.05; e += 0.02) {
+      std::vector<double> probe{e};
+      const auto rho = core::reconstruct_dos_at(center_mu, transform, probe).density[0];
+      if (rho > best) {
+        best = rho;
+        e_bound = e;
+      }
+    }
+  }
+
+  auto render = [&](double energy, const char* label) {
+    std::vector<double> values(lat.sites());
+    double max_v = 0.0;
+    for (std::size_t k = 0; k < lat.sites(); ++k) {
+      std::vector<double> probe{energy};
+      values[k] = core::reconstruct_dos_at(map.site_moments(k), transform, probe).density[0];
+      max_v = std::max(max_v, values[k]);
+    }
+    std::printf("LDOS at E = %.2f (%s), max = %.3f:\n", energy, label, max_v);
+    const char* shades = " .:-=+*#%@";
+    for (std::size_t y = 0; y < l; ++y) {
+      std::string line;
+      for (std::size_t x = 0; x < l; ++x) {
+        const double v = values[lat.site_index(x, y, 0)] / max_v;
+        line += shades[static_cast<std::size_t>(9.0 * std::min(1.0, v))];
+      }
+      std::printf("|%s|\n", line.c_str());
+    }
+    std::printf("\n");
+  };
+
+  render(e_bound, "impurity bound state: localized spot");
+  render(0.8, "in-band: near-uniform with Friedel ripples");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// The Anderson localization transition via level statistics.
+//
+// Sweeps the disorder strength W of the 3D Anderson model and tracks the
+// mean adjacent-gap ratio <r> of the exact spectrum: extended states show
+// GOE statistics (<r> ~ 0.531), localized states Poisson (<r> ~ 0.386).
+// The crossover sits near the 3D critical disorder W_c ~ 16.5 t (finite-
+// size-broadened at these D).  Complements the KPM DoS view of the same
+// model (examples/anderson_disorder.cpp): the DoS barely changes through
+// the transition — the *statistics* carry the signal.
+//
+//   $ localization_transition [--edge=8] [--realizations=6]
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/kpm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("localization_transition", "gap-ratio statistics across the Anderson transition");
+  const auto* edge = cli.add_int("edge", 8, "cubic lattice edge (D = edge^3)");
+  const auto* reals = cli.add_int("realizations", 6, "disorder realizations per W");
+  cli.parse(argc, argv);
+
+  const auto l = static_cast<std::size_t>(*edge);
+  const auto lat = lattice::HypercubicLattice::cubic(l, l, l);
+  std::printf("3D Anderson model, %s (D = %zu), %lld realizations per point\n",
+              lat.describe().c_str(), lat.sites(), static_cast<long long>(*reals));
+  std::printf("references: GOE <r> = %.4f (extended), Poisson <r> = %.4f (localized)\n\n",
+              diag::kGoeMeanGapRatio, diag::kPoissonMeanGapRatio);
+
+  Table table({"W/t", "<r>", "stderr", "regime"});
+  for (double w : {2.0, 6.0, 10.0, 14.0, 18.0, 24.0, 32.0}) {
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t count = 0;
+    for (std::size_t r = 0; r < static_cast<std::size_t>(*reals); ++r) {
+      const auto h = lattice::build_tight_binding_dense(
+          lat, {}, lattice::anderson_disorder(w, 0x10CA1, r));
+      const auto spectrum = diag::symmetric_eigenvalues(h);
+      const auto stats = diag::gap_ratio_statistics(spectrum, 0.4);
+      sum += stats.mean_ratio;
+      sum_sq += stats.mean_ratio * stats.mean_ratio;
+      ++count;
+    }
+    const auto m = static_cast<double>(count);
+    const double mean = sum / m;
+    const double se =
+        count > 1 ? std::sqrt(std::max(0.0, (sum_sq / m - mean * mean) / (m - 1.0))) : 0.0;
+    const double d_goe = std::abs(mean - diag::kGoeMeanGapRatio);
+    const double d_poi = std::abs(mean - diag::kPoissonMeanGapRatio);
+    table.add_row({strprintf("%.1f", w), strprintf("%.4f", mean), strprintf("%.4f", se),
+                   d_goe < d_poi ? "~GOE (extended)" : "~Poisson (localized)"});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("expected: <r> falls from ~0.53 toward ~0.39 as W crosses W_c ~ 16.5 t\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: the whole KPM pipeline in ~40 lines.
+//
+// Computes the density of states of a 1D tight-binding chain with the
+// simulated-GPU KPM engine and prints it next to the exact result
+// (rho(E) = 1 / (pi sqrt(4 t^2 - E^2)) for the infinite chain).
+//
+//   $ quickstart [--sites=512] [--moments=256]
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "common/cli.hpp"
+#include "core/kpm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("quickstart", "KPM density of states of a tight-binding chain");
+  const auto* sites = cli.add_int("sites", 512, "chain length");
+  const auto* moments = cli.add_int("moments", 256, "Chebyshev moments N");
+  cli.parse(argc, argv);
+
+  // 1. Build the Hamiltonian: a periodic chain, hopping t = 1.
+  const auto lat = lattice::HypercubicLattice::chain(static_cast<std::size_t>(*sites));
+  const auto h = lattice::build_tight_binding_crs(lat);
+
+  // 2. Rescale the spectrum into [-1, 1] with Gershgorin bounds.
+  linalg::MatrixOperator op(h);
+  const auto transform = linalg::make_spectral_transform(op);
+  const auto h_tilde = linalg::rescale(h, transform);
+  linalg::MatrixOperator op_tilde(h_tilde);
+
+  // 3. Stochastic Chebyshev moments on the simulated Tesla C2050.
+  core::MomentParams params;
+  params.num_moments = static_cast<std::size_t>(*moments);
+  params.random_vectors = 8;
+  params.realizations = 4;
+  core::GpuMomentEngine engine;
+  const auto result = engine.compute(op_tilde, params);
+
+  // 4. Jackson-kernel reconstruction.
+  const auto dos = core::reconstruct_dos(result.mu, transform, {.points = 33});
+
+  std::printf("DoS of the %s (D=%zu, N=%zu, %zu random instances)\n",
+              lat.describe().c_str(), op.dim(), params.num_moments, params.instances());
+  std::printf("simulated GPU time: %.3f s (kernels %.3f s)\n\n", result.model_seconds,
+              result.compute_seconds);
+  std::printf("%10s  %12s  %12s\n", "E", "rho_KPM", "rho_exact");
+  for (std::size_t j = 0; j < dos.energy.size(); ++j) {
+    const double e = dos.energy[j];
+    const double exact = std::abs(e) < 2.0
+                             ? 1.0 / (std::numbers::pi * std::sqrt(4.0 - e * e))
+                             : 0.0;
+    std::printf("%10.4f  %12.6f  %12.6f\n", e, dos.density[j], exact);
+  }
+  std::printf("\n(KPM broadens the van Hove band-edge divergences to width ~pi/N)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Spectrum slicing with the KPM delta filter.
+//
+// Prepares energy-filtered random states |psi_E> = delta_KPM(E - H)|r>
+// across the band of a disordered lattice and reports how sharply each
+// lands (<H> and the energy spread), plus the filtered norm as a local-
+// DoS proxy — the KPM trick for reaching interior eigenstates without
+// shift-invert linear algebra.
+//
+//   $ spectrum_slicing [--edge=10] [--moments=512] [--disorder=1.0]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/kpm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("spectrum_slicing", "energy-filtered random states via the KPM delta filter");
+  const auto* edge = cli.add_int("edge", 10, "cubic lattice edge");
+  const auto* n = cli.add_int("moments", 512, "filter moments (width ~ pi * a- / N)");
+  const auto* w = cli.add_double("disorder", 1.0, "Anderson disorder width");
+  cli.parse(argc, argv);
+
+  const auto lat = lattice::HypercubicLattice::cubic(static_cast<std::size_t>(*edge),
+                                                     static_cast<std::size_t>(*edge),
+                                                     static_cast<std::size_t>(*edge));
+  const auto onsite =
+      *w > 0.0 ? lattice::anderson_disorder(*w, 0x511CE) : lattice::OnsiteFunction{};
+  const auto h = lattice::build_tight_binding_crs(lat, {}, onsite);
+  linalg::MatrixOperator op(h);
+  const auto transform = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op_t(ht);
+
+  const double width = std::numbers::pi * transform.half_width() / static_cast<double>(*n);
+  std::printf("%s (D = %zu), disorder W = %.1f\n", lat.describe().c_str(), op.dim(), *w);
+  std::printf("filter: N = %lld moments -> nominal width ~ %.4f t\n\n",
+              static_cast<long long>(*n), width);
+
+  core::FilterOptions opts;
+  opts.num_moments = static_cast<std::size_t>(*n);
+
+  Table table({"target E", "<H>", "spread", "|psi| (DoS proxy)"});
+  for (double e0 = -5.0; e0 <= 5.01; e0 += 1.25) {
+    const auto report = core::filter_random_state(op, op_t, transform, e0, 99, 0, opts);
+    table.add_row({strprintf("%+.2f", e0), strprintf("%+.4f", report.energy_mean),
+                   strprintf("%.4f", report.energy_spread), strprintf("%.4f", report.norm)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("expected: <H> tracks the target across the whole band; the spread\n"
+              "stays near the filter width; |psi| follows the DoS profile.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Finite-temperature observables from one KPM moment computation.
+//
+// Computes the moments of the cubic-lattice DoS once (simulated GPU), then
+// scans temperature: chemical potential at fixed filling, internal energy,
+// entropy, and the electronic specific heat c_v = du/dT — all from the
+// same N moments, no further Hamiltonian work.
+//
+//   $ thermodynamics_scan [--edge=8] [--filling=0.5]
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/kpm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("thermodynamics_scan", "temperature scan of electronic observables via KPM");
+  const auto* edge = cli.add_int("edge", 8, "cubic lattice edge");
+  const auto* n = cli.add_int("moments", 256, "Chebyshev moments");
+  const auto* filling = cli.add_double("filling", 0.5, "electron filling in (0,1)");
+  const auto* csv = cli.add_string("csv", "thermodynamics_scan.csv", "output CSV");
+  cli.parse(argc, argv);
+
+  const auto lat = lattice::HypercubicLattice::cubic(static_cast<std::size_t>(*edge),
+                                                     static_cast<std::size_t>(*edge),
+                                                     static_cast<std::size_t>(*edge));
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  const auto transform = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op_t(ht);
+
+  core::MomentParams params;
+  params.num_moments = static_cast<std::size_t>(*n);
+  params.random_vectors = 8;
+  params.realizations = 8;
+  core::GpuMomentEngine engine;
+  const auto moments = engine.compute(op_t, params);
+  std::printf("%s, D=%zu: %zu moments in %.3f simulated GPU seconds\n\n",
+              lat.describe().c_str(), op.dim(), params.num_moments, moments.model_seconds);
+
+  std::vector<double> temperatures;
+  for (double t = 0.1; t <= 3.01; t += 0.29) temperatures.push_back(t);
+
+  Table table({"T", "mu(T)", "u(T)", "s(T)", "c_v(T)"});
+  double u_prev = 0.0, t_prev = 0.0;
+  for (std::size_t i = 0; i < temperatures.size(); ++i) {
+    const double t = temperatures[i];
+    const double mu_c = core::find_chemical_potential(moments.mu, transform, *filling, t);
+    const double u = core::internal_energy(moments.mu, transform, mu_c, t);
+    const double s = core::electronic_entropy(moments.mu, transform, mu_c, t);
+    const double cv = i == 0 ? 0.0 : (u - u_prev) / (t - t_prev);
+    table.add_row({strprintf("%.2f", t), strprintf("%+.4f", mu_c), strprintf("%+.5f", u),
+                   strprintf("%.5f", s), i == 0 ? "-" : strprintf("%.5f", cv)});
+    u_prev = u;
+    t_prev = t;
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  table.write_csv(*csv);
+  std::printf("physics checks: mu stays ~0 at half filling on the bipartite lattice,\n"
+              "u and s rise monotonically with T, c_v > 0.\n");
+  std::printf("series written to %s\n", csv->c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Wavepacket dynamics with the Chebyshev propagator.
+//
+// Launches a Gaussian wavepacket with momentum k0 on a tight-binding chain
+// and tracks its center and spread under |psi(t)> = exp(-iHt)|psi(0)>:
+// ballistic motion at the group velocity v = 2 t sin(k0), norm and energy
+// conserved to machine precision.
+//
+//   $ time_evolution [--sites=256] [--k0=1.57] [--steps=10]
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/kpm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+  using Complex = std::complex<double>;
+
+  CliParser cli("time_evolution", "Chebyshev propagation of a wavepacket on a chain");
+  const auto* sites = cli.add_int("sites", 256, "chain length");
+  const auto* k0 = cli.add_double("k0", 1.5707963, "packet momentum (pi/2 = max velocity)");
+  const auto* sigma = cli.add_double("sigma", 8.0, "packet width in sites");
+  const auto* steps = cli.add_int("steps", 10, "number of output steps");
+  const auto* dt = cli.add_double("dt", 4.0, "time per step (hbar/t units)");
+  cli.parse(argc, argv);
+
+  const auto n = static_cast<std::size_t>(*sites);
+  const auto lat = lattice::HypercubicLattice::chain(n);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  const auto transform = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op_t(ht);
+  core::ChebyshevPropagator prop(op_t, transform);
+
+  // Gaussian packet centered at n/4 with momentum k0.
+  std::vector<Complex> psi(n);
+  const double x0 = static_cast<double>(n) / 4.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(i) - x0;
+    const double envelope = std::exp(-dx * dx / (4.0 * *sigma * *sigma));
+    psi[i] = envelope * Complex{std::cos(*k0 * dx), std::sin(*k0 * dx)};
+  }
+  const double norm0 = core::state_norm(psi);
+  for (auto& v : psi) v /= norm0;
+
+  const double e0 = core::energy_expectation(op, psi);
+  const double v_group = 2.0 * std::sin(*k0);
+  std::printf("chain of %zu sites, packet at x0=%.0f, k0=%.3f -> group velocity %.3f\n\n", n,
+              x0, *k0, v_group);
+  std::printf("%8s  %10s  %10s  %12s  %14s  %6s\n", "time", "<x>", "spread", "norm-1",
+              "<H>-E0", "terms");
+
+  auto report_state = [&](double time) {
+    double mean = 0.0, mean_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = std::norm(psi[i]);
+      mean += p * static_cast<double>(i);
+      mean_sq += p * static_cast<double>(i) * static_cast<double>(i);
+    }
+    const double spread = std::sqrt(std::max(0.0, mean_sq - mean * mean));
+    std::printf("%8.2f  %10.3f  %10.3f  %12.2e  %14.2e", time, mean, spread,
+                core::state_norm(psi) - 1.0, core::energy_expectation(op, psi) - e0);
+  };
+
+  report_state(0.0);
+  std::printf("  %6s\n", "-");
+  for (int s = 1; s <= *steps; ++s) {
+    const auto rep = prop.step(psi, *dt);
+    report_state(*dt * s);
+    std::printf("  %6zu\n", rep.terms);
+  }
+  std::printf("\nexpected: <x> advances ~%.2f sites per step (ballistic), norm and\n"
+              "energy drift stay at machine precision.\n",
+              v_group * *dt);
+  return 0;
+}

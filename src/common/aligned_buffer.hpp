@@ -1,0 +1,90 @@
+// Cache-line / SIMD aligned storage used by the numeric kernels.
+//
+// `AlignedBuffer<T>` owns a contiguous, 64-byte aligned, zero-initialized
+// array.  Unlike std::vector it guarantees alignment suitable for streaming
+// loads and makes accidental reallocation impossible: the size is fixed at
+// construction (Per.14: minimize allocations; Per.19: access memory
+// predictably).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace kpm {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer requires trivially copyable element types");
+
+ public:
+  AlignedBuffer() = default;
+
+  /// Allocates `n` zero-initialized elements aligned to 64 bytes.
+  explicit AlignedBuffer(std::size_t n) : size_(n) {
+    if (n == 0) return;
+    const std::size_t bytes = round_up(n * sizeof(T), kCacheLineBytes);
+    data_ = static_cast<T*>(::operator new[](bytes, std::align_val_t{kCacheLineBytes}));
+    std::memset(static_cast<void*>(data_), 0, bytes);
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+    if (size_ != 0) std::memcpy(static_cast<void*>(data_), other.data_, size_ * sizeof(T));
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer other) noexcept {
+    swap(other);
+    return *this;
+  }
+
+  ~AlignedBuffer() {
+    if (data_ != nullptr) ::operator delete[](data_, std::align_val_t{kCacheLineBytes});
+  }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_, size_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept { return {data_, size_}; }
+
+  /// Sets every element to `v`.
+  void fill(const T& v) { std::fill(begin(), end(), v); }
+
+ private:
+  static std::size_t round_up(std::size_t v, std::size_t align) {
+    return (v + align - 1) / align * align;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace kpm

@@ -1,0 +1,50 @@
+// Error handling primitives shared by every kpm module.
+//
+// The library throws `kpm::Error` (derived from std::runtime_error) for
+// precondition violations and unrecoverable runtime failures.  Hot inner
+// loops use `KPM_ASSERT`, which compiles away in release builds; API
+// boundaries use `KPM_REQUIRE`, which is always active.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace kpm {
+
+/// Exception type thrown by all kpm components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(std::string_view expr, std::string_view file, int line,
+                                     std::string_view msg) {
+  std::ostringstream os;
+  os << "kpm error: " << msg;
+  if (!expr.empty()) os << " [failed: " << expr << "]";
+  os << " (" << file << ":" << line << ")";
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace kpm
+
+/// Always-on precondition check for public API boundaries.
+#define KPM_REQUIRE(cond, msg)                                       \
+  do {                                                               \
+    if (!(cond)) ::kpm::detail::throw_error(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Unconditional failure with a message.
+#define KPM_FAIL(msg) ::kpm::detail::throw_error("", __FILE__, __LINE__, (msg))
+
+/// Debug-only invariant check for hot paths (no-op when NDEBUG is defined).
+#ifdef NDEBUG
+#define KPM_ASSERT(cond, msg) ((void)0)
+#else
+#define KPM_ASSERT(cond, msg) KPM_REQUIRE(cond, msg)
+#endif

@@ -1,0 +1,47 @@
+#include "common/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace kpm {
+
+void fft_radix2(std::span<std::complex<double>> data, int sign) {
+  const std::size_t n = data.size();
+  KPM_REQUIRE(is_power_of_two(n), "fft_radix2: length must be a power of two");
+  KPM_REQUIRE(sign == 1 || sign == -1, "fft_radix2: sign must be +1 or -1");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const auto u = data[i + k];
+        const auto v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft(std::span<const std::complex<double>> input, int sign) {
+  std::vector<std::complex<double>> out(input.begin(), input.end());
+  fft_radix2(out, sign);
+  return out;
+}
+
+}  // namespace kpm

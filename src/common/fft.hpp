@@ -1,0 +1,29 @@
+// Iterative radix-2 complex FFT.
+//
+// Self-contained (no external FFT dependency), used by the fast KPM
+// reconstruction: evaluating N damped moments on an M-point Chebyshev-
+// Gauss grid is a zero-padded 2M-point transform — O(M log M) instead of
+// the O(M N) of direct Clenshaw evaluation per point.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace kpm {
+
+/// In-place iterative Cooley-Tukey FFT.  `data.size()` must be a power of
+/// two.  `sign` = -1 gives the forward transform sum x_n e^{-2 pi i nk/N},
+/// +1 the unnormalized inverse (divide by N yourself if needed).
+void fft_radix2(std::span<std::complex<double>> data, int sign);
+
+/// Convenience: returns the transform of `input` (copied), sign as above.
+[[nodiscard]] std::vector<std::complex<double>> fft(std::span<const std::complex<double>> input,
+                                                    int sign);
+
+/// True if n is a power of two (n >= 1).
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace kpm

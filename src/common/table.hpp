@@ -1,0 +1,46 @@
+// Plain-text table and CSV emission for the bench harness.
+//
+// Every fig*/ablation_* bench builds one `Table` with the same rows the
+// paper's figure plots, prints it aligned to stdout, and writes a CSV file
+// next to the binary so the series can be re-plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kpm {
+
+/// A simple column-aligned text table with CSV export.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each value with printf-style "%g"/string mix.
+  /// Cells are already strings; use fmt helpers in callers.
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return headers_.size(); }
+
+  /// Renders the table with aligned columns and a header separator.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders the table as RFC-4180-ish CSV (cells containing commas or
+  /// quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes the CSV rendering to `path`.  Throws kpm::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace kpm

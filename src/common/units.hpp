@@ -1,0 +1,55 @@
+// Human-readable formatting of times, byte counts and rates, used by the
+// bench harness when printing figure tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace kpm {
+
+/// Formats a duration in seconds with an auto-selected unit (ns/us/ms/s).
+inline std::string format_seconds(double s) {
+  char buf[64];
+  if (s < 0) {
+    std::snprintf(buf, sizeof(buf), "-");
+  } else if (s < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", s * 1e9);
+  } else if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  }
+  return buf;
+}
+
+/// Formats a byte count with an auto-selected binary unit (B/KiB/MiB/GiB).
+inline std::string format_bytes(double b) {
+  char buf[64];
+  if (b < 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f B", b);
+  } else if (b < 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", b / 1024.0);
+  } else if (b < 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", b / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+/// Formats a rate in FLOP/s with an auto-selected unit (MFLOP/s..TFLOP/s).
+inline std::string format_flops(double f) {
+  char buf[64];
+  if (f < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1f MFLOP/s", f / 1e6);
+  } else if (f < 1e12) {
+    std::snprintf(buf, sizeof(buf), "%.2f GFLOP/s", f / 1e9);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f TFLOP/s", f / 1e12);
+  }
+  return buf;
+}
+
+}  // namespace kpm

@@ -1,0 +1,59 @@
+// Scalar Chebyshev utilities: T_n evaluation and Clenshaw summation.
+//
+// T_n(x) = cos(n arccos x) on [-1, 1], with the recursions T_0 = 1,
+// T_1 = x, T_{n+2}(x) = 2 x T_{n+1}(x) - T_n(x) (paper Eqs. 3-5).
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace kpm::core {
+
+/// Evaluates T_n(x) for |x| <= 1 through the trigonometric form (the most
+/// accurate for high n).
+inline double chebyshev_t(std::size_t n, double x) {
+  KPM_ASSERT(x >= -1.0 && x <= 1.0, "chebyshev_t: x outside [-1, 1]");
+  return std::cos(static_cast<double>(n) * std::acos(x));
+}
+
+/// Fills values[n] = T_n(x) for n in [0, values.size()) using the three-term
+/// recursion (one pass, O(N)).
+inline void chebyshev_t_all(double x, std::span<double> values) {
+  const std::size_t n = values.size();
+  if (n == 0) return;
+  values[0] = 1.0;
+  if (n == 1) return;
+  values[1] = x;
+  for (std::size_t k = 2; k < n; ++k) values[k] = 2.0 * x * values[k - 1] - values[k - 2];
+}
+
+/// Clenshaw evaluation of sum_{n=0}^{N-1} a_n T_n(x); numerically stable
+/// alternative to summing chebyshev_t_all terms.
+inline double clenshaw(std::span<const double> a, double x) {
+  if (a.empty()) return 0.0;
+  double b1 = 0.0, b2 = 0.0;
+  for (std::size_t k = a.size(); k-- > 1;) {
+    const double b0 = a[k] + 2.0 * x * b1 - b2;
+    b2 = b1;
+    b1 = b0;
+  }
+  return a[0] + x * b1 - b2;
+}
+
+/// Chebyshev-Gauss abscissas x_j = cos(pi (j + 1/2) / M), j = 0..M-1,
+/// returned in increasing order.  The natural reconstruction grid: the
+/// 1/sqrt(1-x^2) weight cancels in quadrature sums over these points.
+[[nodiscard]] inline std::vector<double> chebyshev_gauss_grid(std::size_t points) {
+  KPM_REQUIRE(points > 0, "chebyshev_gauss_grid: need at least one point");
+  std::vector<double> x(points);
+  for (std::size_t j = 0; j < points; ++j)
+    x[points - 1 - j] =
+        std::cos(std::numbers::pi * (static_cast<double>(j) + 0.5) / static_cast<double>(points));
+  return x;
+}
+
+}  // namespace kpm::core

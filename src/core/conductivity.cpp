@@ -1,0 +1,132 @@
+#include "core/conductivity.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/chebyshev.hpp"
+#include "core/moments_cpu.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace kpm::core {
+
+ConductivityMoments conductivity_moments(const linalg::MatrixOperator& h_tilde,
+                                         const linalg::MatrixOperator& a_current,
+                                         const MomentParams& params,
+                                         std::size_t sample_instances) {
+  params.validate();
+  const std::size_t d = h_tilde.dim();
+  KPM_REQUIRE(a_current.dim() == d, "conductivity_moments: operator dimensions differ");
+  const std::size_t n = params.num_moments;
+  const std::size_t total = params.instances();
+  const std::size_t executed = resolve_sample_count(sample_instances, total);
+
+  ConductivityMoments result;
+  result.num_moments = n;
+  result.mu.assign(n * n, 0.0);
+  result.instances_executed = executed;
+
+  // Per instance:
+  //   |phi>    = A |r>
+  //   |beta_m> = T_m(H~) |phi>        (all N stored, N*D doubles)
+  //   |psi_n>  = T_n(H~) |r>          (streamed)
+  //   w        = A^T psi_n = -A psi_n
+  //   mu_nm   += <w | beta_m> / D     (sign folded below)
+  std::vector<double> r0(d), phi(d);
+  std::vector<double> beta(n * d);
+  std::vector<double> psi_prev2(d), psi_prev(d), psi_next(d), w(d);
+
+  auto beta_row = [&](std::size_t m) { return std::span<double>(beta).subspan(m * d, d); };
+
+  for (std::size_t inst = 0; inst < executed; ++inst) {
+    fill_random_vector(params, inst, r0);
+    a_current.multiply(r0, phi);
+
+    // beta_0..beta_{N-1} by the standard recursion from |phi>.
+    linalg::copy(phi, beta_row(0));
+    if (n > 1) h_tilde.multiply(beta_row(0), beta_row(1));
+    for (std::size_t m = 2; m < n; ++m) {
+      h_tilde.multiply(beta_row(m - 1), beta_row(m));
+      linalg::chebyshev_combine(beta_row(m), beta_row(m - 2), beta_row(m));
+    }
+
+    // Stream psi_n, accumulating one row of mu per step.
+    // <r| T_n A T_m A |r> = (A^T psi_n) . beta_m = -(A psi_n) . beta_m, and
+    // mu^J_nm = -(1/D) Tr[T_n A T_m A], so the estimator of mu^J is
+    // +(A psi_n) . beta_m / D.
+    auto accumulate_row = [&](std::size_t row, std::span<const double> psi) {
+      a_current.multiply(psi, w);  // w = A psi
+      double* mu_row = result.mu.data() + row * n;
+      for (std::size_t m = 0; m < n; ++m) {
+        const auto b = beta_row(m);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < d; ++i) acc += w[i] * b[i];
+        mu_row[m] += acc;
+      }
+    };
+
+    linalg::copy(r0, psi_prev2);
+    accumulate_row(0, psi_prev2);
+    if (n > 1) {
+      h_tilde.multiply(psi_prev2, psi_prev);
+      accumulate_row(1, psi_prev);
+    }
+    for (std::size_t k = 2; k < n; ++k) {
+      h_tilde.multiply(psi_prev, psi_next);
+      linalg::chebyshev_combine(psi_next, psi_prev2, psi_next);
+      accumulate_row(k, psi_next);
+      std::swap(psi_prev2, psi_prev);
+      std::swap(psi_prev, psi_next);
+    }
+  }
+
+  // Plain division (not a reciprocal multiply) so the GPU conductivity
+  // engine's averaging kernel matches bit-for-bit.
+  const double denom = static_cast<double>(d) * static_cast<double>(executed);
+  for (double& v : result.mu) v /= denom;
+  return result;
+}
+
+ConductivityCurve reconstruct_conductivity(const ConductivityMoments& moments,
+                                           const linalg::SpectralTransform& transform,
+                                           const ConductivityOptions& options) {
+  const std::size_t n = moments.num_moments;
+  KPM_REQUIRE(n > 0 && moments.mu.size() == n * n,
+              "reconstruct_conductivity: malformed moment matrix");
+  KPM_REQUIRE(options.points >= 2, "reconstruct_conductivity: need at least two points");
+  KPM_REQUIRE(options.edge_clip > 0.0 && options.edge_clip < 1.0,
+              "reconstruct_conductivity: edge_clip must be in (0, 1)");
+
+  const auto g = damping_coefficients(options.kernel, n, options.lorentz_lambda);
+
+  ConductivityCurve curve;
+  curve.energy.resize(options.points);
+  curve.sigma.resize(options.points);
+
+  std::vector<double> t_values(n);
+  std::vector<double> weighted(n);  // h_n T_n(x)
+  for (std::size_t j = 0; j < options.points; ++j) {
+    const double x = -options.edge_clip +
+                     2.0 * options.edge_clip * static_cast<double>(j) /
+                         static_cast<double>(options.points - 1);
+    chebyshev_t_all(x, t_values);
+    for (std::size_t k = 0; k < n; ++k)
+      weighted[k] = (k == 0 ? 1.0 : 2.0) * g[k] * t_values[k];
+
+    // Bilinear form sum_nm weighted_n (-mu_nm already folded) weighted_m.
+    double acc = 0.0;
+    for (std::size_t row = 0; row < n; ++row) {
+      const double* mu_row = moments.mu.data() + row * n;
+      double inner = 0.0;
+      for (std::size_t m = 0; m < n; ++m) inner += mu_row[m] * weighted[m];
+      acc += weighted[row] * inner;
+    }
+    const double denom = std::numbers::pi * std::numbers::pi * (1.0 - x * x);
+    curve.energy[j] = transform.to_physical(x);
+    curve.sigma[j] = acc / denom;
+  }
+  return curve;
+}
+
+}  // namespace kpm::core

@@ -1,0 +1,49 @@
+// GPU-mapped Kubo-Greenwood 2D moment computation.
+//
+// Same mathematics as conductivity_moments() (see conductivity.hpp) mapped
+// onto the stream-computing model: one thread block per stochastic
+// instance.  Each block keeps its r0 and the N beta-vectors
+// (beta_m = T_m(H~) A |r>) resident in device global memory, streams the
+// psi_n recursion, and accumulates its own N x N partial moment matrix;
+// a final reduction kernel averages the per-instance matrices.
+//
+// Memory: instances * (N + 4) * D + instances * N^2 doubles of VRAM — the
+// N beta-vectors per instance are the price of the 2D moment algorithm
+// and limit N * D per instance on a 3 GB card (the engine reports an OOM
+// error exactly where cudaMalloc would fail).
+#pragma once
+
+#include "core/conductivity.hpp"
+#include "core/moments_gpu.hpp"
+
+namespace kpm::core {
+
+/// Computes the Kubo-Greenwood moment matrix on the simulated GPU.
+/// Functional results are bit-identical to conductivity_moments() (same
+/// per-instance arithmetic and accumulation order).
+class GpuConductivityEngine {
+ public:
+  explicit GpuConductivityEngine(GpuEngineConfig config = {});
+
+  [[nodiscard]] std::string name() const { return "gpu-conductivity-instance-per-block"; }
+
+  /// See conductivity_moments() for the parameters; returns the same
+  /// matrix plus modeled timing via last_timeline()/last_model_seconds().
+  [[nodiscard]] ConductivityMoments compute(const linalg::MatrixOperator& h_tilde,
+                                            const linalg::MatrixOperator& a_current,
+                                            const MomentParams& params,
+                                            std::size_t sample_instances = 0);
+
+  /// Simulated seconds of the last compute() (context + timeline).
+  [[nodiscard]] double last_model_seconds() const noexcept { return last_model_seconds_; }
+  [[nodiscard]] const gpusim::TimelineSummary& last_timeline() const noexcept {
+    return last_summary_;
+  }
+
+ private:
+  GpuEngineConfig config_;
+  gpusim::TimelineSummary last_summary_{};
+  double last_model_seconds_ = 0.0;
+};
+
+}  // namespace kpm::core

@@ -1,0 +1,64 @@
+#include "core/damping.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace kpm::core {
+
+const char* to_string(DampingKernel k) noexcept {
+  switch (k) {
+    case DampingKernel::Jackson:
+      return "jackson";
+    case DampingKernel::Lorentz:
+      return "lorentz";
+    case DampingKernel::Fejer:
+      return "fejer";
+    case DampingKernel::Dirichlet:
+      return "dirichlet";
+  }
+  return "?";
+}
+
+DampingKernel damping_kernel_from_string(const std::string& name) {
+  if (name == "jackson") return DampingKernel::Jackson;
+  if (name == "lorentz") return DampingKernel::Lorentz;
+  if (name == "fejer") return DampingKernel::Fejer;
+  if (name == "dirichlet") return DampingKernel::Dirichlet;
+  KPM_FAIL("unknown damping kernel: " + name);
+}
+
+std::vector<double> damping_coefficients(DampingKernel kernel, std::size_t n, double lambda) {
+  KPM_REQUIRE(n > 0, "damping_coefficients: need at least one moment");
+  std::vector<double> g(n);
+  const auto nd = static_cast<double>(n);
+  switch (kernel) {
+    case DampingKernel::Jackson: {
+      // g_n = [(N - n + 1) cos(pi n / (N+1)) + sin(pi n / (N+1)) cot(pi / (N+1))] / (N + 1)
+      const double q = std::numbers::pi / (nd + 1.0);
+      const double cot_q = std::cos(q) / std::sin(q);
+      for (std::size_t k = 0; k < n; ++k) {
+        const auto kd = static_cast<double>(k);
+        g[k] = ((nd - kd + 1.0) * std::cos(q * kd) + std::sin(q * kd) * cot_q) / (nd + 1.0);
+      }
+      break;
+    }
+    case DampingKernel::Lorentz: {
+      KPM_REQUIRE(lambda > 0, "Lorentz kernel requires lambda > 0");
+      const double denom = std::sinh(lambda);
+      for (std::size_t k = 0; k < n; ++k)
+        g[k] = std::sinh(lambda * (1.0 - static_cast<double>(k) / nd)) / denom;
+      break;
+    }
+    case DampingKernel::Fejer:
+      for (std::size_t k = 0; k < n; ++k) g[k] = 1.0 - static_cast<double>(k) / nd;
+      break;
+    case DampingKernel::Dirichlet:
+      for (std::size_t k = 0; k < n; ++k) g[k] = 1.0;
+      break;
+  }
+  return g;
+}
+
+}  // namespace kpm::core

@@ -1,0 +1,35 @@
+// Damping (resummation) kernels g_n — the "K" in KPM.
+//
+// Truncating the Chebyshev series at N moments produces Gibbs oscillations;
+// multiplying the moments by kernel coefficients g_n restores uniform
+// convergence (paper Eq. 6-7).  The Jackson kernel is the standard choice
+// for densities of states: it turns the delta function into a near-Gaussian
+// of width ~ pi/N (Weisse, Wellein, Alvermann, Fehske, Rev. Mod. Phys. 78,
+// 275 (2006), the paper's Ref. [10]).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kpm::core {
+
+/// Available damping kernels.
+enum class DampingKernel {
+  Jackson,    ///< optimal for DoS; positive-definite, ~Gaussian broadening
+  Lorentz,    ///< for Green's functions; ~Lorentzian broadening, lambda parameter
+  Fejer,      ///< g_n = 1 - n/N; simple, positive
+  Dirichlet,  ///< g_n = 1; the raw truncated series (exhibits Gibbs ringing)
+};
+
+/// Returns "jackson", "lorentz", "fejer" or "dirichlet".
+const char* to_string(DampingKernel k) noexcept;
+
+/// Parses a name produced by to_string(); throws kpm::Error otherwise.
+DampingKernel damping_kernel_from_string(const std::string& name);
+
+/// Computes the N coefficients g_0..g_{N-1} of `kernel`.
+/// `lambda` is used by the Lorentz kernel only (typical 3..5).
+[[nodiscard]] std::vector<double> damping_coefficients(DampingKernel kernel, std::size_t n,
+                                                       double lambda = 4.0);
+
+}  // namespace kpm::core

@@ -1,0 +1,57 @@
+#include "core/estimator_stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/moments_cpu.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace kpm::core {
+
+MomentStatistics estimate_moment_statistics(const linalg::MatrixOperator& h_tilde,
+                                            const MomentParams& params, std::size_t instances) {
+  params.validate();
+  KPM_REQUIRE(instances >= 2, "estimate_moment_statistics: need at least two instances");
+  const std::size_t d = h_tilde.dim();
+  const std::size_t n = params.num_moments;
+
+  // Per-instance normalized moments: mu_n^(k) = <r0|r_n> / D.
+  std::vector<double> sum(n, 0.0), sum_sq(n, 0.0);
+  std::vector<double> r0(d), r_prev2(d), r_prev(d), r_next(d), mu_inst(n);
+
+  for (std::size_t inst = 0; inst < instances; ++inst) {
+    fill_random_vector(params, inst, r0);
+    mu_inst[0] = linalg::dot(r0, r0);
+    h_tilde.multiply(r0, r_prev);
+    if (n > 1) mu_inst[1] = linalg::dot(r0, r_prev);
+    linalg::copy(r0, r_prev2);
+    for (std::size_t k = 2; k < n; ++k) {
+      h_tilde.multiply(r_prev, r_next);
+      linalg::chebyshev_combine(r_next, r_prev2, r_next);
+      mu_inst[k] = linalg::dot(r0, r_next);
+      std::swap(r_prev2, r_prev);
+      std::swap(r_prev, r_next);
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      const double v = mu_inst[k] / static_cast<double>(d);
+      sum[k] += v;
+      sum_sq[k] += v * v;
+    }
+  }
+
+  MomentStatistics stats;
+  stats.instances = instances;
+  stats.mean.resize(n);
+  stats.standard_error.resize(n);
+  const auto m = static_cast<double>(instances);
+  for (std::size_t k = 0; k < n; ++k) {
+    stats.mean[k] = sum[k] / m;
+    const double var = std::max(0.0, sum_sq[k] / m - stats.mean[k] * stats.mean[k]);
+    // Unbiased sample variance, then standard error of the mean.
+    stats.standard_error[k] = std::sqrt(var * m / (m - 1.0)) / std::sqrt(m);
+  }
+  return stats;
+}
+
+}  // namespace kpm::core

@@ -1,0 +1,177 @@
+#include "core/evolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace kpm::core {
+namespace {
+
+using Complex = std::complex<double>;
+
+/// y = H~ x on complex vectors (H~ is real, so it acts on re/im alike).
+void spmv_complex(const linalg::MatrixOperator& op, std::span<const Complex> x,
+                  std::span<Complex> y) {
+  const std::size_t d = op.dim();
+  if (op.storage() == linalg::Storage::Dense) {
+    const auto& m = *op.dense();
+    for (std::size_t r = 0; r < d; ++r) {
+      Complex acc{0.0, 0.0};
+      const auto row = m.row(r);
+      for (std::size_t c = 0; c < d; ++c) acc += row[c] * x[c];
+      y[r] = acc;
+    }
+  } else {
+    const auto& m = *op.crs();
+    const auto row_ptr = m.row_ptr();
+    const auto col_idx = m.col_idx();
+    const auto values = m.values();
+    for (std::size_t r = 0; r < d; ++r) {
+      Complex acc{0.0, 0.0};
+      for (auto k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        const auto kk = static_cast<std::size_t>(k);
+        acc += values[kk] * x[static_cast<std::size_t>(col_idx[kk])];
+      }
+      y[r] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> bessel_j_array(double x, std::size_t count) {
+  KPM_REQUIRE(count >= 1, "bessel_j_array: need at least one order");
+  std::vector<double> j(count, 0.0);
+  if (x == 0.0) {
+    j[0] = 1.0;
+    return j;
+  }
+  const double ax = std::abs(x);
+
+  // Miller's algorithm: start the downward recurrence well above both the
+  // requested order and the turning point n ~ |x|.
+  const std::size_t start =
+      count + static_cast<std::size_t>(ax + 20.0 * std::cbrt(ax + 1.0) + 32.0);
+  double jp1 = 0.0;        // J_{n+1} (unnormalized)
+  double jn = 1e-30;       // J_n
+  double norm = 0.0;       // accumulates J_0 + 2 sum_{k>=1} J_{2k}
+  for (std::size_t n = start; n-- > 0;) {
+    const double jm1 = (2.0 * (static_cast<double>(n) + 1.0) / ax) * jn - jp1;
+    jp1 = jn;
+    jn = jm1;
+    if (n < count) j[n] = jn;
+    if (n % 2 == 0) norm += (n == 0 ? 1.0 : 2.0) * jn;
+    // Rescale to avoid overflow of the unnormalized recurrence.
+    if (std::abs(jn) > 1e250) {
+      jn *= 1e-250;
+      jp1 *= 1e-250;
+      norm *= 1e-250;
+      for (auto& v : j) v *= 1e-250;
+    }
+  }
+  for (auto& v : j) v /= norm;
+
+  // J_n(-x) = (-1)^n J_n(x).
+  if (x < 0.0)
+    for (std::size_t n = 1; n < count; n += 2) j[n] = -j[n];
+  return j;
+}
+
+ChebyshevPropagator::ChebyshevPropagator(const linalg::MatrixOperator& h_tilde,
+                                         const linalg::SpectralTransform& transform,
+                                         double tolerance)
+    : h_(&h_tilde), transform_(&transform), tolerance_(tolerance) {
+  KPM_REQUIRE(tolerance > 0, "ChebyshevPropagator: tolerance must be positive");
+}
+
+EvolutionReport ChebyshevPropagator::step(std::span<Complex> state, double dt) const {
+  const std::size_t d = h_->dim();
+  KPM_REQUIRE(state.size() == d, "ChebyshevPropagator::step: state dimension mismatch");
+
+  const double omega = transform_->half_width() * dt;  // scaled time a- * dt
+  // Expansion order: coefficients die superexponentially past n = |omega|.
+  const std::size_t terms =
+      2 + static_cast<std::size_t>(std::abs(omega) + 12.0 * std::cbrt(std::abs(omega) + 1.0) +
+                                   24.0);
+  const auto bessel = bessel_j_array(omega, terms + 1);
+
+  // Coefficients c_n = (2 - delta_n0) (-i)^n J_n(omega).
+  auto coefficient = [&](std::size_t n) {
+    const double scale = (n == 0 ? 1.0 : 2.0) * bessel[n];
+    switch (n % 4) {  // (-i)^n
+      case 0:
+        return Complex{scale, 0.0};
+      case 1:
+        return Complex{0.0, -scale};
+      case 2:
+        return Complex{-scale, 0.0};
+      default:
+        return Complex{0.0, scale};
+    }
+  };
+
+  // Chebyshev recursion on the state vector.
+  std::vector<Complex> t_prev(state.begin(), state.end());  // T_0 |psi>
+  std::vector<Complex> t_cur(d), t_next(d);
+  std::vector<Complex> acc(d);
+
+  for (std::size_t i = 0; i < d; ++i) acc[i] = coefficient(0) * t_prev[i];
+
+  spmv_complex(*h_, t_prev, t_cur);  // T_1 |psi> = H~ |psi>
+  std::size_t used = 1;
+  for (std::size_t n = 1; n <= terms; ++n) {
+    const Complex c = coefficient(n);
+    for (std::size_t i = 0; i < d; ++i) acc[i] += c * t_cur[i];
+    used = n + 1;
+    if (n >= static_cast<std::size_t>(std::abs(omega)) + 2 &&
+        std::abs(bessel[n]) < tolerance_ && std::abs(bessel[n + 1]) < tolerance_)
+      break;
+    if (n == terms) break;
+    spmv_complex(*h_, t_cur, t_next);
+    for (std::size_t i = 0; i < d; ++i) t_next[i] = 2.0 * t_next[i] - t_prev[i];
+    std::swap(t_prev, t_cur);
+    std::swap(t_cur, t_next);
+  }
+
+  // Global phase from the spectrum center: exp(-i a+ dt).
+  const double phase_angle = -transform_->center() * dt;
+  const Complex phase{std::cos(phase_angle), std::sin(phase_angle)};
+  for (std::size_t i = 0; i < d; ++i) state[i] = phase * acc[i];
+
+  EvolutionReport report;
+  report.terms = used;
+  report.coefficient_tail = used < bessel.size() ? std::abs(bessel[used]) : 0.0;
+  return report;
+}
+
+EvolutionReport ChebyshevPropagator::evolve(std::span<Complex> state, double total_time,
+                                            std::size_t steps, Observer observer,
+                                            void* observer_ctx) const {
+  KPM_REQUIRE(steps >= 1, "ChebyshevPropagator::evolve: need at least one step");
+  const double dt = total_time / static_cast<double>(steps);
+  EvolutionReport last;
+  for (std::size_t s = 0; s < steps; ++s) {
+    last = step(state, dt);
+    if (observer != nullptr) observer(s, state, observer_ctx);
+  }
+  return last;
+}
+
+double state_norm(std::span<const Complex> state) {
+  double acc = 0.0;
+  for (const auto& v : state) acc += std::norm(v);
+  return std::sqrt(acc);
+}
+
+double energy_expectation(const linalg::MatrixOperator& h, std::span<const Complex> state) {
+  KPM_REQUIRE(state.size() == h.dim(), "energy_expectation: dimension mismatch");
+  std::vector<Complex> hx(state.size());
+  spmv_complex(h, state, hx);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < state.size(); ++i)
+    acc += (std::conj(state[i]) * hx[i]).real();
+  return acc;
+}
+
+}  // namespace kpm::core

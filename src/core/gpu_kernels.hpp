@@ -1,0 +1,212 @@
+// The KPM kernels of the paper, written against the gpusim substrate.
+//
+// Two parallelization mappings are provided (Section III of the paper
+// describes both views and is internally inconsistent about which it uses;
+// see DESIGN.md):
+//
+//  * InstancePerBlock (default, matches Fig. 4(a)'s "four r vectors per
+//    block" and the shared-memory staging of Fig. 8's discussion): one
+//    thread block per stochastic-trace instance; the block's threads split
+//    the vector elements, dot products use a shared-memory tree reduction,
+//    x and the matrix stream through shared memory.
+//
+//  * InstancePerThread (matches the text's "maximum parallelism = SR"): one
+//    thread per instance executing its entire recursion serially; matrix
+//    reads are warp-broadcast (all lanes traverse H~ in lockstep), vector
+//    accesses are uncoalesced (instance-major layout).
+//
+// Functional math is identical between the two (and bit-identical to the
+// CPU reference); only the metered access patterns differ.  Work vector
+// layout is instance-major: vector v of instance k occupies
+// [k*D, (k+1)*D).  Moment buffer: mu~ of instance k at [k*N, (k+1)*N).
+#pragma once
+
+#include <cstdint>
+
+#include "core/device_matrix.hpp"
+#include "core/params.hpp"
+#include "gpusim/device.hpp"
+
+namespace kpm::core {
+
+/// Which parallelization mapping a GPU engine uses.
+enum class GpuMapping {
+  InstancePerBlock,   ///< block = instance, threads = vector elements
+  InstancePerThread,  ///< thread = instance (full recursion per thread)
+};
+
+/// Returns "instance-per-block" or "instance-per-thread".
+const char* to_string(GpuMapping m) noexcept;
+
+/// Fills the r0 buffer with each instance's random vector (paper step (1)).
+/// Launch with one block per instance (threads split elements).
+/// `stream_offset` maps local instance ids to global RNG streams so a
+/// distributed (multi-GPU) run draws the same vectors as a single device.
+class FillRandomKernel final : public gpusim::Kernel {
+ public:
+  FillRandomKernel(const MomentParams& params, std::size_t dim, std::size_t active_instances,
+                   gpusim::DeviceBuffer<double>& r0, std::size_t stream_offset = 0)
+      : params_(&params),
+        dim_(dim),
+        active_(active_instances),
+        r0_(&r0),
+        stream_offset_(stream_offset) {}
+
+  [[nodiscard]] const char* name() const override { return "kpm_fill_random"; }
+  void block_phase(int phase, gpusim::BlockContext& block) override;
+
+ private:
+  const MomentParams* params_;
+  std::size_t dim_;
+  std::size_t active_;
+  gpusim::DeviceBuffer<double>* r0_;
+  std::size_t stream_offset_;
+};
+
+/// Full Chebyshev recursion + per-moment dot products (paper steps (2),
+/// (2.1), (2.2)), one instance per *block*.
+class RecursionBlockKernel final : public gpusim::Kernel {
+ public:
+  RecursionBlockKernel(const MomentParams& params, DeviceMatrixRef h,
+                       std::size_t active_instances, std::size_t l2_cache_bytes,
+                       gpusim::DeviceBuffer<double>& r0, gpusim::DeviceBuffer<double>& work_a,
+                       gpusim::DeviceBuffer<double>& work_b,
+                       gpusim::DeviceBuffer<double>& mu_tilde)
+      : params_(&params),
+        h_(h),
+        active_(active_instances),
+        l2_bytes_(l2_cache_bytes),
+        r0_(&r0),
+        work_a_(&work_a),
+        work_b_(&work_b),
+        mu_tilde_(&mu_tilde) {}
+
+  [[nodiscard]] const char* name() const override { return "kpm_recursion_block"; }
+  void block_phase(int phase, gpusim::BlockContext& block) override;
+
+ private:
+  void meter_instance(gpusim::BlockContext& block) const;
+
+  const MomentParams* params_;
+  DeviceMatrixRef h_;
+  std::size_t active_;
+  std::size_t l2_bytes_;
+  gpusim::DeviceBuffer<double>* r0_;
+  gpusim::DeviceBuffer<double>* work_a_;
+  gpusim::DeviceBuffer<double>* work_b_;
+  gpusim::DeviceBuffer<double>* mu_tilde_;
+};
+
+/// Paired-moment variant of the block recursion: extracts mu~_{2k} and
+/// mu~_{2k+1} from <r_k|r_k> and <r_{k+1}|r_k> (Weisse et al. §II.D),
+/// halving the SpMV count for the same N — the GPU side of the
+/// ablation_moment_pairs study.  Functionally bit-identical to
+/// CpuPairedMomentEngine.
+class RecursionBlockPairedKernel final : public gpusim::Kernel {
+ public:
+  RecursionBlockPairedKernel(const MomentParams& params, DeviceMatrixRef h,
+                             std::size_t active_instances, std::size_t l2_cache_bytes,
+                             gpusim::DeviceBuffer<double>& r0,
+                             gpusim::DeviceBuffer<double>& work_a,
+                             gpusim::DeviceBuffer<double>& work_b,
+                             gpusim::DeviceBuffer<double>& mu_tilde)
+      : params_(&params),
+        h_(h),
+        active_(active_instances),
+        l2_bytes_(l2_cache_bytes),
+        r0_(&r0),
+        work_a_(&work_a),
+        work_b_(&work_b),
+        mu_tilde_(&mu_tilde) {}
+
+  [[nodiscard]] const char* name() const override { return "kpm_recursion_block_paired"; }
+  void block_phase(int phase, gpusim::BlockContext& block) override;
+
+ private:
+  void meter_instance(gpusim::BlockContext& block) const;
+
+  const MomentParams* params_;
+  DeviceMatrixRef h_;
+  std::size_t active_;
+  std::size_t l2_bytes_;
+  gpusim::DeviceBuffer<double>* r0_;
+  gpusim::DeviceBuffer<double>* work_a_;
+  gpusim::DeviceBuffer<double>* work_b_;
+  gpusim::DeviceBuffer<double>* mu_tilde_;
+};
+
+/// Same computation, one instance per *thread*.
+class RecursionThreadKernel final : public gpusim::Kernel {
+ public:
+  RecursionThreadKernel(const MomentParams& params, DeviceMatrixRef h,
+                        std::size_t active_instances, std::size_t l2_cache_bytes,
+                        gpusim::DeviceBuffer<double>& r0, gpusim::DeviceBuffer<double>& work_a,
+                        gpusim::DeviceBuffer<double>& work_b,
+                        gpusim::DeviceBuffer<double>& mu_tilde)
+      : params_(&params),
+        h_(h),
+        active_(active_instances),
+        l2_bytes_(l2_cache_bytes),
+        r0_(&r0),
+        work_a_(&work_a),
+        work_b_(&work_b),
+        mu_tilde_(&mu_tilde) {}
+
+  [[nodiscard]] const char* name() const override { return "kpm_recursion_thread"; }
+  void block_phase(int phase, gpusim::BlockContext& block) override;
+
+ private:
+  const MomentParams* params_;
+  DeviceMatrixRef h_;
+  std::size_t active_;
+  std::size_t l2_bytes_;
+  gpusim::DeviceBuffer<double>* r0_;
+  gpusim::DeviceBuffer<double>* work_a_;
+  gpusim::DeviceBuffer<double>* work_b_;
+  gpusim::DeviceBuffer<double>* mu_tilde_;
+};
+
+/// Averages mu~ over instances (paper step (3) / Fig. 4(b)):
+/// mu[n] = sum_k mu~[k][n] / (D * K).  Launch with one thread per moment.
+///
+/// Unlike the recursion kernels this one mixes instance-proportional work
+/// (the sum) with fixed work (one store per moment), so it meters its own
+/// cost against `modeled_instances` and must be launched with
+/// cost_scale = 1.
+class AverageMomentsKernel final : public gpusim::Kernel {
+ public:
+  AverageMomentsKernel(std::size_t num_moments, std::size_t dim, std::size_t active_instances,
+                       std::size_t modeled_instances,
+                       const gpusim::DeviceBuffer<double>& mu_tilde,
+                       gpusim::DeviceBuffer<double>& mu)
+      : n_(num_moments),
+        dim_(dim),
+        active_(active_instances),
+        modeled_(modeled_instances),
+        mu_tilde_(&mu_tilde),
+        mu_(&mu) {}
+
+  [[nodiscard]] const char* name() const override { return "kpm_average_moments"; }
+  void thread_phase(int phase, gpusim::ThreadContext& thread) override;
+
+ private:
+  std::size_t n_;
+  std::size_t dim_;
+  std::size_t active_;
+  std::size_t modeled_;
+  const gpusim::DeviceBuffer<double>* mu_tilde_;
+  gpusim::DeviceBuffer<double>* mu_;
+};
+
+namespace detail {
+
+/// Shared functional core: one instance's full recursion, writing mu~[n]
+/// for n in [0, N).  `r0` is the instance's random vector (read-only);
+/// `a` and `b` are its two work vectors.  Pure math on raw spans; metering
+/// is the caller's responsibility.
+void instance_recursion(const DeviceMatrixRef& h, std::span<const double> r0,
+                        std::span<double> a, std::span<double> b, std::span<double> mu_tilde,
+                        std::size_t num_moments);
+
+}  // namespace detail
+}  // namespace kpm::core

@@ -1,0 +1,56 @@
+#include "core/green.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "core/chebyshev.hpp"
+
+namespace kpm::core {
+
+std::vector<double> GreenCurve::spectral_function() const {
+  std::vector<double> a(green.size());
+  for (std::size_t j = 0; j < green.size(); ++j)
+    a[j] = -green[j].imag() / std::numbers::pi;
+  return a;
+}
+
+std::complex<double> evaluate_green_series(std::span<const double> damped, double x) {
+  KPM_REQUIRE(x > -1.0 && x < 1.0, "evaluate_green_series: x must lie inside (-1, 1)");
+  KPM_REQUIRE(!damped.empty(), "evaluate_green_series: no moments");
+  const double theta = std::acos(x);
+  // sum_n a_n exp(-i n theta), a_0 = g0 mu0, a_n = 2 g_n mu_n — evaluated
+  // via a complex Horner/Clenshaw-style accumulation on e^{-i theta}.
+  const std::complex<double> w(std::cos(theta), -std::sin(theta));
+  std::complex<double> acc(0.0, 0.0);
+  for (std::size_t k = damped.size(); k-- > 1;) acc = (acc + 2.0 * damped[k]) * w;
+  acc += damped[0];
+  // acc = a_0 + 2 sum_{n>=1} a_n e^{-i n theta}; G = -i acc / sqrt(1-x^2),
+  // whose imaginary part is -pi rho(x) by construction.
+  const std::complex<double> i_unit(0.0, 1.0);
+  return -i_unit * acc / std::sqrt(1.0 - x * x);
+}
+
+GreenCurve reconstruct_green(std::span<const double> mu,
+                             const linalg::SpectralTransform& transform,
+                             const GreenOptions& options) {
+  KPM_REQUIRE(!mu.empty(), "reconstruct_green: no moments");
+  const auto g = damping_coefficients(options.kernel, mu.size(), options.lorentz_lambda);
+  std::vector<double> damped(mu.size());
+  for (std::size_t k = 0; k < mu.size(); ++k) damped[k] = g[k] * mu[k];
+
+  const auto grid = chebyshev_gauss_grid(options.points);
+  GreenCurve curve;
+  curve.energy.resize(grid.size());
+  curve.green.resize(grid.size());
+  const double jac = transform.density_jacobian();
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    curve.energy[j] = transform.to_physical(grid[j]);
+    // The Jacobian maps the unit-interval density to the physical axis so
+    // that -Im G / pi integrates to 1 over omega.
+    curve.green[j] = evaluate_green_series(damped, grid[j]) * jac;
+  }
+  return curve;
+}
+
+}  // namespace kpm::core

@@ -1,0 +1,50 @@
+// Green's function reconstruction from Chebyshev moments.
+//
+// The retarded Green's function admits the same moment data as the DoS
+// (the paper's abstract cites "DoS and Green's functions" as the targets):
+//
+//   G(omega + i0+) -> G(x) = -2i / sqrt(1 - x^2) *
+//       sum_{n} g_n mu_n exp(-i n arccos x) / (1 + delta_{n0})
+//
+// whose imaginary part reproduces -pi rho(x), giving a built-in
+// cross-check, and whose real part is the Hilbert-transform partner
+// (Weisse et al. Eq. 74).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "core/damping.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace kpm::core {
+
+/// A reconstructed Green's function on a physical energy grid.
+struct GreenCurve {
+  std::vector<double> energy;
+  std::vector<std::complex<double>> green;  ///< G(omega + i0+), per-site normalized (trace / D)
+
+  /// Spectral function A(omega) = -Im G(omega) / pi (equals the DoS for
+  /// trace moments).
+  [[nodiscard]] std::vector<double> spectral_function() const;
+};
+
+/// Options of the Green's function reconstruction.
+struct GreenOptions {
+  DampingKernel kernel = DampingKernel::Jackson;
+  double lorentz_lambda = 4.0;
+  std::size_t points = 512;
+};
+
+/// Evaluates G at one Chebyshev coordinate x in (-1, 1) from damped
+/// products g_n mu_n (pre-multiplied).
+[[nodiscard]] std::complex<double> evaluate_green_series(std::span<const double> damped, double x);
+
+/// Reconstructs G(omega) on the Chebyshev-Gauss grid mapped to physical
+/// energies (Jacobian applied, so Im G integrates like a physical DoS).
+[[nodiscard]] GreenCurve reconstruct_green(std::span<const double> mu,
+                                           const linalg::SpectralTransform& transform,
+                                           const GreenOptions& options = {});
+
+}  // namespace kpm::core

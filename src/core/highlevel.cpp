@@ -1,0 +1,80 @@
+#include "core/highlevel.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/moments_cpu.hpp"
+#include "core/moments_multigpu.hpp"
+#include "diag/lanczos.hpp"
+
+namespace kpm::core {
+
+const char* to_string(EngineKind k) noexcept {
+  switch (k) {
+    case EngineKind::CpuReference:
+      return "cpu-reference";
+    case EngineKind::CpuPaired:
+      return "cpu-paired";
+    case EngineKind::Gpu:
+      return "gpu";
+    case EngineKind::GpuCluster:
+      return "gpu-cluster";
+  }
+  return "?";
+}
+
+DosStudy compute_dos_study(const linalg::MatrixOperator& h, const DosStudyOptions& options) {
+  options.params.validate();
+
+  // 1. Spectral bounds and transform.
+  const linalg::SpectralBounds bounds = options.use_lanczos_bounds
+                                            ? diag::lanczos_bounds(h).bounds
+                                            : linalg::gershgorin_bounds(h);
+  DosStudy study;
+  study.transform = linalg::SpectralTransform(bounds, options.bounds_epsilon);
+
+  // 2. Rescale, keeping ownership of the storage that matches the input.
+  linalg::DenseMatrix dense_tilde;
+  linalg::CrsMatrix crs_tilde;
+  std::unique_ptr<linalg::MatrixOperator> op_tilde;
+  if (h.storage() == linalg::Storage::Dense) {
+    dense_tilde = linalg::rescale(*h.dense(), study.transform);
+    op_tilde = std::make_unique<linalg::MatrixOperator>(dense_tilde);
+  } else {
+    crs_tilde = linalg::rescale(*h.crs(), study.transform);
+    op_tilde = std::make_unique<linalg::MatrixOperator>(crs_tilde);
+  }
+
+  // 3. Moments on the chosen engine.
+  switch (options.engine) {
+    case EngineKind::CpuReference: {
+      CpuMomentEngine engine;
+      study.moments = engine.compute(*op_tilde, options.params, options.sample_instances);
+      break;
+    }
+    case EngineKind::CpuPaired: {
+      CpuPairedMomentEngine engine;
+      study.moments = engine.compute(*op_tilde, options.params, options.sample_instances);
+      break;
+    }
+    case EngineKind::Gpu: {
+      GpuMomentEngine engine(options.gpu);
+      study.moments = engine.compute(*op_tilde, options.params, options.sample_instances);
+      break;
+    }
+    case EngineKind::GpuCluster: {
+      MultiGpuEngineConfig cfg;
+      cfg.per_device = options.gpu;
+      cfg.device_count = options.cluster_devices;
+      MultiGpuMomentEngine engine(cfg);
+      study.moments = engine.compute(*op_tilde, options.params, options.sample_instances);
+      break;
+    }
+  }
+
+  // 4. Reconstruction.
+  study.curve = reconstruct_dos(study.moments.mu, study.transform, options.reconstruct);
+  return study;
+}
+
+}  // namespace kpm::core

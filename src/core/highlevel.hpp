@@ -1,0 +1,56 @@
+// One-call high-level API: Hamiltonian in, DoS out.
+//
+// The lower-level API exposes every pipeline stage (bounds, rescaling,
+// engines, reconstruction) for control and testing; most callers just
+// want the paper's end result.  `compute_dos_study` owns the intermediate
+// rescaled matrix internally, picks the requested engine, and returns the
+// moments, the curve, and the timing in one struct.
+#pragma once
+
+#include <cstddef>
+
+#include "core/moments.hpp"
+#include "core/moments_gpu.hpp"
+#include "core/reconstruct.hpp"
+#include "linalg/operator.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace kpm::core {
+
+/// Which execution engine a study runs on.
+enum class EngineKind {
+  CpuReference,  ///< serial CPU (paper's baseline)
+  CpuPaired,     ///< two-moments-per-SpMV CPU
+  Gpu,           ///< simulated GPU (paper's contribution)
+  GpuCluster,    ///< simulated multi-GPU cluster (paper's future work)
+};
+
+/// Returns "cpu-reference", "cpu-paired", "gpu" or "gpu-cluster".
+const char* to_string(EngineKind k) noexcept;
+
+/// Options of a one-call DoS study.
+struct DosStudyOptions {
+  MomentParams params{};
+  ReconstructOptions reconstruct{};
+  EngineKind engine = EngineKind::Gpu;
+  GpuEngineConfig gpu{};              ///< used by Gpu / GpuCluster
+  std::size_t cluster_devices = 4;    ///< used by GpuCluster
+  std::size_t sample_instances = 0;   ///< 0 = execute all instances
+  double bounds_epsilon = 0.01;       ///< spectral padding
+  bool use_lanczos_bounds = false;    ///< tighter bounds via Lanczos instead of Gershgorin
+};
+
+/// Everything a DoS study produces.
+struct DosStudy {
+  linalg::SpectralTransform transform{{-1.0, 1.0}, 0.0};
+  MomentResult moments;
+  DosCurve curve;
+};
+
+/// Runs the full pipeline on the UNSCALED Hamiltonian `h`:
+/// bounds -> H~ -> stochastic moments on the chosen engine -> Jackson (or
+/// chosen kernel) reconstruction.  Works for dense and CRS operators.
+[[nodiscard]] DosStudy compute_dos_study(const linalg::MatrixOperator& h,
+                                         const DosStudyOptions& options = {});
+
+}  // namespace kpm::core

@@ -1,0 +1,101 @@
+#include "core/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace kpm::core {
+namespace {
+
+constexpr const char* kMagic = "kpm-moments v1";
+
+double parse_double(const std::string& token, const char* field) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(token, &consumed);
+    KPM_REQUIRE(consumed == token.size(), std::string("trailing characters in ") + field);
+    return v;
+  } catch (const kpm::Error&) {
+    throw;
+  } catch (const std::exception&) {
+    KPM_FAIL(std::string("moment file: cannot parse ") + field + " from '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void save_moments(const std::string& path, const MomentFile& data) {
+  KPM_REQUIRE(!data.mu.empty(), "save_moments: no moments to save");
+  KPM_REQUIRE(data.transform_half_width > 0.0, "save_moments: invalid transform");
+  std::ofstream f(path);
+  KPM_REQUIRE(f.good(), "save_moments: cannot open " + path);
+
+  char buf[64];
+  f << kMagic << '\n';
+  f << "dim " << data.dim << '\n';
+  std::snprintf(buf, sizeof(buf), "%.17g %.17g", data.transform_center,
+                data.transform_half_width);
+  f << "transform " << buf << '\n';
+  f << "engine " << (data.engine.empty() ? "unknown" : data.engine) << '\n';
+  f << "count " << data.mu.size() << '\n';
+  for (double m : data.mu) {
+    std::snprintf(buf, sizeof(buf), "%.17g", m);
+    f << buf << '\n';
+  }
+  KPM_REQUIRE(f.good(), "save_moments: write failure on " + path);
+}
+
+MomentFile load_moments(const std::string& path) {
+  std::ifstream f(path);
+  KPM_REQUIRE(f.good(), "load_moments: cannot open " + path);
+
+  std::string line;
+  KPM_REQUIRE(std::getline(f, line) && line == kMagic,
+              "load_moments: not a kpm-moments v1 file: " + path);
+
+  MomentFile data;
+  std::size_t count = 0;
+  bool have_dim = false, have_transform = false, have_count = false;
+  while (std::getline(f, line)) {
+    std::istringstream is(line);
+    std::string key;
+    is >> key;
+    if (key == "dim") {
+      is >> data.dim;
+      KPM_REQUIRE(!is.fail(), "load_moments: malformed dim line");
+      have_dim = true;
+    } else if (key == "transform") {
+      std::string a, b;
+      is >> a >> b;
+      KPM_REQUIRE(!is.fail(), "load_moments: malformed transform line");
+      data.transform_center = parse_double(a, "transform center");
+      data.transform_half_width = parse_double(b, "transform half width");
+      KPM_REQUIRE(data.transform_half_width > 0.0,
+                  "load_moments: non-positive transform half width");
+      have_transform = true;
+    } else if (key == "engine") {
+      is >> data.engine;
+    } else if (key == "count") {
+      is >> count;
+      KPM_REQUIRE(!is.fail() && count > 0, "load_moments: malformed count line");
+      have_count = true;
+      break;  // moment list follows
+    } else {
+      KPM_FAIL("load_moments: unknown header field '" + key + "'");
+    }
+  }
+  KPM_REQUIRE(have_dim && have_transform && have_count,
+              "load_moments: missing header fields (need dim, transform, count)");
+
+  data.mu.reserve(count);
+  while (data.mu.size() < count && std::getline(f, line)) {
+    if (line.empty()) continue;
+    data.mu.push_back(parse_double(line, "moment"));
+  }
+  KPM_REQUIRE(data.mu.size() == count, "load_moments: truncated moment list in " + path);
+  return data;
+}
+
+}  // namespace kpm::core

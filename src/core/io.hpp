@@ -1,0 +1,52 @@
+// Persistence for KPM moment data.
+//
+// Computing moments is the expensive step (hours on the paper's scale);
+// reconstruction is free.  This module stores a moment set together with
+// the spectral transform that produced it in a small, versioned,
+// line-oriented text format, so kernels/grids/observables can be swapped
+// offline (kpmcli dos --save-moments / kpmcli reconstruct).
+//
+// Format ("kpm-moments v1"):
+//
+//   kpm-moments v1
+//   dim <D>
+//   transform <center> <half_width>
+//   engine <name>
+//   count <N>
+//   <mu_0>
+//   ...
+//   <mu_{N-1}>
+//
+// Doubles are written with %.17g and round-trip exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/spectral_transform.hpp"
+
+namespace kpm::core {
+
+/// A moment set as stored on disk.
+struct MomentFile {
+  std::vector<double> mu;
+  double transform_center = 0.0;
+  double transform_half_width = 1.0;
+  std::size_t dim = 0;          ///< D of the Hamiltonian (metadata)
+  std::string engine = "unknown";
+
+  /// Rebuilds the spectral transform (already padded — epsilon 0).
+  [[nodiscard]] linalg::SpectralTransform transform() const {
+    return linalg::SpectralTransform(
+        {transform_center - transform_half_width, transform_center + transform_half_width}, 0.0);
+  }
+};
+
+/// Writes `data` to `path`; throws kpm::Error on I/O failure.
+void save_moments(const std::string& path, const MomentFile& data);
+
+/// Reads a moment file; throws kpm::Error on malformed input (wrong magic,
+/// missing fields, truncated moment list, non-numeric values).
+[[nodiscard]] MomentFile load_moments(const std::string& path);
+
+}  // namespace kpm::core

@@ -1,0 +1,55 @@
+// Umbrella header: the full public API of the KPM library.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto lat = kpm::lattice::HypercubicLattice::cubic(10, 10, 10);
+//   auto h   = kpm::lattice::build_tight_binding_crs(lat);
+//   kpm::linalg::MatrixOperator op(h);
+//   auto t   = kpm::linalg::make_spectral_transform(op);
+//   auto ht  = kpm::linalg::rescale(h, t);
+//   kpm::linalg::MatrixOperator op_t(ht);
+//
+//   kpm::core::MomentParams params{.num_moments = 512};
+//   kpm::core::GpuMomentEngine engine;            // simulated Tesla C2050
+//   auto moments = engine.compute(op_t, params);
+//   auto dos = kpm::core::reconstruct_dos(moments.mu, t);
+#pragma once
+
+#include "core/chebyshev.hpp"
+#include "core/conductivity.hpp"
+#include "core/conductivity_gpu.hpp"
+#include "core/damping.hpp"
+#include "core/estimator_stats.hpp"
+#include "core/evolution.hpp"
+#include "core/green.hpp"
+#include "core/disorder_study.hpp"
+#include "core/highlevel.hpp"
+#include "core/io.hpp"
+#include "core/ldos.hpp"
+#include "core/ldos_gpu.hpp"
+#include "core/moments.hpp"
+#include "core/moments_cpu.hpp"
+#include "core/moments_f32.hpp"
+#include "core/moments_gpu.hpp"
+#include "core/moments_gpu_chunked.hpp"
+#include "core/moments_hermitian.hpp"
+#include "core/moments_hermitian_gpu.hpp"
+#include "core/moments_multigpu.hpp"
+#include "core/params.hpp"
+#include "core/reconstruct.hpp"
+#include "core/spectral_filter.hpp"
+#include "core/thermodynamics.hpp"
+#include "diag/haydock.hpp"
+#include "diag/jacobi.hpp"
+#include "diag/lanczos.hpp"
+#include "diag/level_statistics.hpp"
+#include "diag/spectrum_utils.hpp"
+#include "diag/tridiag.hpp"
+#include "lattice/current.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/honeycomb.hpp"
+#include "lattice/lattice.hpp"
+#include "lattice/peierls.hpp"
+#include "linalg/gershgorin.hpp"
+#include "linalg/operator.hpp"
+#include "linalg/spectral_transform.hpp"

@@ -1,0 +1,68 @@
+#include "core/ldos.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace kpm::core {
+namespace {
+
+/// One Chebyshev recursion from start vector `r0`, accumulating
+/// mu_n += <r0|r_n> into `mu_acc`.
+void accumulate_recursion_moments(const linalg::MatrixOperator& h, std::span<const double> r0,
+                                  std::span<double> mu_acc) {
+  const std::size_t d = h.dim();
+  const std::size_t n = mu_acc.size();
+  std::vector<double> r_prev2(r0.begin(), r0.end());
+  std::vector<double> r_prev(d), r_next(d);
+
+  mu_acc[0] += linalg::dot(r0, r0);
+  if (n == 1) return;
+  h.multiply(r0, r_prev);
+  mu_acc[1] += linalg::dot(r0, r_prev);
+  for (std::size_t k = 2; k < n; ++k) {
+    h.multiply(r_prev, r_next);
+    linalg::chebyshev_combine(r_next, r_prev2, r_next);
+    mu_acc[k] += linalg::dot(r0, r_next);
+    std::swap(r_prev2, r_prev);
+    std::swap(r_prev, r_next);
+  }
+}
+
+}  // namespace
+
+std::vector<double> ldos_moments(const linalg::MatrixOperator& h_tilde, std::size_t site,
+                                 std::size_t num_moments) {
+  KPM_REQUIRE(site < h_tilde.dim(), "ldos_moments: site out of range");
+  KPM_REQUIRE(num_moments >= 1, "ldos_moments: need at least one moment");
+  std::vector<double> e(h_tilde.dim(), 0.0);
+  e[site] = 1.0;
+  std::vector<double> mu(num_moments, 0.0);
+  accumulate_recursion_moments(h_tilde, e, mu);
+  return mu;
+}
+
+DosCurve ldos_curve(const linalg::MatrixOperator& h_tilde,
+                    const linalg::SpectralTransform& transform, std::size_t site,
+                    std::size_t num_moments, const ReconstructOptions& options) {
+  const auto mu = ldos_moments(h_tilde, site, num_moments);
+  return reconstruct_dos(mu, transform, options);
+}
+
+std::vector<double> deterministic_trace_moments(const linalg::MatrixOperator& h_tilde,
+                                                std::size_t num_moments) {
+  KPM_REQUIRE(num_moments >= 1, "deterministic_trace_moments: need at least one moment");
+  const std::size_t d = h_tilde.dim();
+  std::vector<double> e(d, 0.0);
+  std::vector<double> mu(num_moments, 0.0);
+  for (std::size_t site = 0; site < d; ++site) {
+    e.assign(d, 0.0);
+    e[site] = 1.0;
+    accumulate_recursion_moments(h_tilde, e, mu);
+  }
+  for (double& m : mu) m /= static_cast<double>(d);
+  return mu;
+}
+
+}  // namespace kpm::core

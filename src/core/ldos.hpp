@@ -1,0 +1,35 @@
+// Local density of states (LDOS) via deterministic KPM moments.
+//
+// The LDOS at site i replaces the stochastic trace by a single unit start
+// vector |i>:  mu_n^i = <i| T_n(H~) |i>.  No averaging, no stochastic
+// error — just one Chebyshev recursion per site.  Useful for impurity /
+// disorder studies (the anderson_disorder example) and as a deterministic
+// validation path for the recursion machinery.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/reconstruct.hpp"
+#include "linalg/operator.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace kpm::core {
+
+/// Computes the N deterministic moments mu_n^site = <site|T_n(H~)|site>.
+[[nodiscard]] std::vector<double> ldos_moments(const linalg::MatrixOperator& h_tilde,
+                                               std::size_t site, std::size_t num_moments);
+
+/// Convenience: reconstructs the LDOS curve at `site`.
+[[nodiscard]] DosCurve ldos_curve(const linalg::MatrixOperator& h_tilde,
+                                  const linalg::SpectralTransform& transform, std::size_t site,
+                                  std::size_t num_moments, const ReconstructOptions& options = {});
+
+/// Deterministic full-trace moments: mu_n = (1/D) sum_i <i|T_n(H~)|i>,
+/// exact (up to roundoff) but O(D) recursions — the "R = D basis vectors"
+/// limit of the stochastic estimator.  Ground truth for estimator tests.
+[[nodiscard]] std::vector<double> deterministic_trace_moments(const linalg::MatrixOperator& h_tilde,
+                                                              std::size_t num_moments);
+
+}  // namespace kpm::core

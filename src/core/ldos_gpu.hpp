@@ -1,0 +1,51 @@
+// GPU-mapped LDOS maps: many sites, one launch.
+//
+// Site-resolved spectral maps (the STM-simulation workload) need one
+// deterministic Chebyshev recursion per site.  The sites are independent,
+// so they map onto the device exactly like stochastic instances: one
+// block per site, the same recursion kernel, no averaging step.  The
+// result is the full (site x moment) matrix from which any number of
+// LDOS curves reconstruct for free.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/moments_gpu.hpp"
+#include "linalg/operator.hpp"
+
+namespace kpm::core {
+
+/// Moments of many sites: mu[site_index * num_moments + n].
+struct LdosMoments {
+  std::vector<std::size_t> sites;  ///< the requested site ids, in order
+  std::size_t num_moments = 0;
+  std::vector<double> mu;
+
+  [[nodiscard]] std::span<const double> site_moments(std::size_t k) const {
+    return std::span<const double>(mu).subspan(k * num_moments, num_moments);
+  }
+};
+
+/// Computes LDOS moments for every site in `sites` on the simulated GPU.
+/// Results are bit-identical to per-site core::ldos_moments().
+class GpuLdosEngine {
+ public:
+  explicit GpuLdosEngine(GpuEngineConfig config = {});
+
+  [[nodiscard]] std::string name() const { return "gpu-ldos-site-per-block"; }
+
+  [[nodiscard]] LdosMoments compute(const linalg::MatrixOperator& h_tilde,
+                                    std::span<const std::size_t> sites,
+                                    std::size_t num_moments);
+
+  /// Simulated seconds of the last compute().
+  [[nodiscard]] double last_model_seconds() const noexcept { return last_model_seconds_; }
+
+ private:
+  GpuEngineConfig config_;
+  double last_model_seconds_ = 0.0;
+};
+
+}  // namespace kpm::core

@@ -1,0 +1,65 @@
+// Moment-engine interface and result type.
+//
+// A moment engine evaluates the KPM moments mu_n = (1/D) Tr[T_n(H~)]
+// stochastically (paper Eqs. 16-19) on some execution platform: the serial
+// CPU reference, the paired-moment CPU optimization, or the simulated GPU.
+// Engines report both *functional* output (the moments) and *cost* output
+// (modeled seconds on the platform they represent, plus the real host time
+// of the run).
+//
+// Instance sampling: engines can be asked to execute only the first K of
+// the S*R instances functionally and extrapolate the cost to all instances
+// (exact, because per-instance operation counts are identical for a fixed
+// matrix; see DESIGN.md §2).  K = 0 means "execute all".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "linalg/operator.hpp"
+
+namespace kpm::core {
+
+/// Output of one moment computation.
+struct MomentResult {
+  /// mu[n] ~ (1/D) Tr[T_n(H~)], averaged over the executed instances.
+  std::vector<double> mu;
+
+  std::size_t instances_executed = 0;  ///< functionally executed instances
+  std::size_t instances_total = 0;     ///< S*R the cost model accounts for
+
+  /// Simulated seconds on the modeled platform, extrapolated to
+  /// instances_total.  The number every fig* bench reports.
+  double model_seconds = 0.0;
+  /// Real wall-clock seconds of the functional execution on the host
+  /// (depends on the build machine; secondary diagnostic only).
+  double wall_seconds = 0.0;
+
+  // Model-time breakdown (all platforms; transfer/allocation stay 0 for CPU
+  // engines).
+  double compute_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double allocation_seconds = 0.0;
+
+  std::string engine;  ///< engine name for reports
+};
+
+/// Abstract moment engine.
+class MomentEngine {
+ public:
+  virtual ~MomentEngine() = default;
+
+  /// Platform/algorithm label, e.g. "cpu-reference" or "gpu-instance-per-thread".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Computes moments of the rescaled operator `h_tilde` (spectrum inside
+  /// [-1, 1]).  `sample_instances` = 0 executes all S*R instances; K > 0
+  /// executes min(K, S*R) and extrapolates the cost.
+  [[nodiscard]] virtual MomentResult compute(const linalg::MatrixOperator& h_tilde,
+                                             const MomentParams& params,
+                                             std::size_t sample_instances = 0) = 0;
+};
+
+}  // namespace kpm::core

@@ -1,0 +1,238 @@
+#include "core/moments_cpu.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "cpumodel/roofline.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/distributions.hpp"
+
+namespace kpm::core {
+namespace {
+
+/// Per-moment-step CPU workload for one instance: SpMV + Chebyshev combine
+/// + dot product.  Reused by both engines' cost accounting.
+cpumodel::CpuWorkload step_workload(const linalg::MatrixOperator& op, std::size_t dots) {
+  const auto d = static_cast<double>(op.dim());
+  cpumodel::CpuWorkload w;
+  // SpMV: 2 flops per stored entry; streams matrix bytes + x read + y write.
+  w.flops = static_cast<double>(op.spmv_flops());
+  w.bytes_streamed = static_cast<double>(op.spmv_matrix_bytes()) + 2.0 * d * sizeof(double);
+  // Chebyshev combine next = 2 hx - prev: 2 flops/element, 2 reads 1 write.
+  w.flops += 2.0 * d;
+  w.bytes_streamed += 3.0 * d * sizeof(double);
+  // Dot products: 2 flops/element, 2 reads each.
+  w.flops += 2.0 * d * static_cast<double>(dots);
+  w.bytes_streamed += 2.0 * d * sizeof(double) * static_cast<double>(dots);
+  // Working set per pass: the matrix plus the four live vectors.
+  w.working_set_bytes =
+      static_cast<double>(op.spmv_matrix_bytes()) + 4.0 * d * sizeof(double);
+  return w;
+}
+
+/// Functional core shared by the serial and parallel CPU engines: runs the
+/// reference recursion for instances [0, executed) accumulating mu~ sums.
+void run_reference_recursion(const linalg::MatrixOperator& h_tilde, const MomentParams& params,
+                             std::size_t executed, std::vector<double>& mu_sum) {
+  const std::size_t d = h_tilde.dim();
+  const std::size_t n = params.num_moments;
+  std::vector<double> r0(d), r_prev2(d), r_prev(d), r_next(d);
+
+  for (std::size_t inst = 0; inst < executed; ++inst) {
+    fill_random_vector(params, inst, r0);
+
+    mu_sum[0] += linalg::dot(r0, r0);
+    h_tilde.multiply(r0, r_prev);
+    if (n > 1) mu_sum[1] += linalg::dot(r0, r_prev);
+    linalg::copy(r0, r_prev2);
+
+    for (std::size_t k = 2; k < n; ++k) {
+      h_tilde.multiply(r_prev, r_next);
+      linalg::chebyshev_combine(r_next, r_prev2, r_next);
+      mu_sum[k] += linalg::dot(r0, r_next);
+      std::swap(r_prev2, r_prev);
+      std::swap(r_prev, r_next);
+    }
+  }
+}
+
+/// Total reference-engine workload for `total` instances of N moments.
+cpumodel::CpuWorkload reference_workload(const linalg::MatrixOperator& op, std::size_t n,
+                                         std::size_t total) {
+  const auto dd = static_cast<double>(op.dim());
+  const cpumodel::CpuWorkload per_step = step_workload(op, /*dots=*/1);
+  cpumodel::CpuWorkload instance_work;
+  instance_work.flops = 10.0 * dd + 2.0 * dd;
+  instance_work.bytes_streamed = 2.0 * dd * sizeof(double);
+  instance_work.working_set_bytes = per_step.working_set_bytes;
+  for (std::size_t k = 1; k < n; ++k) instance_work += per_step;
+  instance_work.scale(static_cast<double>(total));
+  return instance_work;
+}
+
+}  // namespace
+
+void fill_random_vector(const MomentParams& params, std::uint64_t stream, std::span<double> r0) {
+  for (std::size_t i = 0; i < r0.size(); ++i)
+    r0[i] = rng::draw_random_element(params.vector_kind, params.seed, stream, i);
+}
+
+std::size_t resolve_sample_count(std::size_t sample, std::size_t total) {
+  KPM_REQUIRE(total > 0, "moment computation needs at least one instance");
+  if (sample == 0 || sample > total) return total;
+  return sample;
+}
+
+CpuMomentEngine::CpuMomentEngine(cpumodel::CpuSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+MomentResult CpuMomentEngine::compute(const linalg::MatrixOperator& h_tilde,
+                                      const MomentParams& params, std::size_t sample_instances) {
+  params.validate();
+  const std::size_t d = h_tilde.dim();
+  const std::size_t n = params.num_moments;
+  const std::size_t total = params.instances();
+  const std::size_t executed = resolve_sample_count(sample_instances, total);
+
+  Stopwatch wall;
+  std::vector<double> mu_sum(n, 0.0);
+  // Steps (1), (2), (2.1), (2.2) of the paper's Fig. 3 per instance.
+  run_reference_recursion(h_tilde, params, executed, mu_sum);
+
+  MomentResult result;
+  result.engine = name();
+  result.instances_executed = executed;
+  result.instances_total = total;
+  result.wall_seconds = wall.seconds();
+
+  // (3) Average: mu_n = sum / (D * instances).  Plain division (not a
+  // reciprocal multiply) so the GPU averaging kernel matches bit-for-bit.
+  result.mu.resize(n);
+  const double denom = static_cast<double>(d) * static_cast<double>(executed);
+  for (std::size_t k = 0; k < n; ++k) result.mu[k] = mu_sum[k] / denom;
+
+  // Cost model: see reference_workload() — fill + mu~_0 dot + (N - 1)
+  // steps of SpMV + combine + dot per instance (charging the combine-free
+  // k = 1 step uniformly overstates work by 2D flops out of O(N * nnz)).
+  const cpumodel::CpuStats stats =
+      cpumodel::model_cpu_time(spec_, reference_workload(h_tilde, n, total));
+  result.model_seconds = stats.seconds;
+  result.compute_seconds = stats.compute_seconds;
+  return result;
+}
+
+CpuParallelMomentEngine::CpuParallelMomentEngine(int threads, cpumodel::CpuSpec spec)
+    : threads_(threads), spec_(std::move(spec)) {
+  spec_.validate();
+  KPM_REQUIRE(threads >= 1, "CpuParallelMomentEngine: need at least one thread");
+}
+
+MomentResult CpuParallelMomentEngine::compute(const linalg::MatrixOperator& h_tilde,
+                                              const MomentParams& params,
+                                              std::size_t sample_instances) {
+  params.validate();
+  const std::size_t d = h_tilde.dim();
+  const std::size_t n = params.num_moments;
+  const std::size_t total = params.instances();
+  const std::size_t executed = resolve_sample_count(sample_instances, total);
+
+  Stopwatch wall;
+  std::vector<double> mu_sum(n, 0.0);
+  run_reference_recursion(h_tilde, params, executed, mu_sum);
+
+  MomentResult result;
+  result.engine = name();
+  result.instances_executed = executed;
+  result.instances_total = total;
+  result.wall_seconds = wall.seconds();
+  result.mu.resize(n);
+  const double denom = static_cast<double>(d) * static_cast<double>(executed);
+  for (std::size_t k = 0; k < n; ++k) result.mu[k] = mu_sum[k] / denom;
+
+  const cpumodel::CpuStats stats = cpumodel::model_cpu_time_parallel(
+      spec_, reference_workload(h_tilde, n, total), threads_);
+  result.model_seconds = stats.seconds;
+  result.compute_seconds = stats.compute_seconds;
+  return result;
+}
+
+CpuPairedMomentEngine::CpuPairedMomentEngine(cpumodel::CpuSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+MomentResult CpuPairedMomentEngine::compute(const linalg::MatrixOperator& h_tilde,
+                                            const MomentParams& params,
+                                            std::size_t sample_instances) {
+  params.validate();
+  const std::size_t d = h_tilde.dim();
+  const std::size_t n = params.num_moments;
+  const std::size_t total = params.instances();
+  const std::size_t executed = resolve_sample_count(sample_instances, total);
+
+  Stopwatch wall;
+  std::vector<double> mu_sum(n, 0.0);
+  std::vector<double> r0(d), r_prev2(d), r_prev(d), r_next(d);
+
+  // Moments n = 0..N-1 from Chebyshev vectors up to index ceil(N/2):
+  // the k-th iteration (k >= 1) yields mu_{2k} and mu_{2k+1}.
+  const std::size_t half = (n + 1) / 2;
+
+  for (std::size_t inst = 0; inst < executed; ++inst) {
+    fill_random_vector(params, inst, r0);
+
+    const double mu0 = linalg::dot(r0, r0);
+    mu_sum[0] += mu0;
+    h_tilde.multiply(r0, r_prev);  // r_1
+    const double mu1 = linalg::dot(r0, r_prev);
+    if (n > 1) mu_sum[1] += mu1;
+    linalg::copy(r0, r_prev2);  // r_0
+
+    for (std::size_t k = 1; k < half; ++k) {
+      // Here r_prev = r_k, r_prev2 = r_{k-1}.
+      // mu_{2k} = 2 <r_k|r_k> - mu_0.
+      const std::size_t even = 2 * k;
+      if (even < n) mu_sum[even] += 2.0 * linalg::dot(r_prev, r_prev) - mu0;
+
+      // Advance: r_{k+1} = 2 H~ r_k - r_{k-1}.
+      h_tilde.multiply(r_prev, r_next);
+      linalg::chebyshev_combine(r_next, r_prev2, r_next);
+
+      // mu_{2k+1} = 2 <r_{k+1}|r_k> - mu_1.
+      const std::size_t odd = 2 * k + 1;
+      if (odd < n) mu_sum[odd] += 2.0 * linalg::dot(r_next, r_prev) - mu1;
+
+      std::swap(r_prev2, r_prev);
+      std::swap(r_prev, r_next);
+    }
+  }
+
+  MomentResult result;
+  result.engine = name();
+  result.instances_executed = executed;
+  result.instances_total = total;
+  result.wall_seconds = wall.seconds();
+
+  result.mu.resize(n);
+  const double denom = static_cast<double>(d) * static_cast<double>(executed);
+  for (std::size_t k = 0; k < n; ++k) result.mu[k] = mu_sum[k] / denom;
+
+  // Cost: fill + mu0/mu1 dots + (half - 1) steps of SpMV + combine + 2 dots.
+  const auto dd = static_cast<double>(d);
+  cpumodel::CpuWorkload instance_work;
+  instance_work.flops = 10.0 * dd + 4.0 * dd;
+  instance_work.bytes_streamed = 3.0 * dd * sizeof(double);
+  const cpumodel::CpuWorkload per_step = step_workload(h_tilde, /*dots=*/2);
+  instance_work.working_set_bytes = per_step.working_set_bytes;
+  for (std::size_t k = 1; k < half; ++k) instance_work += per_step;
+  instance_work.scale(static_cast<double>(total));
+
+  const cpumodel::CpuStats stats = cpumodel::model_cpu_time(spec_, instance_work);
+  result.model_seconds = stats.seconds;
+  result.compute_seconds = stats.compute_seconds;
+  return result;
+}
+
+}  // namespace kpm::core

@@ -1,0 +1,89 @@
+// CPU moment engines.
+//
+// `CpuMomentEngine` is the faithful serial reference of the paper's Fig. 3
+// algorithm: per instance, |r0> = |r>, |r1> = H~|r0>, |r_n> = 2 H~ |r_{n-1}>
+// - |r_{n-2}>, mu~_n = <r0|r_n>, averaged over all instances.  It is the
+// ground truth every other engine is tested against, and its operation
+// counts drive the Core i7-930 roofline model that stands in for the
+// paper's measured CPU times.
+//
+// `CpuPairedMomentEngine` implements the standard KPM optimization (Weisse
+// et al. §II.D, the paper's Ref. [10]) of extracting two moments per matrix
+// -vector product via
+//     mu~_{2n}   = 2 <r_n | r_n>     - mu~_0
+//     mu~_{2n+1} = 2 <r_{n+1} | r_n> - mu~_1
+// halving the SpMV count for the same N — the ablation the
+// `ablation_moment_pairs` bench quantifies.
+#pragma once
+
+#include "cpumodel/cpu_spec.hpp"
+#include "core/moments.hpp"
+
+namespace kpm::core {
+
+/// Serial reference engine (one moment per SpMV).
+class CpuMomentEngine final : public MomentEngine {
+ public:
+  explicit CpuMomentEngine(cpumodel::CpuSpec spec = cpumodel::CpuSpec::core_i7_930());
+
+  [[nodiscard]] std::string name() const override { return "cpu-reference"; }
+
+  [[nodiscard]] MomentResult compute(const linalg::MatrixOperator& h_tilde,
+                                     const MomentParams& params,
+                                     std::size_t sample_instances = 0) override;
+
+ private:
+  cpumodel::CpuSpec spec_;
+};
+
+/// Paired-moment engine (two moments per SpMV).
+class CpuPairedMomentEngine final : public MomentEngine {
+ public:
+  explicit CpuPairedMomentEngine(cpumodel::CpuSpec spec = cpumodel::CpuSpec::core_i7_930());
+
+  [[nodiscard]] std::string name() const override { return "cpu-paired"; }
+
+  [[nodiscard]] MomentResult compute(const linalg::MatrixOperator& h_tilde,
+                                     const MomentParams& params,
+                                     std::size_t sample_instances = 0) override;
+
+ private:
+  cpumodel::CpuSpec spec_;
+};
+
+/// Multithreaded CPU engine — the paper's §V "shared memory paradigm"
+/// future work.  The three-term recursion itself is sequential (the
+/// fine-grain parallelization problem the paper describes), so this engine
+/// parallelizes across the S*R independent instances, which is the
+/// coarse-grain decomposition OpenMP would use.  Functional results are
+/// identical to the serial reference (same instances, same order of the
+/// final reduction); the cost model scales compute with cores and
+/// saturates shared bandwidth, exposing why the 2011 answer was "buy a
+/// GPU" rather than "use four cores" for the DRAM-bound sizes.
+class CpuParallelMomentEngine final : public MomentEngine {
+ public:
+  explicit CpuParallelMomentEngine(int threads,
+                                   cpumodel::CpuSpec spec = cpumodel::CpuSpec::core_i7_930());
+
+  [[nodiscard]] std::string name() const override {
+    return "cpu-parallel-x" + std::to_string(threads_);
+  }
+
+  [[nodiscard]] MomentResult compute(const linalg::MatrixOperator& h_tilde,
+                                     const MomentParams& params,
+                                     std::size_t sample_instances = 0) override;
+
+ private:
+  int threads_;
+  cpumodel::CpuSpec spec_;
+};
+
+/// Shared helper: fills `r0` with the instance's random vector elements
+/// xi_{stream, i} (counter-based; identical across engines and platforms).
+void fill_random_vector(const MomentParams& params, std::uint64_t stream, std::span<double> r0);
+
+/// Resolves the sampling request: returns min(sample == 0 ? total : sample,
+/// total) and requires total > 0.
+[[nodiscard]] std::size_t resolve_sample_count(std::size_t sample, std::size_t total);
+
+}  // namespace kpm::core

@@ -1,0 +1,33 @@
+// Single-precision moment engine — the precision ablation.
+//
+// The paper stresses that "all KPM calculations are performed with double
+// precision"; on 2010-era GPUs single precision ran 2x (Fermi Tesla) to
+// 12x (GT200) faster, so the natural question is what accuracy that buys.
+// This engine runs the identical recursion entirely in IEEE binary32
+// (storage AND arithmetic, including float dot accumulation — what a naive
+// SP port would do) and reports the moments in double for comparison.
+// bench/ablation_precision quantifies the error growth with N against the
+// modeled speed advantage.
+#pragma once
+
+#include "cpumodel/cpu_spec.hpp"
+#include "core/moments.hpp"
+
+namespace kpm::core {
+
+/// CPU engine computing the Chebyshev recursion in single precision.
+class CpuMomentEngineF32 final : public MomentEngine {
+ public:
+  explicit CpuMomentEngineF32(cpumodel::CpuSpec spec = cpumodel::CpuSpec::core_i7_930());
+
+  [[nodiscard]] std::string name() const override { return "cpu-reference-f32"; }
+
+  [[nodiscard]] MomentResult compute(const linalg::MatrixOperator& h_tilde,
+                                     const MomentParams& params,
+                                     std::size_t sample_instances = 0) override;
+
+ private:
+  cpumodel::CpuSpec spec_;
+};
+
+}  // namespace kpm::core

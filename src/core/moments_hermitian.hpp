@@ -1,0 +1,42 @@
+// Stochastic KPM moments for complex Hermitian Hamiltonians.
+//
+// Same algorithm as the real engines with complex work vectors: the
+// random vectors stay real (Rademacher satisfies Eq. 14 regardless), the
+// recursion runs in C^D, and mu~_n = Re <r0|r_n> (the trace of a Hermitian
+// polynomial is real; the imaginary part is pure noise and is dropped).
+#pragma once
+
+#include <complex>
+
+#include "core/moments.hpp"
+#include "core/params.hpp"
+#include "linalg/hermitian_matrix.hpp"
+
+namespace kpm::core {
+
+/// Serial CPU engine for Hermitian operators.
+class HermitianMomentEngine {
+ public:
+  HermitianMomentEngine() = default;
+
+  [[nodiscard]] std::string name() const { return "cpu-hermitian"; }
+
+  /// Computes mu_n = (1/D) Tr[T_n(H~)] for the rescaled Hermitian matrix.
+  [[nodiscard]] MomentResult compute(const linalg::CrsMatrixZ& h_tilde,
+                                     const MomentParams& params,
+                                     std::size_t sample_instances = 0) const;
+};
+
+/// Deterministic trace (exact up to roundoff): one complex recursion per
+/// basis vector.  Ground truth for the stochastic Hermitian engine.
+[[nodiscard]] std::vector<double> deterministic_trace_moments_hermitian(
+    const linalg::CrsMatrixZ& h_tilde, std::size_t num_moments);
+
+/// LDOS moments mu_n^site = <site|T_n(H~)|site> for a Hermitian H~ —
+/// site-resolved spectroscopy in a magnetic field (e.g. bulk vs edge
+/// Landau-level weight).
+[[nodiscard]] std::vector<double> ldos_moments_hermitian(const linalg::CrsMatrixZ& h_tilde,
+                                                         std::size_t site,
+                                                         std::size_t num_moments);
+
+}  // namespace kpm::core

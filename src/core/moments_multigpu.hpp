@@ -1,0 +1,54 @@
+// Multi-GPU moment engine — the paper's GPU-cluster future work, built.
+//
+// The stochastic-trace instances are embarrassingly parallel across
+// devices: device g owns a contiguous chunk of the S*R instances, runs the
+// same fill/recursion/average kernels as the single-GPU engine on its
+// chunk, and the per-device partial moment sums are combined with one
+// ring all-reduce of N doubles.  H~ is replicated on every device (each
+// pays its own upload).
+//
+// Functional note: per-device partial sums are added device-major, which
+// reorders the floating-point reduction relative to the single-GPU engine;
+// results agree to roundoff (~1e-14), not bitwise.
+#pragma once
+
+#include "core/moments.hpp"
+#include "core/moments_gpu.hpp"
+#include "gpusim/cluster.hpp"
+
+namespace kpm::core {
+
+/// Configuration of the multi-GPU engine.
+struct MultiGpuEngineConfig {
+  GpuEngineConfig per_device{};  ///< device spec, mapping, block size
+  std::size_t device_count = 4;
+  gpusim::InterconnectSpec link = gpusim::InterconnectSpec::infiniband_qdr();
+};
+
+/// Scaling diagnostics of the last run.
+struct MultiGpuScalingReport {
+  double parallel_seconds = 0.0;       ///< modeled cluster wall-clock
+  double serialized_seconds = 0.0;     ///< sum of device clocks (1-GPU equivalent work)
+  double communication_seconds = 0.0;  ///< all-reduce cost
+  double efficiency = 0.0;             ///< serialized / (devices * parallel)
+};
+
+/// Moment engine distributing instances over a simulated GPU cluster.
+class MultiGpuMomentEngine final : public MomentEngine {
+ public:
+  explicit MultiGpuMomentEngine(MultiGpuEngineConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] MomentResult compute(const linalg::MatrixOperator& h_tilde,
+                                     const MomentParams& params,
+                                     std::size_t sample_instances = 0) override;
+
+  [[nodiscard]] const MultiGpuScalingReport& last_scaling() const noexcept { return scaling_; }
+
+ private:
+  MultiGpuEngineConfig config_;
+  MultiGpuScalingReport scaling_{};
+};
+
+}  // namespace kpm::core

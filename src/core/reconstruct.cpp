@@ -1,0 +1,134 @@
+#include "core/reconstruct.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/fft.hpp"
+#include "core/chebyshev.hpp"
+
+namespace kpm::core {
+namespace {
+
+std::vector<double> damp_moments(std::span<const double> mu, const ReconstructOptions& options) {
+  const auto g = damping_coefficients(options.kernel, mu.size(), options.lorentz_lambda);
+  std::vector<double> damped(mu.size());
+  for (std::size_t k = 0; k < mu.size(); ++k) damped[k] = g[k] * mu[k];
+  return damped;
+}
+
+}  // namespace
+
+double evaluate_dos_series(std::span<const double> damped, double x) {
+  KPM_REQUIRE(x > -1.0 && x < 1.0, "evaluate_dos_series: x must lie strictly inside (-1, 1)");
+  // Clenshaw on coefficients a_0 = g0 mu0, a_n = 2 g_n mu_n.
+  double b1 = 0.0, b2 = 0.0;
+  for (std::size_t k = damped.size(); k-- > 1;) {
+    const double b0 = 2.0 * damped[k] + 2.0 * x * b1 - b2;
+    b2 = b1;
+    b1 = b0;
+  }
+  const double series = damped[0] + x * b1 - b2;
+  return series / (std::numbers::pi * std::sqrt(1.0 - x * x));
+}
+
+DosCurve reconstruct_dos(std::span<const double> mu, const linalg::SpectralTransform& transform,
+                         const ReconstructOptions& options) {
+  KPM_REQUIRE(!mu.empty(), "reconstruct_dos: no moments");
+  KPM_REQUIRE(options.points > 0, "reconstruct_dos: need at least one point");
+  const auto damped = damp_moments(mu, options);
+  const auto grid = chebyshev_gauss_grid(options.points);
+
+  DosCurve curve;
+  curve.energy.resize(grid.size());
+  curve.density.resize(grid.size());
+  const double jac = transform.density_jacobian();
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    curve.energy[j] = transform.to_physical(grid[j]);
+    curve.density[j] = evaluate_dos_series(damped, grid[j]) * jac;
+  }
+  return curve;
+}
+
+DosCurve reconstruct_dos_fft(std::span<const double> mu,
+                             const linalg::SpectralTransform& transform,
+                             const ReconstructOptions& options) {
+  KPM_REQUIRE(!mu.empty(), "reconstruct_dos_fft: no moments");
+  const std::size_t m = options.points;
+  KPM_REQUIRE(is_power_of_two(m), "reconstruct_dos_fft: points must be a power of two");
+  KPM_REQUIRE(m >= mu.size(), "reconstruct_dos_fft: points must be >= the moment count");
+  const auto damped = damp_moments(mu, options);
+
+  // gamma(theta_j) = a_0 + 2 sum_{n>=1} a_n cos(n theta_j) with
+  // theta_j = pi (j + 1/2) / M.  Writing cos via e^{i n theta_j} and
+  // absorbing the half-sample shift into b_n = a~_n e^{i pi n / 2M}, the
+  // values are the real part of the inverse-sign FFT of b zero-padded to
+  // 2M: gamma_j = Re sum_n b_n e^{i pi n j / M} = Re FFT^{+}_{2M}(b)[j].
+  std::vector<std::complex<double>> b(2 * m, {0.0, 0.0});
+  for (std::size_t n = 0; n < damped.size(); ++n) {
+    const double scale = (n == 0 ? 1.0 : 2.0) * damped[n];
+    const double phase = std::numbers::pi * static_cast<double>(n) / (2.0 * static_cast<double>(m));
+    b[n] = scale * std::complex<double>(std::cos(phase), std::sin(phase));
+  }
+  fft_radix2(b, +1);
+
+  DosCurve curve;
+  curve.energy.resize(m);
+  curve.density.resize(m);
+  const double jac = transform.density_jacobian();
+  for (std::size_t j = 0; j < m; ++j) {
+    const double theta = std::numbers::pi * (static_cast<double>(j) + 0.5) /
+                         static_cast<double>(m);
+    const double x = std::cos(theta);
+    // chebyshev_gauss_grid orders ascending in x = descending in j.
+    const std::size_t out = m - 1 - j;
+    curve.energy[out] = transform.to_physical(x);
+    curve.density[out] = b[j].real() / (std::numbers::pi * std::sin(theta)) * jac;
+  }
+  return curve;
+}
+
+DosCurve reconstruct_dos_at(std::span<const double> mu,
+                            const linalg::SpectralTransform& transform,
+                            std::span<const double> energies,
+                            const ReconstructOptions& options) {
+  KPM_REQUIRE(!mu.empty(), "reconstruct_dos_at: no moments");
+  const auto damped = damp_moments(mu, options);
+
+  DosCurve curve;
+  curve.energy.assign(energies.begin(), energies.end());
+  curve.density.resize(energies.size());
+  const double jac = transform.density_jacobian();
+  for (std::size_t j = 0; j < energies.size(); ++j) {
+    const double x = transform.to_unit(energies[j]);
+    KPM_REQUIRE(x > -1.0 && x < 1.0,
+                "reconstruct_dos_at: energy outside the rescaled spectrum interval");
+    curve.density[j] = evaluate_dos_series(damped, x) * jac;
+  }
+  return curve;
+}
+
+double dos_integral(const DosCurve& curve) {
+  KPM_REQUIRE(curve.energy.size() == curve.density.size() && curve.energy.size() >= 2,
+              "dos_integral: need a sampled curve");
+  double acc = 0.0;
+  for (std::size_t j = 1; j < curve.energy.size(); ++j)
+    acc += 0.5 * (curve.density[j] + curve.density[j - 1]) *
+           (curve.energy[j] - curve.energy[j - 1]);
+  return acc;
+}
+
+double dos_mean_energy(const DosCurve& curve) {
+  KPM_REQUIRE(curve.energy.size() == curve.density.size() && curve.energy.size() >= 2,
+              "dos_mean_energy: need a sampled curve");
+  double acc = 0.0;
+  for (std::size_t j = 1; j < curve.energy.size(); ++j) {
+    const double fa = curve.energy[j - 1] * curve.density[j - 1];
+    const double fb = curve.energy[j] * curve.density[j];
+    acc += 0.5 * (fa + fb) * (curve.energy[j] - curve.energy[j - 1]);
+  }
+  return acc;
+}
+
+}  // namespace kpm::core

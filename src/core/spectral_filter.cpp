@@ -1,0 +1,85 @@
+#include "core/spectral_filter.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/chebyshev.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/distributions.hpp"
+
+namespace kpm::core {
+
+std::vector<double> filter_coefficients(double energy,
+                                        const linalg::SpectralTransform& transform,
+                                        const FilterOptions& options) {
+  KPM_REQUIRE(options.num_moments >= 2, "filter_coefficients: need at least two moments");
+  const double x0 = transform.to_unit(energy);
+  KPM_REQUIRE(x0 > -1.0 && x0 < 1.0,
+              "filter_coefficients: energy outside the rescaled spectrum interval");
+
+  const auto g = damping_coefficients(options.kernel, options.num_moments,
+                                      options.lorentz_lambda);
+  std::vector<double> t(options.num_moments);
+  chebyshev_t_all(x0, t);
+  std::vector<double> c(options.num_moments);
+  const double weight = 1.0 / (std::numbers::pi * std::sqrt(1.0 - x0 * x0));
+  for (std::size_t n = 0; n < c.size(); ++n)
+    c[n] = (n == 0 ? 1.0 : 2.0) * g[n] * t[n] * weight;
+  return c;
+}
+
+void apply_spectral_filter(const linalg::MatrixOperator& h_tilde,
+                           const linalg::SpectralTransform& transform, double energy,
+                           std::span<const double> in, std::span<double> out,
+                           const FilterOptions& options) {
+  const std::size_t d = h_tilde.dim();
+  KPM_REQUIRE(in.size() == d && out.size() == d, "apply_spectral_filter: dimension mismatch");
+  KPM_REQUIRE(in.data() != out.data(), "apply_spectral_filter: in and out must not alias");
+  const auto c = filter_coefficients(energy, transform, options);
+
+  std::vector<double> t_prev(in.begin(), in.end());  // T_0 |in>
+  std::vector<double> t_cur(d), t_next(d);
+  for (std::size_t i = 0; i < d; ++i) out[i] = c[0] * t_prev[i];
+
+  h_tilde.multiply(t_prev, t_cur);  // T_1 |in>
+  for (std::size_t i = 0; i < d; ++i) out[i] += c[1] * t_cur[i];
+
+  for (std::size_t n = 2; n < c.size(); ++n) {
+    h_tilde.multiply(t_cur, t_next);
+    linalg::chebyshev_combine(t_next, t_prev, t_next);
+    for (std::size_t i = 0; i < d; ++i) out[i] += c[n] * t_next[i];
+    std::swap(t_prev, t_cur);
+    std::swap(t_cur, t_next);
+  }
+}
+
+FilteredStateReport filter_random_state(const linalg::MatrixOperator& h,
+                                        const linalg::MatrixOperator& h_tilde,
+                                        const linalg::SpectralTransform& transform,
+                                        double energy, std::uint64_t seed,
+                                        std::uint64_t instance, const FilterOptions& options) {
+  const std::size_t d = h.dim();
+  KPM_REQUIRE(h_tilde.dim() == d, "filter_random_state: operator dimensions differ");
+
+  std::vector<double> r(d), psi(d);
+  for (std::size_t i = 0; i < d; ++i)
+    r[i] = rng::draw_random_element(rng::RandomVectorKind::Rademacher, seed, instance, i);
+  apply_spectral_filter(h_tilde, transform, energy, r, psi, options);
+
+  FilteredStateReport report;
+  report.norm = linalg::nrm2(psi);
+  KPM_REQUIRE(report.norm > 0.0, "filter_random_state: filter annihilated the state");
+  linalg::scale(1.0 / report.norm, psi);
+
+  std::vector<double> hpsi(d), h2psi(d);
+  h.multiply(psi, hpsi);
+  report.energy_mean = linalg::dot(psi, hpsi);
+  h.multiply(hpsi, h2psi);
+  const double h2 = linalg::dot(psi, h2psi);
+  report.energy_spread = std::sqrt(std::max(0.0, h2 - report.energy_mean * report.energy_mean));
+  return report;
+}
+
+}  // namespace kpm::core

@@ -1,0 +1,61 @@
+// KPM spectral filtering (spectrum slicing).
+//
+// Applying the Jackson-damped delta approximation as an operator,
+//
+//   |psi_E0> = delta_KPM(E0 - H) |r> = sum_n c_n(E0) T_n(H~) |r>,
+//   c_n = (2 - delta_n0) g_n T_n(x0) / pi sqrt(1 - x0^2)   (x0 = rescaled E0)
+//
+// projects a random vector onto the states within ~ pi a- / N of E0.  The
+// classic uses: preparing energy-resolved states for transport/dynamics,
+// estimating eigenvector amplitudes deep in the spectrum without shift-
+// invert solvers, and counting states in a window (here via the filtered
+// norm).  One Chebyshev sweep of N SpMVs per filter application.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/damping.hpp"
+#include "linalg/operator.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace kpm::core {
+
+/// Options of the spectral filter.
+struct FilterOptions {
+  std::size_t num_moments = 256;  ///< N: filter width ~ pi * half_width / N
+  DampingKernel kernel = DampingKernel::Jackson;
+  double lorentz_lambda = 4.0;
+};
+
+/// The Chebyshev coefficients c_n(E0) of the delta filter at `energy`
+/// (physical units; must map strictly inside (-1, 1)).
+[[nodiscard]] std::vector<double> filter_coefficients(double energy,
+                                                      const linalg::SpectralTransform& transform,
+                                                      const FilterOptions& options = {});
+
+/// Applies the filter: out = sum_n c_n T_n(H~) in.  `h_tilde` must be the
+/// rescaled operator; in/out must not alias.  Cost: N SpMVs.
+void apply_spectral_filter(const linalg::MatrixOperator& h_tilde,
+                           const linalg::SpectralTransform& transform, double energy,
+                           std::span<const double> in, std::span<double> out,
+                           const FilterOptions& options = {});
+
+/// Diagnostics of a filtered state against the ORIGINAL (unscaled) H.
+struct FilteredStateReport {
+  double norm = 0.0;             ///< |psi_E0| (spectral weight captured)
+  double energy_mean = 0.0;      ///< <H> of the normalized filtered state
+  double energy_spread = 0.0;    ///< sqrt(<H^2> - <H>^2)
+};
+
+/// Filters a random vector (stream `instance` of `seed`) at `energy` and
+/// reports how sharply it landed.
+[[nodiscard]] FilteredStateReport filter_random_state(const linalg::MatrixOperator& h,
+                                                      const linalg::MatrixOperator& h_tilde,
+                                                      const linalg::SpectralTransform& transform,
+                                                      double energy, std::uint64_t seed,
+                                                      std::uint64_t instance,
+                                                      const FilterOptions& options = {});
+
+}  // namespace kpm::core

@@ -1,0 +1,68 @@
+// Thermodynamic observables from KPM moments.
+//
+// Once the moments mu_n are known, any spectral average
+//
+//   <f> = integral f(E) rho(E) dE  =  (1/D) sum_k f(E_k)
+//
+// follows without touching the Hamiltonian again, using Chebyshev-Gauss
+// quadrature (exact for the damped moment series): electron filling,
+// internal energy, entropy and grand potential of non-interacting
+// electrons at temperature T, plus chemical-potential search — the
+// quantities condensed-matter KPM studies actually report.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/damping.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace kpm::core {
+
+/// Fermi-Dirac occupation f(E) at chemical potential mu and temperature T
+/// (energy units, k_B = 1).  T = 0 gives the sharp step.
+[[nodiscard]] double fermi_dirac(double energy, double mu, double temperature);
+
+/// Options for the quadrature.
+struct QuadratureOptions {
+  DampingKernel kernel = DampingKernel::Jackson;
+  double lorentz_lambda = 4.0;
+  std::size_t points = 1024;  ///< Chebyshev-Gauss abscissas
+};
+
+/// Computes integral f(E) rho(E) dE from the damped moment series by
+/// Chebyshev-Gauss quadrature; `f` is evaluated at physical energies.
+[[nodiscard]] double spectral_average(std::span<const double> mu,
+                                      const linalg::SpectralTransform& transform,
+                                      const std::function<double(double)>& f,
+                                      const QuadratureOptions& options = {});
+
+/// Electron filling n(mu, T) = integral f_FD(E) rho(E) dE in [0, 1]
+/// (states per site, spinless convention).
+[[nodiscard]] double electron_filling(std::span<const double> mu_moments,
+                                      const linalg::SpectralTransform& transform,
+                                      double chemical_potential, double temperature,
+                                      const QuadratureOptions& options = {});
+
+/// Internal energy per site u(mu, T) = integral E f_FD(E) rho(E) dE.
+[[nodiscard]] double internal_energy(std::span<const double> mu_moments,
+                                     const linalg::SpectralTransform& transform,
+                                     double chemical_potential, double temperature,
+                                     const QuadratureOptions& options = {});
+
+/// Electronic entropy per site s(mu, T) =
+/// -integral [f ln f + (1-f) ln(1-f)] rho(E) dE  (>= 0, -> 0 as T -> 0).
+[[nodiscard]] double electronic_entropy(std::span<const double> mu_moments,
+                                        const linalg::SpectralTransform& transform,
+                                        double chemical_potential, double temperature,
+                                        const QuadratureOptions& options = {});
+
+/// Finds the chemical potential giving `target_filling` at temperature T
+/// by bisection over the spectral window.  Throws kpm::Error when the
+/// filling is not bracketed (target outside (0, 1)).
+[[nodiscard]] double find_chemical_potential(std::span<const double> mu_moments,
+                                             const linalg::SpectralTransform& transform,
+                                             double target_filling, double temperature,
+                                             const QuadratureOptions& options = {});
+
+}  // namespace kpm::core

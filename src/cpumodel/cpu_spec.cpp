@@ -1,0 +1,42 @@
+#include "cpumodel/cpu_spec.hpp"
+
+#include "common/error.hpp"
+
+namespace kpm::cpumodel {
+
+void CpuSpec::validate() const {
+  KPM_REQUIRE(clock_hz > 0, "CpuSpec: clock_hz must be positive");
+  KPM_REQUIRE(flops_per_cycle > 0, "CpuSpec: flops_per_cycle must be positive");
+  KPM_REQUIRE(dram_bandwidth > 0, "CpuSpec: dram_bandwidth must be positive");
+  KPM_REQUIRE(cores >= 1, "CpuSpec: cores must be positive");
+  KPM_REQUIRE(shared_cache_saturated_bandwidth > 0 && dram_saturated_bandwidth > 0,
+              "CpuSpec: saturated bandwidths must be positive");
+  std::size_t prev = 0;
+  for (const auto& level : caches) {
+    KPM_REQUIRE(level.capacity_bytes > prev, "CpuSpec: cache levels must grow monotonically");
+    KPM_REQUIRE(level.bandwidth > 0, "CpuSpec: cache bandwidth must be positive");
+    prev = level.capacity_bytes;
+  }
+}
+
+CpuSpec CpuSpec::core_i7_930() {
+  CpuSpec s;
+  s.name = "Intel Core i7-930 @ 2.80 GHz (1 thread, simulated)";
+  s.clock_hz = 2.8e9;
+  // Scalar/SSE2 double-precision multiply-add chains sustained by gcc -O3
+  // on a dot-product-shaped loop: ~2 flops/cycle.
+  s.flops_per_cycle = 2.0;
+  s.caches = {
+      {"L1d", 32 * 1024, 40.0e9},
+      {"L2", 256 * 1024, 28.0e9},
+      {"L3", 8 * 1024 * 1024, 18.0e9},
+  };
+  s.dram_bandwidth = 9.5e9;  // triple-channel DDR3-1066, one thread
+  s.cores = 4;               // Bloomfield: 4 cores / 8 threads
+  s.private_cache_levels = 2;
+  s.shared_cache_saturated_bandwidth = 36.0e9;
+  s.dram_saturated_bandwidth = 17.0e9;  // all-core triple-channel ceiling
+  return s;
+}
+
+}  // namespace kpm::cpumodel

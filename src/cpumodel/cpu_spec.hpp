@@ -1,0 +1,76 @@
+// Analytic CPU description for the paper's baseline platform.
+//
+// Fig. 8 of the paper hinges on CPU behaviour as the dense H~ grows past
+// the last-level cache: "the CPU version needs to read/write the memory as
+// increased the size of [the] H~ matrix".  The model is a classic roofline
+// with a cache-hierarchy-aware effective bandwidth: the per-iteration
+// working set selects the smallest cache level that contains it, and
+// streaming bandwidth falls accordingly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kpm::cpumodel {
+
+/// One cache level: capacity and sustainable streaming bandwidth.
+struct CacheLevel {
+  std::string name;
+  std::size_t capacity_bytes;
+  double bandwidth;  ///< bytes/s sustained for a single thread
+};
+
+/// Static description of a CPU execution platform (single- and
+/// multi-threaded; the paper's baseline uses one thread).
+struct CpuSpec {
+  std::string name;
+  double clock_hz = 2.8e9;
+  double flops_per_cycle = 2.0;  ///< sustained DP flops/cycle for this code shape
+  std::vector<CacheLevel> caches;  ///< ordered smallest to largest
+  double dram_bandwidth = 9.5e9;   ///< bytes/s, single-threaded
+
+  // Multithreaded scaling (for the paper's §V "shared memory paradigm"
+  // future-work engine): private caches scale with threads, shared
+  // resources saturate.
+  int cores = 4;                               ///< physical cores
+  std::size_t private_cache_levels = 2;        ///< first K cache levels are per-core
+  double shared_cache_saturated_bandwidth = 36.0e9;  ///< all-core LLC ceiling
+  double dram_saturated_bandwidth = 17.0e9;    ///< all-core DRAM ceiling
+
+  /// Peak sustained flop rate of one thread in FLOP/s.
+  [[nodiscard]] double peak_flops() const noexcept { return clock_hz * flops_per_cycle; }
+
+  /// Effective streaming bandwidth for a working set of `bytes`: the
+  /// bandwidth of the smallest cache level that fits it, else DRAM.
+  [[nodiscard]] double effective_bandwidth(double bytes) const noexcept {
+    for (const auto& level : caches)
+      if (bytes <= static_cast<double>(level.capacity_bytes)) return level.bandwidth;
+    return dram_bandwidth;
+  }
+
+  /// Aggregate streaming bandwidth for `threads` cooperating threads, each
+  /// with per-thread working set `bytes`: private levels scale linearly,
+  /// shared levels saturate at their all-core ceilings.
+  [[nodiscard]] double effective_bandwidth_parallel(double bytes, int threads) const noexcept {
+    const auto t = static_cast<double>(threads < 1 ? 1 : (threads > cores ? cores : threads));
+    for (std::size_t i = 0; i < caches.size(); ++i) {
+      if (bytes <= static_cast<double>(caches[i].capacity_bytes)) {
+        if (i < private_cache_levels) return caches[i].bandwidth * t;
+        const double linear = caches[i].bandwidth * t;
+        return linear < shared_cache_saturated_bandwidth ? linear
+                                                         : shared_cache_saturated_bandwidth;
+      }
+    }
+    const double linear = dram_bandwidth * t;
+    return linear < dram_saturated_bandwidth ? linear : dram_saturated_bandwidth;
+  }
+
+  /// Throws kpm::Error if any parameter is non-physical.
+  void validate() const;
+
+  /// Intel Core i7-930 @ 2.80 GHz, one thread, gcc -O3 (the paper's CPU).
+  static CpuSpec core_i7_930();
+};
+
+}  // namespace kpm::cpumodel

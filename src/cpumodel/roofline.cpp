@@ -1,0 +1,27 @@
+#include "cpumodel/roofline.hpp"
+
+#include <algorithm>
+
+namespace kpm::cpumodel {
+
+CpuStats model_cpu_time(const CpuSpec& spec, const CpuWorkload& workload) {
+  CpuStats stats;
+  stats.compute_seconds = workload.flops / spec.peak_flops();
+  stats.memory_seconds =
+      workload.bytes_streamed / spec.effective_bandwidth(workload.working_set_bytes);
+  stats.seconds = std::max(stats.compute_seconds, stats.memory_seconds);
+  return stats;
+}
+
+CpuStats model_cpu_time_parallel(const CpuSpec& spec, const CpuWorkload& workload, int threads) {
+  const int t = std::clamp(threads, 1, spec.cores);
+  CpuStats stats;
+  stats.compute_seconds = workload.flops / (spec.peak_flops() * t);
+  stats.memory_seconds =
+      workload.bytes_streamed /
+      spec.effective_bandwidth_parallel(workload.working_set_bytes, t);
+  stats.seconds = std::max(stats.compute_seconds, stats.memory_seconds);
+  return stats;
+}
+
+}  // namespace kpm::cpumodel

@@ -1,0 +1,51 @@
+// CPU roofline evaluation: workload counts -> simulated seconds.
+#pragma once
+
+#include "cpumodel/cpu_spec.hpp"
+
+namespace kpm::cpumodel {
+
+/// Operation counts of a CPU code region.
+struct CpuWorkload {
+  double flops = 0.0;              ///< double-precision operations
+  double bytes_streamed = 0.0;     ///< bytes moved through the memory hierarchy
+  double working_set_bytes = 0.0;  ///< bytes re-touched per pass (selects the cache level)
+
+  CpuWorkload& operator+=(const CpuWorkload& o) {
+    flops += o.flops;
+    bytes_streamed += o.bytes_streamed;
+    working_set_bytes = working_set_bytes > o.working_set_bytes ? working_set_bytes
+                                                                : o.working_set_bytes;
+    return *this;
+  }
+
+  void scale(double factor) {
+    flops *= factor;
+    bytes_streamed *= factor;
+    // working_set_bytes is a per-pass property; sampling more instances of
+    // the same pass does not grow it.
+  }
+};
+
+/// Timing breakdown of a modeled CPU region.
+struct CpuStats {
+  double seconds = 0.0;
+  double compute_seconds = 0.0;
+  double memory_seconds = 0.0;
+
+  [[nodiscard]] const char* bound() const noexcept {
+    return memory_seconds >= compute_seconds ? "memory" : "compute";
+  }
+};
+
+/// Evaluates the roofline: time = max(flops / peak, bytes / bw(working set)).
+[[nodiscard]] CpuStats model_cpu_time(const CpuSpec& spec, const CpuWorkload& workload);
+
+/// Multithreaded roofline: compute scales with min(threads, cores); memory
+/// uses the parallel bandwidth model (private caches scale, shared
+/// resources saturate).  `workload` holds the TOTAL work across threads and
+/// the PER-THREAD working set.
+[[nodiscard]] CpuStats model_cpu_time_parallel(const CpuSpec& spec, const CpuWorkload& workload,
+                                               int threads);
+
+}  // namespace kpm::cpumodel

@@ -1,0 +1,103 @@
+#include "diag/haydock.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace kpm::diag {
+
+RecursionCoefficients haydock_coefficients(const linalg::MatrixOperator& h,
+                                           std::span<const double> start, std::size_t steps) {
+  const std::size_t d = h.dim();
+  KPM_REQUIRE(start.size() == d, "haydock_coefficients: start vector dimension mismatch");
+  KPM_REQUIRE(steps >= 1, "haydock_coefficients: need at least one step");
+
+  std::vector<double> v(start.begin(), start.end());
+  const double norm0 = linalg::nrm2(v);
+  KPM_REQUIRE(norm0 > 0.0, "haydock_coefficients: zero start vector");
+  linalg::scale(1.0 / norm0, v);
+
+  std::vector<double> v_prev(d, 0.0), w(d);
+  RecursionCoefficients rc;
+  rc.a.reserve(steps);
+  rc.b.reserve(steps);
+  double beta = 0.0;
+
+  for (std::size_t k = 0; k < steps; ++k) {
+    h.multiply(v, w);
+    const double alpha = linalg::dot(v, w);
+    rc.a.push_back(alpha);
+    for (std::size_t i = 0; i < d; ++i) w[i] -= alpha * v[i] + beta * v_prev[i];
+    beta = linalg::nrm2(w);
+    // Breakdown = invariant subspace found: the continued fraction
+    // terminates exactly (no terminator should be applied).  Guaranteed to
+    // trigger by step d at the latest.
+    if (beta < 1e-13 * std::max(1.0, std::abs(alpha))) {
+      rc.exhausted = true;
+      break;
+    }
+    if (k + 1 == steps) break;
+    rc.b.push_back(beta);
+    for (std::size_t i = 0; i < d; ++i) {
+      v_prev[i] = v[i];
+      v[i] = w[i] / beta;
+    }
+  }
+  return rc;
+}
+
+std::complex<double> haydock_green(const RecursionCoefficients& coeffs, double energy,
+                                   const HaydockOptions& options) {
+  KPM_REQUIRE(!coeffs.a.empty(), "haydock_green: empty coefficient set");
+  KPM_REQUIRE(options.eta > 0.0, "haydock_green: eta must be positive");
+  const std::complex<double> z(energy, options.eta);
+
+  // Terminator: continue the tail with the constant-coefficient continued
+  // fraction t(z) = (z - a_inf - sqrt((z - a_inf)^2 - 4 b_inf^2)) / 2,
+  // using the tail averages as (a_inf, b_inf); the branch with Im t < 0
+  // is retarded.
+  std::complex<double> tail(0.0, 0.0);
+  if (options.square_root_terminator && !coeffs.b.empty() && !coeffs.exhausted) {
+    const std::size_t tail_window = std::max<std::size_t>(1, coeffs.b.size() / 4);
+    double a_inf = 0.0, b_inf = 0.0;
+    for (std::size_t k = coeffs.a.size() - tail_window; k < coeffs.a.size(); ++k)
+      a_inf += coeffs.a[k];
+    for (std::size_t k = coeffs.b.size() - tail_window; k < coeffs.b.size(); ++k)
+      b_inf += coeffs.b[k];
+    a_inf /= static_cast<double>(tail_window);
+    b_inf /= static_cast<double>(tail_window);
+
+    const std::complex<double> zs = z - a_inf;
+    std::complex<double> root = std::sqrt(zs * zs - 4.0 * b_inf * b_inf);
+    if (root.imag() < 0.0) root = -root;  // pick the branch with Im(root) >= 0
+    tail = 0.5 * (zs - root);             // Im(tail) <= 0: retarded self-energy
+  }
+
+  // Evaluate bottom-up: G = 1 / (z - a_0 - b_1^2 / (z - a_1 - ...)).
+  std::complex<double> g = tail;
+  for (std::size_t k = coeffs.a.size(); k-- > 0;) {
+    const std::complex<double> denom = z - coeffs.a[k] - g;
+    g = (k > 0 ? coeffs.b[k - 1] * coeffs.b[k - 1] : std::complex<double>(1.0, 0.0)) / denom;
+    if (k == 0) return g;
+  }
+  return g;
+}
+
+std::vector<double> haydock_ldos(const linalg::MatrixOperator& h, std::size_t site,
+                                 std::span<const double> energies,
+                                 const HaydockOptions& options) {
+  KPM_REQUIRE(site < h.dim(), "haydock_ldos: site out of range");
+  std::vector<double> start(h.dim(), 0.0);
+  start[site] = 1.0;
+  const auto coeffs = haydock_coefficients(h, start, options.steps);
+
+  std::vector<double> rho(energies.size());
+  for (std::size_t j = 0; j < energies.size(); ++j)
+    rho[j] = -haydock_green(coeffs, energies[j], options).imag() / std::numbers::pi;
+  return rho;
+}
+
+}  // namespace kpm::diag

@@ -1,0 +1,62 @@
+#include "diag/level_statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace kpm::diag {
+
+std::vector<double> level_spacings(std::span<const double> sorted_spectrum) {
+  KPM_REQUIRE(sorted_spectrum.size() >= 2, "level_spacings: need at least two levels");
+  KPM_REQUIRE(std::is_sorted(sorted_spectrum.begin(), sorted_spectrum.end()),
+              "level_spacings: spectrum must be sorted ascending");
+  std::vector<double> s(sorted_spectrum.size() - 1);
+  for (std::size_t k = 0; k + 1 < sorted_spectrum.size(); ++k)
+    s[k] = sorted_spectrum[k + 1] - sorted_spectrum[k];
+  return s;
+}
+
+GapRatioStatistics gap_ratio_statistics(std::span<const double> sorted_spectrum,
+                                        double central_fraction, double degeneracy_tol) {
+  KPM_REQUIRE(central_fraction > 0.0 && central_fraction <= 1.0,
+              "gap_ratio_statistics: central_fraction must be in (0, 1]");
+  KPM_REQUIRE(sorted_spectrum.size() >= 4, "gap_ratio_statistics: need at least four levels");
+  KPM_REQUIRE(std::is_sorted(sorted_spectrum.begin(), sorted_spectrum.end()),
+              "gap_ratio_statistics: spectrum must be sorted ascending");
+
+  // Merge (near-)degenerate levels.
+  std::vector<double> levels;
+  levels.reserve(sorted_spectrum.size());
+  for (double e : sorted_spectrum)
+    if (levels.empty() || e - levels.back() > degeneracy_tol) levels.push_back(e);
+  KPM_REQUIRE(levels.size() >= 4, "gap_ratio_statistics: too few distinct levels");
+
+  // Central window.
+  const auto n = levels.size();
+  const auto keep = std::max<std::size_t>(4, static_cast<std::size_t>(
+                                                 central_fraction * static_cast<double>(n)));
+  const std::size_t begin = (n - keep) / 2;
+  const std::span<const double> window(levels.data() + begin, std::min(keep, n - begin));
+
+  const auto s = level_spacings(window);
+  GapRatioStatistics stats;
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t k = 0; k + 1 < s.size(); ++k) {
+    const double r = std::min(s[k], s[k + 1]) / std::max(s[k], s[k + 1]);
+    sum += r;
+    sum_sq += r * r;
+    ++stats.count;
+  }
+  KPM_REQUIRE(stats.count >= 1, "gap_ratio_statistics: no ratios in the window");
+  const auto m = static_cast<double>(stats.count);
+  stats.mean_ratio = sum / m;
+  if (stats.count > 1) {
+    const double var = std::max(0.0, (sum_sq / m - stats.mean_ratio * stats.mean_ratio) * m /
+                                         (m - 1.0));
+    stats.standard_error = std::sqrt(var / m);
+  }
+  return stats;
+}
+
+}  // namespace kpm::diag

@@ -1,0 +1,51 @@
+#include "diag/spectrum_utils.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace kpm::diag {
+
+DosHistogram dos_histogram(std::span<const double> eigenvalues, double lo, double hi,
+                           std::size_t bins) {
+  KPM_REQUIRE(bins > 0, "dos_histogram: need at least one bin");
+  KPM_REQUIRE(hi > lo, "dos_histogram: hi must exceed lo");
+  KPM_REQUIRE(!eigenvalues.empty(), "dos_histogram: empty spectrum");
+
+  DosHistogram h;
+  h.bin_width = (hi - lo) / static_cast<double>(bins);
+  h.energy.resize(bins);
+  h.density.assign(bins, 0.0);
+  for (std::size_t b = 0; b < bins; ++b)
+    h.energy[b] = lo + (static_cast<double>(b) + 0.5) * h.bin_width;
+
+  for (double e : eigenvalues) {
+    auto b = static_cast<std::ptrdiff_t>(std::floor((e - lo) / h.bin_width));
+    b = std::clamp<std::ptrdiff_t>(b, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    h.density[static_cast<std::size_t>(b)] += 1.0;
+  }
+  const double norm = 1.0 / (static_cast<double>(eigenvalues.size()) * h.bin_width);
+  for (double& d : h.density) d *= norm;
+  return h;
+}
+
+std::vector<double> exact_chebyshev_moments(std::span<const double> eigenvalues,
+                                            const linalg::SpectralTransform& transform,
+                                            std::size_t count) {
+  KPM_REQUIRE(!eigenvalues.empty(), "exact_chebyshev_moments: empty spectrum");
+  std::vector<double> mu(count, 0.0);
+  for (double e : eigenvalues) {
+    const double x = transform.to_unit(e);
+    KPM_REQUIRE(x >= -1.0 && x <= 1.0,
+                "exact_chebyshev_moments: eigenvalue outside the transform interval");
+    // T_n(x) = cos(n arccos x): numerically exact for |x| <= 1.
+    const double theta = std::acos(std::clamp(x, -1.0, 1.0));
+    for (std::size_t n = 0; n < count; ++n) mu[n] += std::cos(static_cast<double>(n) * theta);
+  }
+  const double inv_d = 1.0 / static_cast<double>(eigenvalues.size());
+  for (double& m : mu) m *= inv_d;
+  return mu;
+}
+
+}  // namespace kpm::diag

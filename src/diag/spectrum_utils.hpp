@@ -1,0 +1,36 @@
+// Eigenvalue post-processing: DoS histograms and exact Chebyshev moments.
+//
+// Used to validate KPM output: the DoS from Eq. (10) is a normalized
+// eigenvalue histogram, and the exact moments mu_n = (1/D) sum_k T_n(E~_k)
+// (Eq. 13) follow directly from the spectrum.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/spectral_transform.hpp"
+
+namespace kpm::diag {
+
+/// A binned density of states: bin centers (energy) and densities
+/// normalized so that sum(density * bin_width) == 1.
+struct DosHistogram {
+  std::vector<double> energy;
+  std::vector<double> density;
+  double bin_width = 0.0;
+};
+
+/// Bins eigenvalues into `bins` equal-width bins over [lo, hi] and
+/// normalizes to unit integral.  Eigenvalues outside the range are clamped
+/// into the edge bins (they belong to the spectrum; dropping them would
+/// break normalization).
+[[nodiscard]] DosHistogram dos_histogram(std::span<const double> eigenvalues, double lo, double hi,
+                                         std::size_t bins);
+
+/// Exact Chebyshev moments mu_n = (1/D) sum_k T_n(x_k) for n in [0, count),
+/// where x_k = transform.to_unit(E_k) must lie in [-1, 1].
+[[nodiscard]] std::vector<double> exact_chebyshev_moments(std::span<const double> eigenvalues,
+                                                          const linalg::SpectralTransform& transform,
+                                                          std::size_t count);
+
+}  // namespace kpm::diag

@@ -1,0 +1,163 @@
+#include "diag/tridiag.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace kpm::diag {
+
+Tridiagonal householder_tridiagonalize(const linalg::DenseMatrix& input) {
+  KPM_REQUIRE(input.square(), "householder_tridiagonalize requires a square matrix");
+  KPM_REQUIRE(input.symmetry_defect() <= 1e-12 * std::max(1.0, input.frobenius_norm()),
+              "householder_tridiagonalize requires a symmetric matrix");
+  const std::size_t n = input.rows();
+  linalg::DenseMatrix a = input;
+  Tridiagonal t;
+  t.diag.assign(n, 0.0);
+  t.offdiag.assign(n > 0 ? n - 1 : 0, 0.0);
+  if (n == 1) {
+    t.diag[0] = a(0, 0);
+    return t;
+  }
+
+  // tred2-style reduction (without eigenvector accumulation), following
+  // Numerical Recipes' formulation of Householder reduction.
+  std::vector<double> d(n, 0.0), e(n, 0.0);
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    const std::size_t l = i - 1;
+    double h = 0.0;
+    if (i > 1) {
+      double scale = 0.0;
+      for (std::size_t k = 0; k <= l; ++k) scale += std::abs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = (f >= 0.0 ? -std::sqrt(h) : std::sqrt(h));
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (std::size_t k = 0; k <= j; ++k) a(j, k) -= f * e[k] + g * a(i, k);
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+  e[0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) d[i] = a(i, i);
+
+  t.diag = d;
+  for (std::size_t i = 0; i + 1 < n; ++i) t.offdiag[i] = e[i + 1];
+  return t;
+}
+
+std::vector<double> tridiagonal_eigenvalues(const Tridiagonal& t) {
+  const std::size_t n = t.dim();
+  KPM_REQUIRE(t.offdiag.size() + 1 == n || (n == 0 && t.offdiag.empty()),
+              "tridiagonal_eigenvalues: offdiag must have dim-1 entries");
+  if (n == 0) return {};
+
+  std::vector<double> d = t.diag;
+  std::vector<double> e(n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) e[i] = t.offdiag[i];
+
+  auto pythag = [](double a, double b) {
+    const double absa = std::abs(a), absb = std::abs(b);
+    if (absa > absb) {
+      const double r = absb / absa;
+      return absa * std::sqrt(1.0 + r * r);
+    }
+    if (absb == 0.0) return 0.0;
+    const double r = absa / absb;
+    return absb * std::sqrt(1.0 + r * r);
+  };
+
+  // tql2-style implicit-shift QL without eigenvectors.
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-300 + 2.3e-16 * dd) break;
+      }
+      if (m != l) {
+        KPM_REQUIRE(++iter <= 50, "tridiagonal_eigenvalues: QL failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = pythag(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = pythag(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+        }
+        if (r == 0.0 && m > l + 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+std::vector<double> symmetric_eigenvalues(const linalg::DenseMatrix& a) {
+  return tridiagonal_eigenvalues(householder_tridiagonalize(a));
+}
+
+std::size_t tridiagonal_count_below(const Tridiagonal& t, double x) {
+  const std::size_t n = t.dim();
+  KPM_REQUIRE(n >= 1, "tridiagonal_count_below: empty matrix");
+  KPM_REQUIRE(t.offdiag.size() + 1 == n, "tridiagonal_count_below: malformed tridiagonal");
+
+  // Sturm sequence: the number of negative values of the recurrence
+  // q_1 = d_1 - x, q_k = (d_k - x) - b_{k-1}^2 / q_{k-1} equals the number
+  // of eigenvalues below x (LDL^T inertia).  Zero pivots are nudged by a
+  // tiny amount (standard bisection safeguard).
+  std::size_t count = 0;
+  double q = t.diag[0] - x;
+  if (q < 0.0) ++count;
+  for (std::size_t k = 1; k < n; ++k) {
+    if (q == 0.0) q = 1e-300;
+    q = (t.diag[k] - x) - t.offdiag[k - 1] * t.offdiag[k - 1] / q;
+    if (q < 0.0) ++count;
+  }
+  return count;
+}
+
+}  // namespace kpm::diag

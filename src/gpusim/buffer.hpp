@@ -1,0 +1,87 @@
+// Device global memory: allocation accounting and typed buffers.
+//
+// `DeviceBuffer<T>` plays the role of a cudaMalloc'd region.  Since the
+// execution is simulated on the host, the storage *is* host memory, but the
+// buffer participates in VRAM capacity accounting (allocation fails when
+// the device is out of memory, as it would on the card) and host<->device
+// copies are only possible through Device::copy_* calls, which charge PCIe
+// time to the device timeline.  Kernels access buffers through GlobalView,
+// which meters traffic.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+
+namespace gpusim {
+
+namespace detail {
+
+/// Shared VRAM bookkeeping between a Device and its buffers (buffers may
+/// outlive neither logically, but shared state keeps destruction safe in
+/// any order).
+struct VramState {
+  std::size_t capacity_bytes = 0;
+  std::size_t used_bytes = 0;
+  std::size_t allocation_count = 0;
+  std::size_t peak_used_bytes = 0;
+};
+
+}  // namespace detail
+
+/// Typed device-resident array.  Move-only; freeing returns the bytes to
+/// the device's VRAM accounting.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept
+      : vram_(std::move(o.vram_)), storage_(std::move(o.storage_)) {}
+
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    release();
+    vram_ = std::move(o.vram_);
+    storage_ = std::move(o.storage_);
+    return *this;
+  }
+
+  ~DeviceBuffer() { release(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return storage_.size() * sizeof(T); }
+  [[nodiscard]] bool allocated() const noexcept { return vram_ != nullptr; }
+
+  /// Raw storage access — for Device copies and GlobalView construction
+  /// only; application code must go through those interfaces so traffic is
+  /// metered.
+  [[nodiscard]] std::span<T> raw() noexcept { return storage_.span(); }
+  [[nodiscard]] std::span<const T> raw() const noexcept { return storage_.span(); }
+
+ private:
+  template <typename U>
+  friend class GlobalView;
+  friend class Device;
+
+  DeviceBuffer(std::shared_ptr<detail::VramState> vram, std::size_t n)
+      : vram_(std::move(vram)), storage_(n) {}
+
+  void release() noexcept {
+    if (vram_ != nullptr) {
+      vram_->used_bytes -= bytes();
+      vram_.reset();
+    }
+  }
+
+  std::shared_ptr<detail::VramState> vram_;
+  kpm::AlignedBuffer<T> storage_;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,65 @@
+#include "gpusim/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gpusim {
+
+void InterconnectSpec::validate() const {
+  KPM_REQUIRE(bandwidth > 0, "InterconnectSpec: bandwidth must be positive");
+  KPM_REQUIRE(latency_s >= 0, "InterconnectSpec: latency must be non-negative");
+}
+
+InterconnectSpec InterconnectSpec::infiniband_qdr() {
+  InterconnectSpec s;
+  s.name = "InfiniBand QDR (host-staged)";
+  s.bandwidth = 3.2e9;
+  s.latency_s = 20e-6;
+  return s;
+}
+
+InterconnectSpec InterconnectSpec::pcie_peer() {
+  InterconnectSpec s;
+  s.name = "PCIe Gen2 peer-to-peer";
+  s.bandwidth = 5.0e9;
+  s.latency_s = 10e-6;
+  return s;
+}
+
+Cluster::Cluster(const DeviceSpec& spec, std::size_t device_count, InterconnectSpec link)
+    : link_(std::move(link)) {
+  KPM_REQUIRE(device_count >= 1, "Cluster needs at least one device");
+  link_.validate();
+  devices_.reserve(device_count);
+  for (std::size_t i = 0; i < device_count; ++i) devices_.push_back(std::make_unique<Device>(spec));
+}
+
+double Cluster::parallel_seconds() const {
+  double max_clock = 0.0;
+  for (const auto& d : devices_) max_clock = std::max(max_clock, d->seconds());
+  return max_clock + comm_seconds_;
+}
+
+double Cluster::total_device_seconds() const {
+  double total = 0.0;
+  for (const auto& d : devices_) total += d->seconds();
+  return total;
+}
+
+double Cluster::all_reduce(double bytes) {
+  KPM_REQUIRE(bytes >= 0, "all_reduce: negative byte count");
+  if (devices_.size() == 1) return 0.0;
+  const auto g = static_cast<double>(devices_.size());
+  const double t = 2.0 * (g - 1.0) / g * bytes / link_.bandwidth +
+                   2.0 * (g - 1.0) * link_.latency_s;
+  comm_seconds_ += t;
+  return t;
+}
+
+void Cluster::reset() {
+  for (auto& d : devices_) d->reset_timeline();
+  comm_seconds_ = 0.0;
+}
+
+}  // namespace gpusim

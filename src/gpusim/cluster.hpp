@@ -1,0 +1,72 @@
+// Multi-GPU cluster model — the paper's Section V future work ("we are
+// also planning to extend the GPU-based implementation to a GPU cluster
+// for its parallelization").
+//
+// A Cluster owns G identical simulated devices plus an interconnect
+// description.  Devices execute independently (their timelines accumulate
+// separately); the cluster-level wall-clock of a phase where all devices
+// work concurrently is the *maximum* of the member clocks, plus any
+// modeled collective-communication time.  The all-reduce model is the
+// standard ring formula: 2 (G-1)/G * bytes / bandwidth + 2 (G-1) * latency.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace gpusim {
+
+/// Point-to-point link characteristics between cluster nodes.
+struct InterconnectSpec {
+  std::string name = "PCIe switch + IB QDR";
+  double bandwidth = 3.2e9;   ///< bytes/s effective per link
+  double latency_s = 20e-6;   ///< per-message latency
+
+  /// Validates physicality.
+  void validate() const;
+
+  /// 2011-era cluster fabric (QDR InfiniBand through host staging).
+  static InterconnectSpec infiniband_qdr();
+  /// Same-host PCIe peer-to-peer.
+  static InterconnectSpec pcie_peer();
+};
+
+/// A set of identical simulated GPUs plus an interconnect.
+class Cluster {
+ public:
+  /// Builds `device_count` devices of the given spec.
+  Cluster(const DeviceSpec& spec, std::size_t device_count,
+          InterconnectSpec link = InterconnectSpec::infiniband_qdr());
+
+  [[nodiscard]] std::size_t size() const noexcept { return devices_.size(); }
+  [[nodiscard]] Device& device(std::size_t i) { return *devices_.at(i); }
+  [[nodiscard]] const Device& device(std::size_t i) const { return *devices_.at(i); }
+  [[nodiscard]] const InterconnectSpec& link() const noexcept { return link_; }
+
+  /// Wall-clock of the concurrent phase so far: max over member device
+  /// clocks plus accumulated communication time.
+  [[nodiscard]] double parallel_seconds() const;
+
+  /// Sum of all device clocks (the serialized-equivalent cost; the ratio
+  /// parallel/serial is the scaling efficiency).
+  [[nodiscard]] double total_device_seconds() const;
+
+  /// Communication seconds modeled so far.
+  [[nodiscard]] double communication_seconds() const noexcept { return comm_seconds_; }
+
+  /// Models a ring all-reduce of `bytes` across the cluster and returns
+  /// the modeled time (also accumulated into the cluster clock).  A
+  /// single-device cluster communicates for free.
+  double all_reduce(double bytes);
+
+  /// Resets every device timeline and the communication clock.
+  void reset();
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+  InterconnectSpec link_;
+  double comm_seconds_ = 0.0;
+};
+
+}  // namespace gpusim

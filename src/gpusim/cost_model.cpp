@@ -1,0 +1,75 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gpusim {
+
+KernelStats model_kernel_time(const DeviceSpec& spec, const ExecConfig& cfg,
+                              const CostCounters& counters) {
+  KernelStats stats;
+
+  const auto threads_per_block = static_cast<int>(cfg.threads_per_block());
+  KPM_REQUIRE(threads_per_block > 0, "model_kernel_time: empty block");
+
+  // --- Occupancy: resident blocks per SM under the three budgets.
+  const int by_threads = spec.max_threads_per_sm / threads_per_block;
+  const int by_blocks = spec.max_blocks_per_sm;
+  const int by_shared =
+      cfg.shared_bytes == 0
+          ? by_blocks
+          : static_cast<int>(spec.shared_mem_per_sm / std::max<std::size_t>(cfg.shared_bytes, 1));
+  const int resident = std::max(1, std::min({by_threads, by_blocks, by_shared}));
+  stats.resident_blocks_per_sm = resident;
+
+  const double blocks = static_cast<double>(cfg.total_blocks());
+  stats.waves = blocks / (static_cast<double>(spec.sm_count) * resident);
+
+  // Fraction of SMs that actually receive work (small grids).
+  const double active_sms =
+      std::min<double>(spec.sm_count, std::max(1.0, blocks));
+  const double sm_fill = active_sms / spec.sm_count;
+
+  // Latency hiding: achieved issue rate grows with resident warps per SM.
+  const int warps_per_block = (threads_per_block + spec.warp_size - 1) / spec.warp_size;
+  const double resident_warps =
+      std::min<double>(resident * warps_per_block,
+                       static_cast<double>(spec.max_threads_per_sm) / spec.warp_size);
+  const double latency_factor =
+      std::min(1.0, resident_warps / static_cast<double>(spec.latency_hiding_warps));
+  stats.occupancy = latency_factor * sm_fill;
+
+  // --- Roofline terms.
+  const double effective_flops = spec.peak_dp_flops() * std::max(stats.occupancy, 1e-6);
+  stats.compute_seconds = counters.flops / effective_flops;
+
+  double memory = 0.0;
+  for (int p = 0; p < kAccessPatternCount; ++p) {
+    const auto pattern = static_cast<AccessPattern>(p);
+    const auto idx = static_cast<std::size_t>(p);
+    memory += (counters.global_read_bytes[idx] + counters.global_write_bytes[idx]) /
+              spec.effective_bandwidth(pattern);
+  }
+  // A near-empty grid cannot saturate the memory system either.
+  stats.memory_seconds = memory / std::max(sm_fill, 1e-6);
+
+  stats.shared_seconds =
+      counters.shared_bytes / (spec.shared_mem_bandwidth_per_sm * active_sms);
+
+  // Each barrier stalls the block for roughly one scheduling round trip
+  // (~40 cycles); barriers counted per block execution.
+  stats.sync_seconds = counters.barriers * 40.0 / spec.core_clock_hz / std::max(1.0, blocks / active_sms);
+
+  stats.seconds = spec.kernel_launch_overhead_s +
+                  std::max({stats.compute_seconds, stats.memory_seconds, stats.shared_seconds}) +
+                  stats.sync_seconds;
+  return stats;
+}
+
+double model_transfer_time(const DeviceSpec& spec, double bytes) {
+  return spec.pcie_latency_s + bytes / spec.pcie_bandwidth;
+}
+
+}  // namespace gpusim

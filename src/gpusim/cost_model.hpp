@@ -1,0 +1,51 @@
+// Analytic timing model: CostCounters + ExecConfig + DeviceSpec -> seconds.
+//
+// The model is a GPU roofline with occupancy:
+//
+//   compute = flops / (peak_dp * occupancy_factor)
+//   memory  = sum_p bytes_p / (peak_bw * efficiency_p)
+//   shared  = shared_bytes / (shared_bw_per_sm * active_sms)
+//   sync    = barriers * warp-scheduling cost
+//   kernel  = launch_overhead + max(compute, memory, shared) + sync
+//
+// Occupancy: resident blocks per SM are limited by the thread, block and
+// shared-memory budgets; the achieved fraction of peak compute throughput
+// scales with resident warps per SM up to `latency_hiding_warps` (a standard
+// simplification of Little's-law latency hiding; cf. the Hong & Kim
+// ISCA'09 analytical GPU model).  A grid too small to fill every SM is
+// additionally derated by the fraction of idle SMs.
+#pragma once
+
+#include "gpusim/counters.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/dim3.hpp"
+
+namespace gpusim {
+
+/// Timing breakdown of one kernel launch.
+struct KernelStats {
+  double seconds = 0.0;          ///< total modeled kernel time (incl. launch overhead)
+  double compute_seconds = 0.0;  ///< flop-limited component
+  double memory_seconds = 0.0;   ///< global-memory-limited component
+  double shared_seconds = 0.0;   ///< shared-memory-limited component
+  double sync_seconds = 0.0;     ///< barrier cost
+  double occupancy = 0.0;        ///< achieved fraction of peak issue rate [0, 1]
+  int resident_blocks_per_sm = 0;
+  double waves = 0.0;            ///< grid size / (SMs * resident blocks)
+
+  /// Which roofline term dominated ("compute", "memory" or "shared").
+  [[nodiscard]] const char* bound() const noexcept {
+    if (memory_seconds >= compute_seconds && memory_seconds >= shared_seconds) return "memory";
+    if (compute_seconds >= shared_seconds) return "compute";
+    return "shared";
+  }
+};
+
+/// Evaluates the timing model for one launch.
+[[nodiscard]] KernelStats model_kernel_time(const DeviceSpec& spec, const ExecConfig& cfg,
+                                            const CostCounters& counters);
+
+/// Models a host<->device PCIe transfer of `bytes`.
+[[nodiscard]] double model_transfer_time(const DeviceSpec& spec, double bytes);
+
+}  // namespace gpusim

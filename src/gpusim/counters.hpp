@@ -1,0 +1,56 @@
+// Operation counters accumulated during functional kernel execution.
+//
+// Kernels report their work through GlobalView accessors and explicit
+// flop() annotations; the cost model converts the totals into simulated
+// seconds.  Counters are doubles because extrapolated instance counts can
+// exceed 2^53-safe integer ranges only far beyond realistic workloads, and
+// scaling (sampling extrapolation) is a multiply.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "gpusim/device_spec.hpp"
+
+namespace gpusim {
+
+/// Totals of simulated work performed by one kernel launch.
+struct CostCounters {
+  double flops = 0.0;  ///< double-precision floating point operations
+  std::array<double, kAccessPatternCount> global_read_bytes{};
+  std::array<double, kAccessPatternCount> global_write_bytes{};
+  double shared_bytes = 0.0;  ///< shared-memory traffic (reads + writes)
+  double barriers = 0.0;      ///< __syncthreads-equivalents executed (per block)
+
+  CostCounters& operator+=(const CostCounters& o) {
+    flops += o.flops;
+    for (int p = 0; p < kAccessPatternCount; ++p) {
+      global_read_bytes[static_cast<std::size_t>(p)] +=
+          o.global_read_bytes[static_cast<std::size_t>(p)];
+      global_write_bytes[static_cast<std::size_t>(p)] +=
+          o.global_write_bytes[static_cast<std::size_t>(p)];
+    }
+    shared_bytes += o.shared_bytes;
+    barriers += o.barriers;
+    return *this;
+  }
+
+  /// Multiplies every total by `factor` (used by instance-sampling
+  /// extrapolation; see DESIGN.md).
+  void scale(double factor) {
+    flops *= factor;
+    for (auto& b : global_read_bytes) b *= factor;
+    for (auto& b : global_write_bytes) b *= factor;
+    shared_bytes *= factor;
+    barriers *= factor;
+  }
+
+  [[nodiscard]] double total_global_bytes() const {
+    double total = 0.0;
+    for (double b : global_read_bytes) total += b;
+    for (double b : global_write_bytes) total += b;
+    return total;
+  }
+};
+
+}  // namespace gpusim

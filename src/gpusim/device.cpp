@@ -1,0 +1,128 @@
+#include "gpusim/device.hpp"
+
+namespace gpusim {
+
+const char* to_string(TimelineEvent::Kind k) noexcept {
+  switch (k) {
+    case TimelineEvent::Kind::Allocation:
+      return "alloc";
+    case TimelineEvent::Kind::TransferToDevice:
+      return "h2d";
+    case TimelineEvent::Kind::TransferToHost:
+      return "d2h";
+    case TimelineEvent::Kind::KernelLaunch:
+      return "kernel";
+  }
+  return "?";
+}
+
+Device::Device(DeviceSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+  vram_ = std::make_shared<detail::VramState>();
+  vram_->capacity_bytes = spec_.global_mem_bytes;
+}
+
+KernelStats Device::launch(const ExecConfig& cfg, Kernel& kernel, double cost_scale,
+                           StreamId stream) {
+  KPM_REQUIRE(cfg.total_blocks() > 0, "launch: empty grid");
+  KPM_REQUIRE(cfg.threads_per_block() > 0, "launch: empty block");
+  KPM_REQUIRE(cfg.shared_bytes <= spec_.shared_mem_per_sm,
+              "launch: requested shared memory exceeds the per-SM capacity");
+  KPM_REQUIRE(cost_scale >= 1.0, "launch: cost_scale must be >= 1");
+  const int phases = kernel.phase_count();
+  KPM_REQUIRE(phases >= 1, "launch: kernel must have at least one phase");
+
+  CostCounters counters;
+  const Dim3 g = cfg.grid;
+  std::size_t linear_bid = 0;
+  for (std::uint32_t bz = 0; bz < g.z; ++bz)
+    for (std::uint32_t by = 0; by < g.y; ++by)
+      for (std::uint32_t bx = 0; bx < g.x; ++bx) {
+        BlockContext block(Dim3{bx, by, bz}, linear_bid++, cfg, counters);
+        for (int p = 0; p < phases; ++p) {
+          block.begin_phase();
+          kernel.block_phase(p, block);
+        }
+        // Implicit barrier at each phase boundary (none after the last).
+        counters.barriers += phases - 1;
+      }
+
+  counters.scale(cost_scale);
+  const KernelStats stats = model_kernel_time(spec_, cfg, counters);
+  push_event({TimelineEvent::Kind::KernelLaunch, kernel.name(), stats.seconds, 0.0, stats,
+              counters, stream, 0.0, 0.0},
+             stream);
+  return stats;
+}
+
+StreamId Device::create_stream() {
+  // New streams start at the device's current critical path (they cannot
+  // observe work that has not been issued yet, and creating one is a
+  // host-side action after everything issued so far).
+  stream_clock_.push_back(seconds());
+  return stream_clock_.size() - 1;
+}
+
+double Device::record_event(StreamId stream) const {
+  KPM_REQUIRE(stream < stream_clock_.size(), "record_event: unknown stream");
+  return stream_clock_[stream];
+}
+
+void Device::wait_event(StreamId stream, double event_seconds) {
+  KPM_REQUIRE(stream < stream_clock_.size(), "wait_event: unknown stream");
+  stream_clock_[stream] = std::max(stream_clock_[stream], event_seconds);
+}
+
+void Device::synchronize() {
+  const double cp = seconds();
+  for (double& clock : stream_clock_) clock = cp;
+}
+
+double Device::seconds() const noexcept {
+  double cp = 0.0;
+  for (double clock : stream_clock_) cp = std::max(cp, clock);
+  return cp;
+}
+
+TimelineSummary Device::summarize_timeline() const {
+  TimelineSummary s;
+  s.critical_path_seconds = seconds();
+  for (const auto& ev : timeline_) {
+    s.total_seconds += ev.seconds;
+    switch (ev.kind) {
+      case TimelineEvent::Kind::Allocation:
+        s.allocation_seconds += ev.seconds;
+        break;
+      case TimelineEvent::Kind::TransferToDevice:
+        s.transfer_seconds += ev.seconds;
+        s.bytes_to_device += ev.bytes;
+        break;
+      case TimelineEvent::Kind::TransferToHost:
+        s.transfer_seconds += ev.seconds;
+        s.bytes_to_host += ev.bytes;
+        break;
+      case TimelineEvent::Kind::KernelLaunch:
+        s.kernel_seconds += ev.seconds;
+        s.total_flops += ev.counters.flops;
+        s.launches += 1;
+        break;
+    }
+  }
+  return s;
+}
+
+void Device::reset_timeline() {
+  timeline_.clear();
+  for (double& clock : stream_clock_) clock = 0.0;
+}
+
+void Device::push_event(TimelineEvent ev, StreamId stream) {
+  KPM_REQUIRE(stream < stream_clock_.size(), "push_event: unknown stream (create_stream first)");
+  ev.stream = stream;
+  ev.start_seconds = stream_clock_[stream];
+  ev.end_seconds = ev.start_seconds + ev.seconds;
+  stream_clock_[stream] = ev.end_seconds;
+  timeline_.push_back(std::move(ev));
+}
+
+}  // namespace gpusim

@@ -1,0 +1,167 @@
+// The simulated GPU device: allocation, transfers, kernel launches and a
+// timeline of everything that happened.
+//
+// Mirrors the CUDA host API surface the paper uses: allocate VRAM, copy
+// input data host->device, launch kernels over a grid of thread blocks,
+// copy results back (Section II-B).  Every operation appends a timed event
+// to the device timeline.
+//
+// Streams: like CUDA, work issued to the same stream serializes; work on
+// different streams overlaps (copy/compute concurrency).  Every operation
+// takes an optional StreamId (default: stream 0).  The simulated clock
+// (seconds()) is the *critical path*: the maximum over stream clocks —
+// which for single-stream use degenerates to the plain sum of durations.
+// Cross-stream ordering uses record_event()/wait_event(), the cudaEvent
+// idiom.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/buffer.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/dim3.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace gpusim {
+
+/// Identifies an execution stream (0 = default stream).
+using StreamId = std::size_t;
+
+/// One entry of the device timeline.
+struct TimelineEvent {
+  enum class Kind { Allocation, TransferToDevice, TransferToHost, KernelLaunch };
+
+  Kind kind;
+  std::string label;
+  double seconds = 0.0;
+  double bytes = 0.0;          ///< transferred/allocated bytes (0 for launches)
+  KernelStats kernel_stats{};  ///< populated for KernelLaunch events
+  CostCounters counters{};     ///< populated for KernelLaunch events
+  StreamId stream = 0;
+  double start_seconds = 0.0;  ///< position on the stream's clock
+  double end_seconds = 0.0;
+};
+
+/// Returns "alloc", "h2d", "d2h" or "kernel".
+const char* to_string(TimelineEvent::Kind k) noexcept;
+
+/// Aggregated view of a timeline.
+struct TimelineSummary {
+  double total_seconds = 0.0;          ///< sum of durations (serialized-equivalent)
+  double critical_path_seconds = 0.0;  ///< wall clock with stream overlap
+  double allocation_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  double bytes_to_device = 0.0;
+  double bytes_to_host = 0.0;
+  double total_flops = 0.0;
+  std::size_t launches = 0;
+};
+
+/// A simulated GPU.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec);
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+
+  /// Allocates an n-element buffer in device global memory.  Throws
+  /// kpm::Error when VRAM is exhausted (mirroring cudaMalloc failure).
+  /// Allocation is a host-synchronous operation: it serializes on stream 0.
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t n, const std::string& label = "buffer") {
+    const std::size_t bytes = n * sizeof(T);
+    KPM_REQUIRE(vram_->used_bytes + bytes <= vram_->capacity_bytes,
+                "gpusim::Device out of memory allocating '" + label + "'");
+    vram_->used_bytes += bytes;
+    vram_->peak_used_bytes = std::max(vram_->peak_used_bytes, vram_->used_bytes);
+    vram_->allocation_count += 1;
+    synchronize();  // cudaMalloc is device-wide synchronous
+    push_event({TimelineEvent::Kind::Allocation, label, spec_.allocation_overhead_s,
+                static_cast<double>(bytes), {}, {}, 0, 0.0, 0.0},
+               0);
+    return DeviceBuffer<T>(vram_, n);
+  }
+
+  /// Copies host data into a device buffer (cudaMemcpyHostToDevice);
+  /// serializes on `stream`.
+  template <typename T>
+  void copy_to_device(std::span<const T> host, DeviceBuffer<T>& dst,
+                      const std::string& label = "h2d", StreamId stream = 0) {
+    KPM_REQUIRE(host.size() == dst.size(), "copy_to_device: size mismatch");
+    std::copy(host.begin(), host.end(), dst.raw().begin());
+    const double bytes = static_cast<double>(host.size_bytes());
+    push_event({TimelineEvent::Kind::TransferToDevice, label,
+                model_transfer_time(spec_, bytes), bytes, {}, {}, stream, 0.0, 0.0},
+               stream);
+  }
+
+  /// Copies a device buffer back to host memory (cudaMemcpyDeviceToHost);
+  /// serializes on `stream`.
+  template <typename T>
+  void copy_to_host(const DeviceBuffer<T>& src, std::span<T> host,
+                    const std::string& label = "d2h", StreamId stream = 0) {
+    KPM_REQUIRE(host.size() == src.size(), "copy_to_host: size mismatch");
+    std::copy(src.raw().begin(), src.raw().end(), host.begin());
+    const double bytes = static_cast<double>(host.size_bytes());
+    push_event({TimelineEvent::Kind::TransferToHost, label, model_transfer_time(spec_, bytes),
+                bytes, {}, {}, stream, 0.0, 0.0},
+               stream);
+  }
+
+  /// Executes `kernel` over the configured grid (functionally, on the host,
+  /// deterministically in block/phase/thread order) and appends a modeled
+  /// KernelLaunch event on `stream`.  `cost_scale` multiplies the counted
+  /// work before timing — used by instance-sampling extrapolation
+  /// (DESIGN.md §2); it never affects functional results.
+  KernelStats launch(const ExecConfig& cfg, Kernel& kernel, double cost_scale = 1.0,
+                     StreamId stream = 0);
+
+  /// Creates a new stream whose work overlaps other streams' work.
+  [[nodiscard]] StreamId create_stream();
+
+  /// Number of streams (>= 1; stream 0 always exists).
+  [[nodiscard]] std::size_t stream_count() const noexcept { return stream_clock_.size(); }
+
+  /// Records the current position of `stream` (cudaEventRecord): the
+  /// returned timestamp can gate other streams via wait_event.
+  [[nodiscard]] double record_event(StreamId stream) const;
+
+  /// Makes `stream` wait until `event_seconds` (cudaStreamWaitEvent).
+  void wait_event(StreamId stream, double event_seconds);
+
+  /// Joins all streams (cudaDeviceSynchronize): every stream clock advances
+  /// to the critical path.
+  void synchronize();
+
+  /// Simulated seconds elapsed since construction / the last reset: the
+  /// critical path max over stream clocks.
+  [[nodiscard]] double seconds() const noexcept;
+
+  [[nodiscard]] const std::vector<TimelineEvent>& timeline() const noexcept { return timeline_; }
+  [[nodiscard]] TimelineSummary summarize_timeline() const;
+
+  /// Clears the timeline and rewinds the simulated clocks (buffers, VRAM
+  /// accounting and created streams are untouched).
+  void reset_timeline();
+
+  [[nodiscard]] std::size_t vram_used() const noexcept { return vram_->used_bytes; }
+  [[nodiscard]] std::size_t vram_peak() const noexcept { return vram_->peak_used_bytes; }
+  [[nodiscard]] std::size_t vram_capacity() const noexcept { return vram_->capacity_bytes; }
+
+ private:
+  void push_event(TimelineEvent ev, StreamId stream);
+
+  DeviceSpec spec_;
+  std::shared_ptr<detail::VramState> vram_;
+  std::vector<TimelineEvent> timeline_;
+  std::vector<double> stream_clock_{0.0};  // index = StreamId
+};
+
+}  // namespace gpusim

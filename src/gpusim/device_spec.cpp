@@ -1,0 +1,91 @@
+#include "gpusim/device_spec.hpp"
+
+#include "common/error.hpp"
+
+namespace gpusim {
+
+const char* to_string(AccessPattern p) noexcept {
+  switch (p) {
+    case AccessPattern::Coalesced:
+      return "coalesced";
+    case AccessPattern::Broadcast:
+      return "broadcast";
+    case AccessPattern::Strided:
+      return "strided";
+    case AccessPattern::Random:
+      return "random";
+  }
+  return "?";
+}
+
+void DeviceSpec::validate() const {
+  KPM_REQUIRE(sm_count > 0, "DeviceSpec: sm_count must be positive");
+  KPM_REQUIRE(cores_per_sm > 0, "DeviceSpec: cores_per_sm must be positive");
+  KPM_REQUIRE(core_clock_hz > 0, "DeviceSpec: core_clock_hz must be positive");
+  KPM_REQUIRE(dp_throughput_ratio > 0 && dp_throughput_ratio <= 1.0,
+              "DeviceSpec: dp_throughput_ratio must be in (0, 1]");
+  KPM_REQUIRE(warp_size > 0, "DeviceSpec: warp_size must be positive");
+  KPM_REQUIRE(max_threads_per_sm >= warp_size, "DeviceSpec: max_threads_per_sm too small");
+  KPM_REQUIRE(max_blocks_per_sm > 0, "DeviceSpec: max_blocks_per_sm must be positive");
+  KPM_REQUIRE(latency_hiding_warps > 0, "DeviceSpec: latency_hiding_warps must be positive");
+  KPM_REQUIRE(global_mem_bytes > 0, "DeviceSpec: global_mem_bytes must be positive");
+  KPM_REQUIRE(global_mem_bandwidth > 0, "DeviceSpec: global_mem_bandwidth must be positive");
+  for (double eff : pattern_efficiency)
+    KPM_REQUIRE(eff > 0 && eff <= 1.0, "DeviceSpec: pattern efficiencies must be in (0, 1]");
+  KPM_REQUIRE(pcie_bandwidth > 0, "DeviceSpec: pcie_bandwidth must be positive");
+  KPM_REQUIRE(pcie_latency_s >= 0, "DeviceSpec: pcie_latency_s must be non-negative");
+  KPM_REQUIRE(kernel_launch_overhead_s >= 0,
+              "DeviceSpec: kernel_launch_overhead_s must be non-negative");
+  KPM_REQUIRE(allocation_overhead_s >= 0, "DeviceSpec: allocation_overhead_s must be non-negative");
+}
+
+DeviceSpec DeviceSpec::tesla_c2050() {
+  DeviceSpec s;
+  s.name = "NVIDIA Tesla C2050 (simulated)";
+  // Defaults above are the C2050 numbers; restated here for clarity.
+  s.sm_count = 14;
+  s.cores_per_sm = 32;
+  s.core_clock_hz = 1.15e9;
+  s.dp_throughput_ratio = 0.5;                    // 515 GFLOP/s DP
+  s.global_mem_bytes = 3ULL * 1024 * 1024 * 1024; // 3 GB GDDR5
+  s.global_mem_bandwidth = 144.0e9;               // 144 GB/s
+  s.shared_mem_per_sm = 48 * 1024;                // paper: 48 KB shared / 16 KB L1
+  return s;
+}
+
+DeviceSpec DeviceSpec::geforce_gtx285() {
+  DeviceSpec s;
+  s.name = "NVIDIA GeForce GTX 285 (simulated)";
+  s.sm_count = 30;
+  s.cores_per_sm = 8;
+  s.core_clock_hz = 1.476e9;
+  s.dp_throughput_ratio = 1.0 / 12.0;  // GT200: one DP unit per SM
+  s.max_threads_per_sm = 1024;
+  s.shared_mem_per_sm = 16 * 1024;
+  s.global_mem_bytes = 2ULL * 1024 * 1024 * 1024;
+  s.l2_cache_bytes = 0;  // GT200 has no general-purpose L2 for loads
+  s.global_mem_bandwidth = 159.0e9;
+  s.pattern_efficiency = {0.70, 0.90, 0.15, 0.05};  // stricter coalescing rules
+  return s;
+}
+
+DeviceSpec DeviceSpec::fictional_hpc2020() {
+  DeviceSpec s;
+  s.name = "fictional HPC accelerator (simulated)";
+  s.sm_count = 108;
+  s.cores_per_sm = 64;
+  s.core_clock_hz = 1.41e9;
+  s.dp_throughput_ratio = 0.5;
+  s.max_threads_per_sm = 2048;
+  s.max_blocks_per_sm = 32;
+  s.shared_mem_per_sm = 164 * 1024;
+  s.l2_cache_bytes = 40 * 1024 * 1024;
+  s.global_mem_bytes = 40ULL * 1024 * 1024 * 1024;
+  s.global_mem_bandwidth = 1555.0e9;
+  s.pcie_bandwidth = 25.0e9;
+  s.pcie_latency_s = 4e-6;
+  s.kernel_launch_overhead_s = 4e-6;
+  return s;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,79 @@
+// Grid/block geometry of the stream-computing execution model.
+//
+// Mirrors the CUDA conventions described in Section II-B of the paper:
+// thread blocks are tiled in a grid of up to three dimensions and each block
+// holds a matrix of threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace gpusim {
+
+/// Three-component extent, defaulting each axis to 1 (like CUDA's dim3).
+struct Dim3 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+  std::uint32_t z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(std::uint32_t x_, std::uint32_t y_ = 1, std::uint32_t z_ = 1)
+      : x(x_), y(y_), z(z_) {}
+
+  [[nodiscard]] constexpr std::size_t count() const noexcept {
+    return static_cast<std::size_t>(x) * y * z;
+  }
+
+  /// Row-major linearization: x fastest (matches CUDA thread numbering for
+  /// warp assignment).
+  [[nodiscard]] constexpr std::size_t linear(std::uint32_t ix, std::uint32_t iy,
+                                             std::uint32_t iz) const noexcept {
+    return (static_cast<std::size_t>(iz) * y + iy) * x + ix;
+  }
+
+  friend constexpr bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+/// A kernel launch configuration: the <<<grid, block>>> pair plus dynamic
+/// shared memory per block.
+struct ExecConfig {
+  Dim3 grid;
+  Dim3 block;
+  std::size_t shared_bytes = 0;  ///< dynamic shared memory requested per block
+
+  [[nodiscard]] std::size_t total_blocks() const noexcept { return grid.count(); }
+  [[nodiscard]] std::size_t threads_per_block() const noexcept { return block.count(); }
+  [[nodiscard]] std::size_t total_threads() const noexcept {
+    return total_blocks() * threads_per_block();
+  }
+
+  /// 1D convenience: ceil(n / block_size) blocks of block_size threads.
+  static ExecConfig linear(std::size_t n, std::uint32_t block_size,
+                           std::size_t shared_bytes = 0) {
+    KPM_REQUIRE(block_size > 0, "ExecConfig: block size must be positive");
+    KPM_REQUIRE(n > 0, "ExecConfig: need at least one thread");
+    const std::size_t blocks = (n + block_size - 1) / block_size;
+    ExecConfig cfg;
+    cfg.grid = Dim3{static_cast<std::uint32_t>(blocks)};
+    cfg.block = Dim3{block_size};
+    cfg.shared_bytes = shared_bytes;
+    return cfg;
+  }
+
+  [[nodiscard]] std::string describe() const {
+    auto dim = [](const Dim3& d) {
+      std::string s = std::to_string(d.x);
+      if (d.y > 1 || d.z > 1) s += "x" + std::to_string(d.y);
+      if (d.z > 1) s += "x" + std::to_string(d.z);
+      return s;
+    };
+    std::string s = "<<<" + dim(grid) + ", " + dim(block);
+    if (shared_bytes > 0) s += ", " + std::to_string(shared_bytes) + "B";
+    return s + ">>>";
+  }
+};
+
+}  // namespace gpusim

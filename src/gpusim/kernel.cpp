@@ -1,0 +1,28 @@
+#include "gpusim/kernel.hpp"
+
+namespace gpusim {
+
+BlockContext::BlockContext(Dim3 block_idx, std::size_t linear_bid, const ExecConfig& cfg,
+                           CostCounters& counters)
+    : block_idx_(block_idx), linear_bid_(linear_bid), cfg_(&cfg), counters_(&counters),
+      shared_(cfg.shared_bytes) {}
+
+void Kernel::block_phase(int phase, BlockContext& block) {
+  const Dim3 dims = block.config().block;
+  std::size_t linear = 0;
+  for (std::uint32_t z = 0; z < dims.z; ++z)
+    for (std::uint32_t y = 0; y < dims.y; ++y)
+      for (std::uint32_t x = 0; x < dims.x; ++x) {
+        // Each thread's shared_array() calls must resolve to the block's
+        // single shared allocation sequence (__shared__ semantics).
+        block.rewind_shared();
+        ThreadContext t(block, Dim3{x, y, z}, linear++);
+        thread_phase(phase, t);
+      }
+}
+
+void Kernel::thread_phase(int /*phase*/, ThreadContext& /*thread*/) {
+  KPM_FAIL("Kernel must override either block_phase() or thread_phase()");
+}
+
+}  // namespace gpusim

@@ -1,0 +1,175 @@
+// Kernel authoring interface of the stream-computing simulator.
+//
+// A kernel runs as a grid of thread blocks (paper Fig. 2).  Barrier
+// synchronization (__syncthreads) is expressed through *phases*: within one
+// phase every thread of a block runs to completion, and all threads observe
+// each other's shared-memory writes at the phase boundary.  This "bulk
+// synchronous per block" formulation executes deterministically on a single
+// host thread while preserving exactly the synchronization structure a CUDA
+// kernel with barriers has.
+//
+// Per-block state available to a kernel:
+//   * shared arena   — the block's shared memory (persists across phases);
+//   * thread locals  — per-thread storage persisting across phases
+//                      (CUDA registers/local memory that live across
+//                      __syncthreads).
+//
+// Kernels override either thread_phase() (per-thread code, closest to CUDA
+// style) or block_phase() (whole-block code, convenient for bulk-metered
+// inner loops).  The default block_phase() loops threads in warp order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/dim3.hpp"
+
+namespace gpusim {
+
+class BlockContext;
+
+/// Per-thread execution context handed to thread_phase().
+class ThreadContext {
+ public:
+  ThreadContext(BlockContext& block, Dim3 thread_idx, std::size_t linear_tid) noexcept
+      : block_(&block), thread_idx_(thread_idx), linear_tid_(linear_tid) {}
+
+  [[nodiscard]] Dim3 thread_idx() const noexcept { return thread_idx_; }
+  /// Linearized thread index within the block (warp order).
+  [[nodiscard]] std::size_t tid() const noexcept { return linear_tid_; }
+  [[nodiscard]] BlockContext& block() noexcept { return *block_; }
+
+  /// Linear global thread id: block_linear * threads_per_block + tid.
+  [[nodiscard]] std::size_t global_tid() const noexcept;
+
+  /// Records `n` double-precision floating point operations.
+  void flop(double n) noexcept;
+
+  /// Per-thread storage of `count` Ts persisting across phases.  Must be
+  /// called in the same order with the same sizes in every phase.
+  template <typename T>
+  std::span<T> local_array(std::size_t count);
+
+ private:
+  BlockContext* block_;
+  Dim3 thread_idx_;
+  std::size_t linear_tid_;
+};
+
+/// Per-block execution context: ids, shared memory, counters.
+class BlockContext {
+ public:
+  BlockContext(Dim3 block_idx, std::size_t linear_bid, const ExecConfig& cfg,
+               CostCounters& counters);
+
+  [[nodiscard]] Dim3 block_idx() const noexcept { return block_idx_; }
+  [[nodiscard]] std::size_t bid() const noexcept { return linear_bid_; }
+  [[nodiscard]] const ExecConfig& config() const noexcept { return *cfg_; }
+  [[nodiscard]] std::size_t threads() const noexcept { return cfg_->threads_per_block(); }
+  [[nodiscard]] CostCounters& counters() noexcept { return *counters_; }
+
+  /// Allocates `count` Ts from the block's shared memory arena.  Contents
+  /// persist across phases; allocation order must be identical in every
+  /// phase (the arena rewinds at each phase boundary, and per thread within
+  /// a phase, so every thread's n-th call sees the same storage — CUDA
+  /// __shared__ semantics).  Traffic through the returned span is *not*
+  /// metered automatically; use shared_access() for bandwidth-relevant
+  /// loops.
+  template <typename T>
+  std::span<T> shared_array(std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    const std::size_t aligned = (shared_offset_ + alignof(T) - 1) / alignof(T) * alignof(T);
+    KPM_REQUIRE(aligned + bytes <= shared_.size(),
+                "kernel exceeded its declared shared memory (ExecConfig::shared_bytes)");
+    shared_offset_ = aligned + bytes;
+    return {reinterpret_cast<T*>(shared_.data() + aligned), count};
+  }
+
+  /// Meters `bytes` of shared-memory traffic.
+  void shared_access(double bytes) noexcept { counters_->shared_bytes += bytes; }
+
+  /// Meters one block-wide barrier (the implicit phase boundary is metered
+  /// by the launcher; call this only for *additional* modeled barriers).
+  void barrier() noexcept { counters_->barriers += 1.0; }
+
+  /// Records `n` double-precision flops (block-level bulk annotation).
+  void flop(double n) noexcept { counters_->flops += n; }
+
+ private:
+  friend class ThreadContext;
+  friend class Device;
+  friend class Kernel;
+
+  void begin_phase() noexcept {
+    shared_offset_ = 0;
+    // Rewind thread-local slot cursors: allocation order must repeat each
+    // phase so the same storage is handed back (contents persist).
+    for (auto& cursor : local_cursors_) cursor = 0;
+  }
+
+  /// Rewinds the shared arena so the next thread's shared_array() calls
+  /// resolve to the same storage (called by the default per-thread driver).
+  void rewind_shared() noexcept { shared_offset_ = 0; }
+
+  Dim3 block_idx_;
+  std::size_t linear_bid_;
+  const ExecConfig* cfg_;
+  CostCounters* counters_;
+  std::vector<std::byte> shared_;
+  std::size_t shared_offset_ = 0;
+
+  // Per-thread local storage: one stable byte vector per (thread, call
+  // slot), created lazily on first local_array() use.  Slot-per-call keeps
+  // previously returned spans valid when later calls allocate more.
+  std::vector<std::vector<std::vector<std::byte>>> local_slots_;
+  std::vector<std::size_t> local_cursors_;
+};
+
+inline std::size_t ThreadContext::global_tid() const noexcept {
+  return block_->bid() * block_->threads() + linear_tid_;
+}
+
+inline void ThreadContext::flop(double n) noexcept { block_->counters().flops += n; }
+
+template <typename T>
+std::span<T> ThreadContext::local_array(std::size_t count) {
+  auto& slots = block_->local_slots_;
+  auto& cursors = block_->local_cursors_;
+  if (slots.empty()) {
+    slots.resize(block_->threads());
+    cursors.assign(block_->threads(), 0);
+  }
+  auto& my_slots = slots[linear_tid_];
+  const std::size_t slot = cursors[linear_tid_]++;
+  if (slot == my_slots.size()) my_slots.emplace_back(count * sizeof(T), std::byte{0});
+  auto& storage = my_slots[slot];
+  KPM_REQUIRE(storage.size() == count * sizeof(T),
+              "local_array: allocation sizes must repeat identically across phases");
+  return {reinterpret_cast<T*>(storage.data()), count};
+}
+
+/// Base class for simulated kernels.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Name shown in the device timeline.
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Number of barrier-delimited phases (>= 1).
+  [[nodiscard]] virtual int phase_count() const { return 1; }
+
+  /// Whole-block execution of one phase.  Default: iterate threads in warp
+  /// order, invoking thread_phase().
+  virtual void block_phase(int phase, BlockContext& block);
+
+  /// Per-thread execution of one phase.  Override this for CUDA-style
+  /// kernels; the default throws (meaning block_phase must be overridden).
+  virtual void thread_phase(int phase, ThreadContext& thread);
+};
+
+}  // namespace gpusim

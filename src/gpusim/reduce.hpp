@@ -1,0 +1,44 @@
+// Block-level tree reduction helper.
+//
+// Functional semantics: sums `partials` (one value per thread, living in the
+// block's shared memory) and returns the total.  Cost semantics: meters the
+// shared-memory traffic and the log2(threads) barrier rounds of the
+// canonical CUDA shared-memory tree reduction, so element-parallel dot
+// products (paper Fig. 4 b) are charged realistically even though the host
+// executes the sum serially.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <span>
+
+#include "gpusim/kernel.hpp"
+
+namespace gpusim {
+
+/// Tree-reduces `partials` (size = threads in the block) to a single sum.
+/// Call from a single point in a phase after all threads wrote their
+/// partial values.
+inline double block_reduce_sum(BlockContext& block, std::span<const double> partials) {
+  double total = 0.0;
+  for (double v : partials) total += v;
+
+  const auto n = partials.size();
+  if (n > 1) {
+    // Tree reduction: each of the log2 rounds halves the active threads;
+    // round k moves n/2^k doubles through shared memory and ends with a
+    // barrier.
+    const auto rounds = static_cast<double>(std::bit_width(n - 1));
+    double traffic = 0.0;
+    for (std::size_t active = n / 2; active >= 1; active /= 2) {
+      traffic += static_cast<double>(active) * 2.0 * sizeof(double);  // read partner + write
+      if (active == 1) break;
+    }
+    block.shared_access(traffic);
+    block.counters().flops += static_cast<double>(n - 1);  // the adds
+    block.counters().barriers += rounds;
+  }
+  return total;
+}
+
+}  // namespace gpusim

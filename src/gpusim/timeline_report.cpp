@@ -1,0 +1,42 @@
+#include "gpusim/timeline_report.hpp"
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace gpusim {
+
+std::string timeline_to_text(const Device& device) {
+  kpm::Table table({"stream", "start", "end", "kind", "label", "detail"});
+  for (const auto& ev : device.timeline()) {
+    std::string detail;
+    switch (ev.kind) {
+      case TimelineEvent::Kind::KernelLaunch:
+        detail = std::string(ev.kernel_stats.bound()) + "-bound, occupancy " +
+                 kpm::strprintf("%.0f%%", 100.0 * ev.kernel_stats.occupancy);
+        break;
+      case TimelineEvent::Kind::TransferToDevice:
+      case TimelineEvent::Kind::TransferToHost:
+        detail = kpm::format_bytes(ev.bytes);
+        break;
+      case TimelineEvent::Kind::Allocation:
+        detail = kpm::format_bytes(ev.bytes);
+        break;
+    }
+    table.add_row({std::to_string(ev.stream), kpm::format_seconds(ev.start_seconds),
+                   kpm::format_seconds(ev.end_seconds), to_string(ev.kind), ev.label,
+                   detail});
+  }
+  return table.to_text();
+}
+
+std::string timeline_summary_line(const Device& device) {
+  const auto s = device.summarize_timeline();
+  const double overlap =
+      s.total_seconds > 0.0 ? 100.0 * (1.0 - s.critical_path_seconds / s.total_seconds) : 0.0;
+  return kpm::strprintf("%zu events, %s critical path (%s serialized), %.1f%% overlapped",
+                        device.timeline().size(),
+                        kpm::format_seconds(s.critical_path_seconds).c_str(),
+                        kpm::format_seconds(s.total_seconds).c_str(), overlap);
+}
+
+}  // namespace gpusim

@@ -1,0 +1,20 @@
+// Human-readable rendering of a device timeline — the simulator's answer
+// to `nvprof`.
+#pragma once
+
+#include <string>
+
+#include "gpusim/device.hpp"
+
+namespace gpusim {
+
+/// Renders the timeline as an aligned table: stream, [start, end], kind,
+/// label and the dominant bound for kernels.  Intended for debugging and
+/// for the profiling story in the examples.
+[[nodiscard]] std::string timeline_to_text(const Device& device);
+
+/// One-line summary: "N events, X ms critical path (Y ms serialized), Z%
+/// overlap".
+[[nodiscard]] std::string timeline_summary_line(const Device& device);
+
+}  // namespace gpusim

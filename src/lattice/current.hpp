@@ -1,0 +1,28 @@
+// Current (velocity) operator for tight-binding lattices.
+//
+// For H = -t sum_<ij> |i><j| the charge-current operator along axis a is
+//
+//   J_a = (i e t / hbar) sum_<ij> (r_i - r_j)_a (|i><j| - |j><i|) = i A_a
+//
+// with A_a REAL and ANTISYMMETRIC.  Working with A keeps the whole
+// Kubo-Greenwood machinery in real arithmetic:
+// Tr[J f(H) J g(H)] = -Tr[A f(H) A g(H)] for real symmetric f(H), g(H).
+// Periodic boundaries use the minimum-image displacement (+-1 across the
+// wrap), which is the standard convention for lattice current operators.
+#pragma once
+
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/crs_matrix.hpp"
+
+namespace kpm::lattice {
+
+/// Builds A_axis (the current operator divided by i, in units of
+/// e t a / hbar) for the nearest-neighbour tight-binding model on `lat`.
+/// `axis` is 0, 1 or 2 and must have extent > 1.  The result is real
+/// antisymmetric with the Hamiltonian's hopping pattern.
+[[nodiscard]] linalg::CrsMatrix build_current_operator_crs(const HypercubicLattice& lat,
+                                                           std::size_t axis,
+                                                           const TightBindingParams& params = {});
+
+}  // namespace kpm::lattice

@@ -1,0 +1,56 @@
+#include "lattice/honeycomb.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace kpm::lattice {
+
+HoneycombLattice::HoneycombLattice(std::size_t l1, std::size_t l2) : l1_(l1), l2_(l2) {
+  KPM_REQUIRE(l1 >= 1 && l2 >= 1, "HoneycombLattice: extents must be >= 1");
+}
+
+std::size_t HoneycombLattice::site_index(std::size_t c1, std::size_t c2,
+                                         std::size_t sublattice) const {
+  KPM_REQUIRE(c1 < l1_ && c2 < l2_ && sublattice < 2,
+              "HoneycombLattice::site_index: out of range");
+  return (c2 * l1_ + c1) * 2 + sublattice;
+}
+
+std::vector<std::size_t> HoneycombLattice::neighbours_of_a(std::size_t c1, std::size_t c2) const {
+  KPM_REQUIRE(c1 < l1_ && c2 < l2_, "HoneycombLattice::neighbours_of_a: out of range");
+  const std::size_t c1m = (c1 + l1_ - 1) % l1_;
+  const std::size_t c2m = (c2 + l2_ - 1) % l2_;
+  return {site_index(c1, c2, 1), site_index(c1m, c2, 1), site_index(c1, c2m, 1)};
+}
+
+linalg::CrsMatrix HoneycombLattice::hamiltonian(double hopping) const {
+  const std::size_t n = sites();
+  linalg::TripletBuilder b(n, n);
+  for (std::size_t c2 = 0; c2 < l2_; ++c2)
+    for (std::size_t c1 = 0; c1 < l1_; ++c1) {
+      const std::size_t a = site_index(c1, c2, 0);
+      for (std::size_t bsite : neighbours_of_a(c1, c2)) b.add_symmetric(a, bsite, -hopping);
+    }
+  // Structural zero diagonals, same convention as the cubic model.
+  return linalg::with_structural_diagonal(b.build());
+}
+
+std::vector<double> HoneycombLattice::spectrum(double hopping) const {
+  std::vector<double> out;
+  out.reserve(sites());
+  for (std::size_t m2 = 0; m2 < l2_; ++m2)
+    for (std::size_t m1 = 0; m1 < l1_; ++m1) {
+      const double k1 = 2.0 * std::numbers::pi * static_cast<double>(m1) / static_cast<double>(l1_);
+      const double k2 = 2.0 * std::numbers::pi * static_cast<double>(m2) / static_cast<double>(l2_);
+      const double re = 1.0 + std::cos(k1) + std::cos(k2);
+      const double im = std::sin(k1) + std::sin(k2);
+      const double f = hopping * std::sqrt(re * re + im * im);
+      out.push_back(-f);
+      out.push_back(f);
+    }
+  return out;
+}
+
+}  // namespace kpm::lattice

@@ -1,0 +1,45 @@
+// Honeycomb (graphene) lattice tight-binding model.
+//
+// Two-site unit cell on a triangular Bravais lattice: sublattice A couples
+// to three B neighbours (same cell, -a1 cell, -a2 cell).  The band
+// structure E(k) = +- t |1 + e^{i k.a1} + e^{i k.a2}| has Dirac cones at
+// the K points, giving the famous rho(E) ~ |E| pseudogap that the
+// honeycomb_dos test and example verify against the KPM result.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/crs_matrix.hpp"
+
+namespace kpm::lattice {
+
+/// Honeycomb lattice of l1 x l2 unit cells (2 sites each) with periodic
+/// boundary conditions.
+class HoneycombLattice {
+ public:
+  HoneycombLattice(std::size_t l1, std::size_t l2);
+
+  [[nodiscard]] std::size_t cells() const noexcept { return l1_ * l2_; }
+  [[nodiscard]] std::size_t sites() const noexcept { return 2 * cells(); }
+
+  /// Site index of (cell1, cell2, sublattice) with sublattice 0 = A, 1 = B.
+  [[nodiscard]] std::size_t site_index(std::size_t c1, std::size_t c2,
+                                       std::size_t sublattice) const;
+
+  /// The three B-sublattice neighbours of A site (c1, c2).
+  [[nodiscard]] std::vector<std::size_t> neighbours_of_a(std::size_t c1, std::size_t c2) const;
+
+  /// Nearest-neighbour Hamiltonian H = -t sum |A><B| + h.c. in CRS form,
+  /// with structural zero diagonal (matching the cubic builder convention).
+  [[nodiscard]] linalg::CrsMatrix hamiltonian(double hopping = 1.0) const;
+
+  /// Closed-form spectrum (size = sites): +-|f(k)| over the discrete
+  /// Brillouin zone, f(k) = t (1 + e^{i k1} + e^{i k2}).
+  [[nodiscard]] std::vector<double> spectrum(double hopping = 1.0) const;
+
+ private:
+  std::size_t l1_, l2_;
+};
+
+}  // namespace kpm::lattice

@@ -1,0 +1,130 @@
+#include "lattice/lattice.hpp"
+
+#include <sstream>
+
+namespace kpm::lattice {
+
+HypercubicLattice::HypercubicLattice(std::array<std::size_t, 3> dims, Boundary boundary)
+    : dims_(dims), boundary_(boundary) {
+  KPM_REQUIRE(dims_[0] >= 1 && dims_[1] >= 1 && dims_[2] >= 1,
+              "HypercubicLattice: extents must be >= 1");
+  // Trailing-1 convention: an unused axis must come after all used axes.
+  KPM_REQUIRE(!(dims_[1] == 1 && dims_[2] > 1),
+              "HypercubicLattice: unused axes must be trailing (got Ly=1, Lz>1)");
+}
+
+std::size_t HypercubicLattice::effective_dimension() const noexcept {
+  std::size_t d = 0;
+  for (std::size_t e : dims_)
+    if (e > 1) ++d;
+  return d == 0 ? 1 : d;
+}
+
+std::size_t HypercubicLattice::site_index(std::size_t x, std::size_t y, std::size_t z) const {
+  KPM_REQUIRE(x < dims_[0] && y < dims_[1] && z < dims_[2],
+              "HypercubicLattice::site_index: coordinates out of range");
+  return (z * dims_[1] + y) * dims_[0] + x;
+}
+
+std::array<std::size_t, 3> HypercubicLattice::site_coords(std::size_t index) const {
+  KPM_REQUIRE(index < sites(), "HypercubicLattice::site_coords: index out of range");
+  const std::size_t x = index % dims_[0];
+  const std::size_t y = (index / dims_[0]) % dims_[1];
+  const std::size_t z = index / (dims_[0] * dims_[1]);
+  return {x, y, z};
+}
+
+std::vector<std::size_t> HypercubicLattice::neighbours(std::size_t index) const {
+  const auto [x, y, z] = site_coords(index);
+  std::vector<std::size_t> out;
+  out.reserve(6);
+
+  const std::array<std::size_t, 3> coords{x, y, z};
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    const std::size_t extent = dims_[axis];
+    if (extent == 1) continue;
+    for (int dir : {-1, +1}) {
+      auto c = coords;
+      if (dir == -1) {
+        if (c[axis] == 0) {
+          if (boundary_ == Boundary::Open) continue;
+          c[axis] = extent - 1;
+        } else {
+          --c[axis];
+        }
+      } else {
+        if (c[axis] + 1 == extent) {
+          if (boundary_ == Boundary::Open) continue;
+          c[axis] = 0;
+        } else {
+          ++c[axis];
+        }
+      }
+      out.push_back(site_index(c[0], c[1], c[2]));
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> HypercubicLattice::next_nearest_neighbours(std::size_t index) const {
+  const auto [x, y, z] = site_coords(index);
+  const std::array<std::size_t, 3> coords{x, y, z};
+  std::vector<std::size_t> out;
+
+  // Steps a coordinate by +-1 (or +-2 for the 1D case) with the lattice's
+  // boundary handling; returns false when an open boundary is crossed.
+  auto step = [&](std::array<std::size_t, 3>& c, std::size_t axis, int dir, std::size_t by,
+                  bool& ok) {
+    const std::size_t extent = dims_[axis];
+    auto pos = static_cast<long long>(c[axis]) + dir * static_cast<long long>(by);
+    if (pos < 0 || pos >= static_cast<long long>(extent)) {
+      if (boundary_ == Boundary::Open) {
+        ok = false;
+        return;
+      }
+      pos = ((pos % static_cast<long long>(extent)) + static_cast<long long>(extent)) %
+            static_cast<long long>(extent);
+    }
+    c[axis] = static_cast<std::size_t>(pos);
+  };
+
+  if (effective_dimension() == 1) {
+    out.reserve(2);
+    for (int dir : {-1, +1}) {
+      auto c = coords;
+      bool ok = true;
+      step(c, 0, dir, 2, ok);
+      if (ok) out.push_back(site_index(c[0], c[1], c[2]));
+    }
+    return out;
+  }
+
+  out.reserve(12);
+  for (std::size_t a = 0; a < 3; ++a) {
+    if (dims_[a] == 1) continue;
+    for (std::size_t b = a + 1; b < 3; ++b) {
+      if (dims_[b] == 1) continue;
+      for (int da : {-1, +1})
+        for (int db : {-1, +1}) {
+          auto c = coords;
+          bool ok = true;
+          step(c, a, da, 1, ok);
+          if (ok) step(c, b, db, 1, ok);
+          if (ok) out.push_back(site_index(c[0], c[1], c[2]));
+        }
+    }
+  }
+  return out;
+}
+
+std::string HypercubicLattice::describe() const {
+  static const char* names[] = {"chain", "square", "cubic"};
+  std::ostringstream os;
+  os << names[effective_dimension() - 1] << ' ' << dims_[0];
+  if (dims_[1] > 1) os << 'x' << dims_[1];
+  if (dims_[2] > 1) os << 'x' << dims_[2];
+  os << " (" << to_string(boundary_) << ')';
+  return os.str();
+}
+
+}  // namespace kpm::lattice

@@ -1,0 +1,73 @@
+#include "lattice/peierls.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "lattice/honeycomb.hpp"
+
+namespace kpm::lattice {
+
+linalg::CrsMatrixZ build_square_flux_crs(std::size_t lx, std::size_t ly, double phi,
+                                         double hopping, Boundary boundary) {
+  KPM_REQUIRE(lx >= 2 && ly >= 2, "build_square_flux_crs: extents must be >= 2");
+  if (boundary == Boundary::Periodic) {
+    // Wrapping the x direction is only gauge-consistent when the total
+    // phase around the torus is a multiple of 2 pi per y-row.
+    const double total = phi * static_cast<double>(lx);
+    KPM_REQUIRE(std::abs(total - std::round(total)) < 1e-9,
+                "build_square_flux_crs: periodic boundaries need phi * Lx integral "
+                "(use phi = p/Lx or open boundaries)");
+  }
+
+  const std::size_t n = lx * ly;
+  linalg::TripletBuilderZ b(n, n);
+  auto site = [&](std::size_t x, std::size_t y) { return y * lx + x; };
+
+  for (std::size_t y = 0; y < ly; ++y)
+    for (std::size_t x = 0; x < lx; ++x) {
+      // x-bond (no phase in Landau gauge).
+      if (x + 1 < lx)
+        b.add_hermitian(site(x, y), site(x + 1, y), {-hopping, 0.0});
+      else if (boundary == Boundary::Periodic && lx > 2)
+        b.add_hermitian(site(x, y), site(0, y), {-hopping, 0.0});
+
+      // y-bond with Peierls phase exp(i 2 pi phi x).
+      const double theta = 2.0 * std::numbers::pi * phi * static_cast<double>(x);
+      const linalg::CrsMatrixZ::Complex t_y{-hopping * std::cos(theta),
+                                            -hopping * std::sin(theta)};
+      if (y + 1 < ly)
+        b.add_hermitian(site(x, y), site(x, y + 1), t_y);
+      else if (boundary == Boundary::Periodic && ly > 2)
+        b.add_hermitian(site(x, y), site(x, 0), t_y);
+    }
+  return b.build();
+}
+
+linalg::CrsMatrixZ build_honeycomb_flux_crs(std::size_t l1, std::size_t l2, double phi,
+                                            double hopping) {
+  KPM_REQUIRE(l1 >= 2 && l2 >= 2, "build_honeycomb_flux_crs: extents must be >= 2");
+  const double total = phi * static_cast<double>(l1);
+  KPM_REQUIRE(std::abs(total - std::round(total)) < 1e-9,
+              "build_honeycomb_flux_crs: periodic boundaries need phi * L1 integral");
+
+  const HoneycombLattice lat(l1, l2);
+  linalg::TripletBuilderZ b(lat.sites(), lat.sites());
+  for (std::size_t c2 = 0; c2 < l2; ++c2)
+    for (std::size_t c1 = 0; c1 < l1; ++c1) {
+      const std::size_t a = lat.site_index(c1, c2, 0);
+      const std::size_t c1m = (c1 + l1 - 1) % l1;
+      const std::size_t c2m = (c2 + l2 - 1) % l2;
+      // delta_1: same-cell bond, no phase.
+      b.add_hermitian(a, lat.site_index(c1, c2, 1), {-hopping, 0.0});
+      // delta_2: -a1 bond, no phase in this gauge.
+      b.add_hermitian(a, lat.site_index(c1m, c2, 1), {-hopping, 0.0});
+      // delta_3: -a2 bond carries exp(i 2 pi phi c1).
+      const double theta = 2.0 * std::numbers::pi * phi * static_cast<double>(c1);
+      b.add_hermitian(a, lat.site_index(c1, c2m, 1),
+                      {-hopping * std::cos(theta), -hopping * std::sin(theta)});
+    }
+  return b.build();
+}
+
+}  // namespace kpm::lattice

@@ -1,0 +1,39 @@
+// Peierls substitution: tight-binding lattices in a magnetic field.
+//
+// A uniform perpendicular field B through a square lattice multiplies each
+// hopping by the Peierls phase exp(i (e/hbar) integral A.dl).  In Landau
+// gauge A = (0, B x, 0) only the y-bonds acquire phases:
+//
+//   t_{(x,y) -> (x,y+1)} = -t exp(i 2 pi phi x)
+//
+// with phi = B a^2 / Phi_0 the flux per plaquette in flux quanta.  At
+// rational phi = p/q the spectrum splits into q magnetic subbands — the
+// Hofstadter butterfly that examples/hofstadter_butterfly.cpp renders via
+// the Hermitian KPM.
+#pragma once
+
+#include "lattice/lattice.hpp"
+#include "linalg/hermitian_matrix.hpp"
+
+namespace kpm::lattice {
+
+/// Builds the square-lattice Hamiltonian with flux `phi` (in flux quanta
+/// per plaquette) in Landau gauge.  Periodic boundaries along x require
+/// phi * Lx to be an integer for a consistent flux (checked); use open
+/// boundaries along... the builder requires `phi * lx` integral within
+/// 1e-9 when the lattice is periodic.  `hopping` is t.
+[[nodiscard]] linalg::CrsMatrixZ build_square_flux_crs(std::size_t lx, std::size_t ly, double phi,
+                                                       double hopping = 1.0,
+                                                       Boundary boundary = Boundary::Periodic);
+
+/// Builds the honeycomb (graphene) Hamiltonian with flux `phi` per
+/// hexagonal plaquette (flux quanta), periodic in both directions.  Gauge:
+/// the A(c1,c2) -> B(c1,c2-1) bond carries phase exp(i 2 pi phi c1); each
+/// hexagon then encloses exactly 2 pi phi.  Requires phi * l1 integral.
+/// The zero-field Dirac cones split into relativistic Landau levels
+/// E_n ~ +-sqrt(n B) with a field-independent n = 0 level pinned at E = 0
+/// (see examples/landau_levels.cpp).
+[[nodiscard]] linalg::CrsMatrixZ build_honeycomb_flux_crs(std::size_t l1, std::size_t l2,
+                                                          double phi, double hopping = 1.0);
+
+}  // namespace kpm::lattice

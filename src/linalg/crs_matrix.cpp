@@ -1,0 +1,169 @@
+#include "linalg/crs_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace kpm::linalg {
+
+CrsMatrix::CrsMatrix(std::size_t rows, std::size_t cols, std::vector<Index> row_ptr,
+                     std::vector<Index> col_idx, std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  KPM_REQUIRE(row_ptr_.size() == rows_ + 1, "CrsMatrix: row_ptr must have rows+1 entries");
+  KPM_REQUIRE(row_ptr_.front() == 0, "CrsMatrix: row_ptr[0] must be 0");
+  KPM_REQUIRE(static_cast<std::size_t>(row_ptr_.back()) == values_.size(),
+              "CrsMatrix: row_ptr[rows] must equal nnz");
+  KPM_REQUIRE(col_idx_.size() == values_.size(), "CrsMatrix: col_idx/values size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    KPM_REQUIRE(row_ptr_[r] <= row_ptr_[r + 1], "CrsMatrix: row_ptr must be non-decreasing");
+    for (Index k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      KPM_REQUIRE(col_idx_[static_cast<std::size_t>(k)] >= 0 &&
+                      static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)]) < cols_,
+                  "CrsMatrix: column index out of range");
+      if (k > row_ptr_[r])
+        KPM_REQUIRE(col_idx_[static_cast<std::size_t>(k - 1)] < col_idx_[static_cast<std::size_t>(k)],
+                    "CrsMatrix: columns must be sorted and unique within a row");
+    }
+  }
+}
+
+double CrsMatrix::at(std::size_t r, std::size_t c) const {
+  KPM_REQUIRE(r < rows_ && c < cols_, "CrsMatrix::at: index out of range");
+  const auto* begin = col_idx_.data() + row_ptr_[r];
+  const auto* end = col_idx_.data() + row_ptr_[r + 1];
+  const auto* it = std::lower_bound(begin, end, static_cast<Index>(c));
+  if (it == end || *it != static_cast<Index>(c)) return 0.0;
+  return values_[static_cast<std::size_t>(row_ptr_[r] + (it - begin))];
+}
+
+std::size_t CrsMatrix::max_row_nnz() const {
+  std::size_t m = 0;
+  for (std::size_t r = 0; r < rows_; ++r)
+    m = std::max(m, static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r]));
+  return m;
+}
+
+void CrsMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  KPM_REQUIRE(x.size() == cols_ && y.size() == rows_, "CrsMatrix::multiply: dimension mismatch");
+  KPM_REQUIRE(x.data() != y.data(), "CrsMatrix::multiply: x and y must not alias");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (Index k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      acc += values_[kk] * x[static_cast<std::size_t>(col_idx_[kk])];
+    }
+    y[r] = acc;
+  }
+}
+
+bool CrsMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (Index k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      const auto c = static_cast<std::size_t>(col_idx_[kk]);
+      if (std::abs(values_[kk] - at(c, r)) > tol) return false;
+    }
+  return true;
+}
+
+DenseMatrix CrsMatrix::to_dense() const {
+  DenseMatrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (Index k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      m(r, static_cast<std::size_t>(col_idx_[kk])) = values_[kk];
+    }
+  return m;
+}
+
+TripletBuilder::TripletBuilder(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+  KPM_REQUIRE(rows > 0 && cols > 0, "TripletBuilder dimensions must be positive");
+}
+
+void TripletBuilder::add(std::size_t r, std::size_t c, double value) {
+  KPM_REQUIRE(r < rows_ && c < cols_, "TripletBuilder::add: index out of range");
+  entries_.push_back({r, c, value});
+}
+
+void TripletBuilder::add_symmetric(std::size_t r, std::size_t c, double value) {
+  add(r, c, value);
+  if (r != c) add(c, r, value);
+}
+
+CrsMatrix TripletBuilder::build() {
+  std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+    return a.r != b.r ? a.r < b.r : a.c < b.c;
+  });
+
+  std::vector<CrsMatrix::Index> row_ptr(rows_ + 1, 0);
+  std::vector<CrsMatrix::Index> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(entries_.size());
+  values.reserve(entries_.size());
+
+  for (std::size_t i = 0; i < entries_.size();) {
+    const std::size_t r = entries_[i].r;
+    const std::size_t c = entries_[i].c;
+    double v = 0.0;
+    while (i < entries_.size() && entries_[i].r == r && entries_[i].c == c) v += entries_[i++].v;
+    if (v != 0.0) {
+      col_idx.push_back(static_cast<CrsMatrix::Index>(c));
+      values.push_back(v);
+      ++row_ptr[r + 1];
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr[r + 1] += row_ptr[r];
+
+  entries_.clear();
+  return CrsMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx), std::move(values));
+}
+
+CrsMatrix with_structural_diagonal(const CrsMatrix& m) {
+  KPM_REQUIRE(m.rows() == m.cols(), "with_structural_diagonal requires a square matrix");
+  const std::size_t n = m.rows();
+  const auto row_ptr = m.row_ptr();
+  const auto col_idx = m.col_idx();
+  const auto values = m.values();
+  std::vector<CrsMatrix::Index> new_row_ptr(n + 1, 0);
+  std::vector<CrsMatrix::Index> new_col;
+  std::vector<double> new_val;
+  new_col.reserve(m.nnz() + n);
+  new_val.reserve(m.nnz() + n);
+  for (std::size_t r = 0; r < n; ++r) {
+    bool diag_seen = false;
+    for (auto k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      const auto c = static_cast<std::size_t>(col_idx[kk]);
+      if (!diag_seen && c > r) {
+        new_col.push_back(static_cast<CrsMatrix::Index>(r));
+        new_val.push_back(0.0);
+        diag_seen = true;
+      }
+      if (c == r) diag_seen = true;
+      new_col.push_back(col_idx[kk]);
+      new_val.push_back(values[kk]);
+    }
+    if (!diag_seen) {
+      new_col.push_back(static_cast<CrsMatrix::Index>(r));
+      new_val.push_back(0.0);
+    }
+    new_row_ptr[r + 1] = static_cast<CrsMatrix::Index>(new_val.size());
+  }
+  return CrsMatrix(n, n, std::move(new_row_ptr), std::move(new_col), std::move(new_val));
+}
+
+CrsMatrix dense_to_crs(const DenseMatrix& m, double drop_tol) {
+  TripletBuilder b(m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      if (std::abs(m(r, c)) > drop_tol) b.add(r, c, m(r, c));
+  return b.build();
+}
+
+}  // namespace kpm::linalg

@@ -1,0 +1,56 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace kpm::linalg {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols) {
+  KPM_REQUIRE(rows > 0 && cols > 0, "DenseMatrix dimensions must be positive");
+}
+
+double DenseMatrix::symmetry_defect() const {
+  KPM_REQUIRE(square(), "symmetry_defect requires a square matrix");
+  double defect = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c)
+      defect = std::max(defect, std::abs((*this)(r, c) - (*this)(c, r)));
+  return defect;
+}
+
+void DenseMatrix::symmetrize() {
+  KPM_REQUIRE(square(), "symmetrize requires a square matrix");
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      const double avg = 0.5 * ((*this)(r, c) + (*this)(c, r));
+      (*this)(r, c) = avg;
+      (*this)(c, r) = avg;
+    }
+}
+
+double DenseMatrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : data_.span()) acc += v * v;
+  return std::sqrt(acc);
+}
+
+void DenseMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  KPM_REQUIRE(x.size() == cols_ && y.size() == rows_, "multiply: dimension mismatch");
+  KPM_REQUIRE(x.data() != y.data(), "multiply: x and y must not alias");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += a[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+}  // namespace kpm::linalg

@@ -1,0 +1,66 @@
+// Dense row-major matrix.
+//
+// The paper's Figs. 7 and 8 deliberately run the KPM over a *dense* H~
+// ("the simple case when the CRS format is not applied"), making the
+// recursion cost O(S R N D^2).  This type is that storage: a fixed-size
+// row-major array with symmetric-matrix helpers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+
+namespace kpm::linalg {
+
+/// Fixed-dimension dense row-major matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// Creates a zero-initialized rows x cols matrix.
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool square() const noexcept { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+
+  /// Contiguous view of row r.
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return data_.span().subspan(r * cols_, cols_);
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return data_.span().subspan(r * cols_, cols_);
+  }
+
+  [[nodiscard]] std::span<double> data() noexcept { return data_.span(); }
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_.span(); }
+
+  /// Sets all entries to zero.
+  void set_zero() { data_.fill(0.0); }
+
+  /// Returns max |A - A^T| entry; 0 for exactly symmetric matrices.
+  [[nodiscard]] double symmetry_defect() const;
+
+  /// Enforces exact symmetry by averaging A and A^T in place.
+  void symmetrize();
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// y = A * x  (y must not alias x).
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Returns the D x D identity.
+  static DenseMatrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  AlignedBuffer<double> data_;
+};
+
+}  // namespace kpm::linalg

@@ -1,0 +1,54 @@
+#include "linalg/gershgorin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace kpm::linalg {
+
+SpectralBounds gershgorin_bounds(const DenseMatrix& m) {
+  KPM_REQUIRE(m.square(), "gershgorin_bounds requires a square matrix");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double center = m(r, r);
+    double radius = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      if (c != r) radius += std::abs(m(r, c));
+    lo = std::min(lo, center - radius);
+    hi = std::max(hi, center + radius);
+  }
+  return {lo, hi};
+}
+
+SpectralBounds gershgorin_bounds(const CrsMatrix& m) {
+  KPM_REQUIRE(m.rows() == m.cols(), "gershgorin_bounds requires a square matrix");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  const auto row_ptr = m.row_ptr();
+  const auto col_idx = m.col_idx();
+  const auto values = m.values();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double center = 0.0;
+    double radius = 0.0;
+    for (auto k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      if (static_cast<std::size_t>(col_idx[kk]) == r)
+        center = values[kk];
+      else
+        radius += std::abs(values[kk]);
+    }
+    lo = std::min(lo, center - radius);
+    hi = std::max(hi, center + radius);
+  }
+  return {lo, hi};
+}
+
+SpectralBounds gershgorin_bounds(const MatrixOperator& op) {
+  return op.storage() == Storage::Dense ? gershgorin_bounds(*op.dense())
+                                        : gershgorin_bounds(*op.crs());
+}
+
+}  // namespace kpm::linalg

@@ -1,0 +1,31 @@
+// Gershgorin disc bounds on the spectrum of a square matrix.
+//
+// The paper (Eq. 8-9) rescales H into [-1, 1] using "upper and lower limits
+// of the eigenvalues of H obtained by the Gerschgorin theorem": every
+// eigenvalue lies in the union of discs centered at a_ii with radius
+// sum_{j != i} |a_ij|.
+#pragma once
+
+#include "linalg/operator.hpp"
+
+namespace kpm::linalg {
+
+/// Closed interval [lower, upper] guaranteed to contain all eigenvalues.
+struct SpectralBounds {
+  double lower;
+  double upper;
+
+  [[nodiscard]] double center() const noexcept { return 0.5 * (upper + lower); }     // a+
+  [[nodiscard]] double half_width() const noexcept { return 0.5 * (upper - lower); }  // a-
+};
+
+/// Computes Gershgorin bounds for a dense square matrix.
+[[nodiscard]] SpectralBounds gershgorin_bounds(const DenseMatrix& m);
+
+/// Computes Gershgorin bounds for a CRS square matrix.
+[[nodiscard]] SpectralBounds gershgorin_bounds(const CrsMatrix& m);
+
+/// Dispatches on the operator's storage.
+[[nodiscard]] SpectralBounds gershgorin_bounds(const MatrixOperator& op);
+
+}  // namespace kpm::linalg

@@ -1,0 +1,85 @@
+// Complex Hermitian sparse matrices (CRS) — the magnetic-field extension.
+//
+// Real symmetric Hamiltonians cover the paper's scope; adding a magnetic
+// field threads Peierls phases e^{i theta} through the hoppings, making H
+// complex Hermitian.  The KPM carries over unchanged (T_n(H~) is Hermitian,
+// moments stay real); only the vector arithmetic becomes complex.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/gershgorin.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace kpm::linalg {
+
+/// Immutable CRS sparse matrix of complex doubles.
+class CrsMatrixZ {
+ public:
+  using Index = std::int32_t;
+  using Complex = std::complex<double>;
+
+  CrsMatrixZ() = default;
+
+  /// Same validation rules as the real CrsMatrix.
+  CrsMatrixZ(std::size_t rows, std::size_t cols, std::vector<Index> row_ptr,
+             std::vector<Index> col_idx, std::vector<Complex> values);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+
+  [[nodiscard]] std::span<const Index> row_ptr() const noexcept { return row_ptr_; }
+  [[nodiscard]] std::span<const Index> col_idx() const noexcept { return col_idx_; }
+  [[nodiscard]] std::span<const Complex> values() const noexcept { return values_; }
+
+  /// Element access (0 if not stored).
+  [[nodiscard]] Complex at(std::size_t r, std::size_t c) const;
+
+  /// y = A x.
+  void multiply(std::span<const Complex> x, std::span<Complex> y) const;
+
+  /// True if A == A^dagger within tol.
+  [[nodiscard]] bool is_hermitian(double tol = 0.0) const;
+
+  /// Gershgorin bounds (real, since the matrix is Hermitian): discs
+  /// centered at Re(a_ii) with radius sum |a_ij|.
+  [[nodiscard]] SpectralBounds gershgorin() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Index> row_ptr_;
+  std::vector<Index> col_idx_;
+  std::vector<Complex> values_;
+};
+
+/// Triplet assembly for complex matrices (duplicates accumulate).
+class TripletBuilderZ {
+ public:
+  TripletBuilderZ(std::size_t rows, std::size_t cols);
+
+  void add(std::size_t r, std::size_t c, CrsMatrixZ::Complex value);
+
+  /// Adds value at (r, c) and conj(value) at (c, r); the diagonal is added
+  /// once (and must be real for a Hermitian matrix).
+  void add_hermitian(std::size_t r, std::size_t c, CrsMatrixZ::Complex value);
+
+  [[nodiscard]] CrsMatrixZ build();
+
+ private:
+  struct Entry {
+    std::size_t r, c;
+    CrsMatrixZ::Complex v;
+  };
+  std::size_t rows_, cols_;
+  std::vector<Entry> entries_;
+};
+
+/// H~ = (H - a+ I)/a- for the Hermitian case (a+ real).
+[[nodiscard]] CrsMatrixZ rescale(const CrsMatrixZ& h, const SpectralTransform& t);
+
+}  // namespace kpm::linalg

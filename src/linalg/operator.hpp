@@ -1,0 +1,90 @@
+// Uniform view over dense and CRS Hamiltonians.
+//
+// The KPM engines only need three things from H~: its dimension, y = H~ x,
+// and an operation count for the cost models.  `MatrixOperator` is a
+// non-owning variant view over DenseMatrix / CrsMatrix providing exactly
+// that, so every engine has one code path for both storages (the storage
+// *choice* is the paper's O(D) vs O(D^2) design axis, exercised by
+// bench/ablation_storage).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/error.hpp"
+#include "linalg/crs_matrix.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace kpm::linalg {
+
+/// Storage backing a MatrixOperator.
+enum class Storage {
+  Dense,  ///< row-major dense; recursion costs O(D^2) per SpMV
+  Crs,    ///< compressed row storage; recursion costs O(nnz) per SpMV
+};
+
+/// Returns "dense" or "crs".
+constexpr const char* to_string(Storage s) noexcept {
+  return s == Storage::Dense ? "dense" : "crs";
+}
+
+/// Non-owning polymorphic view of a square matrix used as a linear operator.
+class MatrixOperator {
+ public:
+  /// Views a dense matrix; the matrix must outlive the operator.
+  explicit MatrixOperator(const DenseMatrix& m) : dense_(&m) {
+    KPM_REQUIRE(m.square(), "MatrixOperator requires a square matrix");
+  }
+
+  /// Views a CRS matrix; the matrix must outlive the operator.
+  explicit MatrixOperator(const CrsMatrix& m) : crs_(&m) {
+    KPM_REQUIRE(m.rows() == m.cols(), "MatrixOperator requires a square matrix");
+  }
+
+  // A view of a temporary dangles immediately — reject at compile time.
+  explicit MatrixOperator(DenseMatrix&&) = delete;
+  explicit MatrixOperator(CrsMatrix&&) = delete;
+
+  [[nodiscard]] Storage storage() const noexcept {
+    return dense_ != nullptr ? Storage::Dense : Storage::Crs;
+  }
+
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return dense_ != nullptr ? dense_->rows() : crs_->rows();
+  }
+
+  /// Stored entries (D^2 for dense, nnz for CRS).
+  [[nodiscard]] std::size_t stored_entries() const noexcept {
+    return dense_ != nullptr ? dense_->rows() * dense_->cols() : crs_->nnz();
+  }
+
+  /// Floating-point operations of one y = A x (multiply + add per entry).
+  [[nodiscard]] std::size_t spmv_flops() const noexcept { return 2 * stored_entries(); }
+
+  /// Bytes of matrix data streamed by one y = A x (values only for dense;
+  /// values + column indices for CRS).
+  [[nodiscard]] std::size_t spmv_matrix_bytes() const noexcept {
+    if (dense_ != nullptr) return stored_entries() * sizeof(double);
+    return crs_->nnz() * (sizeof(double) + sizeof(CrsMatrix::Index)) +
+           (crs_->rows() + 1) * sizeof(CrsMatrix::Index);
+  }
+
+  /// y = A * x.
+  void multiply(std::span<const double> x, std::span<double> y) const {
+    if (dense_ != nullptr)
+      dense_->multiply(x, y);
+    else
+      crs_->multiply(x, y);
+  }
+
+  /// Underlying dense matrix (null when CRS-backed).
+  [[nodiscard]] const DenseMatrix* dense() const noexcept { return dense_; }
+  /// Underlying CRS matrix (null when dense-backed).
+  [[nodiscard]] const CrsMatrix* crs() const noexcept { return crs_; }
+
+ private:
+  const DenseMatrix* dense_ = nullptr;
+  const CrsMatrix* crs_ = nullptr;
+};
+
+}  // namespace kpm::linalg

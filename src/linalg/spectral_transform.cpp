@@ -1,0 +1,46 @@
+#include "linalg/spectral_transform.hpp"
+
+#include "common/error.hpp"
+
+namespace kpm::linalg {
+
+SpectralTransform::SpectralTransform(SpectralBounds bounds, double epsilon) {
+  KPM_REQUIRE(bounds.upper > bounds.lower, "SpectralTransform: upper must exceed lower");
+  KPM_REQUIRE(epsilon >= 0.0, "SpectralTransform: epsilon must be non-negative");
+  center_ = bounds.center();
+  half_width_ = bounds.half_width() * (1.0 + epsilon);
+  KPM_REQUIRE(half_width_ > 0.0, "SpectralTransform: degenerate spectrum");
+}
+
+SpectralTransform make_spectral_transform(const MatrixOperator& op, double epsilon) {
+  return SpectralTransform(gershgorin_bounds(op), epsilon);
+}
+
+DenseMatrix rescale(const DenseMatrix& h, const SpectralTransform& t) {
+  KPM_REQUIRE(h.square(), "rescale requires a square matrix");
+  DenseMatrix out(h.rows(), h.cols());
+  const double inv = 1.0 / t.half_width();
+  for (std::size_t r = 0; r < h.rows(); ++r)
+    for (std::size_t c = 0; c < h.cols(); ++c)
+      out(r, c) = (h(r, c) - (r == c ? t.center() : 0.0)) * inv;
+  return out;
+}
+
+CrsMatrix rescale(const CrsMatrix& h, const SpectralTransform& t) {
+  KPM_REQUIRE(h.rows() == h.cols(), "rescale requires a square matrix");
+  TripletBuilder b(h.rows(), h.cols());
+  const double inv = 1.0 / t.half_width();
+  const auto row_ptr = h.row_ptr();
+  const auto col_idx = h.col_idx();
+  const auto values = h.values();
+  for (std::size_t r = 0; r < h.rows(); ++r)
+    for (auto k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      b.add(r, static_cast<std::size_t>(col_idx[kk]), values[kk] * inv);
+    }
+  if (t.center() != 0.0)
+    for (std::size_t r = 0; r < h.rows(); ++r) b.add(r, r, -t.center() * inv);
+  return b.build();
+}
+
+}  // namespace kpm::linalg

@@ -1,0 +1,61 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace kpm::linalg {
+
+void axpby(double alpha, std::span<const double> x, double beta, std::span<double> y) {
+  KPM_REQUIRE(x.size() == y.size(), "axpby: size mismatch");
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  KPM_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+void copy(std::span<const double> x, std::span<double> out) {
+  KPM_REQUIRE(x.size() == out.size(), "copy: size mismatch");
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i];
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  KPM_REQUIRE(x.size() == y.size(), "dot: size mismatch");
+  double acc = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double nrm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double asum_signed(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+double amax(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void chebyshev_combine(std::span<const double> hx, std::span<const double> prev,
+                       std::span<double> next) {
+  KPM_REQUIRE(hx.size() == prev.size() && hx.size() == next.size(),
+              "chebyshev_combine: size mismatch");
+  const std::size_t n = hx.size();
+  for (std::size_t i = 0; i < n; ++i) next[i] = 2.0 * hx[i] - prev[i];
+}
+
+}  // namespace kpm::linalg

@@ -1,0 +1,44 @@
+// Dense vector kernels (BLAS-1 level) used by the KPM recursion.
+//
+// All functions operate on std::span<double> views so callers can use
+// AlignedBuffer, std::vector or raw stack arrays.  Lengths are validated
+// with KPM_REQUIRE at the boundary; inner loops are branch-free.
+#pragma once
+
+#include <span>
+
+namespace kpm::linalg {
+
+/// y[i] = alpha * x[i] + beta * y[i]
+void axpby(double alpha, std::span<const double> x, double beta, std::span<double> y);
+
+/// y[i] += alpha * x[i]
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x[i] *= alpha
+void scale(double alpha, std::span<double> x);
+
+/// out[i] = x[i]  (sizes must match)
+void copy(std::span<const double> x, std::span<double> out);
+
+/// Returns sum_i x[i] * y[i].
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// Returns the Euclidean norm sqrt(sum x_i^2) without intermediate overflow
+/// for the magnitudes used here.
+[[nodiscard]] double nrm2(std::span<const double> x);
+
+/// Returns sum_i x[i].
+[[nodiscard]] double asum_signed(std::span<const double> x);
+
+/// Returns max_i |x[i]| (0 for an empty span).
+[[nodiscard]] double amax(std::span<const double> x);
+
+/// Chebyshev recursion update specialized for KPM (Eq. 18 of the paper):
+///   next[i] = 2 * hx[i] - prev[i]
+/// where hx = H~ * current was produced by an SpMV.  Fusing the scale and
+/// subtraction halves the memory traffic of the update step.
+void chebyshev_combine(std::span<const double> hx, std::span<const double> prev,
+                       std::span<double> next);
+
+}  // namespace kpm::linalg

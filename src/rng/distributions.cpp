@@ -1,0 +1,46 @@
+#include "rng/distributions.hpp"
+
+#include <cstring>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "rng/philox.hpp"
+
+namespace kpm::rng {
+
+double draw_random_element(RandomVectorKind kind, std::uint64_t seed, std::uint64_t stream,
+                           std::uint64_t index) noexcept {
+  const std::uint64_t word = philox_u64(seed, stream, index);
+  switch (kind) {
+    case RandomVectorKind::Rademacher:
+      return u64_to_rademacher(word);
+    case RandomVectorKind::Gaussian:
+      return u64_pair_to_gaussian(word, philox_u64_hi(seed, stream, index));
+    case RandomVectorKind::UniformSym:
+      // U(-1,1) has variance 1/3; scale by sqrt(3) for unit variance.
+      return 1.7320508075688772 * u64_to_uniform(word, -1.0, 1.0);
+  }
+  return 0.0;  // unreachable
+}
+
+const char* to_string(RandomVectorKind kind) noexcept {
+  switch (kind) {
+    case RandomVectorKind::Rademacher:
+      return "rademacher";
+    case RandomVectorKind::Gaussian:
+      return "gaussian";
+    case RandomVectorKind::UniformSym:
+      return "uniform";
+  }
+  return "?";
+}
+
+RandomVectorKind random_vector_kind_from_string(const char* name) {
+  const std::string_view s(name);
+  if (s == "rademacher") return RandomVectorKind::Rademacher;
+  if (s == "gaussian") return RandomVectorKind::Gaussian;
+  if (s == "uniform") return RandomVectorKind::UniformSym;
+  KPM_FAIL("unknown random vector kind: " + std::string(s));
+}
+
+}  // namespace kpm::rng

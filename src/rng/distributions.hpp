@@ -1,0 +1,62 @@
+// Distribution transforms over raw 64-bit random words.
+//
+// The KPM stochastic trace (Eq. 14 of the paper) needs i.i.d. variables with
+// zero mean and unit variance: <<xi>> = 0, <<xi xi'>> = delta.  Both
+// Rademacher (+-1) and standard Gaussian variables qualify; Rademacher is
+// the common choice (lowest trace-estimator variance for real symmetric H).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace kpm::rng {
+
+/// Maps a 64-bit word to a double uniformly distributed in [0, 1) with 53
+/// bits of precision.
+constexpr double u64_to_unit_double(std::uint64_t x) noexcept {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Maps a 64-bit word to a double uniformly distributed in (0, 1]; safe as a
+/// log() argument.
+constexpr double u64_to_unit_double_open(std::uint64_t x) noexcept {
+  return (static_cast<double>(x >> 11) + 1.0) * 0x1.0p-53;
+}
+
+/// Rademacher variable: +1 or -1 with equal probability (uses the top bit).
+constexpr double u64_to_rademacher(std::uint64_t x) noexcept {
+  return (x >> 63) ? 1.0 : -1.0;
+}
+
+/// Uniform variable on [lo, hi).
+constexpr double u64_to_uniform(std::uint64_t x, double lo, double hi) noexcept {
+  return lo + (hi - lo) * u64_to_unit_double(x);
+}
+
+/// Standard normal via Box-Muller from two independent words.
+inline double u64_pair_to_gaussian(std::uint64_t a, std::uint64_t b) noexcept {
+  const double u1 = u64_to_unit_double_open(a);
+  const double u2 = u64_to_unit_double(b);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+/// Random-vector element distributions available to the stochastic trace.
+enum class RandomVectorKind {
+  Rademacher,  ///< xi in {-1, +1}; variance-optimal for the trace estimator
+  Gaussian,    ///< xi ~ N(0, 1)
+  UniformSym,  ///< xi ~ sqrt(3) * U(-1, 1); scaled to unit variance
+};
+
+/// Draws one random-vector element for instance `stream` at position `index`
+/// according to `kind`.  Counter-based: identical on CPU and simulated GPU.
+double draw_random_element(RandomVectorKind kind, std::uint64_t seed, std::uint64_t stream,
+                           std::uint64_t index) noexcept;
+
+/// Human-readable name ("rademacher", "gaussian", "uniform").
+const char* to_string(RandomVectorKind kind) noexcept;
+
+/// Parses a name produced by to_string(); throws kpm::Error otherwise.
+RandomVectorKind random_vector_kind_from_string(const char* name);
+
+}  // namespace kpm::rng

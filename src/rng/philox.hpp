@@ -1,0 +1,84 @@
+// Philox4x32-10 — counter-based random number generator.
+//
+// Counter-based RNGs produce the n-th random value directly from (key,
+// counter) without sequential state, which is exactly what a stream-computing
+// kernel needs: every simulated GPU thread derives its own numbers from
+// (seed, instance, element, iteration) and the result is identical no matter
+// how thread execution is ordered, and identical to the CPU reference.
+//
+// Reference: Salmon, Moraes, Dror, Shaw, "Parallel random numbers: as easy
+// as 1, 2, 3", SC'11.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace kpm::rng {
+
+/// One Philox4x32-10 block: maps a 128-bit counter + 64-bit key to 128
+/// pseudorandom bits through 10 rounds.
+struct Philox4x32 {
+  using Counter = std::array<std::uint32_t, 4>;
+  using Key = std::array<std::uint32_t, 2>;
+
+  static constexpr std::uint32_t kMul0 = 0xD2511F53u;
+  static constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+  static constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+  static constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+  /// Applies the full 10-round Philox bijection.
+  static constexpr Counter apply(Counter ctr, Key key) noexcept {
+    for (int round = 0; round < 10; ++round) {
+      ctr = single_round(ctr, key);
+      key[0] += kWeyl0;
+      key[1] += kWeyl1;
+    }
+    return ctr;
+  }
+
+ private:
+  static constexpr std::uint64_t mulhilo(std::uint32_t a, std::uint32_t b) noexcept {
+    return static_cast<std::uint64_t>(a) * b;
+  }
+
+  static constexpr Counter single_round(const Counter& ctr, const Key& key) noexcept {
+    const std::uint64_t p0 = mulhilo(kMul0, ctr[0]);
+    const std::uint64_t p1 = mulhilo(kMul1, ctr[2]);
+    const auto lo0 = static_cast<std::uint32_t>(p0);
+    const auto hi0 = static_cast<std::uint32_t>(p0 >> 32);
+    const auto lo1 = static_cast<std::uint32_t>(p1);
+    const auto hi1 = static_cast<std::uint32_t>(p1 >> 32);
+    return Counter{hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+  }
+};
+
+/// Convenience facade: 64-bit random value addressed by (seed, stream, index).
+///
+/// `stream` selects an independent sequence (e.g. the (s, r) instance id in
+/// the KPM stochastic trace); `index` addresses the position within the
+/// sequence (e.g. the vector element).  Deterministic and order-independent.
+constexpr std::uint64_t philox_u64(std::uint64_t seed, std::uint64_t stream,
+                                   std::uint64_t index) noexcept {
+  const Philox4x32::Key key{static_cast<std::uint32_t>(seed),
+                            static_cast<std::uint32_t>(seed >> 32)};
+  const Philox4x32::Counter ctr{
+      static_cast<std::uint32_t>(index), static_cast<std::uint32_t>(index >> 32),
+      static_cast<std::uint32_t>(stream), static_cast<std::uint32_t>(stream >> 32)};
+  const auto out = Philox4x32::apply(ctr, key);
+  return (static_cast<std::uint64_t>(out[0]) << 32) | out[1];
+}
+
+/// Second independent 64-bit lane of the same (seed, stream, index) block,
+/// useful for the Box-Muller pair without a second Philox evaluation.
+constexpr std::uint64_t philox_u64_hi(std::uint64_t seed, std::uint64_t stream,
+                                      std::uint64_t index) noexcept {
+  const Philox4x32::Key key{static_cast<std::uint32_t>(seed),
+                            static_cast<std::uint32_t>(seed >> 32)};
+  const Philox4x32::Counter ctr{
+      static_cast<std::uint32_t>(index), static_cast<std::uint32_t>(index >> 32),
+      static_cast<std::uint32_t>(stream), static_cast<std::uint32_t>(stream >> 32)};
+  const auto out = Philox4x32::apply(ctr, key);
+  return (static_cast<std::uint64_t>(out[2]) << 32) | out[3];
+}
+
+}  // namespace kpm::rng

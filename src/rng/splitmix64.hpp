@@ -1,0 +1,47 @@
+// SplitMix64 — tiny, fast 64-bit generator used for seeding the other
+// generators (as recommended by the xoshiro authors) and for cheap
+// non-critical randomness.
+//
+// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+// generators", OOPSLA 2014.
+#pragma once
+
+#include <cstdint>
+
+namespace kpm::rng {
+
+/// SplitMix64 generator.  State is a single 64-bit counter, so any seed is
+/// valid (including zero) and jumping ahead is trivial.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed = 0) noexcept : state_(seed) {}
+
+  /// Returns the next 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless single-shot mix, handy for hashing (seed, index) pairs into
+/// well-distributed 64-bit values.
+constexpr std::uint64_t splitmix64_hash(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace kpm::rng

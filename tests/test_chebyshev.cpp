@@ -1,0 +1,91 @@
+// Tests for the scalar Chebyshev utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/chebyshev.hpp"
+
+namespace {
+
+using namespace kpm::core;
+
+TEST(Chebyshev, LowOrderClosedForms) {
+  for (double x : {-0.9, -0.3, 0.0, 0.4, 0.99}) {
+    EXPECT_NEAR(chebyshev_t(0, x), 1.0, 1e-14);
+    EXPECT_NEAR(chebyshev_t(1, x), x, 1e-14);
+    EXPECT_NEAR(chebyshev_t(2, x), 2 * x * x - 1, 1e-13);
+    EXPECT_NEAR(chebyshev_t(3, x), 4 * x * x * x - 3 * x, 1e-13);
+  }
+}
+
+TEST(Chebyshev, RecursionMatchesTrigForm) {
+  // The paper's Eqs. (4)-(5) recursion vs Eq. (3) trig definition.
+  std::vector<double> values(64);
+  for (double x : {-0.7, 0.1, 0.8}) {
+    chebyshev_t_all(x, values);
+    for (std::size_t n = 0; n < values.size(); ++n)
+      EXPECT_NEAR(values[n], chebyshev_t(n, x), 1e-11) << "n=" << n << " x=" << x;
+  }
+}
+
+TEST(Chebyshev, BoundedByOneOnInterval) {
+  std::vector<double> values(128);
+  for (double x = -1.0; x <= 1.0; x += 0.05) {
+    chebyshev_t_all(x, values);
+    for (double v : values) EXPECT_LE(std::abs(v), 1.0 + 1e-9);
+  }
+}
+
+TEST(Chebyshev, EndpointValues) {
+  // T_n(1) = 1, T_n(-1) = (-1)^n.
+  std::vector<double> at_one(10), at_minus(10);
+  chebyshev_t_all(1.0, at_one);
+  chebyshev_t_all(-1.0, at_minus);
+  for (std::size_t n = 0; n < 10; ++n) {
+    EXPECT_DOUBLE_EQ(at_one[n], 1.0);
+    EXPECT_DOUBLE_EQ(at_minus[n], n % 2 == 0 ? 1.0 : -1.0);
+  }
+}
+
+TEST(Chebyshev, ClenshawMatchesDirectSum) {
+  std::vector<double> a{0.5, -0.25, 0.125, 0.3, -0.1};
+  for (double x : {-0.8, 0.0, 0.6}) {
+    double direct = 0.0;
+    for (std::size_t n = 0; n < a.size(); ++n) direct += a[n] * chebyshev_t(n, x);
+    EXPECT_NEAR(clenshaw(a, x), direct, 1e-13);
+  }
+}
+
+TEST(Chebyshev, ClenshawEdgeCases) {
+  EXPECT_DOUBLE_EQ(clenshaw({}, 0.5), 0.0);
+  std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(clenshaw(one, -0.2), 3.0);
+}
+
+TEST(Chebyshev, GaussGridIsSortedSymmetricAndInterior) {
+  const auto grid = chebyshev_gauss_grid(33);
+  EXPECT_EQ(grid.size(), 33u);
+  for (std::size_t j = 1; j < grid.size(); ++j) EXPECT_LT(grid[j - 1], grid[j]);
+  for (double x : grid) {
+    EXPECT_GT(x, -1.0);
+    EXPECT_LT(x, 1.0);
+  }
+  // Symmetric about zero.
+  for (std::size_t j = 0; j < grid.size(); ++j)
+    EXPECT_NEAR(grid[j], -grid[grid.size() - 1 - j], 1e-14);
+}
+
+TEST(Chebyshev, GaussGridQuadratureIsExact) {
+  // sum_j T_n(x_j) = 0 for 0 < n < M (discrete orthogonality at the
+  // Chebyshev-Gauss points).
+  const std::size_t m = 16;
+  const auto grid = chebyshev_gauss_grid(m);
+  for (std::size_t n = 1; n < m; ++n) {
+    double sum = 0.0;
+    for (double x : grid) sum += chebyshev_t(n, x);
+    EXPECT_NEAR(sum, 0.0, 1e-11) << "n=" << n;
+  }
+}
+
+}  // namespace

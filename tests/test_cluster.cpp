@@ -1,0 +1,75 @@
+// Tests for the gpusim multi-device cluster model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gpusim/cluster.hpp"
+
+namespace {
+
+using namespace gpusim;
+
+TEST(Cluster, SingleDeviceCommunicatesForFree) {
+  Cluster c(DeviceSpec::tesla_c2050(), 1);
+  EXPECT_DOUBLE_EQ(c.all_reduce(1e6), 0.0);
+  EXPECT_DOUBLE_EQ(c.communication_seconds(), 0.0);
+}
+
+TEST(Cluster, AllReduceFollowsRingFormula) {
+  const auto link = InterconnectSpec::infiniband_qdr();
+  Cluster c(DeviceSpec::tesla_c2050(), 4, link);
+  const double bytes = 8e6;
+  const double expected = 2.0 * 3.0 / 4.0 * bytes / link.bandwidth + 2.0 * 3.0 * link.latency_s;
+  EXPECT_DOUBLE_EQ(c.all_reduce(bytes), expected);
+  EXPECT_DOUBLE_EQ(c.communication_seconds(), expected);
+}
+
+TEST(Cluster, ParallelSecondsIsMaxPlusComm) {
+  Cluster c(DeviceSpec::tesla_c2050(), 3);
+  // Give device 1 some work via a transfer.
+  std::vector<double> host(1000, 1.0);
+  auto buf = c.device(1).alloc<double>(1000);
+  c.device(1).copy_to_device<double>(host, buf);
+  const double dev1 = c.device(1).seconds();
+  EXPECT_GT(dev1, 0.0);
+  EXPECT_DOUBLE_EQ(c.parallel_seconds(), dev1);
+  EXPECT_DOUBLE_EQ(c.total_device_seconds(), dev1);
+  const double comm = c.all_reduce(1e3);
+  EXPECT_DOUBLE_EQ(c.parallel_seconds(), dev1 + comm);
+}
+
+TEST(Cluster, DevicesHaveIndependentVram) {
+  DeviceSpec spec = DeviceSpec::tesla_c2050();
+  spec.global_mem_bytes = 1000;
+  Cluster c(spec, 2);
+  auto a = c.device(0).alloc<double>(100);  // 800 B on device 0
+  EXPECT_NO_THROW((void)c.device(1).alloc<double>(100));  // device 1 has its own VRAM
+  EXPECT_THROW((void)c.device(0).alloc<double>(100), kpm::Error);
+}
+
+TEST(Cluster, ResetClearsClocksAndComm) {
+  Cluster c(DeviceSpec::tesla_c2050(), 2);
+  std::vector<double> host(10, 0.0);
+  auto buf = c.device(0).alloc<double>(10);
+  c.device(0).copy_to_device<double>(host, buf);
+  c.all_reduce(100.0);
+  EXPECT_GT(c.parallel_seconds(), 0.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.parallel_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(c.communication_seconds(), 0.0);
+}
+
+TEST(Cluster, RejectsBadConfig) {
+  EXPECT_THROW(Cluster(DeviceSpec::tesla_c2050(), 0), kpm::Error);
+  InterconnectSpec bad;
+  bad.bandwidth = 0.0;
+  EXPECT_THROW(Cluster(DeviceSpec::tesla_c2050(), 2, bad), kpm::Error);
+}
+
+TEST(Cluster, PresetLinksAreValid) {
+  EXPECT_NO_THROW(InterconnectSpec::infiniband_qdr().validate());
+  EXPECT_NO_THROW(InterconnectSpec::pcie_peer().validate());
+  EXPECT_GT(InterconnectSpec::pcie_peer().bandwidth,
+            InterconnectSpec::infiniband_qdr().bandwidth);
+}
+
+}  // namespace

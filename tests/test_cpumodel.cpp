@@ -1,0 +1,81 @@
+// Tests for the CPU roofline model — in particular the cache-crossover
+// behaviour that drives the paper's Fig. 8.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "cpumodel/cpu_spec.hpp"
+#include "cpumodel/roofline.hpp"
+
+namespace {
+
+using namespace kpm::cpumodel;
+
+TEST(CpuModel, PresetIsValid) {
+  const auto spec = CpuSpec::core_i7_930();
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_DOUBLE_EQ(spec.peak_flops(), 5.6e9);
+}
+
+TEST(CpuModel, EffectiveBandwidthDropsAcrossLevels) {
+  const auto spec = CpuSpec::core_i7_930();
+  const double bw_l1 = spec.effective_bandwidth(16 * 1024);
+  const double bw_l2 = spec.effective_bandwidth(128 * 1024);
+  const double bw_l3 = spec.effective_bandwidth(4 * 1024 * 1024);
+  const double bw_dram = spec.effective_bandwidth(64.0 * 1024 * 1024);
+  EXPECT_GT(bw_l1, bw_l2);
+  EXPECT_GT(bw_l2, bw_l3);
+  EXPECT_GT(bw_l3, bw_dram);
+  EXPECT_DOUBLE_EQ(bw_dram, spec.dram_bandwidth);
+}
+
+TEST(CpuModel, ComputeBoundWhenArithmeticIntensityHigh) {
+  const auto spec = CpuSpec::core_i7_930();
+  CpuWorkload w;
+  w.flops = 1e9;
+  w.bytes_streamed = 1e3;
+  w.working_set_bytes = 1e3;
+  const auto s = model_cpu_time(spec, w);
+  EXPECT_EQ(std::string(s.bound()), "compute");
+  EXPECT_NEAR(s.seconds, 1e9 / spec.peak_flops(), 1e-12);
+}
+
+TEST(CpuModel, MemoryBoundWhenStreamingDominates) {
+  const auto spec = CpuSpec::core_i7_930();
+  CpuWorkload w;
+  w.flops = 1e3;
+  w.bytes_streamed = 1e9;
+  w.working_set_bytes = 100e6;  // DRAM resident
+  const auto s = model_cpu_time(spec, w);
+  EXPECT_EQ(std::string(s.bound()), "memory");
+  EXPECT_NEAR(s.seconds, 1e9 / spec.dram_bandwidth, 1e-9);
+}
+
+TEST(CpuModel, CacheCrossoverSlowsTheSameTraffic) {
+  // Identical streamed bytes cost more once the working set leaves L3:
+  // this is the Fig. 8 CPU-curve mechanism.
+  const auto spec = CpuSpec::core_i7_930();
+  CpuWorkload in_cache{0.0, 1e9, 4.0e6};
+  CpuWorkload in_dram{0.0, 1e9, 64.0e6};
+  EXPECT_GT(model_cpu_time(spec, in_dram).seconds, model_cpu_time(spec, in_cache).seconds);
+}
+
+TEST(CpuModel, WorkloadAccumulation) {
+  CpuWorkload a{10.0, 20.0, 5.0};
+  CpuWorkload b{1.0, 2.0, 30.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.flops, 11.0);
+  EXPECT_DOUBLE_EQ(a.bytes_streamed, 22.0);
+  EXPECT_DOUBLE_EQ(a.working_set_bytes, 30.0) << "working set takes the max, not the sum";
+  a.scale(2.0);
+  EXPECT_DOUBLE_EQ(a.flops, 22.0);
+  EXPECT_DOUBLE_EQ(a.bytes_streamed, 44.0);
+  EXPECT_DOUBLE_EQ(a.working_set_bytes, 30.0) << "scaling instances must not grow the working set";
+}
+
+TEST(CpuModel, ValidationRejectsNonMonotoneCaches) {
+  CpuSpec bad = CpuSpec::core_i7_930();
+  bad.caches[1].capacity_bytes = bad.caches[0].capacity_bytes;  // L2 == L1
+  EXPECT_THROW(bad.validate(), kpm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Tests for the tight-binding current operator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "lattice/current.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using namespace kpm;
+using namespace kpm::lattice;
+
+TEST(CurrentOperator, IsAntisymmetric) {
+  const auto lat = HypercubicLattice::square(5, 4);
+  const auto a = build_current_operator_crs(lat, 0);
+  const auto dense = a.to_dense();
+  for (std::size_t r = 0; r < dense.rows(); ++r)
+    for (std::size_t c = 0; c < dense.cols(); ++c)
+      EXPECT_DOUBLE_EQ(dense(r, c), -dense(c, r)) << r << "," << c;
+}
+
+TEST(CurrentOperator, ChainMatchesHandConstruction) {
+  // Open chain: A_{i,i+1} = +t, A_{i+1,i} = -t, nothing else.
+  const auto lat = HypercubicLattice::chain(6, Boundary::Open);
+  const auto a = build_current_operator_crs(lat, 0);
+  EXPECT_EQ(a.nnz(), 10u);
+  for (std::size_t i = 0; i + 1 < 6; ++i) {
+    EXPECT_DOUBLE_EQ(a.at(i, i + 1), 1.0);
+    EXPECT_DOUBLE_EQ(a.at(i + 1, i), -1.0);
+  }
+}
+
+TEST(CurrentOperator, PeriodicWrapUsesMinimumImage) {
+  const auto lat = HypercubicLattice::chain(5);
+  const auto a = build_current_operator_crs(lat, 0);
+  // The 0 <-> 4 bond is a -1 step for site 0 (wrap), +1 for site 4.
+  EXPECT_DOUBLE_EQ(a.at(0, 4), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+}
+
+TEST(CurrentOperator, AxisSelectsDirection) {
+  const auto lat = HypercubicLattice::square(4, 5);
+  const auto ax = build_current_operator_crs(lat, 0);
+  const auto ay = build_current_operator_crs(lat, 1);
+  // x-operator couples only x-neighbours: (0,0) -> (1,0) yes, (0,1) no.
+  EXPECT_NE(ax.at(lat.site_index(0, 0, 0), lat.site_index(1, 0, 0)), 0.0);
+  EXPECT_EQ(ax.at(lat.site_index(0, 0, 0), lat.site_index(0, 1, 0)), 0.0);
+  EXPECT_NE(ay.at(lat.site_index(0, 0, 0), lat.site_index(0, 1, 0)), 0.0);
+  EXPECT_EQ(ay.at(lat.site_index(0, 0, 0), lat.site_index(1, 0, 0)), 0.0);
+}
+
+TEST(CurrentOperator, CommutesCorrectlyWithHomogeneousState) {
+  // The uniform state is the k=0 Bloch state: zero velocity, A |1> = 0.
+  const auto lat = HypercubicLattice::cubic(4, 4, 4);
+  const auto a = build_current_operator_crs(lat, 2);
+  std::vector<double> ones(lat.sites(), 1.0), out(lat.sites());
+  a.multiply(ones, out);
+  for (double v : out) EXPECT_NEAR(v, 0.0, 1e-14);
+}
+
+TEST(CurrentOperator, HoppingScalesLinearly) {
+  const auto lat = HypercubicLattice::chain(8);
+  TightBindingParams p;
+  p.hopping = 2.5;
+  const auto a = build_current_operator_crs(lat, 0, p);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 2.5);
+}
+
+TEST(CurrentOperator, RejectsDegenerateAxes) {
+  const auto lat = HypercubicLattice::square(4, 4);
+  EXPECT_THROW((void)build_current_operator_crs(lat, 2), kpm::Error);  // extent 1
+  EXPECT_THROW((void)build_current_operator_crs(lat, 3), kpm::Error);  // no such axis
+  const auto tiny = HypercubicLattice::chain(2);
+  EXPECT_THROW((void)build_current_operator_crs(tiny, 0), kpm::Error);  // periodic extent 2
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Tests for the damping kernels g_n.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "core/damping.hpp"
+
+namespace {
+
+using namespace kpm::core;
+
+TEST(Damping, G0IsOneForAllKernels) {
+  for (auto k : {DampingKernel::Jackson, DampingKernel::Lorentz, DampingKernel::Fejer,
+                 DampingKernel::Dirichlet}) {
+    const auto g = damping_coefficients(k, 64);
+    EXPECT_NEAR(g[0], 1.0, 1e-12) << to_string(k);
+  }
+}
+
+TEST(Damping, DirichletIsAllOnes) {
+  const auto g = damping_coefficients(DampingKernel::Dirichlet, 16);
+  for (double v : g) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Damping, FejerIsLinearRamp) {
+  const auto g = damping_coefficients(DampingKernel::Fejer, 8);
+  for (std::size_t n = 0; n < 8; ++n) EXPECT_DOUBLE_EQ(g[n], 1.0 - static_cast<double>(n) / 8.0);
+}
+
+TEST(Damping, JacksonMonotoneDecreasingPositive) {
+  const auto g = damping_coefficients(DampingKernel::Jackson, 256);
+  for (std::size_t n = 1; n < g.size(); ++n) {
+    EXPECT_LT(g[n], g[n - 1]) << "n=" << n;
+    EXPECT_GT(g[n], 0.0) << "n=" << n;
+  }
+  // The tail must be strongly damped.
+  EXPECT_LT(g.back(), 0.01);
+}
+
+TEST(Damping, JacksonMatchesClosedFormSmallN) {
+  // N = 2: g_0 = 1, g_1 = [2 cos(pi/3) + sin(pi/3) cot(pi/3)] / 3 = 2/3...
+  // compute directly from the formula to guard regressions.
+  const auto g = damping_coefficients(DampingKernel::Jackson, 2);
+  const double q = std::numbers::pi / 3.0;
+  const double expected = (2.0 * std::cos(q) + std::sin(q) * std::cos(q) / std::sin(q)) / 3.0;
+  EXPECT_NEAR(g[1], expected, 1e-14);
+}
+
+TEST(Damping, LorentzDecaysWithLambda) {
+  const auto g_soft = damping_coefficients(DampingKernel::Lorentz, 64, 1.0);
+  const auto g_hard = damping_coefficients(DampingKernel::Lorentz, 64, 5.0);
+  // Larger lambda damps the tail harder.
+  EXPECT_GT(g_soft[50], g_hard[50]);
+  for (std::size_t n = 1; n < 64; ++n) {
+    EXPECT_LT(g_hard[n], g_hard[n - 1]);
+    EXPECT_GT(g_hard[n], 0.0);
+  }
+}
+
+TEST(Damping, LorentzRejectsNonPositiveLambda) {
+  EXPECT_THROW(damping_coefficients(DampingKernel::Lorentz, 8, 0.0), kpm::Error);
+  EXPECT_THROW(damping_coefficients(DampingKernel::Lorentz, 8, -1.0), kpm::Error);
+}
+
+TEST(Damping, NamesRoundTrip) {
+  for (auto k : {DampingKernel::Jackson, DampingKernel::Lorentz, DampingKernel::Fejer,
+                 DampingKernel::Dirichlet})
+    EXPECT_EQ(damping_kernel_from_string(to_string(k)), k);
+  EXPECT_THROW(damping_kernel_from_string("gauss"), kpm::Error);
+}
+
+TEST(Damping, ZeroMomentCountRejected) {
+  EXPECT_THROW(damping_coefficients(DampingKernel::Jackson, 0), kpm::Error);
+}
+
+}  // namespace

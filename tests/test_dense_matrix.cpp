@@ -1,0 +1,104 @@
+// Unit tests for DenseMatrix.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace {
+
+using kpm::linalg::DenseMatrix;
+
+TEST(DenseMatrix, ZeroInitialized) {
+  DenseMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_FALSE(m.square());
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(DenseMatrix, RowViewIsContiguous) {
+  DenseMatrix m(2, 3);
+  m(1, 0) = 7.0;
+  m(1, 2) = 9.0;
+  auto row = m.row(1);
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 7.0);
+  EXPECT_DOUBLE_EQ(row[2], 9.0);
+}
+
+TEST(DenseMatrix, IdentityMultiplyIsIdentity) {
+  const auto id = DenseMatrix::identity(4);
+  std::vector<double> x{1, 2, 3, 4}, y(4);
+  id.multiply(x, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(DenseMatrix, MultiplyMatchesHandComputation) {
+  DenseMatrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  std::vector<double> x{5, 6}, y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(DenseMatrix, MultiplyRejectsAliasingAndBadSizes) {
+  DenseMatrix m(2, 2);
+  std::vector<double> x{1, 2};
+  EXPECT_THROW(m.multiply(x, x), kpm::Error);
+  std::vector<double> y(3);
+  EXPECT_THROW(m.multiply(x, y), kpm::Error);
+}
+
+TEST(DenseMatrix, SymmetryDefectAndSymmetrize) {
+  DenseMatrix m(2, 2);
+  m(0, 1) = 1.0;
+  m(1, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(m.symmetry_defect(), 2.0);
+  m.symmetrize();
+  EXPECT_DOUBLE_EQ(m.symmetry_defect(), 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 2.0);
+}
+
+TEST(DenseMatrix, FrobeniusNorm) {
+  DenseMatrix m(2, 2);
+  m(0, 0) = 3;
+  m(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(DenseMatrix, RandomSymmetricIsSymmetricAndSeeded) {
+  const auto a = kpm::lattice::random_symmetric_dense(32, 7);
+  const auto b = kpm::lattice::random_symmetric_dense(32, 7);
+  const auto c = kpm::lattice::random_symmetric_dense(32, 8);
+  EXPECT_DOUBLE_EQ(a.symmetry_defect(), 0.0);
+  bool identical_ab = true, identical_ac = true;
+  for (std::size_t r = 0; r < 32; ++r)
+    for (std::size_t cc = 0; cc < 32; ++cc) {
+      identical_ab &= a(r, cc) == b(r, cc);
+      identical_ac &= a(r, cc) == c(r, cc);
+    }
+  EXPECT_TRUE(identical_ab) << "same seed must reproduce the same matrix";
+  EXPECT_FALSE(identical_ac) << "different seeds must differ";
+}
+
+TEST(DenseMatrix, RandomSymmetricEntriesBounded) {
+  const auto a = kpm::lattice::random_symmetric_dense(16, 3);
+  for (std::size_t r = 0; r < 16; ++r)
+    for (std::size_t c = 0; c < 16; ++c) {
+      EXPECT_GE(a(r, c), -1.0);
+      EXPECT_LE(a(r, c), 1.0);
+    }
+}
+
+TEST(DenseMatrix, ZeroDimensionRejected) { EXPECT_THROW(DenseMatrix(0, 3), kpm::Error); }
+
+}  // namespace

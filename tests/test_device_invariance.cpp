@@ -1,0 +1,141 @@
+// Property: the DeviceSpec NEVER changes functional results — only time.
+// Sweeps every engine over every device preset on the same physics.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/moments_cpu.hpp"
+#include "core/moments_gpu.hpp"
+#include "core/moments_gpu_chunked.hpp"
+#include "core/moments_multigpu.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using namespace kpm::core;
+
+enum class DevicePreset { C2050, Gtx285, Hpc2020 };
+
+gpusim::DeviceSpec spec_of(DevicePreset p) {
+  switch (p) {
+    case DevicePreset::C2050:
+      return gpusim::DeviceSpec::tesla_c2050();
+    case DevicePreset::Gtx285:
+      return gpusim::DeviceSpec::geforce_gtx285();
+    case DevicePreset::Hpc2020:
+      return gpusim::DeviceSpec::fictional_hpc2020();
+  }
+  return gpusim::DeviceSpec::tesla_c2050();
+}
+
+const char* name_of(DevicePreset p) {
+  switch (p) {
+    case DevicePreset::C2050:
+      return "c2050";
+    case DevicePreset::Gtx285:
+      return "gtx285";
+    case DevicePreset::Hpc2020:
+      return "hpc2020";
+  }
+  return "?";
+}
+
+struct Fixture {
+  linalg::CrsMatrix h_tilde;
+  std::vector<double> reference_mu;
+
+  Fixture() {
+    const auto lat = lattice::HypercubicLattice::cubic(3, 3, 3);
+    const auto h = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator op(h);
+    h_tilde = linalg::rescale(h, linalg::make_spectral_transform(op));
+    linalg::MatrixOperator op_t(h_tilde);
+    CpuMomentEngine cpu;
+    reference_mu = cpu.compute(op_t, params()).mu;
+  }
+
+  static MomentParams params() {
+    MomentParams p;
+    p.num_moments = 16;
+    p.random_vectors = 4;
+    p.realizations = 2;
+    return p;
+  }
+};
+
+using Case = std::tuple<DevicePreset, GpuMapping>;
+
+class DeviceInvariance : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DeviceInvariance, GpuEngineIsBitwiseDeviceIndependent) {
+  const auto [preset, mapping] = GetParam();
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  GpuEngineConfig cfg;
+  cfg.device = spec_of(preset);
+  cfg.mapping = mapping;
+  GpuMomentEngine engine(cfg);
+  const auto r = engine.compute(op, Fixture::params());
+  for (std::size_t n = 0; n < r.mu.size(); ++n) EXPECT_EQ(r.mu[n], f.reference_mu[n]) << n;
+}
+
+TEST_P(DeviceInvariance, ChunkedEngineIsBitwiseDeviceIndependent) {
+  const auto [preset, mapping] = GetParam();
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  ChunkedGpuEngineConfig cfg;
+  cfg.base.device = spec_of(preset);
+  cfg.base.mapping = mapping;
+  cfg.workspace_bytes = 8 * (4 * 27 * 8 + 16 * 8);  // force 1 chunk per... ~8 instances
+  ChunkedGpuMomentEngine engine(cfg);
+  const auto r = engine.compute(op, Fixture::params());
+  for (std::size_t n = 0; n < r.mu.size(); ++n) EXPECT_EQ(r.mu[n], f.reference_mu[n]) << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsAndMappings, DeviceInvariance,
+    ::testing::Combine(::testing::Values(DevicePreset::C2050, DevicePreset::Gtx285,
+                                         DevicePreset::Hpc2020),
+                       ::testing::Values(GpuMapping::InstancePerBlock,
+                                         GpuMapping::InstancePerThread)),
+    [](const auto& info) {
+      return std::string(name_of(std::get<0>(info.param))) + "_" +
+             (std::get<1>(info.param) == GpuMapping::InstancePerBlock ? "block" : "thread");
+    });
+
+TEST(DeviceInvariance, ClusterIsDeviceIndependentToRoundoff) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  for (auto preset : {DevicePreset::C2050, DevicePreset::Hpc2020}) {
+    MultiGpuEngineConfig cfg;
+    cfg.per_device.device = spec_of(preset);
+    cfg.device_count = 3;
+    MultiGpuMomentEngine engine(cfg);
+    const auto r = engine.compute(op, Fixture::params());
+    for (std::size_t n = 0; n < r.mu.size(); ++n)
+      EXPECT_NEAR(r.mu[n], f.reference_mu[n], 1e-13) << name_of(preset) << " " << n;
+  }
+}
+
+TEST(DeviceInvariance, TimesDoDifferAcrossDevices) {
+  // The counterpart claim: the model must distinguish the hardware.
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p = Fixture::params();
+  p.num_moments = 128;
+  double prev = -1.0;
+  for (auto preset : {DevicePreset::Gtx285, DevicePreset::C2050, DevicePreset::Hpc2020}) {
+    GpuEngineConfig cfg;
+    cfg.device = spec_of(preset);
+    cfg.context_setup_seconds = 0.0;
+    GpuMomentEngine engine(cfg);
+    const double t = engine.compute(op, p).compute_seconds;
+    if (prev >= 0.0) EXPECT_LT(t, prev) << "newer device must model faster kernels";
+    prev = t;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Tests for Sturm-sequence eigenvalue counting and its use as the exact
+// integrated-DoS baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/ldos.hpp"
+#include "core/thermodynamics.hpp"
+#include "diag/tridiag.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using namespace kpm::diag;
+
+TEST(SturmCount, MatchesSortedEigenvaluesOnTridiagonal) {
+  Tridiagonal t;
+  const std::size_t n = 32;
+  t.diag.assign(n, 0.0);
+  t.offdiag.assign(n - 1, 1.0);
+  const auto eig = tridiagonal_eigenvalues(t);
+  for (double x : {-2.1, -1.0, -0.3, 0.0, 0.4, 1.7, 2.1}) {
+    const auto expected = static_cast<std::size_t>(
+        std::lower_bound(eig.begin(), eig.end(), x) - eig.begin());
+    EXPECT_EQ(tridiagonal_count_below(t, x), expected) << "x=" << x;
+  }
+}
+
+TEST(SturmCount, DenseCounterMatchesFullDiagonalization) {
+  const auto h = lattice::random_symmetric_dense(48, 11);
+  const EigenvalueCounter counter(h);
+  const auto eig = symmetric_eigenvalues(h);
+  for (double x = -6.0; x <= 6.0; x += 0.5) {
+    const auto expected = static_cast<std::size_t>(
+        std::lower_bound(eig.begin(), eig.end(), x) - eig.begin());
+    EXPECT_EQ(counter.count_below(x), expected) << "x=" << x;
+  }
+}
+
+TEST(SturmCount, MonotoneAndBounded) {
+  const auto lat = lattice::HypercubicLattice::cubic(4, 4, 4);
+  const auto h = lattice::build_tight_binding_dense(lat);
+  const EigenvalueCounter counter(h);
+  std::size_t prev = 0;
+  for (double x = -7.0; x <= 7.0; x += 0.25) {
+    const auto c = counter.count_below(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_EQ(counter.count_below(-7.0), 0u);
+  EXPECT_EQ(counter.count_below(7.0), 64u);
+  EXPECT_DOUBLE_EQ(counter.integrated_dos(7.0), 1.0);
+}
+
+TEST(SturmCount, ValidatesKpmIntegratedDos) {
+  // The T = 0 electron filling from exact KPM moments must match the
+  // exact counting function up to the Jackson broadening.
+  const auto lat = lattice::HypercubicLattice::cubic(5, 5, 5);
+  const auto h = lattice::build_tight_binding_dense(lat);
+  linalg::MatrixOperator op(h);
+  const auto transform = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op_t(ht);
+  const auto mu = core::deterministic_trace_moments(op_t, 256);
+
+  const EigenvalueCounter counter(h);
+  for (double e : {-3.0, -1.0, 0.5, 2.0, 4.0}) {
+    const double kpm_ids = core::electron_filling(mu, transform, e, 0.0);
+    EXPECT_NEAR(kpm_ids, counter.integrated_dos(e), 0.02) << "E=" << e;
+  }
+}
+
+TEST(SturmCount, RejectsMalformedInput) {
+  Tridiagonal empty;
+  EXPECT_THROW((void)tridiagonal_count_below(empty, 0.0), kpm::Error);
+  Tridiagonal bad;
+  bad.diag = {1.0, 2.0};
+  bad.offdiag = {};  // wrong length
+  EXPECT_THROW((void)tridiagonal_count_below(bad, 0.0), kpm::Error);
+}
+
+}  // namespace

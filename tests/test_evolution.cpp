@@ -1,0 +1,216 @@
+// Tests for Chebyshev time evolution and the Bessel machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/evolution.hpp"
+#include "diag/jacobi.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using namespace kpm::core;
+using Complex = std::complex<double>;
+
+TEST(Bessel, KnownValuesAtOne) {
+  const auto j = bessel_j_array(1.0, 4);
+  EXPECT_NEAR(j[0], 0.7651976865579666, 1e-14);
+  EXPECT_NEAR(j[1], 0.4400505857449335, 1e-14);
+  EXPECT_NEAR(j[2], 0.1149034849319005, 1e-14);
+  EXPECT_NEAR(j[3], 0.0195633539826684, 1e-14);
+}
+
+TEST(Bessel, KnownValuesAtTen) {
+  const auto j = bessel_j_array(10.0, 3);
+  EXPECT_NEAR(j[0], -0.2459357644513483, 1e-13);
+  EXPECT_NEAR(j[1], 0.0434727461688614, 1e-13);
+  EXPECT_NEAR(j[2], 0.2546303136851206, 1e-13);
+}
+
+TEST(Bessel, ZeroArgument) {
+  const auto j = bessel_j_array(0.0, 5);
+  EXPECT_DOUBLE_EQ(j[0], 1.0);
+  for (std::size_t n = 1; n < 5; ++n) EXPECT_DOUBLE_EQ(j[n], 0.0);
+}
+
+TEST(Bessel, NegativeArgumentParity) {
+  const auto jp = bessel_j_array(3.7, 6);
+  const auto jm = bessel_j_array(-3.7, 6);
+  for (std::size_t n = 0; n < 6; ++n)
+    EXPECT_NEAR(jm[n], (n % 2 == 0 ? 1.0 : -1.0) * jp[n], 1e-15);
+}
+
+TEST(Bessel, SumRuleHolds) {
+  // J_0(x) + 2 sum_{k>=1} J_{2k}(x) = 1 for any x.
+  for (double x : {0.5, 5.0, 25.0, 120.0}) {
+    const auto j = bessel_j_array(x, static_cast<std::size_t>(x) + 60);
+    double sum = j[0];
+    for (std::size_t n = 2; n < j.size(); n += 2) sum += 2.0 * j[n];
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Bessel, SuperexponentialTail) {
+  const auto j = bessel_j_array(10.0, 60);
+  EXPECT_LT(std::abs(j[40]), 1e-20);
+  EXPECT_LT(std::abs(j[59]), std::abs(j[40]));
+}
+
+/// Fixture: a small chain whose exact evolution we get from Jacobi.
+struct Fixture {
+  linalg::DenseMatrix h;
+  linalg::SpectralTransform transform;
+  linalg::DenseMatrix h_tilde;
+
+  explicit Fixture(std::size_t sites = 12)
+      : h(1, 1), transform({-1.0, 1.0}, 0.0), h_tilde(1, 1) {
+    const auto lat = lattice::HypercubicLattice::chain(sites, lattice::Boundary::Open);
+    h = lattice::build_tight_binding_dense(lat);
+    linalg::MatrixOperator op(h);
+    transform = linalg::make_spectral_transform(op);
+    h_tilde = linalg::rescale(h, transform);
+  }
+
+  /// Exact |psi(t)> = V exp(-i Lambda t) V^T |psi(0)>.
+  std::vector<Complex> exact_evolution(const std::vector<Complex>& psi0, double t) const {
+    diag::JacobiOptions opts;
+    opts.compute_vectors = true;
+    const auto d = diag::jacobi_eigensolve(h, opts);
+    const std::size_t n = psi0.size();
+    std::vector<Complex> coeff(n, Complex{0.0, 0.0});
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t i = 0; i < n; ++i) coeff[k] += d.eigenvectors(i, k) * psi0[i];
+    std::vector<Complex> out(n, Complex{0.0, 0.0});
+    for (std::size_t k = 0; k < n; ++k) {
+      const Complex phase{std::cos(-d.eigenvalues[k] * t), std::sin(-d.eigenvalues[k] * t)};
+      for (std::size_t i = 0; i < n; ++i) out[i] += d.eigenvectors(i, k) * phase * coeff[k];
+    }
+    return out;
+  }
+};
+
+std::vector<Complex> localized_state(std::size_t n, std::size_t site) {
+  std::vector<Complex> psi(n, Complex{0.0, 0.0});
+  psi[site] = Complex{1.0, 0.0};
+  return psi;
+}
+
+TEST(Evolution, MatchesExactDiagonalization) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  ChebyshevPropagator prop(op, f.transform);
+
+  auto psi = localized_state(12, 5);
+  const double t = 2.7;
+  prop.step(psi, t);
+  const auto exact = f.exact_evolution(localized_state(12, 5), t);
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    EXPECT_NEAR(psi[i].real(), exact[i].real(), 1e-11) << "site " << i;
+    EXPECT_NEAR(psi[i].imag(), exact[i].imag(), 1e-11) << "site " << i;
+  }
+}
+
+TEST(Evolution, PreservesNormOverManySteps) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  ChebyshevPropagator prop(op, f.transform);
+  auto psi = localized_state(12, 0);
+  for (int s = 0; s < 50; ++s) prop.step(psi, 0.31);
+  EXPECT_NEAR(state_norm(psi), 1.0, 1e-10);
+}
+
+TEST(Evolution, ConservesEnergy) {
+  Fixture f;
+  linalg::MatrixOperator op_t(f.h_tilde);
+  linalg::MatrixOperator op(f.h);
+  ChebyshevPropagator prop(op_t, f.transform);
+  // A superposition with nonzero energy.
+  std::vector<Complex> psi(12, Complex{0.0, 0.0});
+  psi[3] = Complex{std::sqrt(0.5), 0.0};
+  psi[4] = Complex{0.5, 0.5};
+  const double e0 = energy_expectation(op, psi);
+  prop.evolve(psi, 5.0, 10);
+  EXPECT_NEAR(energy_expectation(op, psi), e0, 1e-10);
+}
+
+TEST(Evolution, ComposesLikeAGroup) {
+  // U(t1 + t2) = U(t2) U(t1).
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  ChebyshevPropagator prop(op, f.transform);
+  auto once = localized_state(12, 6);
+  prop.step(once, 1.9);
+  auto twice = localized_state(12, 6);
+  prop.step(twice, 0.8);
+  prop.step(twice, 1.1);
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(once[i].real(), twice[i].real(), 1e-11);
+    EXPECT_NEAR(once[i].imag(), twice[i].imag(), 1e-11);
+  }
+}
+
+TEST(Evolution, TwoSiteRabiOscillation) {
+  // H = -t sigma_x on two sites: |0> evolves with P_0(t) = cos^2(t).
+  linalg::TripletBuilder b(2, 2);
+  b.add_symmetric(0, 1, -1.0);
+  const auto h = b.build();
+  linalg::MatrixOperator op(h);
+  const linalg::SpectralTransform transform({-1.5, 1.5}, 0.0);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op_t(ht);
+  ChebyshevPropagator prop(op_t, transform);
+
+  for (double t : {0.3, 1.0, 2.2}) {
+    auto psi = localized_state(2, 0);
+    prop.step(psi, t);
+    EXPECT_NEAR(std::norm(psi[0]), std::cos(t) * std::cos(t), 1e-12) << "t=" << t;
+    EXPECT_NEAR(std::norm(psi[1]), std::sin(t) * std::sin(t), 1e-12) << "t=" << t;
+  }
+}
+
+TEST(Evolution, BackwardEvolutionInverts) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  ChebyshevPropagator prop(op, f.transform);
+  auto psi = localized_state(12, 2);
+  prop.step(psi, 3.3);
+  prop.step(psi, -3.3);
+  EXPECT_NEAR(std::norm(psi[2]), 1.0, 1e-10);
+}
+
+TEST(Evolution, ReportTracksTruncation) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  ChebyshevPropagator prop(op, f.transform, 1e-14);
+  auto psi = localized_state(12, 0);
+  const auto report = prop.step(psi, 4.0);
+  EXPECT_GT(report.terms, static_cast<std::size_t>(4.0 * f.transform.half_width()));
+  EXPECT_LT(report.coefficient_tail, 1e-13);
+}
+
+TEST(Evolution, LongStepStillUnitary) {
+  // One giant step (omega ~ 200): the expansion order adapts.
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  ChebyshevPropagator prop(op, f.transform);
+  auto psi = localized_state(12, 7);
+  const auto report = prop.step(psi, 100.0);
+  EXPECT_NEAR(state_norm(psi), 1.0, 1e-9);
+  EXPECT_GT(report.terms, 100u);
+}
+
+TEST(Evolution, DimensionMismatchThrows) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  ChebyshevPropagator prop(op, f.transform);
+  std::vector<Complex> wrong(5);
+  EXPECT_THROW(prop.step(wrong, 1.0), kpm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Tests for the radix-2 FFT and the FFT-accelerated DoS reconstruction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fft.hpp"
+#include "core/reconstruct.hpp"
+#include "diag/spectrum_utils.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using Complex = std::complex<double>;
+
+/// Naive O(N^2) DFT reference.
+std::vector<Complex> naive_dft(std::span<const Complex> x, int sign) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n, {0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle =
+          sign * 2.0 * std::numbers::pi * static_cast<double>(k * j) / static_cast<double>(n);
+      out[k] += x[j] * Complex{std::cos(angle), std::sin(angle)};
+    }
+  return out;
+}
+
+TEST(Fft, MatchesNaiveDftBothSigns) {
+  std::vector<Complex> x;
+  for (int i = 0; i < 32; ++i)
+    x.emplace_back(std::sin(0.3 * i) + 0.1 * i, std::cos(0.7 * i));
+  for (int sign : {-1, +1}) {
+    const auto fast = fft(x, sign);
+    const auto slow = naive_dft(x, sign);
+    for (std::size_t k = 0; k < x.size(); ++k) {
+      EXPECT_NEAR(fast[k].real(), slow[k].real(), 1e-10) << "k=" << k;
+      EXPECT_NEAR(fast[k].imag(), slow[k].imag(), 1e-10) << "k=" << k;
+    }
+  }
+}
+
+TEST(Fft, RoundTripIsIdentity) {
+  std::vector<Complex> x;
+  for (int i = 0; i < 64; ++i) x.emplace_back(i * 0.5, -i * 0.25);
+  auto y = fft(x, -1);
+  fft_radix2(y, +1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real() / 64.0, x[i].real(), 1e-10);
+    EXPECT_NEAR(y[i].imag() / 64.0, x[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::vector<Complex> x;
+  for (int i = 0; i < 128; ++i) x.emplace_back(std::sin(i * 1.1), std::cos(i * 0.9));
+  const auto y = fft(x, -1);
+  double ex = 0.0, ey = 0.0;
+  for (const auto& v : x) ex += std::norm(v);
+  for (const auto& v : y) ey += std::norm(v);
+  EXPECT_NEAR(ey, 128.0 * ex, 1e-8 * ey);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<Complex> x(16, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  const auto y = fft(x, -1);
+  for (const auto& v : y) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> x(12);
+  EXPECT_THROW(fft_radix2(x, -1), kpm::Error);
+  std::vector<Complex> ok(8);
+  EXPECT_THROW(fft_radix2(ok, 2), kpm::Error);
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(1536));
+}
+
+TEST(FftReconstruct, MatchesDirectEvaluationToRoundoff) {
+  const auto lat = lattice::HypercubicLattice::cubic(4, 4, 4);
+  const auto spectrum = lattice::periodic_tight_binding_spectrum(lat);
+  const linalg::SpectralTransform t({-6.2, 6.2}, 0.0);
+  const auto mu = diag::exact_chebyshev_moments(spectrum, t, 128);
+
+  for (std::size_t points : {128u, 512u, 2048u}) {
+    core::ReconstructOptions opts;
+    opts.points = points;
+    const auto direct = core::reconstruct_dos(mu, t, opts);
+    const auto fast = core::reconstruct_dos_fft(mu, t, opts);
+    ASSERT_EQ(direct.energy.size(), fast.energy.size());
+    for (std::size_t j = 0; j < points; ++j) {
+      EXPECT_NEAR(direct.energy[j], fast.energy[j], 1e-12);
+      EXPECT_NEAR(direct.density[j], fast.density[j], 1e-10 * (1.0 + std::abs(direct.density[j]))) << "j=" << j;
+    }
+  }
+}
+
+TEST(FftReconstruct, WorksForAllKernels) {
+  std::vector<double> mu(64);
+  const double theta0 = std::acos(0.3);
+  for (std::size_t n = 0; n < 64; ++n) mu[n] = std::cos(static_cast<double>(n) * theta0);
+  const linalg::SpectralTransform t({-1.0, 1.0}, 0.0);
+  for (auto k : {core::DampingKernel::Jackson, core::DampingKernel::Lorentz,
+                 core::DampingKernel::Fejer, core::DampingKernel::Dirichlet}) {
+    core::ReconstructOptions opts;
+    opts.kernel = k;
+    opts.points = 256;
+    const auto direct = core::reconstruct_dos(mu, t, opts);
+    const auto fast = core::reconstruct_dos_fft(mu, t, opts);
+    for (std::size_t j = 0; j < 256; ++j)
+      EXPECT_NEAR(direct.density[j], fast.density[j], 1e-10 * (1.0 + std::abs(direct.density[j]))) << to_string(k);
+  }
+}
+
+TEST(FftReconstruct, RejectsBadPointCounts) {
+  std::vector<double> mu(64, 0.0);
+  mu[0] = 1.0;
+  const linalg::SpectralTransform t({-1.0, 1.0}, 0.0);
+  core::ReconstructOptions opts;
+  opts.points = 100;  // not a power of two
+  EXPECT_THROW((void)core::reconstruct_dos_fft(mu, t, opts), kpm::Error);
+  opts.points = 32;  // fewer than moments
+  EXPECT_THROW((void)core::reconstruct_dos_fft(mu, t, opts), kpm::Error);
+}
+
+}  // namespace

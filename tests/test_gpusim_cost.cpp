@@ -1,0 +1,159 @@
+// Properties of the gpusim timing model: roofline behaviour, occupancy,
+// access-pattern efficiencies, launch overhead, cost scaling.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device.hpp"
+
+namespace {
+
+using namespace gpusim;
+
+ExecConfig big_grid() {
+  ExecConfig cfg;
+  cfg.grid = Dim3{1024};
+  cfg.block = Dim3{256};
+  return cfg;
+}
+
+TEST(GpusimCost, ComputeTimeLinearInFlops) {
+  const auto spec = DeviceSpec::tesla_c2050();
+  CostCounters c1, c2;
+  c1.flops = 1e9;
+  c2.flops = 2e9;
+  const auto s1 = model_kernel_time(spec, big_grid(), c1);
+  const auto s2 = model_kernel_time(spec, big_grid(), c2);
+  EXPECT_NEAR(s2.compute_seconds, 2.0 * s1.compute_seconds, 1e-12);
+}
+
+TEST(GpusimCost, FullOccupancyHitsPeakFlops) {
+  const auto spec = DeviceSpec::tesla_c2050();
+  CostCounters c;
+  c.flops = spec.peak_dp_flops();  // exactly one second of peak work
+  const auto s = model_kernel_time(spec, big_grid(), c);
+  EXPECT_DOUBLE_EQ(s.occupancy, 1.0);
+  EXPECT_NEAR(s.compute_seconds, 1.0, 1e-12);
+  EXPECT_EQ(std::string(s.bound()), "compute");
+}
+
+TEST(GpusimCost, MemoryBoundKernelReportsMemory) {
+  const auto spec = DeviceSpec::tesla_c2050();
+  CostCounters c;
+  c.flops = 1.0;
+  c.global_read_bytes[static_cast<int>(AccessPattern::Coalesced)] = 1e9;
+  const auto s = model_kernel_time(spec, big_grid(), c);
+  EXPECT_EQ(std::string(s.bound()), "memory");
+  EXPECT_NEAR(s.memory_seconds, 1e9 / spec.effective_bandwidth(AccessPattern::Coalesced), 1e-9);
+}
+
+TEST(GpusimCost, PatternEfficienciesOrdered) {
+  // Same byte count must cost: broadcast < coalesced < strided < random.
+  const auto spec = DeviceSpec::tesla_c2050();
+  double prev = 0.0;
+  for (auto p : {AccessPattern::Broadcast, AccessPattern::Coalesced, AccessPattern::Strided,
+                 AccessPattern::Random}) {
+    CostCounters c;
+    c.global_read_bytes[static_cast<int>(p)] = 1e9;
+    const auto s = model_kernel_time(spec, big_grid(), c);
+    EXPECT_GT(s.memory_seconds, prev) << to_string(p);
+    prev = s.memory_seconds;
+  }
+}
+
+TEST(GpusimCost, SmallGridsLoseThroughput) {
+  const auto spec = DeviceSpec::tesla_c2050();
+  CostCounters c;
+  c.flops = 1e9;
+  ExecConfig small;
+  small.grid = Dim3{1};
+  small.block = Dim3{32};
+  const auto s_small = model_kernel_time(spec, small, c);
+  const auto s_big = model_kernel_time(spec, big_grid(), c);
+  EXPECT_GT(s_small.compute_seconds, s_big.compute_seconds);
+  EXPECT_LT(s_small.occupancy, 0.2);
+}
+
+TEST(GpusimCost, SharedMemoryLimitsResidentBlocks) {
+  const auto spec = DeviceSpec::tesla_c2050();
+  CostCounters c;
+  c.flops = 1e6;
+  ExecConfig cfg = big_grid();
+  cfg.shared_bytes = spec.shared_mem_per_sm;  // one block per SM
+  const auto s = model_kernel_time(spec, cfg, c);
+  EXPECT_EQ(s.resident_blocks_per_sm, 1);
+  ExecConfig cfg2 = big_grid();
+  cfg2.shared_bytes = spec.shared_mem_per_sm / 4;
+  const auto s2 = model_kernel_time(spec, cfg2, c);
+  EXPECT_GE(s2.resident_blocks_per_sm, 4);
+}
+
+TEST(GpusimCost, WavesReflectGridSize) {
+  const auto spec = DeviceSpec::tesla_c2050();
+  CostCounters c;
+  c.flops = 1.0;
+  ExecConfig cfg;
+  cfg.block = Dim3{256};  // 6 resident/SM under the 1536-thread cap
+  cfg.grid = Dim3{static_cast<std::uint32_t>(spec.sm_count * 6)};
+  const auto s = model_kernel_time(spec, cfg, c);
+  EXPECT_NEAR(s.waves, 1.0, 1e-12);
+}
+
+TEST(GpusimCost, LaunchOverheadIsTheFloor) {
+  const auto spec = DeviceSpec::tesla_c2050();
+  const CostCounters empty;
+  const auto s = model_kernel_time(spec, big_grid(), empty);
+  EXPECT_GE(s.seconds, spec.kernel_launch_overhead_s);
+}
+
+TEST(GpusimCost, TransferModelHasLatencyFloor) {
+  const auto spec = DeviceSpec::tesla_c2050();
+  EXPECT_DOUBLE_EQ(model_transfer_time(spec, 0.0), spec.pcie_latency_s);
+  EXPECT_NEAR(model_transfer_time(spec, spec.pcie_bandwidth), spec.pcie_latency_s + 1.0, 1e-12);
+}
+
+TEST(GpusimCost, CountersScaleUniformly) {
+  CostCounters c;
+  c.flops = 10;
+  c.global_read_bytes[0] = 20;
+  c.global_write_bytes[3] = 30;
+  c.shared_bytes = 40;
+  c.barriers = 2;
+  c.scale(3.0);
+  EXPECT_DOUBLE_EQ(c.flops, 30.0);
+  EXPECT_DOUBLE_EQ(c.global_read_bytes[0], 60.0);
+  EXPECT_DOUBLE_EQ(c.global_write_bytes[3], 90.0);
+  EXPECT_DOUBLE_EQ(c.shared_bytes, 120.0);
+  EXPECT_DOUBLE_EQ(c.barriers, 6.0);
+  EXPECT_DOUBLE_EQ(c.total_global_bytes(), 150.0);
+}
+
+TEST(GpusimCost, LaunchCostScaleMultipliesModeledWork) {
+  // A kernel launched with cost_scale = 4 must report ~4x the time of the
+  // same kernel at scale 1 (well above the launch-overhead floor).
+  Device dev(DeviceSpec::tesla_c2050());
+  auto buf = dev.alloc<double>(256);
+
+  class Burn final : public Kernel {
+   public:
+    const char* name() const override { return "burn"; }
+    void block_phase(int, BlockContext& b) override { b.flop(1e8); }
+  } k;
+
+  ExecConfig cfg = big_grid();
+  const auto s1 = dev.launch(cfg, k, 1.0);
+  const auto s4 = dev.launch(cfg, k, 4.0);
+  EXPECT_NEAR(s4.compute_seconds, 4.0 * s1.compute_seconds, 1e-9);
+}
+
+TEST(GpusimCost, GenerationGapShowsInDoublePrecision) {
+  // The GT200-class part has 1/12 DP rate: the same flop count must take
+  // much longer than on Fermi.
+  CostCounters c;
+  c.flops = 1e10;
+  const auto fermi = model_kernel_time(DeviceSpec::tesla_c2050(), big_grid(), c);
+  const auto gt200 = model_kernel_time(DeviceSpec::geforce_gtx285(), big_grid(), c);
+  EXPECT_GT(gt200.compute_seconds, 5.0 * fermi.compute_seconds);
+}
+
+}  // namespace

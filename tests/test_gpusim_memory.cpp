@@ -1,0 +1,121 @@
+// VRAM accounting, transfer timing and timeline tests for gpusim::Device.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/device.hpp"
+
+namespace {
+
+using namespace gpusim;
+
+TEST(GpusimMemory, AllocationTracksUsage) {
+  Device dev(DeviceSpec::tesla_c2050());
+  EXPECT_EQ(dev.vram_used(), 0u);
+  {
+    auto buf = dev.alloc<double>(1000);
+    EXPECT_EQ(dev.vram_used(), 8000u);
+    EXPECT_EQ(dev.vram_peak(), 8000u);
+    auto buf2 = dev.alloc<std::int32_t>(10);
+    EXPECT_EQ(dev.vram_used(), 8040u);
+  }
+  EXPECT_EQ(dev.vram_used(), 0u) << "buffers must return their bytes on destruction";
+  EXPECT_EQ(dev.vram_peak(), 8040u) << "peak is sticky";
+}
+
+TEST(GpusimMemory, OutOfMemoryThrows) {
+  DeviceSpec spec = DeviceSpec::tesla_c2050();
+  spec.global_mem_bytes = 1024;
+  Device dev(spec);
+  auto ok = dev.alloc<double>(100);  // 800 B
+  EXPECT_THROW((void)dev.alloc<double>(100), kpm::Error);
+  // After freeing, the allocation succeeds.
+  ok = DeviceBuffer<double>();
+  EXPECT_NO_THROW((void)dev.alloc<double>(100));
+}
+
+TEST(GpusimMemory, MoveTransfersAccounting) {
+  Device dev(DeviceSpec::tesla_c2050());
+  auto a = dev.alloc<double>(10);
+  DeviceBuffer<double> b = std::move(a);
+  EXPECT_EQ(dev.vram_used(), 80u);
+  EXPECT_FALSE(a.allocated());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.allocated());
+  b = DeviceBuffer<double>();
+  EXPECT_EQ(dev.vram_used(), 0u);
+}
+
+TEST(GpusimMemory, RoundTripCopyPreservesData) {
+  Device dev(DeviceSpec::tesla_c2050());
+  std::vector<double> host{1.5, -2.0, 3.25};
+  auto buf = dev.alloc<double>(3);
+  dev.copy_to_device<double>(host, buf);
+  std::vector<double> back(3);
+  dev.copy_to_host<double>(buf, back);
+  EXPECT_EQ(host, back);
+}
+
+TEST(GpusimMemory, CopySizeMismatchThrows) {
+  Device dev(DeviceSpec::tesla_c2050());
+  auto buf = dev.alloc<double>(4);
+  std::vector<double> small(2);
+  EXPECT_THROW(dev.copy_to_device<double>(small, buf), kpm::Error);
+  EXPECT_THROW(dev.copy_to_host<double>(buf, small), kpm::Error);
+}
+
+TEST(GpusimMemory, TransferTimeFollowsPcieModel) {
+  const auto spec = DeviceSpec::tesla_c2050();
+  Device dev(spec);
+  const std::size_t n = 1 << 20;
+  std::vector<double> host(n, 1.0);
+  auto buf = dev.alloc<double>(n);
+  const double before = dev.seconds();
+  dev.copy_to_device<double>(host, buf);
+  const double elapsed = dev.seconds() - before;
+  const double expected = spec.pcie_latency_s + static_cast<double>(n * 8) / spec.pcie_bandwidth;
+  EXPECT_DOUBLE_EQ(elapsed, expected);
+}
+
+TEST(GpusimMemory, TimelineSummarizesByKind) {
+  Device dev(DeviceSpec::tesla_c2050());
+  std::vector<double> host(100, 2.0);
+  auto buf = dev.alloc<double>(100);
+  dev.copy_to_device<double>(host, buf);
+  dev.copy_to_host<double>(buf, host);
+  const auto s = dev.summarize_timeline();
+  EXPECT_GT(s.allocation_seconds, 0.0);
+  EXPECT_GT(s.transfer_seconds, 0.0);
+  EXPECT_EQ(s.launches, 0u);
+  EXPECT_DOUBLE_EQ(s.bytes_to_device, 800.0);
+  EXPECT_DOUBLE_EQ(s.bytes_to_host, 800.0);
+  EXPECT_DOUBLE_EQ(s.total_seconds, dev.seconds());
+  dev.reset_timeline();
+  EXPECT_EQ(dev.timeline().size(), 0u);
+  EXPECT_DOUBLE_EQ(dev.seconds(), 0.0);
+  EXPECT_EQ(dev.vram_used(), 800u) << "reset_timeline must not free memory";
+}
+
+TEST(GpusimMemory, SpecValidationCatchesNonsense) {
+  DeviceSpec bad = DeviceSpec::tesla_c2050();
+  bad.sm_count = 0;
+  EXPECT_THROW(Device{bad}, kpm::Error);
+  bad = DeviceSpec::tesla_c2050();
+  bad.pattern_efficiency[0] = 1.5;
+  EXPECT_THROW(Device{bad}, kpm::Error);
+  bad = DeviceSpec::tesla_c2050();
+  bad.dp_throughput_ratio = 0.0;
+  EXPECT_THROW(Device{bad}, kpm::Error);
+}
+
+TEST(GpusimMemory, PresetSpecsAreValidAndDistinct) {
+  for (auto spec : {DeviceSpec::tesla_c2050(), DeviceSpec::geforce_gtx285(),
+                    DeviceSpec::fictional_hpc2020()}) {
+    EXPECT_NO_THROW(spec.validate());
+    EXPECT_GT(spec.peak_dp_flops(), 0.0);
+  }
+  // The C2050's headline number: ~515 GFLOP/s double precision.
+  EXPECT_NEAR(DeviceSpec::tesla_c2050().peak_dp_flops(), 515e9, 1e9);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests for the stream / event overlap model of gpusim::Device.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/device.hpp"
+
+namespace {
+
+using namespace gpusim;
+
+/// Kernel burning a fixed flop count (for deterministic durations).
+class Burn final : public Kernel {
+ public:
+  explicit Burn(double flops) : flops_(flops) {}
+  const char* name() const override { return "burn"; }
+  void block_phase(int, BlockContext& b) override {
+    if (b.bid() == 0) b.flop(flops_);
+  }
+
+ private:
+  double flops_;
+};
+
+ExecConfig grid() {
+  ExecConfig cfg;
+  cfg.grid = Dim3{1024};
+  cfg.block = Dim3{256};
+  return cfg;
+}
+
+TEST(Streams, SingleStreamSerializes) {
+  Device dev(DeviceSpec::tesla_c2050());
+  Burn k(1e9);
+  const auto s1 = dev.launch(grid(), k);
+  const auto s2 = dev.launch(grid(), k);
+  EXPECT_NEAR(dev.seconds(), s1.seconds + s2.seconds, 1e-15);
+}
+
+TEST(Streams, TwoStreamsOverlap) {
+  Device dev(DeviceSpec::tesla_c2050());
+  const StreamId other = dev.create_stream();
+  Burn k(1e9);
+  const auto a = dev.launch(grid(), k, 1.0, 0);
+  const auto b = dev.launch(grid(), k, 1.0, other);
+  // Same durations issued concurrently: wall clock = one duration, not two.
+  EXPECT_NEAR(dev.seconds(), std::max(a.seconds, b.seconds), 1e-15);
+  const auto summary = dev.summarize_timeline();
+  EXPECT_NEAR(summary.total_seconds, a.seconds + b.seconds, 1e-15);
+  EXPECT_LT(summary.critical_path_seconds, 0.75 * summary.total_seconds);
+}
+
+TEST(Streams, CopyComputeOverlap) {
+  // The canonical use: upload the next chunk while computing on this one.
+  Device dev(DeviceSpec::tesla_c2050());
+  auto buf = dev.alloc<double>(1 << 20);
+  std::vector<double> host(1 << 20, 1.0);
+  const StreamId copy_stream = dev.create_stream();
+  Burn k(5e9);
+
+  const double t0 = dev.seconds();
+  dev.launch(grid(), k, 1.0, 0);                                  // compute on stream 0
+  dev.copy_to_device<double>(host, buf, "next chunk", copy_stream);  // overlap upload
+  const double compute_s = 5e9 / dev.spec().peak_dp_flops();
+  EXPECT_NEAR(dev.seconds() - t0, compute_s + dev.spec().kernel_launch_overhead_s, 1e-9)
+      << "the transfer must hide under the kernel";
+}
+
+TEST(Streams, EventsOrderAcrossStreams) {
+  Device dev(DeviceSpec::tesla_c2050());
+  const StreamId s1 = dev.create_stream();
+  Burn k(1e9);
+  dev.launch(grid(), k, 1.0, 0);
+  const double ev = dev.record_event(0);  // after the stream-0 kernel
+  dev.wait_event(s1, ev);                 // s1 may only start after it
+  dev.launch(grid(), k, 1.0, s1);
+  const auto& last = dev.timeline().back();
+  EXPECT_GE(last.start_seconds, ev - 1e-15);
+  EXPECT_NEAR(dev.seconds(), 2.0 * last.seconds, 1e-12);
+}
+
+TEST(Streams, SynchronizeJoinsAllStreams) {
+  Device dev(DeviceSpec::tesla_c2050());
+  const StreamId s1 = dev.create_stream();
+  Burn k(1e9);
+  dev.launch(grid(), k, 1.0, s1);
+  dev.synchronize();
+  // Stream 0 now starts after the s1 kernel.
+  dev.launch(grid(), k, 1.0, 0);
+  const auto& last = dev.timeline().back();
+  EXPECT_GT(last.start_seconds, 0.0);
+}
+
+TEST(Streams, AllocationIsDeviceWideSync) {
+  Device dev(DeviceSpec::tesla_c2050());
+  const StreamId s1 = dev.create_stream();
+  Burn k(1e9);
+  dev.launch(grid(), k, 1.0, s1);
+  auto buf = dev.alloc<double>(16);  // must wait for the s1 kernel
+  const auto& alloc_ev = dev.timeline().back();
+  EXPECT_EQ(alloc_ev.kind, TimelineEvent::Kind::Allocation);
+  EXPECT_GT(alloc_ev.start_seconds, 0.0);
+}
+
+TEST(Streams, NewStreamStartsAtCriticalPath) {
+  Device dev(DeviceSpec::tesla_c2050());
+  Burn k(1e9);
+  dev.launch(grid(), k, 1.0, 0);
+  const StreamId late = dev.create_stream();
+  EXPECT_DOUBLE_EQ(dev.record_event(late), dev.seconds());
+}
+
+TEST(Streams, UnknownStreamIsRejected) {
+  Device dev(DeviceSpec::tesla_c2050());
+  Burn k(1.0);
+  EXPECT_THROW(dev.launch(grid(), k, 1.0, 7), kpm::Error);
+  EXPECT_THROW((void)dev.record_event(7), kpm::Error);
+  EXPECT_THROW(dev.wait_event(7, 0.0), kpm::Error);
+}
+
+TEST(Streams, ResetRewindsAllClocksButKeepsStreams) {
+  Device dev(DeviceSpec::tesla_c2050());
+  const StreamId s1 = dev.create_stream();
+  Burn k(1e9);
+  dev.launch(grid(), k, 1.0, s1);
+  dev.reset_timeline();
+  EXPECT_DOUBLE_EQ(dev.seconds(), 0.0);
+  EXPECT_EQ(dev.stream_count(), 2u);
+  EXPECT_NO_THROW(dev.launch(grid(), k, 1.0, s1));
+}
+
+}  // namespace

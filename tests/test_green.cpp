@@ -1,0 +1,86 @@
+// Tests for the Green's function reconstruction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/green.hpp"
+#include "core/reconstruct.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm::core;
+using kpm::linalg::SpectralTransform;
+
+std::vector<double> delta_moments(double x0, std::size_t n) {
+  std::vector<double> mu(n);
+  const double theta = std::acos(x0);
+  for (std::size_t k = 0; k < n; ++k) mu[k] = std::cos(static_cast<double>(k) * theta);
+  return mu;
+}
+
+TEST(Green, ImaginaryPartReproducesDos) {
+  // -Im G / pi must equal the KPM DoS evaluated with the same kernel.
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  const auto mu = delta_moments(0.3, 128);
+  const auto g = reconstruct_green(mu, t, {.points = 256});
+  const auto dos = reconstruct_dos(mu, t, {.points = 256});
+  const auto a = g.spectral_function();
+  ASSERT_EQ(a.size(), dos.density.size());
+  for (std::size_t j = 0; j < a.size(); ++j) EXPECT_NEAR(a[j], dos.density[j], 1e-10);
+}
+
+TEST(Green, RealPartIsOddAroundIsolatedPole) {
+  // Around a delta at x0, Re G changes sign (principal-value behaviour).
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  const double x0 = 0.0;
+  const auto mu = delta_moments(x0, 256);
+  const auto g = reconstruct_green(mu, t, {.points = 512});
+  // Sample left and right of the pole, away from the broadened core.
+  double left = 0.0, right = 0.0;
+  for (std::size_t j = 0; j < g.energy.size(); ++j) {
+    if (g.energy[j] < -0.3 && g.energy[j] > -0.5) left = g.green[j].real();
+    if (g.energy[j] > 0.3 && g.energy[j] < 0.5) right = g.green[j].real();
+  }
+  EXPECT_LT(left * right, 0.0) << "Re G must flip sign across the pole";
+}
+
+TEST(Green, FarFromSpectrumMatchesFreeFormula) {
+  // For a single pole at E0, G(omega) ~ 1/(omega - E0) away from the
+  // broadened region.
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  const double x0 = -0.5;
+  const auto mu = delta_moments(x0, 512);
+  const auto g = reconstruct_green(mu, t, {.points = 1024});
+  for (std::size_t j = 0; j < g.energy.size(); ++j) {
+    const double omega = g.energy[j];
+    if (omega > 0.4 && omega < 0.8) {
+      EXPECT_NEAR(g.green[j].real(), 1.0 / (omega - x0), 0.05) << "omega=" << omega;
+      EXPECT_NEAR(g.green[j].imag(), 0.0, 0.02);
+    }
+  }
+}
+
+TEST(Green, JacobianNormalizesSpectralFunction) {
+  const SpectralTransform t({-5.0, 3.0}, 0.01);
+  const auto mu = delta_moments(0.1, 128);
+  const auto g = reconstruct_green(mu, t, {.points = 2048});
+  const auto a = g.spectral_function();
+  double integral = 0.0;
+  for (std::size_t j = 1; j < a.size(); ++j)
+    integral += 0.5 * (a[j] + a[j - 1]) * (g.energy[j] - g.energy[j - 1]);
+  EXPECT_NEAR(integral, 1.0, 2e-3);
+}
+
+TEST(Green, RejectsBadInput) {
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  EXPECT_THROW((void)reconstruct_green({}, t), kpm::Error);
+  std::vector<double> mu{1.0};
+  EXPECT_THROW((void)evaluate_green_series(mu, 1.0), kpm::Error);
+  EXPECT_THROW((void)evaluate_green_series({}, 0.5), kpm::Error);
+}
+
+}  // namespace

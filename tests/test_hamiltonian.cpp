@@ -1,0 +1,122 @@
+// Tests for tight-binding Hamiltonian assembly — including the paper's
+// exact 10x10x10 structure claims.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "diag/tridiag.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+
+namespace {
+
+using namespace kpm::lattice;
+
+TEST(Hamiltonian, PaperStructureSevenEntriesPerRow) {
+  // "any row contains seven non-zero elements with the condition where all
+  // diagonal ones are zeros and the other non-zero ones are -1s".
+  const auto lat = HypercubicLattice::cubic(10, 10, 10);
+  const auto h = build_tight_binding_crs(lat);
+  EXPECT_EQ(h.rows(), 1000u);
+  EXPECT_EQ(h.nnz(), 7000u);
+  const auto row_ptr = h.row_ptr();
+  const auto col_idx = h.col_idx();
+  const auto values = h.values();
+  for (std::size_t r = 0; r < h.rows(); ++r) {
+    EXPECT_EQ(row_ptr[r + 1] - row_ptr[r], 7);
+    for (auto k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      if (static_cast<std::size_t>(col_idx[kk]) == r)
+        EXPECT_EQ(values[kk], 0.0) << "diagonal must be zero";
+      else
+        EXPECT_EQ(values[kk], -1.0) << "hoppings must be -1";
+    }
+  }
+}
+
+TEST(Hamiltonian, CrsAndDenseAgree) {
+  const auto lat = HypercubicLattice::cubic(3, 3, 3);
+  const auto hc = build_tight_binding_crs(lat).to_dense();
+  const auto hd = build_tight_binding_dense(lat);
+  for (std::size_t r = 0; r < hd.rows(); ++r)
+    for (std::size_t c = 0; c < hd.cols(); ++c) EXPECT_EQ(hc(r, c), hd(r, c));
+}
+
+TEST(Hamiltonian, IsSymmetric) {
+  const auto lat = HypercubicLattice::square(5, 4);
+  EXPECT_TRUE(build_tight_binding_crs(lat).is_symmetric());
+}
+
+TEST(Hamiltonian, WithoutStructuralDiagonalDropsZeros) {
+  TightBindingParams p;
+  p.store_zero_diagonal = false;
+  const auto lat = HypercubicLattice::cubic(4, 4, 4);
+  const auto h = build_tight_binding_crs(lat, p);
+  EXPECT_EQ(h.nnz(), 64u * 6u);
+}
+
+TEST(Hamiltonian, OnsiteEnergyLandsOnDiagonal) {
+  TightBindingParams p;
+  p.onsite = 1.5;
+  const auto lat = HypercubicLattice::chain(4);
+  const auto h = build_tight_binding_crs(lat, p);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(h.at(i, i), 1.5);
+}
+
+TEST(Hamiltonian, CustomHoppingScale) {
+  TightBindingParams p;
+  p.hopping = 2.5;
+  const auto lat = HypercubicLattice::chain(6);
+  const auto h = build_tight_binding_crs(lat, p);
+  EXPECT_DOUBLE_EQ(h.at(0, 1), -2.5);
+}
+
+TEST(Hamiltonian, ExtentTwoPeriodicAxisDoublesHopping) {
+  const auto lat = HypercubicLattice::chain(2);
+  const auto h = build_tight_binding_crs(lat);
+  EXPECT_DOUBLE_EQ(h.at(0, 1), -2.0);  // both wrap directions merge
+}
+
+TEST(Hamiltonian, SpectrumMatchesClosedFormOnSquareLattice) {
+  const auto lat = HypercubicLattice::square(4, 6);
+  const auto h = build_tight_binding_dense(lat);
+  auto eig = kpm::diag::symmetric_eigenvalues(h);
+  auto expected = periodic_tight_binding_spectrum(lat);
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(eig.size(), expected.size());
+  for (std::size_t i = 0; i < eig.size(); ++i) EXPECT_NEAR(eig[i], expected[i], 1e-10);
+}
+
+TEST(Hamiltonian, AndersonDisorderIsBoundedAndReproducible) {
+  const double width = 2.0;
+  const auto dis1 = anderson_disorder(width, 42, 0);
+  const auto dis2 = anderson_disorder(width, 42, 0);
+  const auto dis3 = anderson_disorder(width, 42, 1);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(dis1(i), dis2(i));
+    EXPECT_LE(std::abs(dis1(i)), width / 2);
+    any_diff |= dis1(i) != dis3(i);
+  }
+  EXPECT_TRUE(any_diff) << "different realizations must differ";
+}
+
+TEST(Hamiltonian, DisorderBreaksTranslationInvarianceOfSpectrum) {
+  const auto lat = HypercubicLattice::chain(16);
+  const auto clean = build_tight_binding_dense(lat);
+  const auto dirty = build_tight_binding_dense(lat, {}, anderson_disorder(3.0, 7));
+  const auto e_clean = kpm::diag::symmetric_eigenvalues(clean);
+  const auto e_dirty = kpm::diag::symmetric_eigenvalues(dirty);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < 16; ++i)
+    max_diff = std::max(max_diff, std::abs(e_clean[i] - e_dirty[i]));
+  EXPECT_GT(max_diff, 0.1);
+}
+
+TEST(Hamiltonian, ClosedFormSpectrumRequiresPeriodic) {
+  const auto lat = HypercubicLattice::chain(4, Boundary::Open);
+  EXPECT_THROW((void)periodic_tight_binding_spectrum(lat), kpm::Error);
+}
+
+}  // namespace

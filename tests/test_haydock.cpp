@@ -1,0 +1,149 @@
+// Tests for the Haydock recursion (continued-fraction LDOS) method.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/ldos.hpp"
+#include "core/reconstruct.hpp"
+#include "diag/haydock.hpp"
+#include "diag/jacobi.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using namespace kpm::diag;
+
+TEST(Haydock, CoefficientsOfTwoSiteSystem) {
+  // H = -t sigma_x from |0>: a_0 = 0, b_1 = t, a_1 = 0, then exhausted.
+  linalg::TripletBuilder b(2, 2);
+  b.add_symmetric(0, 1, -1.5);
+  const auto h = b.build();
+  linalg::MatrixOperator op(h);
+  std::vector<double> start{1.0, 0.0};
+  const auto rc = haydock_coefficients(op, start, 10);
+  ASSERT_GE(rc.a.size(), 2u);
+  EXPECT_NEAR(rc.a[0], 0.0, 1e-14);
+  EXPECT_NEAR(rc.b[0], 1.5, 1e-14);
+  EXPECT_NEAR(rc.a[1], 0.0, 1e-14);
+  EXPECT_TRUE(rc.exhausted);
+}
+
+TEST(Haydock, GreenFunctionOfTwoSiteSystemIsExact) {
+  // G_00(z) = z / (z^2 - t^2) for the 2x2 hopping Hamiltonian.
+  linalg::TripletBuilder b(2, 2);
+  b.add_symmetric(0, 1, -1.0);
+  const auto h = b.build();
+  linalg::MatrixOperator op(h);
+  std::vector<double> start{1.0, 0.0};
+  const auto rc = haydock_coefficients(op, start, 10);
+  HaydockOptions opts;
+  opts.eta = 1e-6;
+  for (double e : {0.5, 2.0, -3.0}) {
+    const auto g = haydock_green(rc, e, opts);
+    const double exact = e / (e * e - 1.0);
+    EXPECT_NEAR(g.real(), exact, 1e-4) << "E=" << e;
+  }
+}
+
+TEST(Haydock, LdosIntegratesToOne) {
+  const auto lat = lattice::HypercubicLattice::chain(64);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  std::vector<double> energies;
+  for (double e = -3.5; e <= 3.5; e += 0.02) energies.push_back(e);
+  const auto rho = haydock_ldos(op, 10, energies, {.steps = 60, .eta = 0.02});
+  double integral = 0.0;
+  for (std::size_t j = 1; j < energies.size(); ++j)
+    integral += 0.5 * (rho[j] + rho[j - 1]) * (energies[j] - energies[j - 1]);
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Haydock, LdosIsNonNegative) {
+  const auto lat = lattice::HypercubicLattice::square(8, 8);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  std::vector<double> energies;
+  for (double e = -5.0; e <= 5.0; e += 0.1) energies.push_back(e);
+  const auto rho = haydock_ldos(op, 20, energies, {.steps = 80, .eta = 0.05});
+  for (std::size_t j = 0; j < rho.size(); ++j)
+    EXPECT_GE(rho[j], -1e-10) << "E=" << energies[j];
+}
+
+TEST(Haydock, MatchesExactLdosOnSmallSystem) {
+  // Exact LDOS: rho_i(E) = sum_k |<i|k>|^2 L_eta(E - E_k) with a
+  // Lorentzian of width eta — compare at matching broadening.
+  const auto lat = lattice::HypercubicLattice::chain(24);
+  const auto h = lattice::build_tight_binding_dense(lat);
+  linalg::MatrixOperator op(h);
+  const std::size_t site = 7;
+  const double eta = 0.15;
+
+  JacobiOptions jopts;
+  jopts.compute_vectors = true;
+  const auto ed = jacobi_eigensolve(h, jopts);
+
+  std::vector<double> energies{-1.7, -0.8, 0.0, 0.9, 1.6};
+  const auto rho = haydock_ldos(op, site, energies, {.steps = 24, .eta = eta});
+  for (std::size_t j = 0; j < energies.size(); ++j) {
+    double exact = 0.0;
+    for (std::size_t k = 0; k < ed.eigenvalues.size(); ++k) {
+      const double w = ed.eigenvectors(site, k) * ed.eigenvectors(site, k);
+      const double de = energies[j] - ed.eigenvalues[k];
+      exact += w * eta / (std::numbers::pi * (de * de + eta * eta));
+    }
+    EXPECT_NEAR(rho[j], exact, 0.05 * std::max(1.0, exact)) << "E=" << energies[j];
+  }
+}
+
+TEST(Haydock, AgreesWithKpmLdosAtMatchedResolution) {
+  // Same physics from the two methods: Haydock with eta vs KPM with a
+  // Lorentz kernel of lambda = eta * N / half_width.
+  const auto lat = lattice::HypercubicLattice::square(10, 10);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  const std::size_t site = 37, n = 128;
+  const double eta = 0.15;
+
+  const auto transform = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op_t(ht);
+  const auto mu = core::ldos_moments(op_t, site, n);
+
+  // Compare inside the band: near the edges the KPM Lorentz kernel's
+  // width is distorted by the 1/sqrt(1-x^2) factor while Haydock's eta is
+  // uniform — a genuine methodological difference, not an error.
+  std::vector<double> energies;
+  for (double e = -2.5; e <= 2.5; e += 0.25) energies.push_back(e);
+  core::ReconstructOptions ropts;
+  ropts.kernel = core::DampingKernel::Lorentz;
+  ropts.lorentz_lambda = eta * static_cast<double>(n) / transform.half_width();
+  const auto kpm_curve = core::reconstruct_dos_at(mu, transform, energies, ropts);
+
+  const auto haydock = haydock_ldos(op, site, energies, {.steps = n, .eta = eta});
+  for (std::size_t j = 0; j < energies.size(); ++j)
+    EXPECT_NEAR(kpm_curve.density[j], haydock[j], 0.03) << "E=" << energies[j];
+}
+
+TEST(Haydock, RejectsBadInput) {
+  const auto lat = lattice::HypercubicLattice::chain(8);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  std::vector<double> start(8, 0.0);
+  EXPECT_THROW((void)haydock_coefficients(op, start, 4), kpm::Error);  // zero vector
+  std::vector<double> wrong(5, 1.0);
+  EXPECT_THROW((void)haydock_coefficients(op, wrong, 4), kpm::Error);
+  start[0] = 1.0;
+  EXPECT_THROW((void)haydock_coefficients(op, start, 0), kpm::Error);
+  const auto rc = haydock_coefficients(op, start, 4);
+  std::vector<double> e{0.0};
+  EXPECT_THROW((void)haydock_green(rc, 0.0, {.eta = 0.0}), kpm::Error);
+  EXPECT_THROW((void)haydock_ldos(op, 99, e), kpm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,243 @@
+// Tests for the complex Hermitian extension: CrsMatrixZ, Peierls phases,
+// Hermitian KPM moments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+#include "core/ldos.hpp"
+#include "core/moments_cpu.hpp"
+#include "core/moments_hermitian.hpp"
+#include "core/reconstruct.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/honeycomb.hpp"
+#include "lattice/lattice.hpp"
+#include "lattice/peierls.hpp"
+#include "linalg/hermitian_matrix.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using Complex = std::complex<double>;
+
+TEST(CrsMatrixZ, BuilderAndAccess) {
+  linalg::TripletBuilderZ b(2, 2);
+  b.add_hermitian(0, 1, {0.0, -1.5});  // i * (-1.5) hopping
+  b.add_hermitian(0, 0, {2.0, 0.0});
+  const auto m = b.build();
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.at(0, 1), (Complex{0.0, -1.5}));
+  EXPECT_EQ(m.at(1, 0), (Complex{0.0, 1.5}));
+  EXPECT_EQ(m.at(0, 0), (Complex{2.0, 0.0}));
+  EXPECT_TRUE(m.is_hermitian());
+}
+
+TEST(CrsMatrixZ, RejectsComplexDiagonalInHermitianAdd) {
+  linalg::TripletBuilderZ b(2, 2);
+  EXPECT_THROW(b.add_hermitian(0, 0, {1.0, 0.5}), kpm::Error);
+}
+
+TEST(CrsMatrixZ, MultiplyMatchesHandComputation) {
+  linalg::TripletBuilderZ b(2, 2);
+  b.add_hermitian(0, 1, {0.0, 1.0});  // pauli_y-like
+  const auto m = b.build();
+  std::vector<Complex> x{{1.0, 0.0}, {0.0, 0.0}}, y(2);
+  m.multiply(x, y);
+  EXPECT_EQ(y[0], (Complex{0.0, 0.0}));
+  EXPECT_EQ(y[1], (Complex{0.0, -1.0}));
+}
+
+TEST(CrsMatrixZ, GershgorinBoundsPauliY) {
+  // sigma_y has eigenvalues +-1; Gershgorin gives [-1, 1].
+  linalg::TripletBuilderZ b(2, 2);
+  b.add_hermitian(0, 1, {0.0, -1.0});
+  const auto m = b.build();
+  const auto bounds = m.gershgorin();
+  EXPECT_DOUBLE_EQ(bounds.lower, -1.0);
+  EXPECT_DOUBLE_EQ(bounds.upper, 1.0);
+}
+
+TEST(Peierls, ZeroFluxEqualsRealLattice) {
+  const auto hz = lattice::build_square_flux_crs(6, 6, 0.0);
+  const auto lat = lattice::HypercubicLattice::square(6, 6);
+  lattice::TightBindingParams p;
+  p.store_zero_diagonal = false;
+  const auto hr = lattice::build_tight_binding_crs(lat, p);
+  ASSERT_EQ(hz.nnz(), hr.nnz());
+  for (std::size_t r = 0; r < hz.rows(); ++r)
+    for (std::size_t c = 0; c < hz.cols(); ++c) {
+      EXPECT_NEAR(hz.at(r, c).real(), hr.at(r, c), 1e-14);
+      EXPECT_NEAR(hz.at(r, c).imag(), 0.0, 1e-14);
+    }
+}
+
+TEST(Peierls, IsHermitianAtAnyConsistentFlux) {
+  for (double phi : {0.0, 1.0 / 6.0, 0.5, 2.0 / 3.0}) {
+    const auto h = lattice::build_square_flux_crs(6, 6, phi);
+    EXPECT_TRUE(h.is_hermitian(1e-14)) << "phi=" << phi;
+  }
+}
+
+TEST(Peierls, RejectsInconsistentPeriodicFlux) {
+  EXPECT_THROW((void)lattice::build_square_flux_crs(6, 6, 0.1), kpm::Error);
+  EXPECT_NO_THROW((void)lattice::build_square_flux_crs(6, 6, 0.1, 1.0,
+                                                       lattice::Boundary::Open));
+}
+
+TEST(Peierls, HalfFluxMatchesRealStaggeredGauge) {
+  // phi = 1/2: exp(i pi x) = (-1)^x is real, so the spectrum must match a
+  // real Hamiltonian with staggered y-hoppings.  Compare KPM moments.
+  const std::size_t l = 6;
+  const auto hz = lattice::build_square_flux_crs(l, l, 0.5);
+  const auto bounds = hz.gershgorin();
+  const linalg::SpectralTransform t(bounds, 0.02);
+  const auto hz_tilde = linalg::rescale(hz, t);
+  const auto mu_z = core::deterministic_trace_moments_hermitian(hz_tilde, 32);
+
+  // Real staggered construction.
+  linalg::TripletBuilder br(l * l, l * l);
+  auto site = [&](std::size_t x, std::size_t y) { return y * l + x; };
+  for (std::size_t y = 0; y < l; ++y)
+    for (std::size_t x = 0; x < l; ++x) {
+      br.add_symmetric(site(x, y), site((x + 1) % l, y), -1.0);
+      const double sign = (x % 2 == 0) ? 1.0 : -1.0;
+      br.add_symmetric(site(x, y), site(x, (y + 1) % l), -sign);
+    }
+  const auto hr = br.build();
+  const auto hr_tilde = linalg::rescale(hr, t);
+  linalg::MatrixOperator op(hr_tilde);
+  const auto mu_r = core::deterministic_trace_moments(op, 32);
+
+  for (std::size_t n = 0; n < 32; ++n) EXPECT_NEAR(mu_z[n], mu_r[n], 1e-10) << "moment " << n;
+}
+
+TEST(HermitianMoments, StochasticConvergesToDeterministic) {
+  const auto h = lattice::build_square_flux_crs(6, 6, 1.0 / 6.0);
+  const linalg::SpectralTransform t(h.gershgorin(), 0.02);
+  const auto ht = linalg::rescale(h, t);
+  const auto exact = core::deterministic_trace_moments_hermitian(ht, 16);
+
+  core::MomentParams p;
+  p.num_moments = 16;
+  p.random_vectors = 32;
+  p.realizations = 8;  // 256 instances on D = 36
+  core::HermitianMomentEngine engine;
+  const auto r = engine.compute(ht, p);
+  EXPECT_DOUBLE_EQ(r.mu[0], 1.0);
+  const double tol = 5.0 / std::sqrt(256.0 * 36.0);
+  for (std::size_t n = 0; n < 16; ++n) EXPECT_NEAR(r.mu[n], exact[n], tol) << "moment " << n;
+}
+
+TEST(HermitianMoments, FluxOpensHofstadterGaps) {
+  // At phi = 1/2 the square-lattice spectrum splits into two subbands
+  // with a pseudogap at E = 0 (Dirac-like); the zero-flux DoS peaks at
+  // E = 0 (van Hove).  The KPM DoS must show the suppression.
+  const std::size_t l = 12;
+  auto dos_at_zero = [&](double phi) {
+    const auto h = lattice::build_square_flux_crs(l, l, phi);
+    const linalg::SpectralTransform t(h.gershgorin(), 0.02);
+    const auto ht = linalg::rescale(h, t);
+    const auto mu = core::deterministic_trace_moments_hermitian(ht, 64);
+    std::vector<double> probe{0.0};
+    return core::reconstruct_dos_at(mu, t, probe).density[0];
+  };
+  EXPECT_LT(dos_at_zero(0.5), 0.5 * dos_at_zero(0.0));
+}
+
+TEST(HermitianMoments, TimeReversalPairGivesIdenticalDos) {
+  // phi and -phi are related by complex conjugation: identical spectra.
+  const auto hp = lattice::build_square_flux_crs(6, 6, 1.0 / 3.0);
+  const auto hm = lattice::build_square_flux_crs(6, 6, -1.0 / 3.0);
+  const linalg::SpectralTransform t(hp.gershgorin(), 0.02);
+  const auto mup = core::deterministic_trace_moments_hermitian(linalg::rescale(hp, t), 24);
+  const auto mum = core::deterministic_trace_moments_hermitian(linalg::rescale(hm, t), 24);
+  for (std::size_t n = 0; n < 24; ++n) EXPECT_NEAR(mup[n], mum[n], 1e-12);
+}
+
+TEST(HoneycombFlux, ZeroFluxMatchesRealHoneycomb) {
+  const auto hz = lattice::build_honeycomb_flux_crs(6, 6, 0.0);
+  const lattice::HoneycombLattice lat(6, 6);
+  const auto hr = lat.hamiltonian();
+  for (std::size_t r = 0; r < hz.rows(); ++r)
+    for (std::size_t c = 0; c < hz.cols(); ++c) {
+      EXPECT_NEAR(hz.at(r, c).real(), hr.at(r, c), 1e-14) << r << "," << c;
+      EXPECT_NEAR(hz.at(r, c).imag(), 0.0, 1e-14);
+    }
+}
+
+TEST(HoneycombFlux, HermitianAndConsistent) {
+  const auto h = lattice::build_honeycomb_flux_crs(6, 6, 1.0 / 6.0);
+  EXPECT_TRUE(h.is_hermitian(1e-14));
+  EXPECT_THROW((void)lattice::build_honeycomb_flux_crs(6, 6, 0.15), kpm::Error);
+}
+
+TEST(HoneycombFlux, ZeroModeLandauLevelAppears) {
+  // Graphene in a field: the n = 0 Landau level pins a DoS peak at E = 0
+  // where the zero-field pseudogap sits.
+  const std::size_t l = 12;
+  const linalg::SpectralTransform t({-3.05, 3.05}, 0.0);
+  auto rho0 = [&](double phi) {
+    const auto h = lattice::build_honeycomb_flux_crs(l, l, phi);
+    const auto ht = linalg::rescale(h, t);
+    const auto mu = core::deterministic_trace_moments_hermitian(ht, 96);
+    std::vector<double> probe{0.0};
+    return core::reconstruct_dos_at(mu, t, probe).density[0];
+  };
+  EXPECT_GT(rho0(1.0 / 12.0), 3.0 * rho0(0.0));
+}
+
+TEST(HoneycombFlux, SpectrumStaysWithinBandwidth) {
+  // |E| <= 3t for any flux (Gershgorin bound is tight at 3 bonds x t).
+  const auto h = lattice::build_honeycomb_flux_crs(6, 6, 0.5);
+  const auto b = h.gershgorin();
+  EXPECT_DOUBLE_EQ(b.lower, -3.0);
+  EXPECT_DOUBLE_EQ(b.upper, 3.0);
+}
+
+TEST(CrsMatrixZ, ValidationRejectsMalformedArrays) {
+  EXPECT_THROW(linalg::CrsMatrixZ(2, 2, {0, 1}, {0}, {{1.0, 0.0}}), kpm::Error);
+  EXPECT_THROW(linalg::CrsMatrixZ(1, 1, {0, 1}, {5}, {{1.0, 0.0}}), kpm::Error);
+}
+
+TEST(HermitianLdos, ZeroFluxMatchesRealLdos) {
+  const auto hz = lattice::build_square_flux_crs(6, 6, 0.0);
+  const linalg::SpectralTransform t(hz.gershgorin(), 0.02);
+  const auto hz_tilde = linalg::rescale(hz, t);
+
+  const auto lat = lattice::HypercubicLattice::square(6, 6);
+  lattice::TightBindingParams p;
+  p.store_zero_diagonal = false;
+  const auto hr = lattice::build_tight_binding_crs(lat, p);
+  const auto hr_tilde = linalg::rescale(hr, t);
+  linalg::MatrixOperator op(hr_tilde);
+
+  const auto mu_z = core::ldos_moments_hermitian(hz_tilde, 13, 24);
+  const auto mu_r = core::ldos_moments(op, 13, 24);
+  for (std::size_t n = 0; n < 24; ++n) EXPECT_NEAR(mu_z[n], mu_r[n], 1e-12) << n;
+}
+
+TEST(HermitianLdos, AveragesToTheTrace) {
+  const auto h = lattice::build_square_flux_crs(4, 4, 0.25);
+  const linalg::SpectralTransform t(h.gershgorin(), 0.02);
+  const auto ht = linalg::rescale(h, t);
+  const auto trace = core::deterministic_trace_moments_hermitian(ht, 12);
+  std::vector<double> avg(12, 0.0);
+  for (std::size_t site = 0; site < h.rows(); ++site) {
+    const auto mu = core::ldos_moments_hermitian(ht, site, 12);
+    for (std::size_t n = 0; n < 12; ++n) avg[n] += mu[n];
+  }
+  for (std::size_t n = 0; n < 12; ++n)
+    EXPECT_NEAR(trace[n], avg[n] / static_cast<double>(h.rows()), 1e-12);
+}
+
+TEST(HermitianLdos, RejectsBadInput) {
+  const auto h = lattice::build_square_flux_crs(4, 4, 0.0);
+  const linalg::SpectralTransform t(h.gershgorin(), 0.02);
+  const auto ht = linalg::rescale(h, t);
+  EXPECT_THROW((void)core::ldos_moments_hermitian(ht, 999, 8), kpm::Error);
+  EXPECT_THROW((void)core::ldos_moments_hermitian(ht, 0, 0), kpm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Tests for the GPU-mapped Hermitian moment engine.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/moments_gpu.hpp"
+#include "core/moments_hermitian.hpp"
+#include "core/moments_hermitian_gpu.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "lattice/peierls.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using namespace kpm::core;
+
+struct Fixture {
+  linalg::CrsMatrixZ h_tilde;
+
+  explicit Fixture(double phi = 1.0 / 6.0) {
+    const auto h = lattice::build_square_flux_crs(6, 6, phi);
+    const linalg::SpectralTransform t(h.gershgorin(), 0.02);
+    h_tilde = linalg::rescale(h, t);
+  }
+};
+
+MomentParams small_params() {
+  MomentParams p;
+  p.num_moments = 16;
+  p.random_vectors = 4;
+  p.realizations = 2;
+  return p;
+}
+
+TEST(GpuHermitian, BitwiseEqualToCpuHermitianEngine) {
+  Fixture f;
+  const auto p = small_params();
+  HermitianMomentEngine cpu;
+  const auto a = cpu.compute(f.h_tilde, p);
+  GpuHermitianMomentEngine gpu;
+  const auto b = gpu.compute(f.h_tilde, p);
+  ASSERT_EQ(a.mu.size(), b.mu.size());
+  for (std::size_t n = 0; n < a.mu.size(); ++n) EXPECT_EQ(a.mu[n], b.mu[n]) << "moment " << n;
+}
+
+TEST(GpuHermitian, SampledRunMatchesCpu) {
+  Fixture f;
+  const auto p = small_params();
+  HermitianMomentEngine cpu;
+  GpuHermitianMomentEngine gpu;
+  const auto a = cpu.compute(f.h_tilde, p, 3);
+  const auto b = gpu.compute(f.h_tilde, p, 3);
+  EXPECT_EQ(b.instances_executed, 3u);
+  for (std::size_t n = 0; n < a.mu.size(); ++n) EXPECT_EQ(a.mu[n], b.mu[n]);
+}
+
+TEST(GpuHermitian, ComplexArithmeticCostsMoreThanReal) {
+  // Same lattice at zero field: the complex engine must model more kernel
+  // time than the real engine (16-byte elements, ~4x flops per entry).
+  const auto lat = lattice::HypercubicLattice::square(8, 8);
+  const auto hr = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator opr(hr);
+  const auto t = linalg::make_spectral_transform(opr);
+  const auto hr_tilde = linalg::rescale(hr, t);
+  linalg::MatrixOperator opr_tilde(hr_tilde);
+  const auto hz = lattice::build_square_flux_crs(8, 8, 0.0);
+  const auto hz_tilde = linalg::rescale(hz, t);
+
+  MomentParams p;
+  p.num_moments = 64;
+  p.random_vectors = 14;
+  p.realizations = 16;
+  GpuEngineConfig cfg;
+  cfg.context_setup_seconds = 0.0;
+  GpuMomentEngine real_engine(cfg);
+  GpuHermitianMomentEngine complex_engine(cfg);
+  const double t_real = real_engine.compute(opr_tilde, p, 8).compute_seconds;
+  const double t_complex = complex_engine.compute(hz_tilde, p, 8).compute_seconds;
+  EXPECT_GT(t_complex, 1.5 * t_real);
+  EXPECT_LT(t_complex, 6.0 * t_real);
+}
+
+TEST(GpuHermitian, TimelinePopulatedAndVramChecked) {
+  Fixture f;
+  GpuHermitianMomentEngine gpu;
+  (void)gpu.compute(f.h_tilde, small_params());
+  EXPECT_EQ(gpu.last_timeline().launches, 3u);
+  EXPECT_GT(gpu.last_timeline().bytes_to_device, 0.0);
+
+  MomentParams huge;
+  huge.num_moments = 4;
+  huge.random_vectors = 1 << 13;
+  huge.realizations = 1 << 10;  // complex vectors: 2^23 * 36 * 16 B = 4.8 GB
+  EXPECT_THROW((void)gpu.compute(f.h_tilde, huge, 1), kpm::Error);
+}
+
+TEST(GpuHermitian, RejectsBadConfig) {
+  GpuEngineConfig cfg;
+  cfg.block_size = 33;
+  EXPECT_THROW(GpuHermitianMomentEngine{cfg}, kpm::Error);
+}
+
+}  // namespace

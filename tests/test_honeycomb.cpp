@@ -1,0 +1,102 @@
+// Tests for the honeycomb (graphene) lattice builder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/ldos.hpp"
+#include "core/reconstruct.hpp"
+#include "diag/spectrum_utils.hpp"
+#include "diag/tridiag.hpp"
+#include "lattice/honeycomb.hpp"
+#include "linalg/operator.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using lattice::HoneycombLattice;
+
+TEST(Honeycomb, SiteCountAndIndexing) {
+  const HoneycombLattice lat(4, 5);
+  EXPECT_EQ(lat.cells(), 20u);
+  EXPECT_EQ(lat.sites(), 40u);
+  EXPECT_EQ(lat.site_index(0, 0, 0), 0u);
+  EXPECT_EQ(lat.site_index(0, 0, 1), 1u);
+  EXPECT_EQ(lat.site_index(1, 0, 0), 2u);
+  EXPECT_THROW((void)lat.site_index(4, 0, 0), kpm::Error);
+}
+
+TEST(Honeycomb, CoordinationIsThree) {
+  const HoneycombLattice lat(4, 4);
+  const auto h = lat.hamiltonian();
+  // 3 hoppings + structural diagonal per row.
+  EXPECT_EQ(h.nnz(), lat.sites() * 4);
+  EXPECT_EQ(h.max_row_nnz(), 4u);
+  EXPECT_TRUE(h.is_symmetric());
+}
+
+TEST(Honeycomb, SpectrumMatchesDiagonalization) {
+  const HoneycombLattice lat(3, 4);
+  const auto h = lat.hamiltonian();
+  auto eig = diag::symmetric_eigenvalues(h.to_dense());
+  auto expected = lat.spectrum();
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(eig.size(), expected.size());
+  for (std::size_t i = 0; i < eig.size(); ++i) EXPECT_NEAR(eig[i], expected[i], 1e-10) << i;
+}
+
+TEST(Honeycomb, SpectrumIsParticleHoleSymmetric) {
+  const HoneycombLattice lat(5, 5);
+  auto s = lat.spectrum();
+  std::sort(s.begin(), s.end());
+  for (std::size_t i = 0; i < s.size() / 2; ++i)
+    EXPECT_NEAR(s[i], -s[s.size() - 1 - i], 1e-12);
+}
+
+TEST(Honeycomb, BandwidthIsThreeT) {
+  const HoneycombLattice lat(6, 6);
+  const auto s = lat.spectrum(1.5);
+  const auto [lo, hi] = std::minmax_element(s.begin(), s.end());
+  EXPECT_NEAR(*hi, 4.5, 1e-12);  // 3 t at the Gamma point
+  EXPECT_NEAR(*lo, -4.5, 1e-12);
+}
+
+TEST(Honeycomb, DiracPointExistsWhenExtentsDivisibleByThree) {
+  // K points belong to the discrete BZ iff 3 | L: zero modes appear.
+  const HoneycombLattice lat(6, 6);
+  auto s = lat.spectrum();
+  std::sort(s.begin(), s.end(), [](double a, double b) { return std::abs(a) < std::abs(b); });
+  EXPECT_NEAR(s[0], 0.0, 1e-12);
+  EXPECT_NEAR(s[3], 0.0, 1e-12);  // two K points x two bands
+}
+
+TEST(Honeycomb, KpmDosShowsDiracPseudogap) {
+  // rho(E) ~ |E| near zero: the DoS at E=0 is far below its value at |E|=t.
+  const HoneycombLattice lat(12, 12);
+  const auto h = lat.hamiltonian();
+  linalg::MatrixOperator op(h);
+  const auto transform = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op_t(ht);
+
+  const auto mu = core::deterministic_trace_moments(op_t, 128);
+  std::vector<double> probe{0.0, 1.0};
+  const auto curve = core::reconstruct_dos_at(mu, transform, probe);
+  EXPECT_LT(curve.density[0], 0.35 * curve.density[1]);
+}
+
+TEST(Honeycomb, VanHoveSingularitiesAtPlusMinusT) {
+  // The honeycomb DoS peaks at |E| = t (logarithmic van Hove).
+  const HoneycombLattice lat(15, 15);
+  const auto spectrum = lat.spectrum();
+  linalg::SpectralTransform transform({-3.2, 3.2}, 0.0);
+  const auto mu = diag::exact_chebyshev_moments(spectrum, transform, 128);
+  std::vector<double> probe{0.5, 1.0, 1.8};
+  const auto curve = core::reconstruct_dos_at(mu, transform, probe);
+  EXPECT_GT(curve.density[1], curve.density[0]);
+  EXPECT_GT(curve.density[1], curve.density[2]);
+}
+
+}  // namespace

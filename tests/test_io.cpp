@@ -1,0 +1,96 @@
+// Tests for the moment-file persistence format.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "core/io.hpp"
+
+namespace {
+
+using namespace kpm::core;
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+MomentFile sample() {
+  MomentFile f;
+  f.mu = {1.0, -0.123456789012345678, 3.0e-17, 0.25};
+  f.transform_center = 0.75;
+  f.transform_half_width = 6.0600000000000005;
+  f.dim = 1000;
+  f.engine = "gpu-instance-per-block";
+  return f;
+}
+
+TEST(MomentIo, RoundTripsExactly) {
+  const auto path = temp_path("roundtrip.kpm");
+  const auto original = sample();
+  save_moments(path, original);
+  const auto loaded = load_moments(path);
+  EXPECT_EQ(loaded.dim, original.dim);
+  EXPECT_EQ(loaded.engine, original.engine);
+  EXPECT_EQ(loaded.transform_center, original.transform_center);
+  EXPECT_EQ(loaded.transform_half_width, original.transform_half_width);
+  ASSERT_EQ(loaded.mu.size(), original.mu.size());
+  for (std::size_t i = 0; i < original.mu.size(); ++i)
+    EXPECT_EQ(loaded.mu[i], original.mu[i]) << "moment " << i << " must round-trip bitwise";
+}
+
+TEST(MomentIo, TransformReconstruction) {
+  const auto f = sample();
+  const auto t = f.transform();
+  EXPECT_DOUBLE_EQ(t.center(), f.transform_center);
+  EXPECT_DOUBLE_EQ(t.half_width(), f.transform_half_width);
+}
+
+TEST(MomentIo, RejectsWrongMagic) {
+  const auto path = temp_path("bad_magic.kpm");
+  std::ofstream(path) << "not-a-moment-file\n";
+  EXPECT_THROW((void)load_moments(path), kpm::Error);
+}
+
+TEST(MomentIo, RejectsTruncatedMomentList) {
+  const auto path = temp_path("truncated.kpm");
+  std::ofstream(path) << "kpm-moments v1\ndim 4\ntransform 0 1\ncount 3\n1.0\n2.0\n";
+  EXPECT_THROW((void)load_moments(path), kpm::Error);
+}
+
+TEST(MomentIo, RejectsMissingHeaderFields) {
+  const auto path = temp_path("no_transform.kpm");
+  std::ofstream(path) << "kpm-moments v1\ndim 4\ncount 1\n1.0\n";
+  EXPECT_THROW((void)load_moments(path), kpm::Error);
+}
+
+TEST(MomentIo, RejectsUnknownHeaderField) {
+  const auto path = temp_path("unknown_field.kpm");
+  std::ofstream(path) << "kpm-moments v1\nflavor vanilla\ncount 1\n1.0\n";
+  EXPECT_THROW((void)load_moments(path), kpm::Error);
+}
+
+TEST(MomentIo, RejectsGarbageNumbers) {
+  const auto path = temp_path("garbage.kpm");
+  std::ofstream(path) << "kpm-moments v1\ndim 4\ntransform 0 1\ncount 1\nbanana\n";
+  EXPECT_THROW((void)load_moments(path), kpm::Error);
+}
+
+TEST(MomentIo, RejectsNonPositiveHalfWidth) {
+  const auto path = temp_path("bad_width.kpm");
+  std::ofstream(path) << "kpm-moments v1\ndim 4\ntransform 0 -1\ncount 1\n1.0\n";
+  EXPECT_THROW((void)load_moments(path), kpm::Error);
+}
+
+TEST(MomentIo, SaveRejectsEmptyAndBadData) {
+  MomentFile empty;
+  EXPECT_THROW(save_moments(temp_path("x.kpm"), empty), kpm::Error);
+  auto f = sample();
+  f.transform_half_width = 0.0;
+  EXPECT_THROW(save_moments(temp_path("x.kpm"), f), kpm::Error);
+  EXPECT_THROW(save_moments("/nonexistent_dir_zzz/x.kpm", sample()), kpm::Error);
+}
+
+TEST(MomentIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_moments(temp_path("does_not_exist.kpm")), kpm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Tests for the cyclic Jacobi eigensolver (the paper's O(D^3) baseline).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "diag/jacobi.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+
+namespace {
+
+using kpm::diag::jacobi_eigensolve;
+using kpm::diag::JacobiOptions;
+using kpm::linalg::DenseMatrix;
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnSpectrum) {
+  DenseMatrix m(3, 3);
+  m(0, 0) = 3;
+  m(1, 1) = -1;
+  m(2, 2) = 2;
+  const auto d = jacobi_eigensolve(m);
+  ASSERT_EQ(d.eigenvalues.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.eigenvalues[0], -1.0);
+  EXPECT_DOUBLE_EQ(d.eigenvalues[1], 2.0);
+  EXPECT_DOUBLE_EQ(d.eigenvalues[2], 3.0);
+}
+
+TEST(Jacobi, TwoByTwoClosedForm) {
+  // [[a, b], [b, c]] has eigenvalues (a+c)/2 +- sqrt(((a-c)/2)^2 + b^2).
+  DenseMatrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = m(1, 0) = 2;
+  m(1, 1) = 3;
+  const auto d = jacobi_eigensolve(m);
+  const double mid = 2.0, rad = std::sqrt(1.0 + 4.0);
+  EXPECT_NEAR(d.eigenvalues[0], mid - rad, 1e-12);
+  EXPECT_NEAR(d.eigenvalues[1], mid + rad, 1e-12);
+}
+
+TEST(Jacobi, ChainSpectrumMatchesClosedForm) {
+  // Open 1D chain: E_k = -2 cos(pi k / (L+1)), k = 1..L.
+  const std::size_t L = 12;
+  const auto lat = kpm::lattice::HypercubicLattice::chain(L, kpm::lattice::Boundary::Open);
+  const auto h = kpm::lattice::build_tight_binding_dense(lat);
+  const auto d = jacobi_eigensolve(h);
+  std::vector<double> expected;
+  for (std::size_t k = 1; k <= L; ++k)
+    expected.push_back(-2.0 * std::cos(std::numbers::pi * static_cast<double>(k) /
+                                       (static_cast<double>(L) + 1.0)));
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t k = 0; k < L; ++k) EXPECT_NEAR(d.eigenvalues[k], expected[k], 1e-10);
+}
+
+TEST(Jacobi, TraceAndFrobeniusInvariants) {
+  const auto h = kpm::lattice::random_symmetric_dense(20, 11);
+  const auto d = jacobi_eigensolve(h);
+  double trace = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 0; i < 20; ++i) trace += h(i, i);
+  for (double e : d.eigenvalues) sum_sq += e * e;
+  double eig_trace = 0.0;
+  for (double e : d.eigenvalues) eig_trace += e;
+  EXPECT_NEAR(eig_trace, trace, 1e-9);
+  EXPECT_NEAR(std::sqrt(sum_sq), h.frobenius_norm(), 1e-9);
+}
+
+TEST(Jacobi, EigenvectorsSatisfyDefinition) {
+  const auto h = kpm::lattice::random_symmetric_dense(12, 3);
+  JacobiOptions opts;
+  opts.compute_vectors = true;
+  const auto d = jacobi_eigensolve(h, opts);
+  ASSERT_EQ(d.eigenvectors.rows(), 12u);
+  std::vector<double> v(12), hv(12);
+  for (std::size_t k = 0; k < 12; ++k) {
+    for (std::size_t i = 0; i < 12; ++i) v[i] = d.eigenvectors(i, k);
+    h.multiply(v, hv);
+    for (std::size_t i = 0; i < 12; ++i)
+      EXPECT_NEAR(hv[i], d.eigenvalues[k] * v[i], 1e-9) << "eigenpair " << k;
+  }
+}
+
+TEST(Jacobi, EigenvectorsAreOrthonormal) {
+  const auto h = kpm::lattice::random_symmetric_dense(10, 17);
+  JacobiOptions opts;
+  opts.compute_vectors = true;
+  const auto d = jacobi_eigensolve(h, opts);
+  for (std::size_t a = 0; a < 10; ++a)
+    for (std::size_t b = a; b < 10; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < 10; ++i) dot += d.eigenvectors(i, a) * d.eigenvectors(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-10);
+    }
+}
+
+TEST(Jacobi, RejectsAsymmetricInput) {
+  DenseMatrix m(2, 2);
+  m(0, 1) = 1.0;
+  EXPECT_THROW(jacobi_eigensolve(m), kpm::Error);
+}
+
+TEST(Jacobi, OneByOneMatrix) {
+  DenseMatrix m(1, 1);
+  m(0, 0) = 4.2;
+  const auto d = jacobi_eigensolve(m);
+  ASSERT_EQ(d.eigenvalues.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.eigenvalues[0], 4.2);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Tests for the Lanczos extremal-eigenvalue estimator.
+#include <gtest/gtest.h>
+
+#include "diag/lanczos.hpp"
+#include "diag/tridiag.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/gershgorin.hpp"
+
+namespace {
+
+using namespace kpm::diag;
+using kpm::linalg::MatrixOperator;
+
+TEST(Lanczos, BoundsContainSpectrumOfCubicLattice) {
+  const auto lat = kpm::lattice::HypercubicLattice::cubic(5, 5, 5);
+  const auto h = kpm::lattice::build_tight_binding_crs(lat);
+  MatrixOperator op(h);
+  const auto lb = lanczos_bounds(op);
+  // True spectrum of the periodic cubic lattice lies within [-6, 6].
+  auto spectrum = kpm::lattice::periodic_tight_binding_spectrum(lat);
+  const auto [lo_it, hi_it] = std::minmax_element(spectrum.begin(), spectrum.end());
+  EXPECT_LE(lb.bounds.lower, *lo_it + 1e-9);
+  EXPECT_GE(lb.bounds.upper, *hi_it - 1e-9);
+}
+
+TEST(Lanczos, TighterThanGershgorinOnRandomDense) {
+  // For a random dense symmetric matrix, Gershgorin radii are O(D) wide
+  // while the spectrum edge is O(sqrt(D)) — Lanczos must beat it easily.
+  const auto h = kpm::lattice::random_symmetric_dense(64, 19);
+  MatrixOperator op(h);
+  const auto gersh = kpm::linalg::gershgorin_bounds(op);
+  const auto lan = lanczos_bounds(op);
+  EXPECT_LT(lan.bounds.upper - lan.bounds.lower, gersh.upper - gersh.lower);
+}
+
+TEST(Lanczos, BoundsContainTrueSpectrumOfRandomDense) {
+  const auto h = kpm::lattice::random_symmetric_dense(48, 7);
+  MatrixOperator op(h);
+  const auto lan = lanczos_bounds(op);
+  const auto eig = symmetric_eigenvalues(h);
+  EXPECT_LE(lan.bounds.lower, eig.front());
+  EXPECT_GE(lan.bounds.upper, eig.back());
+}
+
+TEST(Lanczos, ConvergesOnSmallMatrix) {
+  const auto h = kpm::lattice::random_symmetric_dense(16, 5);
+  MatrixOperator op(h);
+  LanczosOptions opts;
+  opts.max_iterations = 16;  // full Krylov space: Ritz values exact
+  const auto lan = lanczos_bounds(op, opts);
+  EXPECT_TRUE(lan.converged);
+  EXPECT_LE(lan.iterations, 16u);
+}
+
+TEST(Lanczos, DeterministicForFixedSeed) {
+  const auto h = kpm::lattice::random_symmetric_dense(32, 9);
+  MatrixOperator op(h);
+  const auto a = lanczos_bounds(op);
+  const auto b = lanczos_bounds(op);
+  EXPECT_DOUBLE_EQ(a.bounds.lower, b.bounds.lower);
+  EXPECT_DOUBLE_EQ(a.bounds.upper, b.bounds.upper);
+}
+
+TEST(Lanczos, IterationCapRespected) {
+  const auto h = kpm::lattice::random_symmetric_dense(64, 3);
+  MatrixOperator op(h);
+  LanczosOptions opts;
+  opts.max_iterations = 5;
+  opts.tolerance = 0.0;  // force running to the cap
+  const auto lan = lanczos_bounds(op, opts);
+  EXPECT_EQ(lan.iterations, 5u);
+  EXPECT_FALSE(lan.converged);
+}
+
+}  // namespace

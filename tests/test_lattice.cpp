@@ -1,0 +1,99 @@
+// Tests for the hypercubic lattice geometry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "lattice/lattice.hpp"
+
+namespace {
+
+using namespace kpm::lattice;
+
+TEST(Lattice, SiteCountAndDimensions) {
+  const auto cubic = HypercubicLattice::cubic(10, 10, 10);
+  EXPECT_EQ(cubic.sites(), 1000u);
+  EXPECT_EQ(cubic.effective_dimension(), 3u);
+  const auto square = HypercubicLattice::square(4, 6);
+  EXPECT_EQ(square.sites(), 24u);
+  EXPECT_EQ(square.effective_dimension(), 2u);
+  const auto chain = HypercubicLattice::chain(7);
+  EXPECT_EQ(chain.sites(), 7u);
+  EXPECT_EQ(chain.effective_dimension(), 1u);
+}
+
+TEST(Lattice, IndexCoordinateRoundTrip) {
+  const auto lat = HypercubicLattice::cubic(3, 4, 5);
+  for (std::size_t i = 0; i < lat.sites(); ++i) {
+    const auto [x, y, z] = lat.site_coords(i);
+    EXPECT_EQ(lat.site_index(x, y, z), i);
+  }
+}
+
+TEST(Lattice, PeriodicCubicHasSixNeighbours) {
+  const auto lat = HypercubicLattice::cubic(10, 10, 10);
+  for (std::size_t i : {0u, 555u, 999u}) {
+    const auto nb = lat.neighbours(i);
+    EXPECT_EQ(nb.size(), 6u);
+    // All distinct for extents > 2.
+    const std::set<std::size_t> unique(nb.begin(), nb.end());
+    EXPECT_EQ(unique.size(), 6u);
+  }
+}
+
+TEST(Lattice, OpenBoundaryCornersLoseNeighbours) {
+  const auto lat = HypercubicLattice::cubic(4, 4, 4, Boundary::Open);
+  EXPECT_EQ(lat.neighbours(lat.site_index(0, 0, 0)).size(), 3u);
+  EXPECT_EQ(lat.neighbours(lat.site_index(1, 0, 0)).size(), 4u);
+  EXPECT_EQ(lat.neighbours(lat.site_index(1, 1, 0)).size(), 5u);
+  EXPECT_EQ(lat.neighbours(lat.site_index(1, 1, 1)).size(), 6u);
+}
+
+TEST(Lattice, NeighboursAreMutual) {
+  const auto lat = HypercubicLattice::square(5, 7);
+  for (std::size_t i = 0; i < lat.sites(); ++i) {
+    for (std::size_t j : lat.neighbours(i)) {
+      const auto back = lat.neighbours(j);
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end())
+          << "site " << j << " does not list " << i;
+    }
+  }
+}
+
+TEST(Lattice, PeriodicWrapTouchesOppositeFace) {
+  const auto lat = HypercubicLattice::chain(5);
+  const auto nb = lat.neighbours(0);
+  EXPECT_NE(std::find(nb.begin(), nb.end(), 4u), nb.end());
+  EXPECT_NE(std::find(nb.begin(), nb.end(), 1u), nb.end());
+}
+
+TEST(Lattice, ExtentTwoPeriodicDuplicatesNeighbour) {
+  // Both hops along an extent-2 periodic axis reach the same site; the
+  // geometry reports both (the builder merges them into a doubled hopping).
+  const auto lat = HypercubicLattice::chain(2);
+  const auto nb = lat.neighbours(0);
+  EXPECT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0], 1u);
+  EXPECT_EQ(nb[1], 1u);
+}
+
+TEST(Lattice, DescribeIsHumanReadable) {
+  EXPECT_EQ(HypercubicLattice::cubic(10, 10, 10).describe(), "cubic 10x10x10 (periodic)");
+  EXPECT_EQ(HypercubicLattice::chain(8, Boundary::Open).describe(), "chain 8 (open)");
+  EXPECT_EQ(HypercubicLattice::square(3, 4).describe(), "square 3x4 (periodic)");
+}
+
+TEST(Lattice, RejectsMisshapenExtents) {
+  EXPECT_THROW(HypercubicLattice({0, 1, 1}, Boundary::Periodic), kpm::Error);
+  EXPECT_THROW(HypercubicLattice({3, 1, 3}, Boundary::Periodic), kpm::Error);
+}
+
+TEST(Lattice, OutOfRangeAccessThrows) {
+  const auto lat = HypercubicLattice::chain(4);
+  EXPECT_THROW((void)lat.site_index(4, 0, 0), kpm::Error);
+  EXPECT_THROW((void)lat.site_coords(4), kpm::Error);
+  EXPECT_THROW((void)lat.neighbours(4), kpm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Tests for the local DoS and the deterministic trace.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/ldos.hpp"
+#include "core/moments_cpu.hpp"
+#include "diag/jacobi.hpp"
+#include "diag/spectrum_utils.hpp"
+#include "diag/tridiag.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using namespace kpm::core;
+
+struct Fixture {
+  linalg::DenseMatrix h_tilde;
+  linalg::SpectralTransform transform;
+
+  Fixture() : h_tilde(1, 1), transform({-1.0, 1.0}, 0.0) {
+    const auto lat = lattice::HypercubicLattice::cubic(3, 3, 3);
+    const auto h = lattice::build_tight_binding_dense(lat);
+    linalg::MatrixOperator op(h);
+    transform = linalg::make_spectral_transform(op);
+    h_tilde = linalg::rescale(h, transform);
+  }
+};
+
+TEST(Ldos, MomentsMatchEigenvectorExpansion) {
+  // mu_n^i = sum_k |<i|k>|^2 T_n(E~_k) from the exact eigendecomposition.
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  const std::size_t site = 5, n_mom = 24;
+  const auto mu = ldos_moments(op, site, n_mom);
+
+  diag::JacobiOptions jopts;
+  jopts.compute_vectors = true;
+  const auto d = diag::jacobi_eigensolve(f.h_tilde, jopts);
+  for (std::size_t n = 0; n < n_mom; ++n) {
+    double expected = 0.0;
+    for (std::size_t k = 0; k < d.eigenvalues.size(); ++k) {
+      const double w = d.eigenvectors(site, k) * d.eigenvectors(site, k);
+      expected += w * std::cos(static_cast<double>(n) * std::acos(std::clamp(d.eigenvalues[k], -1.0, 1.0)));
+    }
+    EXPECT_NEAR(mu[n], expected, 1e-9) << "moment " << n;
+  }
+}
+
+TEST(Ldos, Mu0IsOne) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  const auto mu = ldos_moments(op, 0, 4);
+  EXPECT_DOUBLE_EQ(mu[0], 1.0);  // <i|i> = 1
+}
+
+TEST(Ldos, TranslationInvarianceOnCleanPeriodicLattice) {
+  // Every site of the clean periodic lattice has the same LDOS.
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  const auto mu_a = ldos_moments(op, 0, 16);
+  const auto mu_b = ldos_moments(op, 13, 16);
+  for (std::size_t n = 0; n < 16; ++n) EXPECT_NEAR(mu_a[n], mu_b[n], 1e-12);
+}
+
+TEST(Ldos, CurveIntegratesToOne) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  const auto curve = ldos_curve(op, f.transform, 3, 64, {.points = 1024});
+  double integral = 0.0;
+  for (std::size_t j = 1; j < curve.energy.size(); ++j)
+    integral += 0.5 * (curve.density[j] + curve.density[j - 1]) *
+                (curve.energy[j] - curve.energy[j - 1]);
+  EXPECT_NEAR(integral, 1.0, 2e-3);
+}
+
+TEST(Ldos, SiteOutOfRangeThrows) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  EXPECT_THROW((void)ldos_moments(op, 27, 8), kpm::Error);
+}
+
+TEST(DeterministicTrace, MatchesExactMoments) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  const auto mu = deterministic_trace_moments(op, 20);
+  const auto eig = diag::symmetric_eigenvalues(f.h_tilde);
+  const linalg::SpectralTransform unit({-1.0, 1.0}, 0.0);
+  const auto exact = diag::exact_chebyshev_moments(eig, unit, 20);
+  for (std::size_t n = 0; n < 20; ++n) EXPECT_NEAR(mu[n], exact[n], 1e-9) << "moment " << n;
+}
+
+TEST(DeterministicTrace, AveragesLdosOverSites) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  const auto trace = deterministic_trace_moments(op, 12);
+  std::vector<double> avg(12, 0.0);
+  for (std::size_t site = 0; site < op.dim(); ++site) {
+    const auto mu = ldos_moments(op, site, 12);
+    for (std::size_t n = 0; n < 12; ++n) avg[n] += mu[n];
+  }
+  for (std::size_t n = 0; n < 12; ++n)
+    EXPECT_NEAR(trace[n], avg[n] / static_cast<double>(op.dim()), 1e-12);
+}
+
+}  // namespace

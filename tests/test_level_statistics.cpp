@@ -1,0 +1,89 @@
+// Tests for the level-spacing statistics (localization diagnostics).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "diag/level_statistics.hpp"
+#include "diag/tridiag.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+using namespace kpm::diag;
+
+TEST(LevelSpacings, BasicProperties) {
+  std::vector<double> spectrum{0.0, 1.0, 3.0, 6.0};
+  const auto s = level_spacings(spectrum);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_DOUBLE_EQ(s[2], 3.0);
+  std::vector<double> unsorted{1.0, 0.0};
+  EXPECT_THROW((void)level_spacings(unsorted), kpm::Error);
+}
+
+TEST(GapRatio, EquallySpacedSpectrumGivesOne) {
+  std::vector<double> picket;
+  for (int k = 0; k < 100; ++k) picket.push_back(k);
+  const auto stats = gap_ratio_statistics(picket, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_ratio, 1.0);
+}
+
+TEST(GapRatio, PoissonSpectrumMatchesReference) {
+  // Uncorrelated levels: <r> = 2 ln 2 - 1 ~ 0.3863.
+  kpm::rng::Xoshiro256 gen(12345);
+  std::vector<double> levels(20000);
+  for (auto& e : levels) e = kpm::rng::u64_to_unit_double(gen.next());
+  std::sort(levels.begin(), levels.end());
+  const auto stats = gap_ratio_statistics(levels, 1.0);
+  EXPECT_NEAR(stats.mean_ratio, kPoissonMeanGapRatio, 5.0 * stats.standard_error + 0.005);
+}
+
+TEST(GapRatio, GoeMatrixMatchesReference) {
+  // A dense random symmetric matrix is a GOE draw: <r> ~ 0.5307.
+  const auto h = kpm::lattice::random_symmetric_dense(400, 77);
+  const auto spectrum = symmetric_eigenvalues(h);
+  const auto stats = gap_ratio_statistics(spectrum, 0.6);
+  EXPECT_NEAR(stats.mean_ratio, kGoeMeanGapRatio, 5.0 * stats.standard_error + 0.01);
+}
+
+TEST(GapRatio, StrongDisorderDrivesTowardPoisson) {
+  // 1D Anderson at strong disorder: localized -> Poisson-like statistics.
+  // A clean periodic chain has massive degeneracies -> near-zero ratios
+  // after merging; strong disorder must push <r> toward 0.39.
+  const auto lat = kpm::lattice::HypercubicLattice::chain(400);
+  const auto dirty = kpm::lattice::build_tight_binding_dense(
+      lat, {}, kpm::lattice::anderson_disorder(8.0, 3));
+  const auto spectrum = symmetric_eigenvalues(dirty);
+  const auto stats = gap_ratio_statistics(spectrum, 0.5);
+  EXPECT_NEAR(stats.mean_ratio, kPoissonMeanGapRatio, 0.05);
+}
+
+TEST(GapRatio, DegeneracyMergingPreventsFakeAttraction) {
+  // A spectrum of exact doublets: without merging, half the spacings are
+  // zero and <r> would collapse to 0.
+  std::vector<double> doublets;
+  for (int k = 0; k < 50; ++k) {
+    doublets.push_back(k);
+    doublets.push_back(k + 1e-14);
+  }
+  const auto stats = gap_ratio_statistics(doublets, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_ratio, 1.0);  // merged picket fence
+}
+
+TEST(GapRatio, RejectsBadInput) {
+  std::vector<double> tiny{0.0, 1.0};
+  EXPECT_THROW((void)gap_ratio_statistics(tiny), kpm::Error);
+  std::vector<double> ok{0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW((void)gap_ratio_statistics(ok, 0.0), kpm::Error);
+  EXPECT_THROW((void)gap_ratio_statistics(ok, 1.5), kpm::Error);
+}
+
+}  // namespace

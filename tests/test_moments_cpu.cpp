@@ -1,0 +1,215 @@
+// Correctness tests of the CPU moment engines against exact diagonalization
+// and each other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/moments_cpu.hpp"
+#include "diag/spectrum_utils.hpp"
+#include "diag/tridiag.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using core::CpuMomentEngine;
+using core::CpuPairedMomentEngine;
+using core::MomentParams;
+
+/// Builds the rescaled cubic-lattice operator used across the tests.
+struct Fixture {
+  linalg::CrsMatrix h_tilde;
+  linalg::DenseMatrix h_dense;
+  linalg::SpectralTransform transform;
+
+  explicit Fixture(std::size_t l = 4)
+      : h_tilde(linalg::CrsMatrix{}),
+        h_dense(1, 1),
+        transform({-1.0, 1.0}, 0.0) {
+    const auto lat = lattice::HypercubicLattice::cubic(l, l, l);
+    const auto h = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator op(h);
+    transform = linalg::make_spectral_transform(op);
+    h_tilde = linalg::rescale(h, transform);
+    h_dense = lattice::build_tight_binding_dense(lat);
+  }
+};
+
+TEST(CpuMoments, Mu0IsExactlyOneForRademacher) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.num_moments = 8;
+  p.random_vectors = 2;
+  p.realizations = 2;
+  CpuMomentEngine engine;
+  const auto r = engine.compute(op, p);
+  // <r|r> = D exactly for +-1 entries, so mu_0 = 1 in exact arithmetic.
+  EXPECT_DOUBLE_EQ(r.mu[0], 1.0);
+}
+
+TEST(CpuMoments, ConvergesToExactMomentsWithManyInstances) {
+  Fixture f(3);  // D = 27
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.num_moments = 16;
+  p.random_vectors = 16;
+  p.realizations = 16;  // 256 instances
+  CpuMomentEngine engine;
+  const auto r = engine.compute(op, p);
+
+  // Exact moments from the closed-form spectrum.
+  const auto lat = lattice::HypercubicLattice::cubic(3, 3, 3);
+  const auto spectrum = lattice::periodic_tight_binding_spectrum(lat);
+  const auto exact = diag::exact_chebyshev_moments(spectrum, f.transform, 16);
+
+  // Stochastic error ~ 1/sqrt(K D); allow 5 sigma-ish slack.
+  const double tol = 5.0 / std::sqrt(256.0 * 27.0);
+  for (std::size_t n = 0; n < 16; ++n)
+    EXPECT_NEAR(r.mu[n], exact[n], tol) << "moment " << n;
+}
+
+TEST(CpuMoments, PairedEngineMatchesReferenceClosely) {
+  // The paired identities are exact per instance in exact arithmetic; in
+  // floating point the two engines agree to ~1e-12 on these scales.
+  Fixture f(3);
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.num_moments = 33;  // odd count exercises the tail handling
+  p.random_vectors = 3;
+  p.realizations = 2;
+  CpuMomentEngine ref;
+  CpuPairedMomentEngine paired;
+  const auto a = ref.compute(op, p);
+  const auto b = paired.compute(op, p);
+  ASSERT_EQ(a.mu.size(), b.mu.size());
+  for (std::size_t n = 0; n < a.mu.size(); ++n)
+    EXPECT_NEAR(a.mu[n], b.mu[n], 1e-11) << "moment " << n;
+}
+
+TEST(CpuMoments, DeterministicAcrossRuns) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.num_moments = 12;
+  p.random_vectors = 2;
+  p.realizations = 3;
+  CpuMomentEngine engine;
+  const auto a = engine.compute(op, p);
+  const auto b = engine.compute(op, p);
+  for (std::size_t n = 0; n < a.mu.size(); ++n) EXPECT_DOUBLE_EQ(a.mu[n], b.mu[n]);
+}
+
+TEST(CpuMoments, SeedChangesMoments) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.num_moments = 8;
+  p.random_vectors = 1;
+  p.realizations = 1;
+  CpuMomentEngine engine;
+  const auto a = engine.compute(op, p);
+  p.seed += 1;
+  const auto b = engine.compute(op, p);
+  bool any_diff = false;
+  for (std::size_t n = 1; n < a.mu.size(); ++n) any_diff |= a.mu[n] != b.mu[n];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CpuMoments, SamplingExtrapolatesCostNotMoments) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.num_moments = 8;
+  p.random_vectors = 4;
+  p.realizations = 4;
+  CpuMomentEngine engine;
+  const auto full = engine.compute(op, p);
+  const auto sampled = engine.compute(op, p, 4);
+  EXPECT_EQ(full.instances_executed, 16u);
+  EXPECT_EQ(sampled.instances_executed, 4u);
+  EXPECT_EQ(sampled.instances_total, 16u);
+  // Model time covers ALL instances in both cases.
+  EXPECT_NEAR(sampled.model_seconds, full.model_seconds, 1e-12);
+  // The sampled moments equal a full run restricted to 4 instances — i.e.
+  // deterministic, not equal to the 16-instance average in general.
+  MomentParams p4 = p;
+  p4.random_vectors = 4;
+  p4.realizations = 1;
+  const auto small = engine.compute(op, p4);
+  for (std::size_t n = 0; n < 8; ++n) EXPECT_DOUBLE_EQ(sampled.mu[n], small.mu[n]);
+}
+
+TEST(CpuMoments, DenseAndCrsStorageGiveSameMoments) {
+  Fixture f(3);
+  const auto dense_tilde = linalg::rescale(f.h_dense, f.transform);
+  linalg::MatrixOperator op_crs(f.h_tilde);
+  linalg::MatrixOperator op_dense(dense_tilde);
+  MomentParams p;
+  p.num_moments = 10;
+  p.random_vectors = 2;
+  p.realizations = 2;
+  CpuMomentEngine engine;
+  const auto a = engine.compute(op_crs, p);
+  const auto b = engine.compute(op_dense, p);
+  for (std::size_t n = 0; n < 10; ++n) EXPECT_NEAR(a.mu[n], b.mu[n], 1e-12);
+}
+
+TEST(CpuMoments, ModelTimeScalesLinearlyWithN) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.random_vectors = 2;
+  p.realizations = 2;
+  CpuMomentEngine engine;
+  p.num_moments = 128;
+  const double t128 = engine.compute(op, p, 1).model_seconds;
+  p.num_moments = 256;
+  const double t256 = engine.compute(op, p, 1).model_seconds;
+  EXPECT_NEAR(t256 / t128, 2.0, 0.05);
+}
+
+TEST(CpuMoments, PairedEngineModelsLessWork) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.num_moments = 256;
+  p.random_vectors = 2;
+  p.realizations = 2;
+  const double t_ref = CpuMomentEngine().compute(op, p, 1).model_seconds;
+  const double t_paired = CpuPairedMomentEngine().compute(op, p, 1).model_seconds;
+  EXPECT_LT(t_paired, 0.75 * t_ref);
+}
+
+TEST(CpuMoments, InvalidParamsThrow) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  CpuMomentEngine engine;
+  MomentParams p;
+  p.num_moments = 1;
+  EXPECT_THROW((void)engine.compute(op, p), kpm::Error);
+  p.num_moments = 4;
+  p.random_vectors = 0;
+  EXPECT_THROW((void)engine.compute(op, p), kpm::Error);
+}
+
+TEST(CpuMoments, GaussianVectorsAlsoConverge) {
+  Fixture f(3);
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.num_moments = 8;
+  p.random_vectors = 32;
+  p.realizations = 8;
+  p.vector_kind = rng::RandomVectorKind::Gaussian;
+  CpuMomentEngine engine;
+  const auto r = engine.compute(op, p);
+  const auto lat = lattice::HypercubicLattice::cubic(3, 3, 3);
+  const auto exact = diag::exact_chebyshev_moments(
+      lattice::periodic_tight_binding_spectrum(lat), f.transform, 8);
+  // Gaussian estimator has higher variance than Rademacher; looser tol.
+  for (std::size_t n = 0; n < 8; ++n) EXPECT_NEAR(r.mu[n], exact[n], 0.05) << "moment " << n;
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Tests for the single-precision moment engine (precision ablation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/moments_cpu.hpp"
+#include "core/moments_f32.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using namespace kpm::core;
+
+struct Fixture {
+  linalg::CrsMatrix h_tilde;
+
+  explicit Fixture(std::size_t l = 4) {
+    const auto lat = lattice::HypercubicLattice::cubic(l, l, l);
+    const auto h = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator op(h);
+    h_tilde = linalg::rescale(h, linalg::make_spectral_transform(op));
+  }
+};
+
+TEST(F32Moments, CloseToDoubleAtModerateN) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.num_moments = 64;
+  p.random_vectors = 4;
+  p.realizations = 2;
+  CpuMomentEngine f64;
+  CpuMomentEngineF32 f32;
+  const auto a = f64.compute(op, p);
+  const auto b = f32.compute(op, p);
+  for (std::size_t n = 0; n < p.num_moments; ++n)
+    EXPECT_NEAR(a.mu[n], b.mu[n], 5e-4) << "moment " << n;
+}
+
+TEST(F32Moments, ErrorGrowsWithN) {
+  // The three-term recursion accumulates roundoff; the error of the last
+  // moments must grow as N does (the reason the paper insists on double).
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.random_vectors = 2;
+  p.realizations = 1;
+  CpuMomentEngine f64;
+  CpuMomentEngineF32 f32;
+
+  auto tail_error = [&](std::size_t n) {
+    p.num_moments = n;
+    const auto a = f64.compute(op, p);
+    const auto b = f32.compute(op, p);
+    double err = 0.0;
+    for (std::size_t k = n - 16; k < n; ++k) err = std::max(err, std::abs(a.mu[k] - b.mu[k]));
+    return err;
+  };
+  const double err_small = tail_error(32);
+  const double err_large = tail_error(512);
+  EXPECT_GT(err_large, err_small);
+  // Orders of magnitude above the double-precision floor (~1e-16).
+  EXPECT_GT(err_large, 1e-7) << "single precision should visibly degrade by N=512";
+}
+
+TEST(F32Moments, Mu0StaysExactForRademacher) {
+  // +-1 sums of < 2^24 terms are exact in binary32 too.
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.num_moments = 8;
+  CpuMomentEngineF32 f32;
+  EXPECT_DOUBLE_EQ(f32.compute(op, p, 2).mu[0], 1.0);
+}
+
+TEST(F32Moments, ModelsFasterThanDouble) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.num_moments = 256;
+  const double t64 = CpuMomentEngine().compute(op, p, 1).model_seconds;
+  const double t32 = CpuMomentEngineF32().compute(op, p, 1).model_seconds;
+  EXPECT_LT(t32, 0.75 * t64);
+}
+
+TEST(F32Moments, DenseStorageWorksToo) {
+  Fixture f(3);
+  const auto dense = f.h_tilde.to_dense();
+  linalg::MatrixOperator op(dense);
+  MomentParams p;
+  p.num_moments = 16;
+  CpuMomentEngineF32 f32;
+  CpuMomentEngine f64;
+  const auto a = f64.compute(op, p, 4);
+  const auto b = f32.compute(op, p, 4);
+  for (std::size_t n = 0; n < 16; ++n) EXPECT_NEAR(a.mu[n], b.mu[n], 1e-4);
+}
+
+}  // namespace

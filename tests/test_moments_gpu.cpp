@@ -1,0 +1,218 @@
+// Tests for the GPU moment engine: functional equivalence with the CPU
+// reference (the paper's correctness requirement), both mappings, sampling,
+// timeline/cost behaviour, VRAM limits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/moments_cpu.hpp"
+#include "core/moments_gpu.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using core::CpuMomentEngine;
+using core::GpuEngineConfig;
+using core::GpuMapping;
+using core::GpuMomentEngine;
+using core::MomentParams;
+
+struct Fixture {
+  linalg::CrsMatrix h_tilde_crs;
+  linalg::DenseMatrix h_tilde_dense;
+
+  explicit Fixture(std::size_t l = 3) : h_tilde_dense(1, 1) {
+    const auto lat = lattice::HypercubicLattice::cubic(l, l, l);
+    const auto h = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator op(h);
+    const auto t = linalg::make_spectral_transform(op);
+    h_tilde_crs = linalg::rescale(h, t);
+    h_tilde_dense = h_tilde_crs.to_dense();
+  }
+};
+
+MomentParams small_params() {
+  MomentParams p;
+  p.num_moments = 16;
+  p.random_vectors = 3;
+  p.realizations = 2;
+  return p;
+}
+
+class MappingTest : public ::testing::TestWithParam<GpuMapping> {};
+
+TEST_P(MappingTest, BitwiseEqualToCpuReferenceOnCrs) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_crs);
+  const auto p = small_params();
+  CpuMomentEngine cpu;
+  GpuEngineConfig cfg;
+  cfg.mapping = GetParam();
+  GpuMomentEngine gpu(cfg);
+  const auto a = cpu.compute(op, p);
+  const auto b = gpu.compute(op, p);
+  ASSERT_EQ(a.mu.size(), b.mu.size());
+  for (std::size_t n = 0; n < a.mu.size(); ++n)
+    EXPECT_EQ(a.mu[n], b.mu[n]) << "moment " << n << " differs (must be bit-identical)";
+}
+
+TEST_P(MappingTest, BitwiseEqualToCpuReferenceOnDense) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_dense);
+  const auto p = small_params();
+  CpuMomentEngine cpu;
+  GpuEngineConfig cfg;
+  cfg.mapping = GetParam();
+  GpuMomentEngine gpu(cfg);
+  const auto a = cpu.compute(op, p);
+  const auto b = gpu.compute(op, p);
+  for (std::size_t n = 0; n < a.mu.size(); ++n) EXPECT_EQ(a.mu[n], b.mu[n]) << "moment " << n;
+}
+
+TEST_P(MappingTest, SampledRunMatchesSampledCpu) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_crs);
+  const auto p = small_params();
+  GpuEngineConfig cfg;
+  cfg.mapping = GetParam();
+  GpuMomentEngine gpu(cfg);
+  CpuMomentEngine cpu;
+  const auto a = cpu.compute(op, p, 2);
+  const auto b = gpu.compute(op, p, 2);
+  EXPECT_EQ(b.instances_executed, 2u);
+  EXPECT_EQ(b.instances_total, 6u);
+  for (std::size_t n = 0; n < a.mu.size(); ++n) EXPECT_EQ(a.mu[n], b.mu[n]);
+}
+
+TEST_P(MappingTest, SamplingDoesNotChangeModelTimeMuch) {
+  // Cost extrapolation: a sampled run must model (nearly) the same time as
+  // the full run — exactly equal for the kernels, tiny differences are a
+  // bug.
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_crs);
+  const auto p = small_params();
+  GpuEngineConfig cfg;
+  cfg.mapping = GetParam();
+  GpuMomentEngine gpu(cfg);
+  const double full = gpu.compute(op, p).model_seconds;
+  const double sampled = gpu.compute(op, p, 2).model_seconds;
+  EXPECT_NEAR(sampled, full, 1e-9 * std::max(1.0, full));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothMappings, MappingTest,
+                         ::testing::Values(GpuMapping::InstancePerBlock,
+                                           GpuMapping::InstancePerThread),
+                         [](const auto& info) {
+                           return info.param == GpuMapping::InstancePerBlock ? "block" : "thread";
+                         });
+
+TEST(GpuMoments, TimelineBreakdownIsPopulated) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_crs);
+  GpuMomentEngine gpu;
+  const auto r = gpu.compute(op, small_params());
+  EXPECT_GT(r.model_seconds, 0.0);
+  EXPECT_GT(r.compute_seconds, 0.0);
+  EXPECT_GT(r.transfer_seconds, 0.0);
+  EXPECT_GT(r.allocation_seconds, 0.0);
+  EXPECT_GT(r.model_seconds, r.compute_seconds);
+  const auto& tl = gpu.last_timeline();
+  EXPECT_EQ(tl.launches, 3u);  // fill + recursion + average
+  EXPECT_GT(tl.bytes_to_device, 0.0);
+  EXPECT_GT(tl.bytes_to_host, 0.0);
+  EXPECT_GT(tl.total_flops, 0.0);
+}
+
+TEST(GpuMoments, ContextSetupIsChargedOncePerRun) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_crs);
+  GpuEngineConfig cfg;
+  cfg.context_setup_seconds = 1.0;
+  GpuMomentEngine slow(cfg);
+  cfg.context_setup_seconds = 0.0;
+  GpuMomentEngine fast(cfg);
+  const auto p = small_params();
+  const double a = slow.compute(op, p).model_seconds;
+  const double b = fast.compute(op, p).model_seconds;
+  EXPECT_NEAR(a - b, 1.0, 1e-9);
+}
+
+TEST(GpuMoments, KernelTimeGrowsLinearlyWithN) {
+  // Compare kernel (compute) time, where the N-scaling lives — the fixed
+  // allocation/transfer costs are tested separately.  Workload large enough
+  // that launch overheads are negligible.
+  const auto lat = lattice::HypercubicLattice::cubic(6, 6, 6);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator raw(h);
+  const auto t = linalg::make_spectral_transform(raw);
+  const auto ht = linalg::rescale(h, t);
+  linalg::MatrixOperator op(ht);
+  GpuEngineConfig cfg;
+  cfg.context_setup_seconds = 0.0;
+  GpuMomentEngine gpu(cfg);
+  MomentParams p;
+  p.random_vectors = 8;
+  p.realizations = 8;
+  p.num_moments = 64;
+  const double t64 = gpu.compute(op, p, 8).compute_seconds;
+  p.num_moments = 256;
+  const double t256 = gpu.compute(op, p, 8).compute_seconds;
+  EXPECT_GT(t256, 3.0 * t64);
+  EXPECT_LT(t256, 5.0 * t64);
+}
+
+TEST(GpuMoments, VramExhaustionSurfacesAsError) {
+  // D = 27, but millions of instances: the work vectors cannot fit 3 GB.
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_crs);
+  MomentParams p;
+  p.num_moments = 4;
+  p.random_vectors = 1 << 14;
+  p.realizations = 1 << 10;  // 2^24 instances * 27 * 8 B * 3 vectors >> 3 GB
+  GpuMomentEngine gpu;
+  EXPECT_THROW((void)gpu.compute(op, p, 1), kpm::Error);
+}
+
+TEST(GpuMoments, BlockSizeMustBeWarpMultiple) {
+  GpuEngineConfig cfg;
+  cfg.block_size = 100;
+  EXPECT_THROW(GpuMomentEngine{cfg}, kpm::Error);
+  cfg.block_size = 0;
+  EXPECT_THROW(GpuMomentEngine{cfg}, kpm::Error);
+}
+
+TEST(GpuMoments, NameReflectsMapping) {
+  GpuEngineConfig cfg;
+  cfg.mapping = GpuMapping::InstancePerThread;
+  EXPECT_EQ(GpuMomentEngine(cfg).name(), "gpu-instance-per-thread");
+  cfg.mapping = GpuMapping::InstancePerBlock;
+  EXPECT_EQ(GpuMomentEngine(cfg).name(), "gpu-instance-per-block");
+}
+
+TEST(GpuMoments, InstancePerThreadUncoalescedTrafficCostsMore) {
+  // With identical functional work, the instance-per-thread mapping's
+  // strided vector traffic must model slower kernels than the
+  // instance-per-block mapping on a dense matrix that exceeds L2.
+  const auto h = lattice::random_symmetric_dense(96, 4);
+  linalg::MatrixOperator raw(h);
+  const auto t = linalg::make_spectral_transform(raw);
+  const auto ht = linalg::rescale(h, t);
+  linalg::MatrixOperator op(ht);
+  MomentParams p;
+  p.num_moments = 16;
+  p.random_vectors = 8;
+  p.realizations = 8;
+  GpuEngineConfig cfg;
+  cfg.context_setup_seconds = 0.0;
+  cfg.mapping = GpuMapping::InstancePerBlock;
+  const double block_time = GpuMomentEngine(cfg).compute(op, p, 4).compute_seconds;
+  cfg.mapping = GpuMapping::InstancePerThread;
+  const double thread_time = GpuMomentEngine(cfg).compute(op, p, 4).compute_seconds;
+  EXPECT_GT(thread_time, block_time);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Tests for the paired-moment GPU kernel (two moments per SpMV on device).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/moments_cpu.hpp"
+#include "core/moments_gpu.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using namespace kpm::core;
+
+struct Fixture {
+  linalg::CrsMatrix h_tilde;
+
+  explicit Fixture(std::size_t l = 4) {
+    const auto lat = lattice::HypercubicLattice::cubic(l, l, l);
+    const auto h = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator op(h);
+    h_tilde = linalg::rescale(h, linalg::make_spectral_transform(op));
+  }
+};
+
+GpuEngineConfig paired_cfg() {
+  GpuEngineConfig cfg;
+  cfg.paired_moments = true;
+  return cfg;
+}
+
+TEST(GpuPaired, BitwiseEqualToCpuPairedEngine) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.num_moments = 17;  // odd count exercises the tail
+  p.random_vectors = 4;
+  p.realizations = 2;
+  CpuPairedMomentEngine cpu;
+  const auto a = cpu.compute(op, p);
+  GpuMomentEngine gpu(paired_cfg());
+  const auto b = gpu.compute(op, p);
+  ASSERT_EQ(a.mu.size(), b.mu.size());
+  for (std::size_t n = 0; n < a.mu.size(); ++n) EXPECT_EQ(a.mu[n], b.mu[n]) << "moment " << n;
+}
+
+TEST(GpuPaired, CloseToReferenceEngine) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde);
+  MomentParams p;
+  p.num_moments = 32;
+  p.random_vectors = 3;
+  p.realizations = 2;
+  CpuMomentEngine reference;
+  const auto a = reference.compute(op, p);
+  GpuMomentEngine gpu(paired_cfg());
+  const auto b = gpu.compute(op, p);
+  for (std::size_t n = 0; n < a.mu.size(); ++n)
+    EXPECT_NEAR(a.mu[n], b.mu[n], 1e-11) << "moment " << n;
+}
+
+TEST(GpuPaired, ModelsNearlyHalfTheKernelTime) {
+  const auto lat = lattice::HypercubicLattice::cubic(8, 8, 8);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator raw(h);
+  const auto ht = linalg::rescale(h, linalg::make_spectral_transform(raw));
+  linalg::MatrixOperator op(ht);
+  MomentParams p;
+  p.num_moments = 256;
+  p.random_vectors = 14;
+  p.realizations = 16;
+  GpuEngineConfig plain;
+  plain.context_setup_seconds = 0.0;
+  auto paired = plain;
+  paired.paired_moments = true;
+  const double t_plain = GpuMomentEngine(plain).compute(op, p, 8).compute_seconds;
+  const double t_paired = GpuMomentEngine(paired).compute(op, p, 8).compute_seconds;
+  EXPECT_LT(t_paired, 0.7 * t_plain);
+  EXPECT_GT(t_paired, 0.35 * t_plain);
+}
+
+TEST(GpuPaired, RequiresInstancePerBlock) {
+  GpuEngineConfig cfg;
+  cfg.paired_moments = true;
+  cfg.mapping = GpuMapping::InstancePerThread;
+  EXPECT_THROW(GpuMomentEngine{cfg}, kpm::Error);
+}
+
+TEST(GpuPaired, NameReflectsVariant) {
+  EXPECT_EQ(GpuMomentEngine(paired_cfg()).name(), "gpu-instance-per-block-paired");
+}
+
+TEST(GpuPaired, EvenAndTinyMomentCountsWork) {
+  Fixture f(3);
+  linalg::MatrixOperator op(f.h_tilde);
+  CpuPairedMomentEngine cpu;
+  GpuMomentEngine gpu(paired_cfg());
+  for (std::size_t n : {2u, 3u, 4u, 8u}) {
+    MomentParams p;
+    p.num_moments = n;
+    p.random_vectors = 2;
+    p.realizations = 1;
+    const auto a = cpu.compute(op, p);
+    const auto b = gpu.compute(op, p);
+    for (std::size_t k = 0; k < n; ++k) EXPECT_EQ(a.mu[k], b.mu[k]) << "N=" << n << " k=" << k;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Tests for the multicore-modeled CPU engine and its roofline behaviour.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/moments_cpu.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using namespace kpm::core;
+
+struct Fixture {
+  linalg::CrsMatrix h_tilde_sparse;   // cache-resident workload
+  linalg::DenseMatrix h_tilde_dense;  // DRAM-bound workload
+
+  Fixture() : h_tilde_dense(1, 1) {
+    const auto lat = lattice::HypercubicLattice::cubic(4, 4, 4);
+    const auto hs = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator ops(hs);
+    h_tilde_sparse = linalg::rescale(hs, linalg::make_spectral_transform(ops));
+
+    const auto hd = lattice::random_symmetric_dense(1536, 7);  // 18 MiB > LLC
+    linalg::MatrixOperator opd(hd);
+    h_tilde_dense = linalg::rescale(hd, linalg::make_spectral_transform(opd));
+  }
+};
+
+MomentParams p_small() {
+  MomentParams p;
+  p.num_moments = 16;
+  p.random_vectors = 4;
+  p.realizations = 2;
+  return p;
+}
+
+TEST(ParallelCpu, FunctionalResultsMatchSerialBitwise) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_sparse);
+  CpuMomentEngine serial;
+  CpuParallelMomentEngine quad(4);
+  const auto a = serial.compute(op, p_small());
+  const auto b = quad.compute(op, p_small());
+  for (std::size_t n = 0; n < a.mu.size(); ++n) EXPECT_EQ(a.mu[n], b.mu[n]);
+}
+
+TEST(ParallelCpu, OneThreadEqualsSerialModel) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_sparse);
+  const double serial = CpuMomentEngine().compute(op, p_small(), 1).model_seconds;
+  const double one = CpuParallelMomentEngine(1).compute(op, p_small(), 1).model_seconds;
+  EXPECT_DOUBLE_EQ(serial, one);
+}
+
+TEST(ParallelCpu, CacheResidentWorkloadScalesLinearly) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_sparse);
+  MomentParams p = p_small();
+  p.num_moments = 256;
+  const double t1 = CpuParallelMomentEngine(1).compute(op, p, 1).model_seconds;
+  const double t4 = CpuParallelMomentEngine(4).compute(op, p, 1).model_seconds;
+  EXPECT_NEAR(t1 / t4, 4.0, 0.2);
+}
+
+TEST(ParallelCpu, DramBoundWorkloadSaturates) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_dense);
+  MomentParams p = p_small();
+  p.num_moments = 32;
+  const double t1 = CpuParallelMomentEngine(1).compute(op, p, 1).model_seconds;
+  const double t2 = CpuParallelMomentEngine(2).compute(op, p, 1).model_seconds;
+  const double t4 = CpuParallelMomentEngine(4).compute(op, p, 1).model_seconds;
+  EXPECT_LT(t1 / t4, 2.5) << "bandwidth ceiling must cap the scaling";
+  EXPECT_NEAR(t2, t4, 1e-12) << "2 threads already saturate the modeled DRAM";
+}
+
+TEST(ParallelCpu, ThreadsBeyondCoresAreClamped) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_sparse);
+  const double t4 = CpuParallelMomentEngine(4).compute(op, p_small(), 1).model_seconds;
+  const double t64 = CpuParallelMomentEngine(64).compute(op, p_small(), 1).model_seconds;
+  EXPECT_DOUBLE_EQ(t4, t64);
+}
+
+TEST(ParallelCpu, NameAndValidation) {
+  EXPECT_EQ(CpuParallelMomentEngine(3).name(), "cpu-parallel-x3");
+  EXPECT_THROW(CpuParallelMomentEngine(0), kpm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Small-surface coverage: parameter structs, enum names, config geometry.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/highlevel.hpp"
+#include "core/params.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/dim3.hpp"
+#include "linalg/operator.hpp"
+
+namespace {
+
+using namespace kpm;
+
+TEST(MomentParams, InstanceCountAndStreams) {
+  core::MomentParams p;
+  p.random_vectors = 3;
+  p.realizations = 4;
+  EXPECT_EQ(p.instances(), 12u);
+  EXPECT_EQ(p.stream_of(0, 0), 0u);
+  EXPECT_EQ(p.stream_of(0, 2), 2u);
+  EXPECT_EQ(p.stream_of(1, 0), 3u);
+  EXPECT_EQ(p.stream_of(3, 2), 11u);
+}
+
+TEST(MomentParams, ValidationRules) {
+  core::MomentParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.num_moments = 1;
+  EXPECT_THROW(p.validate(), kpm::Error);
+  p = {};
+  p.random_vectors = 0;
+  EXPECT_THROW(p.validate(), kpm::Error);
+  p = {};
+  p.realizations = 0;
+  EXPECT_THROW(p.validate(), kpm::Error);
+}
+
+TEST(EnumNames, StorageAndMappingsAndEngines) {
+  EXPECT_STREQ(linalg::to_string(linalg::Storage::Dense), "dense");
+  EXPECT_STREQ(linalg::to_string(linalg::Storage::Crs), "crs");
+  EXPECT_STREQ(core::to_string(core::GpuMapping::InstancePerBlock), "instance-per-block");
+  EXPECT_STREQ(core::to_string(core::GpuMapping::InstancePerThread), "instance-per-thread");
+  EXPECT_STREQ(core::to_string(core::EngineKind::CpuReference), "cpu-reference");
+  EXPECT_STREQ(core::to_string(core::EngineKind::CpuPaired), "cpu-paired");
+  EXPECT_STREQ(core::to_string(core::EngineKind::Gpu), "gpu");
+  EXPECT_STREQ(core::to_string(core::EngineKind::GpuCluster), "gpu-cluster");
+  EXPECT_STREQ(gpusim::to_string(gpusim::AccessPattern::Coalesced), "coalesced");
+  EXPECT_STREQ(gpusim::to_string(gpusim::AccessPattern::Broadcast), "broadcast");
+  EXPECT_STREQ(gpusim::to_string(gpusim::AccessPattern::Strided), "strided");
+  EXPECT_STREQ(gpusim::to_string(gpusim::AccessPattern::Random), "random");
+}
+
+TEST(Dim3, CountsAndLinearization) {
+  gpusim::Dim3 d{4, 3, 2};
+  EXPECT_EQ(d.count(), 24u);
+  EXPECT_EQ(d.linear(0, 0, 0), 0u);
+  EXPECT_EQ(d.linear(3, 0, 0), 3u);
+  EXPECT_EQ(d.linear(0, 1, 0), 4u);
+  EXPECT_EQ(d.linear(0, 0, 1), 12u);
+  EXPECT_EQ(d.linear(3, 2, 1), 23u);
+  EXPECT_EQ(gpusim::Dim3{}.count(), 1u);
+}
+
+TEST(ExecConfig, DescribeShapes) {
+  gpusim::ExecConfig cfg;
+  cfg.grid = gpusim::Dim3{8, 4};
+  cfg.block = gpusim::Dim3{32};
+  EXPECT_EQ(cfg.describe(), "<<<8x4, 32>>>");
+  cfg.shared_bytes = 1024;
+  EXPECT_EQ(cfg.describe(), "<<<8x4, 32, 1024B>>>");
+  EXPECT_EQ(cfg.total_threads(), 1024u);
+  EXPECT_THROW(gpusim::ExecConfig::linear(0, 32), kpm::Error);
+  EXPECT_THROW(gpusim::ExecConfig::linear(10, 0), kpm::Error);
+}
+
+TEST(DeviceSpec, PeakRatesAreConsistent) {
+  const auto spec = gpusim::DeviceSpec::tesla_c2050();
+  EXPECT_DOUBLE_EQ(spec.peak_sp_flops(), 2.0 * spec.peak_dp_flops());
+  EXPECT_GT(spec.effective_bandwidth(gpusim::AccessPattern::Broadcast),
+            spec.effective_bandwidth(gpusim::AccessPattern::Random));
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Parameterized property sweeps across lattices, kernels, block sizes and
+// engines: invariants that must hold for every configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "core/kpm.hpp"
+
+namespace {
+
+using namespace kpm;
+using namespace kpm::core;
+
+// ---------------------------------------------------------------------------
+// Sweep 1: DoS invariants across lattice geometries and boundaries.
+// ---------------------------------------------------------------------------
+
+struct LatticeCase {
+  const char* label;
+  lattice::HypercubicLattice lat;
+};
+
+class LatticeSweep : public ::testing::TestWithParam<LatticeCase> {};
+
+TEST_P(LatticeSweep, DosIntegratesToOneAndIsNonNegative) {
+  const auto& lat = GetParam().lat;
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  const auto t = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, t);
+  linalg::MatrixOperator op_t(ht);
+
+  MomentParams p;
+  p.num_moments = 48;
+  p.random_vectors = 8;
+  p.realizations = 4;
+  CpuMomentEngine engine;
+  const auto r = engine.compute(op_t, p);
+  EXPECT_DOUBLE_EQ(r.mu[0], 1.0);
+  const auto curve = reconstruct_dos(r.mu, t, {.points = 512});
+  EXPECT_NEAR(dos_integral(curve), 1.0, 0.01);
+  for (double d : curve.density) EXPECT_GT(d, -1e-9);
+}
+
+TEST_P(LatticeSweep, GershgorinContainsSpectrum) {
+  const auto& lat = GetParam().lat;
+  const auto h = lattice::build_tight_binding_dense(lat);
+  const auto b = linalg::gershgorin_bounds(h);
+  const auto eig = diag::symmetric_eigenvalues(h);
+  EXPECT_GE(eig.front(), b.lower - 1e-10);
+  EXPECT_LE(eig.back(), b.upper + 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LatticeSweep,
+    ::testing::Values(
+        LatticeCase{"chain16_periodic", lattice::HypercubicLattice::chain(16)},
+        LatticeCase{"chain16_open",
+                    lattice::HypercubicLattice::chain(16, lattice::Boundary::Open)},
+        LatticeCase{"square6x5", lattice::HypercubicLattice::square(6, 5)},
+        LatticeCase{"square4x4_open",
+                    lattice::HypercubicLattice::square(4, 4, lattice::Boundary::Open)},
+        LatticeCase{"cubic4", lattice::HypercubicLattice::cubic(4, 4, 4)},
+        LatticeCase{"cubic3_open",
+                    lattice::HypercubicLattice::cubic(3, 3, 3, lattice::Boundary::Open)}),
+    [](const auto& info) { return info.param.label; });
+
+// ---------------------------------------------------------------------------
+// Sweep 2: damping kernels preserve normalization.
+// ---------------------------------------------------------------------------
+
+class KernelSweep : public ::testing::TestWithParam<DampingKernel> {};
+
+TEST_P(KernelSweep, NormalizationSurvivesDamping) {
+  // g_0 = 1 for every kernel, so the integral of the reconstructed DoS is
+  // exactly mu_0 = 1 in Chebyshev-Gauss quadrature regardless of kernel.
+  const auto lat = lattice::HypercubicLattice::cubic(3, 3, 3);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  const auto t = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, t);
+  linalg::MatrixOperator op_t(ht);
+
+  MomentParams p;
+  p.num_moments = 64;
+  p.random_vectors = 4;
+  p.realizations = 4;
+  CpuMomentEngine engine;
+  const auto r = engine.compute(op_t, p);
+  const auto curve = reconstruct_dos(r.mu, t, {.kernel = GetParam(), .points = 1024});
+  EXPECT_NEAR(dos_integral(curve), 1.0, 0.02) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelSweep,
+                         ::testing::Values(DampingKernel::Jackson, DampingKernel::Lorentz,
+                                           DampingKernel::Fejer, DampingKernel::Dirichlet),
+                         [](const auto& info) { return to_string(info.param); });
+
+// ---------------------------------------------------------------------------
+// Sweep 3: GPU/CPU equivalence across block sizes and mappings.
+// ---------------------------------------------------------------------------
+
+using BlockCase = std::tuple<GpuMapping, std::uint32_t>;
+
+class BlockSweep : public ::testing::TestWithParam<BlockCase> {};
+
+TEST_P(BlockSweep, BlockSizeNeverChangesTheMoments) {
+  const auto [mapping, block_size] = GetParam();
+  const auto lat = lattice::HypercubicLattice::cubic(3, 3, 3);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  const auto t = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, t);
+  linalg::MatrixOperator op_t(ht);
+
+  MomentParams p;
+  p.num_moments = 12;
+  p.random_vectors = 5;
+  p.realizations = 1;
+  CpuMomentEngine cpu;
+  const auto reference = cpu.compute(op_t, p);
+
+  GpuEngineConfig cfg;
+  cfg.mapping = mapping;
+  cfg.block_size = block_size;
+  GpuMomentEngine gpu(cfg);
+  const auto r = gpu.compute(op_t, p);
+  for (std::size_t n = 0; n < r.mu.size(); ++n)
+    EXPECT_EQ(r.mu[n], reference.mu[n]) << "moment " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MappingsAndBlocks, BlockSweep,
+    ::testing::Combine(::testing::Values(GpuMapping::InstancePerBlock,
+                                         GpuMapping::InstancePerThread),
+                       ::testing::Values(32u, 64u, 128u, 256u, 512u)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == GpuMapping::InstancePerBlock ? "block"
+                                                                                 : "thread") +
+             "_" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 4: moment-count scaling of the estimator (N never changes mu_n for
+// n < N, engines are prefix-consistent).
+// ---------------------------------------------------------------------------
+
+class PrefixSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrefixSweep, MomentsArePrefixStableInN) {
+  // Computing more moments must not change the earlier ones.
+  const std::size_t n_small = GetParam();
+  const auto lat = lattice::HypercubicLattice::square(4, 4);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  const auto t = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, t);
+  linalg::MatrixOperator op_t(ht);
+
+  MomentParams p;
+  p.random_vectors = 2;
+  p.realizations = 2;
+  CpuMomentEngine engine;
+  p.num_moments = n_small;
+  const auto a = engine.compute(op_t, p);
+  p.num_moments = 2 * n_small;
+  const auto b = engine.compute(op_t, p);
+  for (std::size_t n = 0; n < n_small; ++n) EXPECT_DOUBLE_EQ(a.mu[n], b.mu[n]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, PrefixSweep, ::testing::Values(4u, 8u, 16u, 32u, 64u),
+                         [](const auto& info) { return "N" + std::to_string(info.param); });
+
+// ---------------------------------------------------------------------------
+// Sweep 5: disorder strength raises the band width monotonically.
+// ---------------------------------------------------------------------------
+
+class DisorderSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DisorderSweep, GershgorinWindowGrowsWithDisorder) {
+  const double w = GetParam();
+  const auto lat = lattice::HypercubicLattice::cubic(4, 4, 4);
+  const auto clean = lattice::build_tight_binding_crs(lat);
+  const auto dirty =
+      lattice::build_tight_binding_crs(lat, {}, lattice::anderson_disorder(w, 99));
+  const auto bc = linalg::gershgorin_bounds(clean);
+  const auto bd = linalg::gershgorin_bounds(dirty);
+  EXPECT_GE(bd.upper - bd.lower, bc.upper - bc.lower);
+  if (w > 0.0) EXPECT_GT(bd.upper - bd.lower, bc.upper - bc.lower);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DisorderSweep, ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0),
+                         [](const auto& info) {
+                           return "W" + std::to_string(static_cast<int>(info.param * 10));
+                         });
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Tests for the DoS reconstruction (paper Eq. 6 and Fig. 6's physics).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/reconstruct.hpp"
+#include "diag/spectrum_utils.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm::core;
+using kpm::diag::exact_chebyshev_moments;
+using kpm::linalg::SpectralTransform;
+
+/// Moments of a single delta function at x0: mu_n = T_n(x0).
+std::vector<double> delta_moments(double x0, std::size_t n) {
+  std::vector<double> mu(n);
+  const double theta = std::acos(x0);
+  for (std::size_t k = 0; k < n; ++k) mu[k] = std::cos(static_cast<double>(k) * theta);
+  return mu;
+}
+
+TEST(Reconstruct, DeltaFunctionIntegratesToOne) {
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  const auto mu = delta_moments(0.3, 128);
+  const auto curve = reconstruct_dos(mu, t, {.points = 2048});
+  EXPECT_NEAR(dos_integral(curve), 1.0, 1e-3);
+}
+
+TEST(Reconstruct, DeltaPeakSitsAtItsEnergy) {
+  const SpectralTransform t({-2.0, 2.0}, 0.0);
+  const double e0 = 0.8;  // physical energy; x0 = 0.4
+  const auto mu = delta_moments(t.to_unit(e0), 256);
+  const auto curve = reconstruct_dos(mu, t, {.points = 1024});
+  const auto it = std::max_element(curve.density.begin(), curve.density.end());
+  const auto peak = curve.energy[static_cast<std::size_t>(it - curve.density.begin())];
+  EXPECT_NEAR(peak, e0, 0.02);
+}
+
+TEST(Reconstruct, JacksonDeltaWidthShrinksWithN) {
+  // The Jackson-kernel delta approximation has width ~ pi/N: doubling N
+  // must raise the peak height by ~2x.
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  auto peak_height = [&](std::size_t n) {
+    const auto curve = reconstruct_dos(delta_moments(0.0, n), t, {.points = 4096});
+    return *std::max_element(curve.density.begin(), curve.density.end());
+  };
+  const double h128 = peak_height(128);
+  const double h256 = peak_height(256);
+  EXPECT_NEAR(h256 / h128, 2.0, 0.1);
+}
+
+TEST(Reconstruct, DirichletShowsGibbsRingingJacksonDoesNot) {
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  const auto mu = delta_moments(0.0, 64);
+  const auto raw = reconstruct_dos(mu, t, {.kernel = DampingKernel::Dirichlet, .points = 1024});
+  const auto damped = reconstruct_dos(mu, t, {.kernel = DampingKernel::Jackson, .points = 1024});
+  const double raw_min = *std::min_element(raw.density.begin(), raw.density.end());
+  const double damped_min = *std::min_element(damped.density.begin(), damped.density.end());
+  EXPECT_LT(raw_min, -0.01) << "truncated series must oscillate below zero";
+  EXPECT_GT(damped_min, -1e-9) << "Jackson kernel must keep the DoS non-negative";
+}
+
+TEST(Reconstruct, MatchesEigenvalueHistogram) {
+  // Flat-ish spectrum: 64 eigenvalues uniform in [-0.8, 0.8].
+  std::vector<double> eig;
+  for (int k = 0; k < 64; ++k) eig.push_back(-0.8 + 1.6 * (k + 0.5) / 64.0);
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  const auto mu = exact_chebyshev_moments(eig, t, 128);
+  const auto curve = reconstruct_dos(mu, t, {.points = 512});
+  // Density inside the support should be ~1/1.6 = 0.625, near zero outside.
+  for (std::size_t j = 0; j < curve.energy.size(); ++j) {
+    if (std::abs(curve.energy[j]) < 0.6) EXPECT_NEAR(curve.density[j], 0.625, 0.08);
+    if (std::abs(curve.energy[j]) > 0.95) EXPECT_LT(curve.density[j], 0.05);
+  }
+}
+
+TEST(Reconstruct, PhysicalRescalingKeepsNormalization) {
+  // Same spectrum expressed on a wide physical axis: integral stays 1.
+  const SpectralTransform t({-7.0, 5.0}, 0.01);
+  std::vector<double> eig{-3.0, -1.0, 0.0, 2.0, 4.0};
+  const auto mu = exact_chebyshev_moments(eig, t, 256);
+  const auto curve = reconstruct_dos(mu, t, {.points = 2048});
+  EXPECT_NEAR(dos_integral(curve), 1.0, 2e-3);
+  EXPECT_NEAR(dos_mean_energy(curve), 0.4, 0.05);  // mean of the eigenvalues
+}
+
+TEST(Reconstruct, AtArbitraryEnergiesAgreesWithGridPath) {
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  const auto mu = delta_moments(0.25, 64);
+  std::vector<double> energies{-0.5, 0.0, 0.25, 0.7};
+  const auto curve = reconstruct_dos_at(mu, t, energies);
+  const auto damped = damping_coefficients(DampingKernel::Jackson, 64);
+  std::vector<double> prod(64);
+  for (std::size_t k = 0; k < 64; ++k) prod[k] = damped[k] * mu[k];
+  for (std::size_t j = 0; j < energies.size(); ++j)
+    EXPECT_NEAR(curve.density[j], evaluate_dos_series(prod, energies[j]), 1e-12);
+}
+
+TEST(Reconstruct, RejectsEnergiesOutsideInterval) {
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  const auto mu = delta_moments(0.0, 16);
+  std::vector<double> bad{1.5};
+  EXPECT_THROW((void)reconstruct_dos_at(mu, t, bad), kpm::Error);
+  EXPECT_THROW((void)evaluate_dos_series(mu, 1.0), kpm::Error);
+}
+
+TEST(Reconstruct, EmptyMomentsThrow) {
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  EXPECT_THROW((void)reconstruct_dos({}, t), kpm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Unit and statistical tests for the RNG stack: SplitMix64, Xoshiro256++,
+// Philox4x32-10 and the random-vector distributions.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+using namespace kpm::rng;
+
+TEST(SplitMix64, KnownSequenceFromZeroSeed) {
+  // Reference values of the canonical splitmix64 from seed 0.
+  SplitMix64 g(0);
+  EXPECT_EQ(g.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(g.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(g.next(), 0x06C45D188009454FULL);
+}
+
+TEST(SplitMix64, HashMatchesStreaming) {
+  // splitmix64_hash(x) equals the first output of SplitMix64 seeded with x.
+  for (std::uint64_t seed : {0ULL, 1ULL, 42ULL, 0xdeadbeefULL}) {
+    SplitMix64 g(seed);
+    EXPECT_EQ(g.next(), splitmix64_hash(seed));
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, DeterministicForFixedSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, JumpCreatesDisjointStream) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  b.jump();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 256; ++i) seen.insert(a.next());
+  for (int i = 0; i < 256; ++i) EXPECT_FALSE(seen.contains(b.next()));
+}
+
+TEST(Xoshiro256, RoughUniformityOfTopBit) {
+  Xoshiro256 g(99);
+  int ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) ones += static_cast<int>(g.next() >> 63);
+  EXPECT_NEAR(ones, n / 2, 4 * std::sqrt(n / 4.0));  // 4 sigma
+}
+
+TEST(Philox, DeterministicAndOrderIndependent) {
+  // The whole point of a counter-based RNG: value depends only on the
+  // coordinates, never on evaluation order.
+  const auto a = philox_u64(42, 3, 1000);
+  const auto b = philox_u64(42, 7, 5);
+  EXPECT_EQ(philox_u64(42, 3, 1000), a);
+  EXPECT_EQ(philox_u64(42, 7, 5), b);
+}
+
+TEST(Philox, CoordinatesChangeOutput) {
+  const auto base = philox_u64(1, 2, 3);
+  EXPECT_NE(philox_u64(9, 2, 3), base);
+  EXPECT_NE(philox_u64(1, 9, 3), base);
+  EXPECT_NE(philox_u64(1, 2, 9), base);
+}
+
+TEST(Philox, HighLaneIndependentOfLowLane) {
+  EXPECT_NE(philox_u64(5, 6, 7), philox_u64_hi(5, 6, 7));
+}
+
+TEST(Philox, BitBalance) {
+  // Population count over many outputs should be ~32 per word.
+  double total_bits = 0;
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) total_bits += std::popcount(philox_u64(11, 0, static_cast<std::uint64_t>(i)));
+  EXPECT_NEAR(total_bits / n, 32.0, 0.5);
+}
+
+TEST(Distributions, UnitDoubleInRange) {
+  for (int i = 0; i < 1000; ++i) {
+    const double u = u64_to_unit_double(philox_u64(3, 0, static_cast<std::uint64_t>(i)));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Distributions, OpenUnitDoubleNeverZero) {
+  EXPECT_GT(u64_to_unit_double_open(0), 0.0);
+  EXPECT_LE(u64_to_unit_double_open(~0ULL), 1.0);
+}
+
+TEST(Distributions, RademacherIsPlusMinusOne) {
+  int plus = 0, minus = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = u64_to_rademacher(philox_u64(5, 0, static_cast<std::uint64_t>(i)));
+    if (v == 1.0)
+      ++plus;
+    else if (v == -1.0)
+      ++minus;
+    else
+      FAIL() << "non-Rademacher value " << v;
+  }
+  EXPECT_NEAR(plus, minus, 4 * std::sqrt(2000.0));
+}
+
+class RandomVectorKindTest : public ::testing::TestWithParam<RandomVectorKind> {};
+
+TEST_P(RandomVectorKindTest, ZeroMeanUnitVariance) {
+  // All random-vector kinds must satisfy the paper's Eq. (14):
+  // <<xi>> = 0, <<xi^2>> = 1 (unit variance), verified statistically.
+  const auto kind = GetParam();
+  const int n = 60000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = draw_random_element(kind, 1234, 0, static_cast<std::uint64_t>(i));
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 5.0 / std::sqrt(static_cast<double>(n)));
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST_P(RandomVectorKindTest, StreamsAreUncorrelated) {
+  // Cross-moment <<xi_r xi_r'>> ~ 0 for different streams (Eq. 14's
+  // delta_rr' term).
+  const auto kind = GetParam();
+  const int n = 20000;
+  double cross = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::uint64_t>(i);
+    cross += draw_random_element(kind, 77, 0, idx) * draw_random_element(kind, 77, 1, idx);
+  }
+  EXPECT_NEAR(cross / n, 0.0, 5.0 / std::sqrt(static_cast<double>(n)));
+}
+
+TEST_P(RandomVectorKindTest, NameRoundTrips) {
+  const auto kind = GetParam();
+  EXPECT_EQ(random_vector_kind_from_string(to_string(kind)), kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, RandomVectorKindTest,
+                         ::testing::Values(RandomVectorKind::Rademacher,
+                                           RandomVectorKind::Gaussian,
+                                           RandomVectorKind::UniformSym),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Distributions, GaussianTails) {
+  // ~0.27% of standard normal samples lie beyond 3 sigma; check the order
+  // of magnitude (loose bounds, deterministic seed).
+  int beyond = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = draw_random_element(RandomVectorKind::Gaussian, 5, 0,
+                                         static_cast<std::uint64_t>(i));
+    if (std::abs(v) > 3.0) ++beyond;
+  }
+  EXPECT_GT(beyond, 100);
+  EXPECT_LT(beyond, 600);
+}
+
+TEST(Distributions, UnknownNameThrows) {
+  EXPECT_THROW(random_vector_kind_from_string("bogus"), kpm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Tests for Gershgorin bounds and the spectral transform (paper Eqs. 8-9).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "diag/tridiag.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/gershgorin.hpp"
+#include "linalg/operator.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm::linalg;
+using kpm::lattice::build_tight_binding_crs;
+using kpm::lattice::build_tight_binding_dense;
+using kpm::lattice::HypercubicLattice;
+
+TEST(Gershgorin, DiagonalMatrixBoundsAreExact) {
+  DenseMatrix m(3, 3);
+  m(0, 0) = -2;
+  m(1, 1) = 1;
+  m(2, 2) = 5;
+  const auto b = gershgorin_bounds(m);
+  EXPECT_DOUBLE_EQ(b.lower, -2.0);
+  EXPECT_DOUBLE_EQ(b.upper, 5.0);
+  EXPECT_DOUBLE_EQ(b.center(), 1.5);
+  EXPECT_DOUBLE_EQ(b.half_width(), 3.5);
+}
+
+TEST(Gershgorin, CubicLatticeBoundsArePlusMinusSix) {
+  // Zero diagonal, six -1 neighbours per row: every disc is [-6, 6].
+  const auto lat = HypercubicLattice::cubic(4, 4, 4);
+  const auto h = build_tight_binding_crs(lat);
+  const auto b = gershgorin_bounds(h);
+  EXPECT_DOUBLE_EQ(b.lower, -6.0);
+  EXPECT_DOUBLE_EQ(b.upper, 6.0);
+}
+
+TEST(Gershgorin, DenseAndCrsAgree) {
+  const auto lat = HypercubicLattice::square(5, 4);
+  const auto hc = build_tight_binding_crs(lat);
+  const auto hd = build_tight_binding_dense(lat);
+  const auto bc = gershgorin_bounds(hc);
+  const auto bd = gershgorin_bounds(hd);
+  EXPECT_DOUBLE_EQ(bc.lower, bd.lower);
+  EXPECT_DOUBLE_EQ(bc.upper, bd.upper);
+}
+
+TEST(Gershgorin, ContainsTrueSpectrum) {
+  const auto h = kpm::lattice::random_symmetric_dense(24, 5);
+  const auto b = gershgorin_bounds(h);
+  const auto eig = kpm::diag::symmetric_eigenvalues(h);
+  EXPECT_GE(eig.front(), b.lower - 1e-12);
+  EXPECT_LE(eig.back(), b.upper + 1e-12);
+}
+
+TEST(SpectralTransform, MapsBoundsInsideUnitInterval) {
+  const SpectralTransform t({-6.0, 6.0}, 0.01);
+  EXPECT_DOUBLE_EQ(t.center(), 0.0);
+  EXPECT_DOUBLE_EQ(t.half_width(), 6.06);
+  EXPECT_LT(t.to_unit(6.0), 1.0);
+  EXPECT_GT(t.to_unit(-6.0), -1.0);
+}
+
+TEST(SpectralTransform, RoundTripsAndJacobian) {
+  const SpectralTransform t({-1.0, 3.0}, 0.0);
+  for (double omega : {-1.0, 0.0, 0.7, 3.0}) {
+    EXPECT_NEAR(t.to_physical(t.to_unit(omega)), omega, 1e-14);
+  }
+  EXPECT_DOUBLE_EQ(t.density_jacobian(), 0.5);
+}
+
+TEST(SpectralTransform, RejectsDegenerateBounds) {
+  EXPECT_THROW(SpectralTransform({2.0, 2.0}), kpm::Error);
+  EXPECT_THROW(SpectralTransform({3.0, 1.0}), kpm::Error);
+  EXPECT_THROW(SpectralTransform({0.0, 1.0}, -0.5), kpm::Error);
+}
+
+TEST(Rescale, DenseEigenvaluesLandInUnitInterval) {
+  const auto h = kpm::lattice::random_symmetric_dense(20, 9);
+  MatrixOperator op(h);
+  const auto t = make_spectral_transform(op);
+  const auto ht = rescale(h, t);
+  const auto eig = kpm::diag::symmetric_eigenvalues(ht);
+  EXPECT_GT(eig.front(), -1.0);
+  EXPECT_LT(eig.back(), 1.0);
+}
+
+TEST(Rescale, CrsMatchesDensePath) {
+  const auto lat = HypercubicLattice::cubic(3, 3, 3);
+  const auto hc = build_tight_binding_crs(lat);
+  const auto hd = build_tight_binding_dense(lat);
+  MatrixOperator op(hc);
+  const auto t = make_spectral_transform(op);
+  const auto htc = rescale(hc, t).to_dense();
+  const auto htd = rescale(hd, t);
+  for (std::size_t r = 0; r < htd.rows(); ++r)
+    for (std::size_t c = 0; c < htd.cols(); ++c)
+      EXPECT_NEAR(htc(r, c), htd(r, c), 1e-15) << "(" << r << "," << c << ")";
+}
+
+TEST(Rescale, NonzeroCenterAddsDiagonalToCrs) {
+  // A matrix with empty diagonal and an asymmetric spectrum interval gains
+  // stored diagonal entries -a+/a-.
+  TripletBuilder b(2, 2);
+  b.add_symmetric(0, 1, 1.0);
+  const auto h = b.build();
+  const SpectralTransform t({-1.0, 3.0}, 0.0);  // center 1, half-width 2
+  const auto ht = rescale(h, t);
+  EXPECT_DOUBLE_EQ(ht.at(0, 0), -0.5);
+  EXPECT_DOUBLE_EQ(ht.at(1, 1), -0.5);
+  EXPECT_DOUBLE_EQ(ht.at(0, 1), 0.5);
+}
+
+TEST(MatrixOperator, ReportsStorageAndCosts) {
+  const auto lat = HypercubicLattice::chain(8);
+  const auto hc = build_tight_binding_crs(lat);
+  const auto hd = build_tight_binding_dense(lat);
+  MatrixOperator oc(hc), od(hd);
+  EXPECT_EQ(oc.storage(), Storage::Crs);
+  EXPECT_EQ(od.storage(), Storage::Dense);
+  EXPECT_EQ(od.stored_entries(), 64u);
+  EXPECT_EQ(oc.stored_entries(), hc.nnz());
+  EXPECT_EQ(od.spmv_flops(), 128u);
+  EXPECT_GT(od.spmv_matrix_bytes(), oc.spmv_matrix_bytes());
+}
+
+TEST(MatrixOperator, MultiplyDispatches) {
+  const auto lat = HypercubicLattice::chain(6);
+  const auto hc = build_tight_binding_crs(lat);
+  const auto hd = build_tight_binding_dense(lat);
+  MatrixOperator oc(hc), od(hd);
+  std::vector<double> x{1, 2, 3, 4, 5, 6}, yc(6), yd(6);
+  oc.multiply(x, yc);
+  od.multiply(x, yd);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(yc[i], yd[i]);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the KPM spectral filter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/spectral_filter.hpp"
+#include "diag/jacobi.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using namespace kpm;
+using namespace kpm::core;
+
+struct Fixture {
+  linalg::DenseMatrix h;
+  linalg::SpectralTransform transform{{-1.0, 1.0}, 0.0};
+  linalg::DenseMatrix h_tilde;
+
+  explicit Fixture(std::size_t edge = 5) : h(1, 1), h_tilde(1, 1) {
+    const auto lat = lattice::HypercubicLattice::cubic(edge, edge, edge);
+    h = lattice::build_tight_binding_dense(lat);
+    linalg::MatrixOperator op(h);
+    transform = linalg::make_spectral_transform(op);
+    h_tilde = linalg::rescale(h, transform);
+  }
+};
+
+TEST(SpectralFilter, CoefficientsReconstructTheDeltaWeight) {
+  // sum_n c_n T_n(x0) = rho_KPM of a delta at x0, evaluated at x0 (the
+  // filter's peak value).
+  Fixture f;
+  const double e0 = 1.0;
+  const auto c = filter_coefficients(e0, f.transform, {.num_moments = 128});
+  EXPECT_EQ(c.size(), 128u);
+  EXPECT_GT(c[0], 0.0);
+  // Tail damped by Jackson.
+  EXPECT_LT(std::abs(c.back()), std::abs(c[1]));
+}
+
+TEST(SpectralFilter, FilteredStateConcentratesAtTargetEnergy) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h), op_t(f.h_tilde);
+  for (double e0 : {-3.0, 0.5, 2.5}) {
+    const auto report =
+        filter_random_state(op, op_t, f.transform, e0, 42, 0, {.num_moments = 256});
+    EXPECT_NEAR(report.energy_mean, e0, 0.25) << "target " << e0;
+    // Width ~ pi * a- / N ~ 0.075; spread reflects local DoS weighting,
+    // allow a broad but meaningful bound.
+    EXPECT_LT(report.energy_spread, 0.6) << "target " << e0;
+  }
+}
+
+TEST(SpectralFilter, SharpensWithMoreMoments) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h), op_t(f.h_tilde);
+  const auto wide = filter_random_state(op, op_t, f.transform, 0.5, 7, 0, {.num_moments = 64});
+  const auto sharp =
+      filter_random_state(op, op_t, f.transform, 0.5, 7, 0, {.num_moments = 512});
+  EXPECT_LT(sharp.energy_spread, 0.6 * wide.energy_spread);
+}
+
+TEST(SpectralFilter, ActsAsProjectorOnEigenvectors) {
+  // Filtering an eigenvector at its own energy preserves it (up to the
+  // filter's scalar weight); filtering far away suppresses it.
+  const auto h = lattice::random_symmetric_dense(24, 5);
+  linalg::MatrixOperator op(h);
+  const auto transform = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op_t(ht);
+
+  diag::JacobiOptions jopts;
+  jopts.compute_vectors = true;
+  const auto ed = diag::jacobi_eigensolve(h, jopts);
+  const std::size_t k = 12;  // a middle eigenpair
+  std::vector<double> v(24), out_on(24), out_off(24);
+  for (std::size_t i = 0; i < 24; ++i) v[i] = ed.eigenvectors(i, k);
+
+  FilterOptions opts{.num_moments = 256};
+  apply_spectral_filter(op_t, transform, ed.eigenvalues[k], v, out_on, opts);
+  // Off-target: filter at the far end of the spectrum.
+  apply_spectral_filter(op_t, transform, ed.eigenvalues.front(), v, out_off, opts);
+
+  // On target the output is parallel to v with the delta's peak weight.
+  const double overlap_on = std::abs(linalg::dot(v, out_on));
+  const double overlap_off = std::abs(linalg::dot(v, out_off));
+  EXPECT_GT(overlap_on, 20.0 * overlap_off);
+  // Direction preserved: |<v|out>| ~ |out|.
+  EXPECT_NEAR(overlap_on, linalg::nrm2(out_on), 1e-6 * overlap_on + 1e-9);
+}
+
+TEST(SpectralFilter, NormEstimatesLocalDos) {
+  // E[ |delta_KPM(E0 - H) r|^2 ] relates to the DoS squared-kernel weight:
+  // compare the filtered norm at a high-DoS energy vs a band-edge energy.
+  Fixture f;
+  linalg::MatrixOperator op(f.h), op_t(f.h_tilde);
+  const auto center = filter_random_state(op, op_t, f.transform, 0.5, 3, 1);
+  const auto edge = filter_random_state(op, op_t, f.transform, 5.9, 3, 1);
+  EXPECT_GT(center.norm, 2.0 * edge.norm);
+}
+
+TEST(SpectralFilter, RejectsBadInput) {
+  Fixture f;
+  linalg::MatrixOperator op_t(f.h_tilde);
+  std::vector<double> in(op_t.dim(), 1.0), out(op_t.dim());
+  EXPECT_THROW(apply_spectral_filter(op_t, f.transform, 99.0, in, out), kpm::Error);
+  EXPECT_THROW(apply_spectral_filter(op_t, f.transform, 0.0, in, in), kpm::Error);
+  std::vector<double> wrong(3);
+  EXPECT_THROW(apply_spectral_filter(op_t, f.transform, 0.0, wrong, out), kpm::Error);
+  EXPECT_THROW((void)filter_coefficients(0.0, f.transform, {.num_moments = 1}), kpm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Tests for eigenvalue post-processing: DoS histograms and exact moments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "diag/spectrum_utils.hpp"
+
+namespace {
+
+using namespace kpm::diag;
+using kpm::linalg::SpectralTransform;
+
+TEST(DosHistogram, NormalizesToUnitIntegral) {
+  std::vector<double> eig{-0.9, -0.5, 0.0, 0.2, 0.8};
+  const auto h = dos_histogram(eig, -1.0, 1.0, 10);
+  double integral = 0.0;
+  for (double d : h.density) integral += d * h.bin_width;
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(DosHistogram, BinCentersAreCorrect) {
+  std::vector<double> eig{0.0};
+  const auto h = dos_histogram(eig, 0.0, 1.0, 4);
+  ASSERT_EQ(h.energy.size(), 4u);
+  EXPECT_DOUBLE_EQ(h.energy[0], 0.125);
+  EXPECT_DOUBLE_EQ(h.energy[3], 0.875);
+}
+
+TEST(DosHistogram, OutOfRangeEigenvaluesClampToEdges) {
+  std::vector<double> eig{-5.0, 5.0};
+  const auto h = dos_histogram(eig, -1.0, 1.0, 2);
+  EXPECT_GT(h.density.front(), 0.0);
+  EXPECT_GT(h.density.back(), 0.0);
+  double integral = 0.0;
+  for (double d : h.density) integral += d * h.bin_width;
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(DosHistogram, RejectsBadArguments) {
+  std::vector<double> eig{0.0};
+  EXPECT_THROW(dos_histogram(eig, 1.0, -1.0, 4), kpm::Error);
+  EXPECT_THROW(dos_histogram(eig, -1.0, 1.0, 0), kpm::Error);
+  EXPECT_THROW(dos_histogram({}, -1.0, 1.0, 4), kpm::Error);
+}
+
+TEST(ExactMoments, SingleEigenvalueGivesChebyshevValues) {
+  // For a single eigenvalue E, mu_n = T_n(x(E)) = cos(n arccos x).
+  std::vector<double> eig{0.5};
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  const auto mu = exact_chebyshev_moments(eig, t, 6);
+  const double theta = std::acos(0.5);
+  for (std::size_t n = 0; n < 6; ++n)
+    EXPECT_NEAR(mu[n], std::cos(static_cast<double>(n) * theta), 1e-14);
+}
+
+TEST(ExactMoments, Mu0IsAlwaysOne) {
+  std::vector<double> eig{-0.3, 0.1, 0.7};
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  const auto mu = exact_chebyshev_moments(eig, t, 3);
+  EXPECT_DOUBLE_EQ(mu[0], 1.0);
+}
+
+TEST(ExactMoments, SymmetricSpectrumKillsOddMoments) {
+  std::vector<double> eig{-0.6, 0.6, -0.2, 0.2};
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  const auto mu = exact_chebyshev_moments(eig, t, 8);
+  for (std::size_t n = 1; n < 8; n += 2) EXPECT_NEAR(mu[n], 0.0, 1e-14);
+}
+
+TEST(ExactMoments, RejectsEigenvalueOutsideInterval) {
+  std::vector<double> eig{2.0};
+  const SpectralTransform t({-1.0, 1.0}, 0.0);
+  EXPECT_THROW(exact_chebyshev_moments(eig, t, 4), kpm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Tests for the thermodynamic observables (spectral averages from moments).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/ldos.hpp"
+#include "core/thermodynamics.hpp"
+#include "diag/tridiag.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace {
+
+using namespace kpm;
+using namespace kpm::core;
+
+TEST(FermiDirac, LimitsAndSymmetry) {
+  EXPECT_DOUBLE_EQ(fermi_dirac(-1.0, 0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fermi_dirac(1.0, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fermi_dirac(0.0, 0.0, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(fermi_dirac(0.0, 0.0, 0.5), 0.5);
+  // Particle-hole symmetry: f(e) + f(-e) = 1.
+  for (double e : {0.1, 0.7, 3.0})
+    EXPECT_NEAR(fermi_dirac(e, 0.0, 0.4) + fermi_dirac(-e, 0.0, 0.4), 1.0, 1e-14);
+  // Extreme arguments are finite.
+  EXPECT_DOUBLE_EQ(fermi_dirac(1e6, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(fermi_dirac(-1e6, 0.0, 1.0), 1.0);
+  EXPECT_THROW((void)fermi_dirac(0.0, 0.0, -1.0), kpm::Error);
+}
+
+/// Fixture: exact moments of a small lattice so quadrature error is the
+/// only error source.
+struct Fixture {
+  std::vector<double> mu;
+  std::vector<double> spectrum;
+  linalg::SpectralTransform transform;
+
+  explicit Fixture(std::size_t edge = 4, std::size_t n_moments = 256)
+      : transform({-1.0, 1.0}, 0.0) {
+    const auto lat = lattice::HypercubicLattice::cubic(edge, edge, edge);
+    const auto h = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator op(h);
+    transform = linalg::make_spectral_transform(op);
+    const auto ht = linalg::rescale(h, transform);
+    linalg::MatrixOperator op_t(ht);
+    mu = deterministic_trace_moments(op_t, n_moments);
+    spectrum = lattice::periodic_tight_binding_spectrum(lat);
+  }
+
+  /// Exact (1/D) sum_k f(E_k).
+  [[nodiscard]] double exact_average(const std::function<double(double)>& f) const {
+    double acc = 0.0;
+    for (double e : spectrum) acc += f(e);
+    return acc / static_cast<double>(spectrum.size());
+  }
+};
+
+TEST(Thermo, AverageOfOneIsOne) {
+  Fixture f;
+  const double avg = spectral_average(f.mu, f.transform, [](double) { return 1.0; });
+  EXPECT_NEAR(avg, 1.0, 1e-10);
+}
+
+TEST(Thermo, AverageOfEnergyMatchesTrace) {
+  Fixture f;
+  const double avg = spectral_average(f.mu, f.transform, [](double e) { return e; });
+  EXPECT_NEAR(avg, f.exact_average([](double e) { return e; }), 1e-6);
+}
+
+TEST(Thermo, FillingMatchesExactSpectrumAtFiniteT) {
+  Fixture f;
+  for (double mu_c : {-2.0, 0.0, 1.5}) {
+    for (double t : {0.5, 1.0}) {
+      const double kpm_n = electron_filling(f.mu, f.transform, mu_c, t);
+      const double exact_n =
+          f.exact_average([&](double e) { return fermi_dirac(e, mu_c, t); });
+      EXPECT_NEAR(kpm_n, exact_n, 5e-3) << "mu=" << mu_c << " T=" << t;
+    }
+  }
+}
+
+TEST(Thermo, HalfFillingAtParticleHoleSymmetricPoint) {
+  // Bipartite lattice (even extents), mu = 0: filling is exactly 1/2.
+  Fixture f;
+  EXPECT_NEAR(electron_filling(f.mu, f.transform, 0.0, 0.7), 0.5, 1e-6);
+}
+
+TEST(Thermo, FillingMonotoneInChemicalPotential) {
+  Fixture f;
+  double prev = -1.0;
+  for (double mu_c = -7.0; mu_c <= 7.0; mu_c += 1.0) {
+    const double n = electron_filling(f.mu, f.transform, mu_c, 0.4);
+    EXPECT_GE(n, prev - 1e-9);
+    prev = n;
+  }
+  EXPECT_NEAR(electron_filling(f.mu, f.transform, -6.5, 0.1), 0.0, 1e-3);
+  EXPECT_NEAR(electron_filling(f.mu, f.transform, 6.5, 0.1), 1.0, 1e-3);
+}
+
+TEST(Thermo, InternalEnergyBelowBandCenterAtHalfFilling) {
+  // Filling the lower half of a symmetric band gives negative energy.
+  Fixture f;
+  const double u = internal_energy(f.mu, f.transform, 0.0, 0.2);
+  EXPECT_LT(u, -0.5);
+  const double exact =
+      f.exact_average([&](double e) { return e * fermi_dirac(e, 0.0, 0.2); });
+  EXPECT_NEAR(u, exact, 5e-3);
+}
+
+TEST(Thermo, EntropyPositiveAndVanishesAtLowT) {
+  Fixture f;
+  const double s_hot = electronic_entropy(f.mu, f.transform, 0.0, 2.0);
+  const double s_cold = electronic_entropy(f.mu, f.transform, 0.0, 0.05);
+  EXPECT_GT(s_hot, 0.1);
+  EXPECT_LT(s_cold, s_hot);
+  EXPECT_GE(s_cold, -1e-9);
+}
+
+TEST(Thermo, ChemicalPotentialSearchInvertsFilling) {
+  Fixture f;
+  for (double target : {0.25, 0.5, 0.8}) {
+    const double mu_c = find_chemical_potential(f.mu, f.transform, target, 0.6);
+    EXPECT_NEAR(electron_filling(f.mu, f.transform, mu_c, 0.6), target, 1e-8);
+  }
+  // Bipartite half filling must land at mu = 0.
+  EXPECT_NEAR(find_chemical_potential(f.mu, f.transform, 0.5, 0.6), 0.0, 1e-6);
+}
+
+TEST(Thermo, RejectsBadInput) {
+  Fixture f;
+  EXPECT_THROW((void)find_chemical_potential(f.mu, f.transform, 1.5, 0.5), kpm::Error);
+  EXPECT_THROW((void)spectral_average({}, f.transform, [](double) { return 1.0; }),
+               kpm::Error);
+  QuadratureOptions q;
+  q.points = 4;  // fewer than moments
+  EXPECT_THROW((void)spectral_average(f.mu, f.transform, [](double) { return 1.0; }, q),
+               kpm::Error);
+}
+
+}  // namespace

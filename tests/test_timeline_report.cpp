@@ -1,0 +1,63 @@
+// Tests for the timeline pretty-printer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/timeline_report.hpp"
+
+namespace {
+
+using namespace gpusim;
+
+class Burn final : public Kernel {
+ public:
+  const char* name() const override { return "burn_kernel"; }
+  void block_phase(int, BlockContext& b) override {
+    if (b.bid() == 0) b.flop(1e9);
+  }
+};
+
+TEST(TimelineReport, MentionsEveryEventKind) {
+  Device dev(DeviceSpec::tesla_c2050());
+  auto buf = dev.alloc<double>(64, "test buffer");
+  std::vector<double> host(64, 1.0);
+  dev.copy_to_device<double>(host, buf, "upload");
+  Burn k;
+  ExecConfig cfg;
+  cfg.grid = Dim3{64};
+  cfg.block = Dim3{128};
+  dev.launch(cfg, k);
+  dev.copy_to_host<double>(buf, host, "download");
+
+  const std::string text = timeline_to_text(dev);
+  EXPECT_NE(text.find("alloc"), std::string::npos);
+  EXPECT_NE(text.find("h2d"), std::string::npos);
+  EXPECT_NE(text.find("d2h"), std::string::npos);
+  EXPECT_NE(text.find("burn_kernel"), std::string::npos);
+  EXPECT_NE(text.find("upload"), std::string::npos);
+  EXPECT_NE(text.find("-bound"), std::string::npos);
+}
+
+TEST(TimelineReport, SummaryLineReportsOverlap) {
+  Device dev(DeviceSpec::tesla_c2050());
+  const StreamId s1 = dev.create_stream();
+  Burn k;
+  ExecConfig cfg;
+  cfg.grid = Dim3{64};
+  cfg.block = Dim3{128};
+  dev.launch(cfg, k, 1.0, 0);
+  dev.launch(cfg, k, 1.0, s1);
+  const std::string line = timeline_summary_line(dev);
+  EXPECT_NE(line.find("2 events"), std::string::npos);
+  // Two equal kernels fully overlapped: ~50%.
+  EXPECT_NE(line.find("50.0% overlapped"), std::string::npos) << line;
+}
+
+TEST(TimelineReport, EmptyTimelineIsWellFormed) {
+  Device dev(DeviceSpec::tesla_c2050());
+  EXPECT_NE(timeline_summary_line(dev).find("0 events"), std::string::npos);
+  EXPECT_FALSE(timeline_to_text(dev).empty());
+}
+
+}  // namespace

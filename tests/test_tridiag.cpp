@@ -1,0 +1,84 @@
+// Tests for Householder tridiagonalization + QL eigenvalues.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "diag/jacobi.hpp"
+#include "diag/tridiag.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+
+namespace {
+
+using namespace kpm::diag;
+
+TEST(Tridiag, AlreadyTridiagonalIsPreserved) {
+  // An open tight-binding chain is tridiagonal; reduction must keep the
+  // spectrum (checked against Jacobi).
+  const auto lat = kpm::lattice::HypercubicLattice::chain(10, kpm::lattice::Boundary::Open);
+  const auto h = kpm::lattice::build_tight_binding_dense(lat);
+  const auto eig_ql = symmetric_eigenvalues(h);
+  const auto eig_jac = jacobi_eigensolve(h).eigenvalues;
+  ASSERT_EQ(eig_ql.size(), eig_jac.size());
+  for (std::size_t i = 0; i < eig_ql.size(); ++i) EXPECT_NEAR(eig_ql[i], eig_jac[i], 1e-10);
+}
+
+TEST(Tridiag, MatchesJacobiOnRandomSymmetric) {
+  const auto h = kpm::lattice::random_symmetric_dense(40, 21);
+  const auto eig_ql = symmetric_eigenvalues(h);
+  const auto eig_jac = jacobi_eigensolve(h).eigenvalues;
+  ASSERT_EQ(eig_ql.size(), 40u);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_NEAR(eig_ql[i], eig_jac[i], 1e-8);
+}
+
+TEST(Tridiag, ExplicitTridiagonalEigenvalues) {
+  // T with diag=0, offdiag=1 (L sites) has E_k = 2 cos(k pi / (L+1)).
+  const std::size_t L = 16;
+  Tridiagonal t;
+  t.diag.assign(L, 0.0);
+  t.offdiag.assign(L - 1, 1.0);
+  auto eig = tridiagonal_eigenvalues(t);
+  std::vector<double> expected;
+  for (std::size_t k = 1; k <= L; ++k)
+    expected.push_back(2.0 * std::cos(std::numbers::pi * static_cast<double>(k) /
+                                      (static_cast<double>(L) + 1.0)));
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < L; ++i) EXPECT_NEAR(eig[i], expected[i], 1e-10);
+}
+
+TEST(Tridiag, SingleElement) {
+  Tridiagonal t;
+  t.diag = {7.5};
+  const auto eig = tridiagonal_eigenvalues(t);
+  ASSERT_EQ(eig.size(), 1u);
+  EXPECT_DOUBLE_EQ(eig[0], 7.5);
+}
+
+TEST(Tridiag, EigenvaluesAreSortedAscending) {
+  const auto h = kpm::lattice::random_symmetric_dense(25, 2);
+  const auto eig = symmetric_eigenvalues(h);
+  EXPECT_TRUE(std::is_sorted(eig.begin(), eig.end()));
+}
+
+TEST(Tridiag, TraceInvariant) {
+  const auto h = kpm::lattice::random_symmetric_dense(30, 33);
+  const auto t = householder_tridiagonalize(h);
+  double h_trace = 0.0, t_trace = 0.0;
+  for (std::size_t i = 0; i < 30; ++i) h_trace += h(i, i);
+  for (double d : t.diag) t_trace += d;
+  EXPECT_NEAR(h_trace, t_trace, 1e-10);
+}
+
+TEST(Tridiag, CubicLatticeSpectrumMatchesClosedForm) {
+  const auto lat = kpm::lattice::HypercubicLattice::cubic(4, 4, 4);
+  const auto h = kpm::lattice::build_tight_binding_dense(lat);
+  auto eig = symmetric_eigenvalues(h);
+  auto expected = kpm::lattice::periodic_tight_binding_spectrum(lat);
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(eig.size(), expected.size());
+  for (std::size_t i = 0; i < eig.size(); ++i) EXPECT_NEAR(eig[i], expected[i], 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Unit tests for the BLAS-1 vector kernels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using namespace kpm::linalg;
+
+TEST(VectorOps, AxpbyComputesLinearCombination) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{10, 20, 30};
+  axpby(2.0, x, 0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 14.0);
+  EXPECT_DOUBLE_EQ(y[2], 21.0);
+}
+
+TEST(VectorOps, AxpyAccumulates) {
+  std::vector<double> x{1, -1};
+  std::vector<double> y{0, 0};
+  axpy(3.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], -3.0);
+}
+
+TEST(VectorOps, ScaleMultiplies) {
+  std::vector<double> x{2, 4};
+  scale(0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(VectorOps, CopyDuplicates) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y(3);
+  copy(x, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(VectorOps, DotMatchesHandComputation) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VectorOps, DotOfEmptyIsZero) {
+  std::vector<double> x, y;
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+}
+
+TEST(VectorOps, Nrm2IsEuclidean) {
+  std::vector<double> x{3, 4};
+  EXPECT_DOUBLE_EQ(nrm2(x), 5.0);
+}
+
+TEST(VectorOps, SignedSumAndAmax) {
+  std::vector<double> x{1, -4, 2};
+  EXPECT_DOUBLE_EQ(asum_signed(x), -1.0);
+  EXPECT_DOUBLE_EQ(amax(x), 4.0);
+  EXPECT_DOUBLE_EQ(amax(std::vector<double>{}), 0.0);
+}
+
+TEST(VectorOps, ChebyshevCombineMatchesDefinition) {
+  // next = 2*hx - prev (Eq. 18's vector update).
+  std::vector<double> hx{1, 2};
+  std::vector<double> prev{10, 20};
+  std::vector<double> next(2);
+  chebyshev_combine(hx, prev, next);
+  EXPECT_DOUBLE_EQ(next[0], -8.0);
+  EXPECT_DOUBLE_EQ(next[1], -16.0);
+}
+
+TEST(VectorOps, ChebyshevCombineAllowsInPlaceOnPrev) {
+  // The GPU kernels overwrite prev2 in place; the CPU helper must support
+  // hx aliasing next (hx was stored into next's buffer by the SpMV).
+  std::vector<double> next{1, 2};   // holds hx on entry
+  std::vector<double> prev{10, 20};
+  chebyshev_combine(next, prev, next);
+  EXPECT_DOUBLE_EQ(next[0], -8.0);
+  EXPECT_DOUBLE_EQ(next[1], -16.0);
+}
+
+TEST(VectorOps, SizeMismatchesThrow) {
+  std::vector<double> a(3), b(4);
+  EXPECT_THROW(axpby(1.0, a, 1.0, b), kpm::Error);
+  EXPECT_THROW(axpy(1.0, a, b), kpm::Error);
+  EXPECT_THROW(copy(a, b), kpm::Error);
+  EXPECT_THROW((void)dot(a, b), kpm::Error);
+  std::vector<double> c(3);
+  EXPECT_THROW(chebyshev_combine(a, b, c), kpm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,428 @@
+// kpmcli — one command-line front end for the whole library.
+//
+//   kpmcli dos     --lattice=cubic --edge=10 --moments=512 [--csv=...]
+//   kpmcli ldos    --lattice=square --edge=15 --site=112
+//   kpmcli sigma   --lattice=square --edge=16 --disorder=2
+//   kpmcli thermo  --lattice=cubic --edge=8 --temperature=0.5
+//   kpmcli evolve  --sites=128 --time=20
+//   kpmcli devices
+//
+// Every subcommand prints a table and (where meaningful) writes a CSV.
+// Lattices: chain, square, cubic, honeycomb; optional Anderson disorder.
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/kpm.hpp"
+
+namespace {
+
+using namespace kpm;
+
+/// Built workload: Hamiltonian + transform + rescaled operator storage.
+struct Workload {
+  linalg::CrsMatrix h;
+  linalg::CrsMatrix h_tilde;
+  linalg::SpectralTransform transform{{-1.0, 1.0}, 0.0};
+  std::string description;
+  std::size_t dim = 0;
+};
+
+Workload build_workload(const std::string& kind, std::size_t edge, double disorder,
+                        std::uint64_t seed) {
+  Workload w;
+  const auto onsite =
+      disorder > 0.0 ? lattice::anderson_disorder(disorder, seed) : lattice::OnsiteFunction{};
+  if (kind == "chain") {
+    const auto lat = lattice::HypercubicLattice::chain(edge);
+    w.h = lattice::build_tight_binding_crs(lat, {}, onsite);
+    w.description = lat.describe();
+  } else if (kind == "square") {
+    const auto lat = lattice::HypercubicLattice::square(edge, edge);
+    w.h = lattice::build_tight_binding_crs(lat, {}, onsite);
+    w.description = lat.describe();
+  } else if (kind == "cubic") {
+    const auto lat = lattice::HypercubicLattice::cubic(edge, edge, edge);
+    w.h = lattice::build_tight_binding_crs(lat, {}, onsite);
+    w.description = lat.describe();
+  } else if (kind == "honeycomb") {
+    const lattice::HoneycombLattice lat(edge, edge);
+    KPM_REQUIRE(disorder == 0.0, "kpmcli: disorder is not supported on the honeycomb lattice");
+    w.h = lat.hamiltonian();
+    w.description = "honeycomb " + std::to_string(edge) + "x" + std::to_string(edge);
+  } else {
+    KPM_FAIL("unknown lattice '" + kind + "' (chain|square|cubic|honeycomb)");
+  }
+  linalg::MatrixOperator op(w.h);
+  w.transform = linalg::make_spectral_transform(op);
+  w.h_tilde = linalg::rescale(w.h, w.transform);
+  w.dim = op.dim();
+  return w;
+}
+
+int cmd_dos(int argc, const char* const* argv) {
+  CliParser cli("kpmcli dos", "density of states via stochastic KPM on the simulated GPU");
+  const auto* kind = cli.add_string("lattice", "cubic", "chain|square|cubic|honeycomb");
+  const auto* edge = cli.add_int("edge", 10, "lattice edge / cell count");
+  const auto* n = cli.add_int("moments", 256, "Chebyshev moments N");
+  const auto* r = cli.add_int("R", 14, "random vectors");
+  const auto* s = cli.add_int("S", 16, "realizations");
+  const auto* disorder = cli.add_double("disorder", 0.0, "Anderson disorder width");
+  const auto* seed = cli.add_int("seed", 42, "disorder seed");
+  const auto* points = cli.add_int("points", 41, "output energies");
+  const auto* csv = cli.add_string("csv", "", "optional CSV output path");
+  const auto* save = cli.add_string("save-moments", "",
+                                    "store the moment set for later `kpmcli reconstruct`");
+  cli.parse(argc, argv);
+
+  const auto w = build_workload(*kind, static_cast<std::size_t>(*edge), *disorder,
+                                static_cast<std::uint64_t>(*seed));
+  linalg::MatrixOperator op(w.h_tilde);
+  core::MomentParams params;
+  params.num_moments = static_cast<std::size_t>(*n);
+  params.random_vectors = static_cast<std::size_t>(*r);
+  params.realizations = static_cast<std::size_t>(*s);
+  core::GpuMomentEngine engine;
+  const auto result = engine.compute(op, params);
+  if (!save->empty()) {
+    core::MomentFile file;
+    file.mu = result.mu;
+    file.transform_center = w.transform.center();
+    file.transform_half_width = w.transform.half_width();
+    file.dim = w.dim;
+    file.engine = result.engine;
+    core::save_moments(*save, file);
+    std::printf("moment set written to %s\n", save->c_str());
+  }
+  const auto curve = core::reconstruct_dos(result.mu, w.transform,
+                                           {.points = static_cast<std::size_t>(*points)});
+
+  std::printf("%s, D=%zu — N=%zu, %zu instances, simulated GPU %.3f s\n\n",
+              w.description.c_str(), w.dim, params.num_moments, params.instances(),
+              result.model_seconds);
+  Table table({"E", "rho(E)"});
+  for (std::size_t j = 0; j < curve.energy.size(); ++j)
+    table.add_row({strprintf("%.4f", curve.energy[j]), strprintf("%.6f", curve.density[j])});
+  std::printf("%s", table.to_text().c_str());
+  if (!csv->empty()) {
+    table.write_csv(*csv);
+    std::printf("\nseries written to %s\n", csv->c_str());
+  }
+  return 0;
+}
+
+int cmd_ldos(int argc, const char* const* argv) {
+  CliParser cli("kpmcli ldos", "deterministic local DoS at one site");
+  const auto* kind = cli.add_string("lattice", "square", "chain|square|cubic|honeycomb");
+  const auto* edge = cli.add_int("edge", 15, "lattice edge / cell count");
+  const auto* site = cli.add_int("site", 0, "site index");
+  const auto* n = cli.add_int("moments", 256, "Chebyshev moments N");
+  const auto* disorder = cli.add_double("disorder", 0.0, "Anderson disorder width");
+  const auto* seed = cli.add_int("seed", 42, "disorder seed");
+  const auto* points = cli.add_int("points", 41, "output energies");
+  const auto* csv = cli.add_string("csv", "", "optional CSV output path");
+  cli.parse(argc, argv);
+
+  const auto w = build_workload(*kind, static_cast<std::size_t>(*edge), *disorder,
+                                static_cast<std::uint64_t>(*seed));
+  linalg::MatrixOperator op(w.h_tilde);
+  const auto curve = core::ldos_curve(op, w.transform, static_cast<std::size_t>(*site),
+                                      static_cast<std::size_t>(*n),
+                                      {.points = static_cast<std::size_t>(*points)});
+  std::printf("%s, LDOS at site %lld (N=%lld)\n\n", w.description.c_str(),
+              static_cast<long long>(*site), static_cast<long long>(*n));
+  Table table({"E", "rho_site(E)"});
+  for (std::size_t j = 0; j < curve.energy.size(); ++j)
+    table.add_row({strprintf("%.4f", curve.energy[j]), strprintf("%.6f", curve.density[j])});
+  std::printf("%s", table.to_text().c_str());
+  if (!csv->empty()) {
+    table.write_csv(*csv);
+    std::printf("\nseries written to %s\n", csv->c_str());
+  }
+  return 0;
+}
+
+int cmd_sigma(int argc, const char* const* argv) {
+  CliParser cli("kpmcli sigma", "Kubo-Greenwood conductivity sigma(E_F)");
+  const auto* kind = cli.add_string("lattice", "square", "chain|square|cubic");
+  const auto* edge = cli.add_int("edge", 16, "lattice edge");
+  const auto* axis = cli.add_int("axis", 0, "transport axis (0|1|2)");
+  const auto* n = cli.add_int("moments", 32, "Chebyshev moments per index");
+  const auto* r = cli.add_int("R", 16, "random vectors");
+  const auto* disorder = cli.add_double("disorder", 0.0, "Anderson disorder width");
+  const auto* seed = cli.add_int("seed", 42, "disorder seed");
+  const auto* csv = cli.add_string("csv", "", "optional CSV output path");
+  cli.parse(argc, argv);
+
+  KPM_REQUIRE(*kind != "honeycomb", "kpmcli sigma: honeycomb current operator not implemented");
+  const auto e = static_cast<std::size_t>(*edge);
+  lattice::HypercubicLattice lat =
+      *kind == "chain" ? lattice::HypercubicLattice::chain(e)
+      : *kind == "square" ? lattice::HypercubicLattice::square(e, e)
+                          : lattice::HypercubicLattice::cubic(e, e, e);
+  const auto onsite = *disorder > 0.0
+                          ? lattice::anderson_disorder(*disorder, static_cast<std::uint64_t>(*seed))
+                          : lattice::OnsiteFunction{};
+  const auto h = lattice::build_tight_binding_crs(lat, {}, onsite);
+  linalg::MatrixOperator raw(h);
+  const auto transform = linalg::make_spectral_transform(raw);
+  const auto ht = linalg::rescale(h, transform);
+  const auto a = lattice::build_current_operator_crs(lat, static_cast<std::size_t>(*axis));
+  linalg::MatrixOperator op(ht), op_a(a);
+
+  core::MomentParams params;
+  params.num_moments = static_cast<std::size_t>(*n);
+  params.random_vectors = static_cast<std::size_t>(*r);
+  params.realizations = 2;
+  const auto m = core::conductivity_moments(op, op_a, params);
+  const auto curve = core::reconstruct_conductivity(m, transform, {.points = 41});
+
+  std::printf("%s, sigma along axis %lld, N=%zu\n\n", lat.describe().c_str(),
+              static_cast<long long>(*axis), params.num_moments);
+  Table table({"E_F", "sigma"});
+  for (std::size_t j = 0; j < curve.energy.size(); ++j)
+    table.add_row({strprintf("%.4f", curve.energy[j]), strprintf("%.6f", curve.sigma[j])});
+  std::printf("%s", table.to_text().c_str());
+  if (!csv->empty()) {
+    table.write_csv(*csv);
+    std::printf("\nseries written to %s\n", csv->c_str());
+  }
+  return 0;
+}
+
+int cmd_thermo(int argc, const char* const* argv) {
+  CliParser cli("kpmcli thermo", "filling, energy, entropy at fixed chemical potential");
+  const auto* kind = cli.add_string("lattice", "cubic", "chain|square|cubic|honeycomb");
+  const auto* edge = cli.add_int("edge", 8, "lattice edge / cell count");
+  const auto* n = cli.add_int("moments", 256, "Chebyshev moments N");
+  const auto* mu_c = cli.add_double("mu", 0.0, "chemical potential");
+  const auto* t = cli.add_double("temperature", 0.5, "temperature (k_B = 1)");
+  cli.parse(argc, argv);
+
+  const auto w = build_workload(*kind, static_cast<std::size_t>(*edge), 0.0, 0);
+  linalg::MatrixOperator op(w.h_tilde);
+  core::MomentParams params;
+  params.num_moments = static_cast<std::size_t>(*n);
+  params.random_vectors = 8;
+  params.realizations = 8;
+  core::GpuMomentEngine engine;
+  const auto result = engine.compute(op, params);
+
+  const double filling = core::electron_filling(result.mu, w.transform, *mu_c, *t);
+  const double energy = core::internal_energy(result.mu, w.transform, *mu_c, *t);
+  const double entropy = core::electronic_entropy(result.mu, w.transform, *mu_c, *t);
+  std::printf("%s, D=%zu at mu=%.3f, T=%.3f:\n", w.description.c_str(), w.dim, *mu_c, *t);
+  std::printf("  filling  n = %.6f\n  energy   u = %.6f\n  entropy  s = %.6f\n", filling,
+              energy, entropy);
+  return 0;
+}
+
+int cmd_evolve(int argc, const char* const* argv) {
+  CliParser cli("kpmcli evolve", "Chebyshev time evolution of a localized state on a chain");
+  const auto* sites = cli.add_int("sites", 128, "chain length");
+  const auto* time = cli.add_double("time", 20.0, "total evolution time");
+  const auto* steps = cli.add_int("steps", 5, "output steps");
+  cli.parse(argc, argv);
+
+  const auto lat = lattice::HypercubicLattice::chain(static_cast<std::size_t>(*sites));
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  const auto transform = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op_t(ht);
+  core::ChebyshevPropagator prop(op_t, transform);
+
+  std::vector<std::complex<double>> psi(lat.sites(), {0.0, 0.0});
+  psi[lat.sites() / 2] = {1.0, 0.0};
+  const double dt = *time / static_cast<double>(*steps);
+  std::printf("chain of %zu sites, |psi(0)> localized at the center\n\n", lat.sites());
+  Table table({"t", "P(origin)", "spread", "norm"});
+  for (int s = 0; s <= *steps; ++s) {
+    double mean = 0.0, mean_sq = 0.0;
+    for (std::size_t i = 0; i < psi.size(); ++i) {
+      const double p = std::norm(psi[i]);
+      mean += p * static_cast<double>(i);
+      mean_sq += p * static_cast<double>(i) * static_cast<double>(i);
+    }
+    table.add_row({strprintf("%.2f", dt * s),
+                   strprintf("%.5f", std::norm(psi[lat.sites() / 2])),
+                   strprintf("%.3f", std::sqrt(std::max(0.0, mean_sq - mean * mean))),
+                   strprintf("%.12f", core::state_norm(psi))});
+    if (s < *steps) prop.step(psi, dt);
+  }
+  std::printf("%s", table.to_text().c_str());
+  return 0;
+}
+
+int cmd_reconstruct(int argc, const char* const* argv) {
+  CliParser cli("kpmcli reconstruct", "rebuild a DoS from a saved moment set");
+  const auto* path = cli.add_string("moments", "", "moment file from `kpmcli dos --save-moments`");
+  const auto* kernel = cli.add_string("kernel", "jackson", "jackson|lorentz|fejer|dirichlet");
+  const auto* lambda = cli.add_double("lambda", 4.0, "Lorentz kernel parameter");
+  const auto* truncate = cli.add_int("truncate", 0, "use only the first N moments (0 = all)");
+  const auto* points = cli.add_int("points", 41, "output energies");
+  const auto* csv = cli.add_string("csv", "", "optional CSV output path");
+  cli.parse(argc, argv);
+  KPM_REQUIRE(!path->empty(), "kpmcli reconstruct: --moments is required");
+
+  const auto file = core::load_moments(*path);
+  const auto transform = file.transform();
+  std::span<const double> mu(file.mu);
+  if (*truncate > 0 && static_cast<std::size_t>(*truncate) < mu.size())
+    mu = mu.subspan(0, static_cast<std::size_t>(*truncate));
+
+  core::ReconstructOptions opts;
+  opts.kernel = core::damping_kernel_from_string(*kernel);
+  opts.lorentz_lambda = *lambda;
+  opts.points = static_cast<std::size_t>(*points);
+  const auto curve = core::reconstruct_dos(mu, transform, opts);
+
+  std::printf("%s: D=%zu, %zu moments (engine %s), kernel %s, using %zu moments\n\n",
+              path->c_str(), file.dim, file.mu.size(), file.engine.c_str(), kernel->c_str(),
+              mu.size());
+  Table table({"E", "rho(E)"});
+  for (std::size_t j = 0; j < curve.energy.size(); ++j)
+    table.add_row({strprintf("%.4f", curve.energy[j]), strprintf("%.6f", curve.density[j])});
+  std::printf("%s", table.to_text().c_str());
+  if (!csv->empty()) {
+    table.write_csv(*csv);
+    std::printf("\nseries written to %s\n", csv->c_str());
+  }
+  return 0;
+}
+
+int cmd_slice(int argc, const char* const* argv) {
+  CliParser cli("kpmcli slice", "energy-filtered random states (KPM delta filter)");
+  const auto* kind = cli.add_string("lattice", "cubic", "chain|square|cubic|honeycomb");
+  const auto* edge = cli.add_int("edge", 8, "lattice edge / cell count");
+  const auto* n = cli.add_int("moments", 256, "filter moments");
+  const auto* e0 = cli.add_double("energy", 0.0, "target energy");
+  const auto* disorder = cli.add_double("disorder", 0.0, "Anderson disorder width");
+  cli.parse(argc, argv);
+
+  const auto w = build_workload(*kind, static_cast<std::size_t>(*edge), *disorder, 7);
+  linalg::MatrixOperator op(w.h);
+  linalg::MatrixOperator op_t(w.h_tilde);
+  core::FilterOptions opts;
+  opts.num_moments = static_cast<std::size_t>(*n);
+  const auto report = core::filter_random_state(op, op_t, w.transform, *e0, 99, 0, opts);
+  std::printf("%s, filter at E = %.3f with N = %lld:\n", w.description.c_str(), *e0,
+              static_cast<long long>(*n));
+  std::printf("  <H>     = %+.5f\n  spread  = %.5f\n  |psi|   = %.5f (local-DoS proxy)\n",
+              report.energy_mean, report.energy_spread, report.norm);
+  return 0;
+}
+
+int cmd_ldosmap(int argc, const char* const* argv) {
+  CliParser cli("kpmcli ldosmap", "ASCII LDOS map of a square lattice (GPU LDOS engine)");
+  const auto* edge = cli.add_int("edge", 15, "square lattice edge");
+  const auto* n = cli.add_int("moments", 128, "Chebyshev moments");
+  const auto* e0 = cli.add_double("energy", 0.8, "map energy");
+  const auto* impurity = cli.add_double("impurity", -8.0, "center-site energy (0 = clean)");
+  cli.parse(argc, argv);
+
+  const auto l = static_cast<std::size_t>(*edge);
+  const auto lat = lattice::HypercubicLattice::square(l, l);
+  const std::size_t center = lat.site_index(l / 2, l / 2, 0);
+  const double eps = *impurity;
+  const auto h = lattice::build_tight_binding_crs(
+      lat, {}, [&](std::size_t site) { return site == center ? eps : 0.0; });
+  linalg::MatrixOperator op(h);
+  const auto transform = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, transform);
+  linalg::MatrixOperator op_t(ht);
+
+  std::vector<std::size_t> sites(lat.sites());
+  for (std::size_t i = 0; i < sites.size(); ++i) sites[i] = i;
+  core::GpuLdosEngine engine;
+  const auto map = engine.compute(op_t, sites, static_cast<std::size_t>(*n));
+
+  std::vector<double> values(lat.sites());
+  double max_v = 0.0;
+  std::vector<double> probe{*e0};
+  for (std::size_t k = 0; k < lat.sites(); ++k) {
+    values[k] = core::reconstruct_dos_at(map.site_moments(k), transform, probe).density[0];
+    max_v = std::max(max_v, values[k]);
+  }
+  std::printf("%s, impurity %.1f, LDOS at E = %.2f (max %.4f), GPU %.3f s:\n",
+              lat.describe().c_str(), eps, *e0, max_v, engine.last_model_seconds());
+  const char* shades = " .:-=+*#%@";
+  for (std::size_t y = 0; y < l; ++y) {
+    std::string line;
+    for (std::size_t x = 0; x < l; ++x) {
+      const double v = values[lat.site_index(x, y, 0)] / max_v;
+      line += shades[static_cast<std::size_t>(9.0 * std::min(1.0, v))];
+    }
+    std::printf("|%s|\n", line.c_str());
+  }
+  return 0;
+}
+
+int cmd_devices(int, const char* const*) {
+  Table table({"device", "SMs", "DP peak", "bandwidth", "VRAM"});
+  for (const auto& spec : {gpusim::DeviceSpec::geforce_gtx285(), gpusim::DeviceSpec::tesla_c2050(),
+                           gpusim::DeviceSpec::fictional_hpc2020()}) {
+    table.add_row({spec.name, std::to_string(spec.sm_count),
+                   format_flops(spec.peak_dp_flops()),
+                   strprintf("%.0f GB/s", spec.global_mem_bandwidth / 1e9),
+                   format_bytes(static_cast<double>(spec.global_mem_bytes))});
+  }
+  std::printf("%s", table.to_text().c_str());
+  std::printf("\nCPU baseline: %s\n", cpumodel::CpuSpec::core_i7_930().name.c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "kpmcli — Kernel Polynomial Method toolkit (simulated-GPU backend)\n\n"
+      "subcommands:\n"
+      "  dos      density of states of a lattice model\n"
+      "  reconstruct  rebuild a DoS from a saved moment set\n"
+      "  ldos     local density of states at one site\n"
+      "  sigma    Kubo-Greenwood conductivity sigma(E_F)\n"
+      "  thermo   filling / energy / entropy at (mu, T)\n"
+      "  evolve   Chebyshev time evolution on a chain\n"
+      "  slice    energy-filtered random state (delta filter)\n"
+      "  ldosmap  ASCII LDOS map around an impurity\n"
+      "  devices  list the simulated device presets\n\n"
+      "run `kpmcli <subcommand> --help` for options\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  // Shift argv so each subcommand's CliParser sees its own args.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (cmd == "dos") return cmd_dos(sub_argc, sub_argv);
+    if (cmd == "reconstruct") return cmd_reconstruct(sub_argc, sub_argv);
+    if (cmd == "ldos") return cmd_ldos(sub_argc, sub_argv);
+    if (cmd == "sigma") return cmd_sigma(sub_argc, sub_argv);
+    if (cmd == "thermo") return cmd_thermo(sub_argc, sub_argv);
+    if (cmd == "evolve") return cmd_evolve(sub_argc, sub_argv);
+    if (cmd == "slice") return cmd_slice(sub_argc, sub_argv);
+    if (cmd == "ldosmap") return cmd_ldosmap(sub_argc, sub_argv);
+    if (cmd == "devices") return cmd_devices(sub_argc, sub_argv);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      usage();
+      return 0;
+    }
+    std::fprintf(stderr, "kpmcli: unknown subcommand '%s'\n\n", cmd.c_str());
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "kpmcli: %s\n", e.what());
+    return 1;
+  }
+}
