@@ -1,0 +1,98 @@
+#include "common/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace kpm::common {
+
+ThreadPool::ThreadPool(std::size_t lanes) {
+  KPM_REQUIRE(lanes >= 1, "ThreadPool: need at least one lane");
+  workers_.reserve(lanes - 1);
+  for (std::size_t lane = 1; lane < lanes; ++lane)
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::record_exception() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      task = task_;
+    }
+    try {
+      (*task)(lane);
+    } catch (...) {
+      record_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    first_error_ = nullptr;
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // Lane 0 is the calling thread: it works instead of blocking.
+  try {
+    task(0);
+  } catch (...) {
+    record_exception();
+  }
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    task_ = nullptr;
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk_range(std::size_t count, std::size_t chunks,
+                                                            std::size_t chunk) {
+  KPM_REQUIRE(chunks >= 1 && chunk < chunks, "ThreadPool::chunk_range: chunk out of range");
+  // i * count / chunks distributes the remainder one element at a time, so
+  // chunk sizes differ by at most one and cover [0, count) exactly.
+  return {chunk * count / chunks, (chunk + 1) * count / chunks};
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t lanes = size();
+  run([&](std::size_t lane) {
+    const auto [begin, end] = chunk_range(count, lanes, lane);
+    if (begin < end) body(lane, begin, end);
+  });
+}
+
+}  // namespace kpm::common

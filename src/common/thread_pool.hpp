@@ -1,0 +1,80 @@
+// Fixed-size worker pool for coarse-grain host parallelism.
+//
+// The KPM moment recursion is serial along N but embarrassingly parallel
+// across the S*R stochastic instances; `ThreadPool` is the execution
+// substrate the parallel CPU engine uses to exploit that.  Design points:
+//
+//  * Fixed worker set: `lanes - 1` OS threads are spawned once and parked
+//    on a condition variable; dispatching work is a notify, not a spawn.
+//    The calling thread always participates as lane 0, so a 1-lane pool
+//    degenerates to a plain function call with zero synchronization.
+//  * Static partitioning: `parallel_for` splits an index range into one
+//    contiguous chunk per lane.  Deterministic assignment keeps runs
+//    reproducible and lets callers keep per-lane scratch state.
+//  * Exception propagation: the first exception thrown by any lane is
+//    captured and rethrown on the calling thread after every lane has
+//    finished, so no work is left running when the caller unwinds.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace kpm::common {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `lanes` execution lanes total: the calling thread
+  /// plus `lanes - 1` spawned workers.  Requires lanes >= 1.
+  explicit ThreadPool(std::size_t lanes);
+
+  /// Joins all workers.  Must not be called while a dispatch is running.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution lanes (calling thread included).
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// Invokes `task(lane)` once per lane in [0, size()).  Lane 0 runs on the
+  /// calling thread; the call returns after every lane has finished.  The
+  /// first exception thrown by any lane is rethrown here.
+  void run(const std::function<void(std::size_t)>& task);
+
+  /// Statically partitions [0, count) into size() contiguous chunks and
+  /// invokes `body(lane, begin, end)` for every non-empty chunk.  Chunk
+  /// sizes differ by at most one element; lane ordering is deterministic.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t lane, std::size_t begin,
+                                             std::size_t end)>& body);
+
+  /// The half-open range of chunk `chunk` when [0, count) is split into
+  /// `chunks` near-equal contiguous pieces (the parallel_for partition).
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> chunk_range(std::size_t count,
+                                                                       std::size_t chunks,
+                                                                       std::size_t chunk);
+
+ private:
+  void worker_loop(std::size_t lane);
+  void record_exception() noexcept;
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  ///< bumps once per dispatch; workers latch it
+  std::size_t pending_ = 0;       ///< workers still running the current dispatch
+  bool stopping_ = false;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace kpm::common

@@ -51,6 +51,11 @@ DisorderStudy run_disorder_study(const HamiltonianFactory& factory,
         moments = engine.compute(op, params, options.sample_instances);
         break;
       }
+      case EngineKind::CpuParallel: {
+        CpuParallelMomentEngine engine(options.cpu_threads);
+        moments = engine.compute(op, params, options.sample_instances);
+        break;
+      }
       case EngineKind::Gpu: {
         GpuMomentEngine engine(options.gpu);
         moments = engine.compute(op, params, options.sample_instances);

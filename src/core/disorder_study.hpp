@@ -29,6 +29,7 @@ struct DisorderStudyOptions {
   ReconstructOptions reconstruct{};
   EngineKind engine = EngineKind::Gpu;
   GpuEngineConfig gpu{};
+  int cpu_threads = 4;                  ///< used by CpuParallel
   std::size_t sample_instances = 0;
   /// Common spectral window for all realizations; must contain every
   /// realization's spectrum (e.g. clean bounds widened by W/2).

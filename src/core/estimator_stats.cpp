@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "core/moments_cpu.hpp"
+#include "linalg/fused_kernels.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace kpm::core {
@@ -27,9 +28,7 @@ MomentStatistics estimate_moment_statistics(const linalg::MatrixOperator& h_tild
     if (n > 1) mu_inst[1] = linalg::dot(r0, r_prev);
     linalg::copy(r0, r_prev2);
     for (std::size_t k = 2; k < n; ++k) {
-      h_tilde.multiply(r_prev, r_next);
-      linalg::chebyshev_combine(r_next, r_prev2, r_next);
-      mu_inst[k] = linalg::dot(r0, r_next);
+      mu_inst[k] = linalg::spmv_combine_dot(h_tilde, r_prev, r_prev2, r0, r_next);
       std::swap(r_prev2, r_prev);
       std::swap(r_prev, r_next);
     }

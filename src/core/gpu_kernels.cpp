@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "gpusim/view.hpp"
+#include "linalg/vector_ops.hpp"
 #include "rng/distributions.hpp"
 
 namespace kpm::core {
@@ -20,11 +21,9 @@ void instance_recursion(const DeviceMatrixRef& h, std::span<const double> r0, st
                         std::span<double> b, std::span<double> mu_tilde,
                         std::size_t num_moments) {
   const std::size_t d = h.dim;
-  auto dot_r0 = [&](std::span<const double> v) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < d; ++i) acc += r0[i] * v[i];
-    return acc;
-  };
+  // linalg::dot's canonical 4-lane order — keeps this simulated kernel
+  // bit-identical to the (fused) CPU reference engine.
+  auto dot_r0 = [&](std::span<const double> v) { return linalg::dot(r0, v); };
 
   // mu~_0 = <r0|r0>.
   mu_tilde[0] = dot_r0(r0);
@@ -158,10 +157,10 @@ void RecursionBlockPairedKernel::block_phase(int /*phase*/, gpusim::BlockContext
   auto b = work_b_->raw().subspan(inst * d, d);
   auto mu = mu_tilde_->raw().subspan(inst * n, n);
 
+  // Same canonical dot order as the fused CPU paired engine (bitwise tests
+  // compare the two engines moment-by-moment).
   auto dot = [&](std::span<const double> x, std::span<const double> y) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < d; ++i) acc += x[i] * y[i];
-    return acc;
+    return linalg::dot(x, y);
   };
 
   const double mu0 = dot(r0, r0);

@@ -15,6 +15,8 @@ const char* to_string(EngineKind k) noexcept {
       return "cpu-reference";
     case EngineKind::CpuPaired:
       return "cpu-paired";
+    case EngineKind::CpuParallel:
+      return "cpu-parallel";
     case EngineKind::Gpu:
       return "gpu";
     case EngineKind::GpuCluster:
@@ -54,6 +56,11 @@ DosStudy compute_dos_study(const linalg::MatrixOperator& h, const DosStudyOption
     }
     case EngineKind::CpuPaired: {
       CpuPairedMomentEngine engine;
+      study.moments = engine.compute(*op_tilde, options.params, options.sample_instances);
+      break;
+    }
+    case EngineKind::CpuParallel: {
+      CpuParallelMomentEngine engine(options.cpu_threads);
       study.moments = engine.compute(*op_tilde, options.params, options.sample_instances);
       break;
     }

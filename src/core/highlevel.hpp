@@ -21,11 +21,13 @@ namespace kpm::core {
 enum class EngineKind {
   CpuReference,  ///< serial CPU (paper's baseline)
   CpuPaired,     ///< two-moments-per-SpMV CPU
+  CpuParallel,   ///< multithreaded CPU (instances across a thread pool)
   Gpu,           ///< simulated GPU (paper's contribution)
   GpuCluster,    ///< simulated multi-GPU cluster (paper's future work)
 };
 
-/// Returns "cpu-reference", "cpu-paired", "gpu" or "gpu-cluster".
+/// Returns "cpu-reference", "cpu-paired", "cpu-parallel", "gpu" or
+/// "gpu-cluster".
 const char* to_string(EngineKind k) noexcept;
 
 /// Options of a one-call DoS study.
@@ -35,6 +37,7 @@ struct DosStudyOptions {
   EngineKind engine = EngineKind::Gpu;
   GpuEngineConfig gpu{};              ///< used by Gpu / GpuCluster
   std::size_t cluster_devices = 4;    ///< used by GpuCluster
+  int cpu_threads = 4;                ///< used by CpuParallel (>= 1)
   std::size_t sample_instances = 0;   ///< 0 = execute all instances
   double bounds_epsilon = 0.01;       ///< spectral padding
   bool use_lanczos_bounds = false;    ///< tighter bounds via Lanczos instead of Gershgorin

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "linalg/fused_kernels.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace kpm::core {
@@ -22,9 +23,7 @@ void accumulate_recursion_moments(const linalg::MatrixOperator& h, std::span<con
   h.multiply(r0, r_prev);
   mu_acc[1] += linalg::dot(r0, r_prev);
   for (std::size_t k = 2; k < n; ++k) {
-    h.multiply(r_prev, r_next);
-    linalg::chebyshev_combine(r_next, r_prev2, r_next);
-    mu_acc[k] += linalg::dot(r0, r_next);
+    mu_acc[k] += linalg::spmv_combine_dot(h, r_prev, r_prev2, r0, r_next);
     std::swap(r_prev2, r_prev);
     std::swap(r_prev, r_next);
   }

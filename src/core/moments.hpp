@@ -30,6 +30,11 @@ struct MomentResult {
   std::size_t instances_executed = 0;  ///< functionally executed instances
   std::size_t instances_total = 0;     ///< S*R the cost model accounts for
 
+  /// Host threads that executed the functional run (1 for serial engines
+  /// and for the simulated platforms; the parallel CPU engine reports its
+  /// worker count so benches can label measured speedups correctly).
+  int threads_used = 1;
+
   /// Simulated seconds on the modeled platform, extrapolated to
   /// instances_total.  The number every fig* bench reports.
   double model_seconds = 0.0;

@@ -5,57 +5,74 @@
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "cpumodel/roofline.hpp"
+#include "linalg/fused_kernels.hpp"
 #include "linalg/vector_ops.hpp"
 #include "rng/distributions.hpp"
 
 namespace kpm::core {
 namespace {
 
-/// Per-moment-step CPU workload for one instance: SpMV + Chebyshev combine
-/// + dot product.  Reused by both engines' cost accounting.
+/// Per-moment-step CPU workload for one instance with the FUSED recursion
+/// kernel (spmv_combine_dot / spmv_combine_dot2).  The SpMV streams the
+/// matrix plus the x read and the r_next write; the Chebyshev combine rides
+/// the same pass and only adds the r_prev2 read (its hx read/write
+/// disappears into a register), and each fused dot adds one extra operand
+/// stream (r_next never leaves the register).  Flops are unchanged by
+/// fusion.  Reused by all three engines' cost accounting.
 cpumodel::CpuWorkload step_workload(const linalg::MatrixOperator& op, std::size_t dots) {
   const auto d = static_cast<double>(op.dim());
   cpumodel::CpuWorkload w;
   // SpMV: 2 flops per stored entry; streams matrix bytes + x read + y write.
   w.flops = static_cast<double>(op.spmv_flops());
   w.bytes_streamed = static_cast<double>(op.spmv_matrix_bytes()) + 2.0 * d * sizeof(double);
-  // Chebyshev combine next = 2 hx - prev: 2 flops/element, 2 reads 1 write.
+  // Fused combine next = 2 hx - prev2: 2 flops/element, one extra read.
   w.flops += 2.0 * d;
-  w.bytes_streamed += 3.0 * d * sizeof(double);
-  // Dot products: 2 flops/element, 2 reads each.
+  w.bytes_streamed += d * sizeof(double);
+  // Fused dot products: 2 flops/element, one extra operand stream each.
   w.flops += 2.0 * d * static_cast<double>(dots);
-  w.bytes_streamed += 2.0 * d * sizeof(double) * static_cast<double>(dots);
+  w.bytes_streamed += d * sizeof(double) * static_cast<double>(dots);
   // Working set per pass: the matrix plus the four live vectors.
   w.working_set_bytes =
       static_cast<double>(op.spmv_matrix_bytes()) + 4.0 * d * sizeof(double);
   return w;
 }
 
-/// Functional core shared by the serial and parallel CPU engines: runs the
-/// reference recursion for instances [0, executed) accumulating mu~ sums.
+/// Reusable per-thread vectors of one instance's recursion.
+struct RecursionWorkspace {
+  std::vector<double> r0, r_prev2, r_prev, r_next;
+  explicit RecursionWorkspace(std::size_t d) : r0(d), r_prev2(d), r_prev(d), r_next(d) {}
+};
+
+/// Runs instance `inst`'s fused recursion (steps (1), (2), (2.1), (2.2) of
+/// the paper's Fig. 3), adding its mu~ contributions into `mu_acc`.  The
+/// per-instance RNG stream makes the result independent of which thread
+/// executes it.
+void accumulate_instance(const linalg::MatrixOperator& h_tilde, const MomentParams& params,
+                         std::size_t inst, RecursionWorkspace& ws, std::span<double> mu_acc) {
+  const std::size_t n = mu_acc.size();
+  fill_random_vector(params, inst, ws.r0);
+
+  mu_acc[0] += linalg::dot(ws.r0, ws.r0);
+  h_tilde.multiply(ws.r0, ws.r_prev);
+  if (n > 1) mu_acc[1] += linalg::dot(ws.r0, ws.r_prev);
+  linalg::copy(ws.r0, ws.r_prev2);
+
+  for (std::size_t k = 2; k < n; ++k) {
+    mu_acc[k] += linalg::spmv_combine_dot(h_tilde, ws.r_prev, ws.r_prev2, ws.r0, ws.r_next);
+    std::swap(ws.r_prev2, ws.r_prev);
+    std::swap(ws.r_prev, ws.r_next);
+  }
+}
+
+/// Functional core shared by the serial engine and the parallel engine's
+/// single-lane path: instances [0, executed) accumulated in order.
 void run_reference_recursion(const linalg::MatrixOperator& h_tilde, const MomentParams& params,
                              std::size_t executed, std::vector<double>& mu_sum) {
-  const std::size_t d = h_tilde.dim();
-  const std::size_t n = params.num_moments;
-  std::vector<double> r0(d), r_prev2(d), r_prev(d), r_next(d);
-
-  for (std::size_t inst = 0; inst < executed; ++inst) {
-    fill_random_vector(params, inst, r0);
-
-    mu_sum[0] += linalg::dot(r0, r0);
-    h_tilde.multiply(r0, r_prev);
-    if (n > 1) mu_sum[1] += linalg::dot(r0, r_prev);
-    linalg::copy(r0, r_prev2);
-
-    for (std::size_t k = 2; k < n; ++k) {
-      h_tilde.multiply(r_prev, r_next);
-      linalg::chebyshev_combine(r_next, r_prev2, r_next);
-      mu_sum[k] += linalg::dot(r0, r_next);
-      std::swap(r_prev2, r_prev);
-      std::swap(r_prev, r_next);
-    }
-  }
+  RecursionWorkspace ws(h_tilde.dim());
+  for (std::size_t inst = 0; inst < executed; ++inst)
+    accumulate_instance(h_tilde, params, inst, ws, mu_sum);
 }
 
 /// Total reference-engine workload for `total` instances of N moments.
@@ -99,7 +116,6 @@ MomentResult CpuMomentEngine::compute(const linalg::MatrixOperator& h_tilde,
 
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);
-  // Steps (1), (2), (2.1), (2.2) of the paper's Fig. 3 per instance.
   run_reference_recursion(h_tilde, params, executed, mu_sum);
 
   MomentResult result;
@@ -115,8 +131,9 @@ MomentResult CpuMomentEngine::compute(const linalg::MatrixOperator& h_tilde,
   for (std::size_t k = 0; k < n; ++k) result.mu[k] = mu_sum[k] / denom;
 
   // Cost model: see reference_workload() — fill + mu~_0 dot + (N - 1)
-  // steps of SpMV + combine + dot per instance (charging the combine-free
-  // k = 1 step uniformly overstates work by 2D flops out of O(N * nnz)).
+  // steps of fused SpMV + combine + dot per instance (charging the
+  // combine-free k = 1 step uniformly overstates work by 2D flops out of
+  // O(N * nnz)).
   const cpumodel::CpuStats stats =
       cpumodel::model_cpu_time(spec_, reference_workload(h_tilde, n, total));
   result.model_seconds = stats.seconds;
@@ -130,6 +147,8 @@ CpuParallelMomentEngine::CpuParallelMomentEngine(int threads, cpumodel::CpuSpec 
   KPM_REQUIRE(threads >= 1, "CpuParallelMomentEngine: need at least one thread");
 }
 
+CpuParallelMomentEngine::~CpuParallelMomentEngine() = default;
+
 MomentResult CpuParallelMomentEngine::compute(const linalg::MatrixOperator& h_tilde,
                                               const MomentParams& params,
                                               std::size_t sample_instances) {
@@ -141,12 +160,40 @@ MomentResult CpuParallelMomentEngine::compute(const linalg::MatrixOperator& h_ti
 
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);
-  run_reference_recursion(h_tilde, params, executed, mu_sum);
+  const bool serial_path = threads_ == 1 || executed == 1;
+
+  if (serial_path) {
+    // No parallelism to exploit: skip the pool and contribution buffer.
+    run_reference_recursion(h_tilde, params, executed, mu_sum);
+  } else {
+    if (!pool_ || pool_->size() != static_cast<std::size_t>(threads_))
+      pool_ = std::make_unique<common::ThreadPool>(static_cast<std::size_t>(threads_));
+
+    // Each instance writes its own mu~ row; the rows are summed below in
+    // instance order, reproducing the serial engine's left-to-right
+    // accumulation exactly — results are bit-identical for any thread
+    // count (the per-instance RNG streams already make the recursions
+    // themselves order-independent).
+    std::vector<double> contributions(executed * n, 0.0);
+    pool_->parallel_for(executed, [&](std::size_t /*lane*/, std::size_t begin, std::size_t end) {
+      RecursionWorkspace ws(d);
+      const std::span<double> rows(contributions);
+      for (std::size_t inst = begin; inst < end; ++inst)
+        accumulate_instance(h_tilde, params, inst, ws, rows.subspan(inst * n, n));
+    });
+    for (std::size_t inst = 0; inst < executed; ++inst) {
+      const double* row = contributions.data() + inst * n;
+      for (std::size_t k = 0; k < n; ++k) mu_sum[k] += row[k];
+    }
+  }
 
   MomentResult result;
   result.engine = name();
   result.instances_executed = executed;
   result.instances_total = total;
+  // Report what actually executed: the serial fallback ran on one thread no
+  // matter how many were configured.
+  result.threads_used = serial_path ? 1 : threads_;
   result.wall_seconds = wall.seconds();
   result.mu.resize(n);
   const double denom = static_cast<double>(d) * static_cast<double>(executed);
@@ -174,38 +221,35 @@ MomentResult CpuPairedMomentEngine::compute(const linalg::MatrixOperator& h_tild
 
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);
-  std::vector<double> r0(d), r_prev2(d), r_prev(d), r_next(d);
+  RecursionWorkspace ws(d);
 
   // Moments n = 0..N-1 from Chebyshev vectors up to index ceil(N/2):
   // the k-th iteration (k >= 1) yields mu_{2k} and mu_{2k+1}.
   const std::size_t half = (n + 1) / 2;
 
   for (std::size_t inst = 0; inst < executed; ++inst) {
-    fill_random_vector(params, inst, r0);
+    fill_random_vector(params, inst, ws.r0);
 
-    const double mu0 = linalg::dot(r0, r0);
+    const double mu0 = linalg::dot(ws.r0, ws.r0);
     mu_sum[0] += mu0;
-    h_tilde.multiply(r0, r_prev);  // r_1
-    const double mu1 = linalg::dot(r0, r_prev);
+    h_tilde.multiply(ws.r0, ws.r_prev);  // r_1
+    const double mu1 = linalg::dot(ws.r0, ws.r_prev);
     if (n > 1) mu_sum[1] += mu1;
-    linalg::copy(r0, r_prev2);  // r_0
+    linalg::copy(ws.r0, ws.r_prev2);  // r_0
 
     for (std::size_t k = 1; k < half; ++k) {
-      // Here r_prev = r_k, r_prev2 = r_{k-1}.
-      // mu_{2k} = 2 <r_k|r_k> - mu_0.
+      // Here r_prev = r_k, r_prev2 = r_{k-1}.  One fused pass advances
+      // r_{k+1} = 2 H~ r_k - r_{k-1} and yields both dot products:
+      //   mu_{2k}   = 2 <r_k | r_k>     - mu_0
+      //   mu_{2k+1} = 2 <r_{k+1} | r_k> - mu_1.
+      const auto dots = linalg::spmv_combine_dot2(h_tilde, ws.r_prev, ws.r_prev2, ws.r_next);
       const std::size_t even = 2 * k;
-      if (even < n) mu_sum[even] += 2.0 * linalg::dot(r_prev, r_prev) - mu0;
-
-      // Advance: r_{k+1} = 2 H~ r_k - r_{k-1}.
-      h_tilde.multiply(r_prev, r_next);
-      linalg::chebyshev_combine(r_next, r_prev2, r_next);
-
-      // mu_{2k+1} = 2 <r_{k+1}|r_k> - mu_1.
+      if (even < n) mu_sum[even] += 2.0 * dots.prev_prev - mu0;
       const std::size_t odd = 2 * k + 1;
-      if (odd < n) mu_sum[odd] += 2.0 * linalg::dot(r_next, r_prev) - mu1;
+      if (odd < n) mu_sum[odd] += 2.0 * dots.next_prev - mu1;
 
-      std::swap(r_prev2, r_prev);
-      std::swap(r_prev, r_next);
+      std::swap(ws.r_prev2, ws.r_prev);
+      std::swap(ws.r_prev, ws.r_next);
     }
   }
 
@@ -219,7 +263,8 @@ MomentResult CpuPairedMomentEngine::compute(const linalg::MatrixOperator& h_tild
   const double denom = static_cast<double>(d) * static_cast<double>(executed);
   for (std::size_t k = 0; k < n; ++k) result.mu[k] = mu_sum[k] / denom;
 
-  // Cost: fill + mu0/mu1 dots + (half - 1) steps of SpMV + combine + 2 dots.
+  // Cost: fill + mu0/mu1 dots + (half - 1) fused steps of SpMV + combine
+  // + 2 dots.
   const auto dd = static_cast<double>(d);
   cpumodel::CpuWorkload instance_work;
   instance_work.flops = 10.0 * dd + 4.0 * dd;

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "core/moments_cpu.hpp"
+#include "linalg/fused_kernels.hpp"
 #include "rng/distributions.hpp"
 
 namespace kpm::core {
@@ -32,9 +33,9 @@ void hermitian_instance(const linalg::CrsMatrixZ& h, std::span<const Complex> r0
   mu_sum[1] += dot_re(prev);
   prev2.assign(r0.begin(), r0.end());
   for (std::size_t k = 2; k < n; ++k) {
-    h.multiply(prev, next);
-    for (std::size_t i = 0; i < d; ++i) next[i] = 2.0 * next[i] - prev2[i];
-    mu_sum[k] += dot_re(next);
+    // Fused SpMV + combine + Re-dot (one pass; same accumulation order as
+    // the unfused sequence, so results are unchanged bit-for-bit).
+    mu_sum[k] += linalg::spmv_combine_dot_re(h, prev, prev2, r0, next);
     std::swap(prev2, prev);
     std::swap(prev, next);
   }

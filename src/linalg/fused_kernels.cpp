@@ -1,0 +1,166 @@
+#include "linalg/fused_kernels.hpp"
+
+#include "common/error.hpp"
+
+namespace kpm::linalg {
+namespace {
+
+void require_fused_preconditions(std::size_t rows, std::size_t cols,
+                                 std::span<const double> r_prev, std::span<const double> r_prev2,
+                                 std::span<double> r_next) {
+  KPM_REQUIRE(rows == cols, "spmv_combine_dot: matrix must be square");
+  KPM_REQUIRE(r_prev.size() == cols && r_prev2.size() == rows && r_next.size() == rows,
+              "spmv_combine_dot: vector size mismatch");
+  KPM_REQUIRE(r_next.data() != r_prev.data(), "spmv_combine_dot: r_next must not alias r_prev");
+  KPM_REQUIRE(r_next.data() != r_prev2.data(),
+              "spmv_combine_dot: r_next must not alias r_prev2");
+}
+
+}  // namespace
+
+double spmv_combine_dot(const CrsMatrix& a, std::span<const double> r_prev,
+                        std::span<const double> r_prev2, std::span<const double> r0,
+                        std::span<double> r_next) {
+  require_fused_preconditions(a.rows(), a.cols(), r_prev, r_prev2, r_next);
+  KPM_REQUIRE(r0.size() == a.rows(), "spmv_combine_dot: r0 size mismatch");
+  KPM_REQUIRE(r_next.data() != r0.data(), "spmv_combine_dot: r_next must not alias r0");
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  const std::size_t rows = a.rows();
+
+  // Dot lanes follow linalg::dot's canonical order: row r feeds lane r & 3.
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = 0.0;  // same accumulation order as CrsMatrix::multiply
+    for (auto k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      acc += values[kk] * r_prev[static_cast<std::size_t>(col_idx[kk])];
+    }
+    const double next = 2.0 * acc - r_prev2[r];
+    r_next[r] = next;
+    lane[r & 3] += r0[r] * next;
+  }
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double spmv_combine_dot(const DenseMatrix& a, std::span<const double> r_prev,
+                        std::span<const double> r_prev2, std::span<const double> r0,
+                        std::span<double> r_next) {
+  require_fused_preconditions(a.rows(), a.cols(), r_prev, r_prev2, r_next);
+  KPM_REQUIRE(r0.size() == a.rows(), "spmv_combine_dot: r0 size mismatch");
+  KPM_REQUIRE(r_next.data() != r0.data(), "spmv_combine_dot: r_next must not alias r0");
+
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto row = a.row(r);
+    double acc = 0.0;  // same accumulation order as DenseMatrix::multiply
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * r_prev[c];
+    const double next = 2.0 * acc - r_prev2[r];
+    r_next[r] = next;
+    lane[r & 3] += r0[r] * next;
+  }
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double spmv_combine_dot(const MatrixOperator& op, std::span<const double> r_prev,
+                        std::span<const double> r_prev2, std::span<const double> r0,
+                        std::span<double> r_next) {
+  if (op.dense() != nullptr) return spmv_combine_dot(*op.dense(), r_prev, r_prev2, r0, r_next);
+  return spmv_combine_dot(*op.crs(), r_prev, r_prev2, r0, r_next);
+}
+
+PairedDots spmv_combine_dot2(const CrsMatrix& a, std::span<const double> r_prev,
+                             std::span<const double> r_prev2, std::span<double> r_next) {
+  require_fused_preconditions(a.rows(), a.cols(), r_prev, r_prev2, r_next);
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  const std::size_t rows = a.rows();
+
+  double lane_np[4] = {0.0, 0.0, 0.0, 0.0};
+  double lane_pp[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (auto k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      acc += values[kk] * r_prev[static_cast<std::size_t>(col_idx[kk])];
+    }
+    const double next = 2.0 * acc - r_prev2[r];
+    const double prev = r_prev[r];
+    r_next[r] = next;
+    lane_np[r & 3] += next * prev;
+    lane_pp[r & 3] += prev * prev;
+  }
+  PairedDots dots;
+  dots.next_prev = (lane_np[0] + lane_np[1]) + (lane_np[2] + lane_np[3]);
+  dots.prev_prev = (lane_pp[0] + lane_pp[1]) + (lane_pp[2] + lane_pp[3]);
+  return dots;
+}
+
+PairedDots spmv_combine_dot2(const DenseMatrix& a, std::span<const double> r_prev,
+                             std::span<const double> r_prev2, std::span<double> r_next) {
+  require_fused_preconditions(a.rows(), a.cols(), r_prev, r_prev2, r_next);
+
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  double lane_np[4] = {0.0, 0.0, 0.0, 0.0};
+  double lane_pp[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto row = a.row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * r_prev[c];
+    const double next = 2.0 * acc - r_prev2[r];
+    const double prev = r_prev[r];
+    r_next[r] = next;
+    lane_np[r & 3] += next * prev;
+    lane_pp[r & 3] += prev * prev;
+  }
+  PairedDots dots;
+  dots.next_prev = (lane_np[0] + lane_np[1]) + (lane_np[2] + lane_np[3]);
+  dots.prev_prev = (lane_pp[0] + lane_pp[1]) + (lane_pp[2] + lane_pp[3]);
+  return dots;
+}
+
+PairedDots spmv_combine_dot2(const MatrixOperator& op, std::span<const double> r_prev,
+                             std::span<const double> r_prev2, std::span<double> r_next) {
+  if (op.dense() != nullptr) return spmv_combine_dot2(*op.dense(), r_prev, r_prev2, r_next);
+  return spmv_combine_dot2(*op.crs(), r_prev, r_prev2, r_next);
+}
+
+double spmv_combine_dot_re(const CrsMatrixZ& a, std::span<const std::complex<double>> r_prev,
+                           std::span<const std::complex<double>> r_prev2,
+                           std::span<const std::complex<double>> r0,
+                           std::span<std::complex<double>> r_next) {
+  KPM_REQUIRE(a.rows() == a.cols(), "spmv_combine_dot_re: matrix must be square");
+  KPM_REQUIRE(r_prev.size() == a.cols() && r_prev2.size() == a.rows() &&
+                  r0.size() == a.rows() && r_next.size() == a.rows(),
+              "spmv_combine_dot_re: vector size mismatch");
+  KPM_REQUIRE(r_next.data() != r_prev.data() && r_next.data() != r_prev2.data() &&
+                  r_next.data() != r0.data(),
+              "spmv_combine_dot_re: r_next must not alias an input");
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  const std::size_t rows = a.rows();
+
+  double dot_re = 0.0;  // single-lane left fold, matching the pre-fusion path
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::complex<double> acc{0.0, 0.0};  // same order as CrsMatrixZ::multiply
+    for (auto k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      acc += values[kk] * r_prev[static_cast<std::size_t>(col_idx[kk])];
+    }
+    const std::complex<double> next = 2.0 * acc - r_prev2[r];
+    r_next[r] = next;
+    dot_re += (std::conj(r0[r]) * next).real();
+  }
+  return dot_re;
+}
+
+}  // namespace kpm::linalg

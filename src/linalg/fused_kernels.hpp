@@ -1,0 +1,76 @@
+// Fused KPM recursion kernels: SpMV + Chebyshev combine + dot in one pass.
+//
+// The unfused recursion step
+//     hx     = H~ * r_prev            (multiply: streams matrix, x, y)
+//     r_next = 2 * hx - r_prev2       (chebyshev_combine: 2 reads, 1 write)
+//     mu~_n  = <r0 | r_next>          (dot: 2 reads)
+// touches the vectors three times.  Fusing keeps the row result in a
+// register: per row the SpMV accumulator becomes r_next[r] directly and the
+// dot contribution is added on the spot, so the combine's hx read/write and
+// the dot's r_next re-read disappear.  Per step the vector traffic drops
+// from 7 D doubles to 4 D (matrix traffic is unchanged) — the kernel-fusion
+// lever of Kreutzer et al. (arXiv:1410.5242) applied to the host engines.
+//
+// Bit-compatibility contract: the fused kernels produce results that are
+// bit-identical to the unfused multiply + chebyshev_combine + dot sequence.
+// The per-row SpMV accumulation order matches CrsMatrix/DenseMatrix
+// ::multiply exactly, and the dot accumulation uses linalg::dot's canonical
+// 4-lane order (row r feeds lane r mod 4; total = (l0 + l1) + (l2 + l3)).
+#pragma once
+
+#include <complex>
+#include <span>
+
+#include "linalg/crs_matrix.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/hermitian_matrix.hpp"
+#include "linalg/operator.hpp"
+
+namespace kpm::linalg {
+
+/// r_next = 2 * A * r_prev - r_prev2; returns <r0 | r_next>.
+/// Preconditions: all spans have length A.rows() == A.cols(); r_next must
+/// not alias r_prev, r_prev2 or r0 (the SpMV gathers r_prev while r_next is
+/// written, and the dot reads r0 against freshly written rows).
+[[nodiscard]] double spmv_combine_dot(const CrsMatrix& a, std::span<const double> r_prev,
+                                      std::span<const double> r_prev2, std::span<const double> r0,
+                                      std::span<double> r_next);
+[[nodiscard]] double spmv_combine_dot(const DenseMatrix& a, std::span<const double> r_prev,
+                                      std::span<const double> r_prev2, std::span<const double> r0,
+                                      std::span<double> r_next);
+/// Storage-dispatching overload for engine code.
+[[nodiscard]] double spmv_combine_dot(const MatrixOperator& op, std::span<const double> r_prev,
+                                      std::span<const double> r_prev2, std::span<const double> r0,
+                                      std::span<double> r_next);
+
+/// Both dot products the paired-moment recursion needs from one pass.
+struct PairedDots {
+  double next_prev = 0.0;  ///< <r_next | r_prev>  (feeds mu~_{2k+1})
+  double prev_prev = 0.0;  ///< <r_prev | r_prev>  (feeds mu~_{2k})
+};
+
+/// r_next = 2 * A * r_prev - r_prev2; returns <r_next|r_prev> and
+/// <r_prev|r_prev> computed in the same pass.  Same alias preconditions as
+/// spmv_combine_dot.
+[[nodiscard]] PairedDots spmv_combine_dot2(const CrsMatrix& a, std::span<const double> r_prev,
+                                           std::span<const double> r_prev2,
+                                           std::span<double> r_next);
+[[nodiscard]] PairedDots spmv_combine_dot2(const DenseMatrix& a, std::span<const double> r_prev,
+                                           std::span<const double> r_prev2,
+                                           std::span<double> r_next);
+[[nodiscard]] PairedDots spmv_combine_dot2(const MatrixOperator& op,
+                                           std::span<const double> r_prev,
+                                           std::span<const double> r_prev2,
+                                           std::span<double> r_next);
+
+/// Complex-Hermitian variant: r_next = 2 * A * r_prev - r_prev2; returns
+/// Re<r0 | r_next> = sum_r Re(conj(r0[r]) * r_next[r]).  Accumulates the
+/// dot left-to-right (single lane), matching the pre-fusion Hermitian
+/// moment path bit-for-bit.  Same alias preconditions as spmv_combine_dot.
+[[nodiscard]] double spmv_combine_dot_re(const CrsMatrixZ& a,
+                                         std::span<const std::complex<double>> r_prev,
+                                         std::span<const std::complex<double>> r_prev2,
+                                         std::span<const std::complex<double>> r0,
+                                         std::span<std::complex<double>> r_next);
+
+}  // namespace kpm::linalg

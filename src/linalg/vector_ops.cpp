@@ -30,21 +30,36 @@ void copy(std::span<const double> x, std::span<double> out) {
 
 double dot(std::span<const double> x, std::span<const double> y) {
   KPM_REQUIRE(x.size() == y.size(), "dot: size mismatch");
-  double acc = 0.0;
+  KPM_REQUIRE(!x.empty(), "dot: empty span");
+  // Canonical 4-lane order (see header): element i feeds lane i mod 4.  Four
+  // independent dependency chains let the FPU overlap the adds; the fused
+  // kernels replicate this order row-by-row so fused == unfused bitwise.
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
   const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
-  return acc;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 += x[i] * y[i];
+    a1 += x[i + 1] * y[i + 1];
+    a2 += x[i + 2] * y[i + 2];
+    a3 += x[i + 3] * y[i + 3];
+  }
+  if (i < n) a0 += x[i] * y[i];
+  if (i + 1 < n) a1 += x[i + 1] * y[i + 1];
+  if (i + 2 < n) a2 += x[i + 2] * y[i + 2];
+  return (a0 + a1) + (a2 + a3);
 }
 
 double nrm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
 
 double asum_signed(std::span<const double> x) {
+  KPM_REQUIRE(!x.empty(), "asum_signed: empty span");
   double acc = 0.0;
   for (double v : x) acc += v;
   return acc;
 }
 
 double amax(std::span<const double> x) {
+  KPM_REQUIRE(!x.empty(), "amax: empty span");
   double m = 0.0;
   for (double v : x) m = std::max(m, std::abs(v));
   return m;

@@ -21,17 +21,23 @@ void scale(double alpha, std::span<double> x);
 /// out[i] = x[i]  (sizes must match)
 void copy(std::span<const double> x, std::span<double> out);
 
-/// Returns sum_i x[i] * y[i].
+/// Returns sum_i x[i] * y[i] with the library's canonical summation order:
+/// four independent accumulator lanes for instruction-level parallelism,
+/// where element i feeds lane (i mod 4) and the final total is
+/// (lane0 + lane1) + (lane2 + lane3).  Every dot product in the library —
+/// including the fused recursion kernels and the simulated GPU kernels —
+/// uses this exact order so engines stay bit-identical to each other.
+/// Requires non-empty spans of equal length.
 [[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
 
 /// Returns the Euclidean norm sqrt(sum x_i^2) without intermediate overflow
-/// for the magnitudes used here.
+/// for the magnitudes used here.  Requires a non-empty span.
 [[nodiscard]] double nrm2(std::span<const double> x);
 
-/// Returns sum_i x[i].
+/// Returns sum_i x[i].  Requires a non-empty span.
 [[nodiscard]] double asum_signed(std::span<const double> x);
 
-/// Returns max_i |x[i]| (0 for an empty span).
+/// Returns max_i |x[i]|.  Requires a non-empty span.
 [[nodiscard]] double amax(std::span<const double> x);
 
 /// Chebyshev recursion update specialized for KPM (Eq. 18 of the paper):

@@ -1,10 +1,14 @@
-// Unit tests for CrsMatrix and TripletBuilder.
+// Unit tests for CrsMatrix, TripletBuilder and the fused recursion kernels
+// on the CRS path.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "common/error.hpp"
 #include "linalg/crs_matrix.hpp"
+#include "linalg/fused_kernels.hpp"
+#include "linalg/vector_ops.hpp"
 
 namespace {
 
@@ -137,6 +141,79 @@ TEST(CrsMatrix, MultiplyRejectsAliasing) {
   const auto m = small_example();
   std::vector<double> x{1, 2, 3};
   EXPECT_THROW(m.multiply(x, x), kpm::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Fused recursion kernels, CRS path.
+
+/// Deterministic awkward values so accumulation-order changes show up bitwise.
+double wiggle(std::size_t i) {
+  return std::sin(static_cast<double>(i) * 2.414213562373095 + 0.5) * 1.25;
+}
+
+/// Sparse square matrix with irregular row lengths (some rows empty).
+CrsMatrix sparse_example(std::size_t d) {
+  TripletBuilder b(d, d);
+  for (std::size_t r = 0; r < d; ++r) {
+    if (r % 5 == 4) continue;  // leave some rows entirely empty
+    b.add(r, r, wiggle(r + 1));
+    b.add(r, (r * 3 + 1) % d, wiggle(2 * r + 3));
+    if (r % 2 == 0) b.add(r, (r + 7) % d, wiggle(4 * r + 1));
+  }
+  return b.build();
+}
+
+TEST(CrsFusedKernels, SpmvCombineDotMatchesUnfusedBitwise) {
+  for (std::size_t d : {1u, 4u, 11u, 64u}) {
+    const auto a = sparse_example(d);
+    std::vector<double> r_prev(d), r_prev2(d), r0(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      r_prev[i] = wiggle(i + 2);
+      r_prev2[i] = wiggle(3 * i + 5);
+      r0[i] = wiggle(7 * i + 1);
+    }
+    std::vector<double> hx(d), expected_next(d);
+    a.multiply(r_prev, hx);
+    kpm::linalg::chebyshev_combine(hx, r_prev2, expected_next);
+    const double expected_mu = kpm::linalg::dot(r0, expected_next);
+
+    std::vector<double> r_next(d);
+    const double mu = kpm::linalg::spmv_combine_dot(a, r_prev, r_prev2, r0, r_next);
+    EXPECT_EQ(mu, expected_mu) << "d=" << d;  // bitwise equality required
+    for (std::size_t i = 0; i < d; ++i) EXPECT_EQ(r_next[i], expected_next[i]);
+  }
+}
+
+TEST(CrsFusedKernels, SpmvCombineDot2MatchesUnfusedBitwise) {
+  const std::size_t d = 17;
+  const auto a = sparse_example(d);
+  std::vector<double> r_prev(d), r_prev2(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    r_prev[i] = wiggle(5 * i + 2);
+    r_prev2[i] = wiggle(11 * i + 3);
+  }
+  std::vector<double> hx(d), expected_next(d);
+  a.multiply(r_prev, hx);
+  kpm::linalg::chebyshev_combine(hx, r_prev2, expected_next);
+  const double expected_np = kpm::linalg::dot(expected_next, r_prev);
+  const double expected_pp = kpm::linalg::dot(r_prev, r_prev);
+
+  std::vector<double> r_next(d);
+  const auto dots = kpm::linalg::spmv_combine_dot2(a, r_prev, r_prev2, r_next);
+  EXPECT_EQ(dots.next_prev, expected_np);
+  EXPECT_EQ(dots.prev_prev, expected_pp);
+  for (std::size_t i = 0; i < d; ++i) EXPECT_EQ(r_next[i], expected_next[i]);
+}
+
+TEST(CrsFusedKernels, RejectsAliasedOutputAndMismatchedSizes) {
+  const auto a = sparse_example(6);
+  std::vector<double> r_prev(6, 1.0), r_prev2(6, 1.0), r0(6, 1.0), out(6);
+  EXPECT_THROW((void)kpm::linalg::spmv_combine_dot(a, r_prev, r_prev2, r0, r_prev), kpm::Error);
+  EXPECT_THROW((void)kpm::linalg::spmv_combine_dot(a, r_prev, r_prev2, r0, r_prev2), kpm::Error);
+  EXPECT_THROW((void)kpm::linalg::spmv_combine_dot2(a, r_prev, r_prev2, r_prev), kpm::Error);
+  std::vector<double> bad(5, 1.0);
+  EXPECT_THROW((void)kpm::linalg::spmv_combine_dot(a, bad, r_prev2, r0, out), kpm::Error);
+  EXPECT_THROW((void)kpm::linalg::spmv_combine_dot2(a, r_prev, bad, out), kpm::Error);
 }
 
 }  // namespace

@@ -51,13 +51,29 @@ TEST_P(EngineSweep, FacadeMatchesManualPipeline) {
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, EngineSweep,
                          ::testing::Values(EngineKind::CpuReference, EngineKind::CpuPaired,
-                                           EngineKind::Gpu, EngineKind::GpuCluster),
+                                           EngineKind::CpuParallel, EngineKind::Gpu,
+                                           EngineKind::GpuCluster),
                          [](const auto& info) {
                            std::string name = to_string(info.param);
                            for (auto& c : name)
                              if (c == '-') c = '_';
                            return name;
                          });
+
+TEST(Highlevel, CpuParallelEngineMatchesReferenceBitwise) {
+  const auto lat = lattice::HypercubicLattice::cubic(3, 3, 3);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  auto o = small_options(EngineKind::CpuReference);
+  const auto ref = compute_dos_study(op, o);
+  o.engine = EngineKind::CpuParallel;
+  o.cpu_threads = 3;
+  const auto par = compute_dos_study(op, o);
+  ASSERT_EQ(ref.moments.mu.size(), par.moments.mu.size());
+  for (std::size_t n = 0; n < ref.moments.mu.size(); ++n)
+    EXPECT_EQ(ref.moments.mu[n], par.moments.mu[n]);
+  EXPECT_EQ(par.moments.threads_used, 3);
+}
 
 TEST(Highlevel, DenseStorageWorks) {
   const auto h = lattice::random_symmetric_dense(24, 5);

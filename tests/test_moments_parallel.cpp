@@ -1,4 +1,6 @@
-// Tests for the multicore-modeled CPU engine and its roofline behaviour.
+// Tests for the multithreaded CPU engine: bit-identity of the real parallel
+// execution against the serial reference, honest thread reporting, and the
+// multicore roofline-model behaviour.
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
@@ -37,13 +39,58 @@ MomentParams p_small() {
 }
 
 TEST(ParallelCpu, FunctionalResultsMatchSerialBitwise) {
+  // The contract: the parallel engine's moments are byte-identical to the
+  // serial reference for ANY thread count.  Each instance accumulates into
+  // a private row and rows are reduced in instance order, so the FP
+  // reduction tree is fixed no matter how instances land on threads.
+  // 1 = degenerate serial path, 2 = even split, 7 = uneven chunks with
+  // more threads than the container may have cores.
   Fixture f;
   linalg::MatrixOperator op(f.h_tilde_sparse);
   CpuMomentEngine serial;
-  CpuParallelMomentEngine quad(4);
   const auto a = serial.compute(op, p_small());
-  const auto b = quad.compute(op, p_small());
+  for (int threads : {1, 2, 4, 7}) {
+    CpuParallelMomentEngine par(threads);
+    const auto b = par.compute(op, p_small());
+    ASSERT_EQ(a.mu.size(), b.mu.size());
+    for (std::size_t n = 0; n < a.mu.size(); ++n)
+      EXPECT_EQ(a.mu[n], b.mu[n]) << "threads=" << threads << " n=" << n;
+  }
+}
+
+TEST(ParallelCpu, DenseWorkloadMatchesSerialBitwise) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_dense);
+  MomentParams p = p_small();
+  p.num_moments = 8;
+  p.random_vectors = 3;  // 3*2 = 6 instances over 7 threads: some lanes idle
+  const auto a = CpuMomentEngine().compute(op, p);
+  const auto b = CpuParallelMomentEngine(7).compute(op, p);
   for (std::size_t n = 0; n < a.mu.size(); ++n) EXPECT_EQ(a.mu[n], b.mu[n]);
+}
+
+TEST(ParallelCpu, ReportsThreadsUsed) {
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_sparse);
+  EXPECT_EQ(CpuMomentEngine().compute(op, p_small(), 1).threads_used, 1);
+  EXPECT_EQ(CpuParallelMomentEngine(1).compute(op, p_small(), 1).threads_used, 1);
+  EXPECT_EQ(CpuParallelMomentEngine(3).compute(op, p_small()).threads_used, 3);
+  // A single-instance run cannot use more than one thread; the report must
+  // say what actually happened, not what was configured.
+  MomentParams p1 = p_small();
+  p1.random_vectors = 1;
+  p1.realizations = 1;
+  EXPECT_EQ(CpuParallelMomentEngine(4).compute(op, p1).threads_used, 1);
+}
+
+TEST(ParallelCpu, EngineIsReusableAcrossComputes) {
+  // The pool is created lazily and kept across compute() calls.
+  Fixture f;
+  linalg::MatrixOperator op(f.h_tilde_sparse);
+  CpuParallelMomentEngine par(3);
+  const auto first = par.compute(op, p_small());
+  const auto second = par.compute(op, p_small());
+  for (std::size_t n = 0; n < first.mu.size(); ++n) EXPECT_EQ(first.mu[n], second.mu[n]);
 }
 
 TEST(ParallelCpu, OneThreadEqualsSerialModel) {

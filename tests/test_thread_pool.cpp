@@ -1,0 +1,150 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace {
+
+using kpm::common::ThreadPool;
+
+TEST(ThreadPool, RequiresAtLeastOneLane) {
+  EXPECT_THROW(ThreadPool(0), kpm::Error);
+}
+
+TEST(ThreadPool, SizeCountsCallerAsLaneZero) {
+  ThreadPool one(1);
+  EXPECT_EQ(one.size(), 1u);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4u);
+}
+
+TEST(ThreadPool, RunInvokesEveryLaneExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](std::size_t lane) { hits[lane].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsOnCallingThread) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.run([&](std::size_t lane) {
+    EXPECT_EQ(lane, 0u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.run([&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 50 * 3);
+}
+
+TEST(ThreadPool, PropagatesExceptionFromWorkerLane) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run([](std::size_t lane) {
+        if (lane == 3) throw std::runtime_error("lane 3 failed");
+      }),
+      std::runtime_error);
+  // The pool must stay usable after a throwing dispatch.
+  std::atomic<int> total{0};
+  pool.run([&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 4);
+}
+
+TEST(ThreadPool, PropagatesExceptionFromCallerLane) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run([](std::size_t lane) {
+        if (lane == 0) throw std::logic_error("lane 0 failed");
+      }),
+      std::logic_error);
+}
+
+TEST(ThreadPool, ChunkRangeCoversRangeWithoutOverlap) {
+  for (std::size_t count : {0u, 1u, 5u, 7u, 16u, 100u}) {
+    for (std::size_t chunks : {1u, 2u, 3u, 7u, 11u}) {
+      std::size_t expected_begin = 0;
+      std::size_t covered = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const auto [begin, end] = ThreadPool::chunk_range(count, chunks, c);
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LE(begin, end);
+        // Near-equal split: sizes differ by at most one element.
+        const std::size_t size = end - begin;
+        EXPECT_LE(size, count / chunks + 1);
+        covered += size;
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, count);
+      EXPECT_EQ(covered, count);
+    }
+  }
+  EXPECT_THROW((void)ThreadPool::chunk_range(10, 4, 4), kpm::Error);
+  EXPECT_THROW((void)ThreadPool::chunk_range(10, 0, 0), kpm::Error);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(7);
+  const std::size_t count = 23;  // not divisible by 7: exercises remainder chunks
+  std::vector<std::atomic<int>> visits(count);
+  pool.parallel_for(count, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSkipsEmptyChunks) {
+  // More lanes than work: lanes with empty chunks must not invoke the body.
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  std::set<std::size_t> indices;
+  std::mutex m;
+  pool.parallel_for(3, [&](std::size_t, std::size_t begin, std::size_t end) {
+    ASSERT_LT(begin, end);
+    calls.fetch_add(1);
+    std::lock_guard<std::mutex> lock(m);
+    for (std::size_t i = begin; i < end; ++i) indices.insert(i);
+  });
+  EXPECT_LE(calls.load(), 3);
+  EXPECT_EQ(indices, (std::set<std::size_t>{0, 1, 2}));
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForPartitionIsDeterministic) {
+  // Same (count, lanes) must give every lane the same chunk on every
+  // dispatch — the property the moment engine's bit-identity rests on.
+  ThreadPool pool(5);
+  std::vector<std::pair<std::size_t, std::size_t>> first(5, {0, 0});
+  std::mutex m;
+  pool.parallel_for(17, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+    std::lock_guard<std::mutex> lock(m);
+    first[lane] = {begin, end};
+  });
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(17, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+      std::lock_guard<std::mutex> lock(m);
+      EXPECT_EQ(first[lane], (std::pair<std::size_t, std::size_t>{begin, end}));
+    });
+  }
+}
+
+}  // namespace

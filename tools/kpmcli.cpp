@@ -11,6 +11,7 @@
 // Lattices: chain, square, cubic, honeycomb; optional Anderson disorder.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -65,8 +66,17 @@ Workload build_workload(const std::string& kind, std::size_t edge, double disord
   return w;
 }
 
+/// Builds the moment engine the dos subcommand asked for.
+std::unique_ptr<core::MomentEngine> make_engine(const std::string& name, int threads) {
+  if (name == "gpu") return std::make_unique<core::GpuMomentEngine>();
+  if (name == "cpu") return std::make_unique<core::CpuMomentEngine>();
+  if (name == "cpu-paired") return std::make_unique<core::CpuPairedMomentEngine>();
+  if (name == "cpu-parallel") return std::make_unique<core::CpuParallelMomentEngine>(threads);
+  KPM_FAIL("unknown engine '" + name + "' (gpu|cpu|cpu-paired|cpu-parallel)");
+}
+
 int cmd_dos(int argc, const char* const* argv) {
-  CliParser cli("kpmcli dos", "density of states via stochastic KPM on the simulated GPU");
+  CliParser cli("kpmcli dos", "density of states via stochastic KPM");
   const auto* kind = cli.add_string("lattice", "cubic", "chain|square|cubic|honeycomb");
   const auto* edge = cli.add_int("edge", 10, "lattice edge / cell count");
   const auto* n = cli.add_int("moments", 256, "Chebyshev moments N");
@@ -75,6 +85,8 @@ int cmd_dos(int argc, const char* const* argv) {
   const auto* disorder = cli.add_double("disorder", 0.0, "Anderson disorder width");
   const auto* seed = cli.add_int("seed", 42, "disorder seed");
   const auto* points = cli.add_int("points", 41, "output energies");
+  const auto* engine_name = cli.add_string("engine", "gpu", "gpu|cpu|cpu-paired|cpu-parallel");
+  const auto* threads = cli.add_int("threads", 4, "host threads for --engine=cpu-parallel");
   const auto* csv = cli.add_string("csv", "", "optional CSV output path");
   const auto* save = cli.add_string("save-moments", "",
                                     "store the moment set for later `kpmcli reconstruct`");
@@ -87,8 +99,8 @@ int cmd_dos(int argc, const char* const* argv) {
   params.num_moments = static_cast<std::size_t>(*n);
   params.random_vectors = static_cast<std::size_t>(*r);
   params.realizations = static_cast<std::size_t>(*s);
-  core::GpuMomentEngine engine;
-  const auto result = engine.compute(op, params);
+  const auto engine = make_engine(*engine_name, static_cast<int>(*threads));
+  const auto result = engine->compute(op, params);
   if (!save->empty()) {
     core::MomentFile file;
     file.mu = result.mu;
@@ -102,9 +114,11 @@ int cmd_dos(int argc, const char* const* argv) {
   const auto curve = core::reconstruct_dos(result.mu, w.transform,
                                            {.points = static_cast<std::size_t>(*points)});
 
-  std::printf("%s, D=%zu — N=%zu, %zu instances, simulated GPU %.3f s\n\n",
-              w.description.c_str(), w.dim, params.num_moments, params.instances(),
-              result.model_seconds);
+  std::printf(
+      "%s, D=%zu — N=%zu, %zu instances, engine %s (%d thread%s): model %.3f s, host %.3f s\n\n",
+      w.description.c_str(), w.dim, params.num_moments, params.instances(),
+      result.engine.c_str(), result.threads_used, result.threads_used == 1 ? "" : "s",
+      result.model_seconds, result.wall_seconds);
   Table table({"E", "rho(E)"});
   for (std::size_t j = 0; j < curve.energy.size(); ++j)
     table.add_row({strprintf("%.4f", curve.energy[j]), strprintf("%.6f", curve.density[j])});
