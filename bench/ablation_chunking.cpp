@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
   const auto* csv = cli.add_string("csv", "ablation_chunking.csv", "CSV output path");
   cli.parse(argc, argv);
 
+  bench::BenchMetrics metrics("ablation_chunking");
+
   const auto lat = lattice::HypercubicLattice::cubic(static_cast<std::size_t>(*edge),
                                                      static_cast<std::size_t>(*edge),
                                                      static_cast<std::size_t>(*edge));

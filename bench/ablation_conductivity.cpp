@@ -9,7 +9,7 @@
 
 #include "bench_common.hpp"
 #include "common/cli.hpp"
-#include "common/stopwatch.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace kpm;
@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   const auto* r = cli.add_int("R", 8, "random vectors");
   const auto* csv = cli.add_string("csv", "ablation_conductivity.csv", "CSV output path");
   cli.parse(argc, argv);
+
+  bench::BenchMetrics metrics("ablation_conductivity");
 
   const auto l = static_cast<std::size_t>(*edge);
   const auto lat = lattice::HypercubicLattice::square(l, l);
@@ -41,12 +43,12 @@ int main(int argc, char** argv) {
   core::CpuMomentEngine dos_engine;
   for (std::size_t n = 8; n <= 64; n *= 2) {
     params.num_moments = n;
-    Stopwatch t_dos;
-    (void)dos_engine.compute(op, params);
-    const double dos_s = t_dos.seconds();
-    Stopwatch t_sigma;
-    const auto m = core::conductivity_moments(op, op_a, params);
-    const double sigma_s = t_sigma.seconds();
+    const double dos_s =
+        obs::timed("dos.N" + std::to_string(n), [&] { (void)dos_engine.compute(op, params); });
+    core::ConductivityMoments m;
+    const double sigma_s = obs::timed("sigma.N" + std::to_string(n), [&] {
+      m = core::conductivity_moments(op, op_a, params);
+    });
     const auto curve = core::reconstruct_conductivity(m, transform, {.points = 64});
     table.add_row({std::to_string(n), strprintf("%.3f", dos_s), strprintf("%.3f", sigma_s),
                    strprintf("%.1fx", sigma_s / std::max(dos_s, 1e-9)),

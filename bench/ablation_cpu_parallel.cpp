@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
   const auto* workload = cli.add_string("workload", "both", "both|sparse|dense");
   const auto* csv = cli.add_string("csv", "ablation_cpu_parallel.csv", "CSV output path");
   cli.parse(argc, argv);
+
+  bench::BenchMetrics metrics("ablation_cpu_parallel");
   KPM_REQUIRE(*max_threads >= 1, "ablation_cpu_parallel: --threads must be >= 1");
   KPM_REQUIRE(*workload == "both" || *workload == "sparse" || *workload == "dense",
               "ablation_cpu_parallel: --workload must be both|sparse|dense");

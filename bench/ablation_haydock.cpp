@@ -13,9 +13,9 @@
 
 #include "bench_common.hpp"
 #include "common/cli.hpp"
-#include "common/stopwatch.hpp"
 #include "diag/haydock.hpp"
 #include "diag/jacobi.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace kpm;
@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
   const auto* eta = cli.add_double("eta", 0.2, "broadening");
   const auto* csv = cli.add_string("csv", "ablation_haydock.csv", "CSV output path");
   cli.parse(argc, argv);
+
+  bench::BenchMetrics metrics("ablation_haydock");
 
   const auto l = static_cast<std::size_t>(*edge);
   const auto lat = lattice::HypercubicLattice::square(l, l);
@@ -62,17 +64,19 @@ int main(int argc, char** argv) {
               lat.describe().c_str(), s, *eta);
   Table table({"SpMVs", "KPM L2 err", "Haydock L2 err", "KPM host s", "Haydock host s"});
   for (std::size_t budget = 16; budget <= 256; budget *= 2) {
-    Stopwatch t_kpm;
-    const auto mu = core::ldos_moments(op_t, s, budget);
-    core::ReconstructOptions ropts;
-    ropts.kernel = core::DampingKernel::Lorentz;
-    ropts.lorentz_lambda = *eta * static_cast<double>(budget) / transform.half_width();
-    const auto kpm_curve = core::reconstruct_dos_at(mu, transform, energies, ropts);
-    const double kpm_s = t_kpm.seconds();
+    core::DosCurve kpm_curve;
+    const double kpm_s = obs::timed("kpm.budget" + std::to_string(budget), [&] {
+      const auto mu = core::ldos_moments(op_t, s, budget);
+      core::ReconstructOptions ropts;
+      ropts.kernel = core::DampingKernel::Lorentz;
+      ropts.lorentz_lambda = *eta * static_cast<double>(budget) / transform.half_width();
+      kpm_curve = core::reconstruct_dos_at(mu, transform, energies, ropts);
+    });
 
-    Stopwatch t_hay;
-    const auto hay = diag::haydock_ldos(op, s, energies, {.steps = budget, .eta = *eta});
-    const double hay_s = t_hay.seconds();
+    std::vector<double> hay;
+    const double hay_s = obs::timed("haydock.budget" + std::to_string(budget), [&] {
+      hay = diag::haydock_ldos(op, s, energies, {.steps = budget, .eta = *eta});
+    });
 
     table.add_row({std::to_string(budget), strprintf("%.5f", l2_error(kpm_curve.density)),
                    strprintf("%.5f", l2_error(hay)), strprintf("%.4f", kpm_s),

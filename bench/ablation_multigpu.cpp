@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
   const auto* csv = cli.add_string("csv", "ablation_multigpu.csv", "CSV output path");
   cli.parse(argc, argv);
 
+  bench::BenchMetrics metrics("ablation_multigpu");
+
   const auto lat = lattice::HypercubicLattice::cubic(10, 10, 10);
   const auto h = lattice::build_tight_binding_crs(lat);
   linalg::MatrixOperator raw(h);

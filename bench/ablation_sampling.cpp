@@ -10,7 +10,7 @@
 
 #include "bench_common.hpp"
 #include "common/cli.hpp"
-#include "common/stopwatch.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace kpm;
@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   const auto* n = cli.add_int("N", 256, "number of moments");
   const auto* csv = cli.add_string("csv", "ablation_sampling.csv", "CSV output path");
   cli.parse(argc, argv);
+
+  bench::BenchMetrics metrics("ablation_sampling");
 
   const auto lat = lattice::HypercubicLattice::cubic(10, 10, 10);
   const auto h = lattice::build_tight_binding_crs(lat);
@@ -46,9 +48,9 @@ int main(int argc, char** argv) {
   Table table({"K", "max DoS err", "expected 1/sqrt(KD)", "host s", "model GPU s"});
   core::GpuMomentEngine engine;
   for (std::size_t k : {2u, 8u, 32u, 128u, 512u}) {
-    Stopwatch wall;
-    const auto result = engine.compute(op, params, k);
-    const double host_s = wall.seconds();
+    core::MomentResult result;
+    const double host_s =
+        obs::timed("sample.K" + std::to_string(k), [&] { result = engine.compute(op, params, k); });
     const auto curve = core::reconstruct_dos_fft(result.mu, transform, ropts);
     double err = 0.0;
     for (std::size_t j = 0; j < curve.density.size(); ++j)

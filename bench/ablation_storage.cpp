@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   const auto* csv = cli.add_string("csv", "ablation_storage.csv", "CSV output path");
   cli.parse(argc, argv);
 
+  bench::BenchMetrics metrics("ablation_storage");
+
   const auto lat = lattice::HypercubicLattice::cubic(
       static_cast<std::size_t>(*l), static_cast<std::size_t>(*l), static_cast<std::size_t>(*l));
   const auto h = lattice::build_tight_binding_crs(lat);

@@ -14,13 +14,33 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/kpm.hpp"
+#include "obs/report.hpp"
 
 namespace kpm::bench {
+
+/// Routes everything the bench computes into an obs report.  Declare one at
+/// the top of main(); while it is in scope, `finish` (below) writes the
+/// collected spans + counters as a `<csv>.metrics.json` sidecar.
+class BenchMetrics {
+ public:
+  explicit BenchMetrics(std::string label) {
+    report_.label = std::move(label);
+    collect_.emplace(report_);
+  }
+
+  [[nodiscard]] obs::Report& report() { return report_; }
+
+ private:
+  obs::Report report_;
+  std::optional<obs::Collect> collect_;
+};
 
 /// One CPU-vs-GPU comparison outcome.
 struct Comparison {
@@ -53,11 +73,17 @@ inline void print_banner(const std::string& title, const std::string& workload,
               sample == 0 ? p.instances() : std::min(sample, p.instances()), p.instances());
 }
 
-/// Writes the CSV and tells the user where it went.
+/// Writes the CSV (plus a metrics sidecar when a BenchMetrics is active)
+/// and tells the user where everything went.
 inline void finish(const Table& table, const std::string& csv_name) {
   std::printf("%s\n", table.to_text().c_str());
   table.write_csv(csv_name);
   std::printf("series written to %s\n", csv_name.c_str());
+  if (const auto* report = obs::active_report()) {
+    const std::string sidecar = csv_name + ".metrics.json";
+    obs::write_json(*report, sidecar);
+    std::printf("metrics sidecar written to %s\n", sidecar.c_str());
+  }
 }
 
 }  // namespace kpm::bench

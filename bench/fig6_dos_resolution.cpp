@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
   const auto* csv = cli.add_string("csv", "fig6_dos_resolution.csv", "CSV output path");
   cli.parse(argc, argv);
 
+  bench::BenchMetrics metrics("fig6_dos_resolution");
+
   const auto lat = lattice::HypercubicLattice::cubic(
       static_cast<std::size_t>(*l), static_cast<std::size_t>(*l), static_cast<std::size_t>(*l));
   const auto h = lattice::build_tight_binding_crs(lat);

@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   const auto* csv = cli.add_string("csv", "fig7_scaling_n.csv", "CSV output path");
   cli.parse(argc, argv);
 
+  bench::BenchMetrics metrics("fig7_scaling_n");
+
   const auto h = lattice::random_symmetric_dense(static_cast<std::size_t>(*d), 0x51CAu);
   linalg::MatrixOperator raw(h);
   const auto transform = linalg::make_spectral_transform(raw);

@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   const auto* csv = cli.add_string("csv", "fig8_scaling_hsize.csv", "CSV output path");
   cli.parse(argc, argv);
 
+  bench::BenchMetrics metrics("fig8_scaling_hsize");
+
   core::MomentParams params;
   params.num_moments = static_cast<std::size_t>(*n);
   params.random_vectors = static_cast<std::size_t>(*r);

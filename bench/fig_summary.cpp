@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   CliParser cli("fig_summary", "one-screen digest of the four figure reproductions");
   const auto* sample = cli.add_int("sample", 4, "instances executed functionally per point");
   cli.parse(argc, argv);
+
+  bench::BenchMetrics metrics("fig_summary");
   const auto k = static_cast<std::size_t>(*sample);
 
   core::MomentParams params;

@@ -8,6 +8,8 @@
 #include "core/chebyshev.hpp"
 #include "core/moments_cpu.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace kpm::core {
 
@@ -21,6 +23,9 @@ ConductivityMoments conductivity_moments(const linalg::MatrixOperator& h_tilde,
   const std::size_t n = params.num_moments;
   const std::size_t total = params.instances();
   const std::size_t executed = resolve_sample_count(sample_instances, total);
+
+  obs::ScopedSpan span("conductivity.moments");
+  obs::add(obs::Counter::MomentsProduced, static_cast<double>(n) * static_cast<double>(n));
 
   ConductivityMoments result;
   result.num_moments = n;
@@ -39,16 +44,36 @@ ConductivityMoments conductivity_moments(const linalg::MatrixOperator& h_tilde,
 
   auto beta_row = [&](std::size_t m) { return std::span<double>(beta).subspan(m * d, d); };
 
+  const double dd = static_cast<double>(d);
+  const auto meter_h_spmv = [&] {
+    obs::meter_spmv(h_tilde.spmv_flops(), h_tilde.spmv_matrix_bytes(), d);
+  };
+  const auto meter_a_spmv = [&] {
+    obs::meter_spmv(a_current.spmv_flops(), a_current.spmv_matrix_bytes(), d);
+  };
+  const auto meter_combine = [&] {
+    obs::add(obs::Counter::Flops, 2.0 * dd);
+    obs::add(obs::Counter::BytesStreamed, 3.0 * dd * sizeof(double));
+  };
+
   for (std::size_t inst = 0; inst < executed; ++inst) {
+    obs::add(obs::Counter::InstancesExecuted, 1.0);
     fill_random_vector(params, inst, r0);
     a_current.multiply(r0, phi);
+    meter_a_spmv();
 
     // beta_0..beta_{N-1} by the standard recursion from |phi>.
     linalg::copy(phi, beta_row(0));
-    if (n > 1) h_tilde.multiply(beta_row(0), beta_row(1));
+    obs::meter_stream_bytes(2.0 * dd * sizeof(double));
+    if (n > 1) {
+      h_tilde.multiply(beta_row(0), beta_row(1));
+      meter_h_spmv();
+    }
     for (std::size_t m = 2; m < n; ++m) {
       h_tilde.multiply(beta_row(m - 1), beta_row(m));
+      meter_h_spmv();
       linalg::chebyshev_combine(beta_row(m), beta_row(m - 2), beta_row(m));
+      meter_combine();
     }
 
     // Stream psi_n, accumulating one row of mu per step.
@@ -57,6 +82,7 @@ ConductivityMoments conductivity_moments(const linalg::MatrixOperator& h_tilde,
     // +(A psi_n) . beta_m / D.
     auto accumulate_row = [&](std::size_t row, std::span<const double> psi) {
       a_current.multiply(psi, w);  // w = A psi
+      meter_a_spmv();
       double* mu_row = result.mu.data() + row * n;
       for (std::size_t m = 0; m < n; ++m) {
         const auto b = beta_row(m);
@@ -64,17 +90,25 @@ ConductivityMoments conductivity_moments(const linalg::MatrixOperator& h_tilde,
         for (std::size_t i = 0; i < d; ++i) acc += w[i] * b[i];
         mu_row[m] += acc;
       }
+      // One row of mu: N dot products against the stored beta block.
+      obs::add(obs::Counter::DotCalls, static_cast<double>(n));
+      obs::add(obs::Counter::Flops, 2.0 * dd * static_cast<double>(n));
+      obs::add(obs::Counter::BytesStreamed, 2.0 * dd * sizeof(double) * static_cast<double>(n));
     };
 
     linalg::copy(r0, psi_prev2);
+    obs::meter_stream_bytes(2.0 * dd * sizeof(double));
     accumulate_row(0, psi_prev2);
     if (n > 1) {
       h_tilde.multiply(psi_prev2, psi_prev);
+      meter_h_spmv();
       accumulate_row(1, psi_prev);
     }
     for (std::size_t k = 2; k < n; ++k) {
       h_tilde.multiply(psi_prev, psi_next);
+      meter_h_spmv();
       linalg::chebyshev_combine(psi_next, psi_prev2, psi_next);
+      meter_combine();
       accumulate_row(k, psi_next);
       std::swap(psi_prev2, psi_prev);
       std::swap(psi_prev, psi_next);
@@ -97,6 +131,14 @@ ConductivityCurve reconstruct_conductivity(const ConductivityMoments& moments,
   KPM_REQUIRE(options.points >= 2, "reconstruct_conductivity: need at least two points");
   KPM_REQUIRE(options.edge_clip > 0.0 && options.edge_clip < 1.0,
               "reconstruct_conductivity: edge_clip must be in (0, 1)");
+
+  obs::ScopedSpan span("reconstruct.conductivity");
+  obs::add(obs::Counter::ReconstructPoints, static_cast<double>(options.points));
+  // Per point: N-term Chebyshev evaluation plus the N x N bilinear form.
+  obs::add(obs::Counter::Flops,
+           static_cast<double>(options.points) *
+               (4.0 * static_cast<double>(n) +
+                2.0 * static_cast<double>(n) * static_cast<double>(n)));
 
   const auto g = damping_coefficients(options.kernel, n, options.lorentz_lambda);
 

@@ -9,6 +9,9 @@
 #include "core/gpu_kernels.hpp"
 #include "core/moments_cpu.hpp"
 #include "gpusim/view.hpp"
+#include "obs/counters.hpp"
+#include "obs/gpusim_bridge.hpp"
+#include "obs/trace.hpp"
 
 namespace kpm::core {
 namespace {
@@ -55,6 +58,12 @@ class ConductivityBlockKernel final : public gpusim::Kernel {
     // w reuses phi's slot after phi has been folded into beta_0.
 
     auto beta_row = [&](std::size_t m) { return beta.subspan(m * d, d); };
+
+    // Functional-work counters, matching the CPU conductivity path:
+    // 1 phi + (n-1) beta + (n-1) psi + n w multiplies, n^2 dots.
+    obs::add(obs::Counter::InstancesExecuted, 1.0);
+    obs::add(obs::Counter::SpmvCalls, 3.0 * static_cast<double>(n) - 1.0);
+    obs::add(obs::Counter::DotCalls, static_cast<double>(n) * static_cast<double>(n));
 
     // phi = A r0; beta recursion.
     a_.multiply(r0, phi);
@@ -206,6 +215,8 @@ ConductivityMoments GpuConductivityEngine::compute(const linalg::MatrixOperator&
   const std::size_t executed = resolve_sample_count(sample_instances, total);
   const double cost_scale = static_cast<double>(total) / static_cast<double>(executed);
 
+  obs::ScopedSpan span("conductivity.moments.gpu");
+  obs::add(obs::Counter::MomentsProduced, static_cast<double>(n) * static_cast<double>(n));
   gpusim::Device device(config_.device);
   DeviceMatrix h_dev(device, h_tilde);
   DeviceMatrix a_dev(device, a_current);
@@ -241,6 +252,7 @@ ConductivityMoments GpuConductivityEngine::compute(const linalg::MatrixOperator&
   }
   device.copy_to_host<double>(mu_dev, result.mu, "mu matrix download");
 
+  obs::record_device(device, "conductivity-gpu");
   last_summary_ = device.summarize_timeline();
   last_model_seconds_ = config_.context_setup_seconds + last_summary_.total_seconds;
   return result;

@@ -5,6 +5,7 @@
 
 #include "gpusim/view.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/counters.hpp"
 #include "rng/distributions.hpp"
 
 namespace kpm::core {
@@ -21,6 +22,13 @@ void instance_recursion(const DeviceMatrixRef& h, std::span<const double> r0, st
                         std::span<double> b, std::span<double> mu_tilde,
                         std::size_t num_moments) {
   const std::size_t d = h.dim;
+  // Functional-work counters (instances, SpMVs, dots) match the serial CPU
+  // reference exactly; modeled GPU flop/byte totals stay in the gpu_*
+  // counters via the gpusim timeline bridge.
+  obs::add(obs::Counter::InstancesExecuted, 1.0);
+  obs::add(obs::Counter::SpmvCalls,
+           num_moments >= 2 ? static_cast<double>(num_moments - 1) : 0.0);
+  obs::add(obs::Counter::DotCalls, static_cast<double>(num_moments));
   // linalg::dot's canonical 4-lane order — keeps this simulated kernel
   // bit-identical to the (fused) CPU reference engine.
   auto dot_r0 = [&](std::span<const double> v) { return linalg::dot(r0, v); };
@@ -80,6 +88,7 @@ void FillRandomKernel::block_phase(int /*phase*/, gpusim::BlockContext& block) {
   // Threads stride the vector elements (coalesced layout within the
   // instance's slice); counter-based RNG makes the result order-free.
   auto out = r0.bulk_store(base, dim_);
+  obs::add(obs::Counter::RngElements, static_cast<double>(dim_));
   const std::uint64_t stream = inst + stream_offset_;
   for (std::size_t i = 0; i < dim_; ++i)
     out[i] = rng::draw_random_element(params_->vector_kind, params_->seed, stream, i);
@@ -156,6 +165,11 @@ void RecursionBlockPairedKernel::block_phase(int /*phase*/, gpusim::BlockContext
   auto a = work_a_->raw().subspan(inst * d, d);
   auto b = work_b_->raw().subspan(inst * d, d);
   auto mu = mu_tilde_->raw().subspan(inst * n, n);
+
+  // r_1 plus (half - 1) recursion steps — same SpMV count as the fused CPU
+  // paired engine.
+  obs::add(obs::Counter::InstancesExecuted, 1.0);
+  obs::add(obs::Counter::SpmvCalls, static_cast<double>(half));
 
   // Same canonical dot order as the fused CPU paired engine (bitwise tests
   // compare the two engines moment-by-moment).

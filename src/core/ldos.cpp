@@ -5,23 +5,31 @@
 #include "common/error.hpp"
 #include "linalg/fused_kernels.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace kpm::core {
 namespace {
 
 /// One Chebyshev recursion from start vector `r0`, accumulating
-/// mu_n += <r0|r_n> into `mu_acc`.
+/// mu_n += <r0|r_n> into `mu_acc`.  Counted as one instance: a unit start
+/// vector plays the role a random vector plays in the stochastic engines.
 void accumulate_recursion_moments(const linalg::MatrixOperator& h, std::span<const double> r0,
                                   std::span<double> mu_acc) {
   const std::size_t d = h.dim();
   const std::size_t n = mu_acc.size();
   std::vector<double> r_prev2(r0.begin(), r0.end());
   std::vector<double> r_prev(d), r_next(d);
+  obs::add(obs::Counter::InstancesExecuted, 1.0);
+  obs::meter_stream_bytes(2.0 * static_cast<double>(d) * sizeof(double));  // r_prev2 copy
 
   mu_acc[0] += linalg::dot(r0, r0);
+  obs::meter_dot(d);
   if (n == 1) return;
   h.multiply(r0, r_prev);
+  obs::meter_spmv(h.spmv_flops(), h.spmv_matrix_bytes(), d);
   mu_acc[1] += linalg::dot(r0, r_prev);
+  obs::meter_dot(d);
   for (std::size_t k = 2; k < n; ++k) {
     mu_acc[k] += linalg::spmv_combine_dot(h, r_prev, r_prev2, r0, r_next);
     std::swap(r_prev2, r_prev);
@@ -35,6 +43,8 @@ std::vector<double> ldos_moments(const linalg::MatrixOperator& h_tilde, std::siz
                                  std::size_t num_moments) {
   KPM_REQUIRE(site < h_tilde.dim(), "ldos_moments: site out of range");
   KPM_REQUIRE(num_moments >= 1, "ldos_moments: need at least one moment");
+  obs::ScopedSpan span("ldos.moments");
+  obs::add(obs::Counter::MomentsProduced, static_cast<double>(num_moments));
   std::vector<double> e(h_tilde.dim(), 0.0);
   e[site] = 1.0;
   std::vector<double> mu(num_moments, 0.0);
@@ -52,6 +62,8 @@ DosCurve ldos_curve(const linalg::MatrixOperator& h_tilde,
 std::vector<double> deterministic_trace_moments(const linalg::MatrixOperator& h_tilde,
                                                 std::size_t num_moments) {
   KPM_REQUIRE(num_moments >= 1, "deterministic_trace_moments: need at least one moment");
+  obs::ScopedSpan span("ldos.deterministic-trace");
+  obs::add(obs::Counter::MomentsProduced, static_cast<double>(num_moments));
   const std::size_t d = h_tilde.dim();
   std::vector<double> e(d, 0.0);
   std::vector<double> mu(num_moments, 0.0);

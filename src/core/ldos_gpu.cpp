@@ -7,6 +7,9 @@
 #include "core/device_matrix.hpp"
 #include "core/gpu_kernels.hpp"
 #include "gpusim/view.hpp"
+#include "obs/counters.hpp"
+#include "obs/gpusim_bridge.hpp"
+#include "obs/trace.hpp"
 
 namespace kpm::core {
 namespace {
@@ -52,6 +55,9 @@ LdosMoments GpuLdosEngine::compute(const linalg::MatrixOperator& h_tilde,
   for (std::size_t s : sites) KPM_REQUIRE(s < d, "GpuLdosEngine: site out of range");
   const std::size_t count = sites.size();
 
+  obs::ScopedSpan span("ldos.gpu");
+  obs::add(obs::Counter::MomentsProduced,
+           static_cast<double>(count) * static_cast<double>(num_moments));
   gpusim::Device device(config_.device);
   DeviceMatrix h_dev(device, h_tilde);
   auto r0 = device.alloc<double>(count * d, "basis vectors");
@@ -81,6 +87,7 @@ LdosMoments GpuLdosEngine::compute(const linalg::MatrixOperator& h_tilde,
   result.num_moments = num_moments;
   result.mu.resize(count * num_moments);
   device.copy_to_host<double>(mu_dev, result.mu, "ldos moments download");
+  obs::record_device(device, "ldos-gpu");
   last_model_seconds_ = config_.context_setup_seconds + device.summarize_timeline().total_seconds;
   return result;
 }

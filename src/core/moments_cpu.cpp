@@ -9,35 +9,12 @@
 #include "cpumodel/roofline.hpp"
 #include "linalg/fused_kernels.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/parallel.hpp"
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 
 namespace kpm::core {
 namespace {
-
-/// Per-moment-step CPU workload for one instance with the FUSED recursion
-/// kernel (spmv_combine_dot / spmv_combine_dot2).  The SpMV streams the
-/// matrix plus the x read and the r_next write; the Chebyshev combine rides
-/// the same pass and only adds the r_prev2 read (its hx read/write
-/// disappears into a register), and each fused dot adds one extra operand
-/// stream (r_next never leaves the register).  Flops are unchanged by
-/// fusion.  Reused by all three engines' cost accounting.
-cpumodel::CpuWorkload step_workload(const linalg::MatrixOperator& op, std::size_t dots) {
-  const auto d = static_cast<double>(op.dim());
-  cpumodel::CpuWorkload w;
-  // SpMV: 2 flops per stored entry; streams matrix bytes + x read + y write.
-  w.flops = static_cast<double>(op.spmv_flops());
-  w.bytes_streamed = static_cast<double>(op.spmv_matrix_bytes()) + 2.0 * d * sizeof(double);
-  // Fused combine next = 2 hx - prev2: 2 flops/element, one extra read.
-  w.flops += 2.0 * d;
-  w.bytes_streamed += d * sizeof(double);
-  // Fused dot products: 2 flops/element, one extra operand stream each.
-  w.flops += 2.0 * d * static_cast<double>(dots);
-  w.bytes_streamed += d * sizeof(double) * static_cast<double>(dots);
-  // Working set per pass: the matrix plus the four live vectors.
-  w.working_set_bytes =
-      static_cast<double>(op.spmv_matrix_bytes()) + 4.0 * d * sizeof(double);
-  return w;
-}
 
 /// Reusable per-thread vectors of one instance's recursion.
 struct RecursionWorkspace {
@@ -52,12 +29,20 @@ struct RecursionWorkspace {
 void accumulate_instance(const linalg::MatrixOperator& h_tilde, const MomentParams& params,
                          std::size_t inst, RecursionWorkspace& ws, std::span<double> mu_acc) {
   const std::size_t n = mu_acc.size();
+  const std::size_t d = ws.r0.size();
+  obs::add(obs::Counter::InstancesExecuted, 1.0);
   fill_random_vector(params, inst, ws.r0);
 
   mu_acc[0] += linalg::dot(ws.r0, ws.r0);
+  obs::meter_dot(d);
   h_tilde.multiply(ws.r0, ws.r_prev);
-  if (n > 1) mu_acc[1] += linalg::dot(ws.r0, ws.r_prev);
+  obs::meter_spmv(h_tilde.spmv_flops(), h_tilde.spmv_matrix_bytes(), d);
+  if (n > 1) {
+    mu_acc[1] += linalg::dot(ws.r0, ws.r_prev);
+    obs::meter_dot(d);
+  }
   linalg::copy(ws.r0, ws.r_prev2);
+  obs::meter_stream_bytes(2.0 * static_cast<double>(d) * sizeof(double));
 
   for (std::size_t k = 2; k < n; ++k) {
     mu_acc[k] += linalg::spmv_combine_dot(h_tilde, ws.r_prev, ws.r_prev2, ws.r0, ws.r_next);
@@ -79,7 +64,7 @@ void run_reference_recursion(const linalg::MatrixOperator& h_tilde, const Moment
 cpumodel::CpuWorkload reference_workload(const linalg::MatrixOperator& op, std::size_t n,
                                          std::size_t total) {
   const auto dd = static_cast<double>(op.dim());
-  const cpumodel::CpuWorkload per_step = step_workload(op, /*dots=*/1);
+  const cpumodel::CpuWorkload per_step = fused_step_workload(op, /*dots=*/1);
   cpumodel::CpuWorkload instance_work;
   instance_work.flops = 10.0 * dd + 2.0 * dd;
   instance_work.bytes_streamed = 2.0 * dd * sizeof(double);
@@ -91,9 +76,35 @@ cpumodel::CpuWorkload reference_workload(const linalg::MatrixOperator& op, std::
 
 }  // namespace
 
+// Definition of the per-step workload model declared in moments_cpu.hpp.
+// The SpMV streams the matrix plus the x read and the r_next write; the
+// Chebyshev combine rides the same pass and only adds the r_prev2 read (its
+// hx read/write disappears into a register), and each fused dot adds one
+// extra operand stream (r_next never leaves the register).  Flops are
+// unchanged by fusion.  Reused by all three engines' cost accounting, and
+// mirrored by the fused kernels' obs meters.
+cpumodel::CpuWorkload fused_step_workload(const linalg::MatrixOperator& op, std::size_t dots) {
+  const auto d = static_cast<double>(op.dim());
+  cpumodel::CpuWorkload w;
+  // SpMV: 2 flops per stored entry; streams matrix bytes + x read + y write.
+  w.flops = static_cast<double>(op.spmv_flops());
+  w.bytes_streamed = static_cast<double>(op.spmv_matrix_bytes()) + 2.0 * d * sizeof(double);
+  // Fused combine next = 2 hx - prev2: 2 flops/element, one extra read.
+  w.flops += 2.0 * d;
+  w.bytes_streamed += d * sizeof(double);
+  // Fused dot products: 2 flops/element, one extra operand stream each.
+  w.flops += 2.0 * d * static_cast<double>(dots);
+  w.bytes_streamed += d * sizeof(double) * static_cast<double>(dots);
+  // Working set per pass: the matrix plus the four live vectors.
+  w.working_set_bytes =
+      static_cast<double>(op.spmv_matrix_bytes()) + 4.0 * d * sizeof(double);
+  return w;
+}
+
 void fill_random_vector(const MomentParams& params, std::uint64_t stream, std::span<double> r0) {
   for (std::size_t i = 0; i < r0.size(); ++i)
     r0[i] = rng::draw_random_element(params.vector_kind, params.seed, stream, i);
+  obs::add(obs::Counter::RngElements, static_cast<double>(r0.size()));
 }
 
 std::size_t resolve_sample_count(std::size_t sample, std::size_t total) {
@@ -114,6 +125,8 @@ MomentResult CpuMomentEngine::compute(const linalg::MatrixOperator& h_tilde,
   const std::size_t total = params.instances();
   const std::size_t executed = resolve_sample_count(sample_instances, total);
 
+  obs::ScopedSpan span("moments." + name());
+  obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);
   run_reference_recursion(h_tilde, params, executed, mu_sum);
@@ -158,6 +171,8 @@ MomentResult CpuParallelMomentEngine::compute(const linalg::MatrixOperator& h_ti
   const std::size_t total = params.instances();
   const std::size_t executed = resolve_sample_count(sample_instances, total);
 
+  obs::ScopedSpan span("moments." + name());
+  obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);
   const bool serial_path = threads_ == 1 || executed == 1;
@@ -174,13 +189,18 @@ MomentResult CpuParallelMomentEngine::compute(const linalg::MatrixOperator& h_ti
     // accumulation exactly — results are bit-identical for any thread
     // count (the per-instance RNG streams already make the recursions
     // themselves order-independent).
+    // obs::sharded_parallel_for gives every lane a private counter shard and
+    // reduces them in lane order afterwards, so counter totals (exact
+    // integers) are bit-identical for any thread count — the same property
+    // the instance-ordered moment summation below gives the mu values.
     std::vector<double> contributions(executed * n, 0.0);
-    pool_->parallel_for(executed, [&](std::size_t /*lane*/, std::size_t begin, std::size_t end) {
-      RecursionWorkspace ws(d);
-      const std::span<double> rows(contributions);
-      for (std::size_t inst = begin; inst < end; ++inst)
-        accumulate_instance(h_tilde, params, inst, ws, rows.subspan(inst * n, n));
-    });
+    obs::sharded_parallel_for(
+        *pool_, executed, [&](std::size_t /*lane*/, std::size_t begin, std::size_t end) {
+          RecursionWorkspace ws(d);
+          const std::span<double> rows(contributions);
+          for (std::size_t inst = begin; inst < end; ++inst)
+            accumulate_instance(h_tilde, params, inst, ws, rows.subspan(inst * n, n));
+        });
     for (std::size_t inst = 0; inst < executed; ++inst) {
       const double* row = contributions.data() + inst * n;
       for (std::size_t k = 0; k < n; ++k) mu_sum[k] += row[k];
@@ -219,6 +239,8 @@ MomentResult CpuPairedMomentEngine::compute(const linalg::MatrixOperator& h_tild
   const std::size_t total = params.instances();
   const std::size_t executed = resolve_sample_count(sample_instances, total);
 
+  obs::ScopedSpan span("moments." + name());
+  obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);
   RecursionWorkspace ws(d);
@@ -228,14 +250,19 @@ MomentResult CpuPairedMomentEngine::compute(const linalg::MatrixOperator& h_tild
   const std::size_t half = (n + 1) / 2;
 
   for (std::size_t inst = 0; inst < executed; ++inst) {
+    obs::add(obs::Counter::InstancesExecuted, 1.0);
     fill_random_vector(params, inst, ws.r0);
 
     const double mu0 = linalg::dot(ws.r0, ws.r0);
+    obs::meter_dot(d);
     mu_sum[0] += mu0;
     h_tilde.multiply(ws.r0, ws.r_prev);  // r_1
+    obs::meter_spmv(h_tilde.spmv_flops(), h_tilde.spmv_matrix_bytes(), d);
     const double mu1 = linalg::dot(ws.r0, ws.r_prev);
+    obs::meter_dot(d);
     if (n > 1) mu_sum[1] += mu1;
     linalg::copy(ws.r0, ws.r_prev2);  // r_0
+    obs::meter_stream_bytes(2.0 * static_cast<double>(d) * sizeof(double));
 
     for (std::size_t k = 1; k < half; ++k) {
       // Here r_prev = r_k, r_prev2 = r_{k-1}.  One fused pass advances
@@ -269,7 +296,7 @@ MomentResult CpuPairedMomentEngine::compute(const linalg::MatrixOperator& h_tild
   cpumodel::CpuWorkload instance_work;
   instance_work.flops = 10.0 * dd + 4.0 * dd;
   instance_work.bytes_streamed = 3.0 * dd * sizeof(double);
-  const cpumodel::CpuWorkload per_step = step_workload(h_tilde, /*dots=*/2);
+  const cpumodel::CpuWorkload per_step = fused_step_workload(h_tilde, /*dots=*/2);
   instance_work.working_set_bytes = per_step.working_set_bytes;
   for (std::size_t k = 1; k < half; ++k) instance_work += per_step;
   instance_work.scale(static_cast<double>(total));

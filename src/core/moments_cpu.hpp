@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "cpumodel/cpu_spec.hpp"
+#include "cpumodel/roofline.hpp"
 #include "core/moments.hpp"
 
 namespace kpm::common {
@@ -100,5 +101,14 @@ void fill_random_vector(const MomentParams& params, std::uint64_t stream, std::s
 /// Resolves the sampling request: returns min(sample == 0 ? total : sample,
 /// total) and requires total > 0.
 [[nodiscard]] std::size_t resolve_sample_count(std::size_t sample, std::size_t total);
+
+/// Roofline workload of ONE fused recursion step (SpMV + Chebyshev combine
+/// + `dots` fused dot products) — the 4D-doubles/step vector-traffic model
+/// the engines charge per step.  The fused kernels record exactly this
+/// flop/byte model into the obs counters, so measured `fused_bytes` can be
+/// cross-checked against `fused_calls * fused_step_workload(...).bytes_streamed`
+/// (see tests/test_golden_metrics.cpp).
+[[nodiscard]] cpumodel::CpuWorkload fused_step_workload(const linalg::MatrixOperator& op,
+                                                        std::size_t dots);
 
 }  // namespace kpm::core

@@ -7,6 +7,8 @@
 #include "common/stopwatch.hpp"
 #include "cpumodel/roofline.hpp"
 #include "core/moments_cpu.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 
 namespace kpm::core {
@@ -62,24 +64,54 @@ MomentResult CpuMomentEngineF32::compute(const linalg::MatrixOperator& h_tilde,
   const std::size_t total = params.instances();
   const std::size_t executed = resolve_sample_count(sample_instances, total);
 
+  obs::ScopedSpan span("moments." + name());
+  obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);  // cross-instance reduction in double
   std::vector<float> r0(d), r_prev2(d), r_prev(d), r_next(d);
 
+  // Per-call obs meters in binary32: 4-byte vector elements, half the
+  // matrix traffic of the double engines, identical flop counts.
+  const double dd_obs = static_cast<double>(d);
+  const double matrix_bytes_f32 = static_cast<double>(h_tilde.spmv_matrix_bytes()) / 2.0;
+  const double spmv_flops = static_cast<double>(h_tilde.spmv_flops());
+  const auto meter_dot32 = [&] {
+    obs::add(obs::Counter::DotCalls, 1.0);
+    obs::add(obs::Counter::Flops, 2.0 * dd_obs);
+    obs::add(obs::Counter::BytesStreamed, 2.0 * dd_obs * sizeof(float));
+  };
+  const auto meter_spmv32 = [&] {
+    obs::add(obs::Counter::SpmvCalls, 1.0);
+    obs::add(obs::Counter::Flops, spmv_flops);
+    obs::add(obs::Counter::BytesStreamed, matrix_bytes_f32 + 2.0 * dd_obs * sizeof(float));
+  };
+
   for (std::size_t inst = 0; inst < executed; ++inst) {
+    obs::add(obs::Counter::InstancesExecuted, 1.0);
+    obs::add(obs::Counter::RngElements, dd_obs);
     for (std::size_t i = 0; i < d; ++i)
       r0[i] = static_cast<float>(
           rng::draw_random_element(params.vector_kind, params.seed, inst, i));
 
     mu_sum[0] += static_cast<double>(dot_f32(r0, r0));
+    meter_dot32();
     spmv_f32(h_tilde, r0, r_prev);
-    if (n > 1) mu_sum[1] += static_cast<double>(dot_f32(r0, r_prev));
+    meter_spmv32();
+    if (n > 1) {
+      mu_sum[1] += static_cast<double>(dot_f32(r0, r_prev));
+      meter_dot32();
+    }
     r_prev2 = r0;
+    obs::add(obs::Counter::BytesStreamed, 2.0 * dd_obs * sizeof(float));
 
     for (std::size_t k = 2; k < n; ++k) {
       spmv_f32(h_tilde, r_prev, r_next);
+      meter_spmv32();
       for (std::size_t i = 0; i < d; ++i) r_next[i] = 2.0f * r_next[i] - r_prev2[i];
+      obs::add(obs::Counter::Flops, 2.0 * dd_obs);
+      obs::add(obs::Counter::BytesStreamed, 3.0 * dd_obs * sizeof(float));
       mu_sum[k] += static_cast<double>(dot_f32(r0, r_next));
+      meter_dot32();
       std::swap(r_prev2, r_prev);
       std::swap(r_prev, r_next);
     }

@@ -6,6 +6,9 @@
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "core/moments_cpu.hpp"
+#include "obs/counters.hpp"
+#include "obs/gpusim_bridge.hpp"
+#include "obs/trace.hpp"
 
 namespace kpm::core {
 
@@ -34,6 +37,8 @@ MomentResult GpuMomentEngine::compute(const linalg::MatrixOperator& h_tilde,
   const std::size_t executed = resolve_sample_count(sample_instances, total);
   const double cost_scale = static_cast<double>(total) / static_cast<double>(executed);
 
+  obs::ScopedSpan span("moments." + name());
+  obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   gpusim::Device device(config_.device);
 
@@ -104,6 +109,7 @@ MomentResult GpuMomentEngine::compute(const linalg::MatrixOperator& h_tilde,
   result.instances_total = total;
   result.wall_seconds = wall.seconds();
 
+  obs::record_device(device, name());
   last_summary_ = device.summarize_timeline();
   result.model_seconds = config_.context_setup_seconds + last_summary_.total_seconds;
   result.compute_seconds = last_summary_.kernel_seconds;

@@ -9,6 +9,9 @@
 #include "core/gpu_kernels.hpp"
 #include "core/moments_cpu.hpp"
 #include "gpusim/view.hpp"
+#include "obs/counters.hpp"
+#include "obs/gpusim_bridge.hpp"
+#include "obs/trace.hpp"
 
 namespace kpm::core {
 namespace {
@@ -80,6 +83,8 @@ MomentResult ChunkedGpuMomentEngine::compute(const linalg::MatrixOperator& h_til
   const std::size_t executed = resolve_sample_count(sample_instances, total);
   const double cost_scale = static_cast<double>(total) / static_cast<double>(executed);
 
+  obs::ScopedSpan span("moments." + name());
+  obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   gpusim::Device device(config_.base.device);
 
@@ -175,6 +180,7 @@ MomentResult ChunkedGpuMomentEngine::compute(const linalg::MatrixOperator& h_til
   result.instances_executed = executed;
   result.instances_total = total;
   result.wall_seconds = wall.seconds();
+  obs::record_device(device, name());
   const auto summary = device.summarize_timeline();
   result.model_seconds = config_.base.context_setup_seconds + summary.critical_path_seconds;
   result.compute_seconds = summary.kernel_seconds;

@@ -7,6 +7,8 @@
 #include "common/stopwatch.hpp"
 #include "core/moments_cpu.hpp"
 #include "linalg/fused_kernels.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 
 namespace kpm::core {
@@ -27,11 +29,30 @@ void hermitian_instance(const linalg::CrsMatrixZ& h, std::span<const Complex> r0
     return acc;
   };
 
+  // Instance + non-fused-call meters (the fused complex kernel below meters
+  // itself); complex elements are 16 bytes, complex SpMV is 8 flops/entry.
+  obs::add(obs::Counter::InstancesExecuted, 1.0);
+  const double dd = static_cast<double>(d);
+  const auto meter_dot_re = [&] {
+    obs::add(obs::Counter::DotCalls, 1.0);
+    obs::add(obs::Counter::Flops, 4.0 * dd);
+    obs::add(obs::Counter::BytesStreamed, 2.0 * dd * sizeof(Complex));
+  };
+
   mu_sum[0] += dot_re(r0);
+  meter_dot_re();
   if (n == 1) return;
   h.multiply(r0, prev);
+  obs::add(obs::Counter::SpmvCalls, 1.0);
+  obs::add(obs::Counter::Flops, 8.0 * static_cast<double>(h.nnz()));
+  obs::add(obs::Counter::BytesStreamed,
+           static_cast<double>(h.nnz() * (sizeof(Complex) + sizeof(linalg::CrsMatrixZ::Index)) +
+                               (h.rows() + 1) * sizeof(linalg::CrsMatrixZ::Index)) +
+               2.0 * dd * sizeof(Complex));
   mu_sum[1] += dot_re(prev);
+  meter_dot_re();
   prev2.assign(r0.begin(), r0.end());
+  obs::meter_stream_bytes(2.0 * dd * sizeof(Complex));
   for (std::size_t k = 2; k < n; ++k) {
     // Fused SpMV + combine + Re-dot (one pass; same accumulation order as
     // the unfused sequence, so results are unchanged bit-for-bit).
@@ -53,11 +74,14 @@ MomentResult HermitianMomentEngine::compute(const linalg::CrsMatrixZ& h_tilde,
   const std::size_t total = params.instances();
   const std::size_t executed = resolve_sample_count(sample_instances, total);
 
+  obs::ScopedSpan span("moments." + name());
+  obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);
   std::vector<Complex> r0(d), prev2(d), prev(d), next(d);
 
   for (std::size_t inst = 0; inst < executed; ++inst) {
+    obs::add(obs::Counter::RngElements, static_cast<double>(d));
     for (std::size_t i = 0; i < d; ++i)
       r0[i] = Complex{
           rng::draw_random_element(params.vector_kind, params.seed, inst, i), 0.0};

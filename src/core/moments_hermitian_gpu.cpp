@@ -10,6 +10,9 @@
 #include "core/gpu_kernels.hpp"
 #include "core/moments_cpu.hpp"
 #include "gpusim/view.hpp"
+#include "obs/counters.hpp"
+#include "obs/gpusim_bridge.hpp"
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 
 namespace kpm::core {
@@ -71,6 +74,7 @@ class FillRandomKernelZ final : public gpusim::Kernel {
     if (inst >= active_) return;
     gpusim::GlobalView<Complex> r0(*r0_, AccessPattern::Coalesced, block.counters());
     auto out = r0.bulk_store(inst * dim_, dim_);
+    obs::add(obs::Counter::RngElements, static_cast<double>(dim_));
     for (std::size_t i = 0; i < dim_; ++i)
       out[i] = Complex{
           rng::draw_random_element(params_->vector_kind, params_->seed, inst, i), 0.0};
@@ -113,6 +117,11 @@ class HermitianRecursionKernel final : public gpusim::Kernel {
     auto a = work_a_->raw().subspan(inst * d, d);
     auto b = work_b_->raw().subspan(inst * d, d);
     auto mu = mu_tilde_->raw().subspan(inst * n, n);
+
+    // Functional-work counters, matching the CPU Hermitian engine.
+    obs::add(obs::Counter::InstancesExecuted, 1.0);
+    obs::add(obs::Counter::SpmvCalls, n >= 2 ? static_cast<double>(n - 1) : 0.0);
+    obs::add(obs::Counter::DotCalls, static_cast<double>(n));
 
     auto dot_re = [&](std::span<const Complex> v) {
       double acc = 0.0;
@@ -209,6 +218,8 @@ MomentResult GpuHermitianMomentEngine::compute(const linalg::CrsMatrixZ& h_tilde
   const std::size_t executed = resolve_sample_count(sample_instances, total);
   const double cost_scale = static_cast<double>(total) / static_cast<double>(executed);
 
+  obs::ScopedSpan span("moments." + name());
+  obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   gpusim::Device device(config_.device);
   DeviceMatrixZ h_dev(device, h_tilde);
@@ -245,6 +256,7 @@ MomentResult GpuHermitianMomentEngine::compute(const linalg::CrsMatrixZ& h_tilde
   result.instances_executed = executed;
   result.instances_total = total;
   result.wall_seconds = wall.seconds();
+  obs::record_device(device, name());
   last_summary_ = device.summarize_timeline();
   result.model_seconds = config_.context_setup_seconds + last_summary_.total_seconds;
   result.compute_seconds = last_summary_.kernel_seconds;

@@ -8,6 +8,9 @@
 #include "core/device_matrix.hpp"
 #include "core/gpu_kernels.hpp"
 #include "core/moments_cpu.hpp"
+#include "obs/counters.hpp"
+#include "obs/gpusim_bridge.hpp"
+#include "obs/trace.hpp"
 
 namespace kpm::core {
 
@@ -34,6 +37,8 @@ MomentResult MultiGpuMomentEngine::compute(const linalg::MatrixOperator& h_tilde
   const std::size_t total = params.instances();
   const std::size_t executed_target = resolve_sample_count(sample_instances, total);
 
+  obs::ScopedSpan span("moments." + name());
+  obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   gpusim::Cluster cluster(config_.per_device.device, config_.device_count, config_.link);
   const std::size_t devices = cluster.size();
@@ -108,6 +113,7 @@ MomentResult MultiGpuMomentEngine::compute(const linalg::MatrixOperator& h_tilde
     for (std::size_t k = 0; k < n; ++k)
       mu_weighted_sum[k] += mu_local[k] * static_cast<double>(local_sample);
     executed_actual += local_sample;
+    obs::record_device(dev, name() + ".dev" + std::to_string(g));
   }
 
   // One all-reduce of the N partial sums across the cluster.

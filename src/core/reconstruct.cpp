@@ -7,9 +7,19 @@
 #include "common/error.hpp"
 #include "common/fft.hpp"
 #include "core/chebyshev.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace kpm::core {
 namespace {
+
+// Counters for one reconstruction: `points` evaluations of an N-term
+// Clenshaw recurrence (4 flops per term per point).
+void meter_reconstruct(std::size_t points, std::size_t num_moments) {
+  obs::add(obs::Counter::ReconstructPoints, static_cast<double>(points));
+  obs::add(obs::Counter::Flops,
+           4.0 * static_cast<double>(points) * static_cast<double>(num_moments));
+}
 
 std::vector<double> damp_moments(std::span<const double> mu, const ReconstructOptions& options) {
   const auto g = damping_coefficients(options.kernel, mu.size(), options.lorentz_lambda);
@@ -37,6 +47,8 @@ DosCurve reconstruct_dos(std::span<const double> mu, const linalg::SpectralTrans
                          const ReconstructOptions& options) {
   KPM_REQUIRE(!mu.empty(), "reconstruct_dos: no moments");
   KPM_REQUIRE(options.points > 0, "reconstruct_dos: need at least one point");
+  obs::ScopedSpan span("reconstruct.dos");
+  meter_reconstruct(options.points, mu.size());
   const auto damped = damp_moments(mu, options);
   const auto grid = chebyshev_gauss_grid(options.points);
 
@@ -58,6 +70,11 @@ DosCurve reconstruct_dos_fft(std::span<const double> mu,
   const std::size_t m = options.points;
   KPM_REQUIRE(is_power_of_two(m), "reconstruct_dos_fft: points must be a power of two");
   KPM_REQUIRE(m >= mu.size(), "reconstruct_dos_fft: points must be >= the moment count");
+  obs::ScopedSpan span("reconstruct.dos-fft");
+  obs::add(obs::Counter::ReconstructPoints, static_cast<double>(m));
+  // Radix-2 FFT of length 2M: ~5 * 2M * log2(2M) real flops.
+  obs::add(obs::Counter::Flops, 5.0 * 2.0 * static_cast<double>(m) *
+                                    (std::log2(2.0 * static_cast<double>(m))));
   const auto damped = damp_moments(mu, options);
 
   // gamma(theta_j) = a_0 + 2 sum_{n>=1} a_n cos(n theta_j) with
@@ -94,6 +111,8 @@ DosCurve reconstruct_dos_at(std::span<const double> mu,
                             std::span<const double> energies,
                             const ReconstructOptions& options) {
   KPM_REQUIRE(!mu.empty(), "reconstruct_dos_at: no moments");
+  obs::ScopedSpan span("reconstruct.dos-at");
+  meter_reconstruct(energies.size(), mu.size());
   const auto damped = damp_moments(mu, options);
 
   DosCurve curve;

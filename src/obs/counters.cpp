@@ -1,0 +1,68 @@
+#include "obs/counters.hpp"
+
+#include "common/error.hpp"
+
+namespace kpm::obs {
+
+namespace {
+
+constexpr std::array<const char*, kCounterCount> kCounterNames = {
+    "flops",
+    "bytes_streamed",
+    "spmv_calls",
+    "dot_calls",
+    "fused_calls",
+    "fused_bytes",
+    "rng_elements",
+    "instances_executed",
+    "moments_produced",
+    "reconstruct_points",
+    "gpu_kernel_launches",
+    "gpu_flops",
+    "gpu_global_bytes",
+    "gpu_shared_bytes",
+    "gpu_bytes_h2d",
+    "gpu_bytes_d2h",
+};
+
+}  // namespace
+
+const char* to_string(Counter c) noexcept {
+  return kCounterNames[static_cast<std::size_t>(c)];
+}
+
+Counter counter_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (name == kCounterNames[i]) return static_cast<Counter>(i);
+  }
+  KPM_FAIL("unknown counter name: " + std::string(name));
+}
+
+CounterSet& CounterSet::operator+=(const CounterSet& other) noexcept {
+  for (std::size_t i = 0; i < kCounterCount; ++i) values_[i] += other.values_[i];
+  return *this;
+}
+
+bool CounterSet::empty() const noexcept {
+  for (double v : values_) {
+    if (v != 0.0) return false;
+  }
+  return true;
+}
+
+ShardedCounters::ShardedCounters(std::size_t lanes) : shards_(lanes) {
+  KPM_REQUIRE(lanes > 0, "ShardedCounters requires at least one lane");
+}
+
+CounterSet& ShardedCounters::shard(std::size_t lane) {
+  KPM_REQUIRE(lane < shards_.size(), "ShardedCounters lane out of range");
+  return shards_[lane];
+}
+
+CounterSet ShardedCounters::reduce() const noexcept {
+  CounterSet total;
+  for (const CounterSet& shard : shards_) total += shard;
+  return total;
+}
+
+}  // namespace kpm::obs

@@ -1,0 +1,62 @@
+#include "obs/gpusim_bridge.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace kpm::obs {
+
+void record_device(const gpusim::Device& device, std::string_view label) {
+  CounterSet* counters = active_counters();
+  Trace* trace = active_trace();
+  if (counters == nullptr && trace == nullptr) return;
+
+  const gpusim::TimelineSummary summary = device.summarize_timeline();
+
+  if (counters != nullptr) {
+    double global_bytes = 0.0;
+    double shared_bytes = 0.0;
+    for (const gpusim::TimelineEvent& event : device.timeline()) {
+      if (event.kind != gpusim::TimelineEvent::Kind::KernelLaunch) continue;
+      global_bytes += event.counters.total_global_bytes();
+      shared_bytes += event.counters.shared_bytes;
+    }
+    add(Counter::GpuKernelLaunches, static_cast<double>(summary.launches));
+    add(Counter::GpuFlops, summary.total_flops);
+    add(Counter::GpuGlobalBytes, global_bytes);
+    add(Counter::GpuSharedBytes, shared_bytes);
+    add(Counter::GpuBytesH2D, summary.bytes_to_device);
+    add(Counter::GpuBytesD2H, summary.bytes_to_host);
+  }
+
+  if (trace != nullptr) {
+    const std::size_t root = trace->begin_modeled(label, summary.total_seconds);
+    trace->add_modeled("alloc", summary.allocation_seconds);
+    trace->add_modeled("transfers", summary.transfer_seconds);
+    // Kernel time grouped per kernel label, in first-seen timeline order so
+    // the span list is deterministic for a deterministic timeline.
+    std::vector<std::pair<std::string, double>> per_kernel;
+    for (const gpusim::TimelineEvent& event : device.timeline()) {
+      if (event.kind != gpusim::TimelineEvent::Kind::KernelLaunch) continue;
+      bool merged = false;
+      for (auto& [name, seconds] : per_kernel) {
+        if (name == event.label) {
+          seconds += event.seconds;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) per_kernel.emplace_back(event.label, event.seconds);
+    }
+    for (const auto& [name, seconds] : per_kernel) {
+      trace->add_modeled("kernel:" + name, seconds);
+    }
+    trace->end_modeled(root);
+  }
+}
+
+}  // namespace kpm::obs

@@ -1,0 +1,23 @@
+// Bridge from the simulated GPU's cost accounting into an obs report.
+//
+// `record_device` folds a `gpusim::Device` timeline into the calling
+// thread's active sinks: CostCounters land in the gpu_* counters, and the
+// timeline phases become *modeled* spans (flagged so they are never confused
+// with measured wall time) nested under one span named `label`.
+#pragma once
+
+#include <string_view>
+
+namespace gpusim {
+class Device;
+}
+
+namespace kpm::obs {
+
+/// Folds `device`'s timeline (counters + phase/kernel durations) into the
+/// calling thread's active counter sink and trace.  No-op when neither is
+/// installed.  Call after the device work is complete (typically right
+/// before an engine returns).
+void record_device(const gpusim::Device& device, std::string_view label);
+
+}  // namespace kpm::obs

@@ -1,0 +1,68 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace kpm::obs {
+
+std::string to_json(const Report& report) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"" << kReportSchema << "\",\n";
+  os << "  \"label\": \"" << json_escape(report.label) << "\",\n";
+  os << "  \"counters\": {\n";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const Counter c = static_cast<Counter>(i);
+    os << "    \"" << to_string(c) << "\": " << json_number(report.counters.get(c));
+    os << (i + 1 < kCounterCount ? ",\n" : "\n");
+  }
+  os << "  },\n";
+  os << "  \"spans\": [\n";
+  const auto& spans = report.trace.spans();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    const long long parent =
+        span.parent == kNoParent ? -1 : static_cast<long long>(span.parent);
+    os << "    {\"name\": \"" << json_escape(span.name) << "\", \"parent\": " << parent
+       << ", \"depth\": " << span.depth << ", \"start_s\": " << json_number(span.start_seconds)
+       << ", \"seconds\": " << json_number(span.seconds)
+       << ", \"modeled\": " << (span.modeled ? "true" : "false") << "}";
+    os << (i + 1 < spans.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+void write_json(const Report& report, const std::string& path) {
+  std::ofstream out(path);
+  KPM_REQUIRE(out.good(), "cannot open metrics file for writing: " + path);
+  out << to_json(report);
+  out.flush();
+  KPM_REQUIRE(out.good(), "failed writing metrics file: " + path);
+}
+
+kpm::Table counters_to_table(const CounterSet& counters) {
+  kpm::Table table({"counter", "value"});
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const Counter c = static_cast<Counter>(i);
+    table.add_row({to_string(c), json_number(counters.get(c))});
+  }
+  return table;
+}
+
+kpm::Table trace_to_table(const Trace& trace) {
+  kpm::Table table({"span", "seconds", "kind"});
+  for (const SpanRecord& span : trace.spans()) {
+    std::string name(2 * span.depth, ' ');
+    name += span.name;
+    table.add_row({std::move(name), strprintf("%.6f", span.seconds),
+                   span.modeled ? "modeled" : "measured"});
+  }
+  return table;
+}
+
+}  // namespace kpm::obs

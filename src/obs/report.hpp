@@ -1,0 +1,72 @@
+// A metrics report = label + counters + span tree, with exporters.
+//
+// `Collect` is the single entry point callers use: it installs the report's
+// CounterSet and Trace on the calling thread for the lifetime of the scope,
+// so everything the library computes inside records into the report.
+// Exporters cover the two formats the repo already speaks: JSON (schema
+// "kpm.obs.report/1", see docs/observability.md) and `kpm::Table` text.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/table.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace kpm::obs {
+
+/// JSON schema identifier emitted by `to_json`.
+inline constexpr std::string_view kReportSchema = "kpm.obs.report/1";
+
+/// One collected metrics report.
+struct Report {
+  std::string label;
+  CounterSet counters;
+  Trace trace;
+};
+
+namespace detail {
+/// The calling thread's active report slot (see counters_slot for why this
+/// is a function-local thread_local rather than an extern variable).
+[[nodiscard]] inline Report*& report_slot() noexcept {
+  static thread_local Report* slot = nullptr;
+  return slot;
+}
+}  // namespace detail
+
+/// The report being collected on this thread (nullptr when none).
+[[nodiscard]] inline Report* active_report() noexcept { return detail::report_slot(); }
+
+/// RAII: routes this thread's counters and spans into `report` until the
+/// scope ends.  Scopes nest; the previous sinks are restored on exit.
+class Collect {
+ public:
+  explicit Collect(Report& report) noexcept
+      : prev_(detail::report_slot()), counters_(report.counters), trace_(report.trace) {
+    detail::report_slot() = &report;
+  }
+  ~Collect() { detail::report_slot() = prev_; }
+  Collect(const Collect&) = delete;
+  Collect& operator=(const Collect&) = delete;
+
+ private:
+  Report* prev_;
+  CounterScope counters_;
+  TraceScope trace_;
+};
+
+/// Serialises the report as a JSON document (counters keyed by name, spans
+/// as a flat array with parent indices).
+[[nodiscard]] std::string to_json(const Report& report);
+
+/// Writes `to_json(report)` to `path`.  Throws kpm::Error on I/O failure.
+void write_json(const Report& report, const std::string& path);
+
+/// Two-column {counter, value} table of all counters, in registry order.
+[[nodiscard]] kpm::Table counters_to_table(const CounterSet& counters);
+
+/// {span, seconds, kind} table with depth-indented span names, in open order.
+[[nodiscard]] kpm::Table trace_to_table(const Trace& trace);
+
+}  // namespace kpm::obs

@@ -1,0 +1,61 @@
+#include "obs/trace.hpp"
+
+#include "common/error.hpp"
+
+namespace kpm::obs {
+
+Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Trace::elapsed_seconds() const noexcept {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+std::size_t Trace::push(std::string_view name, double seconds, bool modeled) {
+  SpanRecord record;
+  record.name = std::string(name);
+  record.parent = stack_.empty() ? kNoParent : stack_.back();
+  record.depth = stack_.size();
+  record.start_seconds = elapsed_seconds();
+  record.seconds = seconds;
+  record.modeled = modeled;
+  spans_.push_back(std::move(record));
+  return spans_.size() - 1;
+}
+
+std::size_t Trace::open(std::string_view name) {
+  const std::size_t id = push(name, 0.0, /*modeled=*/false);
+  stack_.push_back(id);
+  return id;
+}
+
+double Trace::close(std::size_t id) {
+  KPM_REQUIRE(!stack_.empty() && stack_.back() == id,
+              "Trace::close: span is not the innermost open span");
+  SpanRecord& record = spans_[id];
+  KPM_REQUIRE(!record.modeled, "Trace::close: modeled spans close via end_modeled");
+  record.seconds = elapsed_seconds() - record.start_seconds;
+  stack_.pop_back();
+  return record.seconds;
+}
+
+std::size_t Trace::begin_modeled(std::string_view name, double seconds) {
+  KPM_REQUIRE(seconds >= 0.0, "Trace::begin_modeled: negative duration");
+  const std::size_t id = push(name, seconds, /*modeled=*/true);
+  stack_.push_back(id);
+  return id;
+}
+
+void Trace::end_modeled(std::size_t id) {
+  KPM_REQUIRE(!stack_.empty() && stack_.back() == id,
+              "Trace::end_modeled: span is not the innermost open span");
+  KPM_REQUIRE(spans_[id].modeled, "Trace::end_modeled: span is not modeled");
+  stack_.pop_back();
+}
+
+void Trace::add_modeled(std::string_view name, double seconds) {
+  KPM_REQUIRE(seconds >= 0.0, "Trace::add_modeled: negative duration");
+  push(name, seconds, /*modeled=*/true);
+}
+
+}  // namespace kpm::obs

@@ -1,0 +1,140 @@
+// Hierarchical scoped trace spans.
+//
+// A `Trace` records a flat list of `SpanRecord`s with parent indices — a tree
+// serialised in open order.  Wall-time spans are opened/closed by RAII
+// `ScopedSpan` objects on the thread that owns the trace; modeled spans carry
+// simulated platform time (e.g. gpusim timeline phases) and are flagged so
+// reports can distinguish measured from modeled seconds.
+//
+// Like counters, tracing is opt-in and thread-local: `ScopedSpan` is a cheap
+// stopwatch when the calling thread has no active trace, so worker threads
+// inside a ThreadPool never mutate the caller's trace.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kpm::obs {
+
+inline constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+/// One node of the span tree.
+struct SpanRecord {
+  std::string name;
+  std::size_t parent = kNoParent;  ///< index into Trace::spans(), kNoParent for roots
+  std::size_t depth = 0;           ///< 0 for roots
+  double start_seconds = 0.0;      ///< offset from the trace epoch
+  double seconds = 0.0;            ///< duration (wall for measured, simulated for modeled)
+  bool modeled = false;            ///< true when `seconds` is simulated platform time
+};
+
+/// An append-only span tree with an open-span stack.
+class Trace {
+ public:
+  Trace();
+
+  /// Opens a wall-time span as a child of the current innermost open span.
+  /// Returns the span id (index into spans()).
+  std::size_t open(std::string_view name);
+
+  /// Closes span `id`, which must be the innermost open span.  Returns the
+  /// recorded duration in seconds.
+  double close(std::size_t id);
+
+  /// Opens a modeled span (fixed `seconds`, not clocked) so modeled children
+  /// can nest under it.  Must be closed with `end_modeled`.
+  std::size_t begin_modeled(std::string_view name, double seconds);
+  void end_modeled(std::size_t id);
+
+  /// Appends a modeled leaf span under the current innermost open span.
+  void add_modeled(std::string_view name, double seconds);
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
+
+  /// Number of currently open spans.
+  [[nodiscard]] std::size_t open_depth() const noexcept { return stack_.size(); }
+
+  /// Seconds elapsed since the trace was created.
+  [[nodiscard]] double elapsed_seconds() const noexcept;
+
+ private:
+  std::size_t push(std::string_view name, double seconds, bool modeled);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> spans_;
+  std::vector<std::size_t> stack_;
+};
+
+namespace detail {
+/// The calling thread's active trace slot (see counters_slot for why this is
+/// a function-local thread_local rather than an extern variable).
+[[nodiscard]] inline Trace*& trace_slot() noexcept {
+  static thread_local Trace* slot = nullptr;
+  return slot;
+}
+}  // namespace detail
+
+/// The trace installed on this thread (nullptr when none).
+[[nodiscard]] inline Trace* active_trace() noexcept { return detail::trace_slot(); }
+
+/// RAII: installs `trace` as the calling thread's active trace.
+class TraceScope {
+ public:
+  explicit TraceScope(Trace& trace) noexcept : prev_(detail::trace_slot()) {
+    detail::trace_slot() = &trace;
+  }
+  ~TraceScope() { detail::trace_slot() = prev_; }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Trace* prev_;
+};
+
+/// RAII wall-time span.  Records into the thread's active trace if there is
+/// one; otherwise acts as a plain stopwatch so `stop()` still returns the
+/// measured duration.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name)
+      : trace_(active_trace()), start_(std::chrono::steady_clock::now()) {
+    if (trace_ != nullptr) id_ = trace_->open(name);
+  }
+
+  ~ScopedSpan() {
+    if (open_) stop();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Closes the span (idempotent) and returns its duration in seconds.
+  double stop() {
+    if (!open_) return 0.0;
+    open_ = false;
+    if (trace_ != nullptr) return trace_->close(id_);
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(elapsed).count();
+  }
+
+ private:
+  Trace* trace_ = nullptr;
+  std::size_t id_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  bool open_ = true;
+};
+
+/// Runs `fn` inside a span named `name` and returns the span's duration —
+/// the same number that lands in the trace, so tables and metrics sidecars
+/// derived from one run cannot disagree.
+template <typename F>
+double timed(std::string_view name, F&& fn) {
+  ScopedSpan span(name);
+  std::forward<F>(fn)();
+  return span.stop();
+}
+
+}  // namespace kpm::obs

@@ -1,0 +1,237 @@
+// Golden-metrics regression suite: a fixed-seed 1D-chain DoS run must
+// produce EXACT operation counts on every engine, identical across repeated
+// runs and thread counts, with the fused kernels' measured traffic matching
+// the roofline model's prediction byte-for-byte.
+//
+// All expectations are derived from the operator's own accessors
+// (spmv_flops, spmv_matrix_bytes) and core::fused_step_workload — no magic
+// numbers — so the test fails loudly if either the instrumentation or the
+// cost model drifts from the other.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/moments_cpu.hpp"
+#include "core/moments_f32.hpp"
+#include "core/moments_gpu.hpp"
+#include "core/moments_gpu_chunked.hpp"
+#include "core/reconstruct.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+#include "obs/counters.hpp"
+
+namespace {
+
+using namespace kpm;
+using obs::Counter;
+
+/// The golden workload: 32-site chain, N=16 moments, R=2 x S=2 instances.
+struct Golden {
+  linalg::CrsMatrix h_tilde;
+  core::MomentParams params;
+
+  Golden() {
+    const auto lat = lattice::HypercubicLattice::chain(32);
+    const auto h = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator raw(h);
+    h_tilde = linalg::rescale(h, linalg::make_spectral_transform(raw));
+    params.num_moments = 16;
+    params.random_vectors = 2;
+    params.realizations = 2;
+    params.seed = 7;
+  }
+
+  [[nodiscard]] std::size_t instances() const { return params.instances(); }
+  [[nodiscard]] std::size_t moments() const { return params.num_moments; }
+};
+
+/// Runs `fn` under a fresh counter sink and returns what it recorded.
+template <typename F>
+obs::CounterSet collect(F&& fn) {
+  obs::CounterSet sink;
+  obs::CounterScope scope(sink);
+  fn();
+  return sink;
+}
+
+TEST(GoldenMetrics, SerialEngineCountsAreExact) {
+  Golden g;
+  linalg::MatrixOperator op(g.h_tilde);
+  const auto counts = collect([&] { (void)core::CpuMomentEngine().compute(op, g.params); });
+
+  const auto i = static_cast<double>(g.instances());
+  const auto n = static_cast<double>(g.moments());
+  const auto d = static_cast<double>(op.dim());
+  const double sf = static_cast<double>(op.spmv_flops());
+  const double mb = static_cast<double>(op.spmv_matrix_bytes());
+  const auto step = core::fused_step_workload(op, /*dots=*/1);
+
+  EXPECT_EQ(counts[Counter::InstancesExecuted], i);
+  EXPECT_EQ(counts[Counter::MomentsProduced], n);
+  EXPECT_EQ(counts[Counter::RngElements], i * d);
+  // Per instance: 1 explicit SpMV (r1) + (N-2) fused steps.
+  EXPECT_EQ(counts[Counter::SpmvCalls], i * (n - 1.0));
+  // Per instance: mu~_0, mu~_1 dots + one fused dot per remaining moment.
+  EXPECT_EQ(counts[Counter::DotCalls], i * n);
+  EXPECT_EQ(counts[Counter::FusedCalls], i * (n - 2.0));
+  // Flops: two plain dots + the r1 SpMV + (N-2) fused steps.
+  EXPECT_EQ(counts[Counter::Flops], i * (2.0 * d + sf + 2.0 * d + (n - 2.0) * step.flops));
+  // Bytes: dots (2 vectors each) + SpMV (matrix + 2 vectors) + r0 copy +
+  // (N-2) fused passes.
+  EXPECT_EQ(counts[Counter::BytesStreamed],
+            i * (16.0 * d + (mb + 16.0 * d) + 16.0 * d + 16.0 * d +
+                 (n - 2.0) * step.bytes_streamed));
+  // The GPU-side counters must stay untouched by a pure host run.
+  EXPECT_EQ(counts[Counter::GpuKernelLaunches], 0.0);
+  EXPECT_EQ(counts[Counter::GpuFlops], 0.0);
+}
+
+TEST(GoldenMetrics, FusedTrafficMatchesRooflinePrediction) {
+  // The cross-check the fused counters exist for: measured fused-kernel
+  // bytes == fused_calls x the roofline model's predicted bytes/step
+  // (4D doubles of vector traffic + the matrix, for the one-dot kernel).
+  Golden g;
+  linalg::MatrixOperator op(g.h_tilde);
+  const auto counts = collect([&] { (void)core::CpuMomentEngine().compute(op, g.params); });
+
+  const auto prediction = core::fused_step_workload(op, /*dots=*/1);
+  const double d = static_cast<double>(op.dim());
+  EXPECT_EQ(prediction.bytes_streamed,
+            static_cast<double>(op.spmv_matrix_bytes()) + 4.0 * d * sizeof(double));
+  EXPECT_EQ(counts[Counter::FusedBytes],
+            counts[Counter::FusedCalls] * prediction.bytes_streamed);
+}
+
+TEST(GoldenMetrics, RepeatedRunsAreBitIdentical) {
+  Golden g;
+  linalg::MatrixOperator op(g.h_tilde);
+  const auto first = collect([&] { (void)core::CpuMomentEngine().compute(op, g.params); });
+  const auto second = collect([&] { (void)core::CpuMomentEngine().compute(op, g.params); });
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(GoldenMetrics, ParallelEngineMatchesSerialAtEveryThreadCount) {
+  Golden g;
+  linalg::MatrixOperator op(g.h_tilde);
+  const auto serial = collect([&] { (void)core::CpuMomentEngine().compute(op, g.params); });
+  for (int threads : {1, 2, 4, 7}) {
+    const auto par = collect(
+        [&] { (void)core::CpuParallelMomentEngine(threads).compute(op, g.params); });
+    EXPECT_EQ(par, serial) << "threads=" << threads;
+  }
+}
+
+TEST(GoldenMetrics, GpuEnginesReportSerialFunctionalWork) {
+  // The GPU engines execute the same functional work as the serial
+  // reference; instances, moments, SpMV and dot counts must agree exactly.
+  // Modeled totals live in the gpu_* counters, leaving host flops/bytes 0.
+  Golden g;
+  linalg::MatrixOperator op(g.h_tilde);
+  const auto i = static_cast<double>(g.instances());
+  const auto n = static_cast<double>(g.moments());
+  const auto d = static_cast<double>(op.dim());
+
+  core::GpuEngineConfig thread_cfg;
+  thread_cfg.mapping = core::GpuMapping::InstancePerThread;
+  core::GpuMomentEngine block_engine;
+  core::GpuMomentEngine thread_engine(thread_cfg);
+  core::ChunkedGpuMomentEngine chunked_engine;
+
+  const auto check = [&](const obs::CounterSet& counts, const char* label) {
+    EXPECT_EQ(counts[Counter::InstancesExecuted], i) << label;
+    EXPECT_EQ(counts[Counter::MomentsProduced], n) << label;
+    EXPECT_EQ(counts[Counter::RngElements], i * d) << label;
+    EXPECT_EQ(counts[Counter::SpmvCalls], i * (n - 1.0)) << label;
+    EXPECT_EQ(counts[Counter::DotCalls], i * n) << label;
+    EXPECT_EQ(counts[Counter::Flops], 0.0) << label << ": host flops must stay zero";
+    EXPECT_EQ(counts[Counter::BytesStreamed], 0.0) << label;
+    EXPECT_GT(counts[Counter::GpuKernelLaunches], 0.0) << label;
+    EXPECT_GT(counts[Counter::GpuFlops], 0.0) << label;
+    EXPECT_GT(counts[Counter::GpuGlobalBytes], 0.0) << label;
+    EXPECT_GT(counts[Counter::GpuBytesH2D], 0.0) << label;
+    EXPECT_GT(counts[Counter::GpuBytesD2H], 0.0) << label;
+  };
+
+  check(collect([&] { (void)block_engine.compute(op, g.params); }), "block");
+  check(collect([&] { (void)thread_engine.compute(op, g.params); }), "thread");
+  check(collect([&] { (void)chunked_engine.compute(op, g.params); }), "chunked");
+
+  // The modeled counters come from the deterministic gpusim timeline, so
+  // repeated runs agree bit-for-bit on every counter.
+  const auto first = collect([&] { (void)block_engine.compute(op, g.params); });
+  const auto second = collect([&] { (void)block_engine.compute(op, g.params); });
+  EXPECT_EQ(first, second);
+}
+
+TEST(GoldenMetrics, PairedEnginesAgreeOnHalvedSpmvCount) {
+  Golden g;
+  linalg::MatrixOperator op(g.h_tilde);
+  const auto i = static_cast<double>(g.instances());
+  const double half = static_cast<double>((g.moments() + 1) / 2);
+
+  const auto cpu = collect([&] { (void)core::CpuPairedMomentEngine().compute(op, g.params); });
+  EXPECT_EQ(cpu[Counter::SpmvCalls], i * half);
+  EXPECT_EQ(cpu[Counter::InstancesExecuted], i);
+  EXPECT_EQ(cpu[Counter::FusedCalls], i * (half - 1.0));
+
+  core::GpuEngineConfig cfg;
+  cfg.paired_moments = true;
+  core::GpuMomentEngine gpu(cfg);
+  const auto dev = collect([&] { (void)gpu.compute(op, g.params); });
+  EXPECT_EQ(dev[Counter::SpmvCalls], cpu[Counter::SpmvCalls]);
+  EXPECT_EQ(dev[Counter::InstancesExecuted], cpu[Counter::InstancesExecuted]);
+}
+
+TEST(GoldenMetrics, F32EngineMatchesSerialCallCounts) {
+  Golden g;
+  linalg::MatrixOperator op(g.h_tilde);
+  const auto i = static_cast<double>(g.instances());
+  const auto n = static_cast<double>(g.moments());
+  const auto d = static_cast<double>(op.dim());
+
+  const auto f32 = collect([&] { (void)core::CpuMomentEngineF32().compute(op, g.params); });
+  EXPECT_EQ(f32[Counter::InstancesExecuted], i);
+  EXPECT_EQ(f32[Counter::MomentsProduced], n);
+  EXPECT_EQ(f32[Counter::RngElements], i * d);
+  EXPECT_EQ(f32[Counter::SpmvCalls], i * (n - 1.0));
+  EXPECT_EQ(f32[Counter::DotCalls], i * n);
+  // The f32 path is unfused, so it records no fused-kernel calls ...
+  EXPECT_EQ(f32[Counter::FusedCalls], 0.0);
+  // ... but executes the same arithmetic as the double reference.
+  const auto serial = collect([&] { (void)core::CpuMomentEngine().compute(op, g.params); });
+  EXPECT_EQ(f32[Counter::Flops], serial[Counter::Flops]);
+  // Exact binary32 traffic: n dots + (n-1) SpMVs (half-width matrix,
+  // 4-byte vectors) + the r0 copy + (n-2) combine passes.
+  const double mb = static_cast<double>(op.spmv_matrix_bytes());
+  EXPECT_EQ(f32[Counter::BytesStreamed],
+            i * (n * 8.0 * d + (n - 1.0) * (mb / 2.0 + 8.0 * d) + 8.0 * d +
+                 (n - 2.0) * 12.0 * d));
+}
+
+TEST(GoldenMetrics, ReconstructionCountsAreExact) {
+  Golden g;
+  linalg::MatrixOperator op(g.h_tilde);
+  const auto result = core::CpuMomentEngine().compute(op, g.params);
+  const linalg::SpectralTransform transform({-1.0, 1.0});
+
+  const auto counts = collect([&] {
+    (void)core::reconstruct_dos(result.mu, transform, {.points = 21});
+  });
+  EXPECT_EQ(counts[Counter::ReconstructPoints], 21.0);
+  // Clenshaw: 4 flops per moment per evaluation point.
+  EXPECT_EQ(counts[Counter::Flops], 4.0 * 21.0 * static_cast<double>(g.moments()));
+}
+
+TEST(GoldenMetrics, SampledRunCountsScaleWithExecutedInstances) {
+  Golden g;
+  linalg::MatrixOperator op(g.h_tilde);
+  const auto n = static_cast<double>(g.moments());
+  const auto counts =
+      collect([&] { (void)core::CpuMomentEngine().compute(op, g.params, /*sample=*/2); });
+  EXPECT_EQ(counts[Counter::InstancesExecuted], 2.0);
+  EXPECT_EQ(counts[Counter::SpmvCalls], 2.0 * (n - 1.0));
+}
+
+}  // namespace

@@ -1,0 +1,381 @@
+// Tests for the observability layer: deterministic counters (bit-identical
+// at any lane/thread count), hierarchical trace spans, and the JSON report
+// round-trip against schema "kpm.obs.report/1".
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/moments_cpu.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/parallel.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace kpm;
+
+// ---------------------------------------------------------------------------
+// Counter registry
+
+TEST(Counters, NamesRoundTripForEveryCounter) {
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    const auto c = static_cast<obs::Counter>(i);
+    const char* name = obs::to_string(c);
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(obs::counter_from_name(name), c) << name;
+  }
+  EXPECT_THROW((void)obs::counter_from_name("no_such_counter"), kpm::Error);
+}
+
+TEST(Counters, SetArithmeticAndEquality) {
+  obs::CounterSet a;
+  EXPECT_TRUE(a.empty());
+  a.add(obs::Counter::Flops, 10.0);
+  a.add(obs::Counter::SpmvCalls, 3.0);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a[obs::Counter::Flops], 10.0);
+
+  obs::CounterSet b;
+  b.add(obs::Counter::Flops, 5.0);
+  a += b;
+  EXPECT_EQ(a[obs::Counter::Flops], 15.0);
+  EXPECT_EQ(a[obs::Counter::SpmvCalls], 3.0);
+
+  obs::CounterSet c = a;
+  EXPECT_EQ(a, c);
+  c.add(obs::Counter::DotCalls, 1.0);
+  EXPECT_NE(a, c);
+}
+
+TEST(Counters, AddIsANoOpWithoutASink) {
+  ASSERT_EQ(obs::active_counters(), nullptr);
+  obs::add(obs::Counter::Flops, 1e6);  // must not crash, must not record
+  obs::CounterSet sink;
+  {
+    obs::CounterScope scope(sink);
+    ASSERT_EQ(obs::active_counters(), &sink);
+    obs::add(obs::Counter::Flops, 2.0);
+    {
+      obs::CounterSet inner;
+      obs::CounterScope nested(inner);
+      obs::add(obs::Counter::Flops, 100.0);  // routed to the inner sink
+      EXPECT_EQ(inner[obs::Counter::Flops], 100.0);
+    }
+    ASSERT_EQ(obs::active_counters(), &sink);  // nesting restored
+    obs::add(obs::Counter::Flops, 3.0);
+  }
+  EXPECT_EQ(obs::active_counters(), nullptr);
+  EXPECT_EQ(sink[obs::Counter::Flops], 5.0);
+}
+
+TEST(Counters, MetersEncodeTheRooflineModel) {
+  obs::CounterSet sink;
+  {
+    obs::CounterScope scope(sink);
+    obs::meter_dot(100);
+    obs::meter_spmv(800, 4096, 100);
+    obs::meter_stream_bytes(64.0);
+  }
+  EXPECT_EQ(sink[obs::Counter::DotCalls], 1.0);
+  EXPECT_EQ(sink[obs::Counter::SpmvCalls], 1.0);
+  EXPECT_EQ(sink[obs::Counter::Flops], 200.0 + 800.0);
+  // dot: 2 vectors; spmv: matrix + 2 vectors; plus the raw stream.
+  EXPECT_EQ(sink[obs::Counter::BytesStreamed], 1600.0 + (4096.0 + 1600.0) + 64.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded determinism
+
+/// Records a deterministic per-index workload; total must not depend on how
+/// indices are split over lanes.
+void record_index(std::size_t i) {
+  obs::add(obs::Counter::Flops, static_cast<double>(1 + i % 7));
+  obs::add(obs::Counter::BytesStreamed, static_cast<double>(8 * (i % 13)));
+  obs::add(obs::Counter::SpmvCalls, 1.0);
+}
+
+TEST(ShardedCounters, ReduceIsBitIdenticalForAnyLaneCount) {
+  constexpr std::size_t kCount = 1000;
+  obs::CounterSet reference;
+  {
+    obs::CounterScope scope(reference);
+    for (std::size_t i = 0; i < kCount; ++i) record_index(i);
+  }
+  for (std::size_t lanes : {1u, 2u, 4u, 7u}) {
+    obs::ShardedCounters shards(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const auto [begin, end] = common::ThreadPool::chunk_range(kCount, lanes, lane);
+      obs::CounterScope scope(shards.shard(lane));
+      for (std::size_t i = begin; i < end; ++i) record_index(i);
+    }
+    EXPECT_EQ(shards.reduce(), reference) << "lanes=" << lanes;
+  }
+}
+
+TEST(ShardedCounters, ValidatesLaneArguments) {
+  EXPECT_THROW(obs::ShardedCounters(0), kpm::Error);
+  obs::ShardedCounters s(2);
+  EXPECT_EQ(s.lanes(), 2u);
+  EXPECT_THROW((void)s.shard(2), kpm::Error);
+}
+
+TEST(ShardedParallelFor, TotalsMatchSerialAtEveryThreadCount) {
+  constexpr std::size_t kCount = 513;  // odd: uneven chunks
+  obs::CounterSet reference;
+  {
+    obs::CounterScope scope(reference);
+    for (std::size_t i = 0; i < kCount; ++i) record_index(i);
+  }
+  for (std::size_t lanes : {1u, 2u, 4u, 7u}) {
+    common::ThreadPool pool(lanes);
+    obs::CounterSet sink;
+    {
+      obs::CounterScope scope(sink);
+      obs::sharded_parallel_for(pool, kCount,
+                                [&](std::size_t /*lane*/, std::size_t begin, std::size_t end) {
+                                  for (std::size_t i = begin; i < end; ++i) record_index(i);
+                                });
+    }
+    EXPECT_EQ(sink, reference) << "lanes=" << lanes;
+  }
+}
+
+TEST(ShardedParallelFor, RunsPlainWithoutASink) {
+  common::ThreadPool pool(3);
+  std::vector<int> hits(10, 0);
+  obs::sharded_parallel_for(pool, hits.size(),
+                            [&](std::size_t /*lane*/, std::size_t begin, std::size_t end) {
+                              for (std::size_t i = begin; i < end; ++i) hits[i] = 1;
+                            });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Engine counter determinism (serial vs threaded)
+
+TEST(EngineCounters, ParallelEngineCountsMatchSerialBitwise) {
+  const auto lat = lattice::HypercubicLattice::cubic(4, 4, 4);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator raw(h);
+  const auto ht = linalg::rescale(h, linalg::make_spectral_transform(raw));
+  linalg::MatrixOperator op(ht);
+
+  core::MomentParams p;
+  p.num_moments = 16;
+  p.random_vectors = 4;
+  p.realizations = 2;
+
+  obs::CounterSet serial;
+  {
+    obs::CounterScope scope(serial);
+    (void)core::CpuMomentEngine().compute(op, p);
+  }
+  EXPECT_EQ(serial[obs::Counter::InstancesExecuted], 8.0);
+  EXPECT_EQ(serial[obs::Counter::MomentsProduced], 16.0);
+
+  for (int threads : {1, 2, 4, 7}) {
+    obs::CounterSet par;
+    {
+      obs::CounterScope scope(par);
+      (void)core::CpuParallelMomentEngine(threads).compute(op, p);
+    }
+    EXPECT_EQ(par, serial) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+
+TEST(Trace, RecordsNestingParentAndOrder) {
+  obs::Trace trace;
+  const auto outer = trace.open("outer");
+  const auto child1 = trace.open("child1");
+  trace.close(child1);
+  const auto child2 = trace.open("child2");
+  const auto grand = trace.open("grand");
+  trace.close(grand);
+  trace.close(child2);
+  trace.close(outer);
+
+  const auto& spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, obs::kNoParent);
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].name, "child1");
+  EXPECT_EQ(spans[1].parent, outer);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "child2");
+  EXPECT_EQ(spans[2].parent, outer);
+  EXPECT_EQ(spans[3].name, "grand");
+  EXPECT_EQ(spans[3].parent, child2);
+  EXPECT_EQ(spans[3].depth, 2u);
+  EXPECT_EQ(trace.open_depth(), 0u);
+  // Children close before parents, so durations nest.
+  EXPECT_LE(spans[1].seconds, spans[0].seconds);
+  EXPECT_LE(spans[3].seconds, spans[2].seconds);
+}
+
+TEST(Trace, CloseValidatesInnermostDiscipline) {
+  obs::Trace trace;
+  const auto outer = trace.open("outer");
+  (void)trace.open("inner");
+  EXPECT_THROW(trace.close(outer), kpm::Error);  // inner is still open
+}
+
+TEST(Trace, ModeledSpansCarryFixedSeconds) {
+  obs::Trace trace;
+  const auto id = trace.begin_modeled("gpu", 1.5);
+  trace.add_modeled("kernel", 1.25);
+  trace.end_modeled(id);
+  const auto& spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_TRUE(spans[0].modeled);
+  EXPECT_EQ(spans[0].seconds, 1.5);
+  EXPECT_EQ(spans[1].parent, id);
+  EXPECT_TRUE(spans[1].modeled);
+  EXPECT_EQ(spans[1].seconds, 1.25);
+  // A modeled span cannot be closed with the wall-clock close().
+  const auto id2 = trace.begin_modeled("gpu2", 0.5);
+  EXPECT_THROW(trace.close(id2), kpm::Error);
+  trace.end_modeled(id2);
+}
+
+TEST(Trace, ScopedSpanIsAStopwatchWithoutAnActiveTrace) {
+  ASSERT_EQ(obs::active_trace(), nullptr);
+  obs::ScopedSpan span("orphan");
+  const double s = span.stop();
+  EXPECT_GE(s, 0.0);
+  EXPECT_EQ(span.stop(), 0.0);  // idempotent
+}
+
+TEST(Trace, TimedRecordsIntoTheActiveTrace) {
+  obs::Trace trace;
+  obs::TraceScope scope(trace);
+  const double s = obs::timed("work", [] {
+    volatile double x = 0.0;
+    for (int i = 0; i < 1000; ++i) x = x + 1.0;
+  });
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].name, "work");
+  EXPECT_EQ(trace.spans()[0].seconds, s);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser + report round-trip
+
+TEST(Json, ParsesScalarsAndContainers) {
+  EXPECT_EQ(obs::parse_json("null").kind, obs::JsonValue::Kind::Null);
+  EXPECT_TRUE(obs::parse_json("true").boolean);
+  EXPECT_EQ(obs::parse_json("-12.5e2").number, -1250.0);
+  EXPECT_EQ(obs::parse_json(R"("a\nbA")").string, "a\nbA");
+  const auto arr = obs::parse_json("[1, [2, 3], {}]");
+  ASSERT_EQ(arr.array.size(), 3u);
+  EXPECT_EQ(arr.array[1].array[1].number, 3.0);
+  const auto obj = obs::parse_json(R"({"a": 1, "b": {"c": "x"}})");
+  EXPECT_EQ(obj.at("a").number, 1.0);
+  EXPECT_EQ(obj.at("b").at("c").string, "x");
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW((void)obj.at("missing"), kpm::Error);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)obs::parse_json(""), kpm::Error);
+  EXPECT_THROW((void)obs::parse_json("{"), kpm::Error);
+  EXPECT_THROW((void)obs::parse_json("[1,]"), kpm::Error);
+  EXPECT_THROW((void)obs::parse_json("1 2"), kpm::Error);  // trailing garbage
+  EXPECT_THROW((void)obs::parse_json("\"unterminated"), kpm::Error);
+  EXPECT_THROW((void)obs::parse_json("nul"), kpm::Error);
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (double v : {0.0, 1.0, -3.5, 9007199254740992.0 /* 2^53 */, 0.1, 1e300}) {
+    EXPECT_EQ(obs::parse_json(obs::json_number(v)).number, v) << v;
+  }
+}
+
+TEST(Report, CollectRoutesCountersAndSpans) {
+  obs::Report report;
+  report.label = "unit";
+  {
+    obs::Collect collect(report);
+    ASSERT_EQ(obs::active_report(), &report);
+    obs::ScopedSpan span("step");
+    obs::add(obs::Counter::Flops, 42.0);
+  }
+  EXPECT_EQ(obs::active_report(), nullptr);
+  EXPECT_EQ(report.counters[obs::Counter::Flops], 42.0);
+  ASSERT_EQ(report.trace.spans().size(), 1u);
+  EXPECT_EQ(report.trace.spans()[0].name, "step");
+}
+
+TEST(Report, JsonMatchesSchemaAndRoundTrips) {
+  obs::Report report;
+  report.label = "round-trip \"quoted\"";
+  {
+    obs::Collect collect(report);
+    obs::ScopedSpan outer("outer");
+    { obs::ScopedSpan inner("inner"); }
+    obs::add(obs::Counter::SpmvCalls, 7.0);
+    obs::add(obs::Counter::Flops, 12345.0);
+    if (auto* trace = obs::active_trace()) trace->add_modeled("gpu", 0.25);
+  }
+  const auto doc = obs::parse_json(obs::to_json(report));
+
+  EXPECT_EQ(doc.at("schema").string, std::string(obs::kReportSchema));
+  EXPECT_EQ(doc.at("label").string, report.label);
+
+  // Every registered counter appears, keyed by its stable name, in order.
+  const auto& counters = doc.at("counters");
+  ASSERT_EQ(counters.object.size(), obs::kCounterCount);
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i)
+    EXPECT_EQ(counters.object[i].first, obs::to_string(static_cast<obs::Counter>(i)));
+  EXPECT_EQ(counters.at("spmv_calls").number, 7.0);
+  EXPECT_EQ(counters.at("flops").number, 12345.0);
+
+  const auto& spans = doc.at("spans");
+  ASSERT_EQ(spans.array.size(), report.trace.spans().size());
+  const auto& s0 = spans.array[0];
+  EXPECT_EQ(s0.at("name").string, "outer");
+  EXPECT_EQ(s0.at("parent").number, -1.0);
+  EXPECT_EQ(s0.at("depth").number, 0.0);
+  EXPECT_FALSE(s0.at("modeled").boolean);
+  const auto& s1 = spans.array[1];
+  EXPECT_EQ(s1.at("name").string, "inner");
+  EXPECT_EQ(s1.at("parent").number, 0.0);
+  const auto& s2 = spans.array[2];
+  EXPECT_EQ(s2.at("name").string, "gpu");
+  EXPECT_TRUE(s2.at("modeled").boolean);
+  EXPECT_EQ(s2.at("seconds").number, 0.25);
+
+  // Durations round-trip exactly through the %.17g formatting.
+  for (std::size_t i = 0; i < report.trace.spans().size(); ++i)
+    EXPECT_EQ(spans.array[i].at("seconds").number, report.trace.spans()[i].seconds);
+}
+
+TEST(Report, TablesListCountersAndIndentSpans) {
+  obs::Report report;
+  {
+    obs::Collect collect(report);
+    obs::ScopedSpan outer("outer");
+    obs::ScopedSpan inner("inner");
+    obs::add(obs::Counter::DotCalls, 2.0);
+  }
+  const auto ctab = obs::counters_to_table(report.counters).to_text();
+  EXPECT_NE(ctab.find("dot_calls"), std::string::npos);
+  const auto ttab = obs::trace_to_table(report.trace).to_text();
+  EXPECT_NE(ttab.find("outer"), std::string::npos);
+  EXPECT_NE(ttab.find("  inner"), std::string::npos);  // depth-indented
+  EXPECT_NE(ttab.find("measured"), std::string::npos);
+}
+
+}  // namespace

@@ -7,6 +7,8 @@
 #include <tuple>
 
 #include "core/kpm.hpp"
+#include "core/moments_f32.hpp"
+#include "obs/counters.hpp"
 
 namespace {
 
@@ -195,5 +197,92 @@ INSTANTIATE_TEST_SUITE_P(Widths, DisorderSweep, ::testing::Values(0.0, 0.5, 1.0,
                          [](const auto& info) {
                            return "W" + std::to_string(static_cast<int>(info.param * 10));
                          });
+
+// ---------------------------------------------------------------------------
+// Sweep 6: differential engine sweep on random sparse Hamiltonians — every
+// engine must agree on the moments AND report the same functional work
+// (instances executed, moments produced) through the obs counter registry.
+// ---------------------------------------------------------------------------
+
+struct RandomHamiltonianCase {
+  const char* label;
+  double disorder;
+  std::uint64_t seed;
+};
+
+class EngineDifferentialSweep : public ::testing::TestWithParam<RandomHamiltonianCase> {};
+
+TEST_P(EngineDifferentialSweep, EnginesAgreeOnMomentsAndReportedWork) {
+  const auto& c = GetParam();
+  const auto lat = lattice::HypercubicLattice::square(5, 5);
+  const auto h =
+      lattice::build_tight_binding_crs(lat, {}, lattice::anderson_disorder(c.disorder, c.seed));
+  linalg::MatrixOperator op(h);
+  const auto t = linalg::make_spectral_transform(op);
+  const auto ht = linalg::rescale(h, t);
+  linalg::MatrixOperator op_t(ht);
+
+  MomentParams p;
+  p.num_moments = 16;
+  p.random_vectors = 3;
+  p.realizations = 2;
+  p.seed = c.seed;
+
+  // Runs an engine under a fresh counter sink; returns (result, counters).
+  const auto run = [&](MomentEngine& engine) {
+    obs::CounterSet counters;
+    MomentResult result;
+    {
+      obs::CounterScope scope(counters);
+      result = engine.compute(op_t, p);
+    }
+    return std::pair{std::move(result), counters};
+  };
+
+  CpuMomentEngine serial;
+  const auto [ref, ref_counts] = run(serial);
+  ASSERT_EQ(ref.mu.size(), p.num_moments);
+  EXPECT_EQ(ref_counts[obs::Counter::InstancesExecuted],
+            static_cast<double>(p.instances()));
+  EXPECT_EQ(ref_counts[obs::Counter::MomentsProduced],
+            static_cast<double>(p.num_moments));
+
+  CpuParallelMomentEngine parallel(3);
+  CpuPairedMomentEngine paired;
+  CpuMomentEngineF32 f32;
+  GpuMomentEngine gpu;
+  struct Row {
+    MomentEngine* engine;
+    double tol;  // 0 = bitwise
+  };
+  for (const auto& row : {Row{&parallel, 0.0}, Row{&paired, 1e-9}, Row{&f32, 5e-3},
+                          Row{&gpu, 0.0}}) {
+    const auto [r, counts] = run(*row.engine);
+    // Identical functional work reported, whatever the execution strategy.
+    EXPECT_EQ(counts[obs::Counter::InstancesExecuted],
+              ref_counts[obs::Counter::InstancesExecuted])
+        << row.engine->name();
+    EXPECT_EQ(counts[obs::Counter::MomentsProduced],
+              ref_counts[obs::Counter::MomentsProduced])
+        << row.engine->name();
+    EXPECT_EQ(r.instances_executed, ref.instances_executed) << row.engine->name();
+    ASSERT_EQ(r.mu.size(), ref.mu.size()) << row.engine->name();
+    for (std::size_t n = 0; n < ref.mu.size(); ++n) {
+      if (row.tol == 0.0) {
+        EXPECT_EQ(r.mu[n], ref.mu[n]) << row.engine->name() << " moment " << n;
+      } else {
+        EXPECT_NEAR(r.mu[n], ref.mu[n], row.tol) << row.engine->name() << " moment " << n;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomHamiltonians, EngineDifferentialSweep,
+    ::testing::Values(RandomHamiltonianCase{"clean", 0.0, 11},
+                      RandomHamiltonianCase{"weak_disorder", 1.0, 23},
+                      RandomHamiltonianCase{"strong_disorder", 3.0, 47},
+                      RandomHamiltonianCase{"strong_disorder_reseeded", 3.0, 48}),
+    [](const auto& info) { return info.param.label; });
 
 }  // namespace

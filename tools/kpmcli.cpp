@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -20,10 +21,32 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/kpm.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
 using namespace kpm;
+
+/// Optional --metrics collection: construct before the work, then call
+/// `finish()` after it to write the JSON report and echo the counters.
+struct MetricsSink {
+  obs::Report report;
+  std::string path;
+  std::optional<obs::Collect> collect;
+
+  MetricsSink(std::string label, const std::string& out_path) : path(out_path) {
+    report.label = std::move(label);
+    if (!path.empty()) collect.emplace(report);
+  }
+
+  void finish() {
+    if (!collect) return;
+    collect.reset();
+    obs::write_json(report, path);
+    std::printf("\n%s", obs::counters_to_table(report.counters).to_text().c_str());
+    std::printf("metrics written to %s\n", path.c_str());
+  }
+};
 
 /// Built workload: Hamiltonian + transform + rescaled operator storage.
 struct Workload {
@@ -90,10 +113,16 @@ int cmd_dos(int argc, const char* const* argv) {
   const auto* csv = cli.add_string("csv", "", "optional CSV output path");
   const auto* save = cli.add_string("save-moments", "",
                                     "store the moment set for later `kpmcli reconstruct`");
+  const auto* metrics = cli.add_string("metrics", "",
+                                       "write a JSON metrics report (spans + counters)");
   cli.parse(argc, argv);
 
-  const auto w = build_workload(*kind, static_cast<std::size_t>(*edge), *disorder,
-                                static_cast<std::uint64_t>(*seed));
+  MetricsSink sink("kpmcli dos", *metrics);
+  const auto w = [&] {
+    obs::ScopedSpan span("build.workload");
+    return build_workload(*kind, static_cast<std::size_t>(*edge), *disorder,
+                          static_cast<std::uint64_t>(*seed));
+  }();
   linalg::MatrixOperator op(w.h_tilde);
   core::MomentParams params;
   params.num_moments = static_cast<std::size_t>(*n);
@@ -127,6 +156,7 @@ int cmd_dos(int argc, const char* const* argv) {
     table.write_csv(*csv);
     std::printf("\nseries written to %s\n", csv->c_str());
   }
+  sink.finish();
   return 0;
 }
 
@@ -140,10 +170,16 @@ int cmd_ldos(int argc, const char* const* argv) {
   const auto* seed = cli.add_int("seed", 42, "disorder seed");
   const auto* points = cli.add_int("points", 41, "output energies");
   const auto* csv = cli.add_string("csv", "", "optional CSV output path");
+  const auto* metrics = cli.add_string("metrics", "",
+                                       "write a JSON metrics report (spans + counters)");
   cli.parse(argc, argv);
 
-  const auto w = build_workload(*kind, static_cast<std::size_t>(*edge), *disorder,
-                                static_cast<std::uint64_t>(*seed));
+  MetricsSink sink("kpmcli ldos", *metrics);
+  const auto w = [&] {
+    obs::ScopedSpan span("build.workload");
+    return build_workload(*kind, static_cast<std::size_t>(*edge), *disorder,
+                          static_cast<std::uint64_t>(*seed));
+  }();
   linalg::MatrixOperator op(w.h_tilde);
   const auto curve = core::ldos_curve(op, w.transform, static_cast<std::size_t>(*site),
                                       static_cast<std::size_t>(*n),
@@ -158,6 +194,7 @@ int cmd_ldos(int argc, const char* const* argv) {
     table.write_csv(*csv);
     std::printf("\nseries written to %s\n", csv->c_str());
   }
+  sink.finish();
   return 0;
 }
 
@@ -171,8 +208,11 @@ int cmd_sigma(int argc, const char* const* argv) {
   const auto* disorder = cli.add_double("disorder", 0.0, "Anderson disorder width");
   const auto* seed = cli.add_int("seed", 42, "disorder seed");
   const auto* csv = cli.add_string("csv", "", "optional CSV output path");
+  const auto* metrics = cli.add_string("metrics", "",
+                                       "write a JSON metrics report (spans + counters)");
   cli.parse(argc, argv);
 
+  MetricsSink sink("kpmcli sigma", *metrics);
   KPM_REQUIRE(*kind != "honeycomb", "kpmcli sigma: honeycomb current operator not implemented");
   const auto e = static_cast<std::size_t>(*edge);
   lattice::HypercubicLattice lat =
@@ -206,6 +246,7 @@ int cmd_sigma(int argc, const char* const* argv) {
     table.write_csv(*csv);
     std::printf("\nseries written to %s\n", csv->c_str());
   }
+  sink.finish();
   return 0;
 }
 
