@@ -18,12 +18,25 @@
 #include <string>
 #include <utility>
 
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/kpm.hpp"
+#include "gpusim/check.hpp"
 #include "obs/report.hpp"
 
 namespace kpm::bench {
+
+/// Benches publish *modeled performance numbers*; running them with the
+/// kpmcheck hazard analysis installed would silently attribute the
+/// checker's host-side overhead to "host s" and mislead anyone comparing
+/// wall-clock columns.  Hard-fail instead of producing tainted numbers —
+/// `kpmcli check` is the supported way to run checked workloads.
+inline void require_unchecked() {
+  KPM_REQUIRE(!gpusim::default_check().enabled(),
+              "benchmarks must not run with a CheckConfig installed: hazard analysis skews "
+              "measured host timings (use `kpmcli check` instead)");
+}
 
 /// Routes everything the bench computes into an obs report.  Declare one at
 /// the top of main(); while it is in scope, `finish` (below) writes the
@@ -31,6 +44,7 @@ namespace kpm::bench {
 class BenchMetrics {
  public:
   explicit BenchMetrics(std::string label) {
+    require_unchecked();
     report_.label = std::move(label);
     collect_.emplace(report_);
   }
@@ -63,6 +77,7 @@ inline Comparison compare_engines(const linalg::MatrixOperator& h_tilde,
 /// Standard header block printed by every bench.
 inline void print_banner(const std::string& title, const std::string& workload,
                          const core::MomentParams& p, std::size_t sample) {
+  require_unchecked();
   std::printf("%s\n", title.c_str());
   std::printf("workload : %s\n", workload.c_str());
   std::printf("params   : R=%zu S=%zu (S*R=%zu instances), seed=%llu, vectors=%s\n",

@@ -1,0 +1,509 @@
+#include "check/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "gpusim/dim3.hpp"
+#include "obs/json.hpp"
+
+namespace kpm::check {
+
+// ---------------------------------------------------------------- IntervalSet
+
+void IntervalSet::add(std::size_t begin, std::size_t end) {
+  if (begin >= end) return;
+  // Find the insertion window of every range overlapping or touching
+  // [begin, end) and coalesce.
+  auto first = std::lower_bound(
+      ranges_.begin(), ranges_.end(), begin,
+      [](const ByteRange& r, std::size_t b) { return r.end < b; });
+  auto last = first;
+  while (last != ranges_.end() && last->begin <= end) {
+    begin = std::min(begin, last->begin);
+    end = std::max(end, last->end);
+    ++last;
+  }
+  const auto pos = ranges_.erase(first, last);
+  ranges_.insert(pos, ByteRange{begin, end});
+}
+
+bool IntervalSet::covers(std::size_t begin, std::size_t end) const {
+  if (begin >= end) return true;
+  auto it = std::upper_bound(ranges_.begin(), ranges_.end(), begin,
+                             [](std::size_t b, const ByteRange& r) { return b < r.begin; });
+  if (it == ranges_.begin()) return false;
+  --it;
+  return it->begin <= begin && end <= it->end;
+}
+
+ByteRange IntervalSet::first_overlap(std::size_t begin, std::size_t end) const {
+  for (const ByteRange& r : ranges_) {
+    if (r.begin >= end) break;
+    if (r.end > begin) return {std::max(r.begin, begin), std::min(r.end, end)};
+  }
+  return {0, 0};
+}
+
+namespace {
+
+/// First byte range present in both sets, or {0, 0}.
+ByteRange sets_overlap(const IntervalSet& a, const IntervalSet& b) {
+  for (const ByteRange& r : a.ranges()) {
+    const ByteRange hit = b.first_overlap(r.begin, r.end);
+    if (hit.end > hit.begin) return hit;
+  }
+  return {0, 0};
+}
+
+std::size_t component(const VectorClock& vc, std::size_t stream) {
+  return stream < vc.size() ? vc[stream] : 0;
+}
+
+void join(VectorClock& into, const VectorClock& other) {
+  if (into.size() < other.size()) into.resize(other.size(), 0);
+  for (std::size_t i = 0; i < other.size(); ++i) into[i] = std::max(into[i], other[i]);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- Checker
+
+void Checker::report(Finding f) {
+  if (findings_.size() >= kMaxFindings) return;
+  std::ostringstream key;
+  key << static_cast<int>(f.kind) << '|' << f.kernel << '|' << f.buffer << '|' << f.phase << '|'
+      << f.thread_a << '|' << f.thread_b;
+  if (!finding_keys_.insert(key.str()).second) return;
+  findings_.push_back(std::move(f));
+}
+
+Checker::BufferState* Checker::find_buffer(const void* base) {
+  auto it = buffers_.find(base);
+  return it == buffers_.end() ? nullptr : &it->second;
+}
+
+Checker::DeviceState& Checker::device_state(const void* device) { return devices_[device]; }
+
+std::size_t Checker::advance_stream(const void* device, std::size_t stream) {
+  DeviceState& dev = device_state(device);
+  if (dev.stream_clocks.size() <= stream) dev.stream_clocks.resize(stream + 1);
+  VectorClock& vc = dev.stream_clocks[stream];
+  if (vc.size() <= stream) vc.resize(stream + 1, 0);
+  return ++vc[stream];
+}
+
+bool Checker::ordered_before(const StreamAccess& access, const void* device,
+                             std::size_t stream) {
+  if (access.device != device) return true;  // cross-device: not our hazard class
+  if (access.stream == stream) return true;  // same stream serializes
+  DeviceState& dev = device_state(device);
+  if (dev.stream_clocks.size() <= stream) dev.stream_clocks.resize(stream + 1);
+  return component(dev.stream_clocks[stream], access.stream) >= access.clock;
+}
+
+void Checker::check_stream_write(BufferState& buf, const void* device, std::size_t stream,
+                                 std::size_t clock, const std::string& op) {
+  if (buf.has_write && !ordered_before(buf.last_write, device, stream)) {
+    Finding f;
+    f.kind = Kind::StreamHazard;
+    f.kernel = op;
+    f.buffer = buf.label;
+    f.thread_a = static_cast<std::ptrdiff_t>(stream);
+    f.thread_b = static_cast<std::ptrdiff_t>(buf.last_write.stream);
+    f.bytes = buf.bytes;
+    f.detail = "write on stream " + std::to_string(stream) + " races prior write by '" +
+               buf.last_write.op + "' on stream " + std::to_string(buf.last_write.stream) +
+               " (no event/synchronize between them)";
+    report(std::move(f));
+  }
+  for (const StreamAccess& read : buf.reads_since_write) {
+    if (ordered_before(read, device, stream)) continue;
+    Finding f;
+    f.kind = Kind::StreamHazard;
+    f.kernel = op;
+    f.buffer = buf.label;
+    f.thread_a = static_cast<std::ptrdiff_t>(stream);
+    f.thread_b = static_cast<std::ptrdiff_t>(read.stream);
+    f.bytes = buf.bytes;
+    f.detail = "write on stream " + std::to_string(stream) + " races prior read by '" +
+               read.op + "' on stream " + std::to_string(read.stream);
+    report(std::move(f));
+  }
+  buf.last_write = StreamAccess{device, stream, clock, op};
+  buf.has_write = true;
+  buf.reads_since_write.clear();
+}
+
+void Checker::check_stream_read(BufferState& buf, const void* device, std::size_t stream,
+                                std::size_t clock, const std::string& op) {
+  if (buf.has_write && !ordered_before(buf.last_write, device, stream)) {
+    Finding f;
+    f.kind = Kind::StreamHazard;
+    f.kernel = op;
+    f.buffer = buf.label;
+    f.thread_a = static_cast<std::ptrdiff_t>(stream);
+    f.thread_b = static_cast<std::ptrdiff_t>(buf.last_write.stream);
+    f.bytes = buf.bytes;
+    f.detail = "read on stream " + std::to_string(stream) + " races write by '" +
+               buf.last_write.op + "' on stream " + std::to_string(buf.last_write.stream) +
+               " (no event/synchronize between them)";
+    report(std::move(f));
+  }
+  // One record per (stream, op, clock) is enough: accesses within one
+  // operation share the clock.
+  const StreamAccess rec{device, stream, clock, op};
+  if (buf.reads_since_write.empty() || buf.reads_since_write.back().stream != stream ||
+      buf.reads_since_write.back().clock != clock)
+    buf.reads_since_write.push_back(rec);
+}
+
+// ------------------------------------------------------- launch lifecycle
+
+void Checker::on_launch_begin(const void* device, const char* kernel,
+                              const gpusim::ExecConfig& cfg, std::size_t stream) {
+  (void)cfg;
+  in_launch_ = true;
+  kernel_ = kernel != nullptr ? kernel : "?";
+  launch_device_ = device;
+  launch_stream_ = stream;
+  launch_clock_ = advance_stream(device, stream);
+  launch_global_.clear();
+  block_active_ = false;
+  stats_.launches += 1;
+}
+
+void Checker::on_launch_end() {
+  if (block_active_) {
+    flush_phase();
+    flush_block();
+  }
+  flush_launch();
+  in_launch_ = false;
+  block_active_ = false;
+}
+
+void Checker::on_block_begin(std::size_t bid, std::size_t threads) {
+  (void)threads;
+  if (block_active_) {
+    flush_phase();
+    flush_block();
+  }
+  block_ = bid;
+  block_active_ = true;
+  phase_ = 0;
+  thread_ = gpusim::kBlockScope;
+  stats_.blocks += 1;
+}
+
+void Checker::on_phase_begin(int phase) {
+  flush_phase();
+  phase_ = phase;
+  thread_ = gpusim::kBlockScope;
+}
+
+void Checker::on_thread_begin(std::ptrdiff_t tid) { thread_ = tid; }
+
+// ------------------------------------------------------- global memory
+
+void Checker::on_global_read(const void* base, std::size_t offset, std::size_t bytes) {
+  stats_.global_accesses += 1;
+  if (!in_launch_) return;
+  BufferState* buf = find_buffer(base);
+  if (buf == nullptr) return;  // allocated before the checker was installed
+  if (!buf->initialized.covers(offset, offset + bytes)) {
+    Finding f;
+    f.kind = Kind::UninitRead;
+    f.kernel = kernel_;
+    f.buffer = buf->label;
+    f.block = block_;
+    f.phase = phase_;
+    f.thread_a = thread_;
+    f.offset = offset;
+    f.bytes = bytes;
+    f.detail = "read of device memory never written by h2d/memset/store";
+    report(std::move(f));
+  }
+  check_stream_read(*buf, launch_device_, launch_stream_, launch_clock_, kernel_);
+  launch_global_[base][block_].reads.add(offset, offset + bytes);
+}
+
+void Checker::on_global_write(const void* base, std::size_t offset, std::size_t bytes) {
+  stats_.global_accesses += 1;
+  if (!in_launch_) return;
+  BufferState* buf = find_buffer(base);
+  if (buf == nullptr) return;
+  // A kernel write participates in the stream order as the launch op; only
+  // the first write of the launch needs the cross-stream test.
+  if (!buf->has_write || buf->last_write.clock != launch_clock_ ||
+      buf->last_write.stream != launch_stream_ || buf->last_write.device != launch_device_)
+    check_stream_write(*buf, launch_device_, launch_stream_, launch_clock_, kernel_);
+  buf->initialized.add(offset, offset + bytes);
+  launch_global_[base][block_].writes.add(offset, offset + bytes);
+}
+
+void Checker::flush_launch() {
+  for (auto& [base, per_block] : launch_global_) {
+    if (per_block.size() < 2) continue;
+    const BufferState* buf = find_buffer(base);
+    const std::string label = buf != nullptr ? buf->label : "?";
+    for (auto a = per_block.begin(); a != per_block.end(); ++a)
+      for (auto b = std::next(a); b != per_block.end(); ++b) {
+        const ByteRange ww = sets_overlap(a->second.writes, b->second.writes);
+        const ByteRange wr = sets_overlap(a->second.writes, b->second.reads);
+        const ByteRange rw = sets_overlap(a->second.reads, b->second.writes);
+        const ByteRange hit = ww.end > ww.begin ? ww : (wr.end > wr.begin ? wr : rw);
+        if (hit.end <= hit.begin) continue;
+        Finding f;
+        f.kind = Kind::GlobalRace;
+        f.kernel = kernel_;
+        f.buffer = label;
+        f.block = a->first;
+        f.thread_a = static_cast<std::ptrdiff_t>(a->first);
+        f.thread_b = static_cast<std::ptrdiff_t>(b->first);
+        f.offset = hit.begin;
+        f.bytes = hit.end - hit.begin;
+        f.detail = std::string(ww.end > ww.begin ? "write-write" : "read-write") +
+                   " overlap between blocks " + std::to_string(a->first) + " and " +
+                   std::to_string(b->first) + " (concurrent on real hardware)";
+        report(std::move(f));
+        break;  // one finding per buffer is enough
+      }
+  }
+  launch_global_.clear();
+}
+
+// ------------------------------------------------------- shared memory
+
+void Checker::on_shared_alloc(std::size_t offset, std::size_t bytes) {
+  if (!in_launch_) return;
+  shared_allocs_[thread_].emplace_back(offset, bytes);
+}
+
+void Checker::on_shared_read(std::size_t offset, std::size_t bytes) {
+  stats_.shared_accesses += 1;
+  if (!in_launch_ || thread_ == gpusim::kBlockScope) return;
+  shared_access_[thread_].reads.add(offset, offset + bytes);
+}
+
+void Checker::on_shared_write(std::size_t offset, std::size_t bytes) {
+  stats_.shared_accesses += 1;
+  if (!in_launch_ || thread_ == gpusim::kBlockScope) return;
+  shared_access_[thread_].writes.add(offset, offset + bytes);
+}
+
+void Checker::on_local_alloc(std::size_t slot, std::size_t bytes) {
+  (void)slot;
+  if (!in_launch_) return;
+  local_allocs_[thread_].push_back(bytes);
+}
+
+void Checker::flush_phase() {
+  // 1. Shared-memory racecheck: pairwise thread overlap with >= 1 write.
+  for (auto a = shared_access_.begin(); a != shared_access_.end(); ++a)
+    for (auto b = std::next(a); b != shared_access_.end(); ++b) {
+      const ByteRange ww = sets_overlap(a->second.writes, b->second.writes);
+      const ByteRange wr = sets_overlap(a->second.writes, b->second.reads);
+      const ByteRange rw = sets_overlap(a->second.reads, b->second.writes);
+      const ByteRange hit = ww.end > ww.begin ? ww : (wr.end > wr.begin ? wr : rw);
+      if (hit.end <= hit.begin) continue;
+      Finding f;
+      f.kind = Kind::SharedRace;
+      f.kernel = kernel_;
+      f.block = block_;
+      f.phase = phase_;
+      f.thread_a = a->first;
+      f.thread_b = b->first;
+      f.offset = hit.begin;
+      f.bytes = hit.end - hit.begin;
+      f.detail = std::string(ww.end > ww.begin ? "write-write" : "read-write") +
+                 " shared-memory overlap between threads " + std::to_string(a->first) +
+                 " and " + std::to_string(b->first) + " within one barrier interval";
+      report(std::move(f));
+    }
+
+  // 2a. Within-phase shared allocation divergence across threads.
+  const AllocSeq* phase_ref = nullptr;
+  std::ptrdiff_t phase_ref_tid = kNoThread;
+  for (const auto& [tid, seq] : shared_allocs_) {
+    if (tid == gpusim::kBlockScope) continue;  // overridden block_phase: one scope only
+    if (phase_ref == nullptr) {
+      phase_ref = &seq;
+      phase_ref_tid = tid;
+      continue;
+    }
+    if (seq == *phase_ref) continue;
+    Finding f;
+    f.kind = Kind::AllocDivergence;
+    f.kernel = kernel_;
+    f.block = block_;
+    f.phase = phase_;
+    f.thread_a = phase_ref_tid;
+    f.thread_b = tid;
+    f.detail = "threads " + std::to_string(phase_ref_tid) + " and " + std::to_string(tid) +
+               " performed different shared_array() sequences (" +
+               std::to_string(phase_ref->size()) + " vs " + std::to_string(seq.size()) +
+               " calls) in one phase";
+    report(std::move(f));
+    break;
+  }
+
+  // 2b. Cross-phase shared sequence: the shorter of (block reference, this
+  // phase) must be a prefix of the longer — the arena rewinds per phase, so
+  // a diverging re-declaration silently aliases different storage.
+  for (const auto& [tid, seq] : shared_allocs_) {
+    if (seq.empty()) continue;
+    if (!block_shared_ref_set_) {
+      block_shared_ref_ = seq;
+      block_shared_ref_set_ = true;
+      break;  // all scopes of this phase already checked equal above
+    }
+    const AllocSeq& shorter = seq.size() < block_shared_ref_.size() ? seq : block_shared_ref_;
+    const AllocSeq& longer = seq.size() < block_shared_ref_.size() ? block_shared_ref_ : seq;
+    if (std::equal(shorter.begin(), shorter.end(), longer.begin())) {
+      if (seq.size() > block_shared_ref_.size()) block_shared_ref_ = seq;
+    } else {
+      Finding f;
+      f.kind = Kind::AllocDivergence;
+      f.kernel = kernel_;
+      f.block = block_;
+      f.phase = phase_;
+      f.thread_a = tid;
+      f.detail = "phase " + std::to_string(phase_) +
+                 " shared_array() sequence diverges from earlier phases of the block "
+                 "(silently aliases different storage)";
+      report(std::move(f));
+    }
+    break;
+  }
+
+  // 2c. Local allocation sequences must repeat exactly across phases.
+  for (const auto& [tid, seq] : local_allocs_) {
+    if (seq.empty()) continue;
+    auto [it, inserted] = block_local_ref_.try_emplace(tid, seq);
+    if (inserted || it->second == seq) continue;
+    Finding f;
+    f.kind = Kind::AllocDivergence;
+    f.kernel = kernel_;
+    f.block = block_;
+    f.phase = phase_;
+    f.thread_a = tid;
+    f.detail = "thread " + std::to_string(tid) + " made " + std::to_string(seq.size()) +
+               " local_array() calls in phase " + std::to_string(phase_) + " but " +
+               std::to_string(it->second.size()) +
+               " in an earlier phase (slots silently alias earlier storage)";
+    report(std::move(f));
+  }
+
+  shared_access_.clear();
+  shared_allocs_.clear();
+  local_allocs_.clear();
+}
+
+void Checker::flush_block() {
+  block_shared_ref_.clear();
+  block_shared_ref_set_ = false;
+  block_local_ref_.clear();
+}
+
+// ------------------------------------------------------- host operations
+
+void Checker::on_alloc(const void* device, const void* base, std::size_t bytes,
+                       const std::string& label) {
+  BufferState fresh;
+  fresh.label = label;
+  fresh.bytes = bytes;
+  fresh.device = device;
+  buffers_[base] = std::move(fresh);  // base reuse after free: reset shadow
+}
+
+void Checker::on_memset(const void* device, const void* base, std::size_t bytes,
+                        std::size_t stream) {
+  stats_.transfers += 1;
+  const std::size_t clock = advance_stream(device, stream);
+  BufferState* buf = find_buffer(base);
+  if (buf == nullptr) return;
+  check_stream_write(*buf, device, stream, clock, "memset");
+  buf->initialized.add(0, bytes);
+}
+
+void Checker::on_h2d(const void* device, const void* base, std::size_t bytes,
+                     std::size_t stream) {
+  stats_.transfers += 1;
+  const std::size_t clock = advance_stream(device, stream);
+  BufferState* buf = find_buffer(base);
+  if (buf == nullptr) return;
+  check_stream_write(*buf, device, stream, clock, "h2d");
+  buf->initialized.add(0, bytes);
+}
+
+void Checker::on_d2h(const void* device, const void* base, std::size_t bytes,
+                     std::size_t stream) {
+  (void)bytes;
+  stats_.transfers += 1;
+  const std::size_t clock = advance_stream(device, stream);
+  BufferState* buf = find_buffer(base);
+  if (buf == nullptr) return;
+  check_stream_read(*buf, device, stream, clock, "d2h");
+}
+
+// ------------------------------------------------------- stream ordering
+
+void Checker::on_stream_created(const void* device, std::size_t stream) {
+  DeviceState& dev = device_state(device);
+  if (dev.stream_clocks.size() <= stream) dev.stream_clocks.resize(stream + 1);
+  // A new stream starts at the device critical path: it observes all work
+  // issued so far.
+  VectorClock all;
+  for (const VectorClock& vc : dev.stream_clocks) join(all, vc);
+  dev.stream_clocks[stream] = all;
+}
+
+void Checker::on_record_event(const void* device, std::size_t stream, double seconds) {
+  stats_.stream_ops += 1;
+  DeviceState& dev = device_state(device);
+  if (dev.stream_clocks.size() <= stream) dev.stream_clocks.resize(stream + 1);
+  VectorClock& snap = event_snapshots_[{device, seconds}];
+  join(snap, dev.stream_clocks[stream]);
+}
+
+void Checker::on_wait_event(const void* device, std::size_t stream, double seconds) {
+  stats_.stream_ops += 1;
+  const auto it = event_snapshots_.find({device, seconds});
+  if (it == event_snapshots_.end()) return;  // event predates the checker
+  DeviceState& dev = device_state(device);
+  if (dev.stream_clocks.size() <= stream) dev.stream_clocks.resize(stream + 1);
+  join(dev.stream_clocks[stream], it->second);
+}
+
+void Checker::on_synchronize(const void* device) {
+  stats_.stream_ops += 1;
+  DeviceState& dev = device_state(device);
+  VectorClock all;
+  for (const VectorClock& vc : dev.stream_clocks) join(all, vc);
+  for (VectorClock& vc : dev.stream_clocks) vc = all;
+}
+
+// ------------------------------------------------------- reporting
+
+kpm::Table Checker::findings_table() const {
+  kpm::Table table({"kind", "kernel", "buffer", "block", "phase", "threads", "detail"});
+  for (const Finding& f : findings_) {
+    table.add_row({to_string(f.kind), f.kernel, f.buffer, std::to_string(f.block),
+                   std::to_string(f.phase),
+                   std::to_string(f.thread_a) + "/" + std::to_string(f.thread_b), f.detail});
+  }
+  return table;
+}
+
+std::string Checker::to_json_section() const {
+  std::ostringstream os;
+  os << "{\"schema\": \"kpm.check/1\", \"findings\": " << findings_to_json(findings_)
+     << ", \"stats\": {\"launches\": " << stats_.launches << ", \"blocks\": " << stats_.blocks
+     << ", \"global_accesses\": " << stats_.global_accesses
+     << ", \"shared_accesses\": " << stats_.shared_accesses
+     << ", \"transfers\": " << stats_.transfers << ", \"stream_ops\": " << stats_.stream_ops
+     << "}}";
+  return os.str();
+}
+
+}  // namespace kpm::check

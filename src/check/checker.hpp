@@ -1,0 +1,239 @@
+// The kpmcheck hazard analyzer: an AccessObserver with shadow state.
+//
+// Checker watches every instrumented access of one or more simulated
+// devices and reports four hazard classes as structured Findings
+// (finding.hpp, docs/checking.md):
+//
+//   1. Shared-memory racecheck — per (block, phase), per-thread read/write
+//      byte intervals over the shared arena; two distinct threads touching
+//      the same byte within one barrier interval with at least one write is
+//      a race (cuda-memcheck racecheck).  Block-scope accesses
+//      (gpusim::kBlockScope) model cooperative primitives with internal
+//      barriers and are exempt.
+//
+//   2. Allocation-divergence check — within a phase, every thread of a
+//      block must perform the identical shared_array() sequence (CUDA
+//      __shared__ declarations are per-block, not per-thread); across
+//      phases a non-empty shared sequence must be a prefix of the block's
+//      reference sequence (the arena rewinds each phase, so a shorter
+//      re-declaration aliases the same storage safely, a different one
+//      aliases the *wrong* storage silently).  local_array() call
+//      sequences must repeat exactly across phases per thread: the
+//      runtime only hard-fails on a size mismatch at the same slot, while
+//      a shortened call sequence silently hands back the wrong slot.
+//
+//   3. Global-memory hazard check — per launch and per buffer, byte
+//      intervals read/written by each block; a byte written by two
+//      different blocks (write-write) or written by one and read by
+//      another (read-write) is flagged at launch end: blocks are
+//      concurrent on real hardware, so the simulator's deterministic
+//      block order hides a data race.  Reads of bytes never seeded by
+//      h2d / memset / a prior view write are flagged as uninit-read
+//      (cuda-memcheck initcheck).
+//
+//   4. Stream-order analysis — a vector clock per (device, stream),
+//      advanced by every issued operation and joined through
+//      record_event/wait_event snapshots and synchronize().  An access to
+//      a buffer whose last writer on another stream does not
+//      happen-before the accessing operation (e.g. a D2H on stream 0
+//      racing a kernel write on stream 1 with no event in between) is a
+//      stream hazard.
+//
+// The checker is strictly observational: it never throws on a finding and
+// never mutates simulator state, so a checked run is bit-identical to an
+// unchecked one (asserted by test_check_clean).  Duplicate findings are
+// folded: each distinct (kind, kernel, location) is reported once.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/finding.hpp"
+#include "common/table.hpp"
+#include "gpusim/check.hpp"
+
+namespace kpm::check {
+
+/// Half-open byte interval [begin, end).
+struct ByteRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// A sorted, disjoint set of byte intervals.
+class IntervalSet {
+ public:
+  void add(std::size_t begin, std::size_t end);
+  /// True when [begin, end) is fully covered.
+  [[nodiscard]] bool covers(std::size_t begin, std::size_t end) const;
+  /// First byte range overlapping [begin, end), or {0, 0} when none.
+  [[nodiscard]] ByteRange first_overlap(std::size_t begin, std::size_t end) const;
+  [[nodiscard]] bool empty() const noexcept { return ranges_.empty(); }
+  [[nodiscard]] const std::vector<ByteRange>& ranges() const noexcept { return ranges_; }
+
+ private:
+  std::vector<ByteRange> ranges_;  // sorted by begin, disjoint, coalesced
+};
+
+/// A vector clock: logical time per stream id (index).  vc[s] is the
+/// number of operations of stream s known to have happened before.
+using VectorClock = std::vector<std::size_t>;
+
+/// Aggregate counters describing how much work the checker observed.
+struct CheckStats {
+  std::size_t launches = 0;
+  std::size_t blocks = 0;
+  std::size_t global_accesses = 0;  ///< view loads/stores observed
+  std::size_t shared_accesses = 0;  ///< annotated shared loads/stores
+  std::size_t transfers = 0;        ///< h2d + d2h + memset
+  std::size_t stream_ops = 0;       ///< record/wait/synchronize events
+};
+
+/// The hazard analyzer.  Install via ScopedCheck (process default, picked
+/// up by devices constructed inside engines) or Device::set_check.
+class Checker final : public gpusim::AccessObserver {
+ public:
+  /// Stop recording after this many findings (dedup still applies).
+  static constexpr std::size_t kMaxFindings = 256;
+
+  [[nodiscard]] const std::vector<Finding>& findings() const noexcept { return findings_; }
+  [[nodiscard]] const CheckStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool clean() const noexcept { return findings_.empty(); }
+
+  /// {kind, kernel, buffer, location, detail} table of all findings.
+  [[nodiscard]] kpm::Table findings_table() const;
+
+  /// JSON object {"findings": [...], "stats": {...}} for an obs report
+  /// section (sub-schema "kpm.check/1").
+  [[nodiscard]] std::string to_json_section() const;
+
+  // --- AccessObserver ---
+  void on_launch_begin(const void* device, const char* kernel, const gpusim::ExecConfig& cfg,
+                       std::size_t stream) override;
+  void on_launch_end() override;
+  void on_block_begin(std::size_t bid, std::size_t threads) override;
+  void on_phase_begin(int phase) override;
+  void on_thread_begin(std::ptrdiff_t tid) override;
+  void on_global_read(const void* base, std::size_t offset, std::size_t bytes) override;
+  void on_global_write(const void* base, std::size_t offset, std::size_t bytes) override;
+  void on_shared_alloc(std::size_t offset, std::size_t bytes) override;
+  void on_shared_read(std::size_t offset, std::size_t bytes) override;
+  void on_shared_write(std::size_t offset, std::size_t bytes) override;
+  void on_local_alloc(std::size_t slot, std::size_t bytes) override;
+  void on_alloc(const void* device, const void* base, std::size_t bytes,
+                const std::string& label) override;
+  void on_memset(const void* device, const void* base, std::size_t bytes,
+                 std::size_t stream) override;
+  void on_h2d(const void* device, const void* base, std::size_t bytes,
+              std::size_t stream) override;
+  void on_d2h(const void* device, const void* base, std::size_t bytes,
+              std::size_t stream) override;
+  void on_stream_created(const void* device, std::size_t stream) override;
+  void on_record_event(const void* device, std::size_t stream, double seconds) override;
+  void on_wait_event(const void* device, std::size_t stream, double seconds) override;
+  void on_synchronize(const void* device) override;
+
+ private:
+  /// Per-stream access record for the stream-order analysis.
+  struct StreamAccess {
+    const void* device = nullptr;
+    std::size_t stream = 0;
+    std::size_t clock = 0;  ///< the op's position on its own stream
+    std::string op;         ///< kernel name or "h2d"/"d2h"/"memset"
+  };
+
+  /// Shadow state of one device buffer.
+  struct BufferState {
+    std::string label;
+    std::size_t bytes = 0;
+    const void* device = nullptr;
+    IntervalSet initialized;
+    StreamAccess last_write;
+    bool has_write = false;
+    std::vector<StreamAccess> reads_since_write;
+  };
+
+  /// Per-thread shared-arena access sets within the current (block, phase).
+  struct ThreadAccess {
+    IntervalSet reads;
+    IntervalSet writes;
+  };
+
+  /// One shared_array() call: (arena offset, bytes).
+  using AllocSeq = std::vector<std::pair<std::size_t, std::size_t>>;
+
+  struct DeviceState {
+    std::vector<VectorClock> stream_clocks;  // index = StreamId
+  };
+
+  void report(Finding f);
+  [[nodiscard]] BufferState* find_buffer(const void* base);
+  DeviceState& device_state(const void* device);
+  /// Advances `stream`'s own component and returns the op's clock value.
+  std::size_t advance_stream(const void* device, std::size_t stream);
+  /// True when `access` happens-before the current head of (device, stream).
+  [[nodiscard]] bool ordered_before(const StreamAccess& access, const void* device,
+                                    std::size_t stream);
+  void check_stream_write(BufferState& buf, const void* device, std::size_t stream,
+                          std::size_t clock, const std::string& op);
+  void check_stream_read(BufferState& buf, const void* device, std::size_t stream,
+                         std::size_t clock, const std::string& op);
+  void flush_phase();  ///< racecheck + divergence for the finished phase
+  void flush_block();  ///< cross-phase local/shared sequence checks
+  void flush_launch(); ///< cross-block global overlap detection
+
+  std::vector<Finding> findings_;
+  std::set<std::string> finding_keys_;  // dedup
+  CheckStats stats_;
+
+  // Buffer registry, keyed by storage base address.
+  std::map<const void*, BufferState> buffers_;
+
+  // Stream-order state.
+  std::map<const void*, DeviceState> devices_;
+  std::map<std::pair<const void*, double>, VectorClock> event_snapshots_;
+
+  // Launch-scoped state.
+  bool in_launch_ = false;
+  std::string kernel_;
+  const void* launch_device_ = nullptr;
+  std::size_t launch_stream_ = 0;
+  std::size_t launch_clock_ = 0;
+  // Per buffer: per block, bytes read / written during this launch.
+  std::map<const void*, std::map<std::size_t, ThreadAccess>> launch_global_;
+
+  // Block-scoped state.
+  bool block_active_ = false;
+  std::size_t block_ = 0;
+  int phase_ = 0;
+  std::ptrdiff_t thread_ = gpusim::kBlockScope;
+  std::map<std::ptrdiff_t, ThreadAccess> shared_access_;       // current phase
+  std::map<std::ptrdiff_t, AllocSeq> shared_allocs_;           // current phase
+  AllocSeq block_shared_ref_;                                  // block reference
+  bool block_shared_ref_set_ = false;
+  std::map<std::ptrdiff_t, std::vector<std::size_t>> local_allocs_;  // current phase
+  // Per thread: the first non-empty local_array() call sequence of this
+  // block — later phases must repeat it exactly.
+  std::map<std::ptrdiff_t, std::vector<std::size_t>> block_local_ref_;
+};
+
+/// RAII: installs `checker` as the process-wide default CheckConfig so
+/// devices constructed inside engines adopt it; restores the previous
+/// default on destruction.
+class ScopedCheck {
+ public:
+  explicit ScopedCheck(Checker& checker) noexcept : prev_(gpusim::default_check()) {
+    gpusim::set_default_check({&checker});
+  }
+  ~ScopedCheck() { gpusim::set_default_check(prev_); }
+  ScopedCheck(const ScopedCheck&) = delete;
+  ScopedCheck& operator=(const ScopedCheck&) = delete;
+
+ private:
+  gpusim::CheckConfig prev_;
+};
+
+}  // namespace kpm::check

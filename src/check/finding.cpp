@@ -1,0 +1,52 @@
+#include "check/finding.hpp"
+
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace kpm::check {
+
+const char* to_string(Kind k) noexcept {
+  switch (k) {
+    case Kind::SharedRace:
+      return "shared-race";
+    case Kind::AllocDivergence:
+      return "alloc-divergence";
+    case Kind::GlobalRace:
+      return "global-race";
+    case Kind::UninitRead:
+      return "uninit-read";
+    case Kind::StreamHazard:
+      return "stream-hazard";
+  }
+  return "?";
+}
+
+std::string to_string(const Finding& f) {
+  std::ostringstream os;
+  os << to_string(f.kind) << " in '" << f.kernel << "'";
+  if (!f.buffer.empty()) os << " buffer '" << f.buffer << "'";
+  os << " (block " << f.block << ", phase " << f.phase;
+  if (f.thread_a != kNoThread || f.thread_b != kNoThread)
+    os << ", threads " << f.thread_a << "/" << f.thread_b;
+  os << ", bytes [" << f.offset << ", " << f.offset + f.bytes << ")): " << f.detail;
+  return os.str();
+}
+
+std::string findings_to_json(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "" : ", ") << "{\"kind\": \"" << to_string(f.kind) << "\", \"kernel\": \""
+       << obs::json_escape(f.kernel) << "\", \"buffer\": \"" << obs::json_escape(f.buffer)
+       << "\", \"block\": " << f.block << ", \"phase\": " << f.phase
+       << ", \"thread_a\": " << f.thread_a << ", \"thread_b\": " << f.thread_b
+       << ", \"offset\": " << f.offset << ", \"bytes\": " << f.bytes << ", \"detail\": \""
+       << obs::json_escape(f.detail) << "\"}";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace kpm::check

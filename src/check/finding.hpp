@@ -1,0 +1,54 @@
+// Structured hazard findings produced by the kpmcheck analyses.
+//
+// A Finding is one detected hazard: what class it belongs to, which kernel
+// (or host operation) triggered it, where it happened (block/phase/threads/
+// byte range), and a human-readable detail line.  Findings are value types:
+// tests assert on them exactly, the CLI tabulates them, and the JSON
+// exporter embeds them in obs reports (schema "kpm.check/1").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kpm::check {
+
+/// The hazard classes kpmcheck distinguishes (docs/checking.md has a
+/// minimal offending kernel for each).
+enum class Kind {
+  SharedRace,       ///< >=2 threads, same shared byte, same phase, >=1 write
+  AllocDivergence,  ///< shared/local allocation sequence differs across threads or phases
+  GlobalRace,       ///< cross-block global overlap with >=1 write in one launch
+  UninitRead,       ///< view read of device memory never seeded by h2d/memset/store
+  StreamHazard,     ///< cross-stream access without happens-before ordering
+};
+
+/// Returns "shared-race", "alloc-divergence", "global-race", "uninit-read"
+/// or "stream-hazard".
+[[nodiscard]] const char* to_string(Kind k) noexcept;
+
+/// Thread id used when an access happened outside per-thread context
+/// (mirrors gpusim::kBlockScope).
+inline constexpr std::ptrdiff_t kNoThread = -1;
+
+/// One detected hazard.
+struct Finding {
+  Kind kind = Kind::SharedRace;
+  std::string kernel;  ///< kernel name, or host op ("d2h", "h2d", "memset")
+  std::string buffer;  ///< device buffer label ("" for shared-memory findings)
+  std::size_t block = 0;
+  int phase = 0;
+  std::ptrdiff_t thread_a = kNoThread;  ///< first involved thread (or kNoThread)
+  std::ptrdiff_t thread_b = kNoThread;  ///< second involved thread / block id
+  std::size_t offset = 0;               ///< first overlapping byte
+  std::size_t bytes = 0;                ///< length of the overlapping range
+  std::string detail;                   ///< one-line human-readable description
+};
+
+/// One-line rendering: "shared-race in kernel 'x' (block 0 phase 1, ...)".
+[[nodiscard]] std::string to_string(const Finding& f);
+
+/// Renders findings as a JSON array (used by the obs "check" section).
+[[nodiscard]] std::string findings_to_json(const std::vector<Finding>& findings);
+
+}  // namespace kpm::check

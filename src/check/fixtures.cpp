@@ -1,0 +1,226 @@
+#include "check/fixtures.hpp"
+
+#include <span>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "common/error.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/view.hpp"
+
+namespace kpm::check {
+namespace {
+
+using gpusim::AccessPattern;
+using gpusim::BlockContext;
+using gpusim::Device;
+using gpusim::ExecConfig;
+using gpusim::GlobalView;
+using gpusim::ThreadContext;
+
+// 1. Shared-memory race: every thread of the broken variant stores to the
+// same shared slot within one phase; the clean twin stores to its own slot
+// and reads its neighbour's only after the barrier.
+class SharedRaceKernel final : public gpusim::Kernel {
+ public:
+  explicit SharedRaceKernel(bool broken) : broken_(broken) {}
+  [[nodiscard]] const char* name() const override { return "fixture-shared-race"; }
+  [[nodiscard]] int phase_count() const override { return 2; }
+  void thread_phase(int phase, ThreadContext& t) override {
+    std::span<double> s = t.block().shared_array<double>(t.block().threads());
+    if (phase == 0) {
+      const std::size_t i = broken_ ? 0 : t.tid();
+      t.shared_store(s, i, static_cast<double>(t.tid()));
+    } else {
+      const std::size_t j = (t.tid() + 1) % t.block().threads();
+      (void)t.shared_load(std::span<const double>(s), j);
+    }
+  }
+
+ private:
+  bool broken_;
+};
+
+// 2. Shared allocation divergence: odd threads of the broken variant
+// declare a larger shared array than even threads — on real hardware the
+// __shared__ declaration is per-block, so this cannot even be expressed.
+class SharedAllocDivergenceKernel final : public gpusim::Kernel {
+ public:
+  explicit SharedAllocDivergenceKernel(bool broken) : broken_(broken) {}
+  [[nodiscard]] const char* name() const override { return "fixture-shared-alloc"; }
+  void thread_phase(int /*phase*/, ThreadContext& t) override {
+    const std::size_t count = (broken_ && t.tid() % 2 == 1) ? 4 : 2;
+    std::span<double> s = t.block().shared_array<double>(count);
+    s[0] = 1.0;  // raw (unannotated) touch: only the allocation is under test
+  }
+
+ private:
+  bool broken_;
+};
+
+// 3. Local allocation divergence: the broken variant makes two
+// local_array() calls in phase 0 but only one in phase 1 — the runtime
+// silently hands phase 1's call the *first* slot's storage.
+class LocalAllocDivergenceKernel final : public gpusim::Kernel {
+ public:
+  explicit LocalAllocDivergenceKernel(bool broken) : broken_(broken) {}
+  [[nodiscard]] const char* name() const override { return "fixture-local-alloc"; }
+  [[nodiscard]] int phase_count() const override { return 2; }
+  void thread_phase(int phase, ThreadContext& t) override {
+    std::span<double> a = t.local_array<double>(2);
+    a[0] = static_cast<double>(phase);
+    if (phase == 0 || !broken_) {
+      std::span<double> b = t.local_array<double>(2);
+      b[0] = static_cast<double>(t.tid());
+    }
+  }
+
+ private:
+  bool broken_;
+};
+
+// 4. Cross-block global race: every block of the broken variant writes the
+// same range of the output buffer; the clean twin writes disjoint slices.
+class GlobalRaceKernel final : public gpusim::Kernel {
+ public:
+  GlobalRaceKernel(gpusim::DeviceBuffer<double>& buf, bool broken)
+      : buf_(&buf), broken_(broken) {}
+  [[nodiscard]] const char* name() const override { return "fixture-global-race"; }
+  void block_phase(int /*phase*/, BlockContext& block) override {
+    GlobalView<double> v(*buf_, AccessPattern::Coalesced, block.counters());
+    const std::size_t n = 4;
+    const std::size_t offset = broken_ ? 0 : block.bid() * n;
+    for (double& x : v.bulk_store(offset, n)) x = static_cast<double>(block.bid());
+  }
+
+ private:
+  gpusim::DeviceBuffer<double>* buf_;
+  bool broken_;
+};
+
+// 5. Uninitialized read: the broken variant reads a buffer nothing ever
+// seeded (cudaMalloc does not zero); the clean twin memsets it first.
+class UninitReadKernel final : public gpusim::Kernel {
+ public:
+  explicit UninitReadKernel(const gpusim::DeviceBuffer<double>& buf) : buf_(&buf) {}
+  [[nodiscard]] const char* name() const override { return "fixture-uninit-read"; }
+  void block_phase(int /*phase*/, BlockContext& block) override {
+    GlobalView<double> v(*buf_, AccessPattern::Coalesced, block.counters());
+    double sum = 0.0;
+    for (double x : v.bulk_load(0, 4)) sum += x;
+    block.flop(4.0);
+    (void)sum;
+  }
+
+ private:
+  const gpusim::DeviceBuffer<double>* buf_;
+};
+
+// 6. Stream hazard writer: a kernel that writes its buffer through a view
+// so the stream-order analysis sees the write.
+class StreamWriterKernel final : public gpusim::Kernel {
+ public:
+  explicit StreamWriterKernel(gpusim::DeviceBuffer<double>& buf) : buf_(&buf) {}
+  [[nodiscard]] const char* name() const override { return "fixture-stream-writer"; }
+  void block_phase(int /*phase*/, BlockContext& block) override {
+    GlobalView<double> v(*buf_, AccessPattern::Coalesced, block.counters());
+    for (double& x : v.bulk_store(0, v.size())) x = 1.0;
+  }
+
+ private:
+  gpusim::DeviceBuffer<double>* buf_;
+};
+
+ExecConfig small_config(std::uint32_t blocks, std::uint32_t threads, std::size_t shared_bytes) {
+  ExecConfig cfg;
+  cfg.grid = gpusim::Dim3{blocks};
+  cfg.block = gpusim::Dim3{threads};
+  cfg.shared_bytes = shared_bytes;
+  return cfg;
+}
+
+std::vector<Finding> run_shared_race(bool broken) {
+  Checker checker;
+  Device device(gpusim::DeviceSpec::tesla_c2050());
+  device.set_check({&checker});
+  SharedRaceKernel kernel(broken);
+  (void)device.launch(small_config(1, 4, 4 * sizeof(double)), kernel);
+  return checker.findings();
+}
+
+std::vector<Finding> run_shared_alloc(bool broken) {
+  Checker checker;
+  Device device(gpusim::DeviceSpec::tesla_c2050());
+  device.set_check({&checker});
+  SharedAllocDivergenceKernel kernel(broken);
+  (void)device.launch(small_config(1, 4, 4 * sizeof(double)), kernel);
+  return checker.findings();
+}
+
+std::vector<Finding> run_local_alloc(bool broken) {
+  Checker checker;
+  Device device(gpusim::DeviceSpec::tesla_c2050());
+  device.set_check({&checker});
+  LocalAllocDivergenceKernel kernel(broken);
+  (void)device.launch(small_config(1, 2, 0), kernel);
+  return checker.findings();
+}
+
+std::vector<Finding> run_global_race(bool broken) {
+  Checker checker;
+  Device device(gpusim::DeviceSpec::tesla_c2050());
+  device.set_check({&checker});
+  auto buf = device.alloc<double>(8, "fixture-out");
+  device.memset(buf);
+  GlobalRaceKernel kernel(buf, broken);
+  (void)device.launch(small_config(2, 1, 0), kernel);
+  return checker.findings();
+}
+
+std::vector<Finding> run_uninit_read(bool broken) {
+  Checker checker;
+  Device device(gpusim::DeviceSpec::tesla_c2050());
+  device.set_check({&checker});
+  auto buf = device.alloc<double>(8, "fixture-src");
+  if (!broken) device.memset(buf);
+  UninitReadKernel kernel(buf);
+  (void)device.launch(small_config(1, 1, 0), kernel);
+  return checker.findings();
+}
+
+std::vector<Finding> run_stream_hazard(bool broken) {
+  Checker checker;
+  Device device(gpusim::DeviceSpec::tesla_c2050());
+  device.set_check({&checker});
+  auto buf = device.alloc<double>(8, "fixture-buf");
+  device.memset(buf);
+  const gpusim::StreamId worker = device.create_stream();
+  StreamWriterKernel kernel(buf);
+  (void)device.launch(small_config(1, 1, 0), kernel, 1.0, worker);
+  std::vector<double> host(buf.size());
+  if (!broken) {
+    const double done = device.record_event(worker);
+    device.wait_event(0, done);
+  }
+  device.copy_to_host(buf, std::span<double>(host), "fixture-d2h", 0);
+  return checker.findings();
+}
+
+}  // namespace
+
+std::vector<std::string> fixture_names() {
+  return {"shared-race",  "shared-alloc-divergence", "local-alloc-divergence",
+          "global-race",  "uninit-read",             "stream-hazard"};
+}
+
+std::vector<Finding> run_fixture(const std::string& name, bool broken) {
+  if (name == "shared-race") return run_shared_race(broken);
+  if (name == "shared-alloc-divergence") return run_shared_alloc(broken);
+  if (name == "local-alloc-divergence") return run_local_alloc(broken);
+  if (name == "global-race") return run_global_race(broken);
+  if (name == "uninit-read") return run_uninit_read(broken);
+  if (name == "stream-hazard") return run_stream_hazard(broken);
+  KPM_FAIL("unknown check fixture: " + name);
+}
+
+}  // namespace kpm::check

@@ -1,0 +1,26 @@
+// Deliberately-broken fixture kernels: one per hazard class.
+//
+// Each fixture exists in a broken and a clean variant (same structure,
+// hazard removed) so tests can assert both that the checker fires with an
+// exact Finding and that the fix silences it.  The fixtures double as the
+// minimal offending kernels documented in docs/checking.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/finding.hpp"
+
+namespace kpm::check {
+
+/// Names accepted by run_fixture: "shared-race", "shared-alloc-divergence",
+/// "local-alloc-divergence", "global-race", "uninit-read", "stream-hazard".
+[[nodiscard]] std::vector<std::string> fixture_names();
+
+/// Runs the named fixture on a small simulated device under a fresh
+/// Checker and returns its findings.  `broken` selects the hazardous
+/// variant; the clean variant must return no findings.  Throws kpm::Error
+/// for unknown names.
+[[nodiscard]] std::vector<Finding> run_fixture(const std::string& name, bool broken);
+
+}  // namespace kpm::check

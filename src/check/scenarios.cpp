@@ -1,0 +1,130 @@
+#include "check/scenarios.hpp"
+
+#include <array>
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "core/conductivity_gpu.hpp"
+#include "core/ldos_gpu.hpp"
+#include "core/moments_gpu.hpp"
+#include "core/moments_gpu_chunked.hpp"
+#include "core/moments_hermitian_gpu.hpp"
+#include "core/moments_multigpu.hpp"
+#include "lattice/current.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "lattice/peierls.hpp"
+#include "linalg/spectral_transform.hpp"
+
+namespace kpm::check {
+namespace {
+
+core::MomentParams small_params() {
+  core::MomentParams p;
+  p.num_moments = 12;
+  p.random_vectors = 3;
+  p.realizations = 2;
+  return p;
+}
+
+linalg::CrsMatrix cube_h_tilde(std::size_t edge = 3) {
+  const auto lat = lattice::HypercubicLattice::cubic(edge, edge, edge);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  return linalg::rescale(h, linalg::make_spectral_transform(op));
+}
+
+void run_moments(const core::GpuEngineConfig& cfg) {
+  const auto h = cube_h_tilde();
+  linalg::MatrixOperator op(h);
+  core::GpuMomentEngine engine(cfg);
+  (void)engine.compute(op, small_params());
+}
+
+void run_workload(const std::string& name) {
+  if (name == "moments-gpu-block") {
+    core::GpuEngineConfig cfg;
+    cfg.mapping = core::GpuMapping::InstancePerBlock;
+    run_moments(cfg);
+  } else if (name == "moments-gpu-thread") {
+    core::GpuEngineConfig cfg;
+    cfg.mapping = core::GpuMapping::InstancePerThread;
+    run_moments(cfg);
+  } else if (name == "moments-gpu-paired") {
+    core::GpuEngineConfig cfg;
+    cfg.mapping = core::GpuMapping::InstancePerBlock;
+    cfg.paired_moments = true;
+    run_moments(cfg);
+  } else if (name == "moments-gpu-chunked") {
+    const auto h = cube_h_tilde();
+    linalg::MatrixOperator op(h);
+    core::ChunkedGpuEngineConfig cfg;
+    // Small workspace forces several chunks so the double-buffered
+    // fill/recursion stream overlap actually happens under the checker.
+    cfg.workspace_bytes = 2048;
+    cfg.overlap_fill = true;
+    core::ChunkedGpuMomentEngine engine(cfg);
+    (void)engine.compute(op, small_params());
+  } else if (name == "moments-multigpu") {
+    const auto h = cube_h_tilde();
+    linalg::MatrixOperator op(h);
+    core::MultiGpuEngineConfig cfg;
+    cfg.device_count = 2;
+    core::MultiGpuMomentEngine engine(cfg);
+    (void)engine.compute(op, small_params());
+  } else if (name == "moments-hermitian") {
+    const auto h = lattice::build_square_flux_crs(6, 6, 1.0 / 6.0);
+    const linalg::SpectralTransform t(h.gershgorin(), 0.02);
+    const auto h_tilde = linalg::rescale(h, t);
+    core::GpuHermitianMomentEngine engine;
+    (void)engine.compute(h_tilde, small_params());
+  } else if (name == "ldos") {
+    const auto h = cube_h_tilde();
+    linalg::MatrixOperator op(h);
+    const std::array<std::size_t, 3> sites{0, 5, 13};
+    core::GpuLdosEngine engine;
+    (void)engine.compute(op, std::span<const std::size_t>(sites), 12);
+  } else if (name == "conductivity") {
+    const auto lat = lattice::HypercubicLattice::square(6, 6);
+    const auto h = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator op(h);
+    const auto h_tilde = linalg::rescale(h, linalg::make_spectral_transform(op));
+    const auto a = lattice::build_current_operator_crs(lat, 0);
+    linalg::MatrixOperator h_op(h_tilde), a_op(a);
+    core::GpuConductivityEngine engine;
+    (void)engine.compute(h_op, a_op, small_params());
+  } else {
+    KPM_FAIL("unknown check scenario: " + name);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  return {"moments-gpu-block", "moments-gpu-thread", "moments-gpu-paired",
+          "moments-gpu-chunked", "moments-multigpu",  "moments-hermitian",
+          "ldos",               "conductivity"};
+}
+
+ScenarioReport run_scenario(const std::string& name) {
+  Checker checker;
+  {
+    // Engines construct their devices internally; the scoped process-wide
+    // default is how the checker reaches them.
+    ScopedCheck scope(checker);
+    run_workload(name);
+  }
+  ScenarioReport report;
+  report.name = name;
+  report.findings = checker.findings();
+  report.stats = checker.stats();
+  return report;
+}
+
+std::vector<ScenarioReport> run_all_scenarios() {
+  std::vector<ScenarioReport> reports;
+  for (const std::string& name : scenario_names()) reports.push_back(run_scenario(name));
+  return reports;
+}
+
+}  // namespace kpm::check

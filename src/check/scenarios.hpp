@@ -1,0 +1,36 @@
+// kpmcheck scenarios: every production GPU workload run under the Checker.
+//
+// A scenario builds a small representative problem (tight-binding cube,
+// magnetic square lattice, ...) and runs one of the repo's GPU engines
+// with hazard analysis installed.  Production kernels must come out clean;
+// `kpmcli check --all` and test_check_clean gate on exactly that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "check/finding.hpp"
+
+namespace kpm::check {
+
+/// Result of one checked scenario run.
+struct ScenarioReport {
+  std::string name;
+  std::vector<Finding> findings;
+  CheckStats stats;
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+};
+
+/// Names accepted by run_scenario, in execution order: the moment engines
+/// (block/thread/paired/chunked/multigpu/hermitian), LDOS and conductivity.
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+/// Runs the named workload under a fresh Checker.  Throws kpm::Error for
+/// unknown names.
+[[nodiscard]] ScenarioReport run_scenario(const std::string& name);
+
+/// Runs every scenario (scenario_names() order).
+[[nodiscard]] std::vector<ScenarioReport> run_all_scenarios();
+
+}  // namespace kpm::check

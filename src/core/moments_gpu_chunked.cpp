@@ -107,6 +107,11 @@ MomentResult ChunkedGpuMomentEngine::compute(const linalg::MatrixOperator& h_til
   auto work_b = device.alloc<double>(chunk * d, "work vectors b");
   auto mu_tilde = device.alloc<double>(chunk * n, "mu~ per chunk");
   auto mu_sum = device.alloc<double>(n, "mu sums");
+  // The accumulate kernel reads-modifies-writes mu_sum from the first chunk
+  // on; cudaMalloc does not zero memory, so the zero seed must be explicit
+  // (found by the kpmcheck audit — the simulator's buffers happen to
+  // zero-initialize, which hid the missing memset).
+  device.memset(mu_sum, 0, "mu sums memset");
 
   const gpusim::StreamId s_rec = 0;
   const gpusim::StreamId s_fill = config_.overlap_fill ? device.create_stream() : 0;

@@ -1,0 +1,26 @@
+#include "gpusim/check.hpp"
+
+namespace gpusim {
+
+AccessObserver::~AccessObserver() = default;
+
+namespace {
+CheckConfig& default_check_slot() noexcept {
+  static CheckConfig config;
+  return config;
+}
+}  // namespace
+
+void set_default_check(CheckConfig cfg) noexcept { default_check_slot() = cfg; }
+
+CheckConfig default_check() noexcept { return default_check_slot(); }
+
+namespace detail {
+
+AccessObserver*& launch_observer_slot() noexcept {
+  static thread_local AccessObserver* slot = nullptr;
+  return slot;
+}
+
+}  // namespace detail
+}  // namespace gpusim

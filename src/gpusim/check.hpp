@@ -1,0 +1,157 @@
+// Hazard-analysis hooks of the stream-computing simulator.
+//
+// The simulator executes kernels deterministically on the host, which makes
+// results reproducible but also *hides* the hazard classes a real CUDA run
+// exposes only probabilistically: shared-memory races between threads of a
+// block, divergent shared/local allocation sequences, cross-block global
+// overlap, and stream-ordering bugs.  `cuda-memcheck --tool racecheck` and
+// friends exist precisely because these kernels only stay correct at scale
+// with tooling discipline.
+//
+// This header defines the narrow observation surface through which an
+// opt-in checker (see src/check/) watches a launch: an `AccessObserver`
+// receives launch/block/phase/thread lifecycle callbacks plus every access
+// that flows through the instrumented APIs (GlobalView, the shared arena,
+// thread locals, transfers, streams).  Observation is strictly passive —
+// installing an observer never changes functional results, metered
+// counters, or the timeline.
+//
+// Wiring: a `CheckConfig` can be installed per Device (Device::set_check)
+// or process-wide (set_default_check), which newly constructed devices
+// adopt — the latter is how `kpmcli check` reaches the devices that engines
+// construct internally.  During a launch the active observer is published
+// in a thread-local slot so views and kernel contexts reach it without
+// signature changes; launches are single-threaded per device, so the slot
+// is exact even when several devices run on different host threads.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gpusim {
+
+struct Dim3;
+struct ExecConfig;
+
+/// Thread attribution for accesses made outside a per-thread driver
+/// (overridden block_phase bodies, block-cooperative helpers like
+/// block_reduce_sum).  Block-scope accesses are exempt from racecheck: they
+/// model whole-block cooperative operations with internal barriers.
+inline constexpr std::ptrdiff_t kBlockScope = -1;
+
+/// Passive observation interface for one or more simulated devices.  Every
+/// callback has an empty default so observers override only what they need.
+/// `device` tokens identify the Device instance (stream ids are per-device).
+class AccessObserver {
+ public:
+  virtual ~AccessObserver();
+
+  // --- Launch lifecycle (callbacks arrive in execution order:
+  //     launch{ block{ phase{ thread... }* }* }). ---
+  virtual void on_launch_begin(const void* device, const char* kernel, const ExecConfig& cfg,
+                               std::size_t stream) {
+    (void)device, (void)kernel, (void)cfg, (void)stream;
+  }
+  virtual void on_launch_end() {}
+  virtual void on_block_begin(std::size_t bid, std::size_t threads) { (void)bid, (void)threads; }
+  virtual void on_phase_begin(int phase) { (void)phase; }
+  /// Announces the thread whose code runs next (kBlockScope when leaving
+  /// per-thread context).
+  virtual void on_thread_begin(std::ptrdiff_t tid) { (void)tid; }
+
+  // --- Global memory, through GlobalView.  `base` is the buffer's storage
+  //     address (its identity); offsets/bytes are in bytes. ---
+  virtual void on_global_read(const void* base, std::size_t offset, std::size_t bytes) {
+    (void)base, (void)offset, (void)bytes;
+  }
+  virtual void on_global_write(const void* base, std::size_t offset, std::size_t bytes) {
+    (void)base, (void)offset, (void)bytes;
+  }
+
+  // --- Shared arena and thread locals. ---
+  virtual void on_shared_alloc(std::size_t offset, std::size_t bytes) {
+    (void)offset, (void)bytes;
+  }
+  virtual void on_shared_read(std::size_t offset, std::size_t bytes) { (void)offset, (void)bytes; }
+  virtual void on_shared_write(std::size_t offset, std::size_t bytes) {
+    (void)offset, (void)bytes;
+  }
+  virtual void on_local_alloc(std::size_t slot, std::size_t bytes) { (void)slot, (void)bytes; }
+
+  // --- Device-level operations (host API surface). ---
+  virtual void on_alloc(const void* device, const void* base, std::size_t bytes,
+                        const std::string& label) {
+    (void)device, (void)base, (void)bytes, (void)label;
+  }
+  virtual void on_memset(const void* device, const void* base, std::size_t bytes,
+                         std::size_t stream) {
+    (void)device, (void)base, (void)bytes, (void)stream;
+  }
+  virtual void on_h2d(const void* device, const void* base, std::size_t bytes,
+                      std::size_t stream) {
+    (void)device, (void)base, (void)bytes, (void)stream;
+  }
+  virtual void on_d2h(const void* device, const void* base, std::size_t bytes,
+                      std::size_t stream) {
+    (void)device, (void)base, (void)bytes, (void)stream;
+  }
+
+  // --- Stream ordering (the cudaEvent idiom). ---
+  virtual void on_stream_created(const void* device, std::size_t stream) {
+    (void)device, (void)stream;
+  }
+  virtual void on_record_event(const void* device, std::size_t stream, double seconds) {
+    (void)device, (void)stream, (void)seconds;
+  }
+  virtual void on_wait_event(const void* device, std::size_t stream, double seconds) {
+    (void)device, (void)stream, (void)seconds;
+  }
+  virtual void on_synchronize(const void* device) { (void)device; }
+};
+
+/// Opt-in hazard analysis configuration carried by a Device.  Enabled when
+/// an observer is attached; the observer must outlive every device (and
+/// launch) it watches.
+struct CheckConfig {
+  AccessObserver* observer = nullptr;
+
+  [[nodiscard]] bool enabled() const noexcept { return observer != nullptr; }
+};
+
+/// Installs the process-wide default CheckConfig adopted by Devices at
+/// construction.  Not thread-safe against concurrently constructing
+/// devices: install before the workload runs (scoped helpers in
+/// src/check/ do exactly that).
+void set_default_check(CheckConfig cfg) noexcept;
+
+/// The process-wide default CheckConfig ({} when none installed).
+[[nodiscard]] CheckConfig default_check() noexcept;
+
+namespace detail {
+/// The observer of the launch currently executing on this thread (nullptr
+/// outside launches or when checking is off).
+[[nodiscard]] AccessObserver*& launch_observer_slot() noexcept;
+}  // namespace detail
+
+/// Observer of the launch executing on the calling thread, if any.
+[[nodiscard]] inline AccessObserver* launch_observer() noexcept {
+  return detail::launch_observer_slot();
+}
+
+/// RAII: publishes `observer` as the calling thread's launch observer for
+/// the duration of a Device::launch.
+class ScopedLaunchObserver {
+ public:
+  explicit ScopedLaunchObserver(AccessObserver* observer) noexcept
+      : prev_(detail::launch_observer_slot()) {
+    detail::launch_observer_slot() = observer;
+  }
+  ~ScopedLaunchObserver() { detail::launch_observer_slot() = prev_; }
+  ScopedLaunchObserver(const ScopedLaunchObserver&) = delete;
+  ScopedLaunchObserver& operator=(const ScopedLaunchObserver&) = delete;
+
+ private:
+  AccessObserver* prev_;
+};
+
+}  // namespace gpusim

@@ -12,11 +12,13 @@ const char* to_string(TimelineEvent::Kind k) noexcept {
       return "d2h";
     case TimelineEvent::Kind::KernelLaunch:
       return "kernel";
+    case TimelineEvent::Kind::Memset:
+      return "memset";
   }
   return "?";
 }
 
-Device::Device(DeviceSpec spec) : spec_(std::move(spec)) {
+Device::Device(DeviceSpec spec) : spec_(std::move(spec)), check_(default_check()) {
   spec_.validate();
   vram_ = std::make_shared<detail::VramState>();
   vram_->capacity_bytes = spec_.global_mem_bytes;
@@ -33,19 +35,29 @@ KernelStats Device::launch(const ExecConfig& cfg, Kernel& kernel, double cost_sc
   KPM_REQUIRE(phases >= 1, "launch: kernel must have at least one phase");
 
   CostCounters counters;
+  // Hazard analysis is passive: the observer (when installed) sees the
+  // launch structure and every annotated access, but never perturbs
+  // execution order, results or metering.
+  ScopedLaunchObserver scope(check_.observer);
+  AccessObserver* obs = check_.observer;
+  if (obs != nullptr) obs->on_launch_begin(this, kernel.name(), cfg, stream);
   const Dim3 g = cfg.grid;
   std::size_t linear_bid = 0;
   for (std::uint32_t bz = 0; bz < g.z; ++bz)
     for (std::uint32_t by = 0; by < g.y; ++by)
       for (std::uint32_t bx = 0; bx < g.x; ++bx) {
-        BlockContext block(Dim3{bx, by, bz}, linear_bid++, cfg, counters);
+        BlockContext block(Dim3{bx, by, bz}, linear_bid, cfg, counters);
+        if (obs != nullptr) obs->on_block_begin(linear_bid, cfg.threads_per_block());
+        ++linear_bid;
         for (int p = 0; p < phases; ++p) {
+          if (obs != nullptr) obs->on_phase_begin(p);
           block.begin_phase();
           kernel.block_phase(p, block);
         }
         // Implicit barrier at each phase boundary (none after the last).
         counters.barriers += phases - 1;
       }
+  if (obs != nullptr) obs->on_launch_end();
 
   counters.scale(cost_scale);
   const KernelStats stats = model_kernel_time(spec_, cfg, counters);
@@ -60,22 +72,28 @@ StreamId Device::create_stream() {
   // observe work that has not been issued yet, and creating one is a
   // host-side action after everything issued so far).
   stream_clock_.push_back(seconds());
-  return stream_clock_.size() - 1;
+  const StreamId id = stream_clock_.size() - 1;
+  if (check_.observer != nullptr) check_.observer->on_stream_created(this, id);
+  return id;
 }
 
 double Device::record_event(StreamId stream) const {
   KPM_REQUIRE(stream < stream_clock_.size(), "record_event: unknown stream");
-  return stream_clock_[stream];
+  const double seconds = stream_clock_[stream];
+  if (check_.observer != nullptr) check_.observer->on_record_event(this, stream, seconds);
+  return seconds;
 }
 
 void Device::wait_event(StreamId stream, double event_seconds) {
   KPM_REQUIRE(stream < stream_clock_.size(), "wait_event: unknown stream");
   stream_clock_[stream] = std::max(stream_clock_[stream], event_seconds);
+  if (check_.observer != nullptr) check_.observer->on_wait_event(this, stream, event_seconds);
 }
 
 void Device::synchronize() {
   const double cp = seconds();
   for (double& clock : stream_clock_) clock = cp;
+  if (check_.observer != nullptr) check_.observer->on_synchronize(this);
 }
 
 double Device::seconds() const noexcept {
@@ -105,6 +123,9 @@ TimelineSummary Device::summarize_timeline() const {
         s.kernel_seconds += ev.seconds;
         s.total_flops += ev.counters.flops;
         s.launches += 1;
+        break;
+      case TimelineEvent::Kind::Memset:
+        s.kernel_seconds += ev.seconds;
         break;
     }
   }

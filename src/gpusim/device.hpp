@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "gpusim/buffer.hpp"
+#include "gpusim/check.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/device_spec.hpp"
@@ -35,7 +36,7 @@ using StreamId = std::size_t;
 
 /// One entry of the device timeline.
 struct TimelineEvent {
-  enum class Kind { Allocation, TransferToDevice, TransferToHost, KernelLaunch };
+  enum class Kind { Allocation, TransferToDevice, TransferToHost, KernelLaunch, Memset };
 
   Kind kind;
   std::string label;
@@ -48,7 +49,7 @@ struct TimelineEvent {
   double end_seconds = 0.0;
 };
 
-/// Returns "alloc", "h2d", "d2h" or "kernel".
+/// Returns "alloc", "h2d", "d2h", "kernel" or "memset".
 const char* to_string(TimelineEvent::Kind k) noexcept;
 
 /// Aggregated view of a timeline.
@@ -86,7 +87,28 @@ class Device {
     push_event({TimelineEvent::Kind::Allocation, label, spec_.allocation_overhead_s,
                 static_cast<double>(bytes), {}, {}, 0, 0.0, 0.0},
                0);
-    return DeviceBuffer<T>(vram_, n);
+    DeviceBuffer<T> buf(vram_, n);
+    if (check_.observer != nullptr)
+      check_.observer->on_alloc(this, buf.raw().data(), bytes, label);
+    return buf;
+  }
+
+  /// Fills a device buffer's bytes with `value` (cudaMemset); a device-side
+  /// operation charged at global-memory write bandwidth on `stream`.  Like
+  /// an H2D transfer, it seeds the checker's initialized-memory shadow.
+  template <typename T>
+  void memset(DeviceBuffer<T>& dst, int value = 0, const std::string& label = "memset",
+              StreamId stream = 0) {
+    auto raw = dst.raw();
+    std::fill(reinterpret_cast<std::byte*>(raw.data()),
+              reinterpret_cast<std::byte*>(raw.data() + raw.size()),
+              static_cast<std::byte>(value));
+    const double bytes = static_cast<double>(dst.bytes());
+    push_event({TimelineEvent::Kind::Memset, label, bytes / spec_.global_mem_bandwidth, bytes,
+                {}, {}, stream, 0.0, 0.0},
+               stream);
+    if (check_.observer != nullptr)
+      check_.observer->on_memset(this, raw.data(), dst.bytes(), stream);
   }
 
   /// Copies host data into a device buffer (cudaMemcpyHostToDevice);
@@ -100,6 +122,8 @@ class Device {
     push_event({TimelineEvent::Kind::TransferToDevice, label,
                 model_transfer_time(spec_, bytes), bytes, {}, {}, stream, 0.0, 0.0},
                stream);
+    if (check_.observer != nullptr)
+      check_.observer->on_h2d(this, dst.raw().data(), host.size_bytes(), stream);
   }
 
   /// Copies a device buffer back to host memory (cudaMemcpyDeviceToHost);
@@ -113,6 +137,8 @@ class Device {
     push_event({TimelineEvent::Kind::TransferToHost, label, model_transfer_time(spec_, bytes),
                 bytes, {}, {}, stream, 0.0, 0.0},
                stream);
+    if (check_.observer != nullptr)
+      check_.observer->on_d2h(this, src.raw().data(), host.size_bytes(), stream);
   }
 
   /// Executes `kernel` over the configured grid (functionally, on the host,
@@ -151,6 +177,12 @@ class Device {
   /// accounting and created streams are untouched).
   void reset_timeline();
 
+  /// Installs (or clears, with {}) this device's hazard-analysis
+  /// configuration.  Adopted from set_default_check() at construction;
+  /// observation is passive and never changes results or the timeline.
+  void set_check(CheckConfig cfg) noexcept { check_ = cfg; }
+  [[nodiscard]] const CheckConfig& check() const noexcept { return check_; }
+
   [[nodiscard]] std::size_t vram_used() const noexcept { return vram_->used_bytes; }
   [[nodiscard]] std::size_t vram_peak() const noexcept { return vram_->peak_used_bytes; }
   [[nodiscard]] std::size_t vram_capacity() const noexcept { return vram_->capacity_bytes; }
@@ -159,6 +191,7 @@ class Device {
   void push_event(TimelineEvent ev, StreamId stream);
 
   DeviceSpec spec_;
+  CheckConfig check_{};
   std::shared_ptr<detail::VramState> vram_;
   std::vector<TimelineEvent> timeline_;
   std::vector<double> stream_clock_{0.0};  // index = StreamId

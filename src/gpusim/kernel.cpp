@@ -9,6 +9,7 @@ BlockContext::BlockContext(Dim3 block_idx, std::size_t linear_bid, const ExecCon
 
 void Kernel::block_phase(int phase, BlockContext& block) {
   const Dim3 dims = block.config().block;
+  AccessObserver* obs = launch_observer();
   std::size_t linear = 0;
   for (std::uint32_t z = 0; z < dims.z; ++z)
     for (std::uint32_t y = 0; y < dims.y; ++y)
@@ -16,9 +17,11 @@ void Kernel::block_phase(int phase, BlockContext& block) {
         // Each thread's shared_array() calls must resolve to the block's
         // single shared allocation sequence (__shared__ semantics).
         block.rewind_shared();
+        if (obs) obs->on_thread_begin(static_cast<std::ptrdiff_t>(linear));
         ThreadContext t(block, Dim3{x, y, z}, linear++);
         thread_phase(phase, t);
       }
+  if (obs) obs->on_thread_begin(kBlockScope);
 }
 
 void Kernel::thread_phase(int /*phase*/, ThreadContext& /*thread*/) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "gpusim/check.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/dim3.hpp"
 
@@ -53,6 +54,17 @@ class ThreadContext {
   /// called in the same order with the same sizes in every phase.
   template <typename T>
   std::span<T> local_array(std::size_t count);
+
+  /// Checked shared-memory element load: functionally identical to
+  /// `arena[i]`, meters sizeof(T) of shared traffic, and reports the byte
+  /// range to the racecheck observer attributed to this thread.  `arena`
+  /// must come from shared_array() on this thread's block.
+  template <typename T>
+  [[nodiscard]] T shared_load(std::span<const T> arena, std::size_t i) const;
+
+  /// Checked shared-memory element store (see shared_load).
+  template <typename T>
+  void shared_store(std::span<T> arena, std::size_t i, const T& v) const;
 
  private:
   BlockContext* block_;
@@ -86,11 +98,29 @@ class BlockContext {
     KPM_REQUIRE(aligned + bytes <= shared_.size(),
                 "kernel exceeded its declared shared memory (ExecConfig::shared_bytes)");
     shared_offset_ = aligned + bytes;
+    if (AccessObserver* obs = launch_observer()) obs->on_shared_alloc(aligned, bytes);
     return {reinterpret_cast<T*>(shared_.data() + aligned), count};
   }
 
   /// Meters `bytes` of shared-memory traffic.
   void shared_access(double bytes) noexcept { counters_->shared_bytes += bytes; }
+
+  /// Reports a read of `bytes` at `p` (a pointer into the shared arena) to
+  /// the racecheck observer.  No metering, no-op when checking is off or
+  /// `p` does not point into this block's arena.
+  void note_shared_read(const void* p, std::size_t bytes) const noexcept {
+    if (AccessObserver* obs = launch_observer()) {
+      if (arena_contains(p, bytes)) obs->on_shared_read(arena_byte_offset(p), bytes);
+    }
+  }
+
+  /// Reports a write of `bytes` at `p` to the racecheck observer (see
+  /// note_shared_read).
+  void note_shared_write(const void* p, std::size_t bytes) const noexcept {
+    if (AccessObserver* obs = launch_observer()) {
+      if (arena_contains(p, bytes)) obs->on_shared_write(arena_byte_offset(p), bytes);
+    }
+  }
 
   /// Meters one block-wide barrier (the implicit phase boundary is metered
   /// by the launcher; call this only for *additional* modeled barriers).
@@ -114,6 +144,18 @@ class BlockContext {
   /// Rewinds the shared arena so the next thread's shared_array() calls
   /// resolve to the same storage (called by the default per-thread driver).
   void rewind_shared() noexcept { shared_offset_ = 0; }
+
+  /// Byte offset of [p, p+bytes) within the shared arena, or the arena size
+  /// (an invalid offset, reported as out-of-arena) when it is not inside.
+  [[nodiscard]] bool arena_contains(const void* p, std::size_t bytes) const noexcept {
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    const auto base = reinterpret_cast<std::uintptr_t>(shared_.data());
+    return addr >= base && addr + bytes <= base + shared_.size();
+  }
+  [[nodiscard]] std::size_t arena_byte_offset(const void* p) const noexcept {
+    return static_cast<std::size_t>(reinterpret_cast<std::uintptr_t>(p) -
+                                    reinterpret_cast<std::uintptr_t>(shared_.data()));
+  }
 
   Dim3 block_idx_;
   std::size_t linear_bid_;
@@ -145,11 +187,28 @@ std::span<T> ThreadContext::local_array(std::size_t count) {
   }
   auto& my_slots = slots[linear_tid_];
   const std::size_t slot = cursors[linear_tid_]++;
+  if (AccessObserver* obs = launch_observer()) obs->on_local_alloc(slot, count * sizeof(T));
   if (slot == my_slots.size()) my_slots.emplace_back(count * sizeof(T), std::byte{0});
   auto& storage = my_slots[slot];
   KPM_REQUIRE(storage.size() == count * sizeof(T),
               "local_array: allocation sizes must repeat identically across phases");
   return {reinterpret_cast<T*>(storage.data()), count};
+}
+
+template <typename T>
+T ThreadContext::shared_load(std::span<const T> arena, std::size_t i) const {
+  KPM_ASSERT(i < arena.size(), "ThreadContext::shared_load out of range");
+  block_->shared_access(sizeof(T));
+  block_->note_shared_read(arena.data() + i, sizeof(T));
+  return arena[i];
+}
+
+template <typename T>
+void ThreadContext::shared_store(std::span<T> arena, std::size_t i, const T& v) const {
+  KPM_ASSERT(i < arena.size(), "ThreadContext::shared_store out of range");
+  block_->shared_access(sizeof(T));
+  block_->note_shared_write(arena.data() + i, sizeof(T));
+  arena[i] = v;
 }
 
 /// Base class for simulated kernels.

@@ -19,6 +19,7 @@ std::string timeline_to_text(const Device& device) {
         detail = kpm::format_bytes(ev.bytes);
         break;
       case TimelineEvent::Kind::Allocation:
+      case TimelineEvent::Kind::Memset:
         detail = kpm::format_bytes(ev.bytes);
         break;
     }

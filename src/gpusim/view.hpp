@@ -13,12 +13,20 @@
 // addresses) keeps the simulator fast and makes the kernel's memory
 // behaviour an explicit, reviewable property of the code — the same
 // property a CUDA author reasons about when arranging coalesced accesses.
+//
+// When a launch runs under a CheckConfig (gpusim/check.hpp), every accessor
+// additionally reports its byte range to the launch observer, which is how
+// the global-memory hazard and uninitialized-read analyses see traffic.
+// Mutating a read-only view is a hard error in every build mode: the
+// const-buffer constructor deliberately erases constness for storage
+// reasons only, so the guard must not compile away under NDEBUG.
 #pragma once
 
 #include <span>
 
 #include "common/error.hpp"
 #include "gpusim/buffer.hpp"
+#include "gpusim/check.hpp"
 #include "gpusim/counters.hpp"
 
 namespace gpusim {
@@ -44,23 +52,27 @@ class GlobalView {
   [[nodiscard]] T load(std::size_t i) const {
     KPM_ASSERT(i < data_.size(), "GlobalView::load out of range");
     counters_->global_read_bytes[pattern_] += sizeof(T);
+    observe_read(i, 1);
     return data_[i];
   }
 
   /// Metered element store.
   void store(std::size_t i, const T& v) {
     KPM_ASSERT(i < data_.size(), "GlobalView::store out of range");
-    KPM_ASSERT(!read_only_, "GlobalView::store through a read-only view");
+    KPM_REQUIRE(!read_only_, "GlobalView::store through a read-only view");
     counters_->global_write_bytes[pattern_] += sizeof(T);
+    observe_write(i, 1);
     data_[i] = v;
   }
 
   /// Metered read-modify-write accumulate.
   void add(std::size_t i, const T& v) {
     KPM_ASSERT(i < data_.size(), "GlobalView::add out of range");
-    KPM_ASSERT(!read_only_, "GlobalView::add through a read-only view");
+    KPM_REQUIRE(!read_only_, "GlobalView::add through a read-only view");
     counters_->global_read_bytes[pattern_] += sizeof(T);
     counters_->global_write_bytes[pattern_] += sizeof(T);
+    observe_read(i, 1);
+    observe_write(i, 1);
     data_[i] += v;
   }
 
@@ -69,18 +81,29 @@ class GlobalView {
   [[nodiscard]] std::span<const T> bulk_load(std::size_t offset, std::size_t count) const {
     KPM_ASSERT(offset + count <= data_.size(), "GlobalView::bulk_load out of range");
     counters_->global_read_bytes[pattern_] += static_cast<double>(count) * sizeof(T);
+    observe_read(offset, count);
     return data_.subspan(offset, count);
   }
 
   /// Meters `count` element writes and returns the raw range.
   [[nodiscard]] std::span<T> bulk_store(std::size_t offset, std::size_t count) {
     KPM_ASSERT(offset + count <= data_.size(), "GlobalView::bulk_store out of range");
-    KPM_ASSERT(!read_only_, "GlobalView::bulk_store through a read-only view");
+    KPM_REQUIRE(!read_only_, "GlobalView::bulk_store through a read-only view");
     counters_->global_write_bytes[pattern_] += static_cast<double>(count) * sizeof(T);
+    observe_write(offset, count);
     return data_.subspan(offset, count);
   }
 
  private:
+  void observe_read(std::size_t i, std::size_t count) const {
+    if (AccessObserver* obs = launch_observer())
+      obs->on_global_read(data_.data(), i * sizeof(T), count * sizeof(T));
+  }
+  void observe_write(std::size_t i, std::size_t count) const {
+    if (AccessObserver* obs = launch_observer())
+      obs->on_global_write(data_.data(), i * sizeof(T), count * sizeof(T));
+  }
+
   std::span<T> data_;
   std::size_t pattern_;
   CostCounters* counters_;

@@ -32,8 +32,17 @@ std::string to_json(const Report& report) {
        << ", \"modeled\": " << (span.modeled ? "true" : "false") << "}";
     os << (i + 1 < spans.size() ? ",\n" : "\n");
   }
-  os << "  ]\n";
-  os << "}\n";
+  os << "  ]";
+  if (!report.sections.empty()) {
+    os << ",\n  \"sections\": {\n";
+    for (std::size_t i = 0; i < report.sections.size(); ++i) {
+      const ReportSection& section = report.sections[i];
+      os << "    \"" << json_escape(section.name) << "\": " << section.body;
+      os << (i + 1 < report.sections.size() ? ",\n" : "\n");
+    }
+    os << "  }";
+  }
+  os << "\n}\n";
   return os.str();
 }
 

@@ -9,6 +9,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/table.hpp"
 #include "obs/counters.hpp"
@@ -19,11 +20,20 @@ namespace kpm::obs {
 /// JSON schema identifier emitted by `to_json`.
 inline constexpr std::string_view kReportSchema = "kpm.obs.report/1";
 
+/// An extra report section contributed by a subsystem (e.g. the hazard
+/// checker): `body` is a pre-rendered JSON value emitted verbatim under
+/// "sections"/`name` by to_json.  The contributor owns its sub-schema.
+struct ReportSection {
+  std::string name;
+  std::string body;
+};
+
 /// One collected metrics report.
 struct Report {
   std::string label;
   CounterSet counters;
   Trace trace;
+  std::vector<ReportSection> sections;
 };
 
 namespace detail {

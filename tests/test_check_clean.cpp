@@ -1,0 +1,121 @@
+// Production kernels must pass the hazard analyses cleanly, and the
+// checker must be strictly observational: moment results with checking on
+// are bit-identical to checking off, and the obs work counters match.
+#include <gtest/gtest.h>
+
+#include "check/checker.hpp"
+#include "check/scenarios.hpp"
+#include "core/moments_gpu.hpp"
+#include "core/moments_gpu_chunked.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using namespace kpm;
+
+linalg::CrsMatrix cube_h_tilde() {
+  const auto lat = lattice::HypercubicLattice::cubic(3, 3, 3);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  return linalg::rescale(h, linalg::make_spectral_transform(op));
+}
+
+core::MomentParams small_params() {
+  core::MomentParams p;
+  p.num_moments = 16;
+  p.random_vectors = 3;
+  p.realizations = 2;
+  return p;
+}
+
+TEST(CheckClean, EveryProductionScenarioIsClean) {
+  for (const auto& report : check::run_all_scenarios()) {
+    EXPECT_TRUE(report.clean()) << report.name << ": "
+                                << (report.findings.empty()
+                                        ? ""
+                                        : check::to_string(report.findings.front()));
+    EXPECT_GT(report.stats.launches, 0u) << report.name << " observed no launches";
+    EXPECT_GT(report.stats.blocks, 0u) << report.name;
+  }
+}
+
+TEST(CheckClean, ChunkedScenarioExercisesStreamsAndTransfers) {
+  const auto report = check::run_scenario("moments-gpu-chunked");
+  EXPECT_TRUE(report.clean());
+  EXPECT_GT(report.stats.stream_ops, 0u) << "expected record/wait events under the checker";
+  EXPECT_GT(report.stats.transfers, 0u);
+}
+
+// Satellite property test: CheckConfig on vs off produces bit-identical
+// moments and identical obs work counters (the checker observes, never
+// participates).
+TEST(CheckClean, CheckerOnVsOffIsBitIdenticalWithEqualWorkCounters) {
+  const auto h = cube_h_tilde();
+  linalg::MatrixOperator op(h);
+  const auto p = small_params();
+
+  obs::Report plain_report;
+  core::MomentResult plain;
+  {
+    obs::Collect collect(plain_report);
+    core::GpuMomentEngine engine;
+    plain = engine.compute(op, p);
+  }
+
+  obs::Report checked_report;
+  core::MomentResult checked;
+  check::Checker checker;
+  {
+    obs::Collect collect(checked_report);
+    check::ScopedCheck scope(checker);
+    core::GpuMomentEngine engine;
+    checked = engine.compute(op, p);
+  }
+
+  EXPECT_TRUE(checker.clean());
+  EXPECT_GT(checker.stats().launches, 0u);
+  ASSERT_EQ(plain.mu.size(), checked.mu.size());
+  for (std::size_t n = 0; n < plain.mu.size(); ++n)
+    EXPECT_EQ(plain.mu[n], checked.mu[n]) << "moment " << n << " differs under the checker";
+  EXPECT_EQ(plain.model_seconds, checked.model_seconds);
+
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    const auto c = static_cast<obs::Counter>(i);
+    EXPECT_EQ(plain_report.counters.get(c), checked_report.counters.get(c))
+        << "obs counter '" << obs::to_string(c) << "' differs under the checker";
+  }
+}
+
+TEST(CheckClean, CheckerOnVsOffIsBitIdenticalForChunkedEngine) {
+  const auto h = cube_h_tilde();
+  linalg::MatrixOperator op(h);
+  const auto p = small_params();
+
+  core::ChunkedGpuEngineConfig cfg;
+  cfg.workspace_bytes = 2048;  // several chunks, double-buffered streams
+  core::ChunkedGpuMomentEngine plain_engine(cfg);
+  const auto plain = plain_engine.compute(op, p);
+
+  check::Checker checker;
+  check::ScopedCheck scope(checker);
+  core::ChunkedGpuMomentEngine checked_engine(cfg);
+  const auto checked = checked_engine.compute(op, p);
+
+  EXPECT_TRUE(checker.clean());
+  ASSERT_EQ(plain.mu.size(), checked.mu.size());
+  for (std::size_t n = 0; n < plain.mu.size(); ++n) EXPECT_EQ(plain.mu[n], checked.mu[n]);
+  EXPECT_EQ(plain.model_seconds, checked.model_seconds);
+}
+
+TEST(CheckClean, ScenarioNamesAndRunnerAgree) {
+  const auto names = check::scenario_names();
+  EXPECT_EQ(names.size(), 8u);
+  const auto reports = check::run_all_scenarios();
+  ASSERT_EQ(reports.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) EXPECT_EQ(reports[i].name, names[i]);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Each hazard class must be tripped by exactly its deliberately-broken
+// fixture kernel — with an exact Finding — and silenced by the clean twin.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/fixtures.hpp"
+#include "common/error.hpp"
+#include "gpusim/check.hpp"
+
+namespace {
+
+using namespace kpm;
+using check::Finding;
+using check::Kind;
+
+bool has_kind(const std::vector<Finding>& findings, Kind kind) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [kind](const Finding& f) { return f.kind == kind; });
+}
+
+TEST(CheckFixtures, EveryFixtureHasABrokenAndACleanVariant) {
+  for (const auto& name : check::fixture_names()) {
+    EXPECT_FALSE(check::run_fixture(name, true).empty()) << name << " (broken) found nothing";
+    EXPECT_TRUE(check::run_fixture(name, false).empty()) << name << " (clean) reported findings";
+  }
+}
+
+TEST(CheckFixtures, SharedRaceIsExact) {
+  const auto findings = check::run_fixture("shared-race", true);
+  ASSERT_FALSE(findings.empty());
+  const Finding& f = findings.front();
+  EXPECT_EQ(f.kind, Kind::SharedRace);
+  EXPECT_EQ(f.kernel, "fixture-shared-race");
+  EXPECT_EQ(f.block, 0u);
+  EXPECT_EQ(f.phase, 0);
+  EXPECT_EQ(f.thread_a, 0);
+  EXPECT_EQ(f.thread_b, 1);
+  EXPECT_EQ(f.offset, 0u);
+  EXPECT_EQ(f.bytes, sizeof(double));
+  for (const Finding& each : findings) EXPECT_EQ(each.kind, Kind::SharedRace);
+}
+
+TEST(CheckFixtures, SharedRaceCleanTwinStoresPerThreadAndReadsAfterBarrier) {
+  EXPECT_TRUE(check::run_fixture("shared-race", false).empty());
+}
+
+TEST(CheckFixtures, SharedAllocDivergenceIsExact) {
+  const auto findings = check::run_fixture("shared-alloc-divergence", true);
+  ASSERT_FALSE(findings.empty());
+  const Finding& f = findings.front();
+  EXPECT_EQ(f.kind, Kind::AllocDivergence);
+  EXPECT_EQ(f.kernel, "fixture-shared-alloc");
+  EXPECT_EQ(f.block, 0u);
+  EXPECT_EQ(f.phase, 0);
+  EXPECT_EQ(f.thread_a, 0);  // reference thread
+  EXPECT_EQ(f.thread_b, 1);  // first diverging thread
+}
+
+TEST(CheckFixtures, LocalAllocDivergenceIsExact) {
+  const auto findings = check::run_fixture("local-alloc-divergence", true);
+  ASSERT_FALSE(findings.empty());
+  const Finding& f = findings.front();
+  EXPECT_EQ(f.kind, Kind::AllocDivergence);
+  EXPECT_EQ(f.kernel, "fixture-local-alloc");
+  EXPECT_EQ(f.phase, 1);  // the diverging phase
+  EXPECT_EQ(f.thread_a, 0);
+  EXPECT_NE(f.detail.find("local_array"), std::string::npos);
+}
+
+TEST(CheckFixtures, GlobalRaceIsExact) {
+  const auto findings = check::run_fixture("global-race", true);
+  ASSERT_FALSE(findings.empty());
+  const Finding& f = findings.front();
+  EXPECT_EQ(f.kind, Kind::GlobalRace);
+  EXPECT_EQ(f.kernel, "fixture-global-race");
+  EXPECT_EQ(f.buffer, "fixture-out");
+  EXPECT_EQ(f.thread_a, 0);  // block pair
+  EXPECT_EQ(f.thread_b, 1);
+  EXPECT_EQ(f.offset, 0u);
+  EXPECT_EQ(f.bytes, 4 * sizeof(double));
+  EXPECT_NE(f.detail.find("write-write"), std::string::npos);
+}
+
+TEST(CheckFixtures, UninitReadIsExact) {
+  const auto findings = check::run_fixture("uninit-read", true);
+  ASSERT_FALSE(findings.empty());
+  const Finding& f = findings.front();
+  EXPECT_EQ(f.kind, Kind::UninitRead);
+  EXPECT_EQ(f.kernel, "fixture-uninit-read");
+  EXPECT_EQ(f.buffer, "fixture-src");
+  EXPECT_EQ(f.block, 0u);
+  EXPECT_EQ(f.thread_a, gpusim::kBlockScope);  // overridden block_phase
+  EXPECT_EQ(f.offset, 0u);
+  EXPECT_EQ(f.bytes, 4 * sizeof(double));
+}
+
+TEST(CheckFixtures, StreamHazardIsExact) {
+  const auto findings = check::run_fixture("stream-hazard", true);
+  ASSERT_FALSE(findings.empty());
+  const Finding& f = findings.front();
+  EXPECT_EQ(f.kind, Kind::StreamHazard);
+  EXPECT_EQ(f.kernel, "d2h");
+  EXPECT_EQ(f.buffer, "fixture-buf");
+  EXPECT_EQ(f.thread_a, 0);  // reading stream
+  EXPECT_EQ(f.thread_b, 1);  // writing stream
+  EXPECT_NE(f.detail.find("races write"), std::string::npos);
+}
+
+TEST(CheckFixtures, FixturesReportOnlyTheirOwnHazardClass) {
+  EXPECT_TRUE(has_kind(check::run_fixture("shared-race", true), Kind::SharedRace));
+  EXPECT_FALSE(has_kind(check::run_fixture("shared-race", true), Kind::GlobalRace));
+  EXPECT_FALSE(has_kind(check::run_fixture("global-race", true), Kind::SharedRace));
+  EXPECT_FALSE(has_kind(check::run_fixture("uninit-read", true), Kind::StreamHazard));
+  EXPECT_FALSE(has_kind(check::run_fixture("stream-hazard", true), Kind::UninitRead));
+}
+
+TEST(CheckFixtures, UnknownFixtureNameThrows) {
+  EXPECT_THROW((void)check::run_fixture("no-such-fixture", true), kpm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,297 @@
+// Unit tests of the checker's shadow state: interval arithmetic, the
+// stream vector clocks, uninitialized-memory seeding (h2d/memset), default
+// CheckConfig adoption, the Memset timeline event, the obs report
+// "sections" extension, and the read-only GlobalView hard-fail (satellite
+// regression: the guard must hold in every build mode, not just asserts).
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "common/error.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/view.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using namespace kpm;
+using check::Checker;
+using check::IntervalSet;
+using check::Kind;
+using gpusim::AccessPattern;
+using gpusim::Device;
+using gpusim::GlobalView;
+
+Device make_device() { return Device(gpusim::DeviceSpec::tesla_c2050()); }
+
+// A kernel writing its whole buffer through a view.
+class WriterKernel final : public gpusim::Kernel {
+ public:
+  explicit WriterKernel(gpusim::DeviceBuffer<double>& buf) : buf_(&buf) {}
+  [[nodiscard]] const char* name() const override { return "writer"; }
+  void block_phase(int /*phase*/, gpusim::BlockContext& block) override {
+    GlobalView<double> v(*buf_, AccessPattern::Coalesced, block.counters());
+    for (double& x : v.bulk_store(0, v.size())) x = 2.0;
+  }
+
+ private:
+  gpusim::DeviceBuffer<double>* buf_;
+};
+
+// A kernel reading its whole buffer through a view.
+class ReaderKernel final : public gpusim::Kernel {
+ public:
+  explicit ReaderKernel(const gpusim::DeviceBuffer<double>& buf) : buf_(&buf) {}
+  [[nodiscard]] const char* name() const override { return "reader"; }
+  void block_phase(int /*phase*/, gpusim::BlockContext& block) override {
+    GlobalView<double> v(*buf_, AccessPattern::Coalesced, block.counters());
+    double sum = 0.0;
+    for (double x : v.bulk_load(0, v.size())) sum += x;
+    (void)sum;
+  }
+
+ private:
+  const gpusim::DeviceBuffer<double>* buf_;
+};
+
+gpusim::ExecConfig one_thread() {
+  gpusim::ExecConfig cfg;
+  cfg.grid = gpusim::Dim3{1};
+  cfg.block = gpusim::Dim3{1};
+  return cfg;
+}
+
+// ---------------------------------------------------------------- intervals
+
+TEST(IntervalSetTest, AddCoalescesAndCovers) {
+  IntervalSet set;
+  set.add(0, 8);
+  set.add(16, 24);
+  EXPECT_TRUE(set.covers(0, 8));
+  EXPECT_FALSE(set.covers(0, 9));
+  EXPECT_FALSE(set.covers(8, 16));
+  set.add(8, 16);  // bridges the gap
+  EXPECT_TRUE(set.covers(0, 24));
+  EXPECT_EQ(set.ranges().size(), 1u);
+}
+
+TEST(IntervalSetTest, FirstOverlapFindsTheIntersection) {
+  IntervalSet set;
+  set.add(10, 20);
+  const auto hit = set.first_overlap(15, 30);
+  EXPECT_EQ(hit.begin, 15u);
+  EXPECT_EQ(hit.end, 20u);
+  const auto miss = set.first_overlap(20, 30);
+  EXPECT_EQ(miss.begin, miss.end);
+}
+
+TEST(IntervalSetTest, EmptyAndDegenerateRanges) {
+  IntervalSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.covers(5, 5));  // empty range is always covered
+  set.add(7, 7);                  // degenerate add is a no-op
+  EXPECT_TRUE(set.empty());
+}
+
+// ------------------------------------------------------------ uninit seeding
+
+TEST(CheckShadow, H2dSeedsInitializedMemory) {
+  Checker checker;
+  Device device = make_device();
+  device.set_check({&checker});
+  auto buf = device.alloc<double>(8, "seeded");
+  const std::vector<double> host(8, 1.0);
+  device.copy_to_device(std::span<const double>(host), buf);
+  ReaderKernel kernel(buf);
+  (void)device.launch(one_thread(), kernel);
+  EXPECT_TRUE(checker.clean());
+}
+
+TEST(CheckShadow, ViewWritesSeedInitializedMemory) {
+  Checker checker;
+  Device device = make_device();
+  device.set_check({&checker});
+  auto buf = device.alloc<double>(8, "written");
+  WriterKernel writer(buf);
+  (void)device.launch(one_thread(), writer);
+  ReaderKernel reader(buf);
+  (void)device.launch(one_thread(), reader);
+  EXPECT_TRUE(checker.clean());
+}
+
+TEST(CheckShadow, UnseededReadIsFlaggedOnceDespiteRepeats) {
+  Checker checker;
+  Device device = make_device();
+  device.set_check({&checker});
+  auto buf = device.alloc<double>(8, "never-seeded");
+  ReaderKernel reader(buf);
+  (void)device.launch(one_thread(), reader);
+  (void)device.launch(one_thread(), reader);
+  ASSERT_EQ(checker.findings().size(), 1u);  // deduplicated
+  EXPECT_EQ(checker.findings().front().kind, Kind::UninitRead);
+}
+
+TEST(CheckShadow, BuffersAllocatedBeforeTheCheckerAreTrusted) {
+  Device device = make_device();
+  auto buf = device.alloc<double>(8, "pre-existing");
+  Checker checker;
+  device.set_check({&checker});
+  ReaderKernel reader(buf);
+  (void)device.launch(one_thread(), reader);
+  EXPECT_TRUE(checker.clean());  // unknown buffer: no uninit claim possible
+}
+
+// ------------------------------------------------------------- stream clocks
+
+TEST(CheckShadow, SynchronizeOrdersAllStreams) {
+  Checker checker;
+  Device device = make_device();
+  device.set_check({&checker});
+  auto buf = device.alloc<double>(8, "synced");
+  device.memset(buf);
+  const auto worker = device.create_stream();
+  WriterKernel writer(buf);
+  (void)device.launch(one_thread(), writer, 1.0, worker);
+  device.synchronize();
+  std::vector<double> host(8);
+  device.copy_to_host(buf, std::span<double>(host), "d2h", 0);
+  EXPECT_TRUE(checker.clean());
+}
+
+TEST(CheckShadow, UnorderedCrossStreamWriteWriteIsFlagged) {
+  Checker checker;
+  Device device = make_device();
+  device.set_check({&checker});
+  auto buf = device.alloc<double>(8, "contested");
+  const auto worker = device.create_stream();
+  WriterKernel writer(buf);
+  (void)device.launch(one_thread(), writer, 1.0, 0);
+  (void)device.launch(one_thread(), writer, 1.0, worker);  // no event in between
+  ASSERT_FALSE(checker.findings().empty());
+  EXPECT_EQ(checker.findings().front().kind, Kind::StreamHazard);
+  EXPECT_NE(checker.findings().front().detail.find("prior write"), std::string::npos);
+}
+
+TEST(CheckShadow, EventChainAcrossThreeStreamsIsClean) {
+  Checker checker;
+  Device device = make_device();
+  device.set_check({&checker});
+  auto buf = device.alloc<double>(8, "chained");
+  const auto s1 = device.create_stream();
+  const auto s2 = device.create_stream();
+  WriterKernel writer(buf);
+  (void)device.launch(one_thread(), writer, 1.0, s1);
+  const double done = device.record_event(s1);
+  device.wait_event(s2, done);
+  (void)device.launch(one_thread(), writer, 1.0, s2);  // transitively ordered
+  EXPECT_TRUE(checker.clean());
+}
+
+// ------------------------------------------------- default-config adoption
+
+TEST(CheckShadow, DevicesAdoptTheProcessDefaultCheck) {
+  Checker checker;
+  check::ScopedCheck scope(checker);
+  Device device = make_device();  // constructed while the default is set
+  EXPECT_TRUE(device.check().enabled());
+  auto buf = device.alloc<double>(4, "adopted");
+  ReaderKernel reader(buf);
+  (void)device.launch(one_thread(), reader);
+  EXPECT_FALSE(checker.findings().empty());  // uninit read seen => adopted
+}
+
+TEST(CheckShadow, DefaultCheckIsRestoredAfterScope) {
+  {
+    Checker checker;
+    check::ScopedCheck scope(checker);
+    EXPECT_TRUE(gpusim::default_check().enabled());
+  }
+  EXPECT_FALSE(gpusim::default_check().enabled());
+}
+
+// ------------------------------------------------------------ memset events
+
+TEST(CheckShadow, MemsetFillsBufferAndAppendsTimelineEvent) {
+  Device device = make_device();
+  auto buf = device.alloc<double>(16, "zeroed");
+  buf.raw()[3] = 42.0;
+  device.memset(buf);
+  EXPECT_EQ(buf.raw()[3], 0.0);
+  const auto& timeline = device.timeline();
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_EQ(timeline.back().kind, gpusim::TimelineEvent::Kind::Memset);
+  EXPECT_EQ(timeline.back().bytes, 16 * sizeof(double));
+  EXPECT_GT(timeline.back().seconds, 0.0);
+  EXPECT_STREQ(gpusim::to_string(gpusim::TimelineEvent::Kind::Memset), "memset");
+}
+
+// ---------------------------------------------- read-only view (satellite)
+
+TEST(ReadOnlyViewRegression, StoreAddAndBulkStoreHardFailInEveryBuildMode) {
+  Device device = make_device();
+  const auto buf = device.alloc<double>(8, "const-buffer");
+  gpusim::CostCounters counters;
+  GlobalView<double> view(buf, AccessPattern::Coalesced, counters);
+  // KPM_REQUIRE (not KPM_ASSERT): must throw even when NDEBUG compiled the
+  // asserts away — mutating a const buffer is never recoverable.
+  EXPECT_THROW(view.store(0, 1.0), kpm::Error);
+  EXPECT_THROW(view.add(0, 1.0), kpm::Error);
+  EXPECT_THROW((void)view.bulk_store(0, 4), kpm::Error);
+  EXPECT_EQ(buf.raw()[0], 0.0) << "failed store must not mutate the buffer";
+}
+
+TEST(ReadOnlyViewRegression, LoadsStillWorkThroughReadOnlyViews) {
+  Device device = make_device();
+  auto buf = device.alloc<double>(4, "ro");
+  buf.raw()[2] = 7.0;
+  const auto& const_ref = buf;
+  gpusim::CostCounters counters;
+  GlobalView<double> view(const_ref, AccessPattern::Coalesced, counters);
+  EXPECT_EQ(view.load(2), 7.0);
+  EXPECT_EQ(view.bulk_load(0, 4)[2], 7.0);
+}
+
+// ------------------------------------------------------------ obs sections
+
+TEST(CheckShadow, CheckerJsonSectionEmbedsInObsReport) {
+  Checker checker;
+  Device device = make_device();
+  device.set_check({&checker});
+  auto buf = device.alloc<double>(4, "sectioned");
+  ReaderKernel reader(buf);
+  (void)device.launch(one_thread(), reader);
+
+  obs::Report report;
+  report.label = "check-section-test";
+  report.sections.push_back({"check", checker.to_json_section()});
+  const std::string json = obs::to_json(report);
+  EXPECT_NE(json.find("\"sections\""), std::string::npos);
+  EXPECT_NE(json.find("kpm.check/1"), std::string::npos);
+  EXPECT_NE(json.find("uninit-read"), std::string::npos);
+  // The section is valid JSON inside a valid document.
+  EXPECT_NO_THROW((void)obs::parse_json(json));
+}
+
+TEST(CheckShadow, ReportWithoutSectionsOmitsTheKey) {
+  obs::Report report;
+  report.label = "plain";
+  EXPECT_EQ(obs::to_json(report).find("\"sections\""), std::string::npos);
+}
+
+TEST(CheckShadow, FindingsTableListsEachFinding) {
+  Checker checker;
+  Device device = make_device();
+  device.set_check({&checker});
+  auto buf = device.alloc<double>(4, "tabled");
+  ReaderKernel reader(buf);
+  (void)device.launch(one_thread(), reader);
+  ASSERT_FALSE(checker.findings().empty());
+  const std::string text = checker.findings_table().to_text();
+  EXPECT_NE(text.find("uninit-read"), std::string::npos);
+  EXPECT_NE(text.find("tabled"), std::string::npos);
+}
+
+}  // namespace

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "check/finding.hpp"
+#include "check/scenarios.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -418,6 +420,62 @@ int cmd_ldosmap(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_check(int argc, const char* const* argv) {
+  CliParser cli("kpmcli check",
+                "Runs the kpmcheck hazard analyses (shared-memory racecheck, allocation "
+                "divergence, global overlap, uninitialized reads, stream ordering) over the "
+                "production GPU kernels.  Exits nonzero when any finding is reported.");
+  const auto* kernel = cli.add_string("kernel", "", "run one scenario (see --list)");
+  const auto* all = cli.add_flag("all", "run every scenario");
+  const auto* list = cli.add_flag("list", "print the scenario names and exit");
+  const auto* json = cli.add_string("json", "", "write an obs JSON report with a 'check' section");
+  cli.parse(argc, argv);
+
+  if (*list) {
+    for (const auto& name : check::scenario_names()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  KPM_REQUIRE(*all || !kernel->empty(),
+              "kpmcli check: pass --kernel=NAME or --all (see --list for names)");
+
+  MetricsSink metrics("kpmcli-check", *json);
+  std::vector<check::ScenarioReport> reports;
+  if (*all) {
+    reports = check::run_all_scenarios();
+  } else {
+    reports.push_back(check::run_scenario(*kernel));
+  }
+
+  Table table({"scenario", "launches", "blocks", "global accesses", "findings", "status"});
+  std::size_t total_findings = 0;
+  for (const auto& r : reports) {
+    table.add_row({r.name, std::to_string(r.stats.launches), std::to_string(r.stats.blocks),
+                   std::to_string(r.stats.global_accesses), std::to_string(r.findings.size()),
+                   r.clean() ? "clean" : "FINDINGS"});
+    total_findings += r.findings.size();
+  }
+  std::printf("%s", table.to_text().c_str());
+  for (const auto& r : reports)
+    for (const auto& f : r.findings)
+      std::printf("  %s: %s\n", r.name.c_str(), check::to_string(f).c_str());
+  std::printf("\n%zu scenario(s), %zu finding(s)\n", reports.size(), total_findings);
+
+  if (!json->empty()) {
+    std::string body = "{\"schema\": \"kpm.check/1\", \"scenarios\": [";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const auto& r = reports[i];
+      body += std::string(i == 0 ? "" : ", ") + "{\"name\": \"" + r.name +
+              "\", \"findings\": " + check::findings_to_json(r.findings) +
+              ", \"launches\": " + std::to_string(r.stats.launches) +
+              ", \"blocks\": " + std::to_string(r.stats.blocks) + "}";
+    }
+    body += "]}";
+    metrics.report.sections.push_back({"check", std::move(body)});
+  }
+  metrics.finish();
+  return total_findings == 0 ? 0 : 1;
+}
+
 int cmd_devices(int, const char* const*) {
   Table table({"device", "SMs", "DP peak", "bandwidth", "VRAM"});
   for (const auto& spec : {gpusim::DeviceSpec::geforce_gtx285(), gpusim::DeviceSpec::tesla_c2050(),
@@ -444,6 +502,7 @@ void usage() {
       "  evolve   Chebyshev time evolution on a chain\n"
       "  slice    energy-filtered random state (delta filter)\n"
       "  ldosmap  ASCII LDOS map around an impurity\n"
+      "  check    hazard analysis (racecheck/memcheck) over the GPU kernels\n"
       "  devices  list the simulated device presets\n\n"
       "run `kpmcli <subcommand> --help` for options\n");
 }
@@ -468,6 +527,7 @@ int main(int argc, char** argv) {
     if (cmd == "evolve") return cmd_evolve(sub_argc, sub_argv);
     if (cmd == "slice") return cmd_slice(sub_argc, sub_argv);
     if (cmd == "ldosmap") return cmd_ldosmap(sub_argc, sub_argv);
+    if (cmd == "check") return cmd_check(sub_argc, sub_argv);
     if (cmd == "devices") return cmd_devices(sub_argc, sub_argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       usage();
