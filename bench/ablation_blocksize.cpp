@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const auto* s = cli.add_int("S", 128, "realizations");
   const auto* sample = cli.add_int("sample", 8, "instances executed functionally (0 = all)");
   const auto* csv = cli.add_string("csv", "ablation_blocksize.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("ablation_blocksize");
@@ -61,6 +62,6 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(e.block), core::to_string(e.mapping),
                    strprintf("%.3f", e.total), strprintf("%.3f", e.kernel),
                    strprintf("%.2fx", e.total / best)});
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
   return 0;
 }

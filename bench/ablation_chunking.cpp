@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const auto* sample = cli.add_int("sample", 0, "instances executed functionally (0 = all)");
   const auto* edge = cli.add_int("edge", 8, "lattice edge");
   const auto* csv = cli.add_string("csv", "ablation_chunking.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("ablation_chunking");
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
                    strprintf("%.4f", t_overlap),
                    strprintf("%.1f%%", 100.0 * (1.0 - t_overlap / t_serial))});
   }
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
   std::printf("expected: overlap hides the RNG-fill kernels (a few %% here — the\n"
               "recursion dominates; the win grows when fills or uploads are larger)\n");
   return 0;

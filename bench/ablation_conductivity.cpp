@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const auto* edge = cli.add_int("edge", 16, "square lattice edge");
   const auto* r = cli.add_int("R", 8, "random vectors");
   const auto* csv = cli.add_string("csv", "ablation_conductivity.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("ablation_conductivity");
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
                    strprintf("%.4f",
                              *std::max_element(curve.sigma.begin(), curve.sigma.end()))});
   }
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
   std::printf("expected: the 2D/1D cost ratio grows ~linearly with N (the N^2 D term)\n");
   return 0;
 }

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   const auto* max_threads = cli.add_int("threads", 4, "largest thread count to run");
   const auto* workload = cli.add_string("workload", "both", "both|sparse|dense");
   const auto* csv = cli.add_string("csv", "ablation_cpu_parallel.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("ablation_cpu_parallel");
@@ -98,7 +99,7 @@ int main(int argc, char** argv) {
                    strprintf("%.2fx", model1 / g.model_seconds), strprintf("%.3f", g.wall_seconds),
                    "-"});
   }
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
   std::printf(
       "expected (model): the cache-resident workload scales ~linearly on cores; the\n"
       "DRAM-bound one saturates near 1.8x — while the GPU keeps its margin.\n"

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const auto* site = cli.add_int("site", 40, "LDOS site");
   const auto* eta = cli.add_double("eta", 0.2, "broadening");
   const auto* csv = cli.add_string("csv", "ablation_haydock.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("ablation_haydock");
@@ -82,7 +83,7 @@ int main(int argc, char** argv) {
                    strprintf("%.5f", l2_error(hay)), strprintf("%.4f", kpm_s),
                    strprintf("%.4f", hay_s)});
   }
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
   std::printf("note: KPM additionally supports stochastic FULL traces and needs no eta;\n"
               "Haydock is per-site only but needs no spectral rescaling.\n");
   return 0;

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const auto* s = cli.add_int("S", 128, "realizations");
   const auto* sample = cli.add_int("sample", 8, "instances executed functionally (0 = all)");
   const auto* csv = cli.add_string("csv", "ablation_moment_pairs.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("ablation_moment_pairs");
@@ -60,7 +61,7 @@ int main(int argc, char** argv) {
                    strprintf("%.3f", b.model_seconds), strprintf("%.3f", c.model_seconds),
                    strprintf("%.3f", e.model_seconds), strprintf("%.2g", max_diff)});
   }
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
   std::printf("\nexpected: ~45-50%% saving on both platforms at identical physics\n");
   return 0;
 }

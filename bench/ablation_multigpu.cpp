@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const auto* s = cli.add_int("S", 128, "realizations");
   const auto* sample = cli.add_int("sample", 16, "instances executed functionally (0 = all)");
   const auto* csv = cli.add_string("csv", "ablation_multigpu.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("ablation_multigpu");
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
                    strprintf("%.0f%%", 100.0 * scaling.efficiency),
                    strprintf("%.2g", scaling.communication_seconds)});
   }
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
   std::printf("expected: near-linear scaling (instances are independent; the only\n"
               "collective is one N-double all-reduce)\n");
   return 0;

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const auto* s = cli.add_int("S", 128, "realizations");
   const auto* sample = cli.add_int("sample", 4, "instances executed functionally (0 = all)");
   const auto* csv = cli.add_string("csv", "ablation_precision.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("ablation_precision");
@@ -60,7 +61,7 @@ int main(int argc, char** argv) {
                    strprintf("%.0f%%", 100.0 * (1.0 - b.model_seconds / a.model_seconds)),
                    strprintf("%.2g", max_mu), strprintf("%.2g", max_rho)});
   }
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
   std::printf("\nGPU-side modeled factors for the same switch: C2050 kernels ~2x faster\n"
               "(memory-bound traffic halves); GTX 285-class parts up to 12x on the\n"
               "compute-bound fraction.  Accuracy: the binary32 recursion error stays\n"

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   CliParser cli("ablation_sampling", "instance-sampling accuracy and cost");
   const auto* n = cli.add_int("N", 256, "number of moments");
   const auto* csv = cli.add_string("csv", "ablation_sampling.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("ablation_sampling");
@@ -59,7 +60,7 @@ int main(int argc, char** argv) {
                    strprintf("%.4f", 1.0 / std::sqrt(static_cast<double>(k) * 1000.0)),
                    strprintf("%.3f", host_s), strprintf("%.3f", result.model_seconds)});
   }
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
   std::printf("expected: error falls ~1/sqrt(K D); the modeled platform time is\n"
               "K-independent (the extrapolation is exact for operation counts)\n");
   return 0;

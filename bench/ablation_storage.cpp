@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const auto* s = cli.add_int("S", 128, "realizations");
   const auto* sample = cli.add_int("sample", 4, "instances executed functionally (0 = all)");
   const auto* csv = cli.add_string("csv", "ablation_storage.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("ablation_storage");
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
                    strprintf("%.3f", c.cpu.model_seconds), strprintf("%.3f", c.gpu.model_seconds),
                    strprintf("%.2f", c.speedup())});
   }
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
 
   // Same physics either way: the moments must agree to roundoff.
   double max_diff = 0.0;

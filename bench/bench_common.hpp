@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <utility>
 
+#include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -26,6 +28,21 @@
 #include "obs/report.hpp"
 
 namespace kpm::bench {
+
+/// Registers the shared `--out-dir` option (default "results/") so bench
+/// outputs stop littering the working directory.
+inline const std::string* add_out_dir(CliParser& cli) {
+  return cli.add_string("out-dir", "results", "directory for CSV/metrics outputs");
+}
+
+/// Resolves an output file name against `--out-dir`, creating the directory
+/// on first use.  A `name` that already carries a directory component (or an
+/// empty `dir`) is honored verbatim so `--csv=/abs/path.csv` still works.
+inline std::string resolve_output(const std::string& dir, const std::string& name) {
+  if (dir.empty() || name.find('/') != std::string::npos) return name;
+  std::filesystem::create_directories(dir);
+  return dir + "/" + name;
+}
 
 /// Benches publish *modeled performance numbers*; running them with the
 /// kpmcheck hazard analysis installed would silently attribute the

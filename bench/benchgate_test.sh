@@ -1,0 +1,36 @@
+#!/bin/sh
+# ctest driver for the bench-baseline regression gate.
+#
+# Runs the two quick CI benches into a scratch directory, then exercises
+# benchgate three ways against the checked-in BENCH_BASELINE.json:
+#   1. clean pass  — counters must match the baseline exactly (wall advisory),
+#   2. seeded drift — a perturbed spmv_calls counter must trip exit code 1,
+#   3. --update round-trip — a freshly written baseline must accept the same
+#      sidecars with the strict (non-advisory) wall check.
+#
+# usage: benchgate_test.sh <ablation_haydock> <ablation_chunking> <benchgate> <baseline.json>
+set -e
+haydock=$1
+chunking=$2
+benchgate=$3
+baseline=$4
+
+scratch="$(pwd)/gate_scratch"
+rm -rf "$scratch"
+mkdir "$scratch"
+cd "$scratch"
+
+"$haydock" --edge=8 > /dev/null
+"$chunking" --edge=6 --S=8 > /dev/null
+
+"$benchgate" --baseline="$baseline" --wall-advisory results/*.metrics.json
+
+sed -E 's/"spmv_calls": [0-9.e+]+/"spmv_calls": 1/' \
+  results/ablation_haydock.csv.metrics.json > drifted.metrics.json
+if "$benchgate" --baseline="$baseline" --wall-advisory drifted.metrics.json; then
+  echo "benchgate_test: seeded counter drift was not detected" >&2
+  exit 1
+fi
+
+"$benchgate" --baseline=fresh.json --update results/*.metrics.json
+"$benchgate" --baseline=fresh.json results/*.metrics.json

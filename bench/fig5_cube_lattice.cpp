@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const auto* sample = cli.add_int("sample", 8, "instances executed functionally (0 = all)");
   const auto* n_max = cli.add_int("n-max", 1024, "largest moment count");
   const auto* csv = cli.add_string("csv", "fig5_cube_lattice.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("fig5_cube_lattice");
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
                    strprintf("%.4f", c.gpu.transfer_seconds),
                    strprintf("%.3f", c.cpu.wall_seconds + c.gpu.wall_seconds)});
   }
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
   std::printf("paper shape: speedup ~3.5x, roughly flat across N\n");
   return 0;
 }

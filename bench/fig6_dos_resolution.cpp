@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const auto* sample = cli.add_int("sample", 16, "instances executed functionally (0 = all)");
   const auto* points = cli.add_int("points", 64, "energy grid points in the printed series");
   const auto* csv = cli.add_string("csv", "fig6_dos_resolution.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("fig6_dos_resolution");
@@ -69,7 +70,7 @@ int main(int argc, char** argv) {
   for (std::size_t j = 0; j < energies.size(); ++j)
     table.add_row({strprintf("%.4f", c256.energy[j]), strprintf("%.6f", c256.density[j]),
                    strprintf("%.6f", c512.density[j]), strprintf("%.6f", cref.density[j])});
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
 
   // Resolution metric: max curvature (sharper features <-> larger value).
   auto curvature = [](const core::DosCurve& c) {

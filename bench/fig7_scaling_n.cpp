@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const auto* sample = cli.add_int("sample", 8, "instances executed functionally (0 = all)");
   const auto* n_max = cli.add_int("n-max", 2048, "largest moment count");
   const auto* csv = cli.add_string("csv", "fig7_scaling_n.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("fig7_scaling_n");
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
                    strprintf("%.3f", fixed),
                    strprintf("%.3f", c.cpu.wall_seconds + c.gpu.wall_seconds)});
   }
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
   std::printf("paper shape: speedup rises with N toward ~4x as fixed costs amortize\n");
   return 0;
 }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const auto* sample = cli.add_int("sample", 2, "instances executed functionally (0 = all)");
   const auto* d_max = cli.add_int("h-size-max", 4096, "largest matrix dimension");
   const auto* csv = cli.add_string("csv", "fig8_scaling_hsize.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
   cli.parse(argc, argv);
 
   bench::BenchMetrics metrics("fig8_scaling_hsize");
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
                    strprintf("%.2f", c.gpu.model_seconds), strprintf("%.2f", c.speedup()),
                    strprintf("%.3f", c.cpu.wall_seconds + c.gpu.wall_seconds)});
   }
-  bench::finish(table, *csv);
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
   std::printf("paper shape: CPU steepens past the LLC; GPU ~O(H_SIZE^2); speedup ~4x\n");
   return 0;
 }

@@ -53,11 +53,16 @@ void accumulate_instance(const linalg::MatrixOperator& h_tilde, const MomentPara
 
 /// Functional core shared by the serial engine and the parallel engine's
 /// single-lane path: instances [0, executed) accumulated in order.
+/// `instance_ticks` is the precomputed modeled cost of one instance in
+/// histogram ticks (ns), recorded per instance into `instance_model_ns`.
 void run_reference_recursion(const linalg::MatrixOperator& h_tilde, const MomentParams& params,
-                             std::size_t executed, std::vector<double>& mu_sum) {
+                             std::size_t executed, std::uint64_t instance_ticks,
+                             std::vector<double>& mu_sum) {
   RecursionWorkspace ws(h_tilde.dim());
-  for (std::size_t inst = 0; inst < executed; ++inst)
+  for (std::size_t inst = 0; inst < executed; ++inst) {
     accumulate_instance(h_tilde, params, inst, ws, mu_sum);
+    obs::record(obs::Histo::InstanceModelNs, instance_ticks);
+  }
 }
 
 /// Total reference-engine workload for `total` instances of N moments.
@@ -129,7 +134,11 @@ MomentResult CpuMomentEngine::compute(const linalg::MatrixOperator& h_tilde,
   obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);
-  run_reference_recursion(h_tilde, params, executed, mu_sum);
+  // Per-instance modeled cost on the *serial* model for all engine variants,
+  // so the histogram is bit-identical between the serial and parallel paths.
+  const std::uint64_t instance_ticks = obs::seconds_to_ns_ticks(
+      cpumodel::model_cpu_time(spec_, reference_workload(h_tilde, n, 1)).seconds);
+  run_reference_recursion(h_tilde, params, executed, instance_ticks, mu_sum);
 
   MomentResult result;
   result.engine = name();
@@ -176,10 +185,15 @@ MomentResult CpuParallelMomentEngine::compute(const linalg::MatrixOperator& h_ti
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);
   const bool serial_path = threads_ == 1 || executed == 1;
+  // Same serial per-instance modeled cost as CpuMomentEngine (never the
+  // parallel model), so histograms match the reference engine bit-for-bit
+  // at every thread count.
+  const std::uint64_t instance_ticks = obs::seconds_to_ns_ticks(
+      cpumodel::model_cpu_time(spec_, reference_workload(h_tilde, n, 1)).seconds);
 
   if (serial_path) {
     // No parallelism to exploit: skip the pool and contribution buffer.
-    run_reference_recursion(h_tilde, params, executed, mu_sum);
+    run_reference_recursion(h_tilde, params, executed, instance_ticks, mu_sum);
   } else {
     if (!pool_ || pool_->size() != static_cast<std::size_t>(threads_))
       pool_ = std::make_unique<common::ThreadPool>(static_cast<std::size_t>(threads_));
@@ -198,8 +212,10 @@ MomentResult CpuParallelMomentEngine::compute(const linalg::MatrixOperator& h_ti
         *pool_, executed, [&](std::size_t /*lane*/, std::size_t begin, std::size_t end) {
           RecursionWorkspace ws(d);
           const std::span<double> rows(contributions);
-          for (std::size_t inst = begin; inst < end; ++inst)
+          for (std::size_t inst = begin; inst < end; ++inst) {
             accumulate_instance(h_tilde, params, inst, ws, rows.subspan(inst * n, n));
+            obs::record(obs::Histo::InstanceModelNs, instance_ticks);
+          }
         });
     for (std::size_t inst = 0; inst < executed; ++inst) {
       const double* row = contributions.data() + inst * n;
@@ -249,7 +265,20 @@ MomentResult CpuPairedMomentEngine::compute(const linalg::MatrixOperator& h_tild
   // the k-th iteration (k >= 1) yields mu_{2k} and mu_{2k+1}.
   const std::size_t half = (n + 1) / 2;
 
+  // Cost model per instance: fill + mu0/mu1 dots + (half - 1) fused steps
+  // of SpMV + combine + 2 dots.
+  const auto dd = static_cast<double>(d);
+  cpumodel::CpuWorkload instance_work;
+  instance_work.flops = 10.0 * dd + 4.0 * dd;
+  instance_work.bytes_streamed = 3.0 * dd * sizeof(double);
+  const cpumodel::CpuWorkload per_step = fused_step_workload(h_tilde, /*dots=*/2);
+  instance_work.working_set_bytes = per_step.working_set_bytes;
+  for (std::size_t k = 1; k < half; ++k) instance_work += per_step;
+  const std::uint64_t instance_ticks =
+      obs::seconds_to_ns_ticks(cpumodel::model_cpu_time(spec_, instance_work).seconds);
+
   for (std::size_t inst = 0; inst < executed; ++inst) {
+    obs::record(obs::Histo::InstanceModelNs, instance_ticks);
     obs::add(obs::Counter::InstancesExecuted, 1.0);
     fill_random_vector(params, inst, ws.r0);
 
@@ -290,17 +319,7 @@ MomentResult CpuPairedMomentEngine::compute(const linalg::MatrixOperator& h_tild
   const double denom = static_cast<double>(d) * static_cast<double>(executed);
   for (std::size_t k = 0; k < n; ++k) result.mu[k] = mu_sum[k] / denom;
 
-  // Cost: fill + mu0/mu1 dots + (half - 1) fused steps of SpMV + combine
-  // + 2 dots.
-  const auto dd = static_cast<double>(d);
-  cpumodel::CpuWorkload instance_work;
-  instance_work.flops = 10.0 * dd + 4.0 * dd;
-  instance_work.bytes_streamed = 3.0 * dd * sizeof(double);
-  const cpumodel::CpuWorkload per_step = fused_step_workload(h_tilde, /*dots=*/2);
-  instance_work.working_set_bytes = per_step.working_set_bytes;
-  for (std::size_t k = 1; k < half; ++k) instance_work += per_step;
   instance_work.scale(static_cast<double>(total));
-
   const cpumodel::CpuStats stats = cpumodel::model_cpu_time(spec_, instance_work);
   result.model_seconds = stats.seconds;
   result.compute_seconds = stats.compute_seconds;

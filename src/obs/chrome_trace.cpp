@@ -1,0 +1,140 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace kpm::obs {
+
+namespace {
+
+constexpr double kMicro = 1e6;  // trace timestamps are microseconds
+
+/// One trace event line.  `extra` is appended verbatim inside the object
+/// (leading ", " included) for args and such.
+void append_event(std::ostringstream& os, bool& first, const std::string& body) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "    {" << body << "}";
+}
+
+std::string meta_process(std::size_t pid, const std::string& name) {
+  std::ostringstream os;
+  os << "\"ph\": \"M\", \"pid\": " << pid
+     << ", \"name\": \"process_name\", \"args\": {\"name\": \"" << json_escape(name) << "\"}";
+  return os.str();
+}
+
+std::string meta_thread(std::size_t pid, std::size_t tid, const std::string& name) {
+  std::ostringstream os;
+  os << "\"ph\": \"M\", \"pid\": " << pid << ", \"tid\": " << tid
+     << ", \"name\": \"thread_name\", \"args\": {\"name\": \"" << json_escape(name) << "\"}";
+  return os.str();
+}
+
+void append_host_spans(std::ostringstream& os, bool& first, const Report& report) {
+  bool any = false;
+  for (const SpanRecord& span : report.trace.spans()) {
+    if (span.modeled) continue;  // modeled time renders from the device timelines
+    if (!any) {
+      append_event(os, first, meta_process(0, "host: " + report.label));
+      append_event(os, first, meta_thread(0, 0, "measured spans"));
+      any = true;
+    }
+    std::ostringstream ev;
+    ev << "\"ph\": \"X\", \"pid\": 0, \"tid\": 0, \"cat\": \"measured\", \"name\": \""
+       << json_escape(span.name) << "\", \"ts\": " << json_number(span.start_seconds * kMicro)
+       << ", \"dur\": " << json_number(span.seconds * kMicro);
+    append_event(os, first, ev.str());
+  }
+}
+
+void append_counter_track(std::ostringstream& os, bool& first, const Report& report) {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const Counter c = static_cast<Counter>(i);
+    const double value = report.counters.get(c);
+    if (value == 0.0) continue;
+    std::ostringstream ev;
+    ev << "\"ph\": \"C\", \"pid\": 0, \"tid\": 0, \"name\": \"" << to_string(c)
+       << "\", \"ts\": 0, \"args\": {\"value\": " << json_number(value) << "}";
+    append_event(os, first, ev.str());
+  }
+}
+
+void append_kernel_args(std::ostringstream& ev, const TimelineEventRecord& event,
+                        const DeviceTimelineRecord& timeline) {
+  const double seconds = event.seconds();
+  const double flops_rate = seconds > 0.0 ? event.flops / seconds : 0.0;
+  const double bytes_rate = seconds > 0.0 ? event.global_bytes / seconds : 0.0;
+  const double pct_flops =
+      timeline.peak_flops > 0.0 ? 100.0 * flops_rate / timeline.peak_flops : 0.0;
+  const double pct_bw =
+      timeline.peak_bandwidth > 0.0 ? 100.0 * bytes_rate / timeline.peak_bandwidth : 0.0;
+  ev << ", \"args\": {\"flops\": " << json_number(event.flops)
+     << ", \"global_bytes\": " << json_number(event.global_bytes)
+     << ", \"gflops\": " << json_number(flops_rate / 1e9)
+     << ", \"pct_peak_flops\": " << json_number(pct_flops)
+     << ", \"gb_per_s\": " << json_number(bytes_rate / 1e9)
+     << ", \"pct_peak_bandwidth\": " << json_number(pct_bw)
+     << ", \"occupancy\": " << json_number(event.occupancy) << ", \"bound\": \"" << event.bound
+     << "\"}";
+}
+
+void append_device_tracks(std::ostringstream& os, bool& first, const Report& report) {
+  for (std::size_t t = 0; t < report.timelines.size(); ++t) {
+    const DeviceTimelineRecord& timeline = report.timelines[t];
+    const std::size_t pid = 1 + t;
+    append_event(os, first,
+                 meta_process(pid, "gpusim: " + timeline.label + " (" + timeline.device + ")"));
+    for (std::size_t s = 0; s < timeline.streams; ++s) {
+      const std::string id = "stream " + std::to_string(s);
+      append_event(os, first, meta_thread(pid, 2 * s, id + " compute"));
+      append_event(os, first, meta_thread(pid, 2 * s + 1, id + " copy"));
+    }
+    for (const TimelineEventRecord& event : timeline.events) {
+      const bool copy = event.kind == "h2d" || event.kind == "d2h";
+      const std::size_t tid = 2 * event.stream + (copy ? 1 : 0);
+      std::ostringstream ev;
+      ev << "\"ph\": \"X\", \"pid\": " << pid << ", \"tid\": " << tid << ", \"cat\": \""
+         << event.kind << "\", \"name\": \"" << json_escape(event.label)
+         << "\", \"ts\": " << json_number(event.start_seconds * kMicro)
+         << ", \"dur\": " << json_number(event.seconds() * kMicro);
+      if (event.kind == "kernel") {
+        append_kernel_args(ev, event, timeline);
+      } else if (event.bytes > 0.0) {
+        const double seconds = event.seconds();
+        ev << ", \"args\": {\"bytes\": " << json_number(event.bytes) << ", \"gb_per_s\": "
+           << json_number(seconds > 0.0 ? event.bytes / seconds / 1e9 : 0.0) << "}";
+      }
+      append_event(os, first, ev.str());
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Report& report, ChromeTraceOptions options) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  if (options.include_measured) append_host_spans(os, first, report);
+  append_device_tracks(os, first, report);
+  append_counter_track(os, first, report);
+  os << "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+  return os.str();
+}
+
+void write_chrome_trace(const Report& report, const std::string& path,
+                        ChromeTraceOptions options) {
+  std::ofstream out(path);
+  KPM_REQUIRE(out.good(), "cannot open trace file for writing: " + path);
+  out << to_chrome_trace(report, options);
+  out.flush();
+  KPM_REQUIRE(out.good(), "failed writing trace file: " + path);
+}
+
+}  // namespace kpm::obs

@@ -1,0 +1,41 @@
+// Chrome Trace Event / Perfetto export of a collected report.
+//
+// Renders the report's two kinds of time on separate tracks of one trace:
+//
+//   pid 0                "host" — the measured span tree (nested "X" events
+//                        on tid 0; spans are recorded by one collecting
+//                        thread, so one lane suffices)
+//   pid 1 + i            one process per captured device timeline, with
+//                        tid = 2*stream   the stream's compute lane
+//                        tid = 2*stream+1 the stream's copy-engine lane
+//
+// Kernel events carry roofline args (modeled GFLOP/s, achieved fraction of
+// the device peaks, occupancy, dominant bound); counter totals are emitted
+// as "C" events at ts 0.  Timestamps are microseconds, as the format
+// requires.  With `include_measured = false` the output contains only
+// modeled content and is byte-identical across runs and thread counts —
+// that is the projection the golden tests pin down.  Load the file at
+// ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <string>
+
+namespace kpm::obs {
+
+struct Report;
+
+struct ChromeTraceOptions {
+  /// Emit the measured (wall-clock) host span track.  Off = deterministic
+  /// modeled projection only.
+  bool include_measured = true;
+};
+
+/// Serialises `report` as a Chrome Trace Event JSON document.
+[[nodiscard]] std::string to_chrome_trace(const Report& report, ChromeTraceOptions options = {});
+
+/// Writes `to_chrome_trace(report, options)` to `path`.  Throws kpm::Error
+/// on I/O failure.
+void write_chrome_trace(const Report& report, const std::string& path,
+                        ChromeTraceOptions options = {});
+
+}  // namespace kpm::obs

@@ -1,19 +1,60 @@
 #include "obs/gpusim_bridge.hpp"
 
+#include <cmath>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "gpusim/device.hpp"
+#include "gpusim/device_spec.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 namespace kpm::obs {
 
+namespace {
+
+DeviceTimelineRecord snapshot_timeline(const gpusim::Device& device, std::string_view label,
+                                       const gpusim::TimelineSummary& summary) {
+  DeviceTimelineRecord record;
+  record.label = std::string(label);
+  record.device = device.spec().name;
+  record.peak_flops = device.spec().peak_dp_flops();
+  record.peak_bandwidth = device.spec().global_mem_bandwidth;
+  record.streams = device.stream_count();
+  record.critical_path_seconds = summary.critical_path_seconds;
+  record.events.reserve(device.timeline().size());
+  for (const gpusim::TimelineEvent& event : device.timeline()) {
+    TimelineEventRecord out;
+    out.kind = gpusim::to_string(event.kind);
+    out.label = event.label;
+    out.stream = event.stream;
+    out.start_seconds = event.start_seconds;
+    out.end_seconds = event.end_seconds;
+    out.bytes = event.bytes;
+    if (event.kind == gpusim::TimelineEvent::Kind::KernelLaunch) {
+      out.flops = event.counters.flops;
+      out.global_bytes = event.counters.total_global_bytes();
+      out.shared_bytes = event.counters.shared_bytes;
+      out.occupancy = event.kernel_stats.occupancy;
+      out.bound = event.kernel_stats.bound();
+    }
+    record.events.push_back(std::move(out));
+  }
+  return record;
+}
+
+}  // namespace
+
 void record_device(const gpusim::Device& device, std::string_view label) {
   CounterSet* counters = active_counters();
   Trace* trace = active_trace();
-  if (counters == nullptr && trace == nullptr) return;
+  HistogramSet* histograms = active_histograms();
+  Report* report = active_report();
+  if (counters == nullptr && trace == nullptr && histograms == nullptr && report == nullptr)
+    return;
 
   const gpusim::TimelineSummary summary = device.summarize_timeline();
 
@@ -31,6 +72,22 @@ void record_device(const gpusim::Device& device, std::string_view label) {
     add(Counter::GpuSharedBytes, shared_bytes);
     add(Counter::GpuBytesH2D, summary.bytes_to_device);
     add(Counter::GpuBytesD2H, summary.bytes_to_host);
+  }
+
+  if (histograms != nullptr) {
+    for (const gpusim::TimelineEvent& event : device.timeline()) {
+      switch (event.kind) {
+        case gpusim::TimelineEvent::Kind::KernelLaunch:
+          record_seconds(Histo::KernelModelNs, event.seconds);
+          break;
+        case gpusim::TimelineEvent::Kind::TransferToDevice:
+        case gpusim::TimelineEvent::Kind::TransferToHost:
+          record(Histo::TransferBytes, static_cast<std::uint64_t>(std::llround(event.bytes)));
+          break;
+        default:
+          break;
+      }
+    }
   }
 
   if (trace != nullptr) {
@@ -56,6 +113,10 @@ void record_device(const gpusim::Device& device, std::string_view label) {
       trace->add_modeled("kernel:" + name, seconds);
     }
     trace->end_modeled(root);
+  }
+
+  if (report != nullptr) {
+    report->timelines.push_back(snapshot_timeline(device, label, summary));
   }
 }
 

@@ -1,0 +1,69 @@
+#include "obs/histogram.hpp"
+
+#include "common/error.hpp"
+
+namespace kpm::obs {
+
+namespace {
+
+constexpr std::array<const char*, kHistoCount> kHistoNames = {
+    "span_wall_ns", "span_model_ns", "instance_model_ns", "kernel_model_ns", "transfer_bytes",
+};
+
+}  // namespace
+
+const char* to_string(Histo h) noexcept { return kHistoNames[static_cast<std::size_t>(h)]; }
+
+Histo histo_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kHistoCount; ++i) {
+    if (name == kHistoNames[i]) return static_cast<Histo>(i);
+  }
+  KPM_FAIL("unknown histogram name: " + std::string(name));
+}
+
+const char* unit_of(Histo h) noexcept {
+  return h == Histo::TransferBytes ? "bytes" : "ns";
+}
+
+bool is_deterministic(Histo h) noexcept { return h != Histo::SpanWallNs; }
+
+Histogram& Histogram::operator+=(const Histogram& other) noexcept {
+  if (other.count_ == 0) return *this;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return *this;
+}
+
+HistogramSet& HistogramSet::operator+=(const HistogramSet& other) noexcept {
+  for (std::size_t i = 0; i < kHistoCount; ++i) {
+    histograms_[i] += other.histograms_[i];
+  }
+  return *this;
+}
+
+bool HistogramSet::empty() const noexcept {
+  for (const Histogram& h : histograms_) {
+    if (!h.empty()) return false;
+  }
+  return true;
+}
+
+ShardedHistograms::ShardedHistograms(std::size_t lanes) : shards_(lanes) {
+  KPM_REQUIRE(lanes > 0, "ShardedHistograms requires at least one lane");
+}
+
+HistogramSet& ShardedHistograms::shard(std::size_t lane) {
+  KPM_REQUIRE(lane < shards_.size(), "ShardedHistograms lane out of range");
+  return shards_[lane];
+}
+
+HistogramSet ShardedHistograms::reduce() const noexcept {
+  HistogramSet total;
+  for (const HistogramSet& shard : shards_) total += shard;
+  return total;
+}
+
+}  // namespace kpm::obs

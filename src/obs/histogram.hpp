@@ -1,0 +1,195 @@
+// Deterministic fixed-bucket log2 histograms.
+//
+// A `Histogram` counts unsigned integer "ticks" into 64 power-of-two
+// buckets.  Everything stored is an exact integer (bucket counts, value
+// sum, min, max), so — exactly like the counter registry — per-lane shards
+// reduced in lane order produce bit-identical totals at any thread count.
+// Durations are recorded as integer nanoseconds (`record_seconds`), sizes
+// as plain byte counts; the quantisation is what buys exact summation.
+//
+// The registry distinguishes *deterministic* histograms (modeled costs,
+// transfer sizes — identical across runs and thread counts for the same
+// inputs) from *wall* histograms (measured span durations — reproducible in
+// shape, never in bits).  `deterministic_fingerprint` and the regression
+// gate only ever look at the former.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace kpm::obs {
+
+/// Every histogram tracked by the library.  Extend at the end and update
+/// `kHistoCount`, the name table, and docs/observability.md together.
+enum class Histo : std::size_t {
+  SpanWallNs,       ///< measured span durations, ns (wall time: not deterministic)
+  SpanModelNs,      ///< modeled span durations, ns (gpusim bridge spans)
+  InstanceModelNs,  ///< per-instance modeled moment-loop cost, ns
+  KernelModelNs,    ///< per-kernel-launch modeled duration, ns
+  TransferBytes,    ///< per-transfer H2D/D2H payload, bytes
+};
+
+inline constexpr std::size_t kHistoCount = 5;
+
+/// Stable snake_case name used as the JSON key for `h`.
+[[nodiscard]] const char* to_string(Histo h) noexcept;
+
+/// Inverse of `to_string`.  Throws kpm::Error for unknown names.
+[[nodiscard]] Histo histo_from_name(std::string_view name);
+
+/// "ns" or "bytes" — the unit of the recorded ticks.
+[[nodiscard]] const char* unit_of(Histo h) noexcept;
+
+/// False only for histograms of measured wall time.
+[[nodiscard]] bool is_deterministic(Histo h) noexcept;
+
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// A fixed-bucket log2 histogram over unsigned integer ticks.
+/// Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+class Histogram {
+ public:
+  /// Index of the bucket `value` falls into.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) noexcept {
+    if (value == 0) return 0;
+    return static_cast<std::size_t>(64 - __builtin_clzll(value));
+  }
+
+  /// Inclusive lower bound of bucket `i` (0, 1, 2, 4, 8, ...).
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t i) noexcept {
+    return i == 0 ? 0 : (1ULL << (i - 1));
+  }
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_of(value)] += 1;
+    count_ += 1;
+    sum_ += value;
+    if (count_ == 1 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept { return buckets_[i]; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Merges `other` into this histogram.  Exact (all integers), so a
+  /// lane-ordered reduction is independent of the lane count.
+  Histogram& operator+=(const Histogram& other) noexcept;
+  bool operator==(const Histogram&) const = default;
+
+  /// Directly sets one bucket's count (JSON round-trip reconstruction).
+  void restore_bucket(std::size_t i, std::uint64_t count) noexcept { buckets_[i] = count; }
+
+  /// Directly sets the exported totals (JSON round-trip reconstruction).
+  void restore_totals(std::uint64_t count, std::uint64_t sum, std::uint64_t min,
+                      std::uint64_t max) noexcept {
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+  }
+
+ private:
+  std::array<std::uint64_t, kHistogramBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// One histogram per registry entry, mirroring CounterSet.
+class HistogramSet {
+ public:
+  [[nodiscard]] Histogram& get(Histo h) noexcept {
+    return histograms_[static_cast<std::size_t>(h)];
+  }
+  [[nodiscard]] const Histogram& get(Histo h) const noexcept {
+    return histograms_[static_cast<std::size_t>(h)];
+  }
+  [[nodiscard]] const Histogram& operator[](Histo h) const noexcept { return get(h); }
+
+  HistogramSet& operator+=(const HistogramSet& other) noexcept;
+  bool operator==(const HistogramSet&) const = default;
+
+  /// True when no histogram has recorded anything.
+  [[nodiscard]] bool empty() const noexcept;
+
+ private:
+  std::array<Histogram, kHistoCount> histograms_{};
+};
+
+namespace detail {
+/// The calling thread's active histogram sink (see counters_slot for why
+/// this is a function-local thread_local rather than an extern variable).
+[[nodiscard]] inline HistogramSet*& histograms_slot() noexcept {
+  static thread_local HistogramSet* slot = nullptr;
+  return slot;
+}
+}  // namespace detail
+
+/// The histogram sink installed on this thread (nullptr when none).
+[[nodiscard]] inline HistogramSet* active_histograms() noexcept {
+  return detail::histograms_slot();
+}
+
+/// Records `value` ticks into the calling thread's sink; no-op without one.
+inline void record(Histo h, std::uint64_t value) noexcept {
+  if (HistogramSet* sink = detail::histograms_slot()) sink->get(h).record(value);
+}
+
+/// Records a duration as integer nanoseconds (negative clamps to zero).
+/// Rounding is deterministic, so deterministic input seconds quantise to
+/// identical ticks on every run.
+inline void record_seconds(Histo h, double seconds) noexcept {
+  if (HistogramSet* sink = detail::histograms_slot()) {
+    const double ns = seconds <= 0.0 ? 0.0 : seconds * 1e9;
+    sink->get(h).record(static_cast<std::uint64_t>(std::llround(ns)));
+  }
+}
+
+/// Converts a deterministic modeled duration to the histogram's tick unit
+/// without needing an installed sink (engines precompute per-instance
+/// ticks once, then `record` them in the hot loop).
+[[nodiscard]] inline std::uint64_t seconds_to_ns_ticks(double seconds) noexcept {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(seconds * 1e9));
+}
+
+/// RAII: installs `sink` as the calling thread's histogram sink, restoring
+/// the previous sink (possibly nullptr) on destruction.  Scopes nest.
+class HistogramScope {
+ public:
+  explicit HistogramScope(HistogramSet& sink) noexcept : prev_(detail::histograms_slot()) {
+    detail::histograms_slot() = &sink;
+  }
+  ~HistogramScope() { detail::histograms_slot() = prev_; }
+  HistogramScope(const HistogramScope&) = delete;
+  HistogramScope& operator=(const HistogramScope&) = delete;
+
+ private:
+  HistogramSet* prev_;
+};
+
+/// One private HistogramSet per ThreadPool lane, reduced in lane order —
+/// the same discipline as ShardedCounters.
+class ShardedHistograms {
+ public:
+  explicit ShardedHistograms(std::size_t lanes);
+
+  [[nodiscard]] HistogramSet& shard(std::size_t lane);
+  [[nodiscard]] std::size_t lanes() const noexcept { return shards_.size(); }
+
+  /// Sums all shards in lane order.
+  [[nodiscard]] HistogramSet reduce() const noexcept;
+
+ private:
+  std::vector<HistogramSet> shards_;
+};
+
+}  // namespace kpm::obs

@@ -1,0 +1,151 @@
+#include "obs/hotspots.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace kpm::obs {
+
+namespace {
+
+struct SpanAgg {
+  std::string name;
+  bool modeled = false;
+  std::size_t calls = 0;
+  double total_seconds = 0.0;
+  double self_seconds = 0.0;
+};
+
+struct KernelAgg {
+  std::string name;
+  std::string bound;
+  std::size_t launches = 0;
+  double seconds = 0.0;
+  double flops = 0.0;
+  double global_bytes = 0.0;
+  double occupancy_weighted = 0.0;  ///< sum of occupancy * seconds
+  double peak_flops = 0.0;
+  double peak_bandwidth = 0.0;
+};
+
+std::string pct(double num, double den) {
+  return strprintf("%.1f", den > 0.0 ? 100.0 * num / den : 0.0);
+}
+
+}  // namespace
+
+kpm::Table span_hotspot_table(const Report& report) {
+  const auto& spans = report.trace.spans();
+  // Self time = own duration minus direct children *on the same clock*:
+  // modeled children nested under a measured span are simulated seconds and
+  // must not be subtracted from its wall time (and vice versa).
+  std::vector<double> self(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) self[i] = spans[i].seconds;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const std::size_t parent = spans[i].parent;
+    if (parent != kNoParent && spans[parent].modeled == spans[i].modeled)
+      self[parent] -= spans[i].seconds;
+  }
+
+  std::vector<SpanAgg> aggs;
+  double measured_total = 0.0;
+  double modeled_total = 0.0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    (span.modeled ? modeled_total : measured_total) += std::max(self[i], 0.0);
+    SpanAgg* agg = nullptr;
+    for (SpanAgg& a : aggs) {
+      if (a.name == span.name && a.modeled == span.modeled) {
+        agg = &a;
+        break;
+      }
+    }
+    if (agg == nullptr) {
+      aggs.push_back({span.name, span.modeled, 0, 0.0, 0.0});
+      agg = &aggs.back();
+    }
+    agg->calls += 1;
+    agg->total_seconds += span.seconds;
+    agg->self_seconds += self[i];
+  }
+
+  std::stable_sort(aggs.begin(), aggs.end(), [](const SpanAgg& a, const SpanAgg& b) {
+    if (a.self_seconds != b.self_seconds) return a.self_seconds > b.self_seconds;
+    return a.name < b.name;
+  });
+
+  kpm::Table table({"span", "kind", "calls", "self_s", "total_s", "self_pct"});
+  for (const SpanAgg& agg : aggs) {
+    const double clock_total = agg.modeled ? modeled_total : measured_total;
+    table.add_row({agg.name, agg.modeled ? "modeled" : "measured",
+                   std::to_string(agg.calls), strprintf("%.6f", agg.self_seconds),
+                   strprintf("%.6f", agg.total_seconds), pct(agg.self_seconds, clock_total)});
+  }
+  return table;
+}
+
+kpm::Table kernel_hotspot_table(const Report& report) {
+  std::vector<KernelAgg> aggs;
+  double busy_denominator = 0.0;
+  for (const DeviceTimelineRecord& timeline : report.timelines) {
+    busy_denominator += timeline.critical_path_seconds;
+    for (const TimelineEventRecord& event : timeline.events) {
+      if (event.kind != "kernel") continue;
+      KernelAgg* agg = nullptr;
+      for (KernelAgg& a : aggs) {
+        if (a.name == event.label) {
+          agg = &a;
+          break;
+        }
+      }
+      if (agg == nullptr) {
+        aggs.push_back({event.label, event.bound, 0, 0.0, 0.0, 0.0, 0.0,
+                        timeline.peak_flops, timeline.peak_bandwidth});
+        agg = &aggs.back();
+      }
+      agg->launches += 1;
+      agg->seconds += event.seconds();
+      agg->flops += event.flops;
+      agg->global_bytes += event.global_bytes;
+      agg->occupancy_weighted += event.occupancy * event.seconds();
+    }
+  }
+
+  kpm::Table table({"kernel", "launches", "seconds", "busy_pct", "gflops", "pct_peak_flops",
+                    "gb_per_s", "pct_peak_bw", "occupancy", "bound"});
+  if (aggs.empty()) return table;
+
+  std::stable_sort(aggs.begin(), aggs.end(), [](const KernelAgg& a, const KernelAgg& b) {
+    if (a.seconds != b.seconds) return a.seconds > b.seconds;
+    return a.name < b.name;
+  });
+
+  KernelAgg total;
+  total.name = "total";
+  total.peak_flops = aggs.front().peak_flops;
+  total.peak_bandwidth = aggs.front().peak_bandwidth;
+  for (const KernelAgg& agg : aggs) {
+    total.launches += agg.launches;
+    total.seconds += agg.seconds;
+    total.flops += agg.flops;
+    total.global_bytes += agg.global_bytes;
+    total.occupancy_weighted += agg.occupancy_weighted;
+  }
+
+  auto add_row = [&](const KernelAgg& agg, const char* bound) {
+    const double flops_rate = agg.seconds > 0.0 ? agg.flops / agg.seconds : 0.0;
+    const double bytes_rate = agg.seconds > 0.0 ? agg.global_bytes / agg.seconds : 0.0;
+    const double occupancy = agg.seconds > 0.0 ? agg.occupancy_weighted / agg.seconds : 0.0;
+    table.add_row({agg.name, std::to_string(agg.launches), strprintf("%.6f", agg.seconds),
+                   pct(agg.seconds, busy_denominator), strprintf("%.2f", flops_rate / 1e9),
+                   pct(flops_rate, agg.peak_flops), strprintf("%.2f", bytes_rate / 1e9),
+                   pct(bytes_rate, agg.peak_bandwidth), strprintf("%.2f", occupancy), bound});
+  };
+  for (const KernelAgg& agg : aggs) add_row(agg, agg.bound.c_str());
+  add_row(total, "-");
+  return table;
+}
+
+}  // namespace kpm::obs

@@ -1,0 +1,30 @@
+// Self/total hotspot attribution over a collected report.
+//
+// `span_hotspot_table` folds the span tree into one row per (name, kind):
+// total time includes children, self time excludes them, so the two sums
+// stay consistent with the timeline the spans came from.  Measured and
+// modeled spans never merge — they are on different clocks.
+//
+// `kernel_hotspot_table` folds the captured device timelines into one row
+// per kernel with roofline attribution: modeled GFLOP/s and GB/s against
+// the device peaks, achieved occupancy and the dominant bound.  All rows
+// are ordered by descending self/total time with name tie-breaks, so the
+// tables are deterministic whenever the underlying report is.
+#pragma once
+
+#include "common/table.hpp"
+
+namespace kpm::obs {
+
+struct Report;
+
+/// {span, kind, calls, self_s, total_s, self_pct} — self-time ranking of the
+/// span tree, one row per (name, measured|modeled).
+[[nodiscard]] kpm::Table span_hotspot_table(const Report& report);
+
+/// {kernel, launches, seconds, busy_pct, gflops, pct_peak_flops, gb_per_s,
+/// pct_peak_bw, occupancy, bound} per kernel label plus a "total" row.
+/// Empty table when the report captured no device timelines.
+[[nodiscard]] kpm::Table kernel_hotspot_table(const Report& report);
+
+}  // namespace kpm::obs

@@ -1,35 +1,41 @@
-// Deterministic counter aggregation across a ThreadPool.
+// Deterministic counter and histogram aggregation across a ThreadPool.
 //
-// `sharded_parallel_for` gives every pool lane a private CounterSet shard
-// for the duration of the loop, then — after the pool has joined — reduces
-// the shards into the caller's sink in lane order 0..L-1.  Because all
-// library counters are exact integers in doubles, the reduction is exact and
-// the totals are bit-identical for any lane count and any work split.
+// `sharded_parallel_for` gives every pool lane a private CounterSet (and
+// HistogramSet) shard for the duration of the loop, then — after the pool
+// has joined — reduces the shards into the caller's sinks in lane order
+// 0..L-1.  Because all library counters are exact integers in doubles and
+// histograms hold exact integer ticks, the reduction is exact and the
+// totals are bit-identical for any lane count and any work split.
 #pragma once
 
 #include <utility>
 
 #include "common/thread_pool.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 
 namespace kpm::obs {
 
 /// Drop-in replacement for `pool.parallel_for(count, body)` that shards the
-/// caller's active counter sink per lane.  When no sink is installed the
-/// plain parallel_for runs with zero overhead.
+/// caller's active counter and histogram sinks per lane.  When no sink is
+/// installed the plain parallel_for runs with zero overhead.
 template <typename Body>
 void sharded_parallel_for(kpm::common::ThreadPool& pool, std::size_t count, Body&& body) {
-  CounterSet* sink = active_counters();
-  if (sink == nullptr) {
+  CounterSet* counter_sink = active_counters();
+  HistogramSet* histogram_sink = active_histograms();
+  if (counter_sink == nullptr && histogram_sink == nullptr) {
     pool.parallel_for(count, std::forward<Body>(body));
     return;
   }
-  ShardedCounters shards(pool.size());
+  ShardedCounters counter_shards(pool.size());
+  ShardedHistograms histogram_shards(pool.size());
   pool.parallel_for(count, [&](std::size_t lane, std::size_t begin, std::size_t end) {
-    CounterScope scope(shards.shard(lane));
+    CounterScope counters(counter_shards.shard(lane));
+    HistogramScope histograms(histogram_shards.shard(lane));
     body(lane, begin, end);
   });
-  *sink += shards.reduce();
+  if (counter_sink != nullptr) *counter_sink += counter_shards.reduce();
+  if (histogram_sink != nullptr) *histogram_sink += histogram_shards.reduce();
 }
 
 }  // namespace kpm::obs

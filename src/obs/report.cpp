@@ -8,18 +8,95 @@
 
 namespace kpm::obs {
 
+namespace {
+
+/// Unsigned-integer JSON number (all histogram fields are exact integers).
+std::string json_u64(std::uint64_t v) { return std::to_string(v); }
+
+void append_counters(std::ostringstream& os, const CounterSet& counters,
+                     const std::string& indent) {
+  os << "{\n";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const Counter c = static_cast<Counter>(i);
+    os << indent << "  \"" << to_string(c) << "\": " << json_number(counters.get(c));
+    os << (i + 1 < kCounterCount ? ",\n" : "\n");
+  }
+  os << indent << "}";
+}
+
+void append_histogram(std::ostringstream& os, Histo id, const Histogram& h,
+                      const std::string& indent) {
+  os << "{\"unit\": \"" << unit_of(id) << "\", \"deterministic\": "
+     << (is_deterministic(id) ? "true" : "false") << ", \"count\": " << json_u64(h.count())
+     << ", \"sum\": " << json_u64(h.sum()) << ", \"min\": " << json_u64(h.min())
+     << ", \"max\": " << json_u64(h.max()) << ",\n"
+     << indent << " \"buckets\": [";
+  bool first = true;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (h.bucket_count(b) == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"ge\": " << json_u64(Histogram::bucket_floor(b))
+       << ", \"lt\": " << json_u64(Histogram::bucket_floor(b + 1))
+       << ", \"count\": " << json_u64(h.bucket_count(b)) << "}";
+  }
+  os << "]}";
+}
+
+/// Emits `"histograms": {...}` for every non-empty histogram that passes
+/// `filter`; returns false (emitting nothing) when none qualify.
+template <typename Filter>
+bool append_histograms(std::ostringstream& os, const HistogramSet& histograms,
+                       const std::string& indent, Filter&& filter) {
+  bool any = false;
+  for (std::size_t i = 0; i < kHistoCount; ++i) {
+    const Histo id = static_cast<Histo>(i);
+    if (histograms[id].empty() || !filter(id)) continue;
+    if (!any) os << "\"histograms\": {\n";
+    if (any) os << ",\n";
+    any = true;
+    os << indent << "  \"" << to_string(id) << "\": ";
+    append_histogram(os, id, histograms[id], indent + "  ");
+  }
+  if (any) os << "\n" << indent << "}";
+  return any;
+}
+
+void append_timeline_events(std::ostringstream& os, const DeviceTimelineRecord& timeline,
+                            const std::string& indent) {
+  os << "[";
+  for (std::size_t e = 0; e < timeline.events.size(); ++e) {
+    const TimelineEventRecord& ev = timeline.events[e];
+    if (e > 0) os << ",";
+    os << "\n"
+       << indent << "{\"kind\": \"" << ev.kind << "\", \"label\": \"" << json_escape(ev.label)
+       << "\", \"stream\": " << ev.stream << ", \"start_s\": " << json_number(ev.start_seconds)
+       << ", \"end_s\": " << json_number(ev.end_seconds)
+       << ", \"bytes\": " << json_number(ev.bytes) << ", \"flops\": " << json_number(ev.flops)
+       << ", \"occupancy\": " << json_number(ev.occupancy) << "}";
+  }
+  os << (timeline.events.empty() ? "]" : "\n" + indent.substr(2) + "]");
+}
+
+}  // namespace
+
+double Report::wall_seconds() const noexcept {
+  double total = 0.0;
+  for (const SpanRecord& span : trace.spans()) {
+    if (span.parent == kNoParent && !span.modeled) total += span.seconds;
+  }
+  return total;
+}
+
 std::string to_json(const Report& report) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"schema\": \"" << kReportSchema << "\",\n";
   os << "  \"label\": \"" << json_escape(report.label) << "\",\n";
-  os << "  \"counters\": {\n";
-  for (std::size_t i = 0; i < kCounterCount; ++i) {
-    const Counter c = static_cast<Counter>(i);
-    os << "    \"" << to_string(c) << "\": " << json_number(report.counters.get(c));
-    os << (i + 1 < kCounterCount ? ",\n" : "\n");
-  }
-  os << "  },\n";
+  os << "  \"wall_seconds\": " << json_number(report.wall_seconds()) << ",\n";
+  os << "  \"counters\": ";
+  append_counters(os, report.counters, "  ");
+  os << ",\n";
   os << "  \"spans\": [\n";
   const auto& spans = report.trace.spans();
   for (std::size_t i = 0; i < spans.size(); ++i) {
@@ -33,6 +110,32 @@ std::string to_json(const Report& report) {
     os << (i + 1 < spans.size() ? ",\n" : "\n");
   }
   os << "  ]";
+  if (!report.histograms.empty()) {
+    std::ostringstream hos;
+    if (append_histograms(hos, report.histograms, "  ", [](Histo) { return true; }))
+      os << ",\n  " << hos.str();
+  }
+  if (!report.timelines.empty()) {
+    os << ",\n  \"timelines\": [\n";
+    for (std::size_t t = 0; t < report.timelines.size(); ++t) {
+      const DeviceTimelineRecord& tl = report.timelines[t];
+      double kernel_s = 0.0, transfer_s = 0.0, alloc_s = 0.0;
+      for (const TimelineEventRecord& ev : tl.events) {
+        if (ev.kind == "kernel" || ev.kind == "memset") kernel_s += ev.seconds();
+        if (ev.kind == "h2d" || ev.kind == "d2h") transfer_s += ev.seconds();
+        if (ev.kind == "alloc") alloc_s += ev.seconds();
+      }
+      os << "    {\"label\": \"" << json_escape(tl.label) << "\", \"device\": \""
+         << json_escape(tl.device) << "\", \"streams\": " << tl.streams
+         << ", \"events\": " << tl.events.size()
+         << ", \"kernel_seconds\": " << json_number(kernel_s)
+         << ", \"transfer_seconds\": " << json_number(transfer_s)
+         << ", \"alloc_seconds\": " << json_number(alloc_s)
+         << ", \"critical_path_seconds\": " << json_number(tl.critical_path_seconds) << "}";
+      os << (t + 1 < report.timelines.size() ? ",\n" : "\n");
+    }
+    os << "  ]";
+  }
   if (!report.sections.empty()) {
     os << ",\n  \"sections\": {\n";
     for (std::size_t i = 0; i < report.sections.size(); ++i) {
@@ -72,6 +175,89 @@ kpm::Table trace_to_table(const Trace& trace) {
                    span.modeled ? "modeled" : "measured"});
   }
   return table;
+}
+
+kpm::Table histograms_to_table(const HistogramSet& histograms) {
+  kpm::Table table({"histogram", "unit", "count", "sum", "min", "max"});
+  for (std::size_t i = 0; i < kHistoCount; ++i) {
+    const Histo id = static_cast<Histo>(i);
+    const Histogram& h = histograms[id];
+    if (h.empty()) continue;
+    table.add_row({to_string(id), unit_of(id), json_u64(h.count()), json_u64(h.sum()),
+                   json_u64(h.min()), json_u64(h.max())});
+  }
+  return table;
+}
+
+std::string deterministic_fingerprint(const Report& report) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"label\": \"" << json_escape(report.label) << "\",\n";
+  os << "  \"counters\": ";
+  append_counters(os, report.counters, "  ");
+  os << ",\n  ";
+  if (append_histograms(os, report.histograms, "  ",
+                        [](Histo id) { return is_deterministic(id); }))
+    os << ",\n  ";
+  // Span structure: names, nesting and modeled durations are deterministic;
+  // measured wall times are not and are omitted.
+  os << "\"spans\": [";
+  const auto& spans = report.trace.spans();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    const long long parent =
+        span.parent == kNoParent ? -1 : static_cast<long long>(span.parent);
+    if (i > 0) os << ",";
+    os << "\n    {\"name\": \"" << json_escape(span.name) << "\", \"parent\": " << parent
+       << ", \"modeled\": " << (span.modeled ? "true" : "false");
+    if (span.modeled)
+      os << ", \"start_s\": " << json_number(span.start_seconds)
+         << ", \"seconds\": " << json_number(span.seconds);
+    os << "}";
+  }
+  os << (spans.empty() ? "]" : "\n  ]");
+  if (!report.timelines.empty()) {
+    os << ",\n  \"timelines\": [";
+    for (std::size_t t = 0; t < report.timelines.size(); ++t) {
+      const DeviceTimelineRecord& tl = report.timelines[t];
+      if (t > 0) os << ",";
+      os << "\n    {\"label\": \"" << json_escape(tl.label) << "\", \"device\": \""
+         << json_escape(tl.device) << "\", \"streams\": " << tl.streams
+         << ", \"critical_path_seconds\": " << json_number(tl.critical_path_seconds)
+         << ",\n     \"events\": ";
+      append_timeline_events(os, tl, "       ");
+      os << "}";
+    }
+    os << "\n  ]";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+HistogramSet histograms_from_json(const JsonValue& report_doc) {
+  HistogramSet set;
+  const JsonValue* histograms = report_doc.find("histograms");
+  if (histograms == nullptr) return set;
+  KPM_REQUIRE(histograms->kind == JsonValue::Kind::Object,
+              "histograms_from_json: \"histograms\" is not an object");
+  for (const auto& [name, value] : histograms->object) {
+    const Histo id = histo_from_name(name);
+    Histogram h;
+    const auto& buckets = value.at("buckets");
+    for (const JsonValue& bucket : buckets.array) {
+      const auto ge = static_cast<std::uint64_t>(bucket.at("ge").number);
+      const auto count = static_cast<std::uint64_t>(bucket.at("count").number);
+      KPM_REQUIRE(Histogram::bucket_floor(Histogram::bucket_of(ge)) == ge,
+                  "histograms_from_json: bucket bound is not a bucket floor");
+      h.restore_bucket(Histogram::bucket_of(ge), count);
+    }
+    h.restore_totals(static_cast<std::uint64_t>(value.at("count").number),
+                     static_cast<std::uint64_t>(value.at("sum").number),
+                     static_cast<std::uint64_t>(value.at("min").number),
+                     static_cast<std::uint64_t>(value.at("max").number));
+    set.get(id) = h;
+  }
+  return set;
 }
 
 }  // namespace kpm::obs

@@ -13,6 +13,8 @@
 
 #include "common/table.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace kpm::obs {
@@ -33,7 +35,13 @@ struct Report {
   std::string label;
   CounterSet counters;
   Trace trace;
+  HistogramSet histograms;
+  std::vector<DeviceTimelineRecord> timelines;  ///< captured gpusim device runs
   std::vector<ReportSection> sections;
+
+  /// Sum of the root-level *measured* span durations — the report's wall
+  /// clock, consumed by tools/benchgate for drift tolerance checks.
+  [[nodiscard]] double wall_seconds() const noexcept;
 };
 
 namespace detail {
@@ -53,7 +61,10 @@ namespace detail {
 class Collect {
  public:
   explicit Collect(Report& report) noexcept
-      : prev_(detail::report_slot()), counters_(report.counters), trace_(report.trace) {
+      : prev_(detail::report_slot()),
+        counters_(report.counters),
+        trace_(report.trace),
+        histograms_(report.histograms) {
     detail::report_slot() = &report;
   }
   ~Collect() { detail::report_slot() = prev_; }
@@ -64,6 +75,7 @@ class Collect {
   Report* prev_;
   CounterScope counters_;
   TraceScope trace_;
+  HistogramScope histograms_;
 };
 
 /// Serialises the report as a JSON document (counters keyed by name, spans
@@ -78,5 +90,23 @@ void write_json(const Report& report, const std::string& path);
 
 /// {span, seconds, kind} table with depth-indented span names, in open order.
 [[nodiscard]] kpm::Table trace_to_table(const Trace& trace);
+
+/// {histogram, unit, count, sum, min, max, p-buckets} summary table of all
+/// non-empty histograms, in registry order.
+[[nodiscard]] kpm::Table histograms_to_table(const HistogramSet& histograms);
+
+/// The report's deterministic projection, serialised: label, counters,
+/// deterministic histograms, span tree with measured wall times omitted,
+/// and the full modeled device timelines.  Two runs of the same workload —
+/// at any thread count — must produce byte-identical fingerprints; the
+/// golden-metrics tests pin this down.
+[[nodiscard]] std::string deterministic_fingerprint(const Report& report);
+
+class JsonValue;
+
+/// Rebuilds the histogram section of a parsed `kpm.obs.report/1` document
+/// (the whole document, not the "histograms" member).  Histograms absent
+/// from the JSON (i.e. empty at export time) come back empty.
+[[nodiscard]] HistogramSet histograms_from_json(const JsonValue& report_doc);
 
 }  // namespace kpm::obs

@@ -1,0 +1,47 @@
+// Captured gpusim device timelines, ready for profile export.
+//
+// `obs::record_device` snapshots the raw per-event timeline of a simulated
+// device (kind, stream, modeled [start, end], per-kernel cost counters and
+// occupancy) plus the device peaks into the active report.  The Chrome
+// trace exporter turns each snapshot into per-stream and copy-engine
+// tracks, and the hotspot tables use the peaks for roofline attribution.
+// Everything here is modeled simulator state — deterministic for a
+// deterministic workload, bit-identical across runs and thread counts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kpm::obs {
+
+/// One captured timeline event (mirrors gpusim::TimelineEvent, decoupled
+/// from the gpusim headers so report consumers need no simulator types).
+struct TimelineEventRecord {
+  std::string kind;   ///< "alloc", "h2d", "d2h", "kernel" or "memset"
+  std::string label;  ///< kernel or buffer name
+  std::size_t stream = 0;
+  double start_seconds = 0.0;  ///< position on the stream's simulated clock
+  double end_seconds = 0.0;
+  double bytes = 0.0;         ///< payload (transfers/allocs/memsets)
+  double flops = 0.0;         ///< kernel launches only
+  double global_bytes = 0.0;  ///< kernel launches only
+  double shared_bytes = 0.0;  ///< kernel launches only
+  double occupancy = 0.0;     ///< kernel launches only, [0, 1]
+  std::string bound;          ///< dominant roofline term for kernels
+
+  [[nodiscard]] double seconds() const noexcept { return end_seconds - start_seconds; }
+};
+
+/// One device run: every event plus the peaks needed for roofline ratios.
+struct DeviceTimelineRecord {
+  std::string label;   ///< engine label passed to record_device
+  std::string device;  ///< DeviceSpec name
+  double peak_flops = 0.0;      ///< peak double-precision FLOP/s
+  double peak_bandwidth = 0.0;  ///< peak global-memory bytes/s
+  std::size_t streams = 1;
+  double critical_path_seconds = 0.0;
+  std::vector<TimelineEventRecord> events;
+};
+
+}  // namespace kpm::obs

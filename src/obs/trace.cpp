@@ -16,10 +16,25 @@ std::size_t Trace::push(std::string_view name, double seconds, bool modeled) {
   record.name = std::string(name);
   record.parent = stack_.empty() ? kNoParent : stack_.back();
   record.depth = stack_.size();
-  record.start_seconds = elapsed_seconds();
+  if (modeled) {
+    // Modeled spans live on a simulated clock: a modeled root starts its
+    // own sub-timeline at 0, modeled children are laid out sequentially
+    // after earlier siblings.  Never the wall clock — this keeps modeled
+    // content bit-identical across runs.
+    if (record.parent != kNoParent && spans_[record.parent].modeled) {
+      record.start_seconds = spans_[record.parent].start_seconds +
+                             modeled_cursor_[record.parent];
+      modeled_cursor_[record.parent] += seconds;
+    } else {
+      record.start_seconds = 0.0;
+    }
+  } else {
+    record.start_seconds = elapsed_seconds();
+  }
   record.seconds = seconds;
   record.modeled = modeled;
   spans_.push_back(std::move(record));
+  modeled_cursor_.push_back(0.0);
   return spans_.size() - 1;
 }
 
@@ -43,6 +58,7 @@ std::size_t Trace::begin_modeled(std::string_view name, double seconds) {
   KPM_REQUIRE(seconds >= 0.0, "Trace::begin_modeled: negative duration");
   const std::size_t id = push(name, seconds, /*modeled=*/true);
   stack_.push_back(id);
+  record_seconds(Histo::SpanModelNs, seconds);
   return id;
 }
 
@@ -56,6 +72,7 @@ void Trace::end_modeled(std::size_t id) {
 void Trace::add_modeled(std::string_view name, double seconds) {
   KPM_REQUIRE(seconds >= 0.0, "Trace::add_modeled: negative duration");
   push(name, seconds, /*modeled=*/true);
+  record_seconds(Histo::SpanModelNs, seconds);
 }
 
 }  // namespace kpm::obs

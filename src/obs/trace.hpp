@@ -17,16 +17,25 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace kpm::obs {
 
 inline constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
 
 /// One node of the span tree.
+///
+/// `start_seconds` lives on one of two clocks: measured spans are offsets
+/// from the trace epoch (wall time), modeled spans are offsets on their
+/// sub-timeline's *simulated* clock — a modeled root starts at 0 and
+/// modeled children are laid out sequentially after their earlier siblings.
+/// Keeping modeled spans off the wall clock makes them (and any report
+/// containing only modeled spans) bit-identical across runs.
 struct SpanRecord {
   std::string name;
   std::size_t parent = kNoParent;  ///< index into Trace::spans(), kNoParent for roots
   std::size_t depth = 0;           ///< 0 for roots
-  double start_seconds = 0.0;      ///< offset from the trace epoch
+  double start_seconds = 0.0;      ///< offset from the trace epoch / modeled clock
   double seconds = 0.0;            ///< duration (wall for measured, simulated for modeled)
   bool modeled = false;            ///< true when `seconds` is simulated platform time
 };
@@ -66,6 +75,9 @@ class Trace {
   std::chrono::steady_clock::time_point epoch_;
   std::vector<SpanRecord> spans_;
   std::vector<std::size_t> stack_;
+  /// Per-span modeled-clock cursor: offset (from the span's own start)
+  /// where its next modeled child begins.  Parallel to spans_.
+  std::vector<double> modeled_cursor_;
 };
 
 namespace detail {
@@ -111,13 +123,21 @@ class ScopedSpan {
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
-  /// Closes the span (idempotent) and returns its duration in seconds.
+  /// Closes the span (idempotent), records the measured duration into the
+  /// thread's `span_wall_ns` histogram (when a sink is installed), and
+  /// returns it in seconds.
   double stop() {
     if (!open_) return 0.0;
     open_ = false;
-    if (trace_ != nullptr) return trace_->close(id_);
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    return std::chrono::duration<double>(elapsed).count();
+    double seconds = 0.0;
+    if (trace_ != nullptr) {
+      seconds = trace_->close(id_);
+    } else {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      seconds = std::chrono::duration<double>(elapsed).count();
+    }
+    record_seconds(Histo::SpanWallNs, seconds);
+    return seconds;
   }
 
  private:

@@ -1,0 +1,174 @@
+// Chrome-trace exporter tests: the emitted document must be valid JSON,
+// every per-track event sequence must be monotonic and non-overlapping
+// (streams serialize their work; the copy engine is its own lane), the
+// deterministic projection must be byte-identical across thread counts and
+// repeated runs, and the histogram section must round-trip through the
+// kpm.obs.report/1 schema.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/moments_cpu.hpp"
+#include "core/moments_gpu_chunked.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using namespace kpm;
+
+linalg::CrsMatrix chain_operator(std::size_t sites) {
+  const auto lat = lattice::HypercubicLattice::chain(sites);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator raw(h);
+  return linalg::rescale(h, linalg::make_spectral_transform(raw));
+}
+
+core::MomentParams golden_params() {
+  core::MomentParams params;
+  params.num_moments = 16;
+  params.random_vectors = 2;
+  params.realizations = 2;
+  params.seed = 7;
+  return params;
+}
+
+/// Runs the chunked GPU engine under a fresh report and returns it.
+obs::Report gpu_report() {
+  const auto h_tilde = chain_operator(32);
+  linalg::MatrixOperator op(h_tilde);
+  obs::Report report;
+  report.label = "trace-test";
+  {
+    obs::Collect collect(report);
+    core::ChunkedGpuMomentEngine engine;
+    (void)engine.compute(op, golden_params());
+  }
+  return report;
+}
+
+TEST(ChromeTrace, EmitsValidJsonWithExpectedTracks) {
+  const obs::Report report = gpu_report();
+  const std::string trace = obs::to_chrome_trace(report);
+
+  const obs::JsonValue doc = obs::parse_json(trace);
+  const obs::JsonValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.kind, obs::JsonValue::Kind::Array);
+  ASSERT_FALSE(events.array.empty());
+
+  bool host_process = false, device_process = false;
+  bool stream0 = false, stream1 = false, copy_lane = false;
+  for (const obs::JsonValue& ev : events.array) {
+    if (ev.at("ph").string != "M") continue;
+    const std::string& name = ev.at("args").at("name").string;
+    if (ev.at("name").string == "process_name") {
+      host_process |= name.rfind("host:", 0) == 0;
+      device_process |= name.rfind("gpusim:", 0) == 0;
+    } else {
+      stream0 |= name == "stream 0 compute";
+      stream1 |= name == "stream 1 compute";
+      copy_lane |= name == "stream 0 copy";
+    }
+  }
+  EXPECT_TRUE(host_process);
+  EXPECT_TRUE(device_process);
+  EXPECT_TRUE(stream0);
+  EXPECT_TRUE(stream1) << "chunked engine with overlap must expose a second stream track";
+  EXPECT_TRUE(copy_lane);
+}
+
+TEST(ChromeTrace, PerTrackEventsAreMonotonicAndNonOverlapping) {
+  const obs::Report report = gpu_report();
+  const obs::JsonValue doc = obs::parse_json(obs::to_chrome_trace(report));
+
+  // Flat "X" events per (pid, tid) — device lanes serialize their work, so
+  // within a track each event must start at or after the previous one ends.
+  // The host track nests spans, so only device pids (>= 1) are checked.
+  std::map<std::pair<double, double>, double> track_cursor;
+  std::size_t device_events = 0;
+  for (const obs::JsonValue& ev : doc.at("traceEvents").array) {
+    if (ev.at("ph").string != "X") continue;
+    const double pid = ev.at("pid").number;
+    if (pid < 1.0) continue;
+    const double tid = ev.at("tid").number;
+    const double ts = ev.at("ts").number;
+    const double dur = ev.at("dur").number;
+    auto [it, inserted] = track_cursor.try_emplace({pid, tid}, ts + dur);
+    if (!inserted) {
+      EXPECT_GE(ts, it->second - 1e-9)
+          << "overlapping events on pid " << pid << " tid " << tid;
+      it->second = ts + dur;
+    }
+    EXPECT_GE(dur, 0.0);
+    ++device_events;
+  }
+  EXPECT_GT(device_events, 0u);
+}
+
+TEST(ChromeTrace, DeterministicProjectionIsByteIdenticalAcrossRuns) {
+  const obs::ChromeTraceOptions modeled_only{.include_measured = false};
+  const std::string first = obs::to_chrome_trace(gpu_report(), modeled_only);
+  const std::string second = obs::to_chrome_trace(gpu_report(), modeled_only);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("gpusim:"), std::string::npos);
+}
+
+TEST(ChromeTrace, DeterministicProjectionIsByteIdenticalAcrossThreadCounts) {
+  // CPU-parallel runs have no modeled tracks, so the projection reduces to
+  // the counter events — which the sharded sinks must keep bit-identical
+  // at any thread count.
+  const auto h_tilde = chain_operator(32);
+  linalg::MatrixOperator op(h_tilde);
+  const obs::ChromeTraceOptions modeled_only{.include_measured = false};
+
+  std::string reference;
+  for (int threads : {1, 2, 4, 7}) {
+    obs::Report report;
+    report.label = "trace-threads";
+    {
+      obs::Collect collect(report);
+      core::CpuParallelMomentEngine engine(threads);
+      (void)engine.compute(op, golden_params());
+    }
+    const std::string trace = obs::to_chrome_trace(report, modeled_only);
+    if (reference.empty()) {
+      reference = trace;
+      EXPECT_NE(trace.find("\"ph\": \"C\""), std::string::npos);
+    } else {
+      EXPECT_EQ(trace, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ChromeTrace, HistogramSectionRoundTripsThroughReportSchema) {
+  const obs::Report report = gpu_report();
+  ASSERT_FALSE(report.histograms.empty());
+
+  const obs::JsonValue doc = obs::parse_json(obs::to_json(report));
+  EXPECT_EQ(doc.at("schema").string, "kpm.obs.report/1");
+  const obs::HistogramSet restored = obs::histograms_from_json(doc);
+  EXPECT_EQ(restored, report.histograms);
+}
+
+TEST(ChromeTrace, ReportJsonCarriesTimelineSummaries) {
+  const obs::Report report = gpu_report();
+  ASSERT_FALSE(report.timelines.empty());
+
+  const obs::JsonValue doc = obs::parse_json(obs::to_json(report));
+  const obs::JsonValue& timelines = doc.at("timelines");
+  ASSERT_EQ(timelines.kind, obs::JsonValue::Kind::Array);
+  ASSERT_EQ(timelines.array.size(), report.timelines.size());
+  const obs::JsonValue& first = timelines.array.front();
+  EXPECT_GT(first.at("kernel_seconds").number, 0.0);
+  EXPECT_GT(first.at("critical_path_seconds").number, 0.0);
+  EXPECT_GT(first.at("events").number, 0.0);
+}
+
+}  // namespace

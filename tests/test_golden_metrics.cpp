@@ -20,6 +20,8 @@
 #include "lattice/lattice.hpp"
 #include "linalg/spectral_transform.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -53,6 +55,18 @@ obs::CounterSet collect(F&& fn) {
   obs::CounterScope scope(sink);
   fn();
   return sink;
+}
+
+/// Runs `fn` under a full report (counters + trace + histograms + timelines).
+template <typename F>
+obs::Report collect_report(std::string label, F&& fn) {
+  obs::Report report;
+  report.label = std::move(label);
+  {
+    obs::Collect scope(report);
+    fn();
+  }
+  return report;
 }
 
 TEST(GoldenMetrics, SerialEngineCountsAreExact) {
@@ -208,6 +222,82 @@ TEST(GoldenMetrics, F32EngineMatchesSerialCallCounts) {
   EXPECT_EQ(f32[Counter::BytesStreamed],
             i * (n * 8.0 * d + (n - 1.0) * (mb / 2.0 + 8.0 * d) + 8.0 * d +
                  (n - 2.0) * 12.0 * d));
+}
+
+TEST(GoldenMetrics, InstanceHistogramsAreExactAndThreadInvariant) {
+  // Every engine records one instance_model_ns sample per executed
+  // instance, and the per-lane histogram shards reduce to bit-identical
+  // totals at every thread count — the same discipline as the counters.
+  Golden g;
+  linalg::MatrixOperator op(g.h_tilde);
+  const auto serial = collect_report(
+      "golden", [&] { (void)core::CpuMomentEngine().compute(op, g.params); });
+  const obs::Histogram& inst = serial.histograms[obs::Histo::InstanceModelNs];
+  EXPECT_EQ(inst.count(), g.instances());
+  EXPECT_EQ(inst.min(), inst.max()) << "identical instances must model identical cost";
+  EXPECT_GT(inst.sum(), 0u);
+
+  for (int threads : {1, 2, 4, 7}) {
+    const auto par = collect_report("golden", [&] {
+      (void)core::CpuParallelMomentEngine(threads).compute(op, g.params);
+    });
+    EXPECT_EQ(par.histograms[obs::Histo::InstanceModelNs],
+              serial.histograms[obs::Histo::InstanceModelNs])
+        << "threads=" << threads;
+    EXPECT_EQ(par.counters, serial.counters) << "threads=" << threads;
+  }
+}
+
+TEST(GoldenMetrics, DeterministicFingerprintIsThreadAndRunInvariant) {
+  Golden g;
+  linalg::MatrixOperator op(g.h_tilde);
+  // Same engine, same thread count, two runs: the deterministic projection
+  // (counters + deterministic histograms + span structure) must not leak
+  // any wall time.
+  const auto run = [&](int threads) {
+    return obs::deterministic_fingerprint(collect_report("golden", [&] {
+      (void)core::CpuParallelMomentEngine(threads).compute(op, g.params);
+    }));
+  };
+  EXPECT_EQ(run(4), run(4));
+  // Different thread counts only differ through the engine-named span; the
+  // fingerprints must be identical after that one name is normalised out.
+  const auto normalised = [&](int threads) {
+    std::string fp = run(threads);
+    const std::string name = "cpu-parallel-x" + std::to_string(threads);
+    for (std::size_t at = fp.find(name); at != std::string::npos; at = fp.find(name))
+      fp.replace(at, name.size(), "cpu-parallel");
+    return fp;
+  };
+  const std::string reference = normalised(1);
+  for (int threads : {2, 4, 7}) EXPECT_EQ(normalised(threads), reference);
+}
+
+TEST(GoldenMetrics, GpuReportIsFullyDeterministic) {
+  // The chunked GPU engine's whole report — counters, kernel/transfer
+  // histograms, modeled spans and the captured device timeline — is modeled
+  // simulator state, so repeated runs agree byte-for-byte.
+  Golden g;
+  linalg::MatrixOperator op(g.h_tilde);
+  const auto run = [&] {
+    return collect_report("golden-gpu", [&] {
+      (void)core::ChunkedGpuMomentEngine().compute(op, g.params);
+    });
+  };
+  const obs::Report first = run();
+  const obs::Report second = run();
+
+  ASSERT_EQ(first.timelines.size(), 1u);
+  EXPECT_FALSE(first.timelines.front().events.empty());
+  EXPECT_EQ(first.timelines.front().streams, 2u);
+  EXPECT_EQ(static_cast<double>(first.histograms[obs::Histo::KernelModelNs].count()),
+            first.counters[Counter::GpuKernelLaunches]);
+  EXPECT_GT(first.histograms[obs::Histo::TransferBytes].count(), 0u);
+  EXPECT_EQ(first.histograms[obs::Histo::TransferBytes].sum(),
+            static_cast<std::uint64_t>(first.counters[Counter::GpuBytesH2D] +
+                                       first.counters[Counter::GpuBytesD2H]));
+
+  EXPECT_EQ(obs::deterministic_fingerprint(first), obs::deterministic_fingerprint(second));
 }
 
 TEST(GoldenMetrics, ReconstructionCountsAreExact) {

@@ -378,4 +378,159 @@ TEST(Report, TablesListCountersAndIndentSpans) {
   EXPECT_NE(ttab.find("measured"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Histograms
+
+TEST(Histogram, NamesRoundTripForEveryHistogram) {
+  for (std::size_t i = 0; i < obs::kHistoCount; ++i) {
+    const auto h = static_cast<obs::Histo>(i);
+    EXPECT_EQ(obs::histo_from_name(obs::to_string(h)), h);
+  }
+  EXPECT_THROW((void)obs::histo_from_name("no_such_histogram"), kpm::Error);
+  EXPECT_FALSE(obs::is_deterministic(obs::Histo::SpanWallNs));
+  EXPECT_TRUE(obs::is_deterministic(obs::Histo::KernelModelNs));
+  EXPECT_STREQ(obs::unit_of(obs::Histo::TransferBytes), "bytes");
+  EXPECT_STREQ(obs::unit_of(obs::Histo::SpanWallNs), "ns");
+}
+
+TEST(Histogram, BucketBoundariesArePowersOfTwo) {
+  using H = obs::Histogram;
+  EXPECT_EQ(H::bucket_of(0), 0u);
+  EXPECT_EQ(H::bucket_of(1), 1u);
+  EXPECT_EQ(H::bucket_of(2), 2u);
+  EXPECT_EQ(H::bucket_of(3), 2u);
+  EXPECT_EQ(H::bucket_of(4), 3u);
+  EXPECT_EQ(H::bucket_of((1ULL << 62) + 5), 63u);
+  for (std::size_t i = 1; i < obs::kHistogramBuckets; ++i) {
+    // Bucket i holds exactly [2^(i-1), 2^i).
+    EXPECT_EQ(H::bucket_of(H::bucket_floor(i)), i);
+    EXPECT_EQ(H::bucket_of(H::bucket_floor(i + 1) - 1), i);
+  }
+}
+
+TEST(Histogram, RecordTracksCountSumMinMax) {
+  obs::Histogram h;
+  EXPECT_TRUE(h.empty());
+  h.record(5);
+  h.record(0);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1005u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.bucket_count(obs::Histogram::bucket_of(0)), 1u);
+  EXPECT_EQ(h.bucket_count(obs::Histogram::bucket_of(5)), 1u);
+  EXPECT_EQ(h.bucket_count(obs::Histogram::bucket_of(1000)), 1u);
+}
+
+TEST(Histogram, MergePreservesTotalsAndHandlesEmptySides) {
+  obs::Histogram a, b, empty;
+  a.record(3);
+  a.record(17);
+  b.record(1);
+  obs::Histogram merged = a;
+  merged += b;
+  merged += empty;
+  EXPECT_EQ(merged.count(), 3u);
+  EXPECT_EQ(merged.sum(), 21u);
+  EXPECT_EQ(merged.min(), 1u);
+  EXPECT_EQ(merged.max(), 17u);
+  obs::Histogram from_empty = empty;
+  from_empty += a;
+  EXPECT_EQ(from_empty.min(), 3u);  // empty side must not contribute min 0
+}
+
+TEST(Histogram, RecordSecondsQuantisesToNanosecondTicks) {
+  obs::HistogramSet set;
+  {
+    obs::HistogramScope scope(set);
+    obs::record_seconds(obs::Histo::SpanModelNs, 1.5e-6);
+    obs::record_seconds(obs::Histo::SpanModelNs, -1.0);  // clamps to 0
+  }
+  const obs::Histogram& h = set[obs::Histo::SpanModelNs];
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum(), 1500u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1500u);
+  EXPECT_EQ(obs::seconds_to_ns_ticks(1.5e-6), 1500u);
+  EXPECT_EQ(obs::seconds_to_ns_ticks(-2.0), 0u);
+}
+
+TEST(Histogram, RecordingWithoutSinkIsANoOp) {
+  ASSERT_EQ(obs::active_histograms(), nullptr);
+  obs::record(obs::Histo::TransferBytes, 42);  // must not crash
+  obs::HistogramSet set;
+  {
+    obs::HistogramScope scope(set);
+    obs::record(obs::Histo::TransferBytes, 42);
+  }
+  EXPECT_EQ(obs::active_histograms(), nullptr);  // scope restored
+  EXPECT_EQ(set[obs::Histo::TransferBytes].count(), 1u);
+}
+
+TEST(Histogram, ShardedReductionIsLaneCountInvariant) {
+  // 100 deterministic samples split across different lane counts must
+  // reduce to the same histogram bit-for-bit.
+  const auto run = [](std::size_t lanes) {
+    common::ThreadPool pool(lanes);
+    obs::HistogramSet sink;
+    {
+      obs::HistogramScope scope(sink);
+      obs::sharded_parallel_for(pool, 100,
+                                [](std::size_t, std::size_t begin, std::size_t end) {
+                                  for (std::size_t i = begin; i < end; ++i)
+                                    obs::record(obs::Histo::TransferBytes, (i * 37) % 4096);
+                                });
+    }
+    return sink;
+  };
+  const obs::HistogramSet reference = run(1);
+  EXPECT_EQ(reference[obs::Histo::TransferBytes].count(), 100u);
+  for (std::size_t lanes : {2u, 4u, 7u}) EXPECT_EQ(run(lanes), reference);
+}
+
+TEST(Histogram, TableListsOnlyNonEmptyHistograms) {
+  obs::HistogramSet set;
+  {
+    obs::HistogramScope scope(set);
+    obs::record(obs::Histo::TransferBytes, 512);
+  }
+  const std::string table = obs::histograms_to_table(set).to_text();
+  EXPECT_NE(table.find("transfer_bytes"), std::string::npos);
+  EXPECT_EQ(table.find("span_wall_ns"), std::string::npos);
+}
+
+TEST(Report, WallSecondsSumsRootMeasuredSpansOnly) {
+  obs::Report report;
+  {
+    obs::Collect collect(report);
+    { obs::ScopedSpan outer("outer"); obs::ScopedSpan inner("inner"); }
+    obs::active_trace()->add_modeled("gpu", 123.0);  // modeled root: excluded
+  }
+  const auto& spans = report.trace.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(report.wall_seconds(), spans[0].seconds);  // inner nested, gpu modeled
+}
+
+TEST(Report, ModeledSpansLiveOnASimulatedClock) {
+  // Modeled roots start at 0 and modeled children are laid out sequentially
+  // — never stamped with wall-clock offsets.
+  obs::Report report;
+  {
+    obs::Collect collect(report);
+    obs::Trace& trace = *obs::active_trace();
+    const auto root = trace.begin_modeled("device", 1.0);
+    trace.add_modeled("alloc", 0.25);
+    trace.add_modeled("kernel", 0.5);
+    trace.end_modeled(root);
+  }
+  const auto& spans = report.trace.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].start_seconds, 0.0);
+  EXPECT_EQ(spans[1].start_seconds, 0.0);
+  EXPECT_EQ(spans[2].start_seconds, 0.25);  // after its earlier sibling
+  // And the modeled span durations land in the span_model_ns histogram.
+  EXPECT_EQ(report.histograms[obs::Histo::SpanModelNs].count(), 3u);
+}
+
 }  // namespace

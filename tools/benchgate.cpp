@@ -1,0 +1,251 @@
+// benchgate — bench-baseline regression gate over obs metrics sidecars.
+//
+//   benchgate --baseline=BENCH_BASELINE.json out/a.csv.metrics.json ...
+//
+// Each sidecar is a `kpm.obs.report/1` document written by a bench (or
+// `kpmcli ... --metrics`).  The baseline pins, per report label:
+//
+//   * every obs counter — all counters are modeled/deterministic, so they
+//     must match the baseline EXACTLY; any drift fails the gate, and
+//   * wall_seconds — measured host time, checked against a relative
+//     tolerance (`--tolerance`, default 0.25), or reported without failing
+//     under `--wall-advisory` (the CI mode: shared runners make wall time
+//     non-portable).
+//
+// `--update` rewrites the baseline from the given sidecars instead of
+// comparing (re-baselining after an intentional change).  Exit codes:
+// 0 = clean, 1 = drift, 2 = usage/configuration error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using kpm::obs::JsonValue;
+
+constexpr const char* kBaselineSchema = "kpm.bench.baseline/1";
+
+struct Entry {
+  std::string label;
+  double wall_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> counters;  // registry order
+};
+
+struct Options {
+  std::string baseline;
+  double tolerance = 0.25;
+  bool wall_advisory = false;
+  bool update = false;
+  std::vector<std::string> sidecars;
+};
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "benchgate — compare bench metrics sidecars against a checked-in baseline\n\n"
+               "usage: benchgate --baseline=FILE [options] SIDECAR.metrics.json ...\n\n"
+               "options:\n"
+               "  --baseline=FILE   baseline JSON (schema %s); required\n"
+               "  --tolerance=X     relative wall-time tolerance (default 0.25)\n"
+               "  --wall-advisory   report wall-time drift but never fail on it\n"
+               "  --update          rewrite the baseline from the given sidecars\n",
+               kBaselineSchema);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  KPM_REQUIRE(in.good(), "benchgate: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Extracts the gate-relevant projection of one metrics sidecar.
+Entry entry_from_report(const JsonValue& doc, const std::string& path) {
+  const JsonValue* schema = doc.find("schema");
+  KPM_REQUIRE(schema != nullptr && schema->string == "kpm.obs.report/1",
+              "benchgate: " + path + " is not a kpm.obs.report/1 document");
+  Entry entry;
+  entry.label = doc.at("label").string;
+  entry.wall_seconds = doc.at("wall_seconds").number;
+  for (const auto& [name, value] : doc.at("counters").object)
+    entry.counters.emplace_back(name, value.number);
+  return entry;
+}
+
+Entry entry_from_baseline(const std::string& label, const JsonValue& body) {
+  Entry entry;
+  entry.label = label;
+  entry.wall_seconds = body.at("wall_seconds").number;
+  for (const auto& [name, value] : body.at("counters").object)
+    entry.counters.emplace_back(name, value.number);
+  return entry;
+}
+
+void write_baseline(const std::string& path, const std::vector<Entry>& entries,
+                    double tolerance) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"" << kBaselineSchema << "\",\n";
+  os << "  \"wall_tolerance\": " << kpm::obs::json_number(tolerance) << ",\n";
+  os << "  \"entries\": {\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    os << "    \"" << kpm::obs::json_escape(e.label) << "\": {\n"
+       << "      \"wall_seconds\": " << kpm::obs::json_number(e.wall_seconds) << ",\n"
+       << "      \"counters\": {\n";
+    for (std::size_t c = 0; c < e.counters.size(); ++c) {
+      os << "        \"" << e.counters[c].first
+         << "\": " << kpm::obs::json_number(e.counters[c].second);
+      os << (c + 1 < e.counters.size() ? ",\n" : "\n");
+    }
+    os << "      }\n    }";
+    os << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  os << "  }\n}\n";
+  std::ofstream out(path);
+  KPM_REQUIRE(out.good(), "benchgate: cannot write " + path);
+  out << os.str();
+  out.flush();
+  KPM_REQUIRE(out.good(), "benchgate: failed writing " + path);
+}
+
+/// Compares one sidecar against its baseline entry.  Returns the number of
+/// failures (counter drift always; wall drift unless advisory).
+int compare(const Entry& baseline, const Entry& current, const Options& opts) {
+  int failures = 0;
+  // Counters: exact.  Walk the union of both name sets so an added or
+  // removed counter also trips the gate.
+  for (const auto& [name, value] : baseline.counters) {
+    const double* now = nullptr;
+    for (const auto& [cname, cvalue] : current.counters)
+      if (cname == name) now = &cvalue;
+    if (now == nullptr) {
+      std::printf("  FAIL %s: counter %s missing from current run\n", current.label.c_str(),
+                  name.c_str());
+      ++failures;
+    } else if (*now != value) {
+      std::printf("  FAIL %s: counter %s drifted: baseline %.17g, current %.17g\n",
+                  current.label.c_str(), name.c_str(), value, *now);
+      ++failures;
+    }
+  }
+  for (const auto& [name, value] : current.counters) {
+    bool known = false;
+    for (const auto& [bname, bvalue] : baseline.counters) known |= bname == name;
+    if (!known && value != 0.0) {
+      std::printf("  FAIL %s: new nonzero counter %s = %.17g not in baseline\n",
+                  current.label.c_str(), name.c_str(), value);
+      ++failures;
+    }
+  }
+
+  const double base_wall = baseline.wall_seconds;
+  const double drift =
+      base_wall > 0.0 ? (current.wall_seconds - base_wall) / base_wall : 0.0;
+  if (base_wall > 0.0 && (drift > opts.tolerance || drift < -opts.tolerance)) {
+    if (opts.wall_advisory) {
+      std::printf("  note %s: wall %.4fs vs baseline %.4fs (%+.0f%%, advisory)\n",
+                  current.label.c_str(), current.wall_seconds, base_wall, 100.0 * drift);
+    } else {
+      std::printf("  FAIL %s: wall %.4fs vs baseline %.4fs (%+.0f%% > %.0f%% tolerance)\n",
+                  current.label.c_str(), current.wall_seconds, base_wall, 100.0 * drift,
+                  100.0 * opts.tolerance);
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+int run(const Options& opts) {
+  std::vector<Entry> current;
+  for (const std::string& path : opts.sidecars)
+    current.push_back(entry_from_report(kpm::obs::parse_json(read_file(path)), path));
+
+  if (opts.update) {
+    // Keep baseline entries for labels not re-run this invocation.
+    std::vector<Entry> merged;
+    std::ifstream existing(opts.baseline);
+    if (existing.good()) {
+      std::ostringstream ss;
+      ss << existing.rdbuf();
+      const JsonValue doc = kpm::obs::parse_json(ss.str());
+      for (const auto& [label, body] : doc.at("entries").object) {
+        bool replaced = false;
+        for (const Entry& e : current) replaced |= e.label == label;
+        if (!replaced) merged.push_back(entry_from_baseline(label, body));
+      }
+    }
+    for (const Entry& e : current) merged.push_back(e);
+    write_baseline(opts.baseline, merged, opts.tolerance);
+    std::printf("baseline %s updated (%zu entr%s)\n", opts.baseline.c_str(), merged.size(),
+                merged.size() == 1 ? "y" : "ies");
+    return 0;
+  }
+
+  const JsonValue doc = kpm::obs::parse_json(read_file(opts.baseline));
+  const JsonValue* schema = doc.find("schema");
+  KPM_REQUIRE(schema != nullptr && schema->string == kBaselineSchema,
+              "benchgate: " + opts.baseline + " is not a " + kBaselineSchema + " document");
+  const JsonValue& entries = doc.at("entries");
+
+  int failures = 0;
+  for (const Entry& e : current) {
+    const JsonValue* body = entries.find(e.label);
+    if (body == nullptr) {
+      std::printf("  FAIL %s: no baseline entry (run with --update to add it)\n",
+                  e.label.c_str());
+      ++failures;
+      continue;
+    }
+    const int before = failures;
+    failures += compare(entry_from_baseline(e.label, *body), e, opts);
+    if (failures == before)
+      std::printf("  ok   %s: counters exact, wall %.4fs\n", e.label.c_str(), e.wall_seconds);
+  }
+  std::printf("benchgate: %zu report(s), %d failure(s)\n", current.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        usage(stdout);
+        return 0;
+      } else if (arg.rfind("--baseline=", 0) == 0) {
+        opts.baseline = arg.substr(11);
+      } else if (arg.rfind("--tolerance=", 0) == 0) {
+        opts.tolerance = std::stod(arg.substr(12));
+      } else if (arg == "--wall-advisory") {
+        opts.wall_advisory = true;
+      } else if (arg == "--update") {
+        opts.update = true;
+      } else if (arg.rfind("--", 0) == 0) {
+        std::fprintf(stderr, "benchgate: unknown option %s\n\n", arg.c_str());
+        usage(stderr);
+        return 2;
+      } else {
+        opts.sidecars.push_back(arg);
+      }
+    }
+    if (opts.baseline.empty() || opts.sidecars.empty()) {
+      std::fprintf(stderr, "benchgate: --baseline and at least one sidecar are required\n\n");
+      usage(stderr);
+      return 2;
+    }
+    return run(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "benchgate: %s\n", e.what());
+    return 2;
+  }
+}

@@ -23,30 +23,60 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/kpm.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/hotspots.hpp"
 #include "obs/report.hpp"
 
 namespace {
 
 using namespace kpm;
 
-/// Optional --metrics collection: construct before the work, then call
-/// `finish()` after it to write the JSON report and echo the counters.
+/// The shared observability flags every metrics-capable subcommand exposes.
+/// Register them with `add_obs_flags` and hand the result to MetricsSink so
+/// `--metrics` / `--trace` behave identically across dos|ldos|sigma|check|profile.
+struct ObsFlags {
+  const std::string* metrics = nullptr;
+  const std::string* trace = nullptr;
+};
+
+ObsFlags add_obs_flags(CliParser& cli) {
+  ObsFlags flags;
+  flags.metrics =
+      cli.add_string("metrics", "", "write a JSON metrics report (spans + counters)");
+  flags.trace =
+      cli.add_string("trace", "", "write a Chrome/Perfetto trace (ui.perfetto.dev)");
+  return flags;
+}
+
+/// Optional --metrics/--trace collection: construct before the work, then
+/// call `finish()` after it to write the JSON report and/or Chrome trace.
 struct MetricsSink {
   obs::Report report;
-  std::string path;
+  std::string metrics_path;
+  std::string trace_path;
   std::optional<obs::Collect> collect;
 
-  MetricsSink(std::string label, const std::string& out_path) : path(out_path) {
+  MetricsSink(std::string label, std::string metrics, std::string trace = "")
+      : metrics_path(std::move(metrics)), trace_path(std::move(trace)) {
     report.label = std::move(label);
-    if (!path.empty()) collect.emplace(report);
+    if (!metrics_path.empty() || !trace_path.empty()) collect.emplace(report);
   }
+
+  MetricsSink(std::string label, const ObsFlags& flags)
+      : MetricsSink(std::move(label), *flags.metrics, *flags.trace) {}
 
   void finish() {
     if (!collect) return;
     collect.reset();
-    obs::write_json(report, path);
-    std::printf("\n%s", obs::counters_to_table(report.counters).to_text().c_str());
-    std::printf("metrics written to %s\n", path.c_str());
+    if (!metrics_path.empty()) {
+      obs::write_json(report, metrics_path);
+      std::printf("\n%s", obs::counters_to_table(report.counters).to_text().c_str());
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      obs::write_chrome_trace(report, trace_path);
+      std::printf("trace written to %s (load at ui.perfetto.dev)\n", trace_path.c_str());
+    }
   }
 };
 
@@ -115,11 +145,10 @@ int cmd_dos(int argc, const char* const* argv) {
   const auto* csv = cli.add_string("csv", "", "optional CSV output path");
   const auto* save = cli.add_string("save-moments", "",
                                     "store the moment set for later `kpmcli reconstruct`");
-  const auto* metrics = cli.add_string("metrics", "",
-                                       "write a JSON metrics report (spans + counters)");
+  const ObsFlags obs_flags = add_obs_flags(cli);
   cli.parse(argc, argv);
 
-  MetricsSink sink("kpmcli dos", *metrics);
+  MetricsSink sink("kpmcli dos", obs_flags);
   const auto w = [&] {
     obs::ScopedSpan span("build.workload");
     return build_workload(*kind, static_cast<std::size_t>(*edge), *disorder,
@@ -172,11 +201,10 @@ int cmd_ldos(int argc, const char* const* argv) {
   const auto* seed = cli.add_int("seed", 42, "disorder seed");
   const auto* points = cli.add_int("points", 41, "output energies");
   const auto* csv = cli.add_string("csv", "", "optional CSV output path");
-  const auto* metrics = cli.add_string("metrics", "",
-                                       "write a JSON metrics report (spans + counters)");
+  const ObsFlags obs_flags = add_obs_flags(cli);
   cli.parse(argc, argv);
 
-  MetricsSink sink("kpmcli ldos", *metrics);
+  MetricsSink sink("kpmcli ldos", obs_flags);
   const auto w = [&] {
     obs::ScopedSpan span("build.workload");
     return build_workload(*kind, static_cast<std::size_t>(*edge), *disorder,
@@ -210,11 +238,10 @@ int cmd_sigma(int argc, const char* const* argv) {
   const auto* disorder = cli.add_double("disorder", 0.0, "Anderson disorder width");
   const auto* seed = cli.add_int("seed", 42, "disorder seed");
   const auto* csv = cli.add_string("csv", "", "optional CSV output path");
-  const auto* metrics = cli.add_string("metrics", "",
-                                       "write a JSON metrics report (spans + counters)");
+  const ObsFlags obs_flags = add_obs_flags(cli);
   cli.parse(argc, argv);
 
-  MetricsSink sink("kpmcli sigma", *metrics);
+  MetricsSink sink("kpmcli sigma", obs_flags);
   KPM_REQUIRE(*kind != "honeycomb", "kpmcli sigma: honeycomb current operator not implemented");
   const auto e = static_cast<std::size_t>(*edge);
   lattice::HypercubicLattice lat =
@@ -429,6 +456,8 @@ int cmd_check(int argc, const char* const* argv) {
   const auto* all = cli.add_flag("all", "run every scenario");
   const auto* list = cli.add_flag("list", "print the scenario names and exit");
   const auto* json = cli.add_string("json", "", "write an obs JSON report with a 'check' section");
+  const auto* trace = cli.add_string("trace", "",
+                                     "write a Chrome/Perfetto trace (ui.perfetto.dev)");
   cli.parse(argc, argv);
 
   if (*list) {
@@ -438,7 +467,7 @@ int cmd_check(int argc, const char* const* argv) {
   KPM_REQUIRE(*all || !kernel->empty(),
               "kpmcli check: pass --kernel=NAME or --all (see --list for names)");
 
-  MetricsSink metrics("kpmcli-check", *json);
+  MetricsSink metrics("kpmcli-check", *json, *trace);
   std::vector<check::ScenarioReport> reports;
   if (*all) {
     reports = check::run_all_scenarios();
@@ -476,6 +505,72 @@ int cmd_check(int argc, const char* const* argv) {
   return total_findings == 0 ? 0 : 1;
 }
 
+int cmd_profile(int argc, const char* const* argv) {
+  CliParser cli("kpmcli profile",
+                "Profiles one stochastic-moment run: collects the measured host spans, the "
+                "modeled gpusim timeline and the deterministic histograms, writes a "
+                "Chrome/Perfetto trace, and prints self/total hotspot tables with roofline "
+                "attribution per kernel.");
+  const auto* kind = cli.add_string("lattice", "cubic", "chain|square|cubic|honeycomb");
+  const auto* edge = cli.add_int("edge", 10, "lattice edge / cell count");
+  const auto* n = cli.add_int("moments", 256, "Chebyshev moments N");
+  const auto* r = cli.add_int("R", 14, "random vectors");
+  const auto* s = cli.add_int("S", 16, "realizations");
+  const auto* disorder = cli.add_double("disorder", 0.0, "Anderson disorder width");
+  const auto* seed = cli.add_int("seed", 42, "disorder seed");
+  const auto* engine_name =
+      cli.add_string("engine", "gpu-chunked", "gpu|gpu-chunked|cpu|cpu-paired|cpu-parallel");
+  const auto* threads = cli.add_int("threads", 4, "host threads for --engine=cpu-parallel");
+  const auto* hotspots = cli.add_flag("hotspots", "print self/total span and kernel tables");
+  const ObsFlags obs_flags = add_obs_flags(cli);
+  cli.parse(argc, argv);
+
+  // Profiling without any sink would throw the run away; default to
+  // collecting even when no output file was requested so the hotspot
+  // tables always have data.
+  MetricsSink sink("kpmcli profile", obs_flags);
+  if (!sink.collect) sink.collect.emplace(sink.report);
+
+  const auto w = [&] {
+    obs::ScopedSpan span("build.workload");
+    return build_workload(*kind, static_cast<std::size_t>(*edge), *disorder,
+                          static_cast<std::uint64_t>(*seed));
+  }();
+  linalg::MatrixOperator op(w.h_tilde);
+  core::MomentParams params;
+  params.num_moments = static_cast<std::size_t>(*n);
+  params.random_vectors = static_cast<std::size_t>(*r);
+  params.realizations = static_cast<std::size_t>(*s);
+
+  const auto engine = [&]() -> std::unique_ptr<core::MomentEngine> {
+    if (*engine_name == "gpu-chunked")
+      return std::make_unique<core::ChunkedGpuMomentEngine>();
+    return make_engine(*engine_name, static_cast<int>(*threads));
+  }();
+  const auto result = [&] {
+    obs::ScopedSpan span("compute.moments");
+    return engine->compute(op, params);
+  }();
+
+  std::printf("%s, D=%zu — N=%zu, %zu instances, engine %s: model %.3f s, host %.3f s\n\n",
+              w.description.c_str(), w.dim, params.num_moments, params.instances(),
+              result.engine.c_str(), result.model_seconds, result.wall_seconds);
+
+  if (*hotspots) {
+    std::printf("host + modeled span hotspots (self/total):\n%s\n",
+                obs::span_hotspot_table(sink.report).to_text().c_str());
+    const Table kernels = obs::kernel_hotspot_table(sink.report);
+    if (kernels.rows() > 0)
+      std::printf("modeled kernel roofline attribution:\n%s\n", kernels.to_text().c_str());
+  }
+  const Table histograms = obs::histograms_to_table(sink.report.histograms);
+  if (histograms.rows() > 0)
+    std::printf("histograms:\n%s", histograms.to_text().c_str());
+
+  sink.finish();
+  return 0;
+}
+
 int cmd_devices(int, const char* const*) {
   Table table({"device", "SMs", "DP peak", "bandwidth", "VRAM"});
   for (const auto& spec : {gpusim::DeviceSpec::geforce_gtx285(), gpusim::DeviceSpec::tesla_c2050(),
@@ -502,6 +597,7 @@ void usage() {
       "  evolve   Chebyshev time evolution on a chain\n"
       "  slice    energy-filtered random state (delta filter)\n"
       "  ldosmap  ASCII LDOS map around an impurity\n"
+      "  profile  profile one run: Perfetto trace, hotspot + roofline tables\n"
       "  check    hazard analysis (racecheck/memcheck) over the GPU kernels\n"
       "  devices  list the simulated device presets\n\n"
       "run `kpmcli <subcommand> --help` for options\n");
@@ -527,6 +623,7 @@ int main(int argc, char** argv) {
     if (cmd == "evolve") return cmd_evolve(sub_argc, sub_argv);
     if (cmd == "slice") return cmd_slice(sub_argc, sub_argv);
     if (cmd == "ldosmap") return cmd_ldosmap(sub_argc, sub_argv);
+    if (cmd == "profile") return cmd_profile(sub_argc, sub_argv);
     if (cmd == "check") return cmd_check(sub_argc, sub_argv);
     if (cmd == "devices") return cmd_devices(sub_argc, sub_argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
