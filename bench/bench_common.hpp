@@ -36,11 +36,16 @@ inline const std::string* add_out_dir(CliParser& cli) {
 }
 
 /// Resolves an output file name against `--out-dir`, creating the directory
-/// on first use.  A `name` that already carries a directory component (or an
-/// empty `dir`) is honored verbatim so `--csv=/abs/path.csv` still works.
+/// (recursively, so `--out-dir=results/today/run1` works) on first use.  A
+/// `name` that already carries a directory component (or an empty `dir`) is
+/// honored verbatim so `--csv=/abs/path.csv` still works.
 inline std::string resolve_output(const std::string& dir, const std::string& name) {
   if (dir.empty() || name.find('/') != std::string::npos) return name;
-  std::filesystem::create_directories(dir);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  KPM_REQUIRE(!ec, "cannot create --out-dir '" + dir + "': " + ec.message());
+  KPM_REQUIRE(std::filesystem::is_directory(dir),
+              "--out-dir '" + dir + "' exists but is not a directory");
   return dir + "/" + name;
 }
 

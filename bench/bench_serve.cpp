@@ -1,0 +1,151 @@
+// bench_serve — offered load vs latency / shed rate through the serving layer.
+//
+// Sweeps the arrival rate of a synthetic request stream (as a multiple of
+// the modeled single-request service rate) through serve::Server and reports
+// what admission control and the coalescer/cache do to latency and the shed
+// rate.  Everything is on the simulated serve clock, so the swept columns
+// are deterministic; each sweep point also records its own slice of the
+// serve histograms (queue depth, batch occupancy, wait, service) into the
+// metrics sidecar's `histogram_series`.
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "obs/report.hpp"
+#include "serve/server.hpp"
+
+using namespace kpm;
+
+namespace {
+
+/// Deterministic request stream: a mix of repeated DoS queries (two seeds,
+/// so the cache sees both hits and misses), reconstruction-only variants and
+/// a fixed-site LDOS, arriving at a uniform spacing.
+std::vector<serve::Request> build_stream(std::size_t count, double spacing) {
+  std::vector<serve::Request> requests;
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double arrival = static_cast<double>(i) * spacing;
+    const std::uint64_t id = i + 1;
+    switch (i % 4) {
+      case 0:
+      case 1: {
+        serve::DosRequest r;
+        r.id = id;
+        r.model = "square";
+        r.arrival_seconds = arrival;
+        r.moments.num_moments = 128;
+        r.moments.random_vectors = 4;
+        r.moments.realizations = 2;
+        r.moments.seed = 11;
+        r.reconstruct.points = 64 + 16 * (i % 3);  // same key, different grids
+        requests.push_back(r);
+        break;
+      }
+      case 2: {
+        serve::LdosRequest r;
+        r.id = id;
+        r.model = "square";
+        r.arrival_seconds = arrival;
+        r.moments.num_moments = 128;
+        r.site = 20;
+        r.reconstruct.points = 48;
+        requests.push_back(r);
+        break;
+      }
+      default: {
+        serve::DosRequest r;
+        r.id = id;
+        r.model = "square";
+        r.arrival_seconds = arrival;
+        r.moments.num_moments = 128;
+        r.moments.random_vectors = 4;
+        r.moments.realizations = 2;
+        r.moments.seed = 23;  // second population: cold key per N
+        r.reconstruct.points = 64;
+        requests.push_back(r);
+        break;
+      }
+    }
+  }
+  return requests;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_serve",
+                "offered-load sweep through the deterministic serving layer "
+                "(batching, moment cache, admission control)");
+  const auto* edge = cli.add_int("edge", 8, "square-lattice edge");
+  const auto* count = cli.add_int("requests", 24, "requests per sweep point");
+  const auto* out_dir = bench::add_out_dir(cli);
+  cli.parse(argc, argv);
+
+  bench::BenchMetrics metrics("bench_serve");
+
+  const auto lat = lattice::HypercubicLattice::square(static_cast<std::size_t>(*edge),
+                                                      static_cast<std::size_t>(*edge));
+  const linalg::CrsMatrix h =
+      lattice::build_tight_binding_crs(lat, {}, lattice::anderson_disorder(1.0, 3));
+
+  // Capacity unit: the modeled serial service time of the repeated DoS
+  // template.  `load` is the arrival rate in units of 1/unit, so load > 1
+  // offers more work than one channel can serve (before cache/coalescing
+  // relief) and admission control must act.
+  const double unit = [&] {
+    linalg::MatrixOperator raw(h);
+    const auto transform = linalg::make_spectral_transform(raw);
+    const linalg::CrsMatrix h_tilde = linalg::rescale(h, transform);
+    const linalg::MatrixOperator op(h_tilde);
+    return core::modeled_reference_seconds(op, 128, 8);
+  }();
+  std::printf("bench_serve — offered load vs latency / shed rate\n");
+  std::printf("workload : square %lld x %lld, %zu requests per point, unit %.3g s\n\n",
+              static_cast<long long>(*edge), static_cast<long long>(*edge),
+              static_cast<std::size_t>(*count), unit);
+
+  Table table({"load", "requests", "served", "shed", "degraded", "hit rate", "mean wait s",
+               "max wait s", "makespan s"});
+  for (const double load : {0.5, 1.0, 2.0, 4.0}) {
+    obs::SweepPoint point(metrics.report(), strprintf("load=%.2f", load));
+
+    serve::ServeConfig config;
+    config.workers = 2;
+    config.max_queue = 4;
+    config.max_batch = 4;
+    config.degrade_floor = 16;
+    serve::Server server(config);
+    server.register_model("square", h);
+
+    const auto responses =
+        server.run(build_stream(static_cast<std::size_t>(*count), unit / load));
+
+    std::size_t served = 0, shed = 0, degraded = 0, hits = 0;
+    double wait_sum = 0.0, wait_max = 0.0, makespan = 0.0;
+    for (const auto& r : responses) {
+      if (r.status != serve::ResponseStatus::Ok) {
+        shed += 1;
+        continue;
+      }
+      served += 1;
+      if (r.degraded) degraded += 1;
+      if (r.cache_hit) hits += 1;
+      wait_sum += r.wait_seconds();
+      wait_max = std::max(wait_max, r.wait_seconds());
+      makespan = std::max(makespan, r.finish_seconds);
+    }
+    table.add_row({strprintf("%.2f", load), std::to_string(responses.size()),
+                   std::to_string(served), std::to_string(shed), std::to_string(degraded),
+                   strprintf("%.2f", served > 0 ? static_cast<double>(hits) /
+                                                      static_cast<double>(served)
+                                                : 0.0),
+                   strprintf("%.4f", served > 0 ? wait_sum / static_cast<double>(served) : 0.0),
+                   strprintf("%.4f", wait_max), strprintf("%.4f", makespan)});
+  }
+
+  bench::finish(table, bench::resolve_output(*out_dir, "serve_load.csv"));
+  return 0;
+}

@@ -1,19 +1,21 @@
 #!/bin/sh
 # ctest driver for the bench-baseline regression gate.
 #
-# Runs the two quick CI benches into a scratch directory, then exercises
+# Runs the three quick CI benches into a scratch directory, then exercises
 # benchgate three ways against the checked-in BENCH_BASELINE.json:
 #   1. clean pass  — counters must match the baseline exactly (wall advisory),
 #   2. seeded drift — a perturbed spmv_calls counter must trip exit code 1,
 #   3. --update round-trip — a freshly written baseline must accept the same
 #      sidecars with the strict (non-advisory) wall check.
 #
-# usage: benchgate_test.sh <ablation_haydock> <ablation_chunking> <benchgate> <baseline.json>
+# usage: benchgate_test.sh <ablation_haydock> <ablation_chunking> <bench_serve> \
+#                          <benchgate> <baseline.json>
 set -e
 haydock=$1
 chunking=$2
-benchgate=$3
-baseline=$4
+serve=$3
+benchgate=$4
+baseline=$5
 
 scratch="$(pwd)/gate_scratch"
 rm -rf "$scratch"
@@ -22,6 +24,7 @@ cd "$scratch"
 
 "$haydock" --edge=8 > /dev/null
 "$chunking" --edge=6 --S=8 > /dev/null
+"$serve" --edge=6 --requests=12 > /dev/null
 
 "$benchgate" --baseline="$baseline" --wall-advisory results/*.metrics.json
 

@@ -25,6 +25,37 @@ const char* to_string(EngineKind k) noexcept {
   return "?";
 }
 
+MomentResult compute_moments(const linalg::MatrixOperator& h_tilde, const MomentParams& params,
+                             const MomentComputeOptions& options) {
+  params.validate();
+  switch (options.engine) {
+    case EngineKind::CpuReference: {
+      CpuMomentEngine engine;
+      return engine.compute(h_tilde, params, options.sample_instances);
+    }
+    case EngineKind::CpuPaired: {
+      CpuPairedMomentEngine engine;
+      return engine.compute(h_tilde, params, options.sample_instances);
+    }
+    case EngineKind::CpuParallel: {
+      CpuParallelMomentEngine engine(options.cpu_threads);
+      return engine.compute(h_tilde, params, options.sample_instances);
+    }
+    case EngineKind::Gpu: {
+      GpuMomentEngine engine(options.gpu);
+      return engine.compute(h_tilde, params, options.sample_instances);
+    }
+    case EngineKind::GpuCluster: {
+      MultiGpuEngineConfig cfg;
+      cfg.per_device = options.gpu;
+      cfg.device_count = options.cluster_devices;
+      MultiGpuMomentEngine engine(cfg);
+      return engine.compute(h_tilde, params, options.sample_instances);
+    }
+  }
+  KPM_FAIL("compute_moments: unknown engine kind");
+}
+
 DosStudy compute_dos_study(const linalg::MatrixOperator& h, const DosStudyOptions& options) {
   options.params.validate();
 
@@ -47,37 +78,14 @@ DosStudy compute_dos_study(const linalg::MatrixOperator& h, const DosStudyOption
     op_tilde = std::make_unique<linalg::MatrixOperator>(crs_tilde);
   }
 
-  // 3. Moments on the chosen engine.
-  switch (options.engine) {
-    case EngineKind::CpuReference: {
-      CpuMomentEngine engine;
-      study.moments = engine.compute(*op_tilde, options.params, options.sample_instances);
-      break;
-    }
-    case EngineKind::CpuPaired: {
-      CpuPairedMomentEngine engine;
-      study.moments = engine.compute(*op_tilde, options.params, options.sample_instances);
-      break;
-    }
-    case EngineKind::CpuParallel: {
-      CpuParallelMomentEngine engine(options.cpu_threads);
-      study.moments = engine.compute(*op_tilde, options.params, options.sample_instances);
-      break;
-    }
-    case EngineKind::Gpu: {
-      GpuMomentEngine engine(options.gpu);
-      study.moments = engine.compute(*op_tilde, options.params, options.sample_instances);
-      break;
-    }
-    case EngineKind::GpuCluster: {
-      MultiGpuEngineConfig cfg;
-      cfg.per_device = options.gpu;
-      cfg.device_count = options.cluster_devices;
-      MultiGpuMomentEngine engine(cfg);
-      study.moments = engine.compute(*op_tilde, options.params, options.sample_instances);
-      break;
-    }
-  }
+  // 3. Moments on the chosen engine, via the shared moments-only surface.
+  MomentComputeOptions moment_options;
+  moment_options.engine = options.engine;
+  moment_options.gpu = options.gpu;
+  moment_options.cluster_devices = options.cluster_devices;
+  moment_options.cpu_threads = options.cpu_threads;
+  moment_options.sample_instances = options.sample_instances;
+  study.moments = compute_moments(*op_tilde, options.params, moment_options);
 
   // 4. Reconstruction.
   study.curve = reconstruct_dos(study.moments.mu, study.transform, options.reconstruct);

@@ -30,6 +30,24 @@ enum class EngineKind {
 /// "gpu-cluster".
 const char* to_string(EngineKind k) noexcept;
 
+/// Options of a moments-only computation (see `compute_moments`).
+struct MomentComputeOptions {
+  EngineKind engine = EngineKind::CpuReference;
+  GpuEngineConfig gpu{};             ///< used by Gpu / GpuCluster
+  std::size_t cluster_devices = 4;   ///< used by GpuCluster
+  int cpu_threads = 4;               ///< used by CpuParallel (>= 1)
+  std::size_t sample_instances = 0;  ///< 0 = execute all instances
+};
+
+/// The reusable moments-only surface: runs `params` on the chosen engine
+/// against an ALREADY-RESCALED operator H~.  This is the expensive half of
+/// every study — callers that own their transform (the serving layer, a
+/// cache in front of reconstruction) go through here; `compute_dos_study`
+/// composes it with bounds/rescale/reconstruct for the one-call path.
+[[nodiscard]] MomentResult compute_moments(const linalg::MatrixOperator& h_tilde,
+                                           const MomentParams& params,
+                                           const MomentComputeOptions& options = {});
+
 /// Options of a one-call DoS study.
 struct DosStudyOptions {
   MomentParams params{};

@@ -106,6 +106,11 @@ cpumodel::CpuWorkload fused_step_workload(const linalg::MatrixOperator& op, std:
   return w;
 }
 
+double modeled_reference_seconds(const linalg::MatrixOperator& op, std::size_t num_moments,
+                                 std::size_t instances, const cpumodel::CpuSpec& spec) {
+  return cpumodel::model_cpu_time(spec, reference_workload(op, num_moments, instances)).seconds;
+}
+
 void fill_random_vector(const MomentParams& params, std::uint64_t stream, std::span<double> r0) {
   for (std::size_t i = 0; i < r0.size(); ++i)
     r0[i] = rng::draw_random_element(params.vector_kind, params.seed, stream, i);
@@ -180,7 +185,10 @@ MomentResult CpuParallelMomentEngine::compute(const linalg::MatrixOperator& h_ti
   const std::size_t total = params.instances();
   const std::size_t executed = resolve_sample_count(sample_instances, total);
 
-  obs::ScopedSpan span("moments." + name());
+  // Stable span name (no thread-count suffix, unlike name()): span names
+  // participate in deterministic report fingerprints, which must be
+  // identical at any thread count.
+  obs::ScopedSpan span("moments.cpu-parallel");
   obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);

@@ -111,4 +111,13 @@ void fill_random_vector(const MomentParams& params, std::uint64_t stream, std::s
 [[nodiscard]] cpumodel::CpuWorkload fused_step_workload(const linalg::MatrixOperator& op,
                                                         std::size_t dots);
 
+/// Modeled *serial* reference-engine seconds for `instances` instances of
+/// `num_moments` moments on `op` — the same roofline model CpuMomentEngine
+/// charges.  Deliberately independent of any thread count: the serving
+/// layer uses this as the simulated service time so scheduling decisions
+/// (and the replay fingerprint) are identical at any worker count.
+[[nodiscard]] double modeled_reference_seconds(
+    const linalg::MatrixOperator& op, std::size_t num_moments, std::size_t instances,
+    const cpumodel::CpuSpec& spec = cpumodel::CpuSpec::core_i7_930());
+
 }  // namespace kpm::core

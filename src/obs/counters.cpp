@@ -23,6 +23,15 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "gpu_shared_bytes",
     "gpu_bytes_h2d",
     "gpu_bytes_d2h",
+    "serve_requests",
+    "serve_batches",
+    "serve_coalesced",
+    "serve_cache_hits",
+    "serve_cache_misses",
+    "serve_cache_evictions",
+    "serve_shed_rejected",
+    "serve_shed_degraded",
+    "serve_shed_expired",
 };
 
 }  // namespace

@@ -38,9 +38,21 @@ enum class Counter : std::size_t {
   GpuSharedBytes,     ///< simulated-GPU shared memory traffic
   GpuBytesH2D,        ///< host-to-device transfer bytes
   GpuBytesD2H,        ///< device-to-host transfer bytes
+
+  // Serving-layer counters (src/serve): all recorded on the scheduler
+  // thread from simulated-clock decisions, so they are deterministic.
+  ServeRequests,       ///< requests submitted to a serve scheduler
+  ServeBatches,        ///< engine/cache service rounds executed
+  ServeCoalesced,      ///< requests that rode an existing batch (beyond its head)
+  ServeCacheHits,      ///< moment-cache lookups answered without an engine run
+  ServeCacheMisses,    ///< moment-cache lookups that required an engine run
+  ServeCacheEvictions, ///< cache entries evicted by the LRU byte budget
+  ServeShedRejected,   ///< requests shed by admission control (rejected)
+  ServeShedDegraded,   ///< requests admitted at a degraded (lower-N) quality
+  ServeShedExpired,    ///< requests dropped because their deadline passed in queue
 };
 
-inline constexpr std::size_t kCounterCount = 16;
+inline constexpr std::size_t kCounterCount = 25;
 
 /// Stable snake_case name used as the JSON key for `c`.
 [[nodiscard]] const char* to_string(Counter c) noexcept;

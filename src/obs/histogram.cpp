@@ -7,7 +7,9 @@ namespace kpm::obs {
 namespace {
 
 constexpr std::array<const char*, kHistoCount> kHistoNames = {
-    "span_wall_ns", "span_model_ns", "instance_model_ns", "kernel_model_ns", "transfer_bytes",
+    "span_wall_ns",      "span_model_ns",         "instance_model_ns",
+    "kernel_model_ns",   "transfer_bytes",        "serve_queue_depth",
+    "serve_batch_occupancy", "serve_wait_ns",     "serve_service_ns",
 };
 
 }  // namespace
@@ -22,7 +24,15 @@ Histo histo_from_name(std::string_view name) {
 }
 
 const char* unit_of(Histo h) noexcept {
-  return h == Histo::TransferBytes ? "bytes" : "ns";
+  switch (h) {
+    case Histo::TransferBytes:
+      return "bytes";
+    case Histo::ServeQueueDepth:
+    case Histo::ServeBatchOccupancy:
+      return "requests";
+    default:
+      return "ns";
+  }
 }
 
 bool is_deterministic(Histo h) noexcept { return h != Histo::SpanWallNs; }

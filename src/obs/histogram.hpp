@@ -31,9 +31,16 @@ enum class Histo : std::size_t {
   InstanceModelNs,  ///< per-instance modeled moment-loop cost, ns
   KernelModelNs,    ///< per-kernel-launch modeled duration, ns
   TransferBytes,    ///< per-transfer H2D/D2H payload, bytes
+
+  // Serving-layer histograms (src/serve): all quantities come off the
+  // simulated serve clock, so every one of them is deterministic.
+  ServeQueueDepth,      ///< queue depth sampled at each admission decision, requests
+  ServeBatchOccupancy,  ///< requests coalesced into each service batch, requests
+  ServeWaitNs,          ///< simulated queueing delay per served request, ns
+  ServeServiceNs,       ///< simulated service time per served request, ns
 };
 
-inline constexpr std::size_t kHistoCount = 5;
+inline constexpr std::size_t kHistoCount = 9;
 
 /// Stable snake_case name used as the JSON key for `h`.
 [[nodiscard]] const char* to_string(Histo h) noexcept;

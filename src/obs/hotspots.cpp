@@ -16,6 +16,8 @@ struct SpanAgg {
   std::size_t calls = 0;
   double total_seconds = 0.0;
   double self_seconds = 0.0;
+  double self_flops = 0.0;
+  double self_bytes = 0.0;
 };
 
 struct KernelAgg {
@@ -42,11 +44,23 @@ kpm::Table span_hotspot_table(const Report& report) {
   // modeled children nested under a measured span are simulated seconds and
   // must not be subtracted from its wall time (and vice versa).
   std::vector<double> self(spans.size());
-  for (std::size_t i = 0; i < spans.size(); ++i) self[i] = spans[i].seconds;
+  // Span counter attribution (flops/bytes) is inclusive of children, like
+  // seconds — subtract direct children to get self counters too.  Children
+  // that recorded into a different sink carry zero and subtract nothing.
+  std::vector<double> self_flops(spans.size());
+  std::vector<double> self_bytes(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    self[i] = spans[i].seconds;
+    self_flops[i] = spans[i].flops;
+    self_bytes[i] = spans[i].bytes_streamed;
+  }
   for (std::size_t i = 0; i < spans.size(); ++i) {
     const std::size_t parent = spans[i].parent;
-    if (parent != kNoParent && spans[parent].modeled == spans[i].modeled)
+    if (parent != kNoParent && spans[parent].modeled == spans[i].modeled) {
       self[parent] -= spans[i].seconds;
+      self_flops[parent] -= spans[i].flops;
+      self_bytes[parent] -= spans[i].bytes_streamed;
+    }
   }
 
   std::vector<SpanAgg> aggs;
@@ -63,12 +77,14 @@ kpm::Table span_hotspot_table(const Report& report) {
       }
     }
     if (agg == nullptr) {
-      aggs.push_back({span.name, span.modeled, 0, 0.0, 0.0});
+      aggs.push_back({span.name, span.modeled, 0, 0.0, 0.0, 0.0, 0.0});
       agg = &aggs.back();
     }
     agg->calls += 1;
     agg->total_seconds += span.seconds;
     agg->self_seconds += self[i];
+    agg->self_flops += self_flops[i];
+    agg->self_bytes += self_bytes[i];
   }
 
   std::stable_sort(aggs.begin(), aggs.end(), [](const SpanAgg& a, const SpanAgg& b) {
@@ -76,12 +92,19 @@ kpm::Table span_hotspot_table(const Report& report) {
     return a.name < b.name;
   });
 
-  kpm::Table table({"span", "kind", "calls", "self_s", "total_s", "self_pct"});
+  kpm::Table table({"span", "kind", "calls", "self_s", "total_s", "self_pct", "gflops",
+                    "gb_per_s"});
   for (const SpanAgg& agg : aggs) {
     const double clock_total = agg.modeled ? modeled_total : measured_total;
+    const bool has_counters =
+        !agg.modeled && agg.self_seconds > 0.0 && (agg.self_flops > 0.0 || agg.self_bytes > 0.0);
     table.add_row({agg.name, agg.modeled ? "modeled" : "measured",
                    std::to_string(agg.calls), strprintf("%.6f", agg.self_seconds),
-                   strprintf("%.6f", agg.total_seconds), pct(agg.self_seconds, clock_total)});
+                   strprintf("%.6f", agg.total_seconds), pct(agg.self_seconds, clock_total),
+                   has_counters ? strprintf("%.2f", agg.self_flops / agg.self_seconds / 1e9)
+                                : std::string("-"),
+                   has_counters ? strprintf("%.2f", agg.self_bytes / agg.self_seconds / 1e9)
+                                : std::string("-")});
   }
   return table;
 }

@@ -18,8 +18,12 @@ namespace kpm::obs {
 
 struct Report;
 
-/// {span, kind, calls, self_s, total_s, self_pct} — self-time ranking of the
-/// span tree, one row per (name, measured|modeled).
+/// {span, kind, calls, self_s, total_s, self_pct, gflops, gb_per_s} —
+/// self-time ranking of the span tree, one row per (name,
+/// measured|modeled).  The roofline columns divide the span's *self*
+/// flops/bytes_streamed counter attribution by its self wall time; rows
+/// without counter attribution (modeled spans, spans recorded with
+/// metrics off) show "-".
 [[nodiscard]] kpm::Table span_hotspot_table(const Report& report);
 
 /// {kernel, launches, seconds, busy_pct, gflops, pct_peak_flops, gb_per_s,

@@ -62,6 +62,28 @@ bool append_histograms(std::ostringstream& os, const HistogramSet& histograms,
   return any;
 }
 
+/// Emits `"histogram_series": [...]` with one `{point, histograms}` object
+/// per sweep point; returns false (emitting nothing) when the series is
+/// empty.  Points whose shard has no histogram passing `filter` still emit
+/// their label, so the sweep structure is visible (and fingerprinted).
+template <typename Filter>
+bool append_histogram_series(std::ostringstream& os,
+                             const std::vector<HistogramSeriesPoint>& series,
+                             const std::string& indent, Filter&& filter) {
+  if (series.empty()) return false;
+  os << "\"histogram_series\": [";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\n" << indent << "  {\"point\": \"" << json_escape(series[i].label) << "\"";
+    std::ostringstream hos;
+    if (append_histograms(hos, series[i].histograms, indent + "   ", filter))
+      os << ",\n" << indent << "   " << hos.str();
+    os << "}";
+  }
+  os << "\n" << indent << "]";
+  return true;
+}
+
 void append_timeline_events(std::ostringstream& os, const DeviceTimelineRecord& timeline,
                             const std::string& indent) {
   os << "[";
@@ -106,7 +128,12 @@ std::string to_json(const Report& report) {
     os << "    {\"name\": \"" << json_escape(span.name) << "\", \"parent\": " << parent
        << ", \"depth\": " << span.depth << ", \"start_s\": " << json_number(span.start_seconds)
        << ", \"seconds\": " << json_number(span.seconds)
-       << ", \"modeled\": " << (span.modeled ? "true" : "false") << "}";
+       << ", \"modeled\": " << (span.modeled ? "true" : "false");
+    if (span.flops != 0.0 || span.bytes_streamed != 0.0) {
+      os << ", \"flops\": " << json_number(span.flops)
+         << ", \"bytes_streamed\": " << json_number(span.bytes_streamed);
+    }
+    os << "}";
     os << (i + 1 < spans.size() ? ",\n" : "\n");
   }
   os << "  ]";
@@ -114,6 +141,12 @@ std::string to_json(const Report& report) {
     std::ostringstream hos;
     if (append_histograms(hos, report.histograms, "  ", [](Histo) { return true; }))
       os << ",\n  " << hos.str();
+  }
+  {
+    std::ostringstream sos;
+    if (append_histogram_series(sos, report.histogram_series, "  ",
+                                [](Histo) { return true; }))
+      os << ",\n  " << sos.str();
   }
   if (!report.timelines.empty()) {
     os << ",\n  \"timelines\": [\n";
@@ -199,6 +232,9 @@ std::string deterministic_fingerprint(const Report& report) {
   if (append_histograms(os, report.histograms, "  ",
                         [](Histo id) { return is_deterministic(id); }))
     os << ",\n  ";
+  if (append_histogram_series(os, report.histogram_series, "  ",
+                              [](Histo id) { return is_deterministic(id); }))
+    os << ",\n  ";
   // Span structure: names, nesting and modeled durations are deterministic;
   // measured wall times are not and are omitted.
   os << "\"spans\": [";
@@ -229,6 +265,18 @@ std::string deterministic_fingerprint(const Report& report) {
       os << "}";
     }
     os << "\n  ]";
+  }
+  // Sections are contributed by subsystems whose sub-schemas are defined to
+  // be deterministic (kpm.check/1 findings, kpm.serve/1 responses), so they
+  // participate in the fingerprint verbatim.
+  if (!report.sections.empty()) {
+    os << ",\n  \"sections\": {\n";
+    for (std::size_t i = 0; i < report.sections.size(); ++i) {
+      const ReportSection& section = report.sections[i];
+      os << "    \"" << json_escape(section.name) << "\": " << section.body;
+      os << (i + 1 < report.sections.size() ? ",\n" : "\n");
+    }
+    os << "  }";
   }
   os << "\n}\n";
   return os.str();

@@ -30,12 +30,23 @@ struct ReportSection {
   std::string body;
 };
 
+/// One labelled per-sweep-point histogram shard (see `SweepPoint`).
+struct HistogramSeriesPoint {
+  std::string label;
+  HistogramSet histograms;
+};
+
 /// One collected metrics report.
 struct Report {
   std::string label;
   CounterSet counters;
   Trace trace;
   HistogramSet histograms;
+  /// Per-sweep-point histogram shards, in sweep order.  The global
+  /// `histograms` member still holds the whole-run totals (each shard is
+  /// merged in when its `SweepPoint` closes), so existing consumers are
+  /// unchanged; the series localises a regression to a parameter value.
+  std::vector<HistogramSeriesPoint> histogram_series;
   std::vector<DeviceTimelineRecord> timelines;  ///< captured gpusim device runs
   std::vector<ReportSection> sections;
 
@@ -78,6 +89,29 @@ class Collect {
   HistogramScope histograms_;
 };
 
+/// RAII: routes this thread's *histograms* into a private shard for one
+/// sweep point.  On destruction the shard is appended to
+/// `report.histogram_series` under `label` and merged into the report's
+/// global histograms, so whole-run totals are unchanged whether or not a
+/// sweep uses per-point shards.  Counters and spans are unaffected.
+class SweepPoint {
+ public:
+  SweepPoint(Report& report, std::string label)
+      : report_(report), label_(std::move(label)), scope_(shard_) {}
+  ~SweepPoint() {
+    report_.histograms += shard_;
+    report_.histogram_series.push_back({std::move(label_), std::move(shard_)});
+  }
+  SweepPoint(const SweepPoint&) = delete;
+  SweepPoint& operator=(const SweepPoint&) = delete;
+
+ private:
+  Report& report_;
+  std::string label_;
+  HistogramSet shard_;
+  HistogramScope scope_;
+};
+
 /// Serialises the report as a JSON document (counters keyed by name, spans
 /// as a flat array with parent indices).
 [[nodiscard]] std::string to_json(const Report& report);
@@ -96,9 +130,10 @@ void write_json(const Report& report, const std::string& path);
 [[nodiscard]] kpm::Table histograms_to_table(const HistogramSet& histograms);
 
 /// The report's deterministic projection, serialised: label, counters,
-/// deterministic histograms, span tree with measured wall times omitted,
-/// and the full modeled device timelines.  Two runs of the same workload —
-/// at any thread count — must produce byte-identical fingerprints; the
+/// deterministic histograms (global and per-sweep-point), span tree with
+/// measured wall times omitted, the full modeled device timelines, and
+/// every report section verbatim.  Two runs of the same workload — at any
+/// thread count — must produce byte-identical fingerprints; the
 /// golden-metrics tests pin this down.
 [[nodiscard]] std::string deterministic_fingerprint(const Report& report);
 

@@ -35,12 +35,20 @@ std::size_t Trace::push(std::string_view name, double seconds, bool modeled) {
   record.modeled = modeled;
   spans_.push_back(std::move(record));
   modeled_cursor_.push_back(0.0);
+  counter_marks_.push_back({});
   return spans_.size() - 1;
 }
 
 std::size_t Trace::open(std::string_view name) {
   const std::size_t id = push(name, 0.0, /*modeled=*/false);
   stack_.push_back(id);
+  // Snapshot the opening thread's counter sink so close() can attribute
+  // the flops/bytes recorded while the span was open.  Work done on pool
+  // workers still lands here because sharded_parallel_for reduces worker
+  // shards into the caller's sink before the enclosing span closes.
+  if (CounterSet* sink = active_counters()) {
+    counter_marks_[id] = {sink, sink->get(Counter::Flops), sink->get(Counter::BytesStreamed)};
+  }
   return id;
 }
 
@@ -50,6 +58,11 @@ double Trace::close(std::size_t id) {
   SpanRecord& record = spans_[id];
   KPM_REQUIRE(!record.modeled, "Trace::close: modeled spans close via end_modeled");
   record.seconds = elapsed_seconds() - record.start_seconds;
+  const CounterMark& mark = counter_marks_[id];
+  if (mark.sink != nullptr && mark.sink == active_counters()) {
+    record.flops = mark.sink->get(Counter::Flops) - mark.flops;
+    record.bytes_streamed = mark.sink->get(Counter::BytesStreamed) - mark.bytes;
+  }
   stack_.pop_back();
   return record.seconds;
 }

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 
 namespace kpm::obs {
@@ -38,6 +39,12 @@ struct SpanRecord {
   double start_seconds = 0.0;      ///< offset from the trace epoch / modeled clock
   double seconds = 0.0;            ///< duration (wall for measured, simulated for modeled)
   bool modeled = false;            ///< true when `seconds` is simulated platform time
+  /// Host counters attributed to this span: the delta of the opening
+  /// thread's `flops` / `bytes_streamed` counters between open and close.
+  /// Includes child spans (like `seconds`); hotspot tables subtract direct
+  /// children to get self-rates.  Zero when no counter sink was installed.
+  double flops = 0.0;
+  double bytes_streamed = 0.0;
 };
 
 /// An append-only span tree with an open-span stack.
@@ -72,12 +79,24 @@ class Trace {
  private:
   std::size_t push(std::string_view name, double seconds, bool modeled);
 
+  /// Counter snapshot taken when a wall span opens, used at close to
+  /// attribute the flops/bytes delta to the span.  The sink pointer guards
+  /// against the scope changing underneath the span (delta only applies
+  /// when the same sink is still installed at close).
+  struct CounterMark {
+    CounterSet* sink = nullptr;
+    double flops = 0.0;
+    double bytes = 0.0;
+  };
+
   std::chrono::steady_clock::time_point epoch_;
   std::vector<SpanRecord> spans_;
   std::vector<std::size_t> stack_;
   /// Per-span modeled-clock cursor: offset (from the span's own start)
   /// where its next modeled child begins.  Parallel to spans_.
   std::vector<double> modeled_cursor_;
+  /// Parallel to spans_; only meaningful for open wall spans.
+  std::vector<CounterMark> counter_marks_;
 };
 
 namespace detail {
@@ -101,6 +120,22 @@ class TraceScope {
   ~TraceScope() { detail::trace_slot() = prev_; }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Trace* prev_;
+};
+
+/// RAII: detaches the calling thread's active trace, so spans opened inside
+/// the scope become plain stopwatches.  Used around parallel regions whose
+/// lane-0 chunk runs on the calling thread: the spans it would record depend
+/// on how the work was chunked across lanes, which would make the span tree
+/// (and any fingerprint derived from it) vary with the worker count.
+class TraceDetach {
+ public:
+  TraceDetach() noexcept : prev_(detail::trace_slot()) { detail::trace_slot() = nullptr; }
+  ~TraceDetach() { detail::trace_slot() = prev_; }
+  TraceDetach(const TraceDetach&) = delete;
+  TraceDetach& operator=(const TraceDetach&) = delete;
 
  private:
   Trace* prev_;

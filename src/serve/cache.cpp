@@ -1,0 +1,126 @@
+#include "serve/cache.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "obs/counters.hpp"
+
+namespace kpm::serve {
+
+std::uint64_t fnv1a64(const void* data, std::size_t bytes, std::uint64_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t checksum_doubles(std::span<const double> values, std::uint64_t seed) noexcept {
+  return fnv1a64(values.data(), values.size_bytes(), seed);
+}
+
+std::uint64_t fingerprint_crs(const linalg::CrsMatrix& matrix,
+                              const linalg::SpectralTransform& transform) noexcept {
+  std::uint64_t h = kFnvOffset;
+  const std::uint64_t dims[2] = {matrix.rows(), matrix.cols()};
+  h = fnv1a64(dims, sizeof(dims), h);
+  h = fnv1a64(matrix.row_ptr().data(), matrix.row_ptr().size_bytes(), h);
+  h = fnv1a64(matrix.col_idx().data(), matrix.col_idx().size_bytes(), h);
+  h = fnv1a64(matrix.values().data(), matrix.values().size_bytes(), h);
+  const double scale[2] = {transform.center(), transform.half_width()};
+  h = fnv1a64(scale, sizeof(scale), h);
+  return h;
+}
+
+EngineClass engine_class_of(core::EngineKind kind) noexcept {
+  switch (kind) {
+    case core::EngineKind::CpuReference:
+    case core::EngineKind::CpuParallel:
+      // Bit-identical to each other at any thread count (tested property),
+      // so they share one cache class.
+      return EngineClass::Ref64;
+    case core::EngineKind::CpuPaired:
+      return EngineClass::Paired;
+    case core::EngineKind::Gpu:
+      return EngineClass::Gpu;
+    case core::EngineKind::GpuCluster:
+      return EngineClass::GpuCluster;
+  }
+  return EngineClass::Ref64;
+}
+
+const char* to_string(EngineClass c) noexcept {
+  switch (c) {
+    case EngineClass::Ref64:
+      return "ref64";
+    case EngineClass::Paired:
+      return "paired";
+    case EngineClass::Gpu:
+      return "gpu";
+    case EngineClass::GpuCluster:
+      return "gpu-cluster";
+  }
+  return "?";
+}
+
+std::uint64_t MomentKey::hash() const noexcept {
+  const std::uint64_t words[8] = {
+      content,
+      static_cast<std::uint64_t>(kind),
+      detail,
+      static_cast<std::uint64_t>(num_moments),
+      static_cast<std::uint64_t>(random_vectors),
+      static_cast<std::uint64_t>(realizations),
+      seed,
+      (static_cast<std::uint64_t>(vector_kind) << 8) |
+          static_cast<std::uint64_t>(engine_class),
+  };
+  return fnv1a64(words, sizeof(words));
+}
+
+MomentCache::MomentCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+const std::vector<double>* MomentCache::find(const MomentKey& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    stats_.misses += 1;
+    obs::add(obs::Counter::ServeCacheMisses, 1.0);
+    return nullptr;
+  }
+  stats_.hits += 1;
+  obs::add(obs::Counter::ServeCacheHits, 1.0);
+  lru_.splice(lru_.begin(), lru_, it->second);  // most recent
+  return &it->second->second;
+}
+
+void MomentCache::evict_to_fit(std::size_t incoming_bytes) {
+  while (!lru_.empty() && bytes_used_ + incoming_bytes > byte_budget_) {
+    const auto& victim = lru_.back();
+    bytes_used_ -= bytes_of(victim.second);
+    entries_.erase(victim.first);
+    lru_.pop_back();
+    stats_.evictions += 1;
+    obs::add(obs::Counter::ServeCacheEvictions, 1.0);
+  }
+}
+
+const std::vector<double>& MomentCache::insert(const MomentKey& key, std::vector<double> mu) {
+  KPM_REQUIRE(entries_.find(key) == entries_.end(),
+              "MomentCache::insert: key already present");
+  const std::size_t incoming = bytes_of(mu);
+  if (incoming > byte_budget_) {
+    // Does not fit even in an empty cache: hand the caller a stable home
+    // without disturbing resident entries.
+    unstored_ = std::move(mu);
+    return unstored_;
+  }
+  evict_to_fit(incoming);
+  lru_.emplace_front(key, std::move(mu));
+  entries_.emplace(key, lru_.begin());
+  bytes_used_ += incoming;
+  return lru_.front().second;
+}
+
+}  // namespace kpm::serve

@@ -1,0 +1,39 @@
+#include "serve/request.hpp"
+
+namespace kpm::serve {
+
+const char* to_string(RequestKind k) noexcept {
+  switch (k) {
+    case RequestKind::Dos:
+      return "dos";
+    case RequestKind::Ldos:
+      return "ldos";
+    case RequestKind::Sigma:
+      return "sigma";
+  }
+  return "?";
+}
+
+const char* to_string(ResponseStatus s) noexcept {
+  switch (s) {
+    case ResponseStatus::Ok:
+      return "ok";
+    case ResponseStatus::Rejected:
+      return "rejected";
+    case ResponseStatus::Expired:
+      return "expired";
+  }
+  return "?";
+}
+
+RequestKind kind_of(const Request& request) noexcept {
+  if (std::holds_alternative<DosRequest>(request)) return RequestKind::Dos;
+  if (std::holds_alternative<LdosRequest>(request)) return RequestKind::Ldos;
+  return RequestKind::Sigma;
+}
+
+const RequestBase& base_of(const Request& request) noexcept {
+  return std::visit([](const auto& r) -> const RequestBase& { return r; }, request);
+}
+
+}  // namespace kpm::serve

@@ -1,0 +1,110 @@
+// Typed requests and responses of the KPM serving layer.
+//
+// A request names a *registered model* (see serve::Server) plus the moment
+// and reconstruction parameters of one spectral query.  The three request
+// kinds mirror the library's three query pipelines: stochastic DoS, the
+// deterministic single-site LDOS, and the Kubo-Greenwood conductivity.
+// Every request carries admission metadata — a simulated arrival time,
+// a priority, an optional deadline — and an engine hint; the scheduler in
+// serve/server.hpp turns a vector of these into a vector of `Response`s
+// with full per-request accounting on the simulated clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "core/conductivity.hpp"
+#include "core/highlevel.hpp"
+#include "core/params.hpp"
+#include "core/reconstruct.hpp"
+
+namespace kpm::serve {
+
+/// Which query pipeline a request runs.
+enum class RequestKind { Dos, Ldos, Sigma };
+
+/// "dos", "ldos" or "sigma".
+[[nodiscard]] const char* to_string(RequestKind k) noexcept;
+
+/// Fields shared by every request kind.
+struct RequestBase {
+  std::uint64_t id = 0;          ///< client-assigned, unique within one run
+  std::string model;             ///< registered model name
+  double arrival_seconds = 0.0;  ///< simulated arrival time
+  int priority = 0;              ///< higher is served first
+  /// Absolute simulated deadline; <= 0 means none.  A queued request whose
+  /// deadline passes before service starts is shed as Expired.
+  double deadline_seconds = 0.0;
+  core::EngineKind engine = core::EngineKind::CpuParallel;  ///< engine hint
+  core::MomentParams moments;                               ///< N, R, S, seed, vector kind
+  core::ReconstructOptions reconstruct;                     ///< kernel, lambda, points
+};
+
+/// Stochastic density of states over the whole spectrum.
+struct DosRequest : RequestBase {};
+
+/// Deterministic local DoS at one site (R/S/seed are ignored: the LDOS
+/// recursion starts from the unit vector |site>, so requests differing only
+/// in stochastic parameters share one moment set).
+struct LdosRequest : RequestBase {
+  std::size_t site = 0;
+};
+
+/// Kubo-Greenwood conductivity along one lattice axis.  Uses the model's
+/// registered current operator for `axis`; `sigma` controls reconstruction
+/// (RequestBase::reconstruct is ignored for this kind).
+struct SigmaRequest : RequestBase {
+  std::size_t axis = 0;
+  core::ConductivityOptions sigma;
+};
+
+using Request = std::variant<DosRequest, LdosRequest, SigmaRequest>;
+
+[[nodiscard]] RequestKind kind_of(const Request& request) noexcept;
+[[nodiscard]] const RequestBase& base_of(const Request& request) noexcept;
+
+/// Terminal state of one request.
+enum class ResponseStatus {
+  Ok,        ///< served (possibly degraded — see Response::degraded)
+  Rejected,  ///< shed by admission control; retry_after_seconds is set
+  Expired,   ///< deadline passed while queued
+};
+
+/// "ok", "rejected" or "expired".
+[[nodiscard]] const char* to_string(ResponseStatus s) noexcept;
+
+inline constexpr std::size_t kNoBatch = static_cast<std::size_t>(-1);
+
+/// One request's result plus accounting.  All times are on the simulated
+/// serve clock (never wall time), so responses are bit-identical at any
+/// worker count — the property the replay tests pin down.
+struct Response {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::Dos;
+  ResponseStatus status = ResponseStatus::Ok;
+  bool cache_hit = false;   ///< moments came from the cache, no engine run
+  bool coalesced = false;   ///< rode a batch headed by another request
+  bool degraded = false;    ///< admitted at a reduced N (load shedding)
+  std::size_t batch = kNoBatch;      ///< service-round index, kNoBatch when shed
+  std::size_t batch_occupancy = 0;   ///< requests in the batch
+  std::size_t num_moments = 0;       ///< N actually served (degraded < requested)
+  std::string engine;                ///< normalized engine name (no thread suffix)
+  double arrival_seconds = 0.0;
+  double start_seconds = 0.0;        ///< service start (simulated)
+  double finish_seconds = 0.0;       ///< service end (simulated)
+  double retry_after_seconds = 0.0;  ///< rejected only: estimated queue drain
+
+  core::DosCurve curve;            ///< dos / ldos result
+  core::ConductivityCurve sigma;   ///< sigma result
+
+  [[nodiscard]] double wait_seconds() const noexcept {
+    return start_seconds - arrival_seconds;
+  }
+  [[nodiscard]] double service_seconds() const noexcept {
+    return finish_seconds - start_seconds;
+  }
+};
+
+}  // namespace kpm::serve

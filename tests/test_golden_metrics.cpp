@@ -22,6 +22,8 @@
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 #include "obs/report.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -260,17 +262,11 @@ TEST(GoldenMetrics, DeterministicFingerprintIsThreadAndRunInvariant) {
     }));
   };
   EXPECT_EQ(run(4), run(4));
-  // Different thread counts only differ through the engine-named span; the
-  // fingerprints must be identical after that one name is normalised out.
-  const auto normalised = [&](int threads) {
-    std::string fp = run(threads);
-    const std::string name = "cpu-parallel-x" + std::to_string(threads);
-    for (std::size_t at = fp.find(name); at != std::string::npos; at = fp.find(name))
-      fp.replace(at, name.size(), "cpu-parallel");
-    return fp;
-  };
-  const std::string reference = normalised(1);
-  for (int threads : {2, 4, 7}) EXPECT_EQ(normalised(threads), reference);
+  // The parallel engine's span is named "moments.cpu-parallel" with no
+  // thread suffix precisely so this holds RAW — no normalisation: the
+  // serving layer's replay fingerprints depend on it.
+  const std::string reference = run(1);
+  for (int threads : {2, 4, 7}) EXPECT_EQ(run(threads), reference);
 }
 
 TEST(GoldenMetrics, GpuReportIsFullyDeterministic) {
@@ -322,6 +318,98 @@ TEST(GoldenMetrics, SampledRunCountsScaleWithExecutedInstances) {
       collect([&] { (void)core::CpuMomentEngine().compute(op, g.params, /*sample=*/2); });
   EXPECT_EQ(counts[Counter::InstancesExecuted], 2.0);
   EXPECT_EQ(counts[Counter::SpmvCalls], 2.0 * (n - 1.0));
+}
+
+/// The golden serve workload: every admission-control path is taken exactly
+/// once per the scheduler's documented rules, so all serve_* counters have
+/// closed-form expectations.
+std::vector<serve::Request> golden_serve_workload() {
+  auto dos = [](std::uint64_t id, double arrival, std::uint64_t seed, std::size_t n,
+                std::size_t points) {
+    serve::DosRequest r;
+    r.id = id;
+    r.model = "m";
+    r.arrival_seconds = arrival;
+    r.moments.num_moments = n;
+    r.moments.random_vectors = 2;
+    r.moments.realizations = 2;
+    r.moments.seed = seed;
+    r.reconstruct.points = points;
+    return r;
+  };
+  serve::LdosRequest ldos;
+  ldos.id = 4;
+  ldos.model = "m";
+  ldos.arrival_seconds = 1e-6;
+  ldos.moments.num_moments = 64;
+  ldos.site = 7;
+  return {dos(1, 0.0, 5, 128, 32),   // batch 0 (head of line)
+          dos(2, 1e-6, 11, 64, 32),  // batch 1 head ...
+          dos(3, 1e-6, 11, 64, 48),  // ... same key: coalesces with id 2
+          ldos,                      // own batch
+          dos(5, 1e-6, 13, 64, 32),  // queue full -> degraded to N=32
+          dos(6, 1e-6, 17, 64, 32),  // degraded
+          dos(7, 1e-6, 19, 64, 32),  // degraded
+          dos(8, 1e-6, 23, 64, 32),  // 2x hard bound -> rejected
+          dos(9, 100.0, 11, 64, 24)};  // repeat of id 2's key -> cache hit
+}
+
+TEST(GoldenMetrics, ServeSchedulerCountsAreExact) {
+  serve::ServeConfig config;
+  config.workers = 2;
+  config.max_queue = 3;
+  config.max_batch = 3;
+  config.degrade_floor = 16;
+
+  obs::Report report;
+  {
+    obs::Collect collect(report);
+    serve::Server server(config);
+    server.register_model("m", lattice::build_tight_binding_crs(
+                                   lattice::HypercubicLattice::square(6, 6), {},
+                                   lattice::anderson_disorder(1.0, 3)));
+    (void)server.run(golden_serve_workload());
+  }
+  const obs::CounterSet& c = report.counters;
+  EXPECT_EQ(c[Counter::ServeRequests], 9.0);
+  EXPECT_EQ(c[Counter::ServeBatches], 7.0);
+  EXPECT_EQ(c[Counter::ServeCoalesced], 1.0);
+  EXPECT_EQ(c[Counter::ServeCacheMisses], 6.0);
+  EXPECT_EQ(c[Counter::ServeCacheHits], 1.0);
+  EXPECT_EQ(c[Counter::ServeCacheEvictions], 0.0);
+  EXPECT_EQ(c[Counter::ServeShedRejected], 1.0);
+  EXPECT_EQ(c[Counter::ServeShedDegraded], 3.0);
+  EXPECT_EQ(c[Counter::ServeShedExpired], 0.0);
+  // One occupancy sample per batch; their sum is the served request count.
+  EXPECT_EQ(report.histograms[obs::Histo::ServeBatchOccupancy].count(), 7u);
+  EXPECT_EQ(report.histograms[obs::Histo::ServeBatchOccupancy].sum(), 8u);
+  EXPECT_EQ(report.histograms[obs::Histo::ServeWaitNs].count(), 8u);
+}
+
+TEST(GoldenMetrics, ServeReplayFingerprintIsWorkerAndRunInvariant) {
+  const auto requests = golden_serve_workload();
+  const auto h = lattice::build_tight_binding_crs(lattice::HypercubicLattice::square(6, 6),
+                                                  {}, lattice::anderson_disorder(1.0, 3));
+  const auto fingerprint = [&](std::size_t workers) {
+    serve::ServeConfig config;
+    config.workers = workers;
+    config.max_queue = 3;
+    config.max_batch = 3;
+    config.degrade_floor = 16;
+    obs::Report report;
+    {
+      obs::Collect collect(report);
+      serve::Server server(config);
+      server.register_model("m", h);
+      (void)server.run(requests);
+      report.sections.push_back({"serve", server.section_json()});
+    }
+    return obs::deterministic_fingerprint(report);
+  };
+  const std::string reference = fingerprint(1);
+  EXPECT_EQ(fingerprint(1), reference) << "same workload, same bytes";
+  for (const std::size_t workers : {2u, 4u, 7u})
+    EXPECT_EQ(fingerprint(workers), reference) << "workers=" << workers;
 }
 
 }  // namespace

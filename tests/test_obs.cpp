@@ -533,4 +533,97 @@ TEST(Report, ModeledSpansLiveOnASimulatedClock) {
   EXPECT_EQ(report.histograms[obs::Histo::SpanModelNs].count(), 3u);
 }
 
+TEST(Report, SweepPointShardsHistogramsWithoutChangingTotals) {
+  obs::Report report;
+  {
+    obs::Collect collect(report);
+    {
+      obs::SweepPoint point(report, "load=0.5");
+      obs::record(obs::Histo::ServeWaitNs, 100);
+    }
+    {
+      obs::SweepPoint point(report, "load=1.0");
+      obs::record(obs::Histo::ServeWaitNs, 200);
+      obs::record(obs::Histo::ServeQueueDepth, 3);
+    }
+  }
+  ASSERT_EQ(report.histogram_series.size(), 2u);
+  EXPECT_EQ(report.histogram_series[0].label, "load=0.5");
+  EXPECT_EQ(report.histogram_series[0].histograms[obs::Histo::ServeWaitNs].count(), 1u);
+  EXPECT_EQ(report.histogram_series[1].histograms[obs::Histo::ServeWaitNs].sum(), 200u);
+  // Whole-run totals are unchanged by sharding: every point merges back in.
+  EXPECT_EQ(report.histograms[obs::Histo::ServeWaitNs].count(), 2u);
+  EXPECT_EQ(report.histograms[obs::Histo::ServeQueueDepth].count(), 1u);
+
+  const std::string json = obs::to_json(report);
+  EXPECT_NE(json.find("\"histogram_series\""), std::string::npos);
+  EXPECT_NE(json.find("\"point\": \"load=0.5\""), std::string::npos);
+
+  // The series is part of the deterministic projection: relabeling a point
+  // must change the fingerprint.
+  const std::string before = obs::deterministic_fingerprint(report);
+  report.histogram_series[0].label = "load=0.25";
+  EXPECT_NE(obs::deterministic_fingerprint(report), before);
+}
+
+TEST(Report, SectionsEnterTheDeterministicFingerprint) {
+  obs::Report report;
+  report.label = "sections";
+  const std::string before = obs::deterministic_fingerprint(report);
+  report.sections.push_back({"serve", "{\"schema\": \"kpm.serve/1\"}"});
+  EXPECT_NE(obs::deterministic_fingerprint(report), before)
+      << "report sections must be fingerprinted verbatim";
+}
+
+TEST(Trace, SpansAttributeCounterDeltasInclusively) {
+  obs::Report report;
+  {
+    obs::Collect collect(report);
+    obs::ScopedSpan outer("outer");
+    obs::add(obs::Counter::Flops, 100.0);
+    obs::add(obs::Counter::BytesStreamed, 10.0);
+    {
+      obs::ScopedSpan inner("inner");
+      obs::add(obs::Counter::Flops, 25.0);
+    }
+    obs::add(obs::Counter::Flops, 1.0);
+  }
+  const auto& spans = report.trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].flops, 126.0) << "span flops include children, like seconds";
+  EXPECT_EQ(spans[0].bytes_streamed, 10.0);
+  EXPECT_EQ(spans[1].flops, 25.0);
+  EXPECT_EQ(spans[1].bytes_streamed, 0.0);
+}
+
+TEST(Trace, SpanCounterAttributionNeedsASinkAtOpenAndClose) {
+  // Without a counter sink the deltas stay zero (no crash, no garbage).
+  obs::Report report;
+  {
+    obs::TraceScope scope(report.trace);
+    obs::ScopedSpan span("bare");
+    obs::add(obs::Counter::Flops, 7.0);  // dropped: no sink installed
+  }
+  ASSERT_EQ(report.trace.spans().size(), 1u);
+  EXPECT_EQ(report.trace.spans()[0].flops, 0.0);
+}
+
+TEST(Trace, TraceDetachSuppressesSpanRecording) {
+  obs::Report report;
+  {
+    obs::Collect collect(report);
+    obs::ScopedSpan outer("outer");
+    {
+      obs::TraceDetach detached;
+      obs::ScopedSpan hidden("hidden");  // plain stopwatch: not recorded
+    }
+    obs::ScopedSpan visible("visible");
+  }
+  const auto& spans = report.trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "visible");
+}
+
 }  // namespace

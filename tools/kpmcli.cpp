@@ -5,6 +5,7 @@
 //   kpmcli sigma   --lattice=square --edge=16 --disorder=2
 //   kpmcli thermo  --lattice=cubic --edge=8 --temperature=0.5
 //   kpmcli evolve  --sites=128 --time=20
+//   kpmcli serve   --replay=workload.json --workers=4
 //   kpmcli devices
 //
 // Every subcommand prints a table and (where meaningful) writes a CSV.
@@ -26,6 +27,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/hotspots.hpp"
 #include "obs/report.hpp"
+#include "serve/replay.hpp"
 
 namespace {
 
@@ -571,6 +573,79 @@ int cmd_profile(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_serve(int argc, const char* const* argv) {
+  CliParser cli("kpmcli serve",
+                "Replays a kpm.serve.workload/1 request trace through the deterministic "
+                "serving scheduler (batching coalescer, content-addressed moment cache, "
+                "admission control) and prints per-request accounting on the simulated "
+                "clock.  The deterministic fingerprint is identical at any --workers.");
+  const auto* replay = cli.add_string("replay", "", "workload JSON file (required)");
+  const auto* workers = cli.add_int("workers", 0, "worker lanes; 0 = workload config");
+  const ObsFlags obs_flags = add_obs_flags(cli);
+  cli.parse(argc, argv);
+  KPM_REQUIRE(!replay->empty(), "kpmcli serve: --replay=<workload.json> is required");
+
+  const serve::ReplayWorkload workload = serve::load_workload(*replay);
+  serve::ServeConfig config = workload.config;
+  if (*workers > 0) config.workers = static_cast<std::size_t>(*workers);
+
+  MetricsSink sink("kpmcli serve " + workload.label, obs_flags);
+  if (!sink.collect) sink.collect.emplace(sink.report);
+
+  serve::Server server(config);
+  serve::register_models(server, workload);
+  const auto responses = server.run(workload.requests);
+  sink.report.sections.push_back({"serve", server.section_json()});
+
+  Table table({"id", "kind", "status", "flags", "batch", "n", "wait s", "service s", "retry s"});
+  for (const auto& r : responses) {
+    std::string flags;
+    if (r.cache_hit) flags += "hit ";
+    if (r.coalesced) flags += "coal ";
+    if (r.degraded) flags += "degr ";
+    if (flags.empty()) flags = "-";
+    const bool served = r.status == serve::ResponseStatus::Ok;
+    table.add_row({std::to_string(r.id), serve::to_string(r.kind), serve::to_string(r.status),
+                   flags,
+                   r.batch == serve::kNoBatch ? "-" : std::to_string(r.batch),
+                   served ? std::to_string(r.num_moments) : "-",
+                   served ? strprintf("%.4f", r.wait_seconds()) : "-",
+                   served ? strprintf("%.4f", r.service_seconds()) : "-",
+                   r.status == serve::ResponseStatus::Rejected
+                       ? strprintf("%.4f", r.retry_after_seconds)
+                       : "-"});
+  }
+  const auto& stats = server.stats();
+  std::printf("workload '%s': %zu requests, %s, %zu workers\n\n", workload.label.c_str(),
+              workload.requests.size(), workload.models.size() == 1
+                                            ? "1 model"
+                                            : strprintf("%zu models", workload.models.size()).c_str(),
+              config.workers);
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "batches %llu (coalesced %llu) | cache %llu hit / %llu miss / %llu evicted | "
+      "shed: %llu rejected, %llu degraded, %llu expired\n",
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.coalesced),
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.misses),
+      static_cast<unsigned long long>(stats.cache.evictions),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.degraded),
+      static_cast<unsigned long long>(stats.expired));
+
+  sink.finish();
+  // Compact hash of the full deterministic fingerprint (counters, histograms,
+  // sections, deterministic span tree) — byte-identical at any worker count.
+  const std::string fingerprint = obs::deterministic_fingerprint(sink.report);
+  std::printf("deterministic fingerprint: %s\n",
+              strprintf("0x%016llx",
+                        static_cast<unsigned long long>(serve::fnv1a64(
+                            fingerprint.data(), fingerprint.size())))
+                  .c_str());
+  return 0;
+}
+
 int cmd_devices(int, const char* const*) {
   Table table({"device", "SMs", "DP peak", "bandwidth", "VRAM"});
   for (const auto& spec : {gpusim::DeviceSpec::geforce_gtx285(), gpusim::DeviceSpec::tesla_c2050(),
@@ -598,6 +673,7 @@ void usage() {
       "  slice    energy-filtered random state (delta filter)\n"
       "  ldosmap  ASCII LDOS map around an impurity\n"
       "  profile  profile one run: Perfetto trace, hotspot + roofline tables\n"
+      "  serve    replay a request trace through the deterministic serving layer\n"
       "  check    hazard analysis (racecheck/memcheck) over the GPU kernels\n"
       "  devices  list the simulated device presets\n\n"
       "run `kpmcli <subcommand> --help` for options\n");
@@ -624,6 +700,7 @@ int main(int argc, char** argv) {
     if (cmd == "slice") return cmd_slice(sub_argc, sub_argv);
     if (cmd == "ldosmap") return cmd_ldosmap(sub_argc, sub_argv);
     if (cmd == "profile") return cmd_profile(sub_argc, sub_argv);
+    if (cmd == "serve") return cmd_serve(sub_argc, sub_argv);
     if (cmd == "check") return cmd_check(sub_argc, sub_argv);
     if (cmd == "devices") return cmd_devices(sub_argc, sub_argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
