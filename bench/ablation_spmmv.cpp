@@ -1,0 +1,101 @@
+// Ablation: SpMV -> SpMMV vector blocking of the KPM recursion.
+//
+// One Chebyshev step streams the matrix once per random vector; blocking R
+// vectors into one SpMMV pass streams it once per GROUP, so the matrix
+// share of the per-step traffic drops by 1/R while the vector share is
+// unchanged (Kreutzer et al., arXiv:1410.5242).  This bench sweeps the
+// block width over the Fig. 5 cube lattice and reports, per width and per
+// storage layout (CRS and SELL-C-sigma):
+//
+//  * "AI"        — modeled flops / streamed byte of one fused step
+//                  (CpuWorkload::arithmetic_intensity; rises toward the
+//                  vector-traffic asymptote as R grows),
+//  * "model s"   — the i7-930 roofline on the blocked workload,
+//  * "wall s"    — the measured functional execution on THIS host.
+//
+// Every row reproduces the block=1 CRS moments BIT-FOR-BIT (the blocked
+// kernels' per-member arithmetic is the scalar sequence), which the bench
+// asserts before printing the table.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("ablation_spmmv", "SpMMV vector blocking of the KPM recursion");
+  const auto* l = cli.add_int("edge", 10, "lattice edge length");
+  const auto* n = cli.add_int("N", 256, "number of moments");
+  const auto* r = cli.add_int("R", 32, "random vectors (also the largest block width)");
+  const auto* sample = cli.add_int("sample", 0, "instances executed functionally (0 = all)");
+  const auto* csv = cli.add_string("csv", "ablation_spmmv.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
+  cli.parse(argc, argv);
+
+  bench::BenchMetrics metrics("ablation_spmmv");
+  KPM_REQUIRE(*r >= 1, "ablation_spmmv: --R must be >= 1");
+
+  const auto lat = lattice::HypercubicLattice::cubic(
+      static_cast<std::size_t>(*l), static_cast<std::size_t>(*l), static_cast<std::size_t>(*l));
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator raw(h);
+  const auto transform = linalg::make_spectral_transform(raw);
+  const auto ht_crs = linalg::rescale(h, transform);
+  const auto ht_sell = linalg::SellMatrix::from_crs(ht_crs);
+
+  core::MomentParams params;
+  params.num_moments = static_cast<std::size_t>(*n);
+  params.random_vectors = static_cast<std::size_t>(*r);
+  params.realizations = 1;
+
+  bench::print_banner("=== Ablation: SpMV -> SpMMV vector blocking ===",
+                      lat.describe() + ", N=" + std::to_string(params.num_moments), params,
+                      static_cast<std::size_t>(*sample));
+
+  // Block widths: powers of two up to R (inclusive of R itself).
+  std::vector<std::size_t> widths{1};
+  for (std::size_t b = 2; b < params.random_vectors; b *= 2) widths.push_back(b);
+  if (params.random_vectors > 1) widths.push_back(params.random_vectors);
+
+  Table table({"storage", "block", "AI", "model s", "model speedup", "wall s", "wall speedup"});
+  core::MomentResult baseline;
+  double max_diff = 0.0;
+  for (const bool sell : {false, true}) {
+    linalg::MatrixOperator op =
+        sell ? linalg::MatrixOperator(ht_sell) : linalg::MatrixOperator(ht_crs);
+    double model1 = 0.0, wall1 = 0.0;
+    for (const std::size_t b : widths) {
+      params.block_r = b;
+      core::CpuMomentEngine engine;
+      const auto result = engine.compute(op, params, static_cast<std::size_t>(*sample));
+      if (baseline.mu.empty()) baseline = result;
+      for (std::size_t k = 0; k < baseline.mu.size(); ++k)
+        max_diff = std::max(max_diff, std::abs(result.mu[k] - baseline.mu[k]));
+      if (b == 1) {
+        model1 = result.model_seconds;
+        wall1 = result.wall_seconds;
+      }
+      // Per-step arithmetic intensity of the blocked fused kernel: the
+      // matrix bytes amortize over b members, the 4D-doubles vector
+      // traffic does not.
+      const auto step = core::fused_step_workload(op, 1, b);
+      table.add_row({sell ? "SELL-C-sigma" : "CRS", strprintf("%zu", b),
+                     strprintf("%.3f", step.arithmetic_intensity()),
+                     strprintf("%.3f", result.model_seconds),
+                     strprintf("%.2fx", model1 / result.model_seconds),
+                     strprintf("%.4f", result.wall_seconds),
+                     result.wall_seconds > 0.0 ? strprintf("%.2fx", wall1 / result.wall_seconds)
+                                               : "-"});
+    }
+  }
+  KPM_REQUIRE(max_diff == 0.0, "ablation_spmmv: blocked moments must be bit-identical");
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
+  std::printf(
+      "\nmax |mu_blocked - mu_scalar| = %.3g over every width and both storages\n"
+      "expected: AI and model speedup rise with the block until the vector traffic\n"
+      "(4D doubles/step, not amortized) dominates; wall speedup tracks it on a\n"
+      "memory-bound host and saturates earlier when the matrix already fits in cache.\n",
+      max_diff);
+  return 0;
+}

@@ -116,7 +116,43 @@ class UninitReadKernel final : public gpusim::Kernel {
   const gpusim::DeviceBuffer<double>* buf_;
 };
 
-// 6. Stream hazard writer: a kernel that writes its buffer through a view
+// 6. SELL chunk staging: one block stages a SELL-C-sigma chunk into shared
+// memory before the SpMMV sweep — entry j of lane l belongs at shared slot
+// j*C + l (the chunk-interleaved layout).  The broken variant drops the
+// lane term and indexes by j alone, so all C lanes of the chunk collide on
+// the same slot every iteration; the clean twin writes disjoint slots and
+// reads its neighbour's column only after the phase barrier.
+class SellChunkStageKernel final : public gpusim::Kernel {
+ public:
+  SellChunkStageKernel(bool broken, std::size_t entries) : broken_(broken), entries_(entries) {}
+  [[nodiscard]] const char* name() const override { return "fixture-sell-chunk-stage"; }
+  [[nodiscard]] int phase_count() const override { return 2; }
+  void thread_phase(int phase, ThreadContext& t) override {
+    const std::size_t c = t.block().threads();  // chunk height C = one lane per thread
+    std::span<double> s = t.block().shared_array<double>(entries_ * c);
+    if (phase == 0) {
+      for (std::size_t j = 0; j < entries_; ++j) {
+        const std::size_t slot = broken_ ? j : j * c + t.tid();
+        t.shared_store(s, slot, static_cast<double>(j));
+      }
+    } else {
+      // Post-barrier SpMMV-style sweep: each lane walks the staged entries
+      // of the NEIGHBOURING lane's row, the cross-lane read the staging
+      // pass exists to make safe.
+      const std::size_t lane = (t.tid() + 1) % c;
+      double acc = 0.0;
+      for (std::size_t j = 0; j < entries_; ++j)
+        acc += t.shared_load(std::span<const double>(s), j * c + lane);
+      (void)acc;
+    }
+  }
+
+ private:
+  bool broken_;
+  std::size_t entries_;
+};
+
+// 7. Stream hazard writer: a kernel that writes its buffer through a view
 // so the stream-order analysis sees the write.
 class StreamWriterKernel final : public gpusim::Kernel {
  public:
@@ -188,6 +224,16 @@ std::vector<Finding> run_uninit_read(bool broken) {
   return checker.findings();
 }
 
+std::vector<Finding> run_sell_chunk_stage(bool broken) {
+  Checker checker;
+  Device device(gpusim::DeviceSpec::tesla_c2050());
+  device.set_check({&checker});
+  const std::size_t entries = 3;  // entries per lane in the staged chunk
+  SellChunkStageKernel kernel(broken, entries);
+  (void)device.launch(small_config(1, 4, entries * 4 * sizeof(double)), kernel);
+  return checker.findings();
+}
+
 std::vector<Finding> run_stream_hazard(bool broken) {
   Checker checker;
   Device device(gpusim::DeviceSpec::tesla_c2050());
@@ -210,7 +256,8 @@ std::vector<Finding> run_stream_hazard(bool broken) {
 
 std::vector<std::string> fixture_names() {
   return {"shared-race",  "shared-alloc-divergence", "local-alloc-divergence",
-          "global-race",  "uninit-read",             "stream-hazard"};
+          "global-race",  "uninit-read",             "sell-chunk-stage",
+          "stream-hazard"};
 }
 
 std::vector<Finding> run_fixture(const std::string& name, bool broken) {
@@ -219,6 +266,7 @@ std::vector<Finding> run_fixture(const std::string& name, bool broken) {
   if (name == "local-alloc-divergence") return run_local_alloc(broken);
   if (name == "global-race") return run_global_race(broken);
   if (name == "uninit-read") return run_uninit_read(broken);
+  if (name == "sell-chunk-stage") return run_sell_chunk_stage(broken);
   if (name == "stream-hazard") return run_stream_hazard(broken);
   KPM_FAIL("unknown check fixture: " + name);
 }

@@ -14,7 +14,8 @@
 namespace kpm::check {
 
 /// Names accepted by run_fixture: "shared-race", "shared-alloc-divergence",
-/// "local-alloc-divergence", "global-race", "uninit-read", "stream-hazard".
+/// "local-alloc-divergence", "global-race", "uninit-read",
+/// "sell-chunk-stage", "stream-hazard".
 [[nodiscard]] std::vector<std::string> fixture_names();
 
 /// Runs the named fixture on a small simulated device under a fresh

@@ -2,6 +2,8 @@
 
 #include <array>
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "common/error.hpp"
 #include "core/conductivity_gpu.hpp"
@@ -10,10 +12,14 @@
 #include "core/moments_gpu_chunked.hpp"
 #include "core/moments_hermitian_gpu.hpp"
 #include "core/moments_multigpu.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/view.hpp"
 #include "lattice/current.hpp"
 #include "lattice/hamiltonian.hpp"
 #include "lattice/lattice.hpp"
 #include "lattice/peierls.hpp"
+#include "linalg/fused_kernels.hpp"
+#include "linalg/sell_matrix.hpp"
 #include "linalg/spectral_transform.hpp"
 
 namespace kpm::check {
@@ -39,6 +45,96 @@ void run_moments(const core::GpuEngineConfig& cfg) {
   linalg::MatrixOperator op(h);
   core::GpuMomentEngine engine(cfg);
   (void)engine.compute(op, small_params());
+}
+
+// Blocked SELL-C-sigma SpMMV on the simulated device: block c owns chunk c,
+// lane l owns slot c*C + l.  Phase 0 stages the lane's entries into shared
+// memory at the chunk-interleaved slots j*C + l (the clean twin of the
+// `sell-chunk-stage` fixture); phase 1 sweeps the staged entries computing
+// all `b` members of the lane's logical output row.  Every y range is
+// disjoint across lanes (perm is a permutation), so the checker must stay
+// silent.
+class SellSpmmvKernel final : public gpusim::Kernel {
+ public:
+  SellSpmmvKernel(const linalg::SellMatrix& a, std::size_t block,
+                  const gpusim::DeviceBuffer<double>& x, gpusim::DeviceBuffer<double>& y)
+      : a_(&a), block_(block), x_(&x), y_(&y) {}
+  [[nodiscard]] const char* name() const override { return "sell-spmmv"; }
+  [[nodiscard]] int phase_count() const override { return 2; }
+
+  void thread_phase(int phase, gpusim::ThreadContext& t) override {
+    const std::size_t c = a_->chunk_size();
+    const std::size_t chunk = t.block().bid();
+    const auto base = static_cast<std::size_t>(a_->chunk_ptr()[chunk]);
+    const std::size_t width =
+        (static_cast<std::size_t>(a_->chunk_ptr()[chunk + 1]) - base) / c;
+    // One shared declaration per block: every lane requests the full chunk.
+    std::span<double> s = t.block().shared_array<double>(width * c);
+    const std::size_t slot = chunk * c + t.tid();
+    const auto len = static_cast<std::size_t>(a_->row_len()[slot]);  // 0 for padding slots
+    if (phase == 0) {
+      for (std::size_t j = 0; j < len; ++j)
+        t.shared_store(s, j * c + t.tid(), a_->values()[base + j * c + t.tid()]);
+      return;
+    }
+    if (len == 0) return;  // padding slot: no logical row to produce
+    const auto row = static_cast<std::size_t>(a_->perm()[slot]);
+    gpusim::GlobalView<double> xv(*x_, gpusim::AccessPattern::Coalesced, t.block().counters());
+    gpusim::GlobalView<double> yv(*y_, gpusim::AccessPattern::Coalesced, t.block().counters());
+    std::span<double> out = yv.bulk_store(row * block_, block_);
+    for (std::size_t m = 0; m < block_; ++m) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < len; ++j) {
+        const auto col = static_cast<std::size_t>(a_->col_idx()[base + j * c + t.tid()]);
+        acc += t.shared_load(std::span<const double>(s), j * c + t.tid()) *
+               xv.bulk_load(col * block_, block_)[m];
+      }
+      out[m] = acc;
+    }
+    t.block().flop(2.0 * static_cast<double>(len) * static_cast<double>(block_));
+  }
+
+ private:
+  const linalg::SellMatrix* a_;
+  std::size_t block_;
+  const gpusim::DeviceBuffer<double>* x_;
+  gpusim::DeviceBuffer<double>* y_;
+};
+
+// Runs the SELL SpMMV kernel over the cube lattice and cross-checks the
+// device result against the host blocked kernel (bit-identical: both sweep
+// each row's entries in CRS order).
+void run_spmmv_sell() {
+  const auto crs = cube_h_tilde();
+  const auto sell = linalg::SellMatrix::from_crs(crs, /*chunk_size=*/4, /*sort_window=*/8);
+  const std::size_t d = sell.rows();
+  const std::size_t b = 2;
+
+  std::vector<double> x(d * b);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = 1.0 / static_cast<double>(i + 1);  // deterministic, all-initialized
+
+  gpusim::Device device(gpusim::DeviceSpec::tesla_c2050());
+  auto x_dev = device.alloc<double>(x.size(), "spmmv-x");
+  auto y_dev = device.alloc<double>(x.size(), "spmmv-y");
+  device.copy_to_device(std::span<const double>(x), x_dev, "spmmv-h2d");
+  device.memset(y_dev);
+
+  gpusim::ExecConfig cfg;
+  cfg.grid = gpusim::Dim3{static_cast<std::uint32_t>(sell.chunks())};
+  cfg.block = gpusim::Dim3{static_cast<std::uint32_t>(sell.chunk_size())};
+  cfg.shared_bytes = sell.max_row_nnz() * sell.chunk_size() * sizeof(double);
+  SellSpmmvKernel kernel(sell, b, x_dev, y_dev);
+  (void)device.launch(cfg, kernel);
+
+  std::vector<double> y(x.size());
+  device.copy_to_host(y_dev, std::span<double>(y), "spmmv-d2h");
+
+  linalg::MatrixOperator op(sell);
+  std::vector<double> expected(x.size());
+  linalg::spmmv_multiply(op, b, x, expected);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    KPM_REQUIRE(y[i] == expected[i], "spmmv-sell: device result differs from host kernel");
 }
 
 void run_workload(const std::string& name) {
@@ -84,6 +180,8 @@ void run_workload(const std::string& name) {
     const std::array<std::size_t, 3> sites{0, 5, 13};
     core::GpuLdosEngine engine;
     (void)engine.compute(op, std::span<const std::size_t>(sites), 12);
+  } else if (name == "spmmv-sell") {
+    run_spmmv_sell();
   } else if (name == "conductivity") {
     const auto lat = lattice::HypercubicLattice::square(6, 6);
     const auto h = lattice::build_tight_binding_crs(lat);
@@ -103,7 +201,7 @@ void run_workload(const std::string& name) {
 std::vector<std::string> scenario_names() {
   return {"moments-gpu-block", "moments-gpu-thread", "moments-gpu-paired",
           "moments-gpu-chunked", "moments-multigpu",  "moments-hermitian",
-          "ldos",               "conductivity"};
+          "ldos",               "conductivity",       "spmmv-sell"};
 }
 
 ScenarioReport run_scenario(const std::string& name) {

@@ -23,7 +23,8 @@ struct ScenarioReport {
 };
 
 /// Names accepted by run_scenario, in execution order: the moment engines
-/// (block/thread/paired/chunked/multigpu/hermitian), LDOS and conductivity.
+/// (block/thread/paired/chunked/multigpu/hermitian), LDOS, conductivity,
+/// and the staged SELL-C-sigma SpMMV kernel ("spmmv-sell").
 [[nodiscard]] std::vector<std::string> scenario_names();
 
 /// Runs the named workload under a fresh Checker.  Throws kpm::Error for

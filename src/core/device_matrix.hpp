@@ -60,6 +60,9 @@ class DeviceMatrix {
   /// (charging allocation + PCIe time on `device`).
   DeviceMatrix(gpusim::Device& device, const linalg::MatrixOperator& op)
       : storage_(op.storage()), dim_(op.dim()), stored_entries_(op.stored_entries()) {
+    KPM_REQUIRE(storage_ != linalg::Storage::Sell,
+                "DeviceMatrix: SELL-C-sigma operators are host-only; upload the CRS form "
+                "for the GPU engines");
     if (storage_ == linalg::Storage::Dense) {
       const auto& m = *op.dense();
       values_ = device.alloc<double>(m.rows() * m.cols(), "H~ dense values");

@@ -22,7 +22,7 @@ void spmv_complex(const linalg::MatrixOperator& op, std::span<const Complex> x,
       for (std::size_t c = 0; c < d; ++c) acc += row[c] * x[c];
       y[r] = acc;
     }
-  } else {
+  } else if (op.storage() == linalg::Storage::Crs) {
     const auto& m = *op.crs();
     const auto row_ptr = m.row_ptr();
     const auto col_idx = m.col_idx();
@@ -34,6 +34,27 @@ void spmv_complex(const linalg::MatrixOperator& op, std::span<const Complex> x,
         acc += values[kk] * x[static_cast<std::size_t>(col_idx[kk])];
       }
       y[r] = acc;
+    }
+  } else {
+    const auto& m = *op.sell();
+    const auto chunk_ptr = m.chunk_ptr();
+    const auto row_len = m.row_len();
+    const auto perm = m.perm();
+    const auto col_idx = m.col_idx();
+    const auto values = m.values();
+    const std::size_t c_sz = m.chunk_size();
+    for (std::size_t c = 0; c < m.chunks(); ++c) {
+      const auto base = static_cast<std::size_t>(chunk_ptr[c]);
+      for (std::size_t l = 0; l < c_sz; ++l) {
+        const std::size_t slot = c * c_sz + l;
+        if (perm[slot] < 0) continue;
+        Complex acc{0.0, 0.0};
+        for (std::size_t j = 0; j < static_cast<std::size_t>(row_len[slot]); ++j) {
+          const std::size_t k = base + j * c_sz + l;
+          acc += values[k] * x[static_cast<std::size_t>(col_idx[k])];
+        }
+        y[static_cast<std::size_t>(perm[slot])] = acc;
+      }
     }
   }
 }

@@ -69,8 +69,20 @@ DosStudy compute_dos_study(const linalg::MatrixOperator& h, const DosStudyOption
   // 2. Rescale, keeping ownership of the storage that matches the input.
   linalg::DenseMatrix dense_tilde;
   linalg::CrsMatrix crs_tilde;
+  linalg::SellMatrix sell_tilde;
   std::unique_ptr<linalg::MatrixOperator> op_tilde;
-  if (h.storage() == linalg::Storage::Dense) {
+  if (options.use_sell_storage) {
+    KPM_REQUIRE(h.storage() == linalg::Storage::Crs,
+                "compute_dos_study: SELL storage needs a CRS input Hamiltonian");
+    KPM_REQUIRE(options.engine == EngineKind::CpuReference ||
+                    options.engine == EngineKind::CpuPaired ||
+                    options.engine == EngineKind::CpuParallel,
+                "compute_dos_study: SELL-C-sigma storage is host-only (CPU engines)");
+    crs_tilde = linalg::rescale(*h.crs(), study.transform);
+    sell_tilde =
+        linalg::SellMatrix::from_crs(crs_tilde, options.sell_chunk, options.sell_sigma);
+    op_tilde = std::make_unique<linalg::MatrixOperator>(sell_tilde);
+  } else if (h.storage() == linalg::Storage::Dense) {
     dense_tilde = linalg::rescale(*h.dense(), study.transform);
     op_tilde = std::make_unique<linalg::MatrixOperator>(dense_tilde);
   } else {

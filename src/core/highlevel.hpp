@@ -59,6 +59,9 @@ struct DosStudyOptions {
   std::size_t sample_instances = 0;   ///< 0 = execute all instances
   double bounds_epsilon = 0.01;       ///< spectral padding
   bool use_lanczos_bounds = false;    ///< tighter bounds via Lanczos instead of Gershgorin
+  bool use_sell_storage = false;      ///< run CPU engines on SELL-C-sigma H~ (CRS input only)
+  std::size_t sell_chunk = 32;        ///< SELL C (chunk height)
+  std::size_t sell_sigma = 256;       ///< SELL sigma (sort window)
 };
 
 /// Everything a DoS study produces.

@@ -1,5 +1,7 @@
 #include "core/ldos.hpp"
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -60,17 +62,66 @@ DosCurve ldos_curve(const linalg::MatrixOperator& h_tilde,
 }
 
 std::vector<double> deterministic_trace_moments(const linalg::MatrixOperator& h_tilde,
-                                                std::size_t num_moments) {
+                                                std::size_t num_moments, std::size_t block) {
   KPM_REQUIRE(num_moments >= 1, "deterministic_trace_moments: need at least one moment");
+  KPM_REQUIRE(block >= 1, "deterministic_trace_moments: block must be >= 1");
   obs::ScopedSpan span("ldos.deterministic-trace");
   obs::add(obs::Counter::MomentsProduced, static_cast<double>(num_moments));
   const std::size_t d = h_tilde.dim();
-  std::vector<double> e(d, 0.0);
-  std::vector<double> mu(num_moments, 0.0);
-  for (std::size_t site = 0; site < d; ++site) {
-    e.assign(d, 0.0);
-    e[site] = 1.0;
-    accumulate_recursion_moments(h_tilde, e, mu);
+  const std::size_t n = num_moments;
+  std::vector<double> mu(n, 0.0);
+  if (block <= 1) {
+    std::vector<double> e(d, 0.0);
+    for (std::size_t site = 0; site < d; ++site) {
+      e.assign(d, 0.0);
+      e[site] = 1.0;
+      accumulate_recursion_moments(h_tilde, e, mu);
+    }
+  } else {
+    // Blocked basis sweep: `block` unit vectors share each matrix stream.
+    // Member rows are summed in site order, so the result is bit-identical
+    // to the per-vector sweep.
+    std::vector<double> e(d * block), r_prev2(d * block), r_prev(d * block),
+        r_next(d * block), dots(block), rows(block * n);
+    for (std::size_t first = 0; first < d; first += block) {
+      const std::size_t b = std::min(block, d - first);
+      const std::size_t len = d * b;
+      const auto sub = [len](std::vector<double>& v) {
+        return std::span<double>(v.data(), len);
+      };
+      const std::span<double> dv(dots.data(), b);
+      std::fill(e.begin(), e.begin() + static_cast<std::ptrdiff_t>(len), 0.0);
+      for (std::size_t j = 0; j < b; ++j) e[(first + j) * b + j] = 1.0;
+      std::fill(rows.begin(), rows.end(), 0.0);
+
+      obs::add(obs::Counter::InstancesExecuted, static_cast<double>(b));
+      std::copy(e.begin(), e.begin() + static_cast<std::ptrdiff_t>(len), r_prev2.begin());
+      obs::meter_stream_bytes(2.0 * static_cast<double>(len) * sizeof(double));
+      linalg::block_dot(sub(e), sub(e), b, dv);
+      for (std::size_t j = 0; j < b; ++j) {
+        rows[j * n] += dv[j];
+        obs::meter_dot(d);
+      }
+      if (n > 1) {
+        linalg::spmmv_multiply(h_tilde, b, sub(e), sub(r_prev));
+        linalg::block_dot(sub(e), sub(r_prev), b, dv);
+        for (std::size_t j = 0; j < b; ++j) {
+          rows[j * n + 1] += dv[j];
+          obs::meter_dot(d);
+        }
+        for (std::size_t k = 2; k < n; ++k) {
+          linalg::spmmv_combine_dot(h_tilde, b, sub(r_prev), sub(r_prev2), sub(e),
+                                    sub(r_next), dv);
+          for (std::size_t j = 0; j < b; ++j) rows[j * n + k] += dv[j];
+          std::swap(r_prev2, r_prev);
+          std::swap(r_prev, r_next);
+        }
+      }
+      for (std::size_t j = 0; j < b; ++j) {
+        const double* row = rows.data() + j * n;
+        for (std::size_t k = 0; k < n; ++k) mu[k] += row[k];
+      }
+    }
   }
   for (double& m : mu) m /= static_cast<double>(d);
   return mu;

@@ -29,7 +29,10 @@ namespace kpm::core {
 /// Deterministic full-trace moments: mu_n = (1/D) sum_i <i|T_n(H~)|i>,
 /// exact (up to roundoff) but O(D) recursions — the "R = D basis vectors"
 /// limit of the stochastic estimator.  Ground truth for estimator tests.
+/// `block` > 1 advances that many basis vectors per matrix pass (blocked
+/// SpMMV recursion; bit-identical to the per-vector sweep).
 [[nodiscard]] std::vector<double> deterministic_trace_moments(const linalg::MatrixOperator& h_tilde,
-                                                              std::size_t num_moments);
+                                                              std::size_t num_moments,
+                                                              std::size_t block = 1);
 
 }  // namespace kpm::core

@@ -1,5 +1,6 @@
 #include "core/moments_cpu.hpp"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -79,6 +80,122 @@ cpumodel::CpuWorkload reference_workload(const linalg::MatrixOperator& op, std::
   return instance_work;
 }
 
+// ---------------------------------------------------------------------------
+// Blocked (SpMMV) paths.  A group of B instances advances through one
+// recursion in the interleaved block layout; each member's arithmetic is
+// bit-identical to the per-vector path on the same RNG stream, so summing
+// member rows in instance order reproduces the serial reference exactly.
+
+/// Reusable vectors of one group's blocked recursion (up to `block`
+/// interleaved members; ragged final groups use length-d*b prefixes).
+struct BlockWorkspace {
+  std::size_t block;
+  std::vector<double> r0, r_prev2, r_prev, r_next, dots;
+  BlockWorkspace(std::size_t d, std::size_t b)
+      : block(b), r0(d * b), r_prev2(d * b), r_prev(d * b), r_next(d * b), dots(b) {}
+};
+
+/// Runs instances [first, first + b) as one blocked recursion (b <=
+/// ws.block), adding member j's mu~ contributions into mu_rows[j*n, j*n+n).
+void accumulate_group(const linalg::MatrixOperator& h_tilde, const MomentParams& params,
+                      std::size_t first, std::size_t b, BlockWorkspace& ws, std::size_t n,
+                      std::span<double> mu_rows) {
+  const std::size_t d = h_tilde.dim();
+  const std::size_t len = d * b;
+  const auto sub = [len](std::vector<double>& v) { return std::span<double>(v.data(), len); };
+  const std::span<double> dots(ws.dots.data(), b);
+  obs::add(obs::Counter::InstancesExecuted, static_cast<double>(b));
+  fill_random_vector_block(params, first, b, sub(ws.r0));
+
+  linalg::block_dot(sub(ws.r0), sub(ws.r0), b, dots);
+  for (std::size_t j = 0; j < b; ++j) {
+    mu_rows[j * n] += dots[j];
+    obs::meter_dot(d);
+  }
+  linalg::spmmv_multiply(h_tilde, b, sub(ws.r0), sub(ws.r_prev));
+  if (n > 1) {
+    linalg::block_dot(sub(ws.r0), sub(ws.r_prev), b, dots);
+    for (std::size_t j = 0; j < b; ++j) {
+      mu_rows[j * n + 1] += dots[j];
+      obs::meter_dot(d);
+    }
+  }
+  std::copy(ws.r0.begin(), ws.r0.begin() + static_cast<std::ptrdiff_t>(len),
+            ws.r_prev2.begin());
+  obs::meter_stream_bytes(2.0 * static_cast<double>(len) * sizeof(double));
+
+  for (std::size_t k = 2; k < n; ++k) {
+    linalg::spmmv_combine_dot(h_tilde, b, sub(ws.r_prev), sub(ws.r_prev2), sub(ws.r0),
+                              sub(ws.r_next), dots);
+    for (std::size_t j = 0; j < b; ++j) mu_rows[j * n + k] += dots[j];
+    std::swap(ws.r_prev2, ws.r_prev);
+    std::swap(ws.r_prev, ws.r_next);
+  }
+}
+
+/// Serial blocked runner: groups of `block` instances in order, member rows
+/// summed in instance order right after each group.
+void run_blocked_recursion(const linalg::MatrixOperator& h_tilde, const MomentParams& params,
+                           std::size_t executed, std::size_t block,
+                           std::uint64_t instance_ticks, std::vector<double>& mu_sum) {
+  const std::size_t n = mu_sum.size();
+  BlockWorkspace ws(h_tilde.dim(), block);
+  std::vector<double> rows(block * n);
+  const std::size_t groups = (executed + block - 1) / block;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t first = g * block;
+    const std::size_t b = std::min(block, executed - first);
+    std::fill(rows.begin(), rows.end(), 0.0);
+    accumulate_group(h_tilde, params, first, b, ws, n, rows);
+    for (std::size_t j = 0; j < b; ++j) {
+      const double* row = rows.data() + j * n;
+      for (std::size_t k = 0; k < n; ++k) mu_sum[k] += row[k];
+      obs::record(obs::Histo::InstanceModelNs, instance_ticks);
+    }
+  }
+}
+
+/// Reference workload of ONE blocked group of `b` members: same uniform
+/// (N - 1)-step charging as reference_workload, with the matrix traffic of
+/// every step amortized across the block.
+cpumodel::CpuWorkload blocked_group_workload(const linalg::MatrixOperator& op, std::size_t n,
+                                             std::size_t b) {
+  const auto dd = static_cast<double>(op.dim());
+  const auto bb = static_cast<double>(b);
+  const cpumodel::CpuWorkload per_step = fused_step_workload(op, /*dots=*/1, b);
+  cpumodel::CpuWorkload w;
+  w.flops = (10.0 * dd + 2.0 * dd) * bb;
+  w.bytes_streamed = 2.0 * dd * sizeof(double) * bb;
+  w.working_set_bytes = per_step.working_set_bytes;
+  for (std::size_t k = 1; k < n; ++k) w += per_step;
+  return w;
+}
+
+/// Total blocked reference workload: full groups of `block` plus one ragged
+/// group for the remainder.
+cpumodel::CpuWorkload blocked_reference_workload(const linalg::MatrixOperator& op,
+                                                 std::size_t n, std::size_t total,
+                                                 std::size_t block) {
+  const std::size_t full = total / block;
+  const std::size_t rem = total % block;
+  cpumodel::CpuWorkload w = blocked_group_workload(op, n, block);
+  const double ws_bytes = w.working_set_bytes;
+  w.scale(static_cast<double>(full));
+  w.working_set_bytes = full > 0 ? ws_bytes : 0.0;
+  if (rem > 0) w += blocked_group_workload(op, n, rem);
+  return w;
+}
+
+/// Per-instance modeled ticks on the blocked serial model: one full group's
+/// modeled time split evenly across its members.
+std::uint64_t blocked_instance_ticks(const cpumodel::CpuSpec& spec,
+                                     const linalg::MatrixOperator& op, std::size_t n,
+                                     std::size_t block) {
+  const double group_seconds =
+      cpumodel::model_cpu_time(spec, blocked_group_workload(op, n, block)).seconds;
+  return obs::seconds_to_ns_ticks(group_seconds / static_cast<double>(block));
+}
+
 }  // namespace
 
 // Definition of the per-step workload model declared in moments_cpu.hpp.
@@ -88,21 +205,24 @@ cpumodel::CpuWorkload reference_workload(const linalg::MatrixOperator& op, std::
 // extra operand stream (r_next never leaves the register).  Flops are
 // unchanged by fusion.  Reused by all three engines' cost accounting, and
 // mirrored by the fused kernels' obs meters.
-cpumodel::CpuWorkload fused_step_workload(const linalg::MatrixOperator& op, std::size_t dots) {
+cpumodel::CpuWorkload fused_step_workload(const linalg::MatrixOperator& op, std::size_t dots,
+                                          std::size_t block) {
   const auto d = static_cast<double>(op.dim());
+  const auto b = static_cast<double>(block);
   cpumodel::CpuWorkload w;
-  // SpMV: 2 flops per stored entry; streams matrix bytes + x read + y write.
-  w.flops = static_cast<double>(op.spmv_flops());
-  w.bytes_streamed = static_cast<double>(op.spmv_matrix_bytes()) + 2.0 * d * sizeof(double);
+  // SpMV: 2 flops per stored entry PER MEMBER; the matrix streams once for
+  // the whole block (the 1/B amortization), x read + y write per member.
+  w.flops = b * static_cast<double>(op.spmv_flops());
+  w.bytes_streamed = static_cast<double>(op.spmv_matrix_bytes()) + 2.0 * b * d * sizeof(double);
   // Fused combine next = 2 hx - prev2: 2 flops/element, one extra read.
-  w.flops += 2.0 * d;
-  w.bytes_streamed += d * sizeof(double);
+  w.flops += 2.0 * b * d;
+  w.bytes_streamed += b * d * sizeof(double);
   // Fused dot products: 2 flops/element, one extra operand stream each.
-  w.flops += 2.0 * d * static_cast<double>(dots);
-  w.bytes_streamed += d * sizeof(double) * static_cast<double>(dots);
-  // Working set per pass: the matrix plus the four live vectors.
+  w.flops += 2.0 * b * d * static_cast<double>(dots);
+  w.bytes_streamed += b * d * sizeof(double) * static_cast<double>(dots);
+  // Working set per pass: the matrix plus the four live block vectors.
   w.working_set_bytes =
-      static_cast<double>(op.spmv_matrix_bytes()) + 4.0 * d * sizeof(double);
+      static_cast<double>(op.spmv_matrix_bytes()) + 4.0 * b * d * sizeof(double);
   return w;
 }
 
@@ -115,6 +235,18 @@ void fill_random_vector(const MomentParams& params, std::uint64_t stream, std::s
   for (std::size_t i = 0; i < r0.size(); ++i)
     r0[i] = rng::draw_random_element(params.vector_kind, params.seed, stream, i);
   obs::add(obs::Counter::RngElements, static_cast<double>(r0.size()));
+}
+
+void fill_random_vector_block(const MomentParams& params, std::uint64_t first_stream,
+                              std::size_t block, std::span<double> r0_block) {
+  KPM_REQUIRE(block >= 1 && r0_block.size() % block == 0,
+              "fill_random_vector_block: bad block shape");
+  const std::size_t d = r0_block.size() / block;
+  for (std::size_t j = 0; j < block; ++j)
+    for (std::size_t i = 0; i < d; ++i)
+      r0_block[i * block + j] =
+          rng::draw_random_element(params.vector_kind, params.seed, first_stream + j, i);
+  obs::add(obs::Counter::RngElements, static_cast<double>(r0_block.size()));
 }
 
 std::size_t resolve_sample_count(std::size_t sample, std::size_t total) {
@@ -135,15 +267,23 @@ MomentResult CpuMomentEngine::compute(const linalg::MatrixOperator& h_tilde,
   const std::size_t total = params.instances();
   const std::size_t executed = resolve_sample_count(sample_instances, total);
 
+  const std::size_t block = params.block_r;
+
   obs::ScopedSpan span("moments." + name());
   obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);
-  // Per-instance modeled cost on the *serial* model for all engine variants,
-  // so the histogram is bit-identical between the serial and parallel paths.
-  const std::uint64_t instance_ticks = obs::seconds_to_ns_ticks(
-      cpumodel::model_cpu_time(spec_, reference_workload(h_tilde, n, 1)).seconds);
-  run_reference_recursion(h_tilde, params, executed, instance_ticks, mu_sum);
+  if (block <= 1) {
+    // Per-instance modeled cost on the *serial* model for all engine
+    // variants, so the histogram is bit-identical between the serial and
+    // parallel paths.
+    const std::uint64_t instance_ticks = obs::seconds_to_ns_ticks(
+        cpumodel::model_cpu_time(spec_, reference_workload(h_tilde, n, 1)).seconds);
+    run_reference_recursion(h_tilde, params, executed, instance_ticks, mu_sum);
+  } else {
+    const std::uint64_t instance_ticks = blocked_instance_ticks(spec_, h_tilde, n, block);
+    run_blocked_recursion(h_tilde, params, executed, block, instance_ticks, mu_sum);
+  }
 
   MomentResult result;
   result.engine = name();
@@ -160,9 +300,10 @@ MomentResult CpuMomentEngine::compute(const linalg::MatrixOperator& h_tilde,
   // Cost model: see reference_workload() — fill + mu~_0 dot + (N - 1)
   // steps of fused SpMV + combine + dot per instance (charging the
   // combine-free k = 1 step uniformly overstates work by 2D flops out of
-  // O(N * nnz)).
-  const cpumodel::CpuStats stats =
-      cpumodel::model_cpu_time(spec_, reference_workload(h_tilde, n, total));
+  // O(N * nnz)).  Blocked runs amortize the matrix stream across the block.
+  const cpumodel::CpuStats stats = cpumodel::model_cpu_time(
+      spec_, block <= 1 ? reference_workload(h_tilde, n, total)
+                        : blocked_reference_workload(h_tilde, n, total, block));
   result.model_seconds = stats.seconds;
   result.compute_seconds = stats.compute_seconds;
   return result;
@@ -188,20 +329,31 @@ MomentResult CpuParallelMomentEngine::compute(const linalg::MatrixOperator& h_ti
   // Stable span name (no thread-count suffix, unlike name()): span names
   // participate in deterministic report fingerprints, which must be
   // identical at any thread count.
+  const std::size_t block = params.block_r;
+  // Parallelism is distributed over GROUPS of `block` instances (groups are
+  // formed before distribution, so the grouping — and hence every computed
+  // value — is independent of the thread count).
+  const std::size_t groups = block <= 1 ? executed : (executed + block - 1) / block;
+
   obs::ScopedSpan span("moments.cpu-parallel");
   obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);
-  const bool serial_path = threads_ == 1 || executed == 1;
+  const bool serial_path = threads_ == 1 || groups == 1;
   // Same serial per-instance modeled cost as CpuMomentEngine (never the
   // parallel model), so histograms match the reference engine bit-for-bit
   // at every thread count.
-  const std::uint64_t instance_ticks = obs::seconds_to_ns_ticks(
-      cpumodel::model_cpu_time(spec_, reference_workload(h_tilde, n, 1)).seconds);
+  const std::uint64_t instance_ticks =
+      block <= 1 ? obs::seconds_to_ns_ticks(
+                       cpumodel::model_cpu_time(spec_, reference_workload(h_tilde, n, 1)).seconds)
+                 : blocked_instance_ticks(spec_, h_tilde, n, block);
 
   if (serial_path) {
     // No parallelism to exploit: skip the pool and contribution buffer.
-    run_reference_recursion(h_tilde, params, executed, instance_ticks, mu_sum);
+    if (block <= 1)
+      run_reference_recursion(h_tilde, params, executed, instance_ticks, mu_sum);
+    else
+      run_blocked_recursion(h_tilde, params, executed, block, instance_ticks, mu_sum);
   } else {
     if (!pool_ || pool_->size() != static_cast<std::size_t>(threads_))
       pool_ = std::make_unique<common::ThreadPool>(static_cast<std::size_t>(threads_));
@@ -216,15 +368,33 @@ MomentResult CpuParallelMomentEngine::compute(const linalg::MatrixOperator& h_ti
     // integers) are bit-identical for any thread count — the same property
     // the instance-ordered moment summation below gives the mu values.
     std::vector<double> contributions(executed * n, 0.0);
-    obs::sharded_parallel_for(
-        *pool_, executed, [&](std::size_t /*lane*/, std::size_t begin, std::size_t end) {
-          RecursionWorkspace ws(d);
-          const std::span<double> rows(contributions);
-          for (std::size_t inst = begin; inst < end; ++inst) {
-            accumulate_instance(h_tilde, params, inst, ws, rows.subspan(inst * n, n));
-            obs::record(obs::Histo::InstanceModelNs, instance_ticks);
-          }
-        });
+    if (block <= 1) {
+      obs::sharded_parallel_for(
+          *pool_, executed, [&](std::size_t /*lane*/, std::size_t begin, std::size_t end) {
+            RecursionWorkspace ws(d);
+            const std::span<double> rows(contributions);
+            for (std::size_t inst = begin; inst < end; ++inst) {
+              accumulate_instance(h_tilde, params, inst, ws, rows.subspan(inst * n, n));
+              obs::record(obs::Histo::InstanceModelNs, instance_ticks);
+            }
+          });
+    } else {
+      obs::sharded_parallel_for(
+          *pool_, groups, [&](std::size_t /*lane*/, std::size_t begin, std::size_t end) {
+            BlockWorkspace ws(d, block);
+            const std::span<double> rows(contributions);
+            for (std::size_t g = begin; g < end; ++g) {
+              const std::size_t first = g * block;
+              const std::size_t b = std::min(block, executed - first);
+              // Instance-major rows: a group's members occupy consecutive
+              // rows, so its output slice is contiguous.
+              accumulate_group(h_tilde, params, first, b, ws, n,
+                               rows.subspan(first * n, b * n));
+              for (std::size_t j = 0; j < b; ++j)
+                obs::record(obs::Histo::InstanceModelNs, instance_ticks);
+            }
+          });
+    }
     for (std::size_t inst = 0; inst < executed; ++inst) {
       const double* row = contributions.data() + inst * n;
       for (std::size_t k = 0; k < n; ++k) mu_sum[k] += row[k];
@@ -244,7 +414,9 @@ MomentResult CpuParallelMomentEngine::compute(const linalg::MatrixOperator& h_ti
   for (std::size_t k = 0; k < n; ++k) result.mu[k] = mu_sum[k] / denom;
 
   const cpumodel::CpuStats stats = cpumodel::model_cpu_time_parallel(
-      spec_, reference_workload(h_tilde, n, total), threads_);
+      spec_, block <= 1 ? reference_workload(h_tilde, n, total)
+                        : blocked_reference_workload(h_tilde, n, total, block),
+      threads_);
   result.model_seconds = stats.seconds;
   result.compute_seconds = stats.compute_seconds;
   return result;
@@ -263,57 +435,124 @@ MomentResult CpuPairedMomentEngine::compute(const linalg::MatrixOperator& h_tild
   const std::size_t total = params.instances();
   const std::size_t executed = resolve_sample_count(sample_instances, total);
 
+  const std::size_t block = params.block_r;
+
   obs::ScopedSpan span("moments." + name());
   obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);
-  RecursionWorkspace ws(d);
 
   // Moments n = 0..N-1 from Chebyshev vectors up to index ceil(N/2):
   // the k-th iteration (k >= 1) yields mu_{2k} and mu_{2k+1}.
   const std::size_t half = (n + 1) / 2;
 
-  // Cost model per instance: fill + mu0/mu1 dots + (half - 1) fused steps
-  // of SpMV + combine + 2 dots.
+  // Cost model per group of b: fill + mu0/mu1 dots + (half - 1) fused steps
+  // of SpMV + combine + 2 dots, the matrix streaming once per step.
   const auto dd = static_cast<double>(d);
-  cpumodel::CpuWorkload instance_work;
-  instance_work.flops = 10.0 * dd + 4.0 * dd;
-  instance_work.bytes_streamed = 3.0 * dd * sizeof(double);
-  const cpumodel::CpuWorkload per_step = fused_step_workload(h_tilde, /*dots=*/2);
-  instance_work.working_set_bytes = per_step.working_set_bytes;
-  for (std::size_t k = 1; k < half; ++k) instance_work += per_step;
-  const std::uint64_t instance_ticks =
-      obs::seconds_to_ns_ticks(cpumodel::model_cpu_time(spec_, instance_work).seconds);
+  const auto paired_group_work = [&](std::size_t b) {
+    const auto bb = static_cast<double>(b);
+    cpumodel::CpuWorkload w;
+    w.flops = (10.0 * dd + 4.0 * dd) * bb;
+    w.bytes_streamed = 3.0 * dd * sizeof(double) * bb;
+    const cpumodel::CpuWorkload per_step = fused_step_workload(h_tilde, /*dots=*/2, b);
+    w.working_set_bytes = per_step.working_set_bytes;
+    for (std::size_t k = 1; k < half; ++k) w += per_step;
+    return w;
+  };
+  const std::uint64_t instance_ticks = obs::seconds_to_ns_ticks(
+      cpumodel::model_cpu_time(spec_, paired_group_work(block)).seconds /
+      static_cast<double>(block));
 
-  for (std::size_t inst = 0; inst < executed; ++inst) {
-    obs::record(obs::Histo::InstanceModelNs, instance_ticks);
-    obs::add(obs::Counter::InstancesExecuted, 1.0);
-    fill_random_vector(params, inst, ws.r0);
+  if (block <= 1) {
+    RecursionWorkspace ws(d);
+    for (std::size_t inst = 0; inst < executed; ++inst) {
+      obs::record(obs::Histo::InstanceModelNs, instance_ticks);
+      obs::add(obs::Counter::InstancesExecuted, 1.0);
+      fill_random_vector(params, inst, ws.r0);
 
-    const double mu0 = linalg::dot(ws.r0, ws.r0);
-    obs::meter_dot(d);
-    mu_sum[0] += mu0;
-    h_tilde.multiply(ws.r0, ws.r_prev);  // r_1
-    obs::meter_spmv(h_tilde.spmv_flops(), h_tilde.spmv_matrix_bytes(), d);
-    const double mu1 = linalg::dot(ws.r0, ws.r_prev);
-    obs::meter_dot(d);
-    if (n > 1) mu_sum[1] += mu1;
-    linalg::copy(ws.r0, ws.r_prev2);  // r_0
-    obs::meter_stream_bytes(2.0 * static_cast<double>(d) * sizeof(double));
+      const double mu0 = linalg::dot(ws.r0, ws.r0);
+      obs::meter_dot(d);
+      mu_sum[0] += mu0;
+      h_tilde.multiply(ws.r0, ws.r_prev);  // r_1
+      obs::meter_spmv(h_tilde.spmv_flops(), h_tilde.spmv_matrix_bytes(), d);
+      const double mu1 = linalg::dot(ws.r0, ws.r_prev);
+      obs::meter_dot(d);
+      if (n > 1) mu_sum[1] += mu1;
+      linalg::copy(ws.r0, ws.r_prev2);  // r_0
+      obs::meter_stream_bytes(2.0 * static_cast<double>(d) * sizeof(double));
 
-    for (std::size_t k = 1; k < half; ++k) {
-      // Here r_prev = r_k, r_prev2 = r_{k-1}.  One fused pass advances
-      // r_{k+1} = 2 H~ r_k - r_{k-1} and yields both dot products:
-      //   mu_{2k}   = 2 <r_k | r_k>     - mu_0
-      //   mu_{2k+1} = 2 <r_{k+1} | r_k> - mu_1.
-      const auto dots = linalg::spmv_combine_dot2(h_tilde, ws.r_prev, ws.r_prev2, ws.r_next);
-      const std::size_t even = 2 * k;
-      if (even < n) mu_sum[even] += 2.0 * dots.prev_prev - mu0;
-      const std::size_t odd = 2 * k + 1;
-      if (odd < n) mu_sum[odd] += 2.0 * dots.next_prev - mu1;
+      for (std::size_t k = 1; k < half; ++k) {
+        // Here r_prev = r_k, r_prev2 = r_{k-1}.  One fused pass advances
+        // r_{k+1} = 2 H~ r_k - r_{k-1} and yields both dot products:
+        //   mu_{2k}   = 2 <r_k | r_k>     - mu_0
+        //   mu_{2k+1} = 2 <r_{k+1} | r_k> - mu_1.
+        const auto dots = linalg::spmv_combine_dot2(h_tilde, ws.r_prev, ws.r_prev2, ws.r_next);
+        const std::size_t even = 2 * k;
+        if (even < n) mu_sum[even] += 2.0 * dots.prev_prev - mu0;
+        const std::size_t odd = 2 * k + 1;
+        if (odd < n) mu_sum[odd] += 2.0 * dots.next_prev - mu1;
 
-      std::swap(ws.r_prev2, ws.r_prev);
-      std::swap(ws.r_prev, ws.r_next);
+        std::swap(ws.r_prev2, ws.r_prev);
+        std::swap(ws.r_prev, ws.r_next);
+      }
+    }
+  } else {
+    // Blocked paired recursion: one matrix stream advances all members of a
+    // group through the half-length recursion.  Member rows are summed in
+    // instance order, so results are bit-identical to the per-vector loop.
+    BlockWorkspace ws(d, block);
+    std::vector<double> rows(block * n);
+    std::vector<double> mu0s(block), mu1s(block);
+    std::vector<linalg::PairedDots> dots2(block);
+    const std::size_t groups = (executed + block - 1) / block;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t first = g * block;
+      const std::size_t b = std::min(block, executed - first);
+      const std::size_t len = d * b;
+      const auto sub = [len](std::vector<double>& v) {
+        return std::span<double>(v.data(), len);
+      };
+      const std::span<double> dots(ws.dots.data(), b);
+      std::fill(rows.begin(), rows.end(), 0.0);
+      obs::add(obs::Counter::InstancesExecuted, static_cast<double>(b));
+      fill_random_vector_block(params, first, b, sub(ws.r0));
+
+      linalg::block_dot(sub(ws.r0), sub(ws.r0), b, dots);
+      for (std::size_t j = 0; j < b; ++j) {
+        mu0s[j] = dots[j];
+        rows[j * n] += dots[j];
+        obs::meter_dot(d);
+      }
+      linalg::spmmv_multiply(h_tilde, b, sub(ws.r0), sub(ws.r_prev));  // r_1
+      linalg::block_dot(sub(ws.r0), sub(ws.r_prev), b, dots);
+      for (std::size_t j = 0; j < b; ++j) {
+        mu1s[j] = dots[j];
+        if (n > 1) rows[j * n + 1] += dots[j];
+        obs::meter_dot(d);
+      }
+      std::copy(ws.r0.begin(), ws.r0.begin() + static_cast<std::ptrdiff_t>(len),
+                ws.r_prev2.begin());  // r_0
+      obs::meter_stream_bytes(2.0 * static_cast<double>(len) * sizeof(double));
+
+      for (std::size_t k = 1; k < half; ++k) {
+        linalg::spmmv_combine_dot2(h_tilde, b, sub(ws.r_prev), sub(ws.r_prev2),
+                                   sub(ws.r_next), std::span<linalg::PairedDots>(
+                                                       dots2.data(), b));
+        const std::size_t even = 2 * k;
+        const std::size_t odd = 2 * k + 1;
+        for (std::size_t j = 0; j < b; ++j) {
+          if (even < n) rows[j * n + even] += 2.0 * dots2[j].prev_prev - mu0s[j];
+          if (odd < n) rows[j * n + odd] += 2.0 * dots2[j].next_prev - mu1s[j];
+        }
+        std::swap(ws.r_prev2, ws.r_prev);
+        std::swap(ws.r_prev, ws.r_next);
+      }
+
+      for (std::size_t j = 0; j < b; ++j) {
+        const double* row = rows.data() + j * n;
+        for (std::size_t k = 0; k < n; ++k) mu_sum[k] += row[k];
+        obs::record(obs::Histo::InstanceModelNs, instance_ticks);
+      }
     }
   }
 
@@ -327,8 +566,20 @@ MomentResult CpuPairedMomentEngine::compute(const linalg::MatrixOperator& h_tild
   const double denom = static_cast<double>(d) * static_cast<double>(executed);
   for (std::size_t k = 0; k < n; ++k) result.mu[k] = mu_sum[k] / denom;
 
-  instance_work.scale(static_cast<double>(total));
-  const cpumodel::CpuStats stats = cpumodel::model_cpu_time(spec_, instance_work);
+  cpumodel::CpuWorkload total_work;
+  if (block <= 1) {
+    total_work = paired_group_work(1);
+    total_work.scale(static_cast<double>(total));
+  } else {
+    const std::size_t full = total / block;
+    const std::size_t rem = total % block;
+    total_work = paired_group_work(block);
+    const double ws_bytes = total_work.working_set_bytes;
+    total_work.scale(static_cast<double>(full));
+    total_work.working_set_bytes = full > 0 ? ws_bytes : 0.0;
+    if (rem > 0) total_work += paired_group_work(rem);
+  }
+  const cpumodel::CpuStats stats = cpumodel::model_cpu_time(spec_, total_work);
   result.model_seconds = stats.seconds;
   result.compute_seconds = stats.compute_seconds;
   return result;

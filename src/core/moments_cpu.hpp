@@ -98,6 +98,14 @@ class CpuParallelMomentEngine final : public MomentEngine {
 /// xi_{stream, i} (counter-based; identical across engines and platforms).
 void fill_random_vector(const MomentParams& params, std::uint64_t stream, std::span<double> r0);
 
+/// Blocked variant: fills the interleaved block `r0_block` (size dim *
+/// block) so that member j holds EXACTLY the vector fill_random_vector
+/// produces for stream `first_stream + j` — element i of member j at
+/// r0_block[i * block + j].  Blocked engines therefore consume the same
+/// per-instance random vectors as the serial reference.
+void fill_random_vector_block(const MomentParams& params, std::uint64_t first_stream,
+                              std::size_t block, std::span<double> r0_block);
+
 /// Resolves the sampling request: returns min(sample == 0 ? total : sample,
 /// total) and requires total > 0.
 [[nodiscard]] std::size_t resolve_sample_count(std::size_t sample, std::size_t total);
@@ -109,7 +117,8 @@ void fill_random_vector(const MomentParams& params, std::uint64_t stream, std::s
 /// cross-checked against `fused_calls * fused_step_workload(...).bytes_streamed`
 /// (see tests/test_golden_metrics.cpp).
 [[nodiscard]] cpumodel::CpuWorkload fused_step_workload(const linalg::MatrixOperator& op,
-                                                        std::size_t dots);
+                                                        std::size_t dots,
+                                                        std::size_t block = 1);
 
 /// Modeled *serial* reference-engine seconds for `instances` instances of
 /// `num_moments` moments on `op` — the same roofline model CpuMomentEngine

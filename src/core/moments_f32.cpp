@@ -1,5 +1,6 @@
 #include "core/moments_f32.hpp"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -27,7 +28,7 @@ void spmv_f32(const linalg::MatrixOperator& op, const std::vector<float>& x,
       for (std::size_t c = 0; c < dim; ++c) acc += static_cast<float>(row[c]) * x[c];
       y[r] = acc;
     }
-  } else {
+  } else if (op.storage() == linalg::Storage::Crs) {
     const auto& m = *op.crs();
     const auto row_ptr = m.row_ptr();
     const auto col_idx = m.col_idx();
@@ -40,6 +41,27 @@ void spmv_f32(const linalg::MatrixOperator& op, const std::vector<float>& x,
       }
       y[r] = acc;
     }
+  } else {
+    // SELL-C-sigma: logical row order via slot_of, per-row entry order
+    // matching CRS, so the float accumulation is bit-identical to CRS.
+    const auto& m = *op.sell();
+    const auto chunk_ptr = m.chunk_ptr();
+    const auto row_len = m.row_len();
+    const auto slot_of = m.slot_of();
+    const auto col_idx = m.col_idx();
+    const auto values = m.values();
+    const std::size_t c_sz = m.chunk_size();
+    for (std::size_t r = 0; r < dim; ++r) {
+      const auto slot = static_cast<std::size_t>(slot_of[r]);
+      const auto base = static_cast<std::size_t>(chunk_ptr[slot / c_sz]);
+      const std::size_t lane = slot % c_sz;
+      float acc = 0.0f;
+      for (std::size_t j = 0; j < static_cast<std::size_t>(row_len[slot]); ++j) {
+        const std::size_t k = base + j * c_sz + lane;
+        acc += static_cast<float>(values[k]) * x[static_cast<std::size_t>(col_idx[k])];
+      }
+      y[r] = acc;
+    }
   }
 }
 
@@ -47,6 +69,75 @@ float dot_f32(const std::vector<float>& a, const std::vector<float>& b) {
   float acc = 0.0f;
   for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
+}
+
+/// Blocked y_j = A x_j in float on the interleaved block layout; each
+/// member's per-row accumulation matches spmv_f32 bit-for-bit.
+void spmmv_f32(const linalg::MatrixOperator& op, std::size_t block,
+               const std::vector<float>& x, std::vector<float>& y) {
+  const std::size_t dim = op.dim();
+  std::vector<float> acc(block);
+  const auto row_block = [&](std::size_t r, auto&& each_entry) {
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    each_entry();
+    float* yr = y.data() + r * block;
+    for (std::size_t j = 0; j < block; ++j) yr[j] = acc[j];
+  };
+  const auto fma_block = [&](double v, std::size_t c) {
+    const float vf = static_cast<float>(v);
+    const float* xc = x.data() + c * block;
+    for (std::size_t j = 0; j < block; ++j) acc[j] += vf * xc[j];
+  };
+  if (op.storage() == linalg::Storage::Dense) {
+    const auto& m = *op.dense();
+    for (std::size_t r = 0; r < dim; ++r)
+      row_block(r, [&] {
+        const auto row = m.row(r);
+        for (std::size_t c = 0; c < dim; ++c) fma_block(row[c], c);
+      });
+  } else if (op.storage() == linalg::Storage::Crs) {
+    const auto& m = *op.crs();
+    const auto row_ptr = m.row_ptr();
+    const auto col_idx = m.col_idx();
+    const auto values = m.values();
+    for (std::size_t r = 0; r < dim; ++r)
+      row_block(r, [&] {
+        for (auto k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+          const auto kk = static_cast<std::size_t>(k);
+          fma_block(values[kk], static_cast<std::size_t>(col_idx[kk]));
+        }
+      });
+  } else {
+    const auto& m = *op.sell();
+    const auto chunk_ptr = m.chunk_ptr();
+    const auto row_len = m.row_len();
+    const auto slot_of = m.slot_of();
+    const auto col_idx = m.col_idx();
+    const auto values = m.values();
+    const std::size_t c_sz = m.chunk_size();
+    for (std::size_t r = 0; r < dim; ++r)
+      row_block(r, [&] {
+        const auto slot = static_cast<std::size_t>(slot_of[r]);
+        const auto base = static_cast<std::size_t>(chunk_ptr[slot / c_sz]);
+        const std::size_t lane = slot % c_sz;
+        for (std::size_t j = 0; j < static_cast<std::size_t>(row_len[slot]); ++j) {
+          const std::size_t k = base + j * c_sz + lane;
+          fma_block(values[k], static_cast<std::size_t>(col_idx[k]));
+        }
+      });
+  }
+}
+
+/// Per-member left-fold float dots of two interleaved blocks, matching
+/// dot_f32 on the deinterleaved vectors bit-for-bit.
+void block_dot_f32(const std::vector<float>& a, const std::vector<float>& b,
+                   std::size_t block, std::size_t dim, std::vector<float>& dots) {
+  std::fill(dots.begin(), dots.end(), 0.0f);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const float* ai = a.data() + i * block;
+    const float* bi = b.data() + i * block;
+    for (std::size_t j = 0; j < block; ++j) dots[j] += ai[j] * bi[j];
+  }
 }
 
 }  // namespace
@@ -86,34 +177,108 @@ MomentResult CpuMomentEngineF32::compute(const linalg::MatrixOperator& h_tilde,
     obs::add(obs::Counter::BytesStreamed, matrix_bytes_f32 + 2.0 * dd_obs * sizeof(float));
   };
 
-  for (std::size_t inst = 0; inst < executed; ++inst) {
-    obs::add(obs::Counter::InstancesExecuted, 1.0);
-    obs::add(obs::Counter::RngElements, dd_obs);
-    for (std::size_t i = 0; i < d; ++i)
-      r0[i] = static_cast<float>(
-          rng::draw_random_element(params.vector_kind, params.seed, inst, i));
+  const std::size_t block = params.block_r;
+  if (block <= 1) {
+    for (std::size_t inst = 0; inst < executed; ++inst) {
+      obs::add(obs::Counter::InstancesExecuted, 1.0);
+      obs::add(obs::Counter::RngElements, dd_obs);
+      for (std::size_t i = 0; i < d; ++i)
+        r0[i] = static_cast<float>(
+            rng::draw_random_element(params.vector_kind, params.seed, inst, i));
 
-    mu_sum[0] += static_cast<double>(dot_f32(r0, r0));
-    meter_dot32();
-    spmv_f32(h_tilde, r0, r_prev);
-    meter_spmv32();
-    if (n > 1) {
-      mu_sum[1] += static_cast<double>(dot_f32(r0, r_prev));
+      mu_sum[0] += static_cast<double>(dot_f32(r0, r0));
       meter_dot32();
-    }
-    r_prev2 = r0;
-    obs::add(obs::Counter::BytesStreamed, 2.0 * dd_obs * sizeof(float));
-
-    for (std::size_t k = 2; k < n; ++k) {
-      spmv_f32(h_tilde, r_prev, r_next);
+      spmv_f32(h_tilde, r0, r_prev);
       meter_spmv32();
-      for (std::size_t i = 0; i < d; ++i) r_next[i] = 2.0f * r_next[i] - r_prev2[i];
-      obs::add(obs::Counter::Flops, 2.0 * dd_obs);
-      obs::add(obs::Counter::BytesStreamed, 3.0 * dd_obs * sizeof(float));
-      mu_sum[k] += static_cast<double>(dot_f32(r0, r_next));
-      meter_dot32();
-      std::swap(r_prev2, r_prev);
-      std::swap(r_prev, r_next);
+      if (n > 1) {
+        mu_sum[1] += static_cast<double>(dot_f32(r0, r_prev));
+        meter_dot32();
+      }
+      r_prev2 = r0;
+      obs::add(obs::Counter::BytesStreamed, 2.0 * dd_obs * sizeof(float));
+
+      for (std::size_t k = 2; k < n; ++k) {
+        spmv_f32(h_tilde, r_prev, r_next);
+        meter_spmv32();
+        for (std::size_t i = 0; i < d; ++i) r_next[i] = 2.0f * r_next[i] - r_prev2[i];
+        obs::add(obs::Counter::Flops, 2.0 * dd_obs);
+        obs::add(obs::Counter::BytesStreamed, 3.0 * dd_obs * sizeof(float));
+        mu_sum[k] += static_cast<double>(dot_f32(r0, r_next));
+        meter_dot32();
+        std::swap(r_prev2, r_prev);
+        std::swap(r_prev, r_next);
+      }
+    }
+  } else {
+    // Blocked (SpMMV) path: a group of `b` instances advances through one
+    // unfused recursion; the matrix is narrowed/streamed once per step for
+    // the whole group, and each member's float arithmetic matches the
+    // per-vector loop bit-for-bit.  Member rows are summed in instance
+    // order after each group.
+    const auto meter_spmmv32 = [&](std::size_t b) {
+      obs::add(obs::Counter::SpmvCalls, static_cast<double>(b));
+      obs::add(obs::Counter::Flops, static_cast<double>(b) * spmv_flops);
+      obs::add(obs::Counter::BytesStreamed,
+               matrix_bytes_f32 + 2.0 * static_cast<double>(b) * dd_obs * sizeof(float));
+    };
+    std::vector<float> b0(d * block), b_prev2(d * block), b_prev(d * block),
+        b_next(d * block), dots(block);
+    std::vector<double> rows(block * n);
+    const std::size_t groups = (executed + block - 1) / block;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t first = g * block;
+      const std::size_t b = std::min(block, executed - first);
+      b0.resize(d * b);
+      b_prev2.resize(d * b);
+      b_prev.resize(d * b);
+      b_next.resize(d * b);
+      dots.resize(b);
+      std::fill(rows.begin(), rows.end(), 0.0);
+      obs::add(obs::Counter::InstancesExecuted, static_cast<double>(b));
+      obs::add(obs::Counter::RngElements, static_cast<double>(b) * dd_obs);
+      for (std::size_t j = 0; j < b; ++j)
+        for (std::size_t i = 0; i < d; ++i)
+          b0[i * b + j] = static_cast<float>(
+              rng::draw_random_element(params.vector_kind, params.seed, first + j, i));
+
+      block_dot_f32(b0, b0, b, d, dots);
+      for (std::size_t j = 0; j < b; ++j) {
+        rows[j * n] += static_cast<double>(dots[j]);
+        meter_dot32();
+      }
+      spmmv_f32(h_tilde, b, b0, b_prev);
+      meter_spmmv32(b);
+      if (n > 1) {
+        block_dot_f32(b0, b_prev, b, d, dots);
+        for (std::size_t j = 0; j < b; ++j) {
+          rows[j * n + 1] += static_cast<double>(dots[j]);
+          meter_dot32();
+        }
+      }
+      b_prev2 = b0;
+      obs::add(obs::Counter::BytesStreamed,
+               2.0 * static_cast<double>(b) * dd_obs * sizeof(float));
+
+      for (std::size_t k = 2; k < n; ++k) {
+        spmmv_f32(h_tilde, b, b_prev, b_next);
+        meter_spmmv32(b);
+        for (std::size_t i = 0; i < d * b; ++i) b_next[i] = 2.0f * b_next[i] - b_prev2[i];
+        obs::add(obs::Counter::Flops, 2.0 * static_cast<double>(b) * dd_obs);
+        obs::add(obs::Counter::BytesStreamed,
+                 3.0 * static_cast<double>(b) * dd_obs * sizeof(float));
+        block_dot_f32(b0, b_next, b, d, dots);
+        for (std::size_t j = 0; j < b; ++j) {
+          rows[j * n + k] += static_cast<double>(dots[j]);
+          meter_dot32();
+        }
+        std::swap(b_prev2, b_prev);
+        std::swap(b_prev, b_next);
+      }
+
+      for (std::size_t j = 0; j < b; ++j) {
+        const double* row = rows.data() + j * n;
+        for (std::size_t k = 0; k < n; ++k) mu_sum[k] += row[k];
+      }
     }
   }
 
@@ -128,18 +293,35 @@ MomentResult CpuMomentEngineF32::compute(const linalg::MatrixOperator& h_tilde,
 
   // Cost model: same operation counts as the reference engine but with
   // 4-byte elements (half the traffic, half the working set) and double
-  // the SIMD flop rate.
+  // the SIMD flop rate.  Blocked runs stream the matrix once per group
+  // step instead of once per member step.
   const auto dd = static_cast<double>(d);
   const double matrix_bytes = static_cast<double>(h_tilde.spmv_matrix_bytes()) / 2.0;
+  const auto group_work = [&](std::size_t b) {
+    const auto bb = static_cast<double>(b);
+    cpumodel::CpuWorkload gw;
+    gw.flops = (10.0 * dd + 2.0 * dd) * bb;
+    gw.bytes_streamed = 2.0 * bb * dd * sizeof(float);
+    for (std::size_t k = 1; k < n; ++k) {
+      gw.flops += bb * (static_cast<double>(h_tilde.spmv_flops()) + 4.0 * dd);
+      gw.bytes_streamed += matrix_bytes + 7.0 * bb * dd * sizeof(float);
+    }
+    gw.working_set_bytes = matrix_bytes + 4.0 * bb * dd * sizeof(float);
+    return gw;
+  };
   cpumodel::CpuWorkload w;
-  w.flops = 10.0 * dd + 2.0 * dd;
-  w.bytes_streamed = 2.0 * dd * sizeof(float);
-  for (std::size_t k = 1; k < n; ++k) {
-    w.flops += static_cast<double>(h_tilde.spmv_flops()) + 4.0 * dd;
-    w.bytes_streamed += matrix_bytes + 7.0 * dd * sizeof(float);
+  if (block <= 1) {
+    w = group_work(1);
+    w.scale(static_cast<double>(total));
+  } else {
+    const std::size_t full = total / block;
+    const std::size_t rem = total % block;
+    w = group_work(block);
+    const double ws_bytes = w.working_set_bytes;
+    w.scale(static_cast<double>(full));
+    w.working_set_bytes = full > 0 ? ws_bytes : 0.0;
+    if (rem > 0) w += group_work(rem);
   }
-  w.working_set_bytes = matrix_bytes + 4.0 * dd * sizeof(float);
-  w.scale(static_cast<double>(total));
 
   cpumodel::CpuSpec sp = spec_;
   sp.flops_per_cycle *= 2.0;  // twice the SIMD lanes in binary32

@@ -1,5 +1,6 @@
 #include "core/moments_hermitian.hpp"
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -62,6 +63,81 @@ void hermitian_instance(const linalg::CrsMatrixZ& h, std::span<const Complex> r0
   }
 }
 
+/// Blocked complex multiply y_j = H x_j on the interleaved block layout
+/// (one matrix stream for the whole group); per-member accumulation order
+/// matches CrsMatrixZ::multiply.  Meters b products over one stream.
+void spmmv_z(const linalg::CrsMatrixZ& h, std::size_t b, std::span<const Complex> x,
+             std::span<Complex> y) {
+  const std::size_t rows = h.rows();
+  const auto row_ptr = h.row_ptr();
+  const auto col_idx = h.col_idx();
+  const auto values = h.values();
+  std::vector<Complex> acc(b);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::fill(acc.begin(), acc.end(), Complex{0.0, 0.0});
+    for (auto k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      const Complex v = values[kk];
+      const Complex* xc = x.data() + static_cast<std::size_t>(col_idx[kk]) * b;
+      for (std::size_t j = 0; j < b; ++j) acc[j] += v * xc[j];
+    }
+    Complex* yr = y.data() + r * b;
+    for (std::size_t j = 0; j < b; ++j) yr[j] = acc[j];
+  }
+  obs::add(obs::Counter::SpmvCalls, static_cast<double>(b));
+  obs::add(obs::Counter::Flops, static_cast<double>(b) * 8.0 * static_cast<double>(h.nnz()));
+  obs::add(obs::Counter::BytesStreamed,
+           static_cast<double>(h.nnz() * (sizeof(Complex) + sizeof(linalg::CrsMatrixZ::Index)) +
+                               (h.rows() + 1) * sizeof(linalg::CrsMatrixZ::Index)) +
+               2.0 * static_cast<double>(b) * static_cast<double>(h.rows()) * sizeof(Complex));
+}
+
+/// Runs a group of `b` instances' complex recursions in one blocked pass,
+/// adding member j's Re<r0_j|r_n_j> into mu_rows[j*n, j*n + n).  Each
+/// member's arithmetic matches hermitian_instance bit-for-bit.
+void hermitian_group(const linalg::CrsMatrixZ& h, std::size_t b, std::span<const Complex> r0,
+                     std::vector<Complex>& prev2, std::vector<Complex>& prev,
+                     std::vector<Complex>& next, std::size_t n, std::span<double> mu_rows) {
+  const std::size_t d = h.rows();
+  const double dd = static_cast<double>(d);
+  // Per-member single-lane left fold, matching hermitian_instance's dot_re.
+  auto block_dot_re = [&](std::span<const Complex> v, std::size_t j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < d; ++i)
+      acc += (std::conj(r0[i * b + j]) * v[i * b + j]).real();
+    return acc;
+  };
+  const auto meter_dot_re = [&] {
+    obs::add(obs::Counter::DotCalls, 1.0);
+    obs::add(obs::Counter::Flops, 4.0 * dd);
+    obs::add(obs::Counter::BytesStreamed, 2.0 * dd * sizeof(Complex));
+  };
+
+  obs::add(obs::Counter::InstancesExecuted, static_cast<double>(b));
+  for (std::size_t j = 0; j < b; ++j) {
+    mu_rows[j * n] += block_dot_re(r0, j);
+    meter_dot_re();
+  }
+  if (n == 1) return;
+  const std::size_t len = d * b;
+  spmmv_z(h, b, r0, std::span<Complex>(prev.data(), len));
+  for (std::size_t j = 0; j < b; ++j) {
+    mu_rows[j * n + 1] += block_dot_re(std::span<const Complex>(prev.data(), len), j);
+    meter_dot_re();
+  }
+  std::copy(r0.begin(), r0.end(), prev2.begin());
+  obs::meter_stream_bytes(2.0 * static_cast<double>(len) * sizeof(Complex));
+  std::vector<double> dots(b);
+  for (std::size_t k = 2; k < n; ++k) {
+    linalg::spmmv_combine_dot_re(h, b, std::span<const Complex>(prev.data(), len),
+                                 std::span<const Complex>(prev2.data(), len), r0,
+                                 std::span<Complex>(next.data(), len), dots);
+    for (std::size_t j = 0; j < b; ++j) mu_rows[j * n + k] += dots[j];
+    std::swap(prev2, prev);
+    std::swap(prev, next);
+  }
+}
+
 }  // namespace
 
 MomentResult HermitianMomentEngine::compute(const linalg::CrsMatrixZ& h_tilde,
@@ -78,14 +154,39 @@ MomentResult HermitianMomentEngine::compute(const linalg::CrsMatrixZ& h_tilde,
   obs::add(obs::Counter::MomentsProduced, static_cast<double>(n));
   Stopwatch wall;
   std::vector<double> mu_sum(n, 0.0);
-  std::vector<Complex> r0(d), prev2(d), prev(d), next(d);
+  const std::size_t block = params.block_r;
 
-  for (std::size_t inst = 0; inst < executed; ++inst) {
-    obs::add(obs::Counter::RngElements, static_cast<double>(d));
-    for (std::size_t i = 0; i < d; ++i)
-      r0[i] = Complex{
-          rng::draw_random_element(params.vector_kind, params.seed, inst, i), 0.0};
-    hermitian_instance(h_tilde, r0, prev2, prev, next, mu_sum);
+  if (block <= 1) {
+    std::vector<Complex> r0(d), prev2(d), prev(d), next(d);
+    for (std::size_t inst = 0; inst < executed; ++inst) {
+      obs::add(obs::Counter::RngElements, static_cast<double>(d));
+      for (std::size_t i = 0; i < d; ++i)
+        r0[i] = Complex{
+            rng::draw_random_element(params.vector_kind, params.seed, inst, i), 0.0};
+      hermitian_instance(h_tilde, r0, prev2, prev, next, mu_sum);
+    }
+  } else {
+    // Blocked path: groups of `block` instances share each matrix stream;
+    // member rows are summed in instance order (bit-identical to serial).
+    std::vector<Complex> r0(d * block), prev2(d * block), prev(d * block), next(d * block);
+    std::vector<double> rows(block * n);
+    const std::size_t groups = (executed + block - 1) / block;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t first = g * block;
+      const std::size_t b = std::min(block, executed - first);
+      obs::add(obs::Counter::RngElements, static_cast<double>(d * b));
+      for (std::size_t j = 0; j < b; ++j)
+        for (std::size_t i = 0; i < d; ++i)
+          r0[i * b + j] = Complex{
+              rng::draw_random_element(params.vector_kind, params.seed, first + j, i), 0.0};
+      std::fill(rows.begin(), rows.end(), 0.0);
+      hermitian_group(h_tilde, b, std::span<const Complex>(r0.data(), d * b), prev2, prev,
+                      next, n, rows);
+      for (std::size_t j = 0; j < b; ++j) {
+        const double* row = rows.data() + j * n;
+        for (std::size_t k = 0; k < n; ++k) mu_sum[k] += row[k];
+      }
+    }
   }
 
   MomentResult result;
@@ -117,16 +218,38 @@ std::vector<double> ldos_moments_hermitian(const linalg::CrsMatrixZ& h_tilde, st
 }
 
 std::vector<double> deterministic_trace_moments_hermitian(const linalg::CrsMatrixZ& h_tilde,
-                                                          std::size_t num_moments) {
+                                                          std::size_t num_moments,
+                                                          std::size_t block) {
   KPM_REQUIRE(num_moments >= 1, "deterministic_trace_moments_hermitian: need >= 1 moment");
   KPM_REQUIRE(h_tilde.rows() == h_tilde.cols(), "matrix must be square");
+  KPM_REQUIRE(block >= 1, "deterministic_trace_moments_hermitian: block must be >= 1");
   const std::size_t d = h_tilde.rows();
-  std::vector<double> mu(num_moments, 0.0);
-  std::vector<Complex> e(d), prev2(d), prev(d), next(d);
-  for (std::size_t site = 0; site < d; ++site) {
-    std::fill(e.begin(), e.end(), Complex{0.0, 0.0});
-    e[site] = Complex{1.0, 0.0};
-    hermitian_instance(h_tilde, e, prev2, prev, next, mu);
+  const std::size_t n = num_moments;
+  std::vector<double> mu(n, 0.0);
+  if (block <= 1) {
+    std::vector<Complex> e(d), prev2(d), prev(d), next(d);
+    for (std::size_t site = 0; site < d; ++site) {
+      std::fill(e.begin(), e.end(), Complex{0.0, 0.0});
+      e[site] = Complex{1.0, 0.0};
+      hermitian_instance(h_tilde, e, prev2, prev, next, mu);
+    }
+  } else {
+    // Blocked basis sweep: `block` unit vectors share each matrix stream.
+    std::vector<Complex> e(d * block), prev2(d * block), prev(d * block), next(d * block);
+    std::vector<double> rows(block * n);
+    for (std::size_t first = 0; first < d; first += block) {
+      const std::size_t b = std::min(block, d - first);
+      std::fill(e.begin(), e.begin() + static_cast<std::ptrdiff_t>(d * b),
+                Complex{0.0, 0.0});
+      for (std::size_t j = 0; j < b; ++j) e[(first + j) * b + j] = Complex{1.0, 0.0};
+      std::fill(rows.begin(), rows.end(), 0.0);
+      hermitian_group(h_tilde, b, std::span<const Complex>(e.data(), d * b), prev2, prev,
+                      next, n, rows);
+      for (std::size_t j = 0; j < b; ++j) {
+        const double* row = rows.data() + j * n;
+        for (std::size_t k = 0; k < n; ++k) mu[k] += row[k];
+      }
+    }
   }
   for (double& m : mu) m /= static_cast<double>(d);
   return mu;

@@ -29,8 +29,10 @@ class HermitianMomentEngine {
 
 /// Deterministic trace (exact up to roundoff): one complex recursion per
 /// basis vector.  Ground truth for the stochastic Hermitian engine.
+/// `block` > 1 advances that many basis vectors per matrix pass (blocked
+/// SpMMV recursion; bit-identical to the per-vector sweep).
 [[nodiscard]] std::vector<double> deterministic_trace_moments_hermitian(
-    const linalg::CrsMatrixZ& h_tilde, std::size_t num_moments);
+    const linalg::CrsMatrixZ& h_tilde, std::size_t num_moments, std::size_t block = 1);
 
 /// LDOS moments mu_n^site = <site|T_n(H~)|site> for a Hermitian H~ —
 /// site-resolved spectroscopy in a magnetic field (e.g. bulk vs edge

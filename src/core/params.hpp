@@ -24,6 +24,12 @@ struct MomentParams {
   std::uint64_t seed = 0x6b706d2d313035ULL;  ///< base RNG seed
   rng::RandomVectorKind vector_kind = rng::RandomVectorKind::Rademacher;
 
+  /// B: random vectors advanced together per matrix pass (SpMMV blocking,
+  /// Kreutzer et al. arXiv:1410.5242).  1 = the paper's per-vector
+  /// recursion; B > 1 amortizes matrix traffic 1/B without changing any
+  /// computed value (blocked recursion is bit-identical per instance).
+  std::size_t block_r = 1;
+
   /// Total independent trace-estimator instances S*R.
   [[nodiscard]] std::size_t instances() const noexcept { return random_vectors * realizations; }
 
@@ -38,6 +44,7 @@ struct MomentParams {
     KPM_REQUIRE(num_moments >= 2, "MomentParams: need at least two moments");
     KPM_REQUIRE(random_vectors >= 1, "MomentParams: need at least one random vector");
     KPM_REQUIRE(realizations >= 1, "MomentParams: need at least one realization");
+    KPM_REQUIRE(block_r >= 1, "MomentParams: block_r must be >= 1");
   }
 };
 

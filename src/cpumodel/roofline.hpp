@@ -25,6 +25,12 @@ struct CpuWorkload {
     // working_set_bytes is a per-pass property; sampling more instances of
     // the same pass does not grow it.
   }
+
+  /// Flops per streamed byte — the roofline x-axis.  SpMMV blocking raises
+  /// this by amortizing the matrix stream across the vector block.
+  [[nodiscard]] double arithmetic_intensity() const noexcept {
+    return bytes_streamed > 0.0 ? flops / bytes_streamed : 0.0;
+  }
 };
 
 /// Timing breakdown of a modeled CPU region.

@@ -1,29 +1,48 @@
 #include "linalg/fused_kernels.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/error.hpp"
 #include "obs/counters.hpp"
 
 namespace kpm::linalg {
 namespace {
 
-// Records one fused spmv+combine+dot pass into the active obs sink.  The
-// flop/byte model matches core::fused_step_workload exactly (matrix traffic
-// plus (3 + dots) streamed vectors of `element_bytes` each), which is what
-// lets tests cross-check measured counters against the roofline prediction.
+// Records one fused spmv+combine+dot pass of `block` vectors into the
+// active obs sink.  The flop/byte model matches core::fused_step_workload
+// exactly (ONE matrix stream plus (3 + dots) streamed vectors of
+// `element_bytes` each PER MEMBER), which is what lets tests cross-check
+// measured counters against the roofline prediction.  SpmvCalls/DotCalls
+// count logical per-member products; FusedCalls counts passes.
 void meter_fused(std::size_t spmv_flops, std::size_t matrix_bytes, std::size_t dim,
-                 std::size_t dots, double element_bytes) {
+                 std::size_t dots, double element_bytes, std::size_t block = 1) {
   if (obs::active_counters() == nullptr) return;
   const double d = static_cast<double>(dim);
-  const double flops = static_cast<double>(spmv_flops) + 2.0 * d +
-                       2.0 * d * static_cast<double>(dots);
+  const double b = static_cast<double>(block);
+  const double flops = b * (static_cast<double>(spmv_flops) + 2.0 * d +
+                            2.0 * d * static_cast<double>(dots));
   const double bytes = static_cast<double>(matrix_bytes) +
-                       (3.0 + static_cast<double>(dots)) * d * element_bytes;
-  obs::add(obs::Counter::SpmvCalls, 1.0);
-  obs::add(obs::Counter::DotCalls, static_cast<double>(dots));
+                       (3.0 + static_cast<double>(dots)) * b * d * element_bytes;
+  obs::add(obs::Counter::SpmvCalls, b);
+  obs::add(obs::Counter::DotCalls, b * static_cast<double>(dots));
   obs::add(obs::Counter::FusedCalls, 1.0);
   obs::add(obs::Counter::Flops, flops);
   obs::add(obs::Counter::BytesStreamed, bytes);
   obs::add(obs::Counter::FusedBytes, bytes);
+}
+
+// Records one plain blocked multiply (no combine, no dot): B products over
+// a single matrix stream plus the x read and y write per member.
+void meter_spmmv(std::size_t spmv_flops, std::size_t matrix_bytes, std::size_t dim,
+                 std::size_t block) {
+  if (obs::active_counters() == nullptr) return;
+  const double d = static_cast<double>(dim);
+  const double b = static_cast<double>(block);
+  obs::add(obs::Counter::SpmvCalls, b);
+  obs::add(obs::Counter::Flops, b * static_cast<double>(spmv_flops));
+  obs::add(obs::Counter::BytesStreamed,
+           static_cast<double>(matrix_bytes) + 2.0 * b * d * sizeof(double));
 }
 
 [[nodiscard]] std::size_t crs_matrix_bytes(const CrsMatrix& a) {
@@ -41,6 +60,198 @@ void require_fused_preconditions(std::size_t rows, std::size_t cols,
   KPM_REQUIRE(r_next.data() != r_prev.data(), "spmv_combine_dot: r_next must not alias r_prev");
   KPM_REQUIRE(r_next.data() != r_prev2.data(),
               "spmv_combine_dot: r_next must not alias r_prev2");
+}
+
+void require_spmmv_preconditions(std::size_t rows, std::size_t cols, std::size_t block,
+                                 std::span<const double> r_prev,
+                                 std::span<const double> r_prev2, std::span<double> r_next) {
+  KPM_REQUIRE(block >= 1, "spmmv_combine_dot: block must be >= 1");
+  KPM_REQUIRE(rows == cols, "spmmv_combine_dot: matrix must be square");
+  KPM_REQUIRE(r_prev.size() == cols * block && r_prev2.size() == rows * block &&
+                  r_next.size() == rows * block,
+              "spmmv_combine_dot: block size mismatch");
+  KPM_REQUIRE(r_next.data() != r_prev.data(),
+              "spmmv_combine_dot: r_next must not alias r_prev");
+  KPM_REQUIRE(r_next.data() != r_prev2.data(),
+              "spmmv_combine_dot: r_next must not alias r_prev2");
+}
+
+// ---------------------------------------------------------------------------
+// Row-access policies: how each storage iterates one logical row's entries.
+// Fused kernels visit rows in LOGICAL order (the dot lane of row r is
+// r mod 4, so the visit order is part of the bit-compatibility contract);
+// every policy yields a row's entries in the same order as CrsMatrix rows
+// (sorted columns), which keeps per-row accumulation bit-identical across
+// storages.  `row_entries(r, f)` calls f(value, col) per stored entry.
+
+struct CrsAccess {
+  std::span<const CrsMatrix::Index> row_ptr, col_idx;
+  std::span<const double> values;
+
+  explicit CrsAccess(const CrsMatrix& a)
+      : row_ptr(a.row_ptr()), col_idx(a.col_idx()), values(a.values()) {}
+
+  template <typename F>
+  void row_entries(std::size_t r, F&& f) const {
+    for (auto k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      f(values[kk], static_cast<std::size_t>(col_idx[kk]));
+    }
+  }
+};
+
+struct SellAccess {
+  std::span<const SellMatrix::Index> chunk_ptr, row_len, slot_of, col_idx;
+  std::span<const double> values;
+  std::size_t chunk_size;
+
+  explicit SellAccess(const SellMatrix& a)
+      : chunk_ptr(a.chunk_ptr()), row_len(a.row_len()), slot_of(a.slot_of()),
+        col_idx(a.col_idx()), values(a.values()), chunk_size(a.chunk_size()) {}
+
+  template <typename F>
+  void row_entries(std::size_t r, F&& f) const {
+    const auto slot = static_cast<std::size_t>(slot_of[r]);
+    const auto base = static_cast<std::size_t>(chunk_ptr[slot / chunk_size]);
+    const std::size_t lane = slot % chunk_size;
+    const auto len = static_cast<std::size_t>(row_len[slot]);
+    for (std::size_t j = 0; j < len; ++j) {
+      const std::size_t k = base + j * chunk_size + lane;
+      f(values[k], static_cast<std::size_t>(col_idx[k]));
+    }
+  }
+};
+
+struct DenseAccess {
+  const DenseMatrix& a;
+  std::size_t cols;
+
+  explicit DenseAccess(const DenseMatrix& m) : a(m), cols(m.cols()) {}
+
+  template <typename F>
+  void row_entries(std::size_t r, F&& f) const {
+    const auto row = a.row(r);
+    for (std::size_t c = 0; c < cols; ++c) f(row[c], c);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Shared kernel bodies, templated on the row-access policy.
+
+template <typename Access>
+double fused_dot_kernel(const Access& acc_rows, std::size_t rows,
+                        std::span<const double> r_prev, std::span<const double> r_prev2,
+                        std::span<const double> r0, std::span<double> r_next) {
+  // Dot lanes follow linalg::dot's canonical order: row r feeds lane r & 3.
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = 0.0;  // same accumulation order as CrsMatrix::multiply
+    acc_rows.row_entries(r, [&](double v, std::size_t c) { acc += v * r_prev[c]; });
+    const double next = 2.0 * acc - r_prev2[r];
+    r_next[r] = next;
+    lane[r & 3] += r0[r] * next;
+  }
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+template <typename Access>
+PairedDots fused_dot2_kernel(const Access& acc_rows, std::size_t rows,
+                             std::span<const double> r_prev, std::span<const double> r_prev2,
+                             std::span<double> r_next) {
+  double lane_np[4] = {0.0, 0.0, 0.0, 0.0};
+  double lane_pp[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    acc_rows.row_entries(r, [&](double v, std::size_t c) { acc += v * r_prev[c]; });
+    const double next = 2.0 * acc - r_prev2[r];
+    const double prev = r_prev[r];
+    r_next[r] = next;
+    lane_np[r & 3] += next * prev;
+    lane_pp[r & 3] += prev * prev;
+  }
+  PairedDots dots;
+  dots.next_prev = (lane_np[0] + lane_np[1]) + (lane_np[2] + lane_np[3]);
+  dots.prev_prev = (lane_pp[0] + lane_pp[1]) + (lane_pp[2] + lane_pp[3]);
+  return dots;
+}
+
+template <typename Access>
+void spmmv_multiply_kernel(const Access& acc_rows, std::size_t rows, std::size_t block,
+                           std::span<const double> x, std::span<double> y) {
+  std::vector<double> acc(block);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    // Member-inner loop: x[c*B + j] is unit-stride, and each member's
+    // per-row accumulation order matches the single-vector multiply.
+    acc_rows.row_entries(r, [&](double v, std::size_t c) {
+      const double* xc = x.data() + c * block;
+      for (std::size_t j = 0; j < block; ++j) acc[j] += v * xc[j];
+    });
+    double* yr = y.data() + r * block;
+    for (std::size_t j = 0; j < block; ++j) yr[j] = acc[j];
+  }
+}
+
+template <typename Access>
+void spmmv_dot_kernel(const Access& acc_rows, std::size_t rows, std::size_t block,
+                      std::span<const double> r_prev, std::span<const double> r_prev2,
+                      std::span<const double> r0, std::span<double> r_next,
+                      std::span<double> dots) {
+  std::vector<double> acc(block);
+  std::vector<double> lanes(4 * block, 0.0);  // lanes[4*j + (r & 3)]
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    acc_rows.row_entries(r, [&](double v, std::size_t c) {
+      const double* xc = r_prev.data() + c * block;
+      for (std::size_t j = 0; j < block; ++j) acc[j] += v * xc[j];
+    });
+    const double* p2 = r_prev2.data() + r * block;
+    const double* z = r0.data() + r * block;
+    double* yr = r_next.data() + r * block;
+    const std::size_t lane = r & 3;
+    for (std::size_t j = 0; j < block; ++j) {
+      const double next = 2.0 * acc[j] - p2[j];
+      yr[j] = next;
+      lanes[4 * j + lane] += z[j] * next;
+    }
+  }
+  for (std::size_t j = 0; j < block; ++j) {
+    const double* l = lanes.data() + 4 * j;
+    dots[j] = (l[0] + l[1]) + (l[2] + l[3]);
+  }
+}
+
+template <typename Access>
+void spmmv_dot2_kernel(const Access& acc_rows, std::size_t rows, std::size_t block,
+                       std::span<const double> r_prev, std::span<const double> r_prev2,
+                       std::span<double> r_next, std::span<PairedDots> dots) {
+  std::vector<double> acc(block);
+  std::vector<double> lanes_np(4 * block, 0.0);
+  std::vector<double> lanes_pp(4 * block, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    acc_rows.row_entries(r, [&](double v, std::size_t c) {
+      const double* xc = r_prev.data() + c * block;
+      for (std::size_t j = 0; j < block; ++j) acc[j] += v * xc[j];
+    });
+    const double* p2 = r_prev2.data() + r * block;
+    const double* pv = r_prev.data() + r * block;
+    double* yr = r_next.data() + r * block;
+    const std::size_t lane = r & 3;
+    for (std::size_t j = 0; j < block; ++j) {
+      const double next = 2.0 * acc[j] - p2[j];
+      const double prev = pv[j];
+      yr[j] = next;
+      lanes_np[4 * j + lane] += next * prev;
+      lanes_pp[4 * j + lane] += prev * prev;
+    }
+  }
+  for (std::size_t j = 0; j < block; ++j) {
+    const double* np = lanes_np.data() + 4 * j;
+    const double* pp = lanes_pp.data() + 4 * j;
+    dots[j].next_prev = (np[0] + np[1]) + (np[2] + np[3]);
+    dots[j].prev_prev = (pp[0] + pp[1]) + (pp[2] + pp[3]);
+  }
 }
 
 }  // namespace
@@ -96,11 +307,22 @@ double spmv_combine_dot(const DenseMatrix& a, std::span<const double> r_prev,
   return (lane[0] + lane[1]) + (lane[2] + lane[3]);
 }
 
+double spmv_combine_dot(const SellMatrix& a, std::span<const double> r_prev,
+                        std::span<const double> r_prev2, std::span<const double> r0,
+                        std::span<double> r_next) {
+  require_fused_preconditions(a.rows(), a.cols(), r_prev, r_prev2, r_next);
+  KPM_REQUIRE(r0.size() == a.rows(), "spmv_combine_dot: r0 size mismatch");
+  KPM_REQUIRE(r_next.data() != r0.data(), "spmv_combine_dot: r_next must not alias r0");
+  meter_fused(2 * a.nnz(), a.spmv_matrix_bytes(), a.rows(), 1, sizeof(double));
+  return fused_dot_kernel(SellAccess(a), a.rows(), r_prev, r_prev2, r0, r_next);
+}
+
 double spmv_combine_dot(const MatrixOperator& op, std::span<const double> r_prev,
                         std::span<const double> r_prev2, std::span<const double> r0,
                         std::span<double> r_next) {
   if (op.dense() != nullptr) return spmv_combine_dot(*op.dense(), r_prev, r_prev2, r0, r_next);
-  return spmv_combine_dot(*op.crs(), r_prev, r_prev2, r0, r_next);
+  if (op.crs() != nullptr) return spmv_combine_dot(*op.crs(), r_prev, r_prev2, r0, r_next);
+  return spmv_combine_dot(*op.sell(), r_prev, r_prev2, r0, r_next);
 }
 
 PairedDots spmv_combine_dot2(const CrsMatrix& a, std::span<const double> r_prev,
@@ -159,10 +381,18 @@ PairedDots spmv_combine_dot2(const DenseMatrix& a, std::span<const double> r_pre
   return dots;
 }
 
+PairedDots spmv_combine_dot2(const SellMatrix& a, std::span<const double> r_prev,
+                             std::span<const double> r_prev2, std::span<double> r_next) {
+  require_fused_preconditions(a.rows(), a.cols(), r_prev, r_prev2, r_next);
+  meter_fused(2 * a.nnz(), a.spmv_matrix_bytes(), a.rows(), 2, sizeof(double));
+  return fused_dot2_kernel(SellAccess(a), a.rows(), r_prev, r_prev2, r_next);
+}
+
 PairedDots spmv_combine_dot2(const MatrixOperator& op, std::span<const double> r_prev,
                              std::span<const double> r_prev2, std::span<double> r_next) {
   if (op.dense() != nullptr) return spmv_combine_dot2(*op.dense(), r_prev, r_prev2, r_next);
-  return spmv_combine_dot2(*op.crs(), r_prev, r_prev2, r_next);
+  if (op.crs() != nullptr) return spmv_combine_dot2(*op.crs(), r_prev, r_prev2, r_next);
+  return spmv_combine_dot2(*op.sell(), r_prev, r_prev2, r_next);
 }
 
 double spmv_combine_dot_re(const CrsMatrixZ& a, std::span<const std::complex<double>> r_prev,
@@ -210,6 +440,207 @@ double spmv_combine_dot_re(const CrsMatrixZ& a, std::span<const std::complex<dou
     dot_re += (std::conj(r0[r]) * next).real();
   }
   return dot_re;
+}
+
+// ---------------------------------------------------------------------------
+// Vector-block (SpMMV) kernels.
+
+void block_dot(std::span<const double> x, std::span<const double> y, std::size_t block,
+               std::span<double> dots) {
+  KPM_REQUIRE(block >= 1, "block_dot: block must be >= 1");
+  KPM_REQUIRE(x.size() == y.size() && x.size() % block == 0,
+              "block_dot: block vector size mismatch");
+  KPM_REQUIRE(dots.size() == block, "block_dot: dots size mismatch");
+  const std::size_t dim = x.size() / block;
+  std::vector<double> lanes(4 * block, 0.0);  // lanes[4*j + (i & 3)]
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double* xi = x.data() + i * block;
+    const double* yi = y.data() + i * block;
+    const std::size_t lane = i & 3;
+    for (std::size_t j = 0; j < block; ++j) lanes[4 * j + lane] += xi[j] * yi[j];
+  }
+  for (std::size_t j = 0; j < block; ++j) {
+    const double* l = lanes.data() + 4 * j;
+    dots[j] = (l[0] + l[1]) + (l[2] + l[3]);
+  }
+}
+
+void spmmv_multiply(const CrsMatrix& a, std::size_t block, std::span<const double> x,
+                    std::span<double> y) {
+  KPM_REQUIRE(block >= 1, "spmmv_multiply: block must be >= 1");
+  KPM_REQUIRE(x.size() == a.cols() * block && y.size() == a.rows() * block,
+              "spmmv_multiply: block size mismatch");
+  KPM_REQUIRE(y.data() != x.data(), "spmmv_multiply: y must not alias x");
+  meter_spmmv(2 * a.nnz(), crs_matrix_bytes(a), a.rows(), block);
+  spmmv_multiply_kernel(CrsAccess(a), a.rows(), block, x, y);
+}
+
+void spmmv_multiply(const SellMatrix& a, std::size_t block, std::span<const double> x,
+                    std::span<double> y) {
+  KPM_REQUIRE(block >= 1, "spmmv_multiply: block must be >= 1");
+  KPM_REQUIRE(x.size() == a.cols() * block && y.size() == a.rows() * block,
+              "spmmv_multiply: block size mismatch");
+  KPM_REQUIRE(y.data() != x.data(), "spmmv_multiply: y must not alias x");
+  meter_spmmv(2 * a.nnz(), a.spmv_matrix_bytes(), a.rows(), block);
+  spmmv_multiply_kernel(SellAccess(a), a.rows(), block, x, y);
+}
+
+void spmmv_multiply(const DenseMatrix& a, std::size_t block, std::span<const double> x,
+                    std::span<double> y) {
+  KPM_REQUIRE(block >= 1, "spmmv_multiply: block must be >= 1");
+  KPM_REQUIRE(x.size() == a.cols() * block && y.size() == a.rows() * block,
+              "spmmv_multiply: block size mismatch");
+  KPM_REQUIRE(y.data() != x.data(), "spmmv_multiply: y must not alias x");
+  meter_spmmv(2 * a.rows() * a.cols(), a.rows() * a.cols() * sizeof(double), a.rows(), block);
+  spmmv_multiply_kernel(DenseAccess(a), a.rows(), block, x, y);
+}
+
+void spmmv_multiply(const MatrixOperator& op, std::size_t block, std::span<const double> x,
+                    std::span<double> y) {
+  if (op.dense() != nullptr) return spmmv_multiply(*op.dense(), block, x, y);
+  if (op.crs() != nullptr) return spmmv_multiply(*op.crs(), block, x, y);
+  return spmmv_multiply(*op.sell(), block, x, y);
+}
+
+void spmmv_combine_dot(const CrsMatrix& a, std::size_t block, std::span<const double> r_prev,
+                       std::span<const double> r_prev2, std::span<const double> r0,
+                       std::span<double> r_next, std::span<double> dots) {
+  require_spmmv_preconditions(a.rows(), a.cols(), block, r_prev, r_prev2, r_next);
+  KPM_REQUIRE(r0.size() == a.rows() * block && dots.size() == block,
+              "spmmv_combine_dot: r0/dots size mismatch");
+  KPM_REQUIRE(r_next.data() != r0.data(), "spmmv_combine_dot: r_next must not alias r0");
+  meter_fused(2 * a.nnz(), crs_matrix_bytes(a), a.rows(), 1, sizeof(double), block);
+  spmmv_dot_kernel(CrsAccess(a), a.rows(), block, r_prev, r_prev2, r0, r_next, dots);
+}
+
+void spmmv_combine_dot(const SellMatrix& a, std::size_t block, std::span<const double> r_prev,
+                       std::span<const double> r_prev2, std::span<const double> r0,
+                       std::span<double> r_next, std::span<double> dots) {
+  require_spmmv_preconditions(a.rows(), a.cols(), block, r_prev, r_prev2, r_next);
+  KPM_REQUIRE(r0.size() == a.rows() * block && dots.size() == block,
+              "spmmv_combine_dot: r0/dots size mismatch");
+  KPM_REQUIRE(r_next.data() != r0.data(), "spmmv_combine_dot: r_next must not alias r0");
+  meter_fused(2 * a.nnz(), a.spmv_matrix_bytes(), a.rows(), 1, sizeof(double), block);
+  spmmv_dot_kernel(SellAccess(a), a.rows(), block, r_prev, r_prev2, r0, r_next, dots);
+}
+
+void spmmv_combine_dot(const DenseMatrix& a, std::size_t block, std::span<const double> r_prev,
+                       std::span<const double> r_prev2, std::span<const double> r0,
+                       std::span<double> r_next, std::span<double> dots) {
+  require_spmmv_preconditions(a.rows(), a.cols(), block, r_prev, r_prev2, r_next);
+  KPM_REQUIRE(r0.size() == a.rows() * block && dots.size() == block,
+              "spmmv_combine_dot: r0/dots size mismatch");
+  KPM_REQUIRE(r_next.data() != r0.data(), "spmmv_combine_dot: r_next must not alias r0");
+  meter_fused(2 * a.rows() * a.cols(), a.rows() * a.cols() * sizeof(double), a.rows(), 1,
+              sizeof(double), block);
+  spmmv_dot_kernel(DenseAccess(a), a.rows(), block, r_prev, r_prev2, r0, r_next, dots);
+}
+
+void spmmv_combine_dot(const MatrixOperator& op, std::size_t block,
+                       std::span<const double> r_prev, std::span<const double> r_prev2,
+                       std::span<const double> r0, std::span<double> r_next,
+                       std::span<double> dots) {
+  if (op.dense() != nullptr)
+    return spmmv_combine_dot(*op.dense(), block, r_prev, r_prev2, r0, r_next, dots);
+  if (op.crs() != nullptr)
+    return spmmv_combine_dot(*op.crs(), block, r_prev, r_prev2, r0, r_next, dots);
+  return spmmv_combine_dot(*op.sell(), block, r_prev, r_prev2, r0, r_next, dots);
+}
+
+void spmmv_combine_dot2(const CrsMatrix& a, std::size_t block, std::span<const double> r_prev,
+                        std::span<const double> r_prev2, std::span<double> r_next,
+                        std::span<PairedDots> dots) {
+  require_spmmv_preconditions(a.rows(), a.cols(), block, r_prev, r_prev2, r_next);
+  KPM_REQUIRE(dots.size() == block, "spmmv_combine_dot2: dots size mismatch");
+  meter_fused(2 * a.nnz(), crs_matrix_bytes(a), a.rows(), 2, sizeof(double), block);
+  spmmv_dot2_kernel(CrsAccess(a), a.rows(), block, r_prev, r_prev2, r_next, dots);
+}
+
+void spmmv_combine_dot2(const SellMatrix& a, std::size_t block, std::span<const double> r_prev,
+                        std::span<const double> r_prev2, std::span<double> r_next,
+                        std::span<PairedDots> dots) {
+  require_spmmv_preconditions(a.rows(), a.cols(), block, r_prev, r_prev2, r_next);
+  KPM_REQUIRE(dots.size() == block, "spmmv_combine_dot2: dots size mismatch");
+  meter_fused(2 * a.nnz(), a.spmv_matrix_bytes(), a.rows(), 2, sizeof(double), block);
+  spmmv_dot2_kernel(SellAccess(a), a.rows(), block, r_prev, r_prev2, r_next, dots);
+}
+
+void spmmv_combine_dot2(const DenseMatrix& a, std::size_t block, std::span<const double> r_prev,
+                        std::span<const double> r_prev2, std::span<double> r_next,
+                        std::span<PairedDots> dots) {
+  require_spmmv_preconditions(a.rows(), a.cols(), block, r_prev, r_prev2, r_next);
+  KPM_REQUIRE(dots.size() == block, "spmmv_combine_dot2: dots size mismatch");
+  meter_fused(2 * a.rows() * a.cols(), a.rows() * a.cols() * sizeof(double), a.rows(), 2,
+              sizeof(double), block);
+  spmmv_dot2_kernel(DenseAccess(a), a.rows(), block, r_prev, r_prev2, r_next, dots);
+}
+
+void spmmv_combine_dot2(const MatrixOperator& op, std::size_t block,
+                        std::span<const double> r_prev, std::span<const double> r_prev2,
+                        std::span<double> r_next, std::span<PairedDots> dots) {
+  if (op.dense() != nullptr)
+    return spmmv_combine_dot2(*op.dense(), block, r_prev, r_prev2, r_next, dots);
+  if (op.crs() != nullptr)
+    return spmmv_combine_dot2(*op.crs(), block, r_prev, r_prev2, r_next, dots);
+  return spmmv_combine_dot2(*op.sell(), block, r_prev, r_prev2, r_next, dots);
+}
+
+void spmmv_combine_dot_re(const CrsMatrixZ& a, std::size_t block,
+                          std::span<const std::complex<double>> r_prev,
+                          std::span<const std::complex<double>> r_prev2,
+                          std::span<const std::complex<double>> r0,
+                          std::span<std::complex<double>> r_next, std::span<double> dots) {
+  KPM_REQUIRE(block >= 1, "spmmv_combine_dot_re: block must be >= 1");
+  KPM_REQUIRE(a.rows() == a.cols(), "spmmv_combine_dot_re: matrix must be square");
+  KPM_REQUIRE(r_prev.size() == a.cols() * block && r_prev2.size() == a.rows() * block &&
+                  r0.size() == a.rows() * block && r_next.size() == a.rows() * block &&
+                  dots.size() == block,
+              "spmmv_combine_dot_re: block size mismatch");
+  KPM_REQUIRE(r_next.data() != r_prev.data() && r_next.data() != r_prev2.data() &&
+                  r_next.data() != r0.data(),
+              "spmmv_combine_dot_re: r_next must not alias an input");
+  if (obs::active_counters() != nullptr) {
+    // Per-member model matches spmv_combine_dot_re; the matrix streams once.
+    const double d = static_cast<double>(a.rows());
+    const double b = static_cast<double>(block);
+    const double matrix_bytes = static_cast<double>(
+        a.nnz() * (sizeof(std::complex<double>) + sizeof(CrsMatrixZ::Index)) +
+        (a.rows() + 1) * sizeof(CrsMatrixZ::Index));
+    const double bytes = matrix_bytes + 4.0 * b * d * sizeof(std::complex<double>);
+    obs::add(obs::Counter::SpmvCalls, b);
+    obs::add(obs::Counter::DotCalls, b);
+    obs::add(obs::Counter::FusedCalls, 1.0);
+    obs::add(obs::Counter::Flops, b * (8.0 * static_cast<double>(a.nnz()) + 8.0 * d));
+    obs::add(obs::Counter::BytesStreamed, bytes);
+    obs::add(obs::Counter::FusedBytes, bytes);
+  }
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  const std::size_t rows = a.rows();
+
+  std::vector<std::complex<double>> acc(block);
+  // Per member: single-lane left fold, matching spmv_combine_dot_re.
+  std::fill(dots.begin(), dots.end(), 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::fill(acc.begin(), acc.end(), std::complex<double>{0.0, 0.0});
+    for (auto k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      const std::complex<double> v = values[kk];
+      const std::complex<double>* xc =
+          r_prev.data() + static_cast<std::size_t>(col_idx[kk]) * block;
+      for (std::size_t j = 0; j < block; ++j) acc[j] += v * xc[j];
+    }
+    const std::complex<double>* p2 = r_prev2.data() + r * block;
+    const std::complex<double>* z = r0.data() + r * block;
+    std::complex<double>* yr = r_next.data() + r * block;
+    for (std::size_t j = 0; j < block; ++j) {
+      const std::complex<double> next = 2.0 * acc[j] - p2[j];
+      yr[j] = next;
+      dots[j] += (std::conj(z[j]) * next).real();
+    }
+  }
 }
 
 }  // namespace kpm::linalg

@@ -16,15 +16,29 @@
 // The per-row SpMV accumulation order matches CrsMatrix/DenseMatrix
 // ::multiply exactly, and the dot accumulation uses linalg::dot's canonical
 // 4-lane order (row r feeds lane r mod 4; total = (l0 + l1) + (l2 + l3)).
+//
+// Vector-block (SpMMV) variants: the spmmv_* kernels process a BLOCK of B
+// independent recursion vectors per matrix pass — the decisive KPM lever of
+// Kreutzer et al.: matrix traffic is amortized 1/B while the per-member
+// arithmetic is untouched.  Block vectors are stored INTERLEAVED: element i
+// of member j lives at x[i*B + j], so the inner member loop reads
+// unit-stride memory at every gathered row.  Every member's accumulation
+// (per-row entry order AND dot lane order, with the member's own 4 lanes)
+// is identical to the corresponding single-vector kernel, so blocked
+// results are bit-identical to B per-vector passes.  SELL-C-sigma operators
+// traverse rows in LOGICAL order through `slot_of()`, with per-row entry
+// order matching CRS, so SELL results are bit-identical to CRS too.
 #pragma once
 
 #include <complex>
+#include <cstddef>
 #include <span>
 
 #include "linalg/crs_matrix.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "linalg/hermitian_matrix.hpp"
 #include "linalg/operator.hpp"
+#include "linalg/sell_matrix.hpp"
 
 namespace kpm::linalg {
 
@@ -36,6 +50,9 @@ namespace kpm::linalg {
                                       std::span<const double> r_prev2, std::span<const double> r0,
                                       std::span<double> r_next);
 [[nodiscard]] double spmv_combine_dot(const DenseMatrix& a, std::span<const double> r_prev,
+                                      std::span<const double> r_prev2, std::span<const double> r0,
+                                      std::span<double> r_next);
+[[nodiscard]] double spmv_combine_dot(const SellMatrix& a, std::span<const double> r_prev,
                                       std::span<const double> r_prev2, std::span<const double> r0,
                                       std::span<double> r_next);
 /// Storage-dispatching overload for engine code.
@@ -58,6 +75,9 @@ struct PairedDots {
 [[nodiscard]] PairedDots spmv_combine_dot2(const DenseMatrix& a, std::span<const double> r_prev,
                                            std::span<const double> r_prev2,
                                            std::span<double> r_next);
+[[nodiscard]] PairedDots spmv_combine_dot2(const SellMatrix& a, std::span<const double> r_prev,
+                                           std::span<const double> r_prev2,
+                                           std::span<double> r_next);
 [[nodiscard]] PairedDots spmv_combine_dot2(const MatrixOperator& op,
                                            std::span<const double> r_prev,
                                            std::span<const double> r_prev2,
@@ -72,5 +92,71 @@ struct PairedDots {
                                          std::span<const std::complex<double>> r_prev2,
                                          std::span<const std::complex<double>> r0,
                                          std::span<std::complex<double>> r_next);
+
+// ---------------------------------------------------------------------------
+// Vector-block (SpMMV) kernels.  `block` is B >= 1; block spans hold
+// dim * B doubles in the interleaved layout described above, and `dots`
+// outputs hold one value per member.  Every kernel streams the matrix ONCE
+// for all B members.
+
+/// Per-member dot products <x_j | y_j> of two interleaved blocks, each in
+/// linalg::dot's canonical 4-lane order (element i feeds lane i mod 4).
+/// Member j's result is bit-identical to linalg::dot on its deinterleaved
+/// vectors.  Unmetered, like linalg::dot.
+void block_dot(std::span<const double> x, std::span<const double> y, std::size_t block,
+               std::span<double> dots);
+
+/// y_j = A * x_j for all B members in one matrix pass (no combine, no dot;
+/// the blocked analogue of MatrixOperator::multiply, used for the r_1 =
+/// H~ r_0 step).  Meters B SpMV products over one matrix stream.
+void spmmv_multiply(const CrsMatrix& a, std::size_t block, std::span<const double> x,
+                    std::span<double> y);
+void spmmv_multiply(const SellMatrix& a, std::size_t block, std::span<const double> x,
+                    std::span<double> y);
+void spmmv_multiply(const DenseMatrix& a, std::size_t block, std::span<const double> x,
+                    std::span<double> y);
+void spmmv_multiply(const MatrixOperator& op, std::size_t block, std::span<const double> x,
+                    std::span<double> y);
+
+/// r_next_j = 2 * A * r_prev_j - r_prev2_j and dots[j] = <r0_j | r_next_j>
+/// for all B members in one matrix pass.  Same alias preconditions as
+/// spmv_combine_dot; member j's outputs are bit-identical to the
+/// single-vector kernel on its deinterleaved vectors.
+void spmmv_combine_dot(const CrsMatrix& a, std::size_t block, std::span<const double> r_prev,
+                       std::span<const double> r_prev2, std::span<const double> r0,
+                       std::span<double> r_next, std::span<double> dots);
+void spmmv_combine_dot(const SellMatrix& a, std::size_t block, std::span<const double> r_prev,
+                       std::span<const double> r_prev2, std::span<const double> r0,
+                       std::span<double> r_next, std::span<double> dots);
+void spmmv_combine_dot(const DenseMatrix& a, std::size_t block, std::span<const double> r_prev,
+                       std::span<const double> r_prev2, std::span<const double> r0,
+                       std::span<double> r_next, std::span<double> dots);
+void spmmv_combine_dot(const MatrixOperator& op, std::size_t block,
+                       std::span<const double> r_prev, std::span<const double> r_prev2,
+                       std::span<const double> r0, std::span<double> r_next,
+                       std::span<double> dots);
+
+/// Blocked paired-moment pass: r_next_j = 2 * A * r_prev_j - r_prev2_j with
+/// dots[j] = {<r_next_j|r_prev_j>, <r_prev_j|r_prev_j>} per member.
+void spmmv_combine_dot2(const CrsMatrix& a, std::size_t block, std::span<const double> r_prev,
+                        std::span<const double> r_prev2, std::span<double> r_next,
+                        std::span<PairedDots> dots);
+void spmmv_combine_dot2(const SellMatrix& a, std::size_t block, std::span<const double> r_prev,
+                        std::span<const double> r_prev2, std::span<double> r_next,
+                        std::span<PairedDots> dots);
+void spmmv_combine_dot2(const DenseMatrix& a, std::size_t block, std::span<const double> r_prev,
+                        std::span<const double> r_prev2, std::span<double> r_next,
+                        std::span<PairedDots> dots);
+void spmmv_combine_dot2(const MatrixOperator& op, std::size_t block,
+                        std::span<const double> r_prev, std::span<const double> r_prev2,
+                        std::span<double> r_next, std::span<PairedDots> dots);
+
+/// Blocked complex-Hermitian pass: per member, dots[j] = Re<r0_j|r_next_j>
+/// accumulated as a single-lane left fold (matching spmv_combine_dot_re).
+void spmmv_combine_dot_re(const CrsMatrixZ& a, std::size_t block,
+                          std::span<const std::complex<double>> r_prev,
+                          std::span<const std::complex<double>> r_prev2,
+                          std::span<const std::complex<double>> r0,
+                          std::span<std::complex<double>> r_next, std::span<double> dots);
 
 }  // namespace kpm::linalg

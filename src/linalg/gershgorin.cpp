@@ -46,9 +46,42 @@ SpectralBounds gershgorin_bounds(const CrsMatrix& m) {
   return {lo, hi};
 }
 
+SpectralBounds gershgorin_bounds(const SellMatrix& m) {
+  KPM_REQUIRE(m.rows() == m.cols(), "gershgorin_bounds requires a square matrix");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  const auto chunk_ptr = m.chunk_ptr();
+  const auto row_len = m.row_len();
+  const auto perm = m.perm();
+  const auto col_idx = m.col_idx();
+  const auto values = m.values();
+  const std::size_t c_sz = m.chunk_size();
+  for (std::size_t c = 0; c < m.chunks(); ++c) {
+    const auto base = static_cast<std::size_t>(chunk_ptr[c]);
+    for (std::size_t l = 0; l < c_sz; ++l) {
+      const std::size_t slot = c * c_sz + l;
+      if (perm[slot] < 0) continue;
+      const auto r = static_cast<std::size_t>(perm[slot]);
+      double center = 0.0;
+      double radius = 0.0;
+      for (std::size_t j = 0; j < static_cast<std::size_t>(row_len[slot]); ++j) {
+        const std::size_t k = base + j * c_sz + l;
+        if (static_cast<std::size_t>(col_idx[k]) == r)
+          center = values[k];
+        else
+          radius += std::abs(values[k]);
+      }
+      lo = std::min(lo, center - radius);
+      hi = std::max(hi, center + radius);
+    }
+  }
+  return {lo, hi};
+}
+
 SpectralBounds gershgorin_bounds(const MatrixOperator& op) {
-  return op.storage() == Storage::Dense ? gershgorin_bounds(*op.dense())
-                                        : gershgorin_bounds(*op.crs());
+  if (op.storage() == Storage::Dense) return gershgorin_bounds(*op.dense());
+  if (op.storage() == Storage::Crs) return gershgorin_bounds(*op.crs());
+  return gershgorin_bounds(*op.sell());
 }
 
 }  // namespace kpm::linalg

@@ -25,6 +25,9 @@ struct SpectralBounds {
 /// Computes Gershgorin bounds for a CRS square matrix.
 [[nodiscard]] SpectralBounds gershgorin_bounds(const CrsMatrix& m);
 
+/// Computes Gershgorin bounds for a SELL-C-sigma square matrix.
+[[nodiscard]] SpectralBounds gershgorin_bounds(const SellMatrix& m);
+
 /// Dispatches on the operator's storage.
 [[nodiscard]] SpectralBounds gershgorin_bounds(const MatrixOperator& op);
 

@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "linalg/crs_matrix.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "linalg/sell_matrix.hpp"
 
 namespace kpm::linalg {
 
@@ -21,11 +22,12 @@ namespace kpm::linalg {
 enum class Storage {
   Dense,  ///< row-major dense; recursion costs O(D^2) per SpMV
   Crs,    ///< compressed row storage; recursion costs O(nnz) per SpMV
+  Sell,   ///< SELL-C-sigma: sorted/padded chunks, lane-coalesced entry order
 };
 
-/// Returns "dense" or "crs".
+/// Returns "dense", "crs" or "sell".
 constexpr const char* to_string(Storage s) noexcept {
-  return s == Storage::Dense ? "dense" : "crs";
+  return s == Storage::Dense ? "dense" : s == Storage::Crs ? "crs" : "sell";
 }
 
 /// Non-owning polymorphic view of a square matrix used as a linear operator.
@@ -41,50 +43,68 @@ class MatrixOperator {
     KPM_REQUIRE(m.rows() == m.cols(), "MatrixOperator requires a square matrix");
   }
 
+  /// Views a SELL-C-sigma matrix; the matrix must outlive the operator.
+  explicit MatrixOperator(const SellMatrix& m) : sell_(&m) {
+    KPM_REQUIRE(m.rows() == m.cols(), "MatrixOperator requires a square matrix");
+  }
+
   // A view of a temporary dangles immediately — reject at compile time.
   explicit MatrixOperator(DenseMatrix&&) = delete;
   explicit MatrixOperator(CrsMatrix&&) = delete;
+  explicit MatrixOperator(SellMatrix&&) = delete;
 
   [[nodiscard]] Storage storage() const noexcept {
-    return dense_ != nullptr ? Storage::Dense : Storage::Crs;
+    if (dense_ != nullptr) return Storage::Dense;
+    return crs_ != nullptr ? Storage::Crs : Storage::Sell;
   }
 
   [[nodiscard]] std::size_t dim() const noexcept {
-    return dense_ != nullptr ? dense_->rows() : crs_->rows();
+    if (dense_ != nullptr) return dense_->rows();
+    return crs_ != nullptr ? crs_->rows() : sell_->rows();
   }
 
-  /// Stored entries (D^2 for dense, nnz for CRS).
+  /// Stored entries (D^2 for dense, nnz for CRS/SELL — SELL padding is
+  /// skipped by every kernel, so it contributes no operations).
   [[nodiscard]] std::size_t stored_entries() const noexcept {
-    return dense_ != nullptr ? dense_->rows() * dense_->cols() : crs_->nnz();
+    if (dense_ != nullptr) return dense_->rows() * dense_->cols();
+    return crs_ != nullptr ? crs_->nnz() : sell_->nnz();
   }
 
   /// Floating-point operations of one y = A x (multiply + add per entry).
   [[nodiscard]] std::size_t spmv_flops() const noexcept { return 2 * stored_entries(); }
 
   /// Bytes of matrix data streamed by one y = A x (values only for dense;
-  /// values + column indices for CRS).
+  /// values + column indices for CRS; padded values + indices + chunk
+  /// metadata for SELL).
   [[nodiscard]] std::size_t spmv_matrix_bytes() const noexcept {
     if (dense_ != nullptr) return stored_entries() * sizeof(double);
-    return crs_->nnz() * (sizeof(double) + sizeof(CrsMatrix::Index)) +
-           (crs_->rows() + 1) * sizeof(CrsMatrix::Index);
+    if (crs_ != nullptr)
+      return crs_->nnz() * (sizeof(double) + sizeof(CrsMatrix::Index)) +
+             (crs_->rows() + 1) * sizeof(CrsMatrix::Index);
+    return sell_->spmv_matrix_bytes();
   }
 
   /// y = A * x.
   void multiply(std::span<const double> x, std::span<double> y) const {
     if (dense_ != nullptr)
       dense_->multiply(x, y);
-    else
+    else if (crs_ != nullptr)
       crs_->multiply(x, y);
+    else
+      sell_->multiply(x, y);
   }
 
-  /// Underlying dense matrix (null when CRS-backed).
+  /// Underlying dense matrix (null unless dense-backed).
   [[nodiscard]] const DenseMatrix* dense() const noexcept { return dense_; }
-  /// Underlying CRS matrix (null when dense-backed).
+  /// Underlying CRS matrix (null unless CRS-backed).
   [[nodiscard]] const CrsMatrix* crs() const noexcept { return crs_; }
+  /// Underlying SELL-C-sigma matrix (null unless SELL-backed).
+  [[nodiscard]] const SellMatrix* sell() const noexcept { return sell_; }
 
  private:
   const DenseMatrix* dense_ = nullptr;
   const CrsMatrix* crs_ = nullptr;
+  const SellMatrix* sell_ = nullptr;
 };
 
 }  // namespace kpm::linalg

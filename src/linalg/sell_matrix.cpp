@@ -1,0 +1,153 @@
+#include "linalg/sell_matrix.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace kpm::linalg {
+
+SellMatrix SellMatrix::from_crs(const CrsMatrix& m, std::size_t chunk_size,
+                                std::size_t sort_window) {
+  KPM_REQUIRE(chunk_size >= 1, "SellMatrix: chunk_size must be >= 1");
+  KPM_REQUIRE(sort_window >= 1, "SellMatrix: sort_window must be >= 1");
+  const std::size_t rows = m.rows();
+  const std::size_t chunks = (rows + chunk_size - 1) / chunk_size;
+  const std::size_t slots = chunks * chunk_size;
+  KPM_REQUIRE(slots < static_cast<std::size_t>(std::numeric_limits<Index>::max()),
+              "SellMatrix: row count exceeds the 32-bit index range");
+
+  SellMatrix s;
+  s.rows_ = rows;
+  s.cols_ = m.cols();
+  s.nnz_ = m.nnz();
+  s.chunk_size_ = chunk_size;
+  s.sort_window_ = sort_window;
+  const auto row_ptr = m.row_ptr();
+  const auto src_col = m.col_idx();
+  const auto src_val = m.values();
+
+  // Sort rows by descending length inside each sigma window (stable, so
+  // equal-length rows keep their logical order and the build is
+  // deterministic).  perm_[slot] = logical row.
+  s.perm_.assign(slots, Index{-1});
+  std::vector<Index> order(rows);
+  std::iota(order.begin(), order.end(), Index{0});
+  for (std::size_t w = 0; w < rows; w += sort_window) {
+    const std::size_t end = std::min(rows, w + sort_window);
+    std::stable_sort(order.begin() + static_cast<std::ptrdiff_t>(w),
+                     order.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](Index a, Index b) {
+                       return row_ptr[static_cast<std::size_t>(a) + 1] -
+                                  row_ptr[static_cast<std::size_t>(a)] >
+                              row_ptr[static_cast<std::size_t>(b) + 1] -
+                                  row_ptr[static_cast<std::size_t>(b)];
+                     });
+  }
+  std::copy(order.begin(), order.end(), s.perm_.begin());
+
+  s.slot_of_.assign(rows, Index{0});
+  s.row_len_.assign(slots, Index{0});
+  for (std::size_t slot = 0; slot < rows; ++slot) {
+    const auto r = static_cast<std::size_t>(s.perm_[slot]);
+    s.slot_of_[r] = static_cast<Index>(slot);
+    s.row_len_[slot] = row_ptr[r + 1] - row_ptr[r];
+  }
+
+  // Chunk widths and offsets; chunk c stores width(c) * C entry slots.
+  s.chunk_ptr_.assign(chunks + 1, Index{0});
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::size_t width = 0;
+    for (std::size_t l = 0; l < chunk_size; ++l)
+      width = std::max(width, static_cast<std::size_t>(s.row_len_[c * chunk_size + l]));
+    total += width * chunk_size;
+    KPM_REQUIRE(total < static_cast<std::size_t>(std::numeric_limits<Index>::max()),
+                "SellMatrix: padded entry count exceeds the 32-bit index range");
+    s.chunk_ptr_[c + 1] = static_cast<Index>(total);
+  }
+
+  // Scatter each row's CRS entries into its lane, preserving the per-row
+  // (sorted-column) entry order.  Padding slots keep value 0.0 / column 0.
+  s.col_idx_.assign(total, Index{0});
+  s.values_.assign(total, 0.0);
+  for (std::size_t slot = 0; slot < rows; ++slot) {
+    const std::size_t chunk = slot / chunk_size;
+    const std::size_t lane = slot % chunk_size;
+    const auto base = static_cast<std::size_t>(s.chunk_ptr_[chunk]);
+    const auto r = static_cast<std::size_t>(s.perm_[slot]);
+    const auto start = static_cast<std::size_t>(row_ptr[r]);
+    const auto len = static_cast<std::size_t>(s.row_len_[slot]);
+    for (std::size_t j = 0; j < len; ++j) {
+      s.col_idx_[base + j * chunk_size + lane] = src_col[start + j];
+      s.values_[base + j * chunk_size + lane] = src_val[start + j];
+    }
+  }
+  return s;
+}
+
+double SellMatrix::at(std::size_t r, std::size_t c) const {
+  KPM_REQUIRE(r < rows_ && c < cols_, "SellMatrix::at: index out of range");
+  const auto slot = static_cast<std::size_t>(slot_of_[r]);
+  const std::size_t chunk = slot / chunk_size_;
+  const std::size_t lane = slot % chunk_size_;
+  const auto base = static_cast<std::size_t>(chunk_ptr_[chunk]);
+  const auto len = static_cast<std::size_t>(row_len_[slot]);
+  for (std::size_t j = 0; j < len; ++j) {
+    const std::size_t k = base + j * chunk_size_ + lane;
+    if (static_cast<std::size_t>(col_idx_[k]) == c) return values_[k];
+  }
+  return 0.0;
+}
+
+std::size_t SellMatrix::max_row_nnz() const {
+  std::size_t max_len = 0;
+  for (const Index len : row_len_) max_len = std::max(max_len, static_cast<std::size_t>(len));
+  return max_len;
+}
+
+void SellMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  KPM_REQUIRE(x.size() == cols_ && y.size() == rows_, "SellMatrix::multiply: size mismatch");
+  KPM_REQUIRE(x.data() != y.data(), "SellMatrix::multiply: y must not alias x");
+  const std::size_t n_chunks = chunks();
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const auto base = static_cast<std::size_t>(chunk_ptr_[c]);
+    for (std::size_t l = 0; l < chunk_size_; ++l) {
+      const std::size_t slot = c * chunk_size_ + l;
+      const Index row = perm_[slot];
+      if (row < 0) continue;  // padding slot in the final chunk
+      const auto len = static_cast<std::size_t>(row_len_[slot]);
+      double acc = 0.0;  // per-row entry order matches CRS -> bit-identical
+      for (std::size_t j = 0; j < len; ++j) {
+        const std::size_t k = base + j * chunk_size_ + l;
+        acc += values_[k] * x[static_cast<std::size_t>(col_idx_[k])];
+      }
+      y[static_cast<std::size_t>(row)] = acc;
+    }
+  }
+}
+
+CrsMatrix SellMatrix::to_crs() const {
+  std::vector<Index> out_ptr(rows_ + 1, Index{0});
+  for (std::size_t r = 0; r < rows_; ++r)
+    out_ptr[r + 1] =
+        out_ptr[r] + row_len_[static_cast<std::size_t>(slot_of_[r])];
+  std::vector<Index> out_col(nnz_);
+  std::vector<double> out_val(nnz_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto slot = static_cast<std::size_t>(slot_of_[r]);
+    const std::size_t chunk = slot / chunk_size_;
+    const std::size_t lane = slot % chunk_size_;
+    const auto base = static_cast<std::size_t>(chunk_ptr_[chunk]);
+    const auto len = static_cast<std::size_t>(row_len_[slot]);
+    auto dst = static_cast<std::size_t>(out_ptr[r]);
+    for (std::size_t j = 0; j < len; ++j, ++dst) {
+      out_col[dst] = col_idx_[base + j * chunk_size_ + lane];
+      out_val[dst] = values_[base + j * chunk_size_ + lane];
+    }
+  }
+  return CrsMatrix(rows_, cols_, std::move(out_ptr), std::move(out_col), std::move(out_val));
+}
+
+}  // namespace kpm::linalg

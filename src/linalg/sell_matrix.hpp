@@ -1,0 +1,116 @@
+// SELL-C-sigma sparse matrix: sorted, chunked, padded ELLPACK storage.
+//
+// The layout of Kreutzer/Hager/Wellein (arXiv:1410.5242, the KPM blocking
+// paper in PAPERS.md): rows are sorted by descending length inside windows
+// of `sigma` rows, grouped into chunks of `C` consecutive slots, and every
+// chunk is padded to its longest row.  Entries are stored column-major
+// inside a chunk — entry j of the row in lane l of chunk c lives at
+// `chunk_ptr[c] + j*C + l` — so C SIMD lanes (or C GPU threads) walk their
+// rows with unit-stride, fully coalesced loads.  Sorting keeps rows of
+// similar length in the same chunk, bounding the padding overhead `beta`.
+//
+// Row permutation: slot s holds logical row `perm()[s]`; `slot_of()[r]`
+// inverts the map.  Vectors and moments stay in LOGICAL row order
+// everywhere — only the matrix entries are permuted — and each row stores
+// its entries in the same (sorted-column) order as the CrsMatrix it was
+// built from, so per-row accumulation is bit-identical to CRS.  Padding
+// entries (value 0.0, column 0) are never touched by compute: kernels bound
+// the inner loop by `row_len()`, keeping flops at 2*nnz and results free of
+// spurious 0.0 additions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/crs_matrix.hpp"
+
+namespace kpm::linalg {
+
+/// Immutable SELL-C-sigma sparse matrix of doubles.
+class SellMatrix {
+ public:
+  using Index = std::int32_t;
+
+  SellMatrix() = default;
+
+  /// Builds the SELL-C-sigma form of `m`.  `chunk_size` is C (rows per
+  /// chunk), `sort_window` is sigma (rows sorted together; a multiple of C
+  /// keeps chunks homogeneous, but any value >= 1 is accepted).
+  [[nodiscard]] static SellMatrix from_crs(const CrsMatrix& m, std::size_t chunk_size = 32,
+                                           std::size_t sort_window = 256);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  /// Logical (unpadded) stored entries — identical to the source CRS nnz.
+  [[nodiscard]] std::size_t nnz() const noexcept { return nnz_; }
+  [[nodiscard]] std::size_t chunk_size() const noexcept { return chunk_size_; }
+  [[nodiscard]] std::size_t sort_window() const noexcept { return sort_window_; }
+  [[nodiscard]] std::size_t chunks() const noexcept {
+    return chunk_ptr_.empty() ? 0 : chunk_ptr_.size() - 1;
+  }
+  /// Stored entries including chunk padding (the allocated value slots).
+  [[nodiscard]] std::size_t padded_entries() const noexcept { return values_.size(); }
+  /// Padding overhead beta = padded_entries / nnz (>= 1; 1 = no padding).
+  [[nodiscard]] double fill_ratio() const noexcept {
+    return nnz_ == 0 ? 1.0 : static_cast<double>(values_.size()) / static_cast<double>(nnz_);
+  }
+
+  /// Entry offset of each chunk (chunks()+1 values; chunk c spans
+  /// [chunk_ptr[c], chunk_ptr[c+1]) in values()/col_idx()).
+  [[nodiscard]] std::span<const Index> chunk_ptr() const noexcept { return chunk_ptr_; }
+  /// Per-slot row length (chunks()*C values; 0 for padding slots past rows()).
+  [[nodiscard]] std::span<const Index> row_len() const noexcept { return row_len_; }
+  /// Slot -> logical row (-1 for padding slots past rows()).
+  [[nodiscard]] std::span<const Index> perm() const noexcept { return perm_; }
+  /// Logical row -> slot (rows() values).
+  [[nodiscard]] std::span<const Index> slot_of() const noexcept { return slot_of_; }
+  [[nodiscard]] std::span<const Index> col_idx() const noexcept { return col_idx_; }
+  [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+
+  /// Returns element (r, c), 0.0 if not stored.  O(nnz_row).
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// Maximum stored entries in any row.
+  [[nodiscard]] std::size_t max_row_nnz() const;
+
+  /// y = A * x (y must not alias x).  Chunk-major traversal; each row's
+  /// entries accumulate in CRS order, so y is bit-identical to the source
+  /// CrsMatrix::multiply.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Round-trips back to CRS (logical row order; used by tests).
+  [[nodiscard]] CrsMatrix to_crs() const;
+
+  /// Bytes held by the entry + metadata arrays (padding included).
+  [[nodiscard]] std::size_t storage_bytes() const noexcept {
+    return values_.size() * sizeof(double) +
+           (col_idx_.size() + chunk_ptr_.size() + row_len_.size() + perm_.size() +
+            slot_of_.size()) *
+               sizeof(Index);
+  }
+
+  /// Bytes of matrix data one y = A x streams: padded values + column
+  /// indices, per-slot lengths, chunk offsets, and the row permutation.
+  /// This is what the roofline model and the fused-kernel meters charge.
+  [[nodiscard]] std::size_t spmv_matrix_bytes() const noexcept {
+    return values_.size() * (sizeof(double) + sizeof(Index)) +
+           row_len_.size() * sizeof(Index) + chunk_ptr_.size() * sizeof(Index) +
+           rows_ * sizeof(Index);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t nnz_ = 0;
+  std::size_t chunk_size_ = 1;
+  std::size_t sort_window_ = 1;
+  std::vector<Index> chunk_ptr_;
+  std::vector<Index> row_len_;
+  std::vector<Index> perm_;
+  std::vector<Index> slot_of_;
+  std::vector<Index> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace kpm::linalg

@@ -112,7 +112,7 @@ TEST(CheckClean, CheckerOnVsOffIsBitIdenticalForChunkedEngine) {
 
 TEST(CheckClean, ScenarioNamesAndRunnerAgree) {
   const auto names = check::scenario_names();
-  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.size(), 9u);
   const auto reports = check::run_all_scenarios();
   ASSERT_EQ(reports.size(), names.size());
   for (std::size_t i = 0; i < names.size(); ++i) EXPECT_EQ(reports[i].name, names[i]);

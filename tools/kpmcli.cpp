@@ -1,6 +1,6 @@
 // kpmcli — one command-line front end for the whole library.
 //
-//   kpmcli dos     --lattice=cubic --edge=10 --moments=512 [--csv=...]
+//   kpmcli dos     --lattice=cubic --edge=10 --moments=512 [--block=8 --storage=sell]
 //   kpmcli ldos    --lattice=square --edge=15 --site=112
 //   kpmcli sigma   --lattice=square --edge=16 --disorder=2
 //   kpmcli thermo  --lattice=cubic --edge=8 --temperature=0.5
@@ -132,6 +132,34 @@ std::unique_ptr<core::MomentEngine> make_engine(const std::string& name, int thr
   KPM_FAIL("unknown engine '" + name + "' (gpu|cpu|cpu-paired|cpu-parallel)");
 }
 
+/// The rescaled operator in the storage layout `--storage` asked for.  The
+/// SELL matrix (when chosen) lives on the heap so the operator's reference
+/// stays valid as the struct moves out of the builder.
+struct OperatorStorage {
+  std::unique_ptr<linalg::SellMatrix> sell;
+  std::unique_ptr<linalg::MatrixOperator> op;
+};
+
+OperatorStorage make_operator_storage(const linalg::CrsMatrix& h_tilde,
+                                      const std::string& storage) {
+  OperatorStorage s;
+  if (storage == "crs") {
+    s.op = std::make_unique<linalg::MatrixOperator>(h_tilde);
+  } else if (storage == "sell") {
+    s.sell = std::make_unique<linalg::SellMatrix>(linalg::SellMatrix::from_crs(h_tilde));
+    s.op = std::make_unique<linalg::MatrixOperator>(*s.sell);
+  } else {
+    KPM_FAIL("unknown storage '" + storage + "' (crs|sell)");
+  }
+  return s;
+}
+
+/// Validates a --block flag: the SpMMV block width must be at least 1.
+std::size_t parse_block(long long block) {
+  KPM_REQUIRE(block >= 1, "kpmcli: --block must be >= 1");
+  return static_cast<std::size_t>(block);
+}
+
 int cmd_dos(int argc, const char* const* argv) {
   CliParser cli("kpmcli dos", "density of states via stochastic KPM");
   const auto* kind = cli.add_string("lattice", "cubic", "chain|square|cubic|honeycomb");
@@ -144,6 +172,8 @@ int cmd_dos(int argc, const char* const* argv) {
   const auto* points = cli.add_int("points", 41, "output energies");
   const auto* engine_name = cli.add_string("engine", "gpu", "gpu|cpu|cpu-paired|cpu-parallel");
   const auto* threads = cli.add_int("threads", 4, "host threads for --engine=cpu-parallel");
+  const auto* block = cli.add_int("block", 1, "SpMMV vector-block width (CPU engines)");
+  const auto* storage = cli.add_string("storage", "crs", "operator layout: crs|sell");
   const auto* csv = cli.add_string("csv", "", "optional CSV output path");
   const auto* save = cli.add_string("save-moments", "",
                                     "store the moment set for later `kpmcli reconstruct`");
@@ -156,11 +186,22 @@ int cmd_dos(int argc, const char* const* argv) {
     return build_workload(*kind, static_cast<std::size_t>(*edge), *disorder,
                           static_cast<std::uint64_t>(*seed));
   }();
-  linalg::MatrixOperator op(w.h_tilde);
+  // Validate flag *values* before engine compatibility so a typo like
+  // --storage=bogus or --block=0 is reported as such.
+  const std::size_t block_r = parse_block(*block);
+  KPM_REQUIRE(*storage == "crs" || *storage == "sell",
+              "kpmcli dos: unknown --storage '" + *storage + "' (crs|sell)");
+  KPM_REQUIRE(*storage == "crs" || *engine_name != "gpu",
+              "kpmcli dos: --storage=sell is host-only; pick a cpu* engine");
+  KPM_REQUIRE(block_r == 1 || *engine_name != "gpu",
+              "kpmcli dos: --block > 1 is a CPU SpMMV optimization; pick a cpu* engine");
+  const auto os = make_operator_storage(w.h_tilde, *storage);
+  const linalg::MatrixOperator& op = *os.op;
   core::MomentParams params;
   params.num_moments = static_cast<std::size_t>(*n);
   params.random_vectors = static_cast<std::size_t>(*r);
   params.realizations = static_cast<std::size_t>(*s);
+  params.block_r = block_r;
   const auto engine = make_engine(*engine_name, static_cast<int>(*threads));
   const auto result = engine->compute(op, params);
   if (!save->empty()) {
@@ -202,6 +243,8 @@ int cmd_ldos(int argc, const char* const* argv) {
   const auto* disorder = cli.add_double("disorder", 0.0, "Anderson disorder width");
   const auto* seed = cli.add_int("seed", 42, "disorder seed");
   const auto* points = cli.add_int("points", 41, "output energies");
+  const auto* block = cli.add_int("block", 1, "SpMMV block width (single-site LDOS: must be 1)");
+  const auto* storage = cli.add_string("storage", "crs", "operator layout: crs|sell");
   const auto* csv = cli.add_string("csv", "", "optional CSV output path");
   const ObsFlags obs_flags = add_obs_flags(cli);
   cli.parse(argc, argv);
@@ -212,8 +255,13 @@ int cmd_ldos(int argc, const char* const* argv) {
     return build_workload(*kind, static_cast<std::size_t>(*edge), *disorder,
                           static_cast<std::uint64_t>(*seed));
   }();
-  linalg::MatrixOperator op(w.h_tilde);
-  const auto curve = core::ldos_curve(op, w.transform, static_cast<std::size_t>(*site),
+  // A single-site LDOS runs exactly one Chebyshev recursion, so there is no
+  // vector block to share the matrix stream across; validate rather than
+  // silently ignore the flag.
+  KPM_REQUIRE(parse_block(*block) == 1,
+              "kpmcli ldos: single-site LDOS has one start vector; --block must be 1");
+  const auto os = make_operator_storage(w.h_tilde, *storage);
+  const auto curve = core::ldos_curve(*os.op, w.transform, static_cast<std::size_t>(*site),
                                       static_cast<std::size_t>(*n),
                                       {.points = static_cast<std::size_t>(*points)});
   std::printf("%s, LDOS at site %lld (N=%lld)\n\n", w.description.c_str(),
@@ -239,6 +287,8 @@ int cmd_sigma(int argc, const char* const* argv) {
   const auto* r = cli.add_int("R", 16, "random vectors");
   const auto* disorder = cli.add_double("disorder", 0.0, "Anderson disorder width");
   const auto* seed = cli.add_int("seed", 42, "disorder seed");
+  const auto* block = cli.add_int("block", 1, "SpMMV vector-block width");
+  const auto* storage = cli.add_string("storage", "crs", "H~ layout: crs|sell");
   const auto* csv = cli.add_string("csv", "", "optional CSV output path");
   const ObsFlags obs_flags = add_obs_flags(cli);
   cli.parse(argc, argv);
@@ -258,13 +308,15 @@ int cmd_sigma(int argc, const char* const* argv) {
   const auto transform = linalg::make_spectral_transform(raw);
   const auto ht = linalg::rescale(h, transform);
   const auto a = lattice::build_current_operator_crs(lat, static_cast<std::size_t>(*axis));
-  linalg::MatrixOperator op(ht), op_a(a);
+  const auto os = make_operator_storage(ht, *storage);
+  linalg::MatrixOperator op_a(a);
 
   core::MomentParams params;
   params.num_moments = static_cast<std::size_t>(*n);
   params.random_vectors = static_cast<std::size_t>(*r);
   params.realizations = 2;
-  const auto m = core::conductivity_moments(op, op_a, params);
+  params.block_r = parse_block(*block);
+  const auto m = core::conductivity_moments(*os.op, op_a, params);
   const auto curve = core::reconstruct_conductivity(m, transform, {.points = 41});
 
   std::printf("%s, sigma along axis %lld, N=%zu\n\n", lat.describe().c_str(),
