@@ -1,0 +1,101 @@
+// Ablation: weak scaling of the cluster-sharded KPM engine.
+//
+// Weak scaling holds the PER-NODE subdomain fixed — every node owns
+// `planes` z-planes of an edge x edge cross-section — and doubles the node
+// count, so the global Hamiltonian grows linearly with P while each node's
+// compute stays constant.  Because a slab's halo is always two planes
+// (surface, not volume), the per-step exchange bytes per node are constant
+// too: the only terms that grow with P are the ring all-reduce latency and
+// the widening bulk-synchronous max over node clocks.  That is the
+// signature cluster-KPM trade Kreutzer et al. (arXiv:1410.5242) report,
+// reproduced here on the modeled interconnect.
+//
+// Every swept point re-verifies the determinism contract: the sharded
+// moments must equal the serial reference BIT-FOR-BIT on the executed
+// sample before the row is printed.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "core/moments_cluster.hpp"
+#include "lattice/decompose.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  CliParser cli("ablation_cluster", "weak scaling of domain-decomposed KPM");
+  const auto* edge = cli.add_int("edge", 8, "cross-section edge (rows per plane = edge^2)");
+  const auto* planes = cli.add_int("planes", 2, "z-planes per node (fixed subdomain)");
+  const auto* nodes_max = cli.add_int("nodes-max", 256, "largest node count (doubling sweep)");
+  const auto* n = cli.add_int("N", 128, "number of moments");
+  const auto* r = cli.add_int("R", 8, "random vectors");
+  const auto* s = cli.add_int("S", 2, "realizations");
+  const auto* sample = cli.add_int("sample", 2, "instances executed functionally (0 = all)");
+  const auto* link_name =
+      cli.add_string("interconnect", "ib-qdr", "cluster fabric: ib-qdr|pcie|ideal");
+  const auto* csv = cli.add_string("csv", "ablation_cluster.csv", "CSV output path");
+  const auto* out_dir = bench::add_out_dir(cli);
+  cli.parse(argc, argv);
+
+  KPM_REQUIRE(*edge >= 2, "ablation_cluster: --edge must be >= 2");
+  KPM_REQUIRE(*planes >= 1, "ablation_cluster: --planes must be >= 1");
+  KPM_REQUIRE(*nodes_max >= 1, "ablation_cluster: --nodes-max must be >= 1");
+  const auto link = gpusim::InterconnectSpec::from_name(*link_name);
+
+  bench::BenchMetrics metrics("ablation_cluster");
+
+  core::MomentParams params;
+  params.num_moments = static_cast<std::size_t>(*n);
+  params.random_vectors = static_cast<std::size_t>(*r);
+  params.realizations = static_cast<std::size_t>(*s);
+
+  bench::print_banner("=== Ablation: cluster weak scaling ===",
+                      "slab " + std::to_string(*edge) + "x" + std::to_string(*edge) + "x" +
+                          std::to_string(*planes) + " per node, fabric " + link.name,
+                      params, static_cast<std::size_t>(*sample));
+
+  Table table({"nodes", "D", "parallel s", "efficiency", "halo s", "allreduce s", "comm %"});
+  double max_diff = 0.0;
+  for (std::size_t nodes = 1; nodes <= static_cast<std::size_t>(*nodes_max); nodes *= 2) {
+    // Fixed subdomain: the lattice grows with the node count.
+    const std::size_t lz = static_cast<std::size_t>(*planes) * nodes;
+    const auto lat = lattice::HypercubicLattice::cubic(static_cast<std::size_t>(*edge),
+                                                       static_cast<std::size_t>(*edge), lz);
+    const auto h = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator raw(h);
+    const auto ht = linalg::rescale(h, linalg::make_spectral_transform(raw));
+    const linalg::MatrixOperator op(ht);
+
+    core::ClusterEngineConfig cfg;
+    cfg.decomposition = lattice::slab_decomposition(lat, nodes);
+    cfg.link = link;
+    core::ClusterMomentEngine cluster(cfg);
+    const auto result = cluster.compute(op, params, static_cast<std::size_t>(*sample));
+
+    // Determinism contract: the executed sample must reproduce the serial
+    // reference bit-for-bit at every node count.
+    core::CpuMomentEngine cpu;
+    const auto ref = cpu.compute(op, params, static_cast<std::size_t>(*sample));
+    for (std::size_t k = 0; k < ref.mu.size(); ++k)
+      max_diff = std::max(max_diff, std::abs(result.mu[k] - ref.mu[k]));
+
+    const auto& sc = cluster.last_scaling();
+    table.add_row({strprintf("%zu", nodes), strprintf("%zu", op.dim()),
+                   strprintf("%.4f", sc.parallel_seconds),
+                   strprintf("%.3f", sc.efficiency), strprintf("%.5f", sc.halo_seconds),
+                   strprintf("%.5f", sc.allreduce_seconds),
+                   strprintf("%.2f", 100.0 * sc.communication_seconds /
+                                         (sc.parallel_seconds > 0.0 ? sc.parallel_seconds
+                                                                    : 1.0))});
+  }
+  KPM_REQUIRE(max_diff == 0.0, "ablation_cluster: sharded moments must be bit-identical");
+  bench::finish(table, bench::resolve_output(*out_dir, *csv));
+  std::printf(
+      "\nmax |mu_cluster - mu_serial| = %.3g over every node count\n"
+      "expected: per-node halo bytes are CONSTANT under weak scaling (slab surface),\n"
+      "so efficiency decays only through the ring all-reduce latency term growing\n"
+      "with P and the synchronous step max; an --interconnect=ideal sweep isolates\n"
+      "the pure compute scaling.\n",
+      max_diff);
+  return 0;
+}

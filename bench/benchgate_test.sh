@@ -1,7 +1,7 @@
 #!/bin/sh
 # ctest driver for the bench-baseline regression gate.
 #
-# Runs the four quick CI benches into a scratch directory, then exercises
+# Runs the five quick CI benches into a scratch directory, then exercises
 # benchgate three ways against the checked-in BENCH_BASELINE.json:
 #   1. clean pass  — counters must match the baseline exactly (wall advisory),
 #   2. seeded drift — a perturbed spmv_calls counter must trip exit code 1,
@@ -9,14 +9,15 @@
 #      sidecars with the strict (non-advisory) wall check.
 #
 # usage: benchgate_test.sh <ablation_haydock> <ablation_chunking> <bench_serve> \
-#                          <ablation_spmmv> <benchgate> <baseline.json>
+#                          <ablation_spmmv> <ablation_cluster> <benchgate> <baseline.json>
 set -e
 haydock=$1
 chunking=$2
 serve=$3
 spmmv=$4
-benchgate=$5
-baseline=$6
+cluster=$5
+benchgate=$6
+baseline=$7
 
 scratch="$(pwd)/gate_scratch"
 rm -rf "$scratch"
@@ -27,6 +28,7 @@ cd "$scratch"
 "$chunking" --edge=6 --S=8 > /dev/null
 "$serve" --edge=6 --requests=12 > /dev/null
 "$spmmv" --edge=6 --N=64 --R=8 > /dev/null
+"$cluster" --edge=4 --planes=2 --nodes-max=8 --N=32 --R=4 --S=2 > /dev/null
 
 "$benchgate" --baseline="$baseline" --wall-advisory results/*.metrics.json
 

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "core/moments_cluster.hpp"
 #include "core/moments_cpu.hpp"
 #include "core/moments_multigpu.hpp"
 #include "diag/lanczos.hpp"
@@ -21,6 +22,8 @@ const char* to_string(EngineKind k) noexcept {
       return "gpu";
     case EngineKind::GpuCluster:
       return "gpu-cluster";
+    case EngineKind::ClusterSharded:
+      return "cluster-sharded";
   }
   return "?";
 }
@@ -52,6 +55,15 @@ MomentResult compute_moments(const linalg::MatrixOperator& h_tilde, const Moment
       MultiGpuMomentEngine engine(cfg);
       return engine.compute(h_tilde, params, options.sample_instances);
     }
+    case EngineKind::ClusterSharded: {
+      ClusterEngineConfig cfg;
+      cfg.node_count = options.cluster_nodes;
+      cfg.halo_width = options.cluster_halo;
+      cfg.link = gpusim::InterconnectSpec::from_name(options.cluster_interconnect);
+      cfg.threads = options.cpu_threads;
+      ClusterMomentEngine engine(cfg);
+      return engine.compute(h_tilde, params, options.sample_instances);
+    }
   }
   KPM_FAIL("compute_moments: unknown engine kind");
 }
@@ -76,7 +88,8 @@ DosStudy compute_dos_study(const linalg::MatrixOperator& h, const DosStudyOption
                 "compute_dos_study: SELL storage needs a CRS input Hamiltonian");
     KPM_REQUIRE(options.engine == EngineKind::CpuReference ||
                     options.engine == EngineKind::CpuPaired ||
-                    options.engine == EngineKind::CpuParallel,
+                    options.engine == EngineKind::CpuParallel ||
+                    options.engine == EngineKind::ClusterSharded,
                 "compute_dos_study: SELL-C-sigma storage is host-only (CPU engines)");
     crs_tilde = linalg::rescale(*h.crs(), study.transform);
     sell_tilde =
@@ -97,6 +110,9 @@ DosStudy compute_dos_study(const linalg::MatrixOperator& h, const DosStudyOption
   moment_options.cluster_devices = options.cluster_devices;
   moment_options.cpu_threads = options.cpu_threads;
   moment_options.sample_instances = options.sample_instances;
+  moment_options.cluster_nodes = options.cluster_nodes;
+  moment_options.cluster_halo = options.cluster_halo;
+  moment_options.cluster_interconnect = options.cluster_interconnect;
   study.moments = compute_moments(*op_tilde, options.params, moment_options);
 
   // 4. Reconstruction.

@@ -19,15 +19,16 @@ namespace kpm::core {
 
 /// Which execution engine a study runs on.
 enum class EngineKind {
-  CpuReference,  ///< serial CPU (paper's baseline)
-  CpuPaired,     ///< two-moments-per-SpMV CPU
-  CpuParallel,   ///< multithreaded CPU (instances across a thread pool)
-  Gpu,           ///< simulated GPU (paper's contribution)
-  GpuCluster,    ///< simulated multi-GPU cluster (paper's future work)
+  CpuReference,    ///< serial CPU (paper's baseline)
+  CpuPaired,       ///< two-moments-per-SpMV CPU
+  CpuParallel,     ///< multithreaded CPU (instances across a thread pool)
+  Gpu,             ///< simulated GPU (paper's contribution)
+  GpuCluster,      ///< simulated multi-GPU cluster (instances across devices)
+  ClusterSharded,  ///< domain-decomposed nodes with halo exchange (bit-identical)
 };
 
-/// Returns "cpu-reference", "cpu-paired", "cpu-parallel", "gpu" or
-/// "gpu-cluster".
+/// Returns "cpu-reference", "cpu-paired", "cpu-parallel", "gpu",
+/// "gpu-cluster" or "cluster-sharded".
 const char* to_string(EngineKind k) noexcept;
 
 /// Options of a moments-only computation (see `compute_moments`).
@@ -35,8 +36,14 @@ struct MomentComputeOptions {
   EngineKind engine = EngineKind::CpuReference;
   GpuEngineConfig gpu{};             ///< used by Gpu / GpuCluster
   std::size_t cluster_devices = 4;   ///< used by GpuCluster
-  int cpu_threads = 4;               ///< used by CpuParallel (>= 1)
+  int cpu_threads = 4;               ///< used by CpuParallel / ClusterSharded (>= 1)
   std::size_t sample_instances = 0;  ///< 0 = execute all instances
+
+  // ClusterSharded only: node count, ghost layers per exchange, and the
+  // modeled fabric ("ib-qdr", "pcie" or "ideal").
+  std::size_t cluster_nodes = 4;
+  std::size_t cluster_halo = 1;
+  std::string cluster_interconnect = "ib-qdr";
 };
 
 /// The reusable moments-only surface: runs `params` on the chosen engine
@@ -55,8 +62,13 @@ struct DosStudyOptions {
   EngineKind engine = EngineKind::Gpu;
   GpuEngineConfig gpu{};              ///< used by Gpu / GpuCluster
   std::size_t cluster_devices = 4;    ///< used by GpuCluster
-  int cpu_threads = 4;                ///< used by CpuParallel (>= 1)
+  int cpu_threads = 4;                ///< used by CpuParallel / ClusterSharded (>= 1)
   std::size_t sample_instances = 0;   ///< 0 = execute all instances
+
+  // ClusterSharded only (see MomentComputeOptions).
+  std::size_t cluster_nodes = 4;
+  std::size_t cluster_halo = 1;
+  std::string cluster_interconnect = "ib-qdr";
   double bounds_epsilon = 0.01;       ///< spectral padding
   bool use_lanczos_bounds = false;    ///< tighter bounds via Lanczos instead of Gershgorin
   bool use_sell_storage = false;      ///< run CPU engines on SELL-C-sigma H~ (CRS input only)

@@ -1,0 +1,136 @@
+// Cluster-sharded moment engine — domain-decomposed KPM across simulated
+// nodes, bit-identical to the single-node reference.
+//
+// Unlike MultiGpuMomentEngine (which replicates H~ and splits *instances*
+// across devices, agreeing with the serial engine only to roundoff), this
+// engine splits the *operator*: a linalg::Decomposition partitions the row
+// space into P node-local shards (linalg::ShardedMatrix), every recursion
+// step runs shard-locally, and the halo ghost values are exchanged between
+// steps.  Three mechanisms make the result BITWISE identical to
+// CpuMomentEngine for every P, block width and thread count:
+//
+//   1. Monotone ghost remap — each shard's rows keep their global per-row
+//      entry order, so a shard row's SpMV accumulation is the same float
+//      sequence as the global multiply (see linalg/shard.hpp).
+//   2. Lane-carry dot folds — the four canonical dot lanes are carried
+//      through the shards in node order and combined once, reproducing
+//      linalg::dot's exact summation order.
+//   3. Instance-ordered reduction — per-instance mu~ rows are summed in
+//      instance order regardless of thread distribution (the same
+//      contract CpuParallelMomentEngine keeps).
+//
+// Cost model: shard compute is priced per node (CPU roofline or gpusim
+// kernel model — clusters may be heterogeneous), the per-step halo
+// exchange is overlapped with interior compute on a shared bulk-synchronous
+// clock (t_step = t_boundary + max(t_interior, t_halo)), and per-moment
+// dot contributions are combined with one ring all-reduce per instance
+// group in canonical node order.  See docs/cluster.md.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/moments.hpp"
+#include "cpumodel/cpu_spec.hpp"
+#include "gpusim/cluster.hpp"
+#include "gpusim/device_spec.hpp"
+#include "linalg/decomposition.hpp"
+
+namespace kpm::common {
+class ThreadPool;
+}
+
+namespace kpm::core {
+
+/// Cost model of one cluster node.  The functional arithmetic is identical
+/// for every kind (that is the point of the determinism contract); the kind
+/// only selects how the shard's compute time is priced.
+struct ClusterNodeSpec {
+  enum class Kind { CpuRoofline, GpuDevice };
+
+  Kind kind = Kind::CpuRoofline;
+  cpumodel::CpuSpec cpu = cpumodel::CpuSpec::core_i7_930();
+  gpusim::DeviceSpec gpu = gpusim::DeviceSpec::tesla_c2050();
+
+  [[nodiscard]] static ClusterNodeSpec cpu_node(
+      cpumodel::CpuSpec spec = cpumodel::CpuSpec::core_i7_930());
+  [[nodiscard]] static ClusterNodeSpec gpu_node(
+      gpusim::DeviceSpec spec = gpusim::DeviceSpec::tesla_c2050());
+
+  /// Spec name of the selected cost model.
+  [[nodiscard]] const std::string& label() const noexcept {
+    return kind == Kind::GpuDevice ? gpu.name : cpu.name;
+  }
+};
+
+/// Configuration of the cluster-sharded engine.
+struct ClusterEngineConfig {
+  /// Node count for the default uniform row split.  Ignored when `nodes`
+  /// or `decomposition` pins the count.
+  std::size_t node_count = 4;
+  /// Per-node cost models; empty means `node_count` homogeneous CPU nodes.
+  std::vector<ClusterNodeSpec> nodes;
+  gpusim::InterconnectSpec link = gpusim::InterconnectSpec::infiniband_qdr();
+  /// Ghost layers per exchange for the default uniform decomposition
+  /// (modeled bytes; functional values are identical at any width).
+  std::size_t halo_width = 1;
+  /// Host threads executing the functional recursion (instances are
+  /// distributed like CpuParallelMomentEngine; results are thread-invariant).
+  int threads = 1;
+  /// Explicit partition; when set, its node count and halo width win.
+  std::optional<linalg::Decomposition> decomposition;
+
+  /// Nodes the engine will run (decomposition > nodes > node_count).
+  [[nodiscard]] std::size_t resolved_nodes() const noexcept {
+    if (decomposition.has_value()) return decomposition->nodes();
+    return nodes.empty() ? node_count : nodes.size();
+  }
+};
+
+/// Scaling diagnostics of the last run (modeled seconds, extrapolated to
+/// all S*R instances like every engine's cost output).
+struct ClusterScalingReport {
+  std::size_t nodes = 0;
+  double parallel_seconds = 0.0;    ///< modeled cluster wall-clock
+  double serialized_seconds = 0.0;  ///< sum of node compute clocks (no comm)
+  double efficiency = 0.0;          ///< serialized / (nodes * parallel)
+
+  double halo_seconds = 0.0;          ///< total modeled halo transfer time
+  double exposed_halo_seconds = 0.0;  ///< halo time NOT hidden behind interior compute
+  double allreduce_seconds = 0.0;     ///< ring all-reduce time
+  double communication_seconds = 0.0; ///< halo_seconds + allreduce_seconds
+
+  double halo_bytes_per_step = 0.0;    ///< all shards, one exchange, full block
+  double halo_bytes_total = 0.0;       ///< over every modeled step
+  double allreduce_bytes_total = 0.0;  ///< over every modeled instance group
+};
+
+/// Moment engine running the recursion shard-locally on P simulated nodes.
+class ClusterMomentEngine final : public MomentEngine {
+ public:
+  explicit ClusterMomentEngine(ClusterEngineConfig config = {});
+  ~ClusterMomentEngine() override;
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] MomentResult compute(const linalg::MatrixOperator& h_tilde,
+                                     const MomentParams& params,
+                                     std::size_t sample_instances = 0) override;
+
+  [[nodiscard]] const ClusterScalingReport& last_scaling() const noexcept { return scaling_; }
+
+ private:
+  ClusterEngineConfig config_;
+  ClusterScalingReport scaling_{};
+  std::unique_ptr<common::ThreadPool> pool_;  ///< lazily created, reused across computes
+};
+
+/// Sharded LDOS moments mu_n = <site|T_n(H~)|site> over `dec` — bit-identical
+/// to core::ldos_moments (same recursion, shard-local with lane-carry dots).
+[[nodiscard]] std::vector<double> cluster_ldos_moments(const linalg::MatrixOperator& h_tilde,
+                                                       const linalg::Decomposition& dec,
+                                                       std::size_t site,
+                                                       std::size_t num_moments);
+
+}  // namespace kpm::core

@@ -27,6 +27,34 @@ InterconnectSpec InterconnectSpec::pcie_peer() {
   return s;
 }
 
+InterconnectSpec InterconnectSpec::ideal() {
+  InterconnectSpec s;
+  s.name = "ideal (infinite fabric)";
+  s.bandwidth = 1.0e18;
+  s.latency_s = 0.0;
+  return s;
+}
+
+InterconnectSpec InterconnectSpec::from_name(const std::string& name) {
+  if (name == "ib-qdr") return infiniband_qdr();
+  if (name == "pcie") return pcie_peer();
+  if (name == "ideal") return ideal();
+  KPM_FAIL("unknown interconnect '" + name + "' (valid: ib-qdr, pcie, ideal)");
+}
+
+double ring_all_reduce_seconds(const InterconnectSpec& link, std::size_t members, double bytes) {
+  KPM_REQUIRE(bytes >= 0, "ring_all_reduce_seconds: negative byte count");
+  if (members <= 1) return 0.0;
+  const auto g = static_cast<double>(members);
+  return 2.0 * (g - 1.0) / g * bytes / link.bandwidth + 2.0 * (g - 1.0) * link.latency_s;
+}
+
+double halo_exchange_seconds(const InterconnectSpec& link, std::size_t neighbours, double bytes) {
+  KPM_REQUIRE(bytes >= 0, "halo_exchange_seconds: negative byte count");
+  if (neighbours == 0) return 0.0;
+  return static_cast<double>(neighbours) * link.latency_s + bytes / link.bandwidth;
+}
+
 Cluster::Cluster(const DeviceSpec& spec, std::size_t device_count, InterconnectSpec link)
     : link_(std::move(link)) {
   KPM_REQUIRE(device_count >= 1, "Cluster needs at least one device");
@@ -48,11 +76,7 @@ double Cluster::total_device_seconds() const {
 }
 
 double Cluster::all_reduce(double bytes) {
-  KPM_REQUIRE(bytes >= 0, "all_reduce: negative byte count");
-  if (devices_.size() == 1) return 0.0;
-  const auto g = static_cast<double>(devices_.size());
-  const double t = 2.0 * (g - 1.0) / g * bytes / link_.bandwidth +
-                   2.0 * (g - 1.0) * link_.latency_s;
+  const double t = ring_all_reduce_seconds(link_, devices_.size(), bytes);
   comm_seconds_ += t;
   return t;
 }

@@ -30,7 +30,23 @@ struct InterconnectSpec {
   static InterconnectSpec infiniband_qdr();
   /// Same-host PCIe peer-to-peer.
   static InterconnectSpec pcie_peer();
+  /// Infinite-bandwidth zero-latency fabric (isolates compute scaling).
+  static InterconnectSpec ideal();
+
+  /// Preset lookup by CLI name: "ib-qdr", "pcie", or "ideal".  Unknown
+  /// names are rejected with an error listing the valid ones.
+  static InterconnectSpec from_name(const std::string& name);
 };
+
+/// Modeled seconds of a ring all-reduce of `bytes` across `members` ranks:
+/// 2 (G-1)/G * bytes / bandwidth + 2 (G-1) * latency; free for G <= 1.
+[[nodiscard]] double ring_all_reduce_seconds(const InterconnectSpec& link, std::size_t members,
+                                             double bytes);
+
+/// Modeled seconds of a point-to-point halo exchange: one message latency
+/// per neighbour plus the received bytes over one link.
+[[nodiscard]] double halo_exchange_seconds(const InterconnectSpec& link, std::size_t neighbours,
+                                           double bytes);
 
 /// A set of identical simulated GPUs plus an interconnect.
 class Cluster {

@@ -1,0 +1,54 @@
+#include "lattice/decompose.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace kpm::lattice {
+namespace {
+
+/// Bands of whole "planes" (plane_sites consecutive rows each): the first
+/// planes%nodes bands get one extra plane.
+linalg::Decomposition banded(std::size_t planes, std::size_t plane_sites, std::size_t nodes,
+                             std::size_t halo_width, const char* what) {
+  KPM_REQUIRE(nodes >= 1, std::string(what) + ": needs at least one node");
+  KPM_REQUIRE(nodes <= planes, std::string(what) + ": more nodes (" + std::to_string(nodes) +
+                                   ") than lattice planes (" + std::to_string(planes) + ")");
+  const std::size_t base = planes / nodes;
+  const std::size_t rem = planes % nodes;
+  KPM_REQUIRE(halo_width >= 1 && halo_width <= base,
+              std::string(what) + ": halo of " + std::to_string(halo_width) +
+                  " planes is wider than the thinnest slab (" + std::to_string(base) +
+                  " planes)");
+  std::vector<linalg::ShardRange> ranges;
+  ranges.reserve(nodes);
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < nodes; ++p) {
+    const std::size_t len = (base + (p < rem ? 1 : 0)) * plane_sites;
+    ranges.push_back({cursor, cursor + len});
+    cursor += len;
+  }
+  return linalg::Decomposition(planes * plane_sites, std::move(ranges), halo_width);
+}
+
+}  // namespace
+
+linalg::Decomposition slab_decomposition(const HypercubicLattice& lat, std::size_t nodes,
+                                         std::size_t halo_width) {
+  const auto dims = lat.dims();
+  // Outermost used axis: z when 3D, y when 2D, x for a chain.
+  const std::size_t axis = dims[2] > 1 ? 2 : (dims[1] > 1 ? 1 : 0);
+  const std::size_t planes = dims[axis];
+  const std::size_t plane_sites = lat.sites() / planes;
+  return banded(planes, plane_sites, nodes, halo_width, "slab_decomposition");
+}
+
+linalg::Decomposition honeycomb_decomposition(const HoneycombLattice& lat, std::size_t nodes,
+                                              std::size_t halo_width) {
+  // site_index(c1, c2, s) = (c2*l1 + c1)*2 + s: each c2 value owns a
+  // contiguous band of 2*l1 sites, so bands along c2 are contiguous row
+  // ranges.
+  return banded(lat.l2(), 2 * lat.l1(), nodes, halo_width, "honeycomb_decomposition");
+}
+
+}  // namespace kpm::lattice

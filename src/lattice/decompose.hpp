@@ -1,0 +1,36 @@
+// Lattice-aware domain decompositions for the cluster engine.
+//
+// The hypercubic site indexing is row-major — index = (z*Ly + y)*Lx + x —
+// so slicing the outermost used axis into slabs yields CONTIGUOUS row
+// ranges: exactly what linalg::Decomposition partitions.  Each slab
+// touches only the neighbouring planes (plus the periodic wrap), so the
+// halo is two planes per node regardless of P — the surface-to-volume
+// property that makes weak scaling work (Kreutzer et al. arXiv:1410.5242).
+// The honeycomb indexing is c2-major with 2*l1 sites per cell row, giving
+// the same contiguity along c2.
+#pragma once
+
+#include <cstddef>
+
+#include "lattice/honeycomb.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/decomposition.hpp"
+
+namespace kpm::lattice {
+
+/// Slab decomposition of a hypercubic lattice along its outermost used
+/// axis (z for 3D, y for 2D, x for a chain): `nodes` slabs of whole
+/// planes, the first planes%nodes slabs one plane thicker.  Requires
+/// nodes <= planes along that axis and a halo no deeper than the thinnest
+/// slab (`halo_width` counts ghost layers = lattice planes here).
+[[nodiscard]] linalg::Decomposition slab_decomposition(const HypercubicLattice& lat,
+                                                       std::size_t nodes,
+                                                       std::size_t halo_width = 1);
+
+/// Cell-row decomposition of a honeycomb lattice along c2: `nodes` bands
+/// of whole cell rows (2*l1 sites each).  Requires nodes <= l2.
+[[nodiscard]] linalg::Decomposition honeycomb_decomposition(const HoneycombLattice& lat,
+                                                            std::size_t nodes,
+                                                            std::size_t halo_width = 1);
+
+}  // namespace kpm::lattice

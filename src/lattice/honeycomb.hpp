@@ -22,6 +22,8 @@ class HoneycombLattice {
 
   [[nodiscard]] std::size_t cells() const noexcept { return l1_ * l2_; }
   [[nodiscard]] std::size_t sites() const noexcept { return 2 * cells(); }
+  [[nodiscard]] std::size_t l1() const noexcept { return l1_; }
+  [[nodiscard]] std::size_t l2() const noexcept { return l2_; }
 
   /// Site index of (cell1, cell2, sublattice) with sublattice 0 = A, 1 = B.
   [[nodiscard]] std::size_t site_index(std::size_t c1, std::size_t c2,

@@ -1,0 +1,76 @@
+#include "linalg/decomposition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace kpm::linalg {
+
+Decomposition::Decomposition(std::size_t dim, std::vector<ShardRange> ranges,
+                             std::size_t halo_width)
+    : dim_(dim), halo_width_(halo_width), ranges_(std::move(ranges)) {
+  KPM_REQUIRE(dim_ > 0, "Decomposition: operator dimension must be positive");
+  KPM_REQUIRE(!ranges_.empty(), "Decomposition: needs at least one node");
+  KPM_REQUIRE(halo_width_ >= 1, "Decomposition: halo width must be >= 1");
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < ranges_.size(); ++p) {
+    const ShardRange& r = ranges_[p];
+    KPM_REQUIRE(r.end > r.begin, "Decomposition: node " + std::to_string(p) +
+                                     " owns an empty row range");
+    KPM_REQUIRE(r.begin == cursor,
+                "Decomposition: ranges must cover [0, dim) contiguously and in order (node " +
+                    std::to_string(p) + " starts at row " + std::to_string(r.begin) +
+                    ", expected " + std::to_string(cursor) + ")");
+    cursor = r.end;
+  }
+  KPM_REQUIRE(cursor == dim_, "Decomposition: ranges cover rows [0, " + std::to_string(cursor) +
+                                  ") but the operator has " + std::to_string(dim_) + " rows");
+  KPM_REQUIRE(halo_width_ <= min_shard_rows(),
+              "Decomposition: halo width " + std::to_string(halo_width_) +
+                  " is wider than the smallest subdomain (" +
+                  std::to_string(min_shard_rows()) + " rows)");
+}
+
+Decomposition Decomposition::uniform(std::size_t dim, std::size_t nodes,
+                                     std::size_t halo_width) {
+  KPM_REQUIRE(nodes >= 1, "Decomposition::uniform: needs at least one node");
+  KPM_REQUIRE(nodes <= dim, "Decomposition::uniform: more nodes (" + std::to_string(nodes) +
+                                ") than rows (" + std::to_string(dim) + ")");
+  std::vector<ShardRange> ranges;
+  ranges.reserve(nodes);
+  const std::size_t base = dim / nodes;
+  const std::size_t rem = dim % nodes;
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < nodes; ++p) {
+    const std::size_t len = base + (p < rem ? 1 : 0);
+    ranges.push_back({cursor, cursor + len});
+    cursor += len;
+  }
+  return Decomposition(dim, std::move(ranges), halo_width);
+}
+
+const ShardRange& Decomposition::range(std::size_t node) const {
+  KPM_REQUIRE(node < ranges_.size(), "Decomposition::range: node index out of range");
+  return ranges_[node];
+}
+
+std::size_t Decomposition::min_shard_rows() const {
+  std::size_t m = dim_;
+  for (const ShardRange& r : ranges_) m = std::min(m, r.size());
+  return m;
+}
+
+std::size_t Decomposition::owner_of(std::size_t row) const {
+  KPM_REQUIRE(row < dim_, "Decomposition::owner_of: row out of range");
+  const auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), row,
+      [](std::size_t value, const ShardRange& r) { return value < r.end; });
+  return static_cast<std::size_t>(it - ranges_.begin());
+}
+
+std::string Decomposition::describe() const {
+  return std::to_string(nodes()) + " nodes x ~" + std::to_string(dim_ / nodes()) +
+         " rows, halo " + std::to_string(halo_width_);
+}
+
+}  // namespace kpm::linalg

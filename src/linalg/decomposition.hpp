@@ -1,0 +1,68 @@
+// Row-range domain decomposition for sharded (multi-node) operators.
+//
+// A `Decomposition` splits the row index space [0, dim) of a sparse
+// operator into P contiguous, ordered, non-overlapping node-local ranges
+// plus a halo width: the number of ghost layers (sparsity-graph hops) a
+// node exchanges with its neighbours each recursion step.  The functional
+// ghost set of a shard is always its 1-hop sparsity neighbourhood — that
+// is what one y = A x needs — while `halo_width` > 1 models the wider
+// exchange windows used by communication-avoiding schemes (more bytes per
+// exchange, same computed values).  Kreutzer et al. (arXiv:1410.5242)
+// describe exactly this split for cluster-scale KPM.
+//
+// The type lives in linalg (not lattice) so the core engines can consume
+// it without a lattice dependency; lattice-aware factories (slab splits of
+// the cubic model, honeycomb cell rows) live in lattice/decompose.hpp.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kpm::linalg {
+
+/// One node's contiguous global row range [begin, end).
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Validated partition of [0, dim) into ordered contiguous node ranges.
+class Decomposition {
+ public:
+  Decomposition() = default;
+
+  /// Explicit ranges; validates on construction (kpm::Error on a partition
+  /// with zero nodes, an empty range, gaps/overlaps, ranges that do not
+  /// cover [0, dim) exactly, or a halo wider than the smallest subdomain).
+  Decomposition(std::size_t dim, std::vector<ShardRange> ranges, std::size_t halo_width = 1);
+
+  /// Even row split: `nodes` ranges of dim/nodes rows, the first dim%nodes
+  /// ranges one row longer.  Requires 1 <= nodes <= dim.
+  [[nodiscard]] static Decomposition uniform(std::size_t dim, std::size_t nodes,
+                                             std::size_t halo_width = 1);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t nodes() const noexcept { return ranges_.size(); }
+  [[nodiscard]] std::size_t halo_width() const noexcept { return halo_width_; }
+  [[nodiscard]] const std::vector<ShardRange>& ranges() const noexcept { return ranges_; }
+  [[nodiscard]] const ShardRange& range(std::size_t node) const;
+
+  /// Rows of the smallest shard (the halo-width validation bound).
+  [[nodiscard]] std::size_t min_shard_rows() const;
+
+  /// Node owning global row `row` (O(log P)).
+  [[nodiscard]] std::size_t owner_of(std::size_t row) const;
+
+  /// e.g. "4 nodes x ~250 rows, halo 1".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t halo_width_ = 1;
+  std::vector<ShardRange> ranges_;
+};
+
+}  // namespace kpm::linalg

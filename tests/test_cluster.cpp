@@ -68,8 +68,69 @@ TEST(Cluster, RejectsBadConfig) {
 TEST(Cluster, PresetLinksAreValid) {
   EXPECT_NO_THROW(InterconnectSpec::infiniband_qdr().validate());
   EXPECT_NO_THROW(InterconnectSpec::pcie_peer().validate());
+  EXPECT_NO_THROW(InterconnectSpec::ideal().validate());
   EXPECT_GT(InterconnectSpec::pcie_peer().bandwidth,
             InterconnectSpec::infiniband_qdr().bandwidth);
+}
+
+TEST(Cluster, PresetLookupByCliName) {
+  EXPECT_EQ(InterconnectSpec::from_name("ib-qdr").name, InterconnectSpec::infiniband_qdr().name);
+  EXPECT_EQ(InterconnectSpec::from_name("pcie").name, InterconnectSpec::pcie_peer().name);
+  EXPECT_EQ(InterconnectSpec::from_name("ideal").name, InterconnectSpec::ideal().name);
+  EXPECT_THROW((void)InterconnectSpec::from_name(""), kpm::Error);
+  EXPECT_THROW((void)InterconnectSpec::from_name("IB-QDR"), kpm::Error);  // names are exact
+}
+
+TEST(Cluster, RingAllReduceGoldenValues) {
+  const auto link = InterconnectSpec::infiniband_qdr();  // 3.2 GB/s, 20 us
+  // G = 1: a ring of one member moves nothing.
+  EXPECT_DOUBLE_EQ(ring_all_reduce_seconds(link, 1, 8e6), 0.0);
+  // G = 2: 2*(1/2)*bytes/bw + 2*1*lat = bytes/bw + 2 lat.
+  EXPECT_DOUBLE_EQ(ring_all_reduce_seconds(link, 2, 8e6), 8e6 / 3.2e9 + 2.0 * 20e-6);
+  // G = 8: 2*(7/8)*bytes/bw + 14 lat.
+  EXPECT_DOUBLE_EQ(ring_all_reduce_seconds(link, 8, 8e6),
+                   2.0 * 7.0 / 8.0 * 8e6 / 3.2e9 + 14.0 * 20e-6);
+  // Bandwidth-term monotonicity: more members -> more relayed bytes.
+  EXPECT_LT(ring_all_reduce_seconds(InterconnectSpec::ideal(), 2, 8e6),
+            ring_all_reduce_seconds(link, 2, 8e6));
+}
+
+TEST(Cluster, HaloExchangeGoldenValues) {
+  const auto link = InterconnectSpec::pcie_peer();  // 5 GB/s, 10 us
+  EXPECT_DOUBLE_EQ(halo_exchange_seconds(link, 0, 1e6), 0.0);  // no neighbours, no wire
+  EXPECT_DOUBLE_EQ(halo_exchange_seconds(link, 1, 1e6), 10e-6 + 1e6 / 5.0e9);
+  EXPECT_DOUBLE_EQ(halo_exchange_seconds(link, 2, 1e6), 2.0 * 10e-6 + 1e6 / 5.0e9);
+  // Monotone in payload for a fixed neighbour count.
+  EXPECT_LT(halo_exchange_seconds(link, 2, 1e6), halo_exchange_seconds(link, 2, 2e6));
+}
+
+TEST(Cluster, AllReduceMatchesFreeFunction) {
+  const auto link = InterconnectSpec::infiniband_qdr();
+  Cluster c(DeviceSpec::tesla_c2050(), 8, link);
+  EXPECT_DOUBLE_EQ(c.all_reduce(8e6), ring_all_reduce_seconds(link, 8, 8e6));
+}
+
+TEST(Cluster, ParallelSecondsUnderHeterogeneousMemberClocks) {
+  // Members with different amounts of work: the bulk-synchronous wall clock
+  // is the slowest member's clock plus every all-reduce.
+  Cluster c(DeviceSpec::tesla_c2050(), 3);
+  std::vector<double> small(100, 1.0), large(100000, 1.0);
+  auto b0 = c.device(0).alloc<double>(100);
+  auto b2 = c.device(2).alloc<double>(100000);
+  c.device(0).copy_to_device<double>(small, b0);
+  c.device(2).copy_to_device<double>(large, b2);
+  const double fast = c.device(0).seconds();
+  const double slow = c.device(2).seconds();
+  ASSERT_GT(slow, fast);
+  EXPECT_DOUBLE_EQ(c.parallel_seconds(), slow);
+  const double comm = c.all_reduce(4096.0);
+  EXPECT_DOUBLE_EQ(c.parallel_seconds(), slow + comm);
+  EXPECT_DOUBLE_EQ(c.total_device_seconds(), fast + slow);
+  // reset() clears both the member clocks and the accumulated comm time.
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.parallel_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(c.communication_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(c.total_device_seconds(), 0.0);
 }
 
 }  // namespace

@@ -7,8 +7,12 @@
 #include <tuple>
 
 #include "core/kpm.hpp"
+#include "core/moments_cluster.hpp"
 #include "core/moments_f32.hpp"
+#include "lattice/decompose.hpp"
+#include "linalg/shard.hpp"
 #include "obs/counters.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -283,6 +287,157 @@ INSTANTIATE_TEST_SUITE_P(
                       RandomHamiltonianCase{"weak_disorder", 1.0, 23},
                       RandomHamiltonianCase{"strong_disorder", 3.0, 47},
                       RandomHamiltonianCase{"strong_disorder_reseeded", 3.0, 48}),
+    [](const auto& info) { return info.param.label; });
+
+// ---------------------------------------------------------------------------
+// Sweep 7: decomposition invariance.  ANY valid partition geometry and halo
+// width must yield identical moments, Gershgorin bounds and counter totals
+// — only the modeled communication time may move.
+// ---------------------------------------------------------------------------
+
+struct DecompositionCase {
+  const char* label;
+  linalg::Decomposition dec;  // partitions the cubic-4 operator (dim 64)
+};
+
+class DecompositionSweep : public ::testing::TestWithParam<DecompositionCase> {};
+
+TEST_P(DecompositionSweep, PartitionNeverChangesValuesBoundsOrCounters) {
+  const auto lat = lattice::HypercubicLattice::cubic(4, 4, 4);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  const auto ht = linalg::rescale(h, linalg::make_spectral_transform(op));
+  const linalg::MatrixOperator op_t(ht);
+
+  MomentParams p;
+  p.num_moments = 24;
+  p.random_vectors = 4;
+  p.realizations = 2;
+
+  obs::Report ref_report;
+  MomentResult ref;
+  {
+    obs::Collect scope(ref_report);
+    CpuMomentEngine cpu;
+    ref = cpu.compute(op_t, p);
+  }
+
+  const auto& dec = GetParam().dec;
+  obs::Report report;
+  MomentResult got;
+  ClusterEngineConfig cfg;
+  cfg.decomposition = dec;
+  ClusterMomentEngine cluster(cfg);
+  {
+    obs::Collect scope(report);
+    got = cluster.compute(op_t, p);
+  }
+
+  // Moments: bitwise.
+  ASSERT_EQ(got.mu.size(), ref.mu.size());
+  for (std::size_t n = 0; n < ref.mu.size(); ++n)
+    EXPECT_EQ(got.mu[n], ref.mu[n]) << "moment " << n;
+
+  // Gershgorin bounds assembled shard-by-shard: bitwise.
+  const linalg::ShardedMatrix sm(op_t, dec, linalg::Storage::Crs);
+  const auto sharded = sm.gershgorin_bounds();
+  const auto global = linalg::gershgorin_bounds(ht);
+  EXPECT_EQ(sharded.lower, global.lower);
+  EXPECT_EQ(sharded.upper, global.upper);
+
+  // Counter totals: the partition must not change the accounted work.
+  EXPECT_EQ(report.counters, ref_report.counters);
+}
+
+TEST_P(DecompositionSweep, ModeledCommTimeIsMonotoneInHaloBytes) {
+  const auto lat = lattice::HypercubicLattice::cubic(4, 4, 4);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  const auto ht = linalg::rescale(h, linalg::make_spectral_transform(op));
+  const linalg::MatrixOperator op_t(ht);
+
+  MomentParams p;
+  p.num_moments = 24;
+  p.random_vectors = 4;
+  p.realizations = 2;
+
+  const auto& base = GetParam().dec;
+  if (base.nodes() == 1) return;  // one node never communicates
+
+  // Same partition at growing halo width: wider exchange windows never move
+  // FEWER bytes (the w-hop neighbourhood can saturate on a small periodic
+  // box), modeled halo seconds follow the bytes exactly, and no computed
+  // value may change.
+  double prev_bytes = -1.0, prev_seconds = -1.0;
+  std::vector<double> first_mu;
+  for (std::size_t width = 1; width <= std::min<std::size_t>(base.min_shard_rows(), 3); ++width) {
+    std::vector<linalg::ShardRange> ranges(base.ranges());
+    ClusterEngineConfig cfg;
+    cfg.decomposition = linalg::Decomposition(base.dim(), std::move(ranges), width);
+    ClusterMomentEngine cluster(cfg);
+    const auto got = cluster.compute(op_t, p);
+    if (first_mu.empty()) {
+      first_mu = got.mu;
+    } else {
+      for (std::size_t n = 0; n < first_mu.size(); ++n)
+        EXPECT_EQ(got.mu[n], first_mu[n]) << "halo width changed moment " << n;
+    }
+    const auto& s = cluster.last_scaling();
+    if (prev_bytes >= 0.0) {
+      EXPECT_GE(s.halo_bytes_per_step, prev_bytes) << "width " << width;
+      if (s.halo_bytes_per_step > prev_bytes) {
+        EXPECT_GT(s.halo_seconds, prev_seconds) << "width " << width;
+      } else {
+        EXPECT_EQ(s.halo_seconds, prev_seconds) << "width " << width;
+      }
+    }
+    prev_bytes = s.halo_bytes_per_step;
+    prev_seconds = s.halo_seconds;
+  }
+}
+
+// On a long chain the w-hop neighbourhood genuinely widens with every extra
+// ghost layer, so the byte count — and with it the modeled comm time — must
+// grow STRICTLY.
+TEST(DecompositionComm, HaloSecondsGrowStrictlyOnAChain) {
+  const auto lat = lattice::HypercubicLattice::chain(64);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator op(h);
+  const auto ht = linalg::rescale(h, linalg::make_spectral_transform(op));
+  const linalg::MatrixOperator op_t(ht);
+
+  MomentParams p;
+  p.num_moments = 16;
+  p.random_vectors = 2;
+  p.realizations = 2;
+
+  double prev_bytes = 0.0, prev_seconds = 0.0;
+  for (std::size_t width = 1; width <= 4; ++width) {
+    ClusterEngineConfig cfg;
+    cfg.decomposition = linalg::Decomposition::uniform(64, 4, width);
+    ClusterMomentEngine cluster(cfg);
+    (void)cluster.compute(op_t, p);
+    const auto& s = cluster.last_scaling();
+    EXPECT_GT(s.halo_bytes_per_step, prev_bytes) << "width " << width;
+    EXPECT_GT(s.halo_seconds, prev_seconds) << "width " << width;
+    prev_bytes = s.halo_bytes_per_step;
+    prev_seconds = s.halo_seconds;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Partitions, DecompositionSweep,
+    ::testing::Values(
+        DecompositionCase{"uniform1", linalg::Decomposition::uniform(64, 1)},
+        DecompositionCase{"uniform2", linalg::Decomposition::uniform(64, 2)},
+        DecompositionCase{"uniform3", linalg::Decomposition::uniform(64, 3)},
+        DecompositionCase{"uniform8", linalg::Decomposition::uniform(64, 8)},
+        DecompositionCase{"uneven", linalg::Decomposition(64, {{0, 5}, {5, 40}, {40, 64}})},
+        DecompositionCase{"lopsided",
+                          linalg::Decomposition(64, {{0, 56}, {56, 60}, {60, 64}})},
+        DecompositionCase{"slab4",
+                          lattice::slab_decomposition(
+                              lattice::HypercubicLattice::cubic(4, 4, 4), 4)}),
     [](const auto& info) { return info.param.label; });
 
 }  // namespace

@@ -24,6 +24,8 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/kpm.hpp"
+#include "core/moments_cluster.hpp"
+#include "gpusim/cluster.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/hotspots.hpp"
 #include "obs/report.hpp"
@@ -123,13 +125,29 @@ Workload build_workload(const std::string& kind, std::size_t edge, double disord
   return w;
 }
 
+/// Cluster-sharded knobs of the dos subcommand (ignored by other engines).
+struct ClusterFlags {
+  std::size_t nodes = 4;
+  std::size_t halo = 1;
+  std::string interconnect = "ib-qdr";
+};
+
 /// Builds the moment engine the dos subcommand asked for.
-std::unique_ptr<core::MomentEngine> make_engine(const std::string& name, int threads) {
+std::unique_ptr<core::MomentEngine> make_engine(const std::string& name, int threads,
+                                                const ClusterFlags& cluster = {}) {
   if (name == "gpu") return std::make_unique<core::GpuMomentEngine>();
   if (name == "cpu") return std::make_unique<core::CpuMomentEngine>();
   if (name == "cpu-paired") return std::make_unique<core::CpuPairedMomentEngine>();
   if (name == "cpu-parallel") return std::make_unique<core::CpuParallelMomentEngine>(threads);
-  KPM_FAIL("unknown engine '" + name + "' (gpu|cpu|cpu-paired|cpu-parallel)");
+  if (name == "cluster") {
+    core::ClusterEngineConfig cfg;
+    cfg.node_count = cluster.nodes;
+    cfg.halo_width = cluster.halo;
+    cfg.link = gpusim::InterconnectSpec::from_name(cluster.interconnect);
+    cfg.threads = threads;
+    return std::make_unique<core::ClusterMomentEngine>(cfg);
+  }
+  KPM_FAIL("unknown engine '" + name + "' (gpu|cpu|cpu-paired|cpu-parallel|cluster)");
 }
 
 /// The rescaled operator in the storage layout `--storage` asked for.  The
@@ -170,9 +188,15 @@ int cmd_dos(int argc, const char* const* argv) {
   const auto* disorder = cli.add_double("disorder", 0.0, "Anderson disorder width");
   const auto* seed = cli.add_int("seed", 42, "disorder seed");
   const auto* points = cli.add_int("points", 41, "output energies");
-  const auto* engine_name = cli.add_string("engine", "gpu", "gpu|cpu|cpu-paired|cpu-parallel");
-  const auto* threads = cli.add_int("threads", 4, "host threads for --engine=cpu-parallel");
+  const auto* engine_name =
+      cli.add_string("engine", "gpu", "gpu|cpu|cpu-paired|cpu-parallel|cluster");
+  const auto* threads =
+      cli.add_int("threads", 4, "host threads for --engine=cpu-parallel|cluster");
   const auto* block = cli.add_int("block", 1, "SpMMV vector-block width (CPU engines)");
+  const auto* nodes = cli.add_int("nodes", 4, "simulated cluster nodes (--engine=cluster)");
+  const auto* interconnect =
+      cli.add_string("interconnect", "ib-qdr", "cluster fabric: ib-qdr|pcie|ideal");
+  const auto* halo = cli.add_int("halo", 1, "ghost layers per exchange (--engine=cluster)");
   const auto* storage = cli.add_string("storage", "crs", "operator layout: crs|sell");
   const auto* csv = cli.add_string("csv", "", "optional CSV output path");
   const auto* save = cli.add_string("save-moments", "",
@@ -195,6 +219,14 @@ int cmd_dos(int argc, const char* const* argv) {
               "kpmcli dos: --storage=sell is host-only; pick a cpu* engine");
   KPM_REQUIRE(block_r == 1 || *engine_name != "gpu",
               "kpmcli dos: --block > 1 is a CPU SpMMV optimization; pick a cpu* engine");
+  ClusterFlags cluster;
+  KPM_REQUIRE(*nodes >= 1, "kpmcli dos: --nodes must be >= 1");
+  KPM_REQUIRE(*halo >= 1, "kpmcli dos: --halo must be >= 1");
+  cluster.nodes = static_cast<std::size_t>(*nodes);
+  cluster.halo = static_cast<std::size_t>(*halo);
+  // Reject a bad fabric name even when another engine would ignore it.
+  (void)gpusim::InterconnectSpec::from_name(*interconnect);
+  cluster.interconnect = *interconnect;
   const auto os = make_operator_storage(w.h_tilde, *storage);
   const linalg::MatrixOperator& op = *os.op;
   core::MomentParams params;
@@ -202,7 +234,7 @@ int cmd_dos(int argc, const char* const* argv) {
   params.random_vectors = static_cast<std::size_t>(*r);
   params.realizations = static_cast<std::size_t>(*s);
   params.block_r = block_r;
-  const auto engine = make_engine(*engine_name, static_cast<int>(*threads));
+  const auto engine = make_engine(*engine_name, static_cast<int>(*threads), cluster);
   const auto result = engine->compute(op, params);
   if (!save->empty()) {
     core::MomentFile file;
