@@ -170,6 +170,7 @@ void Checker::on_launch_begin(const void* device, const char* kernel,
   launch_global_.clear();
   block_active_ = false;
   stats_.launches += 1;
+  stats_.kernels.insert(kernel_);
 }
 
 void Checker::on_launch_end() {
@@ -502,7 +503,10 @@ std::string Checker::to_json_section() const {
      << ", \"global_accesses\": " << stats_.global_accesses
      << ", \"shared_accesses\": " << stats_.shared_accesses
      << ", \"transfers\": " << stats_.transfers << ", \"stream_ops\": " << stats_.stream_ops
-     << "}}";
+     << ", \"kernels\": [";
+  std::size_t i = 0;
+  for (const auto& k : stats_.kernels) os << (i++ == 0 ? "" : ", ") << "\"" << k << "\"";
+  os << "]}}";
   return os.str();
 }
 

@@ -90,6 +90,11 @@ struct CheckStats {
   std::size_t shared_accesses = 0;  ///< annotated shared loads/stores
   std::size_t transfers = 0;        ///< h2d + d2h + memset
   std::size_t stream_ops = 0;       ///< record/wait/synchronize events
+  /// Kernel names actually launched while the checker was installed —
+  /// scenario coverage audits diff this against the kernels a scenario
+  /// *registers* (scenario_expected_kernels), so "0 findings" can never
+  /// silently mean "0 coverage".
+  std::set<std::string> kernels;
 };
 
 /// The hazard analyzer.  Install via ScopedCheck (process default, picked

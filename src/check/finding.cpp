@@ -18,6 +18,12 @@ const char* to_string(Kind k) noexcept {
       return "uninit-read";
     case Kind::StreamHazard:
       return "stream-hazard";
+    case Kind::Bounds:
+      return "bounds";
+    case Kind::NonAffine:
+      return "non-affine";
+    case Kind::Unproven:
+      return "unproven";
   }
   return "?";
 }

@@ -21,10 +21,16 @@ enum class Kind {
   GlobalRace,       ///< cross-block global overlap with >=1 write in one launch
   UninitRead,       ///< view read of device memory never seeded by h2d/memset/store
   StreamHazard,     ///< cross-stream access without happens-before ordering
+  // Static-verification kinds (src/verify/, docs/checking.md "Static
+  // verification").  Bounds and Unproven are hazards; NonAffine is a
+  // demotion to dynamic-only coverage, not a hazard.
+  Bounds,     ///< access provably escapes its buffer/arena at some geometry
+  NonAffine,  ///< access refuses an affine summary; kernel demoted to dynamic coverage
+  Unproven,   ///< affine summary exists but no discharge rule or witness applies
 };
 
-/// Returns "shared-race", "alloc-divergence", "global-race", "uninit-read"
-/// or "stream-hazard".
+/// Returns "shared-race", "alloc-divergence", "global-race", "uninit-read",
+/// "stream-hazard", "bounds", "non-affine" or "unproven".
 [[nodiscard]] const char* to_string(Kind k) noexcept;
 
 /// Thread id used when an access happened outside per-thread context

@@ -1,5 +1,6 @@
 #include "check/scenarios.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <span>
@@ -25,26 +26,36 @@
 namespace kpm::check {
 namespace {
 
-core::MomentParams small_params() {
+core::MomentParams scaled_params(const ScenarioScale& s) {
   core::MomentParams p;
-  p.num_moments = 12;
-  p.random_vectors = 3;
-  p.realizations = 2;
+  p.num_moments = s.num_moments;
+  p.random_vectors = s.random_vectors;
+  p.realizations = s.realizations;
   return p;
 }
 
-linalg::CrsMatrix cube_h_tilde(std::size_t edge = 3) {
+linalg::CrsMatrix cube_h_tilde(std::size_t edge) {
   const auto lat = lattice::HypercubicLattice::cubic(edge, edge, edge);
   const auto h = lattice::build_tight_binding_crs(lat);
   linalg::MatrixOperator op(h);
   return linalg::rescale(h, linalg::make_spectral_transform(op));
 }
 
-void run_moments(const core::GpuEngineConfig& cfg) {
-  const auto h = cube_h_tilde();
+ScenarioParams moment_params_of(const ScenarioScale& s, std::size_t dim) {
+  const auto p = scaled_params(s);
+  return {{"dim", static_cast<long long>(dim)},
+          {"nmom", static_cast<long long>(p.num_moments)},
+          {"total", static_cast<long long>(p.instances())},
+          {"bs", static_cast<long long>(s.block_size)}};
+}
+
+ScenarioParams run_moments(core::GpuEngineConfig cfg, const ScenarioScale& s) {
+  const auto h = cube_h_tilde(s.edge);
   linalg::MatrixOperator op(h);
+  cfg.block_size = static_cast<std::uint32_t>(s.block_size);
   core::GpuMomentEngine engine(cfg);
-  (void)engine.compute(op, small_params());
+  (void)engine.compute(op, scaled_params(s));
+  return moment_params_of(s, h.rows());
 }
 
 // Blocked SELL-C-sigma SpMMV on the simulated device: block c owns chunk c,
@@ -104,11 +115,11 @@ class SellSpmmvKernel final : public gpusim::Kernel {
 // Runs the SELL SpMMV kernel over the cube lattice and cross-checks the
 // device result against the host blocked kernel (bit-identical: both sweep
 // each row's entries in CRS order).
-void run_spmmv_sell() {
-  const auto crs = cube_h_tilde();
+ScenarioParams run_spmmv_sell(const ScenarioScale& scale) {
+  const auto crs = cube_h_tilde(scale.edge);
   const auto sell = linalg::SellMatrix::from_crs(crs, /*chunk_size=*/4, /*sort_window=*/8);
   const std::size_t d = sell.rows();
-  const std::size_t b = 2;
+  const std::size_t b = scale.spmmv_block;
 
   std::vector<double> x(d * b);
   for (std::size_t i = 0; i < x.size(); ++i)
@@ -135,65 +146,9 @@ void run_spmmv_sell() {
   linalg::spmmv_multiply(op, b, x, expected);
   for (std::size_t i = 0; i < y.size(); ++i)
     KPM_REQUIRE(y[i] == expected[i], "spmmv-sell: device result differs from host kernel");
-}
-
-void run_workload(const std::string& name) {
-  if (name == "moments-gpu-block") {
-    core::GpuEngineConfig cfg;
-    cfg.mapping = core::GpuMapping::InstancePerBlock;
-    run_moments(cfg);
-  } else if (name == "moments-gpu-thread") {
-    core::GpuEngineConfig cfg;
-    cfg.mapping = core::GpuMapping::InstancePerThread;
-    run_moments(cfg);
-  } else if (name == "moments-gpu-paired") {
-    core::GpuEngineConfig cfg;
-    cfg.mapping = core::GpuMapping::InstancePerBlock;
-    cfg.paired_moments = true;
-    run_moments(cfg);
-  } else if (name == "moments-gpu-chunked") {
-    const auto h = cube_h_tilde();
-    linalg::MatrixOperator op(h);
-    core::ChunkedGpuEngineConfig cfg;
-    // Small workspace forces several chunks so the double-buffered
-    // fill/recursion stream overlap actually happens under the checker.
-    cfg.workspace_bytes = 2048;
-    cfg.overlap_fill = true;
-    core::ChunkedGpuMomentEngine engine(cfg);
-    (void)engine.compute(op, small_params());
-  } else if (name == "moments-multigpu") {
-    const auto h = cube_h_tilde();
-    linalg::MatrixOperator op(h);
-    core::MultiGpuEngineConfig cfg;
-    cfg.device_count = 2;
-    core::MultiGpuMomentEngine engine(cfg);
-    (void)engine.compute(op, small_params());
-  } else if (name == "moments-hermitian") {
-    const auto h = lattice::build_square_flux_crs(6, 6, 1.0 / 6.0);
-    const linalg::SpectralTransform t(h.gershgorin(), 0.02);
-    const auto h_tilde = linalg::rescale(h, t);
-    core::GpuHermitianMomentEngine engine;
-    (void)engine.compute(h_tilde, small_params());
-  } else if (name == "ldos") {
-    const auto h = cube_h_tilde();
-    linalg::MatrixOperator op(h);
-    const std::array<std::size_t, 3> sites{0, 5, 13};
-    core::GpuLdosEngine engine;
-    (void)engine.compute(op, std::span<const std::size_t>(sites), 12);
-  } else if (name == "spmmv-sell") {
-    run_spmmv_sell();
-  } else if (name == "conductivity") {
-    const auto lat = lattice::HypercubicLattice::square(6, 6);
-    const auto h = lattice::build_tight_binding_crs(lat);
-    linalg::MatrixOperator op(h);
-    const auto h_tilde = linalg::rescale(h, linalg::make_spectral_transform(op));
-    const auto a = lattice::build_current_operator_crs(lat, 0);
-    linalg::MatrixOperator h_op(h_tilde), a_op(a);
-    core::GpuConductivityEngine engine;
-    (void)engine.compute(h_op, a_op, small_params());
-  } else {
-    KPM_FAIL("unknown check scenario: " + name);
-  }
+  return {{"dim", static_cast<long long>(d)},
+          {"b", static_cast<long long>(b)},
+          {"chunk", static_cast<long long>(sell.chunk_size())}};
 }
 
 }  // namespace
@@ -204,18 +159,127 @@ std::vector<std::string> scenario_names() {
           "ldos",               "conductivity",       "spmmv-sell"};
 }
 
+std::vector<std::string> scenario_expected_kernels(const std::string& name) {
+  if (name == "moments-gpu-block")
+    return {"kpm_fill_random", "kpm_recursion_block", "kpm_average_moments"};
+  if (name == "moments-gpu-thread")
+    return {"kpm_fill_random", "kpm_recursion_thread", "kpm_average_moments"};
+  if (name == "moments-gpu-paired")
+    return {"kpm_fill_random", "kpm_recursion_block_paired", "kpm_average_moments"};
+  if (name == "moments-gpu-chunked")
+    return {"kpm_fill_random", "kpm_recursion_block", "kpm_accumulate_moments"};
+  if (name == "moments-multigpu")
+    return {"kpm_fill_random", "kpm_recursion_block", "kpm_average_moments"};
+  if (name == "moments-hermitian")
+    return {"kpm_fill_random_z", "kpm_recursion_hermitian", "kpm_average_moments"};
+  if (name == "ldos") return {"kpm_fill_basis", "kpm_recursion_block"};
+  if (name == "conductivity")
+    return {"kpm_fill_random", "kpm_conductivity_block", "kpm_conductivity_average"};
+  if (name == "spmmv-sell") return {"sell-spmmv"};
+  KPM_FAIL("unknown check scenario: " + name);
+}
+
+ScenarioParams run_scenario_workload(const std::string& name, const ScenarioScale& scale) {
+  if (name == "moments-gpu-block") {
+    core::GpuEngineConfig cfg;
+    cfg.mapping = core::GpuMapping::InstancePerBlock;
+    return run_moments(cfg, scale);
+  }
+  if (name == "moments-gpu-thread") {
+    core::GpuEngineConfig cfg;
+    cfg.mapping = core::GpuMapping::InstancePerThread;
+    return run_moments(cfg, scale);
+  }
+  if (name == "moments-gpu-paired") {
+    core::GpuEngineConfig cfg;
+    cfg.mapping = core::GpuMapping::InstancePerBlock;
+    cfg.paired_moments = true;
+    return run_moments(cfg, scale);
+  }
+  if (name == "moments-gpu-chunked") {
+    const auto h = cube_h_tilde(scale.edge);
+    linalg::MatrixOperator op(h);
+    core::ChunkedGpuEngineConfig cfg;
+    // Workspace sized for `random_vectors` instances per chunk: `realizations`
+    // chunks per run, so the double-buffered fill/recursion stream overlap
+    // happens under the checker and every chunk launches several blocks.
+    cfg.workspace_bytes =
+        scale.random_vectors * (4 * h.rows() + scale.num_moments) * sizeof(double);
+    cfg.overlap_fill = true;
+    cfg.base.block_size = static_cast<std::uint32_t>(scale.block_size);
+    core::ChunkedGpuMomentEngine engine(cfg);
+    (void)engine.compute(op, scaled_params(scale));
+    return moment_params_of(scale, h.rows());
+  }
+  if (name == "moments-multigpu") {
+    const auto h = cube_h_tilde(scale.edge);
+    linalg::MatrixOperator op(h);
+    core::MultiGpuEngineConfig cfg;
+    cfg.device_count = 2;
+    cfg.per_device.block_size = static_cast<std::uint32_t>(scale.block_size);
+    core::MultiGpuMomentEngine engine(cfg);
+    (void)engine.compute(op, scaled_params(scale));
+    return moment_params_of(scale, h.rows());
+  }
+  if (name == "moments-hermitian") {
+    const std::size_t l = scale.edge;
+    const auto h = lattice::build_square_flux_crs(l, l, 1.0 / static_cast<double>(l));
+    const linalg::SpectralTransform t(h.gershgorin(), 0.02);
+    const auto h_tilde = linalg::rescale(h, t);
+    core::GpuEngineConfig cfg;
+    cfg.block_size = static_cast<std::uint32_t>(scale.block_size);
+    core::GpuHermitianMomentEngine engine(cfg);
+    (void)engine.compute(h_tilde, scaled_params(scale));
+    return moment_params_of(scale, h_tilde.rows());
+  }
+  if (name == "ldos") {
+    const auto h = cube_h_tilde(scale.edge);
+    linalg::MatrixOperator op(h);
+    // Deterministic spread of distinct sites across the lattice.
+    std::vector<std::size_t> sites(scale.ldos_sites);
+    const std::size_t dim = h.rows();
+    for (std::size_t k = 0; k < sites.size(); ++k)
+      sites[k] = (k * std::max<std::size_t>(1, dim / std::max<std::size_t>(1, sites.size()))) % dim;
+    core::GpuEngineConfig cfg;
+    cfg.block_size = static_cast<std::uint32_t>(scale.block_size);
+    core::GpuLdosEngine engine(cfg);
+    (void)engine.compute(op, std::span<const std::size_t>(sites), scale.num_moments);
+    return {{"dim", static_cast<long long>(dim)},
+            {"nmom", static_cast<long long>(scale.num_moments)},
+            {"sites", static_cast<long long>(sites.size())},
+            {"bs", static_cast<long long>(scale.block_size)}};
+  }
+  if (name == "conductivity") {
+    const auto lat = lattice::HypercubicLattice::square(scale.edge, scale.edge);
+    const auto h = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator op(h);
+    const auto h_tilde = linalg::rescale(h, linalg::make_spectral_transform(op));
+    const auto a = lattice::build_current_operator_crs(lat, 0);
+    linalg::MatrixOperator h_op(h_tilde), a_op(a);
+    core::GpuEngineConfig cfg;
+    cfg.block_size = static_cast<std::uint32_t>(scale.block_size);
+    core::GpuConductivityEngine engine(cfg);
+    (void)engine.compute(h_op, a_op, scaled_params(scale));
+    return moment_params_of(scale, h_tilde.rows());
+  }
+  if (name == "spmmv-sell") return run_spmmv_sell(scale);
+  KPM_FAIL("unknown check scenario: " + name);
+}
+
 ScenarioReport run_scenario(const std::string& name) {
   Checker checker;
   {
     // Engines construct their devices internally; the scoped process-wide
     // default is how the checker reaches them.
     ScopedCheck scope(checker);
-    run_workload(name);
+    (void)run_scenario_workload(name);
   }
   ScenarioReport report;
   report.name = name;
   report.findings = checker.findings();
   report.stats = checker.stats();
+  for (const auto& expected : scenario_expected_kernels(name))
+    if (!report.stats.kernels.contains(expected)) report.missing_kernels.push_back(expected);
   return report;
 }
 

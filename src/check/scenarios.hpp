@@ -4,9 +4,16 @@
 // magnetic square lattice, ...) and runs one of the repo's GPU engines
 // with hazard analysis installed.  Production kernels must come out clean;
 // `kpmcli check --all` and test_check_clean gate on exactly that.
+//
+// Scenarios are scale-parameterized (ScenarioScale) so the static verifier
+// (src/verify/) can drive the same production workloads at a pilot set of
+// geometries and fit symbolic access summaries; run_scenario_workload
+// reports the workload parameters it actually produced, which become the
+// verifier's symbolic parameter space.
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/checker.hpp"
@@ -14,18 +21,48 @@
 
 namespace kpm::check {
 
+/// Knobs a scenario can be scaled by.  Defaults reproduce the historical
+/// fixed-size scenario runs, so run_scenario(name) behaves as before.
+struct ScenarioScale {
+  std::size_t edge = 3;            ///< cube edge (cubic lattices) / square edge
+  std::size_t num_moments = 12;    ///< Chebyshev moments N
+  std::size_t random_vectors = 3;  ///< R
+  std::size_t realizations = 2;    ///< S (instances = R*S)
+  std::size_t block_size = 128;    ///< GPU threads per block (multiple of 32)
+  std::size_t ldos_sites = 3;      ///< site count for the ldos scenario
+  std::size_t spmmv_block = 2;     ///< vector-block width b for spmmv-sell
+};
+
+/// Workload parameters a scenario run actually produced (name -> value),
+/// in a deterministic order.  These are the symbolic variables the static
+/// verifier fits launch geometries and access summaries over.
+using ScenarioParams = std::vector<std::pair<std::string, long long>>;
+
 /// Result of one checked scenario run.
 struct ScenarioReport {
   std::string name;
   std::vector<Finding> findings;
   CheckStats stats;
-  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+  /// Kernels the scenario registers (scenario_expected_kernels) that were
+  /// never launched — a coverage gap, counted as a failure by kpmcli check.
+  std::vector<std::string> missing_kernels;
+  [[nodiscard]] bool clean() const noexcept { return findings.empty() && missing_kernels.empty(); }
 };
 
 /// Names accepted by run_scenario, in execution order: the moment engines
 /// (block/thread/paired/chunked/multigpu/hermitian), LDOS, conductivity,
 /// and the staged SELL-C-sigma SpMMV kernel ("spmmv-sell").
 [[nodiscard]] std::vector<std::string> scenario_names();
+
+/// The kernel names the scenario is expected to launch.  run_scenario
+/// diffs this against the kernels the Checker actually observed.
+[[nodiscard]] std::vector<std::string> scenario_expected_kernels(const std::string& name);
+
+/// Runs the named workload at the given scale with NO checker installed
+/// (callers install their own observer first — this is the verifier's
+/// pilot-run entry point).  Returns the produced workload parameters.
+/// Throws kpm::Error for unknown names.
+ScenarioParams run_scenario_workload(const std::string& name, const ScenarioScale& scale = {});
 
 /// Runs the named workload under a fresh Checker.  Throws kpm::Error for
 /// unknown names.

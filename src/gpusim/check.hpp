@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace gpusim {
@@ -58,6 +59,10 @@ class AccessObserver {
   /// Announces the thread whose code runs next (kBlockScope when leaving
   /// per-thread context).
   virtual void on_thread_begin(std::ptrdiff_t tid) { (void)tid; }
+  /// Optional access-site annotation (see annotate_site below): identifies
+  /// the *static* program point of the next instrumented access, so
+  /// analyzers can key samples by code site instead of dynamic ordinal.
+  virtual void on_site(std::uint32_t site) { (void)site; }
 
   // --- Global memory, through GlobalView.  `base` is the buffer's storage
   //     address (its identity); offsets/bytes are in bytes. ---
@@ -136,6 +141,14 @@ namespace detail {
 /// Observer of the launch executing on the calling thread, if any.
 [[nodiscard]] inline AccessObserver* launch_observer() noexcept {
   return detail::launch_observer_slot();
+}
+
+/// Tags the next instrumented access with a stable site id.  Kernels whose
+/// access sequence is conditional (so dynamic ordinals shift between
+/// geometries) call this immediately before the access; a no-op when no
+/// observer is installed, so annotated kernels stay bit-identical.
+inline void annotate_site(std::uint32_t site) noexcept {
+  if (AccessObserver* obs = launch_observer()) obs->on_site(site);
 }
 
 /// RAII: publishes `observer` as the calling thread's launch observer for

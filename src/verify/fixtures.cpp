@@ -1,0 +1,245 @@
+#include "verify/fixtures.hpp"
+
+#include <span>
+
+#include "check/checker.hpp"
+#include "common/error.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/view.hpp"
+#include "verify/observer.hpp"
+
+namespace kpm::verify {
+namespace {
+
+using gpusim::AccessPattern;
+using gpusim::BlockContext;
+using gpusim::Device;
+using gpusim::ExecConfig;
+using gpusim::GlobalView;
+using gpusim::ThreadContext;
+
+ExecConfig geometry(const FixtureScale& s, std::size_t shared_bytes = 0) {
+  ExecConfig cfg;
+  cfg.grid = gpusim::Dim3{static_cast<std::uint32_t>(s.nb)};
+  cfg.block = gpusim::Dim3{static_cast<std::uint32_t>(s.tpb)};
+  cfg.shared_bytes = shared_bytes;
+  return cfg;
+}
+
+// Clean: each block bulk-stores its own w-element slice (offset = 8*w*bid,
+// bytes = 8*w).  Proven by interval separation.
+class BlockStrideCleanKernel final : public gpusim::Kernel {
+ public:
+  BlockStrideCleanKernel(gpusim::DeviceBuffer<double>& buf, std::size_t w) : buf_(&buf), w_(w) {}
+  [[nodiscard]] const char* name() const override { return "fx-block-stride-clean"; }
+  void block_phase(int /*phase*/, BlockContext& block) override {
+    GlobalView<double> v(*buf_, AccessPattern::Coalesced, block.counters());
+    for (double& x : v.bulk_store(block.bid() * w_, w_)) x = static_cast<double>(block.bid());
+  }
+
+ private:
+  gpusim::DeviceBuffer<double>* buf_;
+  std::size_t w_;
+};
+
+// Clean: one element per thread at bid*tpb + tid.  Proven by interval
+// separation within the block and across blocks.
+class ThreadStrideCleanKernel final : public gpusim::Kernel {
+ public:
+  explicit ThreadStrideCleanKernel(gpusim::DeviceBuffer<double>& buf) : buf_(&buf) {}
+  [[nodiscard]] const char* name() const override { return "fx-thread-stride-clean"; }
+  void thread_phase(int /*phase*/, ThreadContext& t) override {
+    GlobalView<double> v(*buf_, AccessPattern::Coalesced, t.block().counters());
+    v.store(t.block().bid() * t.block().threads() + t.tid(), static_cast<double>(t.tid()));
+  }
+
+ private:
+  gpusim::DeviceBuffer<double>* buf_;
+};
+
+// Broken only at large launches: the block stride is hard-coded to 128
+// while the buffer is sized to the actual geometry, so neighbouring blocks
+// collide exactly when tpb > 128.  Every pilot run (tpb <= 128) — and the
+// dynamic checker's default launch — is race-free; the verifier's witness
+// search at the domain edge (tpb = 256) exposes the overlap.
+class GeomRaceKernel final : public gpusim::Kernel {
+ public:
+  explicit GeomRaceKernel(gpusim::DeviceBuffer<double>& buf) : buf_(&buf) {}
+  [[nodiscard]] const char* name() const override { return "fx-geom-race"; }
+  void thread_phase(int /*phase*/, ThreadContext& t) override {
+    GlobalView<double> v(*buf_, AccessPattern::Coalesced, t.block().counters());
+    v.store(t.block().bid() * 128 + t.tid(), static_cast<double>(t.tid()));
+  }
+
+ private:
+  gpusim::DeviceBuffer<double>* buf_;
+};
+
+// Broken: each block stores w+1 elements at stride w, so block b's last
+// element lands on block b+1's first.  Definite cross-block overlap with a
+// concrete witness at every geometry with nb >= 2.
+class GlobalOverlapKernel final : public gpusim::Kernel {
+ public:
+  GlobalOverlapKernel(gpusim::DeviceBuffer<double>& buf, std::size_t w) : buf_(&buf), w_(w) {}
+  [[nodiscard]] const char* name() const override { return "fx-global-overlap"; }
+  void block_phase(int /*phase*/, BlockContext& block) override {
+    GlobalView<double> v(*buf_, AccessPattern::Coalesced, block.counters());
+    for (double& x : v.bulk_store(block.bid() * w_, w_ + 1)) x = static_cast<double>(block.bid());
+  }
+
+ private:
+  gpusim::DeviceBuffer<double>* buf_;
+  std::size_t w_;
+};
+
+// Broken only at large launches: two elements per thread into a buffer of
+// fixed 256 elements with a single block.  In bounds for tpb <= 128; the
+// verifier proves the escape at the domain edge tpb = 256.  (Pilot scales
+// must keep tpb <= 128 or the simulator itself hard-fails.)
+class BoundsEscapeKernel final : public gpusim::Kernel {
+ public:
+  explicit BoundsEscapeKernel(gpusim::DeviceBuffer<double>& buf) : buf_(&buf) {}
+  [[nodiscard]] const char* name() const override { return "fx-bounds-escape"; }
+  void thread_phase(int /*phase*/, ThreadContext& t) override {
+    GlobalView<double> v(*buf_, AccessPattern::Coalesced, t.block().counters());
+    for (double& x : v.bulk_store(2 * t.tid(), 2)) x = static_cast<double>(t.tid());
+  }
+
+ private:
+  gpusim::DeviceBuffer<double>* buf_;
+};
+
+// Broken: within one phase, thread t stores shared slot t (site 1) and
+// slot tpb-1-t (site 2); threads t and tpb-1-t collide.  The site
+// annotations split the two stores into separate affine families — fitted
+// together they would need a non-affine summary and demote instead of
+// producing the race finding.
+class SharedRaceFixtureKernel final : public gpusim::Kernel {
+ public:
+  [[nodiscard]] const char* name() const override { return "fx-shared-race"; }
+  void thread_phase(int /*phase*/, ThreadContext& t) override {
+    const std::size_t n = t.block().threads();
+    std::span<double> s = t.block().shared_array<double>(n);
+    gpusim::annotate_site(1);
+    t.shared_store(s, t.tid(), static_cast<double>(t.tid()));
+    gpusim::annotate_site(2);
+    t.shared_store(s, n - 1 - t.tid(), static_cast<double>(t.tid()));
+  }
+};
+
+// Clean: w interleaved stores per thread at slot it*tpb + tid — the SELL
+// staging pattern.  Interval separation fails (consecutive iterations of
+// different threads interleave); the stride-congruence rule proves it.
+class SharedStageCleanKernel final : public gpusim::Kernel {
+ public:
+  explicit SharedStageCleanKernel(std::size_t w) : w_(w) {}
+  [[nodiscard]] const char* name() const override { return "fx-shared-stage-clean"; }
+  void thread_phase(int /*phase*/, ThreadContext& t) override {
+    const std::size_t n = t.block().threads();
+    std::span<double> s = t.block().shared_array<double>(w_ * n);
+    for (std::size_t it = 0; it < w_; ++it)
+      t.shared_store(s, it * n + t.tid(), static_cast<double>(it));
+  }
+
+ private:
+  std::size_t w_;
+};
+
+// Broken: the shared allocation size depends on the thread id — on real
+// hardware a __shared__ declaration is per-block.  The fitted allocation
+// summary contains `tid`, a definite alloc-divergence finding.
+class AllocDivergentKernel final : public gpusim::Kernel {
+ public:
+  [[nodiscard]] const char* name() const override { return "fx-alloc-divergent"; }
+  void thread_phase(int /*phase*/, ThreadContext& t) override {
+    std::span<double> s = t.block().shared_array<double>(t.tid() + 1);
+    s[0] = static_cast<double>(t.tid());  // raw touch: only the allocation is under test
+  }
+};
+
+// Demoted: the store index XORs the thread id, which has no exact affine
+// summary — the verifier must refuse to fit and demote the kernel to
+// dynamic-only coverage rather than guess.  (tpb must be even so tid^1
+// stays inside the block.)
+class NonAffineKernel final : public gpusim::Kernel {
+ public:
+  explicit NonAffineKernel(gpusim::DeviceBuffer<double>& buf) : buf_(&buf) {}
+  [[nodiscard]] const char* name() const override { return "fx-nonaffine"; }
+  void thread_phase(int /*phase*/, ThreadContext& t) override {
+    GlobalView<double> v(*buf_, AccessPattern::Coalesced, t.block().counters());
+    const std::size_t i = (t.tid() ^ 1U) + t.block().bid() * t.block().threads();
+    v.store(i, static_cast<double>(t.tid()));
+  }
+
+ private:
+  gpusim::DeviceBuffer<double>* buf_;
+};
+
+void run_one(const std::string& name, const FixtureScale& s) {
+  const auto tpb = static_cast<std::size_t>(s.tpb);
+  const auto nb = static_cast<std::size_t>(s.nb);
+  const auto w = static_cast<std::size_t>(s.w);
+  KPM_REQUIRE(s.tpb >= 2 && s.tpb <= 128 && s.tpb % 2 == 0 && s.nb >= 1 && s.w >= 1,
+              "verify fixture scale out of range (need even tpb in [2,128], nb,w >= 1)");
+  Device device(gpusim::DeviceSpec::tesla_c2050());
+  if (name == "fx-block-stride-clean") {
+    auto buf = device.alloc<double>(nb * w, "fx-out");
+    BlockStrideCleanKernel kernel(buf, w);
+    (void)device.launch(geometry(s), kernel);
+  } else if (name == "fx-thread-stride-clean") {
+    auto buf = device.alloc<double>(nb * tpb, "fx-out");
+    ThreadStrideCleanKernel kernel(buf);
+    (void)device.launch(geometry(s), kernel);
+  } else if (name == "fx-geom-race") {
+    auto buf = device.alloc<double>(128 * (nb - 1) + tpb, "fx-out");
+    GeomRaceKernel kernel(buf);
+    (void)device.launch(geometry(s), kernel);
+  } else if (name == "fx-global-overlap") {
+    auto buf = device.alloc<double>(nb * w + 1, "fx-out");
+    GlobalOverlapKernel kernel(buf, w);
+    (void)device.launch(geometry(s), kernel);
+  } else if (name == "fx-bounds-escape") {
+    auto buf = device.alloc<double>(256, "fx-out");
+    BoundsEscapeKernel kernel(buf);
+    FixtureScale pinned = s;
+    pinned.nb = 1;  // single block: the hazard under test is bounds, not overlap
+    (void)device.launch(geometry(pinned), kernel);
+  } else if (name == "fx-shared-race") {
+    SharedRaceFixtureKernel kernel;
+    (void)device.launch(geometry(s, tpb * sizeof(double)), kernel);
+  } else if (name == "fx-shared-stage-clean") {
+    SharedStageCleanKernel kernel(w);
+    (void)device.launch(geometry(s, w * tpb * sizeof(double)), kernel);
+  } else if (name == "fx-alloc-divergent") {
+    AllocDivergentKernel kernel;
+    (void)device.launch(geometry(s, tpb * sizeof(double)), kernel);
+  } else if (name == "fx-nonaffine") {
+    auto buf = device.alloc<double>(nb * tpb, "fx-out");
+    NonAffineKernel kernel(buf);
+    (void)device.launch(geometry(s), kernel);
+  } else {
+    KPM_REQUIRE(false, "unknown verify fixture '" + name + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> fixture_names() {
+  return {"fx-block-stride-clean", "fx-thread-stride-clean", "fx-geom-race",
+          "fx-global-overlap",     "fx-bounds-escape",       "fx-shared-race",
+          "fx-shared-stage-clean", "fx-alloc-divergent",     "fx-nonaffine"};
+}
+
+check::ScenarioParams run_fixture_workload(const std::string& name, const FixtureScale& scale) {
+  run_one(name, scale);
+  return {{"tpb", scale.tpb}, {"nb", scale.nb}, {"w", scale.w}};
+}
+
+std::vector<check::Finding> run_fixture_under_checker(const std::string& name) {
+  check::Checker checker;
+  ScopedVerify guard(checker);
+  run_one(name, FixtureScale{});
+  return checker.findings();
+}
+
+}  // namespace kpm::verify

@@ -1,0 +1,45 @@
+// Verification fixtures: minimal kernels with known symbolic verdicts.
+//
+// Each fixture is one tiny kernel whose access pattern exercises exactly
+// one prover rule or hazard class, run over a parameterized launch
+// geometry (tpb, nb, w) so the verifier must generalize beyond the pilot
+// runs.  The clean fixtures must verify (interval separation, stride
+// congruence, corner bounds); each broken fixture must produce exactly its
+// advertised finding kind.
+//
+// fx-geom-race is the showcase: its accesses are disjoint at every pilot
+// geometry (and at the dynamic checker's default launch), but collide once
+// threads-per-block exceeds the hard-coded 128 stride — a hazard only the
+// symbolic summary can see.  run_fixture_under_checker() runs it under the
+// dynamic Checker at the default geometry to document that blind spot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/finding.hpp"
+#include "check/scenarios.hpp"
+
+namespace kpm::verify {
+
+/// Launch geometry of one fixture pilot run.
+struct FixtureScale {
+  long long tpb = 128;  ///< threads per block (even, <= 128: see fx-bounds-escape)
+  long long nb = 2;     ///< blocks
+  long long w = 3;      ///< per-thread / per-block work items
+};
+
+/// Names of all verification fixtures (each is also its kernel name).
+[[nodiscard]] std::vector<std::string> fixture_names();
+
+/// Runs fixture `name` at `scale` under whatever AccessObserver is
+/// installed as the process default (ScopedVerify / ScopedCheck); returns
+/// the workload parameters of the run for the summary fit.
+check::ScenarioParams run_fixture_workload(const std::string& name, const FixtureScale& scale = {});
+
+/// Runs fixture `name` at the default scale under the dynamic Checker and
+/// returns its findings (empty for every clean fixture AND for
+/// fx-geom-race, whose hazard is invisible at the default geometry).
+std::vector<check::Finding> run_fixture_under_checker(const std::string& name);
+
+}  // namespace kpm::verify

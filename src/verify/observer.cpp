@@ -1,0 +1,106 @@
+#include "verify/observer.hpp"
+
+#include "common/error.hpp"
+#include "gpusim/dim3.hpp"
+
+namespace kpm::verify {
+
+void VerifyObserver::on_launch_begin(const void* device, const char* kernel,
+                                     const gpusim::ExecConfig& cfg, std::size_t stream) {
+  (void)device, (void)stream;
+  LaunchRecord rec;
+  rec.kernel = kernel != nullptr ? kernel : "?";
+  rec.tpb = static_cast<long long>(cfg.threads_per_block());
+  rec.nb = static_cast<long long>(cfg.total_blocks());
+  rec.shared_bytes = static_cast<long long>(cfg.shared_bytes);
+  run_.launches.push_back(std::move(rec));
+  in_launch_ = true;
+  bid_ = 0;
+  tid_ = gpusim::kBlockScope;
+  phase_ = 0;
+  site_ = AccessEvent::kNoSite;
+}
+
+void VerifyObserver::on_launch_end() { in_launch_ = false; }
+
+void VerifyObserver::on_block_begin(std::size_t bid, std::size_t threads) {
+  (void)threads;
+  bid_ = static_cast<long long>(bid);
+  site_ = AccessEvent::kNoSite;
+}
+
+void VerifyObserver::on_phase_begin(int phase) {
+  phase_ = phase;
+  site_ = AccessEvent::kNoSite;
+}
+
+void VerifyObserver::on_thread_begin(std::ptrdiff_t tid) {
+  tid_ = static_cast<long long>(tid);
+  site_ = AccessEvent::kNoSite;
+}
+
+void VerifyObserver::on_site(std::uint32_t site) { site_ = site; }
+
+void VerifyObserver::on_alloc(const void* device, const void* base, std::size_t bytes,
+                              const std::string& label) {
+  (void)device;
+  buffers_[base] = BufferInfo{label, static_cast<long long>(bytes)};
+}
+
+void VerifyObserver::record_global(const void* base, std::size_t offset, std::size_t bytes,
+                                   Op op) {
+  if (!in_launch_ || run_.launches.empty()) return;
+  LaunchRecord& launch = run_.launches.back();
+  const auto it = buffers_.find(base);
+  // Accesses through views over unregistered storage (none today) would be
+  // unattributable; refuse rather than mis-file them.
+  KPM_REQUIRE(it != buffers_.end(), "verify: global access to an unregistered buffer");
+  launch.buffer_bytes[it->second.label] = it->second.bytes;
+  AccessEvent ev;
+  ev.phase = phase_;
+  ev.bid = bid_;
+  ev.tid = tid_;
+  ev.space = Space::Global;
+  ev.op = op;
+  ev.buffer = it->second.label;
+  ev.offset = static_cast<long long>(offset);
+  ev.bytes = static_cast<long long>(bytes);
+  ev.site = site_;
+  launch.events.push_back(std::move(ev));
+}
+
+void VerifyObserver::record_shared(std::size_t offset, std::size_t bytes, Op op) {
+  if (!in_launch_ || run_.launches.empty()) return;
+  AccessEvent ev;
+  ev.phase = phase_;
+  ev.bid = bid_;
+  ev.tid = tid_;
+  ev.space = Space::Shared;
+  ev.op = op;
+  ev.offset = static_cast<long long>(offset);
+  ev.bytes = static_cast<long long>(bytes);
+  ev.site = site_;
+  run_.launches.back().events.push_back(std::move(ev));
+}
+
+void VerifyObserver::on_global_read(const void* base, std::size_t offset, std::size_t bytes) {
+  record_global(base, offset, bytes, Op::Read);
+}
+
+void VerifyObserver::on_global_write(const void* base, std::size_t offset, std::size_t bytes) {
+  record_global(base, offset, bytes, Op::Write);
+}
+
+void VerifyObserver::on_shared_alloc(std::size_t offset, std::size_t bytes) {
+  record_shared(offset, bytes, Op::Alloc);
+}
+
+void VerifyObserver::on_shared_read(std::size_t offset, std::size_t bytes) {
+  record_shared(offset, bytes, Op::Read);
+}
+
+void VerifyObserver::on_shared_write(std::size_t offset, std::size_t bytes) {
+  record_shared(offset, bytes, Op::Write);
+}
+
+}  // namespace kpm::verify

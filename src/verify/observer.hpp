@@ -1,0 +1,191 @@
+// Pilot-run recording for the static verifier.
+//
+// VerifyObserver is a passive AccessObserver that records, for every launch
+// it watches, the launch geometry (threads per block, block count, shared
+// arena size), the byte size of every buffer the kernel touches, and every
+// instrumented global/shared access as a flat AccessEvent list.  The
+// summary layer (summary.hpp) fits these recordings — taken at several
+// pilot geometries — to symbolic polynomials.
+//
+// MultiObserver fans every callback out to several observers, which is how
+// a run can be dynamically checked (src/check/Checker) and recorded for
+// static verification at the same time; test_check_clean uses it to assert
+// that a checked+verified run stays bit-identical to an unchecked one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpusim/check.hpp"
+
+namespace kpm::verify {
+
+enum class Space : std::uint8_t { Global, Shared };
+enum class Op : std::uint8_t { Read, Write, Alloc };
+
+/// One instrumented access, in execution order within its launch.
+struct AccessEvent {
+  int phase = 0;
+  long long bid = 0;
+  long long tid = 0;  ///< gpusim::kBlockScope (-1) for block-scope accesses
+  Space space = Space::Global;
+  Op op = Op::Read;
+  std::string buffer;  ///< allocation label; empty for shared-arena accesses
+  long long offset = 0;
+  long long bytes = 0;
+  /// Static-site annotation (gpusim::annotate_site), or kNoSite.  Sites
+  /// not annotated are distinguished by their per-thread occurrence index.
+  std::uint32_t site = kNoSite;
+  static constexpr std::uint32_t kNoSite = 0xffffffffU;
+};
+
+/// Everything recorded about one kernel launch.
+struct LaunchRecord {
+  std::string kernel;
+  long long tpb = 0;
+  long long nb = 0;
+  long long shared_bytes = 0;
+  /// Label -> byte size of every buffer this launch accessed.
+  std::map<std::string, long long> buffer_bytes;
+  std::vector<AccessEvent> events;
+};
+
+/// All launches of one pilot run, in issue order.
+struct RunRecord {
+  std::vector<LaunchRecord> launches;
+};
+
+class VerifyObserver final : public gpusim::AccessObserver {
+ public:
+  [[nodiscard]] const RunRecord& run() const noexcept { return run_; }
+  [[nodiscard]] RunRecord& run() noexcept { return run_; }
+
+  void on_launch_begin(const void* device, const char* kernel, const gpusim::ExecConfig& cfg,
+                       std::size_t stream) override;
+  void on_launch_end() override;
+  void on_block_begin(std::size_t bid, std::size_t threads) override;
+  void on_phase_begin(int phase) override;
+  void on_thread_begin(std::ptrdiff_t tid) override;
+  void on_site(std::uint32_t site) override;
+  void on_global_read(const void* base, std::size_t offset, std::size_t bytes) override;
+  void on_global_write(const void* base, std::size_t offset, std::size_t bytes) override;
+  void on_shared_alloc(std::size_t offset, std::size_t bytes) override;
+  void on_shared_read(std::size_t offset, std::size_t bytes) override;
+  void on_shared_write(std::size_t offset, std::size_t bytes) override;
+  void on_alloc(const void* device, const void* base, std::size_t bytes,
+                const std::string& label) override;
+
+ private:
+  void record_global(const void* base, std::size_t offset, std::size_t bytes, Op op);
+  void record_shared(std::size_t offset, std::size_t bytes, Op op);
+
+  struct BufferInfo {
+    std::string label;
+    long long bytes = 0;
+  };
+
+  RunRecord run_;
+  std::map<const void*, BufferInfo> buffers_;  // keyed by raw storage base
+  bool in_launch_ = false;
+  long long bid_ = 0;
+  long long tid_ = gpusim::kBlockScope;
+  int phase_ = 0;
+  std::uint32_t site_ = AccessEvent::kNoSite;
+};
+
+/// Fans every AccessObserver callback out to each child in order.
+class MultiObserver final : public gpusim::AccessObserver {
+ public:
+  explicit MultiObserver(std::vector<gpusim::AccessObserver*> children)
+      : children_(std::move(children)) {}
+
+  void on_launch_begin(const void* device, const char* kernel, const gpusim::ExecConfig& cfg,
+                       std::size_t stream) override {
+    for (auto* c : children_) c->on_launch_begin(device, kernel, cfg, stream);
+  }
+  void on_launch_end() override {
+    for (auto* c : children_) c->on_launch_end();
+  }
+  void on_block_begin(std::size_t bid, std::size_t threads) override {
+    for (auto* c : children_) c->on_block_begin(bid, threads);
+  }
+  void on_phase_begin(int phase) override {
+    for (auto* c : children_) c->on_phase_begin(phase);
+  }
+  void on_thread_begin(std::ptrdiff_t tid) override {
+    for (auto* c : children_) c->on_thread_begin(tid);
+  }
+  void on_site(std::uint32_t site) override {
+    for (auto* c : children_) c->on_site(site);
+  }
+  void on_global_read(const void* base, std::size_t offset, std::size_t bytes) override {
+    for (auto* c : children_) c->on_global_read(base, offset, bytes);
+  }
+  void on_global_write(const void* base, std::size_t offset, std::size_t bytes) override {
+    for (auto* c : children_) c->on_global_write(base, offset, bytes);
+  }
+  void on_shared_alloc(std::size_t offset, std::size_t bytes) override {
+    for (auto* c : children_) c->on_shared_alloc(offset, bytes);
+  }
+  void on_shared_read(std::size_t offset, std::size_t bytes) override {
+    for (auto* c : children_) c->on_shared_read(offset, bytes);
+  }
+  void on_shared_write(std::size_t offset, std::size_t bytes) override {
+    for (auto* c : children_) c->on_shared_write(offset, bytes);
+  }
+  void on_local_alloc(std::size_t slot, std::size_t bytes) override {
+    for (auto* c : children_) c->on_local_alloc(slot, bytes);
+  }
+  void on_alloc(const void* device, const void* base, std::size_t bytes,
+                const std::string& label) override {
+    for (auto* c : children_) c->on_alloc(device, base, bytes, label);
+  }
+  void on_memset(const void* device, const void* base, std::size_t bytes,
+                 std::size_t stream) override {
+    for (auto* c : children_) c->on_memset(device, base, bytes, stream);
+  }
+  void on_h2d(const void* device, const void* base, std::size_t bytes,
+              std::size_t stream) override {
+    for (auto* c : children_) c->on_h2d(device, base, bytes, stream);
+  }
+  void on_d2h(const void* device, const void* base, std::size_t bytes,
+              std::size_t stream) override {
+    for (auto* c : children_) c->on_d2h(device, base, bytes, stream);
+  }
+  void on_stream_created(const void* device, std::size_t stream) override {
+    for (auto* c : children_) c->on_stream_created(device, stream);
+  }
+  void on_record_event(const void* device, std::size_t stream, double seconds) override {
+    for (auto* c : children_) c->on_record_event(device, stream, seconds);
+  }
+  void on_wait_event(const void* device, std::size_t stream, double seconds) override {
+    for (auto* c : children_) c->on_wait_event(device, stream, seconds);
+  }
+  void on_synchronize(const void* device) override {
+    for (auto* c : children_) c->on_synchronize(device);
+  }
+
+ private:
+  std::vector<gpusim::AccessObserver*> children_;
+};
+
+/// RAII: installs `obs` as the process-wide default CheckConfig (adopted by
+/// devices that engines construct internally); restores the previous
+/// default on destruction.
+class ScopedVerify {
+ public:
+  explicit ScopedVerify(gpusim::AccessObserver& obs) noexcept : prev_(gpusim::default_check()) {
+    gpusim::set_default_check({&obs});
+  }
+  ~ScopedVerify() { gpusim::set_default_check(prev_); }
+  ScopedVerify(const ScopedVerify&) = delete;
+  ScopedVerify& operator=(const ScopedVerify&) = delete;
+
+ private:
+  gpusim::CheckConfig prev_;
+};
+
+}  // namespace kpm::verify

@@ -1,0 +1,325 @@
+#include "verify/poly.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace kpm::verify {
+namespace {
+
+__extension__ typedef __int128 I128;  // pedantic-clean 128-bit spelling
+
+I128 checked_mul(I128 a, I128 b, const char* what) {
+  I128 out = 0;
+  if (__builtin_mul_overflow(a, b, &out))
+    throw RatOverflow(std::string("verify: rational overflow in ") + what);
+  return out;
+}
+
+I128 checked_add(I128 a, I128 b, const char* what) {
+  I128 out = 0;
+  if (__builtin_add_overflow(a, b, &out))
+    throw RatOverflow(std::string("verify: rational overflow in ") + what);
+  return out;
+}
+
+I128 gcd128(I128 a, I128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const I128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+Rat make_rat(I128 n, I128 d, const char* what) {
+  KPM_REQUIRE(d != 0, std::string("verify: rational with zero denominator in ") + what);
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  const I128 g = gcd128(n, d);
+  Rat r;
+  r.num = g != 0 ? n / g : 0;
+  r.den = g != 0 ? d / g : 1;
+  return r;
+}
+
+std::string i128_str(I128 v) {
+  if (v == 0) return "0";
+  const bool neg = v < 0;
+  std::string digits;
+  while (v != 0) {
+    const auto d = static_cast<int>(neg ? -(v % 10) : v % 10);
+    digits.push_back(static_cast<char>('0' + d));
+    v /= 10;
+  }
+  if (neg) digits.push_back('-');
+  return {digits.rbegin(), digits.rend()};
+}
+
+}  // namespace
+
+Rat::Rat(long long n, long long d) { *this = make_rat(n, d, "ctor"); }
+
+long long Rat::as_ll() const {
+  KPM_REQUIRE(den == 1, "verify: as_ll on a non-integer rational");
+  KPM_REQUIRE(num <= I128(9223372036854775807LL) && num >= -I128(9223372036854775807LL) - 1,
+              "verify: rational exceeds 64-bit range");
+  return static_cast<long long>(num);
+}
+
+Rat operator+(const Rat& a, const Rat& b) {
+  const I128 n = checked_add(checked_mul(a.num, b.den, "+"), checked_mul(b.num, a.den, "+"), "+");
+  const I128 d = checked_mul(a.den, b.den, "+");
+  return make_rat(n, d, "+");
+}
+
+Rat operator-(const Rat& a, const Rat& b) { return a + (-b); }
+
+Rat operator*(const Rat& a, const Rat& b) {
+  // Cross-reduce before multiplying to keep intermediates small.
+  const I128 g1 = gcd128(a.num, b.den);
+  const I128 g2 = gcd128(b.num, a.den);
+  const I128 an = g1 != 0 ? a.num / g1 : a.num;
+  const I128 bd = g1 != 0 ? b.den / g1 : b.den;
+  const I128 bn = g2 != 0 ? b.num / g2 : b.num;
+  const I128 ad = g2 != 0 ? a.den / g2 : a.den;
+  return make_rat(checked_mul(an, bn, "*"), checked_mul(ad, bd, "*"), "*");
+}
+
+Rat operator/(const Rat& a, const Rat& b) {
+  KPM_REQUIRE(b.num != 0, "verify: rational division by zero");
+  Rat inv;
+  inv.num = b.den;
+  inv.den = b.num;
+  if (inv.den < 0) {
+    inv.num = -inv.num;
+    inv.den = -inv.den;
+  }
+  return a * inv;
+}
+
+bool operator<(const Rat& a, const Rat& b) {
+  return checked_mul(a.num, b.den, "<") < checked_mul(b.num, a.den, "<");
+}
+
+std::string Rat::str() const {
+  std::string s = i128_str(num);
+  if (den != 1) s += "/" + i128_str(den);
+  return s;
+}
+
+int VarTable::intern(const std::string& name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(names_.size());
+  names_.push_back(name);
+  ids_[name] = id;
+  return id;
+}
+
+int VarTable::find(const std::string& name) const {
+  const auto it = ids_.find(name);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+Poly Poly::constant(const Rat& c) {
+  Poly p;
+  p.add_term({}, c);
+  return p;
+}
+
+Poly Poly::var(int id) {
+  Poly p;
+  p.add_term({id}, Rat{1});
+  return p;
+}
+
+void Poly::add_term(Monomial m, const Rat& c) {
+  if (c.is_zero()) return;
+  std::sort(m.begin(), m.end());
+  auto [it, inserted] = terms_.try_emplace(std::move(m), c);
+  if (!inserted) {
+    it->second = it->second + c;
+    if (it->second.is_zero()) terms_.erase(it);
+  }
+}
+
+bool Poly::is_constant() const noexcept {
+  return terms_.empty() || (terms_.size() == 1 && terms_.begin()->first.empty());
+}
+
+Rat Poly::constant_value() const {
+  const auto it = terms_.find(Monomial{});
+  return it == terms_.end() ? Rat{0} : it->second;
+}
+
+int Poly::degree_in(int id) const {
+  int deg = 0;
+  for (const auto& [m, c] : terms_)
+    deg = std::max(deg, static_cast<int>(std::count(m.begin(), m.end(), id)));
+  return deg;
+}
+
+Poly Poly::linear_coeff(int id) const {
+  KPM_REQUIRE(degree_in(id) <= 1, "verify: linear_coeff on a nonlinear variable");
+  Poly out;
+  for (const auto& [m, c] : terms_) {
+    const auto it = std::find(m.begin(), m.end(), id);
+    if (it == m.end()) continue;
+    Monomial rest;
+    rest.reserve(m.size() - 1);
+    for (auto jt = m.begin(); jt != m.end(); ++jt)
+      if (jt != it) rest.push_back(*jt);
+    out.add_term(std::move(rest), c);
+  }
+  return out;
+}
+
+Poly Poly::without(int id) const {
+  Poly out;
+  for (const auto& [m, c] : terms_)
+    if (std::find(m.begin(), m.end(), id) == m.end()) out.add_term(m, c);
+  return out;
+}
+
+Poly Poly::subst(int id, const Poly& value) const {
+  Poly out;
+  for (const auto& [m, c] : terms_) {
+    Monomial rest;
+    int power = 0;
+    for (const int v : m) {
+      if (v == id)
+        ++power;
+      else
+        rest.push_back(v);
+    }
+    Poly term;
+    term.add_term(std::move(rest), c);
+    for (int k = 0; k < power; ++k) term = term * value;
+    out = out + term;
+  }
+  return out;
+}
+
+Rat Poly::eval(const std::vector<Rat>& values) const {
+  Rat acc{0};
+  for (const auto& [m, c] : terms_) {
+    Rat v = c;
+    for (const int id : m) {
+      KPM_REQUIRE(static_cast<std::size_t>(id) < values.size(), "verify: eval missing variable");
+      v = v * values[static_cast<std::size_t>(id)];
+    }
+    acc = acc + v;
+  }
+  return acc;
+}
+
+bool Poly::integer_coeffs() const {
+  for (const auto& [m, c] : terms_)
+    if (!c.is_integer()) return false;
+  return true;
+}
+
+bool Poly::independent_of(const std::vector<int>& ids) const {
+  for (const auto& [m, c] : terms_)
+    for (const int v : m)
+      if (std::find(ids.begin(), ids.end(), v) != ids.end()) return false;
+  return true;
+}
+
+Poly operator+(const Poly& a, const Poly& b) {
+  Poly out = a;
+  for (const auto& [m, c] : b.terms_) out.add_term(m, c);
+  return out;
+}
+
+Poly operator-(const Poly& a, const Poly& b) { return a + Rat{-1} * b; }
+
+Poly operator*(const Poly& a, const Poly& b) {
+  Poly out;
+  for (const auto& [ma, ca] : a.terms_)
+    for (const auto& [mb, cb] : b.terms_) {
+      Monomial m = ma;
+      m.insert(m.end(), mb.begin(), mb.end());
+      out.add_term(std::move(m), ca * cb);
+    }
+  return out;
+}
+
+Poly operator*(const Rat& c, const Poly& p) {
+  Poly out;
+  for (const auto& [m, pc] : p.terms_) out.add_term(m, c * pc);
+  return out;
+}
+
+std::string Poly::str(const VarTable& vars) const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  // Print simple monomials first (constant, then by ascending length).
+  std::vector<const std::pair<const Monomial, Rat>*> order;
+  order.reserve(terms_.size());
+  for (const auto& t : terms_) order.push_back(&t);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto* a, const auto* b) { return a->first.size() < b->first.size(); });
+  for (const auto* t : order) {
+    const auto& [m, c] = *t;
+    if (!first) os << (c.negative() ? " - " : " + ");
+    if (first && c.negative()) os << "-";
+    first = false;
+    const Rat a = c.negative() ? -c : c;
+    const bool unit = a == Rat{1} && !m.empty();
+    if (!unit) os << a.str();
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (!unit || i > 0) os << "*";
+      os << vars.name(m[i]);
+    }
+  }
+  return os.str();
+}
+
+bool solve_exact(const std::vector<std::vector<Rat>>& rows, const std::vector<Rat>& target,
+                 std::vector<Rat>& coeffs) {
+  KPM_REQUIRE(rows.size() == target.size(), "verify: solve_exact shape mismatch");
+  const std::size_t ncols = rows.empty() ? 0 : rows[0].size();
+  // Augmented working copy.
+  std::vector<std::vector<Rat>> a(rows.size(), std::vector<Rat>(ncols + 1));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    KPM_REQUIRE(rows[i].size() == ncols, "verify: ragged solve_exact rows");
+    for (std::size_t j = 0; j < ncols; ++j) a[i][j] = rows[i][j];
+    a[i][ncols] = target[i];
+  }
+  std::vector<int> pivot_row_of(ncols, -1);
+  std::size_t next_row = 0;
+  for (std::size_t col = 0; col < ncols && next_row < a.size(); ++col) {
+    std::size_t piv = next_row;
+    while (piv < a.size() && a[piv][col].is_zero()) ++piv;
+    if (piv == a.size()) continue;  // free column (preference: earlier columns pivot first)
+    std::swap(a[piv], a[next_row]);
+    const Rat inv = Rat{1} / a[next_row][col];
+    for (std::size_t j = col; j <= ncols; ++j) a[next_row][j] = a[next_row][j] * inv;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i == next_row || a[i][col].is_zero()) continue;
+      const Rat f = a[i][col];
+      for (std::size_t j = col; j <= ncols; ++j) a[i][j] = a[i][j] - f * a[next_row][j];
+    }
+    pivot_row_of[col] = static_cast<int>(next_row);
+    ++next_row;
+  }
+  // Inconsistent when a zero row has a nonzero right-hand side.
+  for (std::size_t i = next_row; i < a.size(); ++i)
+    if (!a[i][ncols].is_zero()) return false;
+  coeffs.assign(ncols, Rat{0});
+  for (std::size_t col = 0; col < ncols; ++col)
+    if (pivot_row_of[col] >= 0)
+      coeffs[col] = a[static_cast<std::size_t>(pivot_row_of[col])][ncols];
+  return true;
+}
+
+}  // namespace kpm::verify

@@ -1,0 +1,147 @@
+// Exact rational multivariate polynomials for symbolic access summaries.
+//
+// The static verifier (src/verify/) fits every observed access site to a
+// polynomial over launch parameters (dim, nmom, total, bs, ...) and
+// per-event variables (bid, tid, it).  All arithmetic is exact: Rat is a
+// normalized rational over 64-bit integers with __int128 intermediates,
+// and every overflow throws RatOverflow instead of wrapping — a verifier
+// that silently overflows would "prove" nonsense.
+//
+// Polynomials are sparse maps from monomials to coefficients.  A monomial
+// is a sorted multiset of variable ids ({} = the constant term, {3, 3} =
+// the square of variable 3).  The fitted summaries are multilinear in the
+// per-event variables by construction (the fit basis has no squares), which
+// the prover exploits: a multilinear polynomial attains its extrema over a
+// box at the corners.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace kpm::verify {
+
+/// Thrown when exact rational arithmetic would exceed 128-bit intermediates.
+/// Fitting code catches this and treats the offending system as having no
+/// affine summary (an honest demotion); it never wraps silently — a verifier
+/// that overflows quietly would "prove" nonsense.
+class RatOverflow : public Error {
+ public:
+  explicit RatOverflow(const std::string& what) : Error(what) {}
+};
+
+/// Normalized exact rational (den > 0, gcd(|num|, den) == 1).  Stored over
+/// 128-bit integers: exact Gaussian elimination grows intermediates far
+/// beyond the 64-bit inputs, and every operation throws RatOverflow instead
+/// of wrapping.
+struct Rat {
+  __extension__ __int128 num = 0;
+  __extension__ __int128 den = 1;
+
+  Rat() = default;
+  Rat(long long n) : num(n), den(1) {}  // NOLINT(google-explicit-constructor)
+  Rat(long long n, long long d);
+
+  [[nodiscard]] bool is_zero() const noexcept { return num == 0; }
+  [[nodiscard]] bool is_integer() const noexcept { return den == 1; }
+  [[nodiscard]] bool negative() const noexcept { return num < 0; }
+  /// The value as a 64-bit integer; requires is_integer() and range.
+  [[nodiscard]] long long as_ll() const;
+
+  friend Rat operator+(const Rat& a, const Rat& b);
+  friend Rat operator-(const Rat& a, const Rat& b);
+  friend Rat operator*(const Rat& a, const Rat& b);
+  friend Rat operator/(const Rat& a, const Rat& b);
+  friend Rat operator-(const Rat& a) {
+    Rat r;
+    r.num = -a.num;
+    r.den = a.den;
+    return r;
+  }
+  friend bool operator==(const Rat& a, const Rat& b) noexcept {
+    return a.num == b.num && a.den == b.den;
+  }
+  friend bool operator!=(const Rat& a, const Rat& b) noexcept { return !(a == b); }
+  /// Exact comparison via cross multiplication (checked).
+  friend bool operator<(const Rat& a, const Rat& b);
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Registry of symbolic variable names; ids are indices into names().
+class VarTable {
+ public:
+  /// Returns the id of `name`, interning it on first use.
+  int intern(const std::string& name);
+  /// Id of `name`, or -1 when never interned.
+  [[nodiscard]] int find(const std::string& name) const;
+  [[nodiscard]] const std::string& name(int id) const { return names_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, int> ids_;
+};
+
+/// Sorted multiset of variable ids; {} is the constant monomial.
+using Monomial = std::vector<int>;
+
+/// Sparse exact-rational polynomial.
+class Poly {
+ public:
+  Poly() = default;
+  static Poly constant(const Rat& c);
+  static Poly var(int id);
+
+  [[nodiscard]] bool is_zero() const noexcept { return terms_.empty(); }
+  [[nodiscard]] bool is_constant() const noexcept;
+  /// Constant term (the whole value when is_constant()).
+  [[nodiscard]] Rat constant_value() const;
+  [[nodiscard]] const std::map<Monomial, Rat>& terms() const noexcept { return terms_; }
+
+  /// Highest power of `id` across all monomials.
+  [[nodiscard]] int degree_in(int id) const;
+  [[nodiscard]] bool contains(int id) const { return degree_in(id) > 0; }
+  /// d/d(id) for polynomials linear in `id`: the sum of terms containing
+  /// `id` once, with that factor removed.  Requires degree_in(id) <= 1.
+  [[nodiscard]] Poly linear_coeff(int id) const;
+  /// The polynomial with every monomial containing `id` dropped.
+  [[nodiscard]] Poly without(int id) const;
+
+  /// Substitutes `value` for variable `id` (handles powers by repeated
+  /// multiplication; degrees here never exceed 2).
+  [[nodiscard]] Poly subst(int id, const Poly& value) const;
+  /// Evaluates with values[id] for every variable present.
+  [[nodiscard]] Rat eval(const std::vector<Rat>& values) const;
+  /// All coefficients (not necessarily the values) are integers.
+  [[nodiscard]] bool integer_coeffs() const;
+  /// True when no monomial's variable set intersects `ids`.
+  [[nodiscard]] bool independent_of(const std::vector<int>& ids) const;
+
+  friend Poly operator+(const Poly& a, const Poly& b);
+  friend Poly operator-(const Poly& a, const Poly& b);
+  friend Poly operator*(const Poly& a, const Poly& b);
+  friend Poly operator*(const Rat& c, const Poly& p);
+  friend bool operator==(const Poly& a, const Poly& b) noexcept { return a.terms_ == b.terms_; }
+  friend bool operator!=(const Poly& a, const Poly& b) noexcept { return !(a == b); }
+
+  /// Human-readable form, e.g. "8*dim*bid + 16".
+  [[nodiscard]] std::string str(const VarTable& vars) const;
+
+  void add_term(Monomial m, const Rat& c);
+
+ private:
+  std::map<Monomial, Rat> terms_;  // no zero coefficients stored
+};
+
+/// Exact linear solve: find coefficients c so that for every row i,
+/// sum_j c[j] * columns[i][j] == target[i].  Columns are tried as pivots in
+/// order (earlier columns are preferred when the system is underdetermined);
+/// free columns get coefficient 0.  Returns false when inconsistent.
+bool solve_exact(const std::vector<std::vector<Rat>>& rows, const std::vector<Rat>& target,
+                 std::vector<Rat>& coeffs);
+
+}  // namespace kpm::verify

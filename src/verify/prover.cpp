@@ -1,0 +1,369 @@
+#include "verify/prover.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "gpusim/check.hpp"
+
+namespace kpm::verify {
+namespace {
+
+constexpr int kMaxDepth = 64;
+constexpr std::size_t kMaxGeometries = 240;
+constexpr std::size_t kMaxPairChecks = 2'000'000;
+
+bool prove_rec(const Poly& p, const Domain& dom, int depth) {
+  if (p.is_constant()) return !p.constant_value().negative();
+  if (depth > kMaxDepth) return false;
+  // Branch the first bounded variable the polynomial is linear in: a
+  // multilinear polynomial attains its extrema at interval corners.
+  for (const int v : dom.order) {
+    const auto it = dom.bounds.find(v);
+    if (it == dom.bounds.end() || !it->second.hi.has_value()) continue;
+    if (p.degree_in(v) != 1) continue;
+    return prove_rec(p.subst(v, it->second.lo), dom, depth + 1) &&
+           prove_rec(p.subst(v, *it->second.hi), dom, depth + 1);
+  }
+  // Corner-shift test for the remaining (lower-bounded) variables:
+  // substitute v := lo + u with u >= 0; all-nonnegative coefficients prove
+  // nonnegativity over the whole unbounded box.
+  std::set<int> present;
+  for (const auto& [m, c] : p.terms())
+    for (const int v : m) present.insert(v);
+  Poly q = p;
+  for (const int v : present) {
+    const auto it = dom.bounds.find(v);
+    if (it == dom.bounds.end()) return false;  // variable with unknown range
+    if (!it->second.lo.is_zero()) q = q.subst(v, it->second.lo + Poly::var(v));
+  }
+  for (const auto& [m, c] : q.terms())
+    if (c.negative()) return false;
+  return true;
+}
+
+/// Representative values of 0..n-1 for the witness search: both ends and
+/// the middle, where block-boundary overlaps live.
+std::vector<long long> sample_range(long long n) {
+  std::vector<long long> out;
+  if (n <= 0) return out;
+  if (n <= 13) {
+    for (long long i = 0; i < n; ++i) out.push_back(i);
+    return out;
+  }
+  const long long mid = n / 2;
+  for (const long long v : {0LL, 1LL, 2LL, 3LL, mid - 2, mid - 1, mid, mid + 1, mid + 2, n - 4,
+                            n - 3, n - 2, n - 1})
+    if (v >= 0 && v < n && (out.empty() || out.back() != v)) out.push_back(v);
+  return out;
+}
+
+struct ConcreteEvent {
+  long long bid = 0, tid = 0, it = 0;
+  long long offset = 0, bytes = 0;
+};
+
+}  // namespace
+
+void Domain::set(int id, Poly lo, std::optional<Poly> hi) {
+  if (!bounds.contains(id)) order.push_back(id);
+  bounds[id] = VarBound{std::move(lo), std::move(hi)};
+}
+
+bool prove_nonneg(const Poly& p, const Domain& dom) { return prove_rec(p, dom, 0); }
+
+std::string Witness::str() const {
+  std::ostringstream os;
+  os << "at " << geometry << ": block " << bid_a << " thread " << tid_a << " iter " << it_a
+     << " -> bytes [" << offset_a << ", " << offset_a + bytes_a << ")";
+  if (bytes_b != 0)
+    os << " vs block " << bid_b << " thread " << tid_b << " iter " << it_b << " -> bytes ["
+       << offset_b << ", " << offset_b + bytes_b << ")";
+  return os.str();
+}
+
+Prover::Prover(const UnitVars& vars, const ClassSummary& cls, Domain param_dom,
+               std::map<int, std::vector<long long>> candidates)
+    : vars_(vars), cls_(cls), param_dom_(std::move(param_dom)), candidates_(std::move(candidates)) {}
+
+Poly Prover::tpb_expr() const {
+  return cls_.tpb_affine ? cls_.tpb : Poly::var(vars_.tpb);
+}
+
+Poly Prover::nb_expr() const { return cls_.nb_affine ? cls_.nb : Poly::var(vars_.nb); }
+
+Domain Prover::event_domain(const SiteSummary& a, const SiteSummary* b) const {
+  Domain dom;
+  const Poly one = Poly::constant(Rat{1});
+  const Poly zero;
+  // Per-event variables first: branching eliminates them before the launch
+  // variables their bounds mention.
+  dom.set(vars_.delta, one, std::nullopt);
+  dom.set(vars_.tid, zero, tpb_expr() - one);
+  dom.set(vars_.tid2, zero, tpb_expr() - one);
+  dom.set(vars_.it, zero, a.count - one);
+  if (b != nullptr) dom.set(vars_.it2, zero, b->count - one);
+  dom.set(vars_.bid, zero, nb_expr() - one);
+  dom.set(vars_.bid2, zero, nb_expr() - one);
+  for (const int v : param_dom_.order) {
+    const auto& bound = param_dom_.bounds.at(v);
+    dom.set(v, bound.lo, bound.hi);
+  }
+  return dom;
+}
+
+Poly Prover::rename_primed(const Poly& p) const {
+  return p.subst(vars_.tid, Poly::var(vars_.tid2))
+      .subst(vars_.bid, Poly::var(vars_.bid2))
+      .subst(vars_.it, Poly::var(vars_.it2));
+}
+
+ProofOutcome Prover::check_bounds(const SiteSummary& site, const Poly& limit) {
+  const Domain dom = event_domain(site, nullptr);
+  const bool lo_ok = prove_nonneg(site.offset, dom);
+  const bool hi_ok = prove_nonneg(limit - site.offset - site.bytes, dom);
+  if (lo_ok && hi_ok) return {Tri::Proven, "corner bounds", std::nullopt};
+  if (auto w = search_bounds(site, limit))
+    return {Tri::Violated, "escapes the buffer", std::move(w)};
+  return {Tri::Unknown, "bounds not provable in the declared parameter domain", std::nullopt};
+}
+
+ProofOutcome Prover::check_disjoint(const SiteSummary& a, const SiteSummary& b, int var) {
+  const bool same_family = &a == &b;
+  const int var2 = var == vars_.tid ? vars_.tid2 : vars_.bid2;
+  Poly oa = a.offset, ba = a.bytes;
+  Poly ob = rename_primed(b.offset), bb = rename_primed(b.bytes);
+  if (var == vars_.tid) {
+    // Same-block pair: the primed copy shares the block id.
+    ob = ob.subst(vars_.bid2, Poly::var(vars_.bid));
+    bb = bb.subst(vars_.bid2, Poly::var(vars_.bid));
+  }
+  Domain dom = event_domain(a, &b);
+  const Poly gap = Poly::var(var) + Poly::var(vars_.delta);
+
+  // Interval separation: with the distinguishing variables `delta >= 1`
+  // apart, one family's whole range sits above the other's.
+  const auto separated = [&](const Poly& low_off, const Poly& low_bytes, const Poly& high_off) {
+    return prove_nonneg(high_off - low_off - low_bytes, dom);
+  };
+  const Poly ob_shift = ob.subst(var2, gap);
+  const Poly bb_shift = bb.subst(var2, gap);
+  const bool dir1 = separated(oa, ba, ob_shift) || separated(ob_shift, bb_shift, oa);
+  bool dir2 = dir1;
+  if (!same_family && dir1) {
+    const Poly oa_shift = oa.subst(var, Poly::var(var2) + Poly::var(vars_.delta));
+    const Poly ba_shift = ba.subst(var, Poly::var(var2) + Poly::var(vars_.delta));
+    dir2 = separated(ob, bb, oa_shift) || separated(oa_shift, ba_shift, ob);
+  }
+  if (dir1 && dir2) return {Tri::Proven, "interval separation", std::nullopt};
+
+  if (same_family) {
+    const Poly modulus = var == vars_.tid ? tpb_expr() : nb_expr();
+    if (congruence_disjoint(a, var, modulus))
+      return {Tri::Proven, "stride congruence", std::nullopt};
+  }
+  if (auto w = search_overlap(a, b, var))
+    return {Tri::Violated, "overlapping accesses", std::move(w)};
+  return {Tri::Unknown, "no separation rule applies", std::nullopt};
+}
+
+bool Prover::congruence_disjoint(const SiteSummary& a, int var, const Poly& modulus) {
+  // offset = c*var + (c*modulus)*Q + launch-only terms, with bytes <= c and
+  // var < modulus: residues mod c*modulus of two events with different
+  // `var` values differ by at least c in both directions, so [offset,
+  // offset+bytes) never collide whatever the other per-event variables do.
+  if (!a.bytes.is_constant()) return false;
+  const Rat bytes = a.bytes.constant_value();
+  if (a.offset.degree_in(var) != 1) return false;
+  const Poly cvp = a.offset.linear_coeff(var);
+  if (!cvp.is_constant()) return false;
+  const Rat c = cvp.constant_value();
+  if (!c.is_integer() || c.num <= 0 || bytes.negative() || (!(bytes < c) && bytes != c))
+    return false;
+  if (modulus.terms().size() != 1) return false;
+  const auto& [mod_mono, mod_coeff] = *modulus.terms().begin();
+  const Rat unit = c * mod_coeff;
+  if (unit.num <= 0) return false;
+
+  std::vector<int> others{vars_.it};
+  if (var == vars_.tid)
+    others.push_back(vars_.bid);
+  else
+    others.push_back(vars_.tid);
+  Poly q;
+  for (const auto& [m, coeff] : a.offset.terms()) {
+    const bool per_event =
+        std::any_of(m.begin(), m.end(), [&](int v) {
+          return std::find(others.begin(), others.end(), v) != others.end();
+        });
+    if (!per_event) continue;  // c*var and launch-only terms cancel in the difference
+    // The term must be divisible by c * modulus.
+    Monomial rest = m;
+    for (const int v : mod_mono) {
+      const auto it = std::find(rest.begin(), rest.end(), v);
+      if (it == rest.end()) return false;
+      rest.erase(it);
+    }
+    q.add_term(std::move(rest), coeff / unit);
+  }
+  return q.integer_coeffs();
+}
+
+std::vector<Prover::Geometry> Prover::geometries() const {
+  // Launch variables to enumerate: the parameters, plus tpb/nb when they
+  // stayed free (non-affine geometry).
+  std::vector<int> ids;
+  for (const int v : vars_.params)
+    if (std::find(ids.begin(), ids.end(), v) == ids.end()) ids.push_back(v);
+  if (!cls_.tpb_affine && std::find(ids.begin(), ids.end(), vars_.tpb) == ids.end())
+    ids.push_back(vars_.tpb);
+  if (!cls_.nb_affine && std::find(ids.begin(), ids.end(), vars_.nb) == ids.end())
+    ids.push_back(vars_.nb);
+
+  std::vector<std::vector<long long>> values_per_id;
+  for (const int id : ids) {
+    std::vector<long long> vals;
+    const auto bound = param_dom_.bounds.find(id);
+    // Domain extremes first: geometry-dependent hazards live at the edges.
+    if (bound != param_dom_.bounds.end() && bound->second.hi.has_value() &&
+        bound->second.hi->is_constant())
+      vals.push_back(bound->second.hi->constant_value().as_ll());
+    const auto cand = candidates_.find(id);
+    if (cand != candidates_.end()) {
+      auto sorted = cand->second;
+      std::sort(sorted.rbegin(), sorted.rend());
+      vals.insert(vals.end(), sorted.begin(), sorted.end());
+    }
+    if (bound != param_dom_.bounds.end() && bound->second.lo.is_constant())
+      vals.push_back(bound->second.lo.constant_value().as_ll());
+    else
+      vals.push_back(1);
+    std::vector<long long> uniq;
+    for (const long long v : vals)
+      if (v >= 1 && std::find(uniq.begin(), uniq.end(), v) == uniq.end()) uniq.push_back(v);
+    values_per_id.push_back(std::move(uniq));
+  }
+
+  std::vector<Geometry> out;
+  std::vector<std::size_t> odo(ids.size(), 0);
+  while (out.size() < kMaxGeometries) {
+    Geometry g;
+    g.values.assign(vars_.table.size(), Rat{0});
+    std::ostringstream desc;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const long long v = values_per_id[i][odo[i]];
+      g.values[static_cast<std::size_t>(ids[i])] = Rat{v};
+      desc << (i == 0 ? "" : " ") << vars_.table.name(ids[i]) << "=" << v;
+    }
+    g.desc = desc.str();
+    out.push_back(std::move(g));
+    // Advance the odometer.
+    std::size_t i = 0;
+    for (; i < ids.size(); ++i) {
+      if (++odo[i] < values_per_id[i].size()) break;
+      odo[i] = 0;
+    }
+    if (i == ids.size()) break;
+    if (ids.empty()) break;
+  }
+  return out;
+}
+
+std::optional<Witness> Prover::search_overlap(const SiteSummary& a, const SiteSummary& b,
+                                              int var) {
+  const bool same_block = var == vars_.tid;
+  std::size_t checks = 0;
+  for (const Geometry& geo : geometries()) {
+    const Rat tpb_v = tpb_expr().eval(geo.values);
+    const Rat nb_v = nb_expr().eval(geo.values);
+    if (!tpb_v.is_integer() || !nb_v.is_integer() || tpb_v.num < 1 || nb_v.num < 1) continue;
+
+    const auto events_of = [&](const SiteSummary& s) {
+      std::vector<ConcreteEvent> out;
+      const Rat count_v = s.count.eval(geo.values);
+      if (!count_v.is_integer() || count_v.num < 0) return out;
+      const auto bids = sample_range(nb_v.as_ll());
+      const auto tids =
+          s.key.block_scope ? std::vector<long long>{0} : sample_range(tpb_v.as_ll());
+      const auto its = sample_range(count_v.as_ll());
+      std::vector<Rat> values = geo.values;
+      for (const long long bid : bids)
+        for (const long long tid : tids)
+          for (const long long it : its) {
+            values[static_cast<std::size_t>(vars_.bid)] = Rat{bid};
+            values[static_cast<std::size_t>(vars_.tid)] = Rat{tid};
+            values[static_cast<std::size_t>(vars_.it)] = Rat{it};
+            const Rat off = s.offset.eval(values);
+            const Rat by = s.bytes.eval(values);
+            if (!off.is_integer() || !by.is_integer() || by.num <= 0) continue;
+            out.push_back({bid, tid, it, off.as_ll(), by.as_ll()});
+          }
+      return out;
+    };
+
+    const std::vector<ConcreteEvent> ea = events_of(a);
+    const std::vector<ConcreteEvent> eb = &a == &b ? ea : events_of(b);
+    for (const ConcreteEvent& x : ea) {
+      for (const ConcreteEvent& y : eb) {
+        if (++checks > kMaxPairChecks) return std::nullopt;
+        if (same_block) {
+          if (x.bid != y.bid || x.tid == y.tid) continue;
+        } else {
+          if (x.bid == y.bid) continue;
+        }
+        if (std::max(x.offset, y.offset) < std::min(x.offset + x.bytes, y.offset + y.bytes)) {
+          Witness w;
+          w.geometry = geo.desc;
+          w.bid_a = x.bid;
+          w.tid_a = x.tid;
+          w.it_a = x.it;
+          w.offset_a = x.offset;
+          w.bytes_a = x.bytes;
+          w.bid_b = y.bid;
+          w.tid_b = y.tid;
+          w.it_b = y.it;
+          w.offset_b = y.offset;
+          w.bytes_b = y.bytes;
+          return w;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Witness> Prover::search_bounds(const SiteSummary& site, const Poly& limit) {
+  for (const Geometry& geo : geometries()) {
+    const Rat tpb_v = tpb_expr().eval(geo.values);
+    const Rat nb_v = nb_expr().eval(geo.values);
+    const Rat limit_v = limit.eval(geo.values);
+    const Rat count_v = site.count.eval(geo.values);
+    if (!tpb_v.is_integer() || !nb_v.is_integer() || tpb_v.num < 1 || nb_v.num < 1) continue;
+    if (!limit_v.is_integer() || !count_v.is_integer() || count_v.num < 1) continue;
+    // Multilinear offsets attain extrema at box corners.
+    std::vector<Rat> values = geo.values;
+    for (const long long bid : {0LL, nb_v.as_ll() - 1})
+      for (const long long tid : {0LL, tpb_v.as_ll() - 1})
+        for (const long long it : {0LL, count_v.as_ll() - 1}) {
+          values[static_cast<std::size_t>(vars_.bid)] = Rat{bid};
+          values[static_cast<std::size_t>(vars_.tid)] = Rat{site.key.block_scope ? 0 : tid};
+          values[static_cast<std::size_t>(vars_.it)] = Rat{it};
+          const Rat off = site.offset.eval(values);
+          const Rat by = site.bytes.eval(values);
+          if (!off.is_integer() || !by.is_integer()) continue;
+          if (off.num < 0 || off.num + by.num > limit_v.num) {
+            Witness w;
+            w.geometry = geo.desc + " (buffer " + limit_v.str() + " bytes)";
+            w.bid_a = bid;
+            w.tid_a = site.key.block_scope ? gpusim::kBlockScope : tid;
+            w.it_a = it;
+            w.offset_a = off.as_ll();
+            w.bytes_a = by.as_ll();
+            return w;
+          }
+        }
+  }
+  return std::nullopt;
+}
+
+}  // namespace kpm::verify

@@ -1,0 +1,118 @@
+// Symbolic discharge of hazard obligations over fitted access summaries.
+//
+// Given a kernel class summary (summary.hpp), the prover decides, for ALL
+// launch geometries in the declared parameter domain — not just the pilot
+// geometries that produced the fit:
+//
+//   * bounds safety     — every access of a site stays inside its buffer
+//     (or the shared arena),
+//   * pairwise disjointness — two accesses from different threads of a
+//     block (racecheck) or from different blocks (global overlap) never
+//     touch the same byte,
+//   * allocation uniformity — shared allocations do not depend on the
+//     thread id.
+//
+// The core primitive is prove_nonneg: P >= 0 over a box domain, decided by
+// branching multilinear variables to their interval corners and a final
+// corner-shift test (substitute v := lo + u, u >= 0: all-nonnegative
+// coefficients prove nonnegativity).  Disjointness uses an interval
+// separation rule, then a congruence (stride residue) rule for interleaved
+// patterns like offset = c*(it*TPB + tid), and finally a concrete witness
+// search over small integer geometries that upgrades an unprovable overlap
+// into a definite finding with a reproducible witness.  Everything else is
+// Unknown — reported as an Unproven hazard, never silently passed.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/poly.hpp"
+#include "verify/summary.hpp"
+
+namespace kpm::verify {
+
+/// Inclusive lower bound and optional inclusive upper bound, as polynomials
+/// over other domain variables (e.g. tid in [0, tpb - 1]).
+struct VarBound {
+  Poly lo;
+  std::optional<Poly> hi;
+};
+
+/// Box domain: per-variable bounds plus the branching preference order
+/// (per-event variables first, so their bounds — which mention launch
+/// variables — are eliminated before the launch variables themselves).
+struct Domain {
+  std::map<int, VarBound> bounds;
+  std::vector<int> order;
+
+  void set(int id, Poly lo, std::optional<Poly> hi);
+};
+
+/// True when `p` is provably >= 0 for every integer point of `dom`.
+/// Conservative: false means "not proven", not "negative somewhere".
+bool prove_nonneg(const Poly& p, const Domain& dom);
+
+/// Three-valued proof outcome.
+enum class Tri { Proven, Violated, Unknown };
+
+/// Concrete counterexample from the witness search.
+struct Witness {
+  std::string geometry;  ///< e.g. "dim=8 total=4 tpb=256 nb=2"
+  long long bid_a = 0, tid_a = 0, it_a = 0;
+  long long bid_b = 0, tid_b = 0, it_b = 0;
+  long long offset_a = 0, bytes_a = 0;
+  long long offset_b = 0, bytes_b = 0;
+  [[nodiscard]] std::string str() const;
+};
+
+struct ProofOutcome {
+  Tri result = Tri::Unknown;
+  std::string rule;  ///< discharge rule or failure note
+  std::optional<Witness> witness;
+};
+
+/// Discharges obligations for one kernel class.  `param_dom` bounds the
+/// declared parameter ranges; `candidates` supplies small integer values
+/// per launch variable for the witness search (pilot values plus domain
+/// extremes).
+class Prover {
+ public:
+  Prover(const UnitVars& vars, const ClassSummary& cls, Domain param_dom,
+         std::map<int, std::vector<long long>> candidates);
+
+  /// offset >= 0 and offset + bytes <= limit for every geometry.
+  [[nodiscard]] ProofOutcome check_bounds(const SiteSummary& site, const Poly& limit);
+
+  /// Accesses of `a` and `b` never overlap when the distinguishing
+  /// variable differs: `var` is vars.tid (same block, different threads)
+  /// or vars.bid (different blocks).  `a` and `b` may be the same family.
+  [[nodiscard]] ProofOutcome check_disjoint(const SiteSummary& a, const SiteSummary& b, int var);
+
+ private:
+  [[nodiscard]] Poly tpb_expr() const;
+  [[nodiscard]] Poly nb_expr() const;
+  /// Base domain + per-event bounds for the unprimed (and optionally
+  /// primed) event variables.
+  [[nodiscard]] Domain event_domain(const SiteSummary& a, const SiteSummary* b) const;
+  [[nodiscard]] Poly rename_primed(const Poly& p) const;
+  [[nodiscard]] bool congruence_disjoint(const SiteSummary& a, int var, const Poly& modulus);
+  [[nodiscard]] std::optional<Witness> search_overlap(const SiteSummary& a, const SiteSummary& b,
+                                                      int var);
+  [[nodiscard]] std::optional<Witness> search_bounds(const SiteSummary& site, const Poly& limit);
+
+  /// One concrete launch-variable assignment for the witness search.
+  struct Geometry {
+    std::vector<Rat> values;
+    std::string desc;
+  };
+  [[nodiscard]] std::vector<Geometry> geometries() const;
+
+  const UnitVars& vars_;
+  const ClassSummary& cls_;
+  Domain param_dom_;
+  std::map<int, std::vector<long long>> candidates_;
+};
+
+}  // namespace kpm::verify

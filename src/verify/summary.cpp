@@ -1,0 +1,479 @@
+#include "verify/summary.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace kpm::verify {
+namespace {
+
+/// Keep exact fits tractable on large recordings; validation still checks
+/// every event, so a fit built from a truncated sample that fails to
+/// generalize is caught, not trusted.
+constexpr std::size_t kMaxFitRows = 4096;
+
+struct ClassKey {
+  std::string kernel;
+  std::vector<std::string> buffers;
+  auto operator<=>(const ClassKey&) const = default;
+};
+
+ClassKey class_key_of(const LaunchRecord& launch) {
+  ClassKey key;
+  key.kernel = launch.kernel;
+  for (const auto& [label, bytes] : launch.buffer_bytes) key.buffers.push_back(label);
+  return key;
+}
+
+struct LaunchSample {
+  const LaunchRecord* launch = nullptr;
+  const RunSample* run = nullptr;
+  std::size_t run_idx = 0;  // index into the canonically ordered pilot runs
+};
+
+/// values[var id] for one event; per-event slots filled by the caller.
+std::vector<Rat> base_values(const UnitVars& vars, const LaunchSample& ls) {
+  std::vector<Rat> values(vars.table.size(), Rat{0});
+  for (std::size_t i = 0; i < vars.params.size(); ++i)
+    values[static_cast<std::size_t>(vars.params[i])] = Rat{ls.run->params[i].second};
+  values[static_cast<std::size_t>(vars.tpb)] = Rat{ls.launch->tpb};
+  values[static_cast<std::size_t>(vars.nb)] = Rat{ls.launch->nb};
+  return values;
+}
+
+Rat eval_monomial(const Monomial& m, const std::vector<Rat>& values) {
+  Rat v{1};
+  for (const int id : m) v = v * values[static_cast<std::size_t>(id)];
+  return v;
+}
+
+/// Workloads may name a parameter "tpb"/"nb" (it then aliases the builtin
+/// geometry variable); dedup keeps the bases multilinear — a repeated id
+/// would otherwise produce square columns.
+void dedup_vars(std::vector<int>& ls) {
+  std::vector<int> seen;
+  std::erase_if(ls, [&](int v) {
+    if (std::find(seen.begin(), seen.end(), v) != seen.end()) return true;
+    seen.push_back(v);
+    return false;
+  });
+}
+
+/// Basis over the launch variables only: 1, each var, pairwise products.
+/// `geom` adds tpb/nb (used for sizes and counts; the tpb/nb fits
+/// themselves use the parameter-only basis).
+std::vector<Monomial> launch_basis(const UnitVars& vars, bool geom) {
+  std::vector<int> ls = vars.params;
+  if (geom) {
+    ls.push_back(vars.tpb);
+    ls.push_back(vars.nb);
+  }
+  dedup_vars(ls);
+  std::vector<Monomial> basis;
+  basis.push_back({});
+  for (const int v : ls) basis.push_back({v});
+  for (std::size_t i = 0; i < ls.size(); ++i)
+    for (std::size_t j = i + 1; j < ls.size(); ++j) basis.push_back({ls[i], ls[j]});
+  return basis;
+}
+
+/// Basis for site offsets/sizes: 1, the per-event variables, their products
+/// with every launch variable, then the launch variables and their pairs.
+/// Multilinear by construction (no squares), which the prover relies on.
+/// Column order is the tie-break for underdetermined fits: per-event terms
+/// are preferred so thread-dependent structure is attributed to threads.
+std::vector<Monomial> site_basis(const UnitVars& vars, bool block_scope) {
+  std::vector<int> ts{vars.bid, vars.it};
+  if (!block_scope) ts.insert(ts.begin(), vars.tid);
+  std::vector<int> ls = vars.params;
+  ls.push_back(vars.tpb);
+  ls.push_back(vars.nb);
+  dedup_vars(ls);
+  std::vector<Monomial> basis;
+  basis.push_back({});
+  for (const int t : ts) basis.push_back({t});
+  for (const int t : ts)
+    for (const int l : ls) basis.push_back({t, l});
+  for (const int l : ls) basis.push_back({l});
+  for (std::size_t i = 0; i < ls.size(); ++i)
+    for (std::size_t j = i + 1; j < ls.size(); ++j) basis.push_back({ls[i], ls[j]});
+  return basis;
+}
+
+struct FitOutcome {
+  bool ok = false;
+  Poly poly;
+};
+
+FitOutcome fit_rows(const std::vector<std::vector<Rat>>& values_rows,
+                    const std::vector<Rat>& targets, const std::vector<Monomial>& basis) {
+  try {
+    std::vector<std::vector<Rat>> rows(values_rows.size(), std::vector<Rat>(basis.size()));
+    for (std::size_t i = 0; i < values_rows.size(); ++i)
+      for (std::size_t j = 0; j < basis.size(); ++j)
+        rows[i][j] = eval_monomial(basis[j], values_rows[i]);
+    std::vector<Rat> coeffs;
+    if (!solve_exact(rows, targets, coeffs)) return {};
+    FitOutcome out;
+    out.ok = true;
+    for (std::size_t j = 0; j < basis.size(); ++j) out.poly.add_term(basis[j], coeffs[j]);
+    return out;
+  } catch (const RatOverflow&) {
+    // A system whose exact elimination exceeds 128-bit intermediates gets
+    // no summary; the caller demotes it to dynamic coverage.
+    return {};
+  }
+}
+
+SiteKey site_key_of(const AccessEvent& ev) {
+  SiteKey key;
+  key.phase = ev.phase;
+  key.block_scope = ev.tid == gpusim::kBlockScope;
+  key.space = ev.space;
+  key.op = ev.op;
+  key.buffer = ev.buffer;
+  key.site = ev.site;
+  return key;
+}
+
+using SlotKey = std::pair<long long, long long>;  // (bid, tid)
+using SiteGroups = std::map<SiteKey, std::map<SlotKey, std::vector<const AccessEvent*>>>;
+
+SiteGroups group_events(const LaunchRecord& launch) {
+  SiteGroups groups;
+  for (const AccessEvent& ev : launch.events)
+    groups[site_key_of(ev)][{ev.bid, ev.tid}].push_back(&ev);
+  return groups;
+}
+
+std::string space_op_str(Space space, Op op) {
+  std::string s = space == Space::Global ? "global" : "shared";
+  s += op == Op::Read ? " read" : (op == Op::Write ? " write" : " alloc");
+  return s;
+}
+
+}  // namespace
+
+std::string SiteKey::str() const {
+  std::ostringstream os;
+  os << space_op_str(space, op);
+  if (!buffer.empty()) os << " '" << buffer << "'";
+  os << " phase " << phase;
+  if (block_scope) os << " (block-scope)";
+  if (site != AccessEvent::kNoSite) os << " site " << site;
+  return os.str();
+}
+
+UnitVars make_unit_vars(const std::vector<std::string>& param_names) {
+  UnitVars vars;
+  for (const auto& name : param_names) vars.params.push_back(vars.table.intern(name));
+  vars.tpb = vars.table.intern("tpb");
+  vars.nb = vars.table.intern("nb");
+  vars.tid = vars.table.intern("tid");
+  vars.bid = vars.table.intern("bid");
+  vars.it = vars.table.intern("it");
+  vars.tid2 = vars.table.intern("tid'");
+  vars.bid2 = vars.table.intern("bid'");
+  vars.it2 = vars.table.intern("it'");
+  vars.delta = vars.table.intern("delta");
+  return vars;
+}
+
+std::vector<ClassSummary> summarize(UnitVars& vars, const std::vector<RunSample>& fit,
+                                    const std::vector<RunSample>& holdout) {
+  KPM_REQUIRE(!fit.empty(), "verify: no pilot runs to fit");
+  // Verdicts must depend only on the *set* of pilot runs, never on the
+  // seed-rotated order they arrive in.  Runs are therefore re-sorted into a
+  // canonical order (by parameter values) and every cyclic window of
+  // |fit| runs is tried as the fit subset; a summary is accepted when some
+  // window's fit validates on every launch.  Each window leaves the other
+  // geometries held out, so acceptance always requires genuine
+  // extrapolation — a single fit over all pilots would let any
+  // underdetermined system interpolate its way to a bogus summary.
+  std::vector<RunSample> runs = fit;
+  runs.insert(runs.end(), holdout.begin(), holdout.end());
+  const std::size_t fit_count = fit.size();
+  const auto& names0 = runs.front().params;
+  auto check_names = [&](const RunSample& run) {
+    KPM_REQUIRE(run.params.size() == names0.size(), "verify: pilot parameter sets differ");
+    for (std::size_t i = 0; i < names0.size(); ++i)
+      KPM_REQUIRE(run.params[i].first == names0[i].first,
+                  "verify: pilot parameter names differ across runs");
+  };
+  for (const auto& run : runs) check_names(run);
+  std::sort(runs.begin(), runs.end(), [](const RunSample& a, const RunSample& b) {
+    std::vector<long long> va, vb;
+    for (const auto& [name, value] : a.params) va.push_back(value);
+    for (const auto& [name, value] : b.params) vb.push_back(value);
+    return va < vb;
+  });
+  const std::size_t nruns = runs.size();
+  const std::size_t nwindows = fit_count >= nruns ? 1 : nruns;
+  const auto in_window = [&](std::size_t w, std::size_t run_idx) {
+    return (run_idx + nruns - w) % nruns < fit_count;
+  };
+
+  // Partition launches into classes.
+  std::map<ClassKey, std::vector<LaunchSample>> classes;
+  for (std::size_t ri = 0; ri < nruns; ++ri)
+    for (const auto& launch : runs[ri].record->launches)
+      classes[class_key_of(launch)].push_back({&launch, &runs[ri], ri});
+
+  const std::vector<Monomial> param_b = launch_basis(vars, /*geom=*/false);
+  const std::vector<Monomial> geom_b = launch_basis(vars, /*geom=*/true);
+
+  std::vector<ClassSummary> out;
+  for (const auto& [key, all_ls] : classes) {
+    ClassSummary cls;
+    cls.kernel = key.kernel;
+    cls.buffers = key.buffers;
+    cls.launches = all_ls.size();
+
+    std::vector<std::vector<Rat>> all_base;
+    all_base.reserve(all_ls.size());
+    for (const auto& ls : all_ls) all_base.push_back(base_values(vars, ls));
+
+    // --- Launch-level fits (geometry, arena, buffer sizes). ---
+    auto fit_launch_scalar = [&](const std::vector<Monomial>& basis, auto&& target_of) {
+      for (std::size_t w = 0; w < nwindows; ++w) {
+        std::vector<std::vector<Rat>> rows;
+        std::vector<Rat> targets;
+        for (std::size_t i = 0; i < all_ls.size(); ++i) {
+          if (!in_window(w, all_ls[i].run_idx)) continue;
+          rows.push_back(all_base[i]);
+          targets.push_back(Rat{target_of(all_ls[i])});
+        }
+        if (rows.empty()) continue;
+        FitOutcome fitted = fit_rows(rows, targets, basis);
+        if (!fitted.ok) continue;
+        bool ok = true;
+        try {
+          for (std::size_t i = 0; i < all_ls.size() && ok; ++i)
+            ok = fitted.poly.eval(all_base[i]) == Rat{target_of(all_ls[i])};
+        } catch (const RatOverflow&) {
+          ok = false;
+        }
+        if (ok) return fitted;
+      }
+      return FitOutcome{};
+    };
+
+    const FitOutcome tpb_fit =
+        fit_launch_scalar(param_b, [](const LaunchSample& ls) { return ls.launch->tpb; });
+    cls.tpb_affine = tpb_fit.ok;
+    cls.tpb = tpb_fit.poly;
+    if (!cls.tpb_affine)
+      cls.demotions.push_back("threads-per-block is not an affine function of the parameters");
+    const FitOutcome nb_fit =
+        fit_launch_scalar(param_b, [](const LaunchSample& ls) { return ls.launch->nb; });
+    cls.nb_affine = nb_fit.ok;
+    cls.nb = nb_fit.poly;
+    const FitOutcome shared_fit =
+        fit_launch_scalar(geom_b, [](const LaunchSample& ls) { return ls.launch->shared_bytes; });
+    cls.shared_affine = shared_fit.ok;
+    cls.shared_bytes = shared_fit.poly;
+    for (const auto& label : key.buffers) {
+      const FitOutcome size_fit = fit_launch_scalar(geom_b, [&](const LaunchSample& ls) {
+        return ls.launch->buffer_bytes.at(label);
+      });
+      if (size_fit.ok)
+        cls.buffer_sizes[label] = size_fit.poly;
+      else
+        cls.unsized_buffers.push_back(label);
+    }
+
+    // --- Site families. ---
+    // Rows are bucketed per pilot run so each cyclic window can assemble its
+    // own fit set; validation always covers every event of every launch.
+    struct PerRunRows {
+      std::vector<std::vector<Rat>> rows;  // capped, deduped
+      std::vector<Rat> offsets, sizes;
+      std::vector<std::vector<Rat>> count_rows;
+      std::vector<Rat> counts;
+    };
+    struct FamilyData {
+      std::map<std::size_t, PerRunRows> per_run;  // keyed by canonical run index
+      std::set<std::vector<long long>> seen;
+      bool uniform = true;
+      std::size_t events = 0;
+    };
+    std::map<SiteKey, FamilyData> families;
+
+    std::vector<SiteGroups> all_groups;
+    all_groups.reserve(all_ls.size());
+    for (const auto& ls : all_ls) all_groups.push_back(group_events(*ls.launch));
+
+    for (std::size_t li = 0; li < all_ls.size(); ++li) {
+      const LaunchSample& ls = all_ls[li];
+      const std::vector<Rat>& base = all_base[li];
+      for (const auto& [skey, slots] : all_groups[li]) {
+        FamilyData& fam = families[skey];
+        PerRunRows& bucket = fam.per_run[ls.run_idx];
+        // Count uniformity: every thread slot of the launch executes the
+        // site the same number of times (guarded kernels demote honestly).
+        const std::size_t expected_slots =
+            skey.block_scope ? static_cast<std::size_t>(ls.launch->nb)
+                             : static_cast<std::size_t>(ls.launch->nb * ls.launch->tpb);
+        const std::size_t count = slots.begin()->second.size();
+        if (slots.size() != expected_slots) fam.uniform = false;
+        for (const auto& [slot, events] : slots) {
+          if (events.size() != count) fam.uniform = false;
+          for (std::size_t k = 0; k < events.size(); ++k) {
+            fam.events += 1;
+            const AccessEvent& ev = *events[k];
+            std::vector<long long> sig;
+            for (const auto& [pname, pval] : ls.run->params) sig.push_back(pval);
+            sig.push_back(ls.launch->tpb);
+            sig.push_back(ls.launch->nb);
+            sig.push_back(ev.bid);
+            sig.push_back(ev.tid);
+            sig.push_back(static_cast<long long>(k));
+            sig.push_back(ev.offset);
+            sig.push_back(ev.bytes);
+            if (!fam.seen.insert(std::move(sig)).second) continue;
+            if (bucket.rows.size() >= kMaxFitRows) continue;
+            std::vector<Rat> values = base;
+            values[static_cast<std::size_t>(vars.bid)] = Rat{ev.bid};
+            values[static_cast<std::size_t>(vars.tid)] =
+                Rat{skey.block_scope ? 0 : ev.tid};
+            values[static_cast<std::size_t>(vars.it)] = Rat{static_cast<long long>(k)};
+            bucket.rows.push_back(std::move(values));
+            bucket.offsets.push_back(Rat{ev.offset});
+            bucket.sizes.push_back(Rat{ev.bytes});
+          }
+        }
+        bucket.count_rows.push_back(base);
+        bucket.counts.push_back(Rat{static_cast<long long>(count)});
+      }
+    }
+
+    // Validation checks every event of every launch — the fit may have been
+    // row-capped or built from the fit subset only, so a summary that fails
+    // to generalize is caught here, never trusted.
+    auto validate_site_impl = [&](const SiteSummary& site) {
+      for (std::size_t li = 0; li < all_ls.size(); ++li) {
+        const auto git = all_groups[li].find(site.key);
+        if (git == all_groups[li].end()) continue;
+        const auto& slots = git->second;
+        const std::vector<Rat>& base = all_base[li];
+        if (site.count.eval(base) !=
+            Rat{static_cast<long long>(slots.begin()->second.size())})
+          return false;
+        for (const auto& [slot, events] : slots) {
+          if (events.size() != slots.begin()->second.size()) return false;
+          for (std::size_t k = 0; k < events.size(); ++k) {
+            const AccessEvent& ev = *events[k];
+            std::vector<Rat> values = base;
+            values[static_cast<std::size_t>(vars.bid)] = Rat{ev.bid};
+            values[static_cast<std::size_t>(vars.tid)] =
+                Rat{site.key.block_scope ? 0 : ev.tid};
+            values[static_cast<std::size_t>(vars.it)] = Rat{static_cast<long long>(k)};
+            if (site.offset.eval(values) != Rat{ev.offset} ||
+                site.bytes.eval(values) != Rat{ev.bytes})
+              return false;
+          }
+        }
+      }
+      return true;
+    };
+    auto validate_site = [&](const SiteSummary& site) {
+      try {
+        return validate_site_impl(site);
+      } catch (const RatOverflow&) {
+        return false;
+      }
+    };
+
+    for (auto& [skey, fam] : families) {
+      SiteSummary site;
+      site.key = skey;
+      site.samples = fam.events;
+      cls.events += fam.events;
+      if (!fam.uniform) {
+        cls.demotions.push_back(skey.str() + ": iteration count varies across threads");
+        continue;
+      }
+      const std::vector<Monomial> basis = site_basis(vars, skey.block_scope);
+      bool validated = false;
+      bool fit_found = false;
+      for (std::size_t w = 0; w < nwindows && !validated; ++w) {
+        std::vector<std::vector<Rat>> rows, count_rows;
+        std::vector<Rat> offsets, sizes, counts;
+        for (std::size_t ri = 0; ri < nruns; ++ri) {
+          if (!in_window(w, ri)) continue;
+          const auto it = fam.per_run.find(ri);
+          if (it == fam.per_run.end()) continue;
+          const PerRunRows& bucket = it->second;
+          for (std::size_t j = 0; j < bucket.rows.size() && rows.size() < kMaxFitRows; ++j) {
+            rows.push_back(bucket.rows[j]);
+            offsets.push_back(bucket.offsets[j]);
+            sizes.push_back(bucket.sizes[j]);
+          }
+          count_rows.insert(count_rows.end(), bucket.count_rows.begin(),
+                            bucket.count_rows.end());
+          counts.insert(counts.end(), bucket.counts.begin(), bucket.counts.end());
+        }
+        if (rows.empty()) continue;
+        const FitOutcome off = fit_rows(rows, offsets, basis);
+        const FitOutcome sz = fit_rows(rows, sizes, basis);
+        const FitOutcome cnt = fit_rows(count_rows, counts, geom_b);
+        if (!off.ok || !sz.ok || !cnt.ok) continue;
+        fit_found = true;
+        site.offset = off.poly;
+        site.bytes = sz.poly;
+        site.count = cnt.poly;
+        validated = validate_site(site);
+      }
+      if (!validated) {
+        cls.demotions.push_back(skey.str() +
+                                (fit_found
+                                     ? ": summary failed cross-validation at a held-out geometry"
+                                     : ": no exact affine summary (data-dependent access)"));
+        continue;
+      }
+      cls.sites.push_back(std::move(site));
+    }
+
+    // --- Close over the geometry: replace tpb/nb variables by their fitted
+    // parameter polynomials so site polynomials and domains share one
+    // variable space.  Non-affine geometry stays a free variable (sound:
+    // proofs then hold for every value of it).  An overflow while closing
+    // demotes the affected summary instead of crashing the verifier.
+    auto close_geom = [&](Poly& p) {
+      try {
+        if (cls.tpb_affine) p = p.subst(vars.tpb, cls.tpb);
+        if (cls.nb_affine) p = p.subst(vars.nb, cls.nb);
+        return true;
+      } catch (const RatOverflow&) {
+        return false;
+      }
+    };
+    if (!close_geom(cls.shared_bytes)) {
+      cls.shared_affine = false;
+      cls.shared_bytes = Poly{};
+    }
+    for (auto it = cls.buffer_sizes.begin(); it != cls.buffer_sizes.end();) {
+      if (close_geom(it->second)) {
+        ++it;
+      } else {
+        cls.unsized_buffers.push_back(it->first);
+        it = cls.buffer_sizes.erase(it);
+      }
+    }
+    std::erase_if(cls.sites, [&](SiteSummary& site) {
+      if (close_geom(site.offset) && close_geom(site.bytes) && close_geom(site.count))
+        return false;
+      cls.demotions.push_back(site.key.str() +
+                              ": exact arithmetic exceeded 128-bit range closing the geometry");
+      return true;
+    });
+
+    std::sort(cls.unsized_buffers.begin(), cls.unsized_buffers.end());
+    out.push_back(std::move(cls));
+  }
+  return out;
+}
+
+}  // namespace kpm::verify

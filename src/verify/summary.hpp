@@ -1,0 +1,107 @@
+// Symbolic access summaries: fitting pilot recordings to polynomials.
+//
+// The verifier runs each production workload (or fixture) at several pilot
+// geometries and records every instrumented access (observer.hpp).  This
+// layer turns those recordings into per-kernel-class summaries:
+//
+//   * launch geometry  — threads/block, block count, shared arena size and
+//     every touched buffer's byte size as polynomials of the workload
+//     parameters,
+//   * access sites     — events grouped by (phase, scope, space, op,
+//     buffer, annotation); each group's offset/size fitted as a polynomial
+//     of (bid, tid, it) and the launch variables, where `it` is the
+//     occurrence index of the site within one thread (so uniform per-thread
+//     loops become affine families automatically),
+//   * iteration counts — events per thread fitted over launch variables
+//     and required to be uniform across the threads of a launch.
+//
+// Fits are exact (no least squares): an inconsistent system, a non-uniform
+// count, or a cross-validation mismatch on the held-out pilot runs demotes
+// the site or class with a NonAffine reason instead of guessing.  A class
+// whose buffer sizes cannot be fitted keeps its race proofs but loses
+// bounds coverage (recorded in `unsized_buffers`).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "verify/observer.hpp"
+#include "verify/poly.hpp"
+
+namespace kpm::verify {
+
+/// The variable universe of one verification unit.
+struct UnitVars {
+  VarTable table;
+  std::vector<int> params;  ///< workload parameters, in declaration order
+  int tpb = -1, nb = -1;    ///< launch geometry variables
+  int tid = -1, bid = -1, it = -1;        ///< per-event variables
+  int tid2 = -1, bid2 = -1, it2 = -1;     ///< primed copies for pair proofs
+  int delta = -1;                         ///< gap between the distinguishing pair (>= 1)
+};
+
+/// Initializes ids for `param_names` plus the builtin variables.
+UnitVars make_unit_vars(const std::vector<std::string>& param_names);
+
+/// Identity of an access-site family within a kernel class.
+struct SiteKey {
+  int phase = 0;
+  bool block_scope = false;
+  Space space = Space::Global;
+  Op op = Op::Read;
+  std::string buffer;                            ///< empty for shared
+  std::uint32_t site = AccessEvent::kNoSite;     ///< annotate_site id, if any
+  auto operator<=>(const SiteKey&) const = default;
+  [[nodiscard]] std::string str() const;
+};
+
+/// One fitted access-site family.
+struct SiteSummary {
+  SiteKey key;
+  Poly offset;  ///< byte offset as a polynomial over unit variables
+  Poly bytes;   ///< access size
+  Poly count;   ///< events per (block, thread) per launch; `it` in [0, count)
+  std::size_t samples = 0;
+};
+
+/// One verified kernel class: a kernel name plus the signature of buffers
+/// it touches (the same kernel touching different buffers — e.g. ping-pong
+/// chunk buffers — forms separate classes with separate summaries).
+struct ClassSummary {
+  std::string kernel;
+  std::vector<std::string> buffers;  ///< sorted labels (class signature)
+  Poly tpb;                          ///< threads per block over params
+  Poly nb;                           ///< blocks per launch over params
+  bool tpb_affine = false;
+  bool nb_affine = false;  ///< false: block count treated as unbounded free var
+  Poly shared_bytes;
+  bool shared_affine = false;
+  std::map<std::string, Poly> buffer_sizes;  ///< only affinely-sized buffers
+  std::vector<std::string> unsized_buffers;  ///< size fit failed: bounds demoted
+  std::vector<SiteSummary> sites;
+  std::vector<std::string> demotions;  ///< NonAffine reasons (empty = fully affine)
+  std::size_t launches = 0;
+  std::size_t events = 0;
+};
+
+/// One pilot run: the workload parameters it was produced with and its
+/// recording.  All runs of a unit must use the same parameter names.
+struct RunSample {
+  std::vector<std::pair<std::string, long long>> params;
+  const RunRecord* record = nullptr;
+};
+
+/// Groups launches into kernel classes and fits symbolic summaries.  The
+/// runs are reordered canonically (verdicts depend only on the *set* of
+/// pilots, never on the seed rotation); every cyclic window of `fit.size()`
+/// runs is tried as the fit subset and a summary is accepted when some
+/// window's exact fit validates on every launch — so acceptance always
+/// extrapolates to geometries held out of the fit.  Families or geometry
+/// relations that fail to fit or validate are demoted (recorded in
+/// ClassSummary::demotions / unsized_buffers), never guessed.
+std::vector<ClassSummary> summarize(UnitVars& vars, const std::vector<RunSample>& fit,
+                                    const std::vector<RunSample>& holdout);
+
+}  // namespace kpm::verify

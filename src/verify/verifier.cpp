@@ -1,0 +1,495 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "check/scenarios.hpp"
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "verify/fixtures.hpp"
+#include "verify/observer.hpp"
+#include "verify/prover.hpp"
+#include "verify/summary.hpp"
+
+namespace kpm::verify {
+namespace {
+
+constexpr std::size_t kPilots = 9;
+constexpr std::size_t kFitPilots = 7;
+
+/// Pilot geometries for the production scenarios.  Deliberately diverse and
+/// in general position: the exact fits are underdetermined per geometry, so
+/// the pilot set must make every spurious affine combination of parameters
+/// inconsistent instead of silently plausible.  With three launch variables
+/// the multilinear launch basis has seven functions, so seven geometries
+/// feed the fit (pinning down product terms like nb*w uniquely) and two are
+/// held out for cross-validation; conductivity needs edge > 2 (periodic
+/// current operator), so all edges are at least 3.
+const check::ScenarioScale kScenarioScales[kPilots] = {
+    {.edge = 3, .num_moments = 8, .random_vectors = 2, .realizations = 2, .block_size = 32,
+     .ldos_sites = 2, .spmmv_block = 1},
+    {.edge = 4, .num_moments = 12, .random_vectors = 3, .realizations = 2, .block_size = 64,
+     .ldos_sites = 3, .spmmv_block = 2},
+    {.edge = 5, .num_moments = 16, .random_vectors = 2, .realizations = 4, .block_size = 96,
+     .ldos_sites = 4, .spmmv_block = 3},
+    {.edge = 6, .num_moments = 10, .random_vectors = 4, .realizations = 2, .block_size = 128,
+     .ldos_sites = 3, .spmmv_block = 2},
+    {.edge = 7, .num_moments = 14, .random_vectors = 3, .realizations = 3, .block_size = 160,
+     .ldos_sites = 2, .spmmv_block = 1},
+    {.edge = 8, .num_moments = 18, .random_vectors = 2, .realizations = 2, .block_size = 192,
+     .ldos_sites = 5, .spmmv_block = 2},
+    {.edge = 9, .num_moments = 8, .random_vectors = 5, .realizations = 2, .block_size = 224,
+     .ldos_sites = 2, .spmmv_block = 4},
+    {.edge = 10, .num_moments = 12, .random_vectors = 3, .realizations = 3, .block_size = 256,
+     .ldos_sites = 3, .spmmv_block = 3},
+    {.edge = 11, .num_moments = 14, .random_vectors = 2, .realizations = 4, .block_size = 32,
+     .ldos_sites = 4, .spmmv_block = 2},
+};
+
+const FixtureScale kFixtureScales[kPilots] = {
+    {.tpb = 32, .nb = 2, .w = 2},  {.tpb = 64, .nb = 3, .w = 5},  {.tpb = 96, .nb = 5, .w = 3},
+    {.tpb = 128, .nb = 4, .w = 7}, {.tpb = 48, .nb = 7, .w = 4},  {.tpb = 80, .nb = 2, .w = 6},
+    {.tpb = 112, .nb = 6, .w = 2}, {.tpb = 16, .nb = 3, .w = 8},  {.tpb = 64, .nb = 8, .w = 3},
+};
+
+/// Declared domain of a workload parameter, by name.  Everything the
+/// prover concludes holds for all geometries inside these ranges.
+struct ParamRange {
+  long long lo = 1;
+  std::optional<long long> hi;
+};
+
+ParamRange param_range(const std::string& name) {
+  if (name == "total") return {1, 32};    // instances per engine pass
+  if (name == "bs") return {32, 256};     // production block sizes
+  if (name == "tpb") return {1, 256};     // threads per block (hardware cap)
+  return {1, std::nullopt};               // dim, nmom, nb, w, sites, b, chunk, ...
+}
+
+struct PilotRun {
+  check::ScenarioParams params;
+  RunRecord record;
+};
+
+struct Obligation {
+  std::string what;
+  ProofOutcome outcome;
+  check::Kind hazard_kind = check::Kind::Unproven;  ///< kind when Violated
+  const SiteSummary* site_a = nullptr;
+  const SiteSummary* site_b = nullptr;
+};
+
+check::Finding finding_of(const std::string& kernel, const Obligation& ob) {
+  check::Finding f;
+  f.kernel = kernel;
+  if (ob.site_a != nullptr) {
+    f.buffer = ob.site_a->key.buffer;
+    f.phase = ob.site_a->key.phase;
+  }
+  if (ob.outcome.result == Tri::Unknown) {
+    f.kind = check::Kind::Unproven;
+    f.detail = ob.what + ": " + ob.outcome.rule;
+    return f;
+  }
+  f.kind = ob.hazard_kind;
+  if (ob.outcome.witness.has_value()) {
+    const Witness& w = *ob.outcome.witness;
+    f.block = static_cast<std::size_t>(w.bid_a < 0 ? 0 : w.bid_a);
+    f.thread_a = static_cast<std::ptrdiff_t>(w.tid_a);
+    f.thread_b = static_cast<std::ptrdiff_t>(f.kind == check::Kind::SharedRace ? w.tid_b : w.bid_b);
+    const long long start = std::max(w.offset_a, w.offset_b);
+    f.offset = static_cast<std::size_t>(start < 0 ? 0 : start);
+    if (f.kind == check::Kind::Bounds) {
+      f.offset = static_cast<std::size_t>(w.offset_a < 0 ? 0 : w.offset_a);
+      f.bytes = static_cast<std::size_t>(w.bytes_a);
+    } else {
+      const long long end = std::min(w.offset_a + w.bytes_a, w.offset_b + w.bytes_b);
+      f.bytes = static_cast<std::size_t>(end > start ? end - start : 0);
+    }
+    f.detail = ob.what + ": " + ob.outcome.rule + " " + w.str();
+  } else {
+    f.detail = ob.what + ": " + ob.outcome.rule;
+  }
+  return f;
+}
+
+/// Everything discharge_class() concluded about one kernel class.
+struct ClassOutcome {
+  std::vector<std::string> notes;
+  std::vector<check::Finding> findings;
+};
+
+bool involves_write(const SiteSummary& a, const SiteSummary& b) {
+  return a.key.op == Op::Write || b.key.op == Op::Write;
+}
+
+ClassOutcome discharge_class(const UnitVars& vars, const ClassSummary& cls,
+                             const std::vector<PilotRun>& pilots) {
+  ClassOutcome out;
+
+  // Demotions (non-affine structure) are recorded as NonAffine findings:
+  // visible in reports and JSON, but not hazards — the dynamic checker
+  // still covers these kernels at the geometries it runs.
+  for (const auto& reason : cls.demotions) {
+    check::Finding f;
+    f.kind = check::Kind::NonAffine;
+    f.kernel = cls.kernel;
+    f.detail = reason;
+    out.findings.push_back(std::move(f));
+  }
+  for (const auto& label : cls.unsized_buffers) {
+    check::Finding f;
+    f.kind = check::Kind::NonAffine;
+    f.kernel = cls.kernel;
+    f.buffer = label;
+    f.detail = "buffer '" + label + "' byte size has no affine fit; bounds demoted to dynamic coverage";
+    out.findings.push_back(std::move(f));
+  }
+
+  if (cls.sites.empty()) return out;
+
+  // Declared parameter domain + candidate values for the witness search.
+  Domain param_dom;
+  std::map<int, std::vector<long long>> candidates;
+  for (std::size_t i = 0; i < vars.params.size(); ++i) {
+    const int id = vars.params[i];
+    const ParamRange r = param_range(vars.table.name(id));
+    std::optional<Poly> hi;
+    if (r.hi.has_value()) hi = Poly::constant(Rat{*r.hi});
+    param_dom.set(id, Poly::constant(Rat{r.lo}), std::move(hi));
+    for (const auto& run : pilots) candidates[id].push_back(run.params[i].second);
+  }
+  const auto in_params = [&](int id) {
+    return std::find(vars.params.begin(), vars.params.end(), id) != vars.params.end();
+  };
+  // Free (non-affine) geometry variables need bounds and witness values of
+  // their own: collect the values this class actually launched with.
+  const auto class_launches = [&]() {
+    std::vector<const LaunchRecord*> ls;
+    for (const auto& run : pilots)
+      for (const auto& launch : run.record.launches) {
+        if (launch.kernel != cls.kernel) continue;
+        std::vector<std::string> labels;
+        for (const auto& [label, bytes] : launch.buffer_bytes) labels.push_back(label);
+        if (labels == cls.buffers) ls.push_back(&launch);
+      }
+    return ls;
+  }();
+  if (!cls.tpb_affine && !in_params(vars.tpb)) {
+    param_dom.set(vars.tpb, Poly::constant(Rat{1}), Poly::constant(Rat{256}));
+    for (const auto* launch : class_launches) candidates[vars.tpb].push_back(launch->tpb);
+  }
+  if (!cls.nb_affine && !in_params(vars.nb)) {
+    param_dom.set(vars.nb, Poly::constant(Rat{1}), std::nullopt);
+    for (const auto* launch : class_launches) candidates[vars.nb].push_back(launch->nb);
+  }
+
+  Prover prover(vars, cls, param_dom, candidates);
+  const Poly one = Poly::constant(Rat{1});
+  const bool single_thread = cls.tpb_affine && cls.tpb == one;
+  const bool single_block = cls.nb_affine && cls.nb == one;
+
+  std::vector<Obligation> obligations;
+
+  // 1. Shared-allocation uniformity: per-thread allocations must not
+  // depend on the thread id (a __shared__ declaration is per-block).
+  for (const SiteSummary& s : cls.sites) {
+    if (s.key.space != Space::Shared || s.key.op != Op::Alloc || s.key.block_scope) continue;
+    Obligation ob;
+    ob.what = "allocation uniformity of " + s.key.str();
+    ob.site_a = &s;
+    ob.hazard_kind = check::Kind::AllocDivergence;
+    if (s.offset.contains(vars.tid) || s.bytes.contains(vars.tid)) {
+      ob.outcome.result = Tri::Violated;
+      ob.outcome.rule = "allocation depends on the thread id: offset " +
+                        s.offset.str(vars.table) + ", bytes " + s.bytes.str(vars.table);
+    } else {
+      ob.outcome.result = Tri::Proven;
+      ob.outcome.rule = "tid-independent";
+    }
+    obligations.push_back(std::move(ob));
+  }
+
+  // 2. Same-block disjointness (shared-memory racecheck and intra-block
+  // global races): thread-scope pairs within one phase, at least one write.
+  if (!single_thread) {
+    for (std::size_t i = 0; i < cls.sites.size(); ++i) {
+      for (std::size_t j = i; j < cls.sites.size(); ++j) {
+        const SiteSummary& a = cls.sites[i];
+        const SiteSummary& b = cls.sites[j];
+        if (a.key.block_scope || b.key.block_scope) continue;
+        if (a.key.op == Op::Alloc || b.key.op == Op::Alloc) continue;
+        if (a.key.space != b.key.space || a.key.phase != b.key.phase) continue;
+        if (a.key.space == Space::Global && a.key.buffer != b.key.buffer) continue;
+        if (!involves_write(a, b)) continue;
+        Obligation ob;
+        ob.site_a = &a;
+        ob.site_b = &b;
+        ob.hazard_kind =
+            a.key.space == Space::Shared ? check::Kind::SharedRace : check::Kind::GlobalRace;
+        ob.what = "same-block disjointness of " + a.key.str() +
+                  (i == j ? " (self)" : " vs " + b.key.str());
+        ob.outcome = prover.check_disjoint(a, b, vars.tid);
+        obligations.push_back(std::move(ob));
+      }
+    }
+  }
+
+  // 3. Cross-block disjointness (global overlap): blocks are concurrent
+  // across the whole launch, so phases do not order them.
+  if (!single_block) {
+    for (std::size_t i = 0; i < cls.sites.size(); ++i) {
+      for (std::size_t j = i; j < cls.sites.size(); ++j) {
+        const SiteSummary& a = cls.sites[i];
+        const SiteSummary& b = cls.sites[j];
+        if (a.key.space != Space::Global || b.key.space != Space::Global) continue;
+        if (a.key.buffer != b.key.buffer) continue;
+        if (!involves_write(a, b)) continue;
+        Obligation ob;
+        ob.site_a = &a;
+        ob.site_b = &b;
+        ob.hazard_kind = check::Kind::GlobalRace;
+        ob.what = "cross-block disjointness of " + a.key.str() +
+                  (i == j ? " (self)" : " vs " + b.key.str());
+        ob.outcome = prover.check_disjoint(a, b, vars.bid);
+        obligations.push_back(std::move(ob));
+      }
+    }
+  }
+
+  // 4. Bounds: every summarized site stays inside its buffer / the arena.
+  bool shared_bounds_demoted = false;
+  for (const SiteSummary& s : cls.sites) {
+    std::optional<Poly> limit;
+    if (s.key.space == Space::Global) {
+      const auto it = cls.buffer_sizes.find(s.key.buffer);
+      if (it == cls.buffer_sizes.end()) continue;  // already a NonAffine record
+      limit = it->second;
+    } else {
+      if (!cls.shared_affine) {
+        if (!shared_bounds_demoted) {
+          check::Finding f;
+          f.kind = check::Kind::NonAffine;
+          f.kernel = cls.kernel;
+          f.detail = "shared arena size has no affine fit; shared bounds demoted to dynamic coverage";
+          out.findings.push_back(std::move(f));
+          shared_bounds_demoted = true;
+        }
+        continue;
+      }
+      limit = cls.shared_bytes;
+    }
+    Obligation ob;
+    ob.site_a = &s;
+    ob.hazard_kind = check::Kind::Bounds;
+    ob.what = "bounds of " + s.key.str();
+    ob.outcome = prover.check_bounds(s, *limit);
+    obligations.push_back(std::move(ob));
+  }
+
+  // Fold outcomes: proofs aggregate into one note per rule, failures
+  // become findings.
+  std::map<std::string, std::size_t> proven_rules;
+  for (const Obligation& ob : obligations) {
+    if (ob.outcome.result == Tri::Proven)
+      proven_rules[ob.outcome.rule] += 1;
+    else
+      out.findings.push_back(finding_of(cls.kernel, ob));
+  }
+  if (!obligations.empty()) {
+    std::ostringstream note;
+    note << obligations.size() << " obligation" << (obligations.size() == 1 ? "" : "s");
+    if (!proven_rules.empty()) {
+      note << ", proven via ";
+      bool first = true;
+      for (const auto& [rule, count] : proven_rules) {
+        note << (first ? "" : ", ") << rule << " (" << count << ")";
+        first = false;
+      }
+    }
+    if (cls.tpb_affine) note << "; tpb = " << cls.tpb.str(vars.table);
+    if (cls.nb_affine) note << ", nb = " << cls.nb.str(vars.table);
+    out.notes.push_back(note.str());
+  }
+  return out;
+}
+
+bool is_fixture_name(const std::string& name) {
+  const auto names = fixture_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+}  // namespace
+
+const char* to_string(KernelStatus s) noexcept {
+  switch (s) {
+    case KernelStatus::Proven: return "proven";
+    case KernelStatus::NoSites: return "no-sites";
+    case KernelStatus::Demoted: return "demoted";
+    case KernelStatus::Findings: return "findings";
+  }
+  return "?";
+}
+
+bool is_hazard(check::Kind kind) noexcept { return kind != check::Kind::NonAffine; }
+
+bool UnitReport::hazard_free() const {
+  for (const auto& k : kernels)
+    for (const auto& f : k.findings)
+      if (is_hazard(f.kind)) return false;
+  return true;
+}
+
+std::size_t hazard_count(const std::vector<UnitReport>& reports) {
+  std::size_t n = 0;
+  for (const auto& r : reports)
+    for (const auto& k : r.kernels)
+      for (const auto& f : k.findings)
+        if (is_hazard(f.kind)) ++n;
+  return n;
+}
+
+UnitReport verify_unit(const std::string& unit, const VerifyOptions& opts) {
+  const bool fixture = is_fixture_name(unit);
+  if (!fixture) {
+    const auto names = check::scenario_names();
+    KPM_REQUIRE(std::find(names.begin(), names.end(), unit) != names.end(),
+                "unknown verification unit '" + unit + "'");
+  }
+
+  // Pilot runs, in an order rotated by the seed; verdicts must not depend
+  // on which pilots land in the fit vs the holdout split.
+  std::vector<PilotRun> pilots;
+  for (std::size_t i = 0; i < kPilots; ++i) {
+    const std::size_t idx = (i + static_cast<std::size_t>(opts.pilot_seed)) % kPilots;
+    PilotRun run;
+    VerifyObserver obs;
+    {
+      ScopedVerify guard(obs);
+      run.params = fixture ? run_fixture_workload(unit, kFixtureScales[idx])
+                           : check::run_scenario_workload(unit, kScenarioScales[idx]);
+    }
+    run.record = std::move(obs.run());
+    pilots.push_back(std::move(run));
+  }
+
+  if (opts.inject_stride_bug) {
+    // Negative control: every global write one byte wider than recorded.
+    for (auto& run : pilots)
+      for (auto& launch : run.record.launches)
+        for (auto& ev : launch.events)
+          if (ev.space == Space::Global && ev.op == Op::Write) ev.bytes += 1;
+  }
+
+  std::vector<std::string> param_names;
+  for (const auto& [name, value] : pilots.front().params) param_names.push_back(name);
+  UnitVars vars = make_unit_vars(param_names);
+
+  std::vector<RunSample> fit, holdout;
+  for (std::size_t i = 0; i < pilots.size(); ++i) {
+    RunSample sample{pilots[i].params, &pilots[i].record};
+    (i < kFitPilots ? fit : holdout).push_back(std::move(sample));
+  }
+  const std::vector<ClassSummary> classes = summarize(vars, fit, holdout);
+
+  std::map<std::string, KernelVerdict> verdicts;
+  for (const ClassSummary& cls : classes) {
+    KernelVerdict& v = verdicts[cls.kernel];
+    v.kernel = cls.kernel;
+    v.sites += cls.sites.size();
+    v.launches += cls.launches;
+    ClassOutcome outcome;
+    try {
+      outcome = discharge_class(vars, cls, pilots);
+    } catch (const RatOverflow&) {
+      // Proof search outgrew exact 128-bit arithmetic: nothing is proven,
+      // so the kernel honestly demotes to dynamic coverage.
+      outcome = ClassOutcome{};
+      check::Finding f;
+      f.kind = check::Kind::NonAffine;
+      f.kernel = cls.kernel;
+      f.detail = "exact arithmetic exceeded 128-bit range during proof search; "
+                 "demoted to dynamic coverage";
+      outcome.findings.push_back(std::move(f));
+    }
+    for (auto& n : outcome.notes) v.notes.push_back(std::move(n));
+    for (auto& f : outcome.findings) v.findings.push_back(std::move(f));
+  }
+
+  UnitReport report;
+  report.unit = unit;
+  report.fixture = fixture;
+  for (auto& [name, v] : verdicts) {
+    const bool hazards = std::any_of(v.findings.begin(), v.findings.end(),
+                                     [](const check::Finding& f) { return is_hazard(f.kind); });
+    const bool demoted = std::any_of(v.findings.begin(), v.findings.end(),
+                                     [](const check::Finding& f) { return !is_hazard(f.kind); });
+    v.status = hazards ? KernelStatus::Findings
+                       : (demoted ? KernelStatus::Demoted
+                                  : (v.sites > 0 ? KernelStatus::Proven : KernelStatus::NoSites));
+    report.kernels.push_back(std::move(v));
+  }
+  return report;
+}
+
+std::vector<UnitReport> verify_all(const VerifyOptions& opts) {
+  std::vector<UnitReport> reports;
+  for (const auto& name : check::scenario_names()) reports.push_back(verify_unit(name, opts));
+  return reports;
+}
+
+std::vector<UnitReport> verify_fixtures(const VerifyOptions& opts) {
+  std::vector<UnitReport> reports;
+  for (const auto& name : fixture_names()) reports.push_back(verify_unit(name, opts));
+  return reports;
+}
+
+kpm::Table verify_table(const std::vector<UnitReport>& reports) {
+  kpm::Table table({"unit", "kernel", "status", "sites", "findings", "detail"});
+  for (const auto& r : reports) {
+    for (const auto& k : r.kernels) {
+      std::string detail;
+      for (const auto& f : k.findings) {
+        if (!is_hazard(f.kind)) continue;
+        detail = std::string(check::to_string(f.kind)) + ": " + f.detail;
+        break;
+      }
+      if (detail.empty() && !k.findings.empty() && k.status == KernelStatus::Demoted)
+        detail = std::string("non-affine: ") + k.findings.front().detail;
+      if (detail.empty() && !k.notes.empty()) detail = k.notes.front();
+      table.add_row({r.unit, k.kernel, to_string(k.status), std::to_string(k.sites),
+                     std::to_string(k.findings.size()), detail});
+    }
+  }
+  return table;
+}
+
+std::string verify_to_json_section(const std::vector<UnitReport>& reports,
+                                   const VerifyOptions& opts) {
+  std::ostringstream os;
+  os << "{\"schema\": \"kpm.verify/1\", \"pilot_seed\": " << opts.pilot_seed
+     << ", \"inject_stride_bug\": " << (opts.inject_stride_bug ? "true" : "false")
+     << ", \"hazards\": " << hazard_count(reports) << ", \"units\": [";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const UnitReport& r = reports[i];
+    os << (i == 0 ? "" : ", ") << "{\"unit\": \"" << obs::json_escape(r.unit)
+       << "\", \"fixture\": " << (r.fixture ? "true" : "false") << ", \"kernels\": [";
+    for (std::size_t j = 0; j < r.kernels.size(); ++j) {
+      const KernelVerdict& k = r.kernels[j];
+      os << (j == 0 ? "" : ", ") << "{\"kernel\": \"" << obs::json_escape(k.kernel)
+         << "\", \"status\": \"" << to_string(k.status) << "\", \"sites\": " << k.sites
+         << ", \"launches\": " << k.launches << ", \"notes\": [";
+      for (std::size_t n = 0; n < k.notes.size(); ++n)
+        os << (n == 0 ? "" : ", ") << "\"" << obs::json_escape(k.notes[n]) << "\"";
+      os << "], \"findings\": " << check::findings_to_json(k.findings) << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace kpm::verify

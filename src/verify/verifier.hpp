@@ -1,0 +1,94 @@
+// The kpmverify driver: pilot runs -> summaries -> discharged obligations.
+//
+// A verification *unit* is one production scenario (check/scenarios.hpp) or
+// one fixture (verify/fixtures.hpp).  verify_unit() runs the unit at nine
+// pilot geometries under a VerifyObserver, fits symbolic access summaries
+// (summary.hpp) on cyclic seven-run windows (each fit is cross-validated
+// exactly against the geometries its window holds out; verdicts depend
+// only on the pilot set), and then discharges every hazard obligation with
+// the prover
+// (prover.hpp) over the *declared* parameter domain — i.e. for all launch
+// geometries, not just the pilots:
+//
+//   * shared-memory race-freedom    (same block, same phase, >=1 write)
+//   * global race-freedom           (same block and cross-block, >=1 write)
+//   * bounds safety                 (buffer and shared-arena limits)
+//   * shared-allocation uniformity  (allocation independent of tid)
+//
+// Verdict per kernel: Proven (all obligations discharged), NoSites (no
+// instrumented accesses — dynamic coverage only), Demoted (some site has no
+// affine summary; NonAffine notes say why; remaining obligations still
+// proven) or Findings (a definite hazard witness, or an obligation that no
+// rule discharges — fail closed).  Only Findings is a failure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/finding.hpp"
+#include "common/table.hpp"
+
+namespace kpm::verify {
+
+struct VerifyOptions {
+  /// Rotates which pilot geometries are fitted vs held out; verdicts must
+  /// be invariant under it (asserted by test_verify_scenarios).
+  unsigned pilot_seed = 0;
+  /// Seeded negative control: widens every recorded global write by one
+  /// byte before fitting, which must surface as definite findings.
+  bool inject_stride_bug = false;
+};
+
+enum class KernelStatus {
+  Proven,   ///< every obligation discharged for all geometries
+  NoSites,  ///< no instrumented accesses recorded (dynamic coverage only)
+  Demoted,  ///< non-affine sites: NonAffine notes, rest still proven
+  Findings, ///< definite hazard witness or undischarged obligation
+};
+
+[[nodiscard]] const char* to_string(KernelStatus s) noexcept;
+
+/// Aggregated verdict for one kernel name within one unit.
+struct KernelVerdict {
+  std::string kernel;
+  KernelStatus status = KernelStatus::NoSites;
+  std::vector<std::string> notes;          ///< discharge rules and demotion reasons
+  std::vector<check::Finding> findings;    ///< hazards + NonAffine demotion records
+  std::size_t sites = 0;                   ///< fitted site families
+  std::size_t launches = 0;                ///< pilot launches observed
+};
+
+struct UnitReport {
+  std::string unit;
+  bool fixture = false;
+  std::vector<KernelVerdict> kernels;
+  /// True when no kernel carries a hazard finding (NonAffine records are
+  /// demotions, not hazards).
+  [[nodiscard]] bool hazard_free() const;
+};
+
+/// True for hazard kinds (Bounds / races / alloc-divergence / Unproven);
+/// false for NonAffine demotion records.
+[[nodiscard]] bool is_hazard(check::Kind kind) noexcept;
+
+/// Total hazard findings across `reports`.
+[[nodiscard]] std::size_t hazard_count(const std::vector<UnitReport>& reports);
+
+/// Verifies one unit by name (a scenario or a fixture).
+[[nodiscard]] UnitReport verify_unit(const std::string& unit, const VerifyOptions& opts = {});
+
+/// Verifies every production scenario.
+[[nodiscard]] std::vector<UnitReport> verify_all(const VerifyOptions& opts = {});
+
+/// Verifies every fixture (the broken ones report findings by design).
+[[nodiscard]] std::vector<UnitReport> verify_fixtures(const VerifyOptions& opts = {});
+
+/// {unit, kernel, status, sites, launches, detail} summary table.
+[[nodiscard]] kpm::Table verify_table(const std::vector<UnitReport>& reports);
+
+/// JSON object for an obs report section (sub-schema "kpm.verify/1").
+[[nodiscard]] std::string verify_to_json_section(const std::vector<UnitReport>& reports,
+                                                 const VerifyOptions& opts = {});
+
+}  // namespace kpm::verify

@@ -11,6 +11,7 @@
 #include "lattice/lattice.hpp"
 #include "linalg/spectral_transform.hpp"
 #include "obs/report.hpp"
+#include "verify/observer.hpp"
 
 namespace {
 
@@ -108,6 +109,51 @@ TEST(CheckClean, CheckerOnVsOffIsBitIdenticalForChunkedEngine) {
   ASSERT_EQ(plain.mu.size(), checked.mu.size());
   for (std::size_t n = 0; n < plain.mu.size(); ++n) EXPECT_EQ(plain.mu[n], checked.mu[n]);
   EXPECT_EQ(plain.model_seconds, checked.model_seconds);
+}
+
+// A run observed by the dynamic checker AND the static-verification
+// recorder simultaneously (MultiObserver fan-out) must still be
+// bit-identical to an unobserved run: both layers are strictly passive.
+TEST(CheckClean, CheckedAndVerifiedRunStaysBitIdentical) {
+  const auto h = cube_h_tilde();
+  linalg::MatrixOperator op(h);
+  const auto p = small_params();
+
+  obs::Report plain_report;
+  core::MomentResult plain;
+  {
+    obs::Collect collect(plain_report);
+    core::GpuMomentEngine engine;
+    plain = engine.compute(op, p);
+  }
+
+  obs::Report watched_report;
+  core::MomentResult watched;
+  check::Checker checker;
+  verify::VerifyObserver recorder;
+  verify::MultiObserver fan({&checker, &recorder});
+  {
+    obs::Collect collect(watched_report);
+    verify::ScopedVerify scope(fan);
+    core::GpuMomentEngine engine;
+    watched = engine.compute(op, p);
+  }
+
+  EXPECT_TRUE(checker.clean());
+  EXPECT_GT(checker.stats().launches, 0u);
+  ASSERT_FALSE(recorder.run().launches.empty());
+  EXPECT_FALSE(recorder.run().launches.front().events.empty())
+      << "verify recorder saw launches but no instrumented accesses";
+
+  ASSERT_EQ(plain.mu.size(), watched.mu.size());
+  for (std::size_t n = 0; n < plain.mu.size(); ++n)
+    EXPECT_EQ(plain.mu[n], watched.mu[n]) << "moment " << n << " differs when observed";
+  EXPECT_EQ(plain.model_seconds, watched.model_seconds);
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    const auto c = static_cast<obs::Counter>(i);
+    EXPECT_EQ(plain_report.counters.get(c), watched_report.counters.get(c))
+        << "obs counter '" << obs::to_string(c) << "' differs when observed";
+  }
 }
 
 TEST(CheckClean, ScenarioNamesAndRunnerAgree) {

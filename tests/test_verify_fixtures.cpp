@@ -1,0 +1,126 @@
+// Fixture verdicts: each clean fixture must *prove*, each broken fixture
+// must produce exactly its advertised hazard kind, and fx-geom-race must
+// demonstrate the static verifier's reason to exist — a race the dynamic
+// checker cannot see at the geometry it actually runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "verify/fixtures.hpp"
+#include "verify/verifier.hpp"
+
+namespace {
+
+using namespace kpm::verify;
+namespace check = kpm::check;
+using kpm::check::Kind;
+
+const KernelVerdict& only_kernel(const UnitReport& report) {
+  EXPECT_EQ(report.kernels.size(), 1u) << report.unit;
+  return report.kernels.front();
+}
+
+TEST(VerifyFixtures, EveryFixtureHasItsDesignedVerdict) {
+  const std::map<std::string, KernelStatus> expected{
+      {"fx-block-stride-clean", KernelStatus::Proven},
+      {"fx-thread-stride-clean", KernelStatus::Proven},
+      {"fx-shared-stage-clean", KernelStatus::Proven},
+      {"fx-geom-race", KernelStatus::Findings},
+      {"fx-global-overlap", KernelStatus::Findings},
+      {"fx-bounds-escape", KernelStatus::Findings},
+      {"fx-shared-race", KernelStatus::Findings},
+      {"fx-alloc-divergent", KernelStatus::Findings},
+      {"fx-nonaffine", KernelStatus::Demoted},
+  };
+  const auto names = fixture_names();
+  ASSERT_EQ(names.size(), expected.size());
+  for (const auto& name : names) {
+    const UnitReport report = verify_unit(name);
+    const KernelVerdict& v = only_kernel(report);
+    ASSERT_TRUE(expected.contains(name)) << name;
+    EXPECT_EQ(v.status, expected.at(name))
+        << name << " got status " << to_string(v.status);
+  }
+}
+
+TEST(VerifyFixtures, BrokenFixturesReportTheirHazardKind) {
+  const std::map<std::string, Kind> expected{
+      {"fx-geom-race", Kind::GlobalRace},
+      {"fx-global-overlap", Kind::GlobalRace},
+      {"fx-bounds-escape", Kind::Bounds},
+      {"fx-shared-race", Kind::SharedRace},
+      {"fx-alloc-divergent", Kind::AllocDivergence},
+  };
+  for (const auto& [name, kind] : expected) {
+    const UnitReport report = verify_unit(name);
+    const KernelVerdict& v = only_kernel(report);
+    ASSERT_FALSE(v.findings.empty()) << name;
+    EXPECT_TRUE(std::any_of(v.findings.begin(), v.findings.end(),
+                            [&](const check::Finding& f) { return f.kind == kind; }))
+        << name << " missing kind " << check::to_string(kind);
+    for (const auto& f : v.findings)
+      if (is_hazard(f.kind))
+        EXPECT_FALSE(f.detail.empty()) << name << " hazard without a witness detail";
+  }
+}
+
+TEST(VerifyFixtures, CleanFixturesCarryNoFindingsAtAll) {
+  for (const auto* name :
+       {"fx-block-stride-clean", "fx-thread-stride-clean", "fx-shared-stage-clean"}) {
+    const UnitReport report = verify_unit(name);
+    const KernelVerdict& v = only_kernel(report);
+    EXPECT_TRUE(v.findings.empty()) << name;
+    EXPECT_GT(v.sites, 0u) << name;
+    EXPECT_TRUE(report.hazard_free());
+  }
+}
+
+TEST(VerifyFixtures, NonAffineFixtureDemotesWithoutHazard) {
+  const UnitReport report = verify_unit("fx-nonaffine");
+  const KernelVerdict& v = only_kernel(report);
+  EXPECT_EQ(v.status, KernelStatus::Demoted);
+  EXPECT_TRUE(report.hazard_free());
+  ASSERT_FALSE(v.findings.empty());
+  for (const auto& f : v.findings) EXPECT_EQ(f.kind, Kind::NonAffine);
+}
+
+// The launch-geometry blind spot, demonstrated end to end: the dynamic
+// checker runs fx-geom-race at its default geometry and sees nothing; the
+// static verifier proves the race exists at tpb > 128 with a concrete
+// witness.  This is the hazard class that motivates kpmverify.
+TEST(VerifyFixtures, GeomRaceIsInvisibleToTheDynamicCheckerAtDefaultLaunch) {
+  EXPECT_TRUE(run_fixture_under_checker("fx-geom-race").empty())
+      << "dynamic checker unexpectedly caught the geometry-dependent race";
+
+  const UnitReport report = verify_unit("fx-geom-race");
+  const KernelVerdict& v = only_kernel(report);
+  EXPECT_EQ(v.status, KernelStatus::Findings);
+  ASSERT_FALSE(v.findings.empty());
+  const auto& f = v.findings.front();
+  EXPECT_EQ(f.kind, Kind::GlobalRace);
+  // The witness must name a geometry beyond the default tpb = 128.
+  EXPECT_NE(f.detail.find("tpb=256"), std::string::npos) << f.detail;
+}
+
+TEST(VerifyFixtures, CleanFixturesAreAlsoDynamicallyClean) {
+  for (const auto* name :
+       {"fx-block-stride-clean", "fx-thread-stride-clean", "fx-shared-stage-clean",
+        "fx-nonaffine"}) {
+    EXPECT_TRUE(run_fixture_under_checker(name).empty()) << name;
+  }
+}
+
+TEST(VerifyFixtures, FixtureVerdictsAreSeedInvariant) {
+  for (const auto& name : fixture_names()) {
+    const KernelStatus base = only_kernel(verify_unit(name)).status;
+    for (unsigned seed : {1U, 2U, 5U}) {
+      VerifyOptions opts;
+      opts.pilot_seed = seed;
+      EXPECT_EQ(only_kernel(verify_unit(name, opts)).status, base)
+          << name << " verdict flipped at seed " << seed;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Symbolic discharge rules: nonnegativity over box domains, interval
+// separation, congruence disjointness, and the witness search that turns
+// an unprovable overlap into a definite counterexample.
+#include <gtest/gtest.h>
+
+#include "verify/prover.hpp"
+
+namespace {
+
+using namespace kpm::verify;
+
+struct ProverRig {
+  UnitVars vars = make_unit_vars({"n"});
+  ClassSummary cls;
+  int n = vars.table.find("n");
+
+  ProverRig() {
+    cls.kernel = "rig";
+    // tpb and nb fixed affine: tpb = n, nb = 2 (keeps geometry closed).
+    cls.tpb_affine = true;
+    cls.tpb = Poly::var(n);
+    cls.nb_affine = true;
+    cls.nb = Poly::constant(Rat{2});
+  }
+
+  [[nodiscard]] Domain param_domain(long long lo, long long hi) const {
+    Domain dom;
+    dom.set(n, Poly::constant(Rat{lo}), Poly::constant(Rat{hi}));
+    return dom;
+  }
+
+  [[nodiscard]] SiteSummary write_site(const Poly& offset, const Poly& bytes,
+                                       const Poly& count) const {
+    SiteSummary site;
+    site.key.space = Space::Global;
+    site.key.op = Op::Write;
+    site.key.buffer = "buf";
+    site.offset = offset;
+    site.bytes = bytes;
+    site.count = count;
+    return site;
+  }
+};
+
+TEST(VerifyProver, ProveNonnegOverBox) {
+  UnitVars vars = make_unit_vars({"n"});
+  const int n = vars.table.find("n");
+  Domain dom;
+  dom.set(n, Poly::constant(Rat{1}), Poly::constant(Rat{64}));
+  // n - 1 >= 0 on [1, 64]; n - 65 is not.
+  EXPECT_TRUE(prove_nonneg(Poly::var(n) - Poly::constant(Rat{1}), dom));
+  EXPECT_FALSE(prove_nonneg(Poly::var(n) - Poly::constant(Rat{65}), dom));
+  // Multilinear: (n - 1) * n >= 0.
+  EXPECT_TRUE(
+      prove_nonneg((Poly::var(n) - Poly::constant(Rat{1})) * Poly::var(n), dom));
+}
+
+TEST(VerifyProver, ThreadStrideBoundsAndDisjointnessProve) {
+  ProverRig rig;
+  // offset = 8 * (tid + n * bid), bytes = 8, count = 1, buffer = 16 * n.
+  const Poly offset = Rat{8} * (Poly::var(rig.vars.tid) +
+                                Poly::var(rig.n) * Poly::var(rig.vars.bid));
+  const SiteSummary site =
+      rig.write_site(offset, Poly::constant(Rat{8}), Poly::constant(Rat{1}));
+  Prover prover(rig.vars, rig.cls, rig.param_domain(1, 256), {{rig.n, {1, 8, 256}}});
+
+  const auto bounds =
+      prover.check_bounds(site, Rat{16} * Poly::var(rig.n));
+  EXPECT_EQ(bounds.result, Tri::Proven) << bounds.rule;
+
+  const auto same_block = prover.check_disjoint(site, site, rig.vars.tid);
+  EXPECT_EQ(same_block.result, Tri::Proven) << same_block.rule;
+  const auto cross_block = prover.check_disjoint(site, site, rig.vars.bid);
+  EXPECT_EQ(cross_block.result, Tri::Proven) << cross_block.rule;
+}
+
+TEST(VerifyProver, OverlapProducesConcreteWitness) {
+  ProverRig rig;
+  // Every thread writes the same 8 bytes: a same-block race with witness.
+  const SiteSummary site = rig.write_site(Poly::constant(Rat{0}),
+                                          Poly::constant(Rat{8}),
+                                          Poly::constant(Rat{1}));
+  Prover prover(rig.vars, rig.cls, rig.param_domain(2, 8), {{rig.n, {2, 8}}});
+  const auto outcome = prover.check_disjoint(site, site, rig.vars.tid);
+  EXPECT_EQ(outcome.result, Tri::Violated);
+  ASSERT_TRUE(outcome.witness.has_value());
+  EXPECT_EQ(outcome.witness->offset_a, 0);
+  EXPECT_EQ(outcome.witness->bytes_a, 8);
+  EXPECT_NE(outcome.witness->tid_a, outcome.witness->tid_b);
+}
+
+TEST(VerifyProver, BoundsEscapeProducesWitnessAtExtremeGeometry) {
+  ProverRig rig;
+  // offset = 8 * tid into a fixed 64-byte buffer: escapes once n > 8.
+  const SiteSummary site =
+      rig.write_site(Rat{8} * Poly::var(rig.vars.tid), Poly::constant(Rat{8}),
+                     Poly::constant(Rat{1}));
+  Prover prover(rig.vars, rig.cls, rig.param_domain(1, 64), {{rig.n, {1, 4, 64}}});
+  const auto outcome = prover.check_bounds(site, Poly::constant(Rat{64}));
+  EXPECT_EQ(outcome.result, Tri::Violated);
+  ASSERT_TRUE(outcome.witness.has_value());
+  EXPECT_GE(outcome.witness->offset_a + outcome.witness->bytes_a, 64);
+}
+
+TEST(VerifyProver, InterleavedStrideNeedsCongruenceRule) {
+  ProverRig rig;
+  // offset = 8 * (it * n + tid), count = 2: interleaved round-robin whose
+  // per-thread intervals overlap as ranges but never as residues.
+  const Poly offset = Rat{8} * (Poly::var(rig.vars.it) * Poly::var(rig.n) +
+                                Poly::var(rig.vars.tid));
+  const SiteSummary site =
+      rig.write_site(offset, Poly::constant(Rat{8}), Poly::constant(Rat{2}));
+  Prover prover(rig.vars, rig.cls, rig.param_domain(2, 128), {{rig.n, {2, 8, 128}}});
+  const auto outcome = prover.check_disjoint(site, site, rig.vars.tid);
+  EXPECT_EQ(outcome.result, Tri::Proven) << outcome.rule;
+  EXPECT_NE(outcome.rule.find("congruence"), std::string::npos) << outcome.rule;
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Production-scenario verification: every production kernel must be
+// proven for all launch geometries or honestly demoted with a NonAffine
+// reason — never a hazard.  Verdicts must be invariant under the pilot
+// seed, and the seeded negative control (a one-byte stride bug injected
+// into every global write) must always surface as definite hazards.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/scenarios.hpp"
+#include "verify/verifier.hpp"
+
+namespace {
+
+using namespace kpm::verify;
+namespace check = kpm::check;
+
+std::vector<std::string> verdict_signature(const std::vector<UnitReport>& reports) {
+  std::vector<std::string> sig;
+  for (const auto& r : reports)
+    for (const auto& k : r.kernels)
+      sig.push_back(r.unit + "/" + k.kernel + "=" + to_string(k.status));
+  return sig;
+}
+
+TEST(VerifyScenarios, EveryProductionKernelProvenOrHonestlyDemoted) {
+  const auto reports = verify_all();
+  ASSERT_EQ(reports.size(), check::scenario_names().size());
+  EXPECT_EQ(hazard_count(reports), 0u);
+  std::size_t proven = 0;
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.hazard_free()) << r.unit;
+    for (const auto& k : r.kernels) {
+      EXPECT_NE(k.status, KernelStatus::Findings) << r.unit << "/" << k.kernel;
+      if (k.status == KernelStatus::Proven) ++proven;
+      if (k.status == KernelStatus::Demoted) {
+        // A demotion must say why (the NonAffine records carry the reason).
+        bool reason = false;
+        for (const auto& f : k.findings)
+          reason = reason || (f.kind == check::Kind::NonAffine && !f.detail.empty());
+        EXPECT_TRUE(reason) << r.unit << "/" << k.kernel << " demoted without a reason";
+      }
+    }
+  }
+  // The instrumented fill kernels across the scenarios must actually prove.
+  EXPECT_GE(proven, 6u);
+}
+
+// Satellite property test: the fit/holdout rotation must not change any
+// verdict — the accepted predicate quantifies over the pilot set.
+TEST(VerifyScenarios, VerdictsAreInvariantUnderThePilotSeed) {
+  const auto base = verdict_signature(verify_all());
+  for (unsigned seed : {1U, 2U}) {
+    VerifyOptions opts;
+    opts.pilot_seed = seed;
+    EXPECT_EQ(verdict_signature(verify_all(opts)), base) << "seed " << seed;
+  }
+}
+
+// Seeded negative control: widening every recorded global write by one
+// byte must break verification loudly (bounds or overlap hazards), at any
+// seed — the analysis pipeline cannot silently pass corrupted summaries.
+TEST(VerifyScenarios, InjectedStrideBugIsAlwaysCaught) {
+  for (unsigned seed : {0U, 3U}) {
+    VerifyOptions opts;
+    opts.pilot_seed = seed;
+    opts.inject_stride_bug = true;
+    const auto reports = verify_all(opts);
+    EXPECT_GT(hazard_count(reports), 0u) << "stride bug survived at seed " << seed;
+  }
+}
+
+TEST(VerifyScenarios, JsonSectionCarriesSchemaAndVerdicts) {
+  const auto reports = verify_all();
+  const std::string json = verify_to_json_section(reports);
+  EXPECT_NE(json.find("\"kpm.verify/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"hazards\""), std::string::npos);
+  for (const auto& r : reports) EXPECT_NE(json.find("\"" + r.unit + "\""), std::string::npos);
+}
+
+}  // namespace

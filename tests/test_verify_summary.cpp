@@ -1,0 +1,203 @@
+// Exact-rational polynomial layer and symbolic summary fitting: the
+// verifier only ever trusts a summary that reproduces every recorded
+// access exactly, so the algebra underneath must be exact, overflow-safe,
+// and deterministic.
+#include <gtest/gtest.h>
+
+#include "verify/observer.hpp"
+#include "verify/poly.hpp"
+#include "verify/summary.hpp"
+
+namespace {
+
+using namespace kpm::verify;
+
+TEST(VerifyPoly, RatNormalizesAndCompares) {
+  const Rat a{6, 4};
+  EXPECT_EQ(a, (Rat{3, 2}));
+  EXPECT_EQ((Rat{-6, -4}), (Rat{3, 2}));
+  EXPECT_EQ((Rat{6, -4}), (Rat{-3, 2}));
+  EXPECT_TRUE(Rat{1} < (Rat{3, 2}));
+  EXPECT_FALSE((Rat{3, 2}) < (Rat{3, 2}));
+  EXPECT_EQ((Rat{1, 3} + Rat{1, 6}), (Rat{1, 2}));
+  EXPECT_EQ((Rat{1, 2}) * Rat{4}, Rat{2});
+  EXPECT_EQ(Rat{5} / Rat{2}, (Rat{5, 2}));
+  EXPECT_EQ((Rat{7, 2}).str(), "7/2");
+  EXPECT_EQ(Rat{42}.as_ll(), 42);
+}
+
+TEST(VerifyPoly, RatOverflowThrowsInsteadOfWrapping) {
+  Rat big;  // 2^126, built field-wise (no 64-bit constructor path)
+  big.num = 1;
+  for (int i = 0; i < 126; ++i) big.num *= 2;
+  big.den = 1;
+  EXPECT_THROW((void)(big * big), RatOverflow);
+  EXPECT_THROW((void)(big + big), RatOverflow);
+}
+
+TEST(VerifyPoly, AsLlRejectsNonIntegerAndOutOfRange) {
+  EXPECT_THROW((void)(Rat{1, 2}).as_ll(), kpm::Error);
+  Rat wide;
+  wide.num = 1;
+  for (int i = 0; i < 80; ++i) wide.num *= 2;  // integer, beyond 64-bit
+  wide.den = 1;
+  EXPECT_THROW((void)wide.as_ll(), kpm::Error);
+}
+
+TEST(VerifyPoly, SolveExactRecoversCoefficients) {
+  // target = 3*x + 2 over rows x = 0..2; columns {1, x}.
+  std::vector<std::vector<Rat>> rows{{Rat{1}, Rat{0}}, {Rat{1}, Rat{1}}, {Rat{1}, Rat{2}}};
+  std::vector<Rat> target{Rat{2}, Rat{5}, Rat{8}};
+  std::vector<Rat> coeffs;
+  ASSERT_TRUE(solve_exact(rows, target, coeffs));
+  EXPECT_EQ(coeffs[0], Rat{2});
+  EXPECT_EQ(coeffs[1], Rat{3});
+}
+
+TEST(VerifyPoly, SolveExactPrefersEarlierColumnsWhenUnderdetermined) {
+  // One row, two identical columns: the earlier column takes the weight.
+  std::vector<std::vector<Rat>> rows{{Rat{1}, Rat{1}}};
+  std::vector<Rat> target{Rat{7}};
+  std::vector<Rat> coeffs;
+  ASSERT_TRUE(solve_exact(rows, target, coeffs));
+  EXPECT_EQ(coeffs[0], Rat{7});
+  EXPECT_EQ(coeffs[1], Rat{0});
+}
+
+TEST(VerifyPoly, SolveExactDetectsInconsistency) {
+  std::vector<std::vector<Rat>> rows{{Rat{1}}, {Rat{1}}};
+  std::vector<Rat> target{Rat{1}, Rat{2}};
+  std::vector<Rat> coeffs;
+  EXPECT_FALSE(solve_exact(rows, target, coeffs));
+}
+
+TEST(VerifyPoly, SubstAndEval) {
+  VarTable table;
+  const int x = table.intern("x");
+  const int y = table.intern("y");
+  Poly p = Rat{2} * Poly::var(x) * Poly::var(y) + Poly::constant(Rat{1});
+  p = p.subst(y, Rat{3} * Poly::var(x));  // 6*x^2 + 1
+  std::vector<Rat> values(table.size(), Rat{0});
+  values[static_cast<std::size_t>(x)] = Rat{2};
+  EXPECT_EQ(p.eval(values), Rat{25});
+  EXPECT_EQ(p.degree_in(x), 2);
+}
+
+// --- summarize() on synthetic pilot recordings. ---
+
+// One launch whose only site writes offset = stride * (tpb*bid + tid).
+kpm::verify::LaunchRecord affine_launch(long long tpb, long long nb, long long stride) {
+  LaunchRecord launch;
+  launch.kernel = "synthetic";
+  launch.tpb = tpb;
+  launch.nb = nb;
+  launch.buffer_bytes["out"] = stride * tpb * nb;
+  for (long long bid = 0; bid < nb; ++bid)
+    for (long long tid = 0; tid < tpb; ++tid) {
+      AccessEvent ev;
+      ev.bid = bid;
+      ev.tid = tid;
+      ev.space = Space::Global;
+      ev.op = Op::Write;
+      ev.buffer = "out";
+      ev.offset = stride * (tpb * bid + tid);
+      ev.bytes = stride;
+      launch.events.push_back(ev);
+    }
+  return launch;
+}
+
+TEST(VerifySummary, FitsAffineFamilyAcrossGeometries) {
+  // Pilot geometries vary tpb and nb; need enough general position to pin
+  // every product term of the launch basis.
+  const long long stride = 8;
+  std::vector<RunRecord> records;
+  std::vector<std::vector<std::pair<std::string, long long>>> params;
+  const long long tpbs[] = {2, 3, 4, 5, 6, 7, 8};
+  const long long nbs[] = {3, 5, 2, 7, 4, 6, 8};
+  for (int i = 0; i < 7; ++i) {
+    RunRecord rec;
+    rec.launches.push_back(affine_launch(tpbs[i], nbs[i], stride));
+    records.push_back(std::move(rec));
+    params.push_back({{"tpb", tpbs[i]}, {"nb", nbs[i]}});
+  }
+  UnitVars vars = make_unit_vars({"tpb", "nb"});
+  std::vector<RunSample> fit, holdout;
+  for (std::size_t i = 0; i < records.size(); ++i)
+    (i < 5 ? fit : holdout).push_back(RunSample{params[i], &records[i]});
+
+  const auto classes = summarize(vars, fit, holdout);
+  ASSERT_EQ(classes.size(), 1u);
+  const ClassSummary& cls = classes.front();
+  EXPECT_TRUE(cls.demotions.empty()) << cls.demotions.front();
+  EXPECT_TRUE(cls.unsized_buffers.empty());
+  ASSERT_EQ(cls.sites.size(), 1u);
+
+  // offset(tid=1, bid=0) - offset(0, 0) == stride for every geometry.
+  std::vector<Rat> at(vars.table.size(), Rat{0});
+  at[static_cast<std::size_t>(vars.table.find("tpb"))] = Rat{16};
+  at[static_cast<std::size_t>(vars.table.find("nb"))] = Rat{4};
+  std::vector<Rat> shifted = at;
+  shifted[static_cast<std::size_t>(vars.tid)] = Rat{1};
+  EXPECT_EQ(cls.sites.front().offset.eval(shifted) - cls.sites.front().offset.eval(at),
+            Rat{stride});
+  EXPECT_EQ(cls.sites.front().bytes.eval(at), Rat{stride});
+}
+
+TEST(VerifySummary, DataDependentOffsetsDemoteInsteadOfFitting) {
+  std::vector<RunRecord> records;
+  std::vector<std::vector<std::pair<std::string, long long>>> params;
+  const long long tpbs[] = {2, 3, 4, 5, 6, 7, 8};
+  const long long nbs[] = {3, 5, 2, 7, 4, 6, 8};
+  for (int i = 0; i < 7; ++i) {
+    RunRecord rec;
+    LaunchRecord launch = affine_launch(tpbs[i], nbs[i], 8);
+    // Scramble offsets with a value no affine form reproduces.
+    for (auto& ev : launch.events)
+      ev.offset = (ev.offset * 2654435761LL) % 4093;
+    rec.launches.push_back(std::move(launch));
+    records.push_back(std::move(rec));
+    params.push_back({{"tpb", tpbs[i]}, {"nb", nbs[i]}});
+  }
+  UnitVars vars = make_unit_vars({"tpb", "nb"});
+  std::vector<RunSample> fit, holdout;
+  for (std::size_t i = 0; i < records.size(); ++i)
+    (i < 5 ? fit : holdout).push_back(RunSample{params[i], &records[i]});
+
+  const auto classes = summarize(vars, fit, holdout);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_TRUE(classes.front().sites.empty());
+  ASSERT_FALSE(classes.front().demotions.empty());
+}
+
+TEST(VerifySummary, VerdictsDependOnlyOnThePilotSetNotTheSplit) {
+  // The same seven runs passed with every rotation of the fit/holdout
+  // boundary must produce identical summaries.
+  const long long stride = 16;
+  std::vector<RunRecord> records;
+  std::vector<std::vector<std::pair<std::string, long long>>> params;
+  const long long tpbs[] = {2, 3, 4, 5, 6, 7, 8};
+  const long long nbs[] = {3, 5, 2, 7, 4, 6, 8};
+  for (int i = 0; i < 7; ++i) {
+    RunRecord rec;
+    rec.launches.push_back(affine_launch(tpbs[i], nbs[i], stride));
+    records.push_back(std::move(rec));
+    params.push_back({{"tpb", tpbs[i]}, {"nb", nbs[i]}});
+  }
+  std::vector<std::string> site_strs;
+  for (int rot = 0; rot < 7; ++rot) {
+    UnitVars vars = make_unit_vars({"tpb", "nb"});
+    std::vector<RunSample> fit, holdout;
+    for (int i = 0; i < 7; ++i) {
+      const int idx = (i + rot) % 7;
+      (i < 5 ? fit : holdout).push_back(RunSample{params[idx], &records[idx]});
+    }
+    const auto classes = summarize(vars, fit, holdout);
+    ASSERT_EQ(classes.size(), 1u);
+    ASSERT_EQ(classes.front().sites.size(), 1u) << "rotation " << rot;
+    site_strs.push_back(classes.front().sites.front().offset.str(vars.table));
+  }
+  for (const auto& s : site_strs) EXPECT_EQ(s, site_strs.front());
+}
+
+}  // namespace

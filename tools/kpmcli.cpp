@@ -30,6 +30,8 @@
 #include "obs/hotspots.hpp"
 #include "obs/report.hpp"
 #include "serve/replay.hpp"
+#include "verify/fixtures.hpp"
+#include "verify/verifier.hpp"
 
 namespace {
 
@@ -561,34 +563,142 @@ int cmd_check(int argc, const char* const* argv) {
     reports.push_back(check::run_scenario(*kernel));
   }
 
-  Table table({"scenario", "launches", "blocks", "global accesses", "findings", "status"});
+  Table table({"scenario", "launches", "blocks", "global accesses", "findings", "missing",
+               "status"});
   std::size_t total_findings = 0;
+  std::size_t total_missing = 0;
   for (const auto& r : reports) {
     table.add_row({r.name, std::to_string(r.stats.launches), std::to_string(r.stats.blocks),
                    std::to_string(r.stats.global_accesses), std::to_string(r.findings.size()),
+                   std::to_string(r.missing_kernels.size()),
                    r.clean() ? "clean" : "FINDINGS"});
     total_findings += r.findings.size();
+    total_missing += r.missing_kernels.size();
   }
   std::printf("%s", table.to_text().c_str());
-  for (const auto& r : reports)
+  for (const auto& r : reports) {
     for (const auto& f : r.findings)
       std::printf("  %s: %s\n", r.name.c_str(), check::to_string(f).c_str());
-  std::printf("\n%zu scenario(s), %zu finding(s)\n", reports.size(), total_findings);
+    for (const auto& k : r.missing_kernels)
+      std::printf("  %s: kernel '%s' registered but never launched (coverage gap)\n",
+                  r.name.c_str(), k.c_str());
+  }
+  std::printf("\n%zu scenario(s), %zu finding(s), %zu kernel(s) never launched\n",
+              reports.size(), total_findings, total_missing);
 
   if (!json->empty()) {
     std::string body = "{\"schema\": \"kpm.check/1\", \"scenarios\": [";
     for (std::size_t i = 0; i < reports.size(); ++i) {
       const auto& r = reports[i];
+      std::string kernels;
+      for (const auto& k : r.stats.kernels)
+        kernels += std::string(kernels.empty() ? "" : ", ") + "\"" + k + "\"";
+      std::string missing;
+      for (const auto& k : r.missing_kernels)
+        missing += std::string(missing.empty() ? "" : ", ") + "\"" + k + "\"";
       body += std::string(i == 0 ? "" : ", ") + "{\"name\": \"" + r.name +
               "\", \"findings\": " + check::findings_to_json(r.findings) +
               ", \"launches\": " + std::to_string(r.stats.launches) +
-              ", \"blocks\": " + std::to_string(r.stats.blocks) + "}";
+              ", \"blocks\": " + std::to_string(r.stats.blocks) +
+              ", \"kernels\": [" + kernels + "], \"missing_kernels\": [" + missing + "]}";
     }
     body += "]}";
     metrics.report.sections.push_back({"check", std::move(body)});
+    // Alongside the dynamic results, embed the static verdicts for the
+    // same scenarios (sub-schema kpm.verify/1): one report answers both
+    // "what did this run do" and "what holds for every geometry".
+    std::vector<verify::UnitReport> verdicts;
+    for (const auto& r : reports) verdicts.push_back(verify::verify_unit(r.name));
+    metrics.report.sections.push_back({"verify", verify::verify_to_json_section(verdicts)});
   }
   metrics.finish();
-  return total_findings == 0 ? 0 : 1;
+  return total_findings + total_missing == 0 ? 0 : 1;
+}
+
+int cmd_verify(int argc, const char* const* argv) {
+  CliParser cli(
+      "kpmcli verify",
+      "Static kernel verification: runs each unit (production scenario or fixture) at "
+      "several pilot geometries, fits symbolic access summaries, and proves race-freedom, "
+      "global-overlap-freedom, bounds safety and allocation uniformity for ALL launch "
+      "geometries in the declared parameter domain.  Non-affine kernels are demoted to "
+      "dynamic-only coverage (not a failure); definite witnesses and undischarged "
+      "obligations exit nonzero.");
+  const auto* kernel =
+      cli.add_string("kernel", "", "verify one unit, or every unit launching this kernel");
+  const auto* all = cli.add_flag("all", "verify every production scenario");
+  const auto* fixtures = cli.add_flag("fixtures", "verify the broken/clean fixtures");
+  const auto* list = cli.add_flag("list", "print the unit names and exit");
+  const auto* seed = cli.add_int("seed", 0, "pilot rotation seed (verdicts are invariant)");
+  const auto* inject = cli.add_flag(
+      "inject-stride-bug", "negative control: widen every global write by one byte");
+  const auto* json = cli.add_string("json", "", "write an obs JSON report with a 'verify' section");
+  const auto* trace = cli.add_string("trace", "",
+                                     "write a Chrome/Perfetto trace (ui.perfetto.dev)");
+  cli.parse(argc, argv);
+
+  if (*list) {
+    for (const auto& name : check::scenario_names()) std::printf("%s\n", name.c_str());
+    for (const auto& name : verify::fixture_names()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  KPM_REQUIRE(*all || *fixtures || !kernel->empty(),
+              "kpmcli verify: pass --kernel=NAME, --all or --fixtures (see --list)");
+
+  verify::VerifyOptions opts;
+  opts.pilot_seed = static_cast<unsigned>(*seed);
+  opts.inject_stride_bug = *inject;
+
+  MetricsSink metrics("kpmcli-verify", *json, *trace);
+  std::vector<verify::UnitReport> reports;
+  if (*all) reports = verify::verify_all(opts);
+  if (*fixtures)
+    for (auto& r : verify::verify_fixtures(opts)) reports.push_back(std::move(r));
+  if (!kernel->empty()) {
+    // Resolve a unit name directly, or a kernel name to every unit that
+    // registers it.
+    const auto scenarios = check::scenario_names();
+    const auto fixture_units = verify::fixture_names();
+    std::vector<std::string> units;
+    if (std::find(scenarios.begin(), scenarios.end(), *kernel) != scenarios.end() ||
+        std::find(fixture_units.begin(), fixture_units.end(), *kernel) != fixture_units.end()) {
+      units.push_back(*kernel);
+    } else {
+      for (const auto& s : scenarios) {
+        const auto expected = check::scenario_expected_kernels(s);
+        if (std::find(expected.begin(), expected.end(), *kernel) != expected.end())
+          units.push_back(s);
+      }
+    }
+    KPM_REQUIRE(!units.empty(),
+                "kpmcli verify: unknown unit or kernel '" + *kernel + "' (see --list)");
+    for (const auto& u : units) reports.push_back(verify::verify_unit(u, opts));
+  }
+
+  std::printf("%s", verify::verify_table(reports).to_text().c_str());
+  for (const auto& r : reports)
+    for (const auto& k : r.kernels)
+      for (const auto& f : k.findings)
+        if (verify::is_hazard(f.kind))
+          std::printf("  %s: %s\n", r.unit.c_str(), check::to_string(f).c_str());
+  std::size_t proven = 0, demoted = 0, no_sites = 0, with_findings = 0;
+  for (const auto& r : reports)
+    for (const auto& k : r.kernels) {
+      if (k.status == verify::KernelStatus::Proven) ++proven;
+      if (k.status == verify::KernelStatus::Demoted) ++demoted;
+      if (k.status == verify::KernelStatus::NoSites) ++no_sites;
+      if (k.status == verify::KernelStatus::Findings) ++with_findings;
+    }
+  const std::size_t hazards = verify::hazard_count(reports);
+  std::printf(
+      "\n%zu unit(s): %zu kernel(s) proven, %zu demoted to dynamic coverage, %zu without "
+      "instrumented sites, %zu with findings (%zu hazard(s))\n",
+      reports.size(), proven, demoted, no_sites, with_findings, hazards);
+
+  if (!json->empty())
+    metrics.report.sections.push_back({"verify", verify::verify_to_json_section(reports, opts)});
+  metrics.finish();
+  return hazards == 0 ? 0 : 1;
 }
 
 int cmd_profile(int argc, const char* const* argv) {
@@ -759,6 +869,7 @@ void usage() {
       "  profile  profile one run: Perfetto trace, hotspot + roofline tables\n"
       "  serve    replay a request trace through the deterministic serving layer\n"
       "  check    hazard analysis (racecheck/memcheck) over the GPU kernels\n"
+      "  verify   static kernel verification for all launch geometries\n"
       "  devices  list the simulated device presets\n\n"
       "run `kpmcli <subcommand> --help` for options\n");
 }
@@ -786,6 +897,7 @@ int main(int argc, char** argv) {
     if (cmd == "profile") return cmd_profile(sub_argc, sub_argv);
     if (cmd == "serve") return cmd_serve(sub_argc, sub_argv);
     if (cmd == "check") return cmd_check(sub_argc, sub_argv);
+    if (cmd == "verify") return cmd_verify(sub_argc, sub_argv);
     if (cmd == "devices") return cmd_devices(sub_argc, sub_argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       usage();

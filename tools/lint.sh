@@ -1,21 +1,32 @@
 #!/bin/sh
 # Runs clang-tidy (profile: .clang-tidy) over the library, tools and bench
-# sources using the compile commands of a fresh configure.
+# sources using the compile commands of a fresh configure.  The gate is
+# strict: any warning fails the run (--warnings-as-errors='*'), so the
+# profile in .clang-tidy is the single source of truth for what is allowed.
 #
 # Usage: tools/lint.sh [paths...]
 #   paths  files or directories to lint (default: src tools bench)
 #
-# Degrades gracefully: when clang-tidy is not installed (the default
-# container image ships only the compiler), prints a notice and exits 0 so
-# local workflows and CI runners without the tool are not blocked.
+# Environment:
+#   CLANG_TIDY     clang-tidy binary to use (default: clang-tidy); CI pins a
+#                  specific major version here so results are reproducible.
+#   KPM_LINT_WAE   --warnings-as-errors filter (default '*': every warning
+#                  fails; set to '' to downgrade warnings to advisory).
+#
+# Degrades gracefully: when the requested clang-tidy is not installed (the
+# default container image ships only the compiler), prints a notice and
+# exits 0 so local workflows and CI runners without the tool are not blocked.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+clang_tidy=${CLANG_TIDY:-clang-tidy}
+wae=${KPM_LINT_WAE-*}
 
-if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "lint.sh: clang-tidy not found on PATH; skipping lint (install clang-tidy to enable)"
+if ! command -v "$clang_tidy" >/dev/null 2>&1; then
+  echo "lint.sh: $clang_tidy not found on PATH; skipping lint (install clang-tidy to enable)"
   exit 0
 fi
+"$clang_tidy" --version | sed -n 's/^.*version/lint.sh: clang-tidy version/p'
 
 build_dir="$repo_root/build-lint"
 cmake -S "$repo_root" -B "$build_dir" \
@@ -34,6 +45,11 @@ files=$(find $targets -name '*.cpp' | sort)
 [ -n "$files" ] || { echo "lint.sh: no sources found"; exit 0; }
 
 echo "lint.sh: clang-tidy over $(echo "$files" | wc -l) files"
-# shellcheck disable=SC2086
-clang-tidy -p "$build_dir" --quiet $files
+if [ -n "$wae" ]; then
+  # shellcheck disable=SC2086
+  "$clang_tidy" -p "$build_dir" --quiet --warnings-as-errors="$wae" $files
+else
+  # shellcheck disable=SC2086
+  "$clang_tidy" -p "$build_dir" --quiet $files
+fi
 echo "lint.sh: clean"

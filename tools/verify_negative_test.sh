@@ -1,0 +1,40 @@
+#!/bin/sh
+# ctest driver for the static-verification gate and its negative control.
+#
+# Exercises kpmcli verify three ways:
+#   1. clean pass  — verify --all over every production scenario must exit 0
+#      with zero hazards,
+#   2. seed sweep  — the full verdict table must be byte-identical at several
+#      pilot rotation seeds (verdicts depend only on the pilot set),
+#   3. seeded bug  — --inject-stride-bug widens every recorded global write
+#      by one byte before fitting and must trip a nonzero exit with hazards.
+#
+# usage: verify_negative_test.sh <kpmcli>
+set -e
+kpmcli=$1
+
+scratch="$(pwd)/verify_scratch"
+rm -rf "$scratch"
+mkdir "$scratch"
+cd "$scratch"
+
+"$kpmcli" verify --all > seed0.txt
+grep -q '0 hazard(s)' seed0.txt
+
+for s in 2 5; do
+  "$kpmcli" verify --all --seed=$s > "seed$s.txt"
+  if ! cmp -s seed0.txt "seed$s.txt"; then
+    echo "verify_negative_test: verdicts changed under pilot seed $s" >&2
+    exit 1
+  fi
+done
+
+if "$kpmcli" verify --all --inject-stride-bug > bug.txt; then
+  echo "verify_negative_test: injected stride bug was not detected" >&2
+  exit 1
+fi
+grep -q 'hazard' bug.txt
+if grep -q ' 0 hazard(s)' bug.txt; then
+  echo "verify_negative_test: stride bug run reported zero hazards" >&2
+  exit 1
+fi
