@@ -69,6 +69,21 @@ int main(int argc, char** argv) {
                    strprintf("%.1f%%", 100.0 * (1.0 - t_overlap / t_serial))});
   }
   bench::finish(table, bench::resolve_output(*out_dir, *csv));
+
+  // Reference trace for schedule regressions: one canonical overlapped
+  // configuration, exported modeled-only and round-tripped through the
+  // tracediff loader under zero-tolerance thresholds.
+  core::ChunkedGpuEngineConfig ref_cfg;
+  ref_cfg.workspace_bytes = 56 * per_instance;
+  ref_cfg.base.context_setup_seconds = 0.0;
+  ref_cfg.overlap_fill = true;
+  bench::reference_trace_selfcheck(
+      "ablation_chunking", bench::resolve_output(*out_dir, "ablation_chunking.reference.trace.json"),
+      [&] {
+        core::ChunkedGpuMomentEngine engine(ref_cfg);
+        (void)engine.compute(op, params, static_cast<std::size_t>(*sample));
+      });
+
   std::printf("expected: overlap hides the RNG-fill kernels (a few %% here — the\n"
               "recursion dominates; the win grows when fills or uploads are larger)\n");
   return 0;

@@ -90,6 +90,29 @@ int main(int argc, char** argv) {
   }
   KPM_REQUIRE(max_diff == 0.0, "ablation_cluster: sharded moments must be bit-identical");
   bench::finish(table, bench::resolve_output(*out_dir, *csv));
+
+  // Reference trace for schedule regressions: a fixed 4-node shard (or the
+  // sweep maximum when smaller), exported modeled-only with one timeline
+  // per node and round-tripped through the tracediff loader.
+  {
+    const std::size_t ref_nodes = std::min<std::size_t>(4, static_cast<std::size_t>(*nodes_max));
+    const std::size_t lz = static_cast<std::size_t>(*planes) * ref_nodes;
+    const auto lat = lattice::HypercubicLattice::cubic(static_cast<std::size_t>(*edge),
+                                                       static_cast<std::size_t>(*edge), lz);
+    const auto h = lattice::build_tight_binding_crs(lat);
+    linalg::MatrixOperator raw(h);
+    const auto ht = linalg::rescale(h, linalg::make_spectral_transform(raw));
+    const linalg::MatrixOperator op(ht);
+    core::ClusterEngineConfig cfg;
+    cfg.decomposition = lattice::slab_decomposition(lat, ref_nodes);
+    cfg.link = link;
+    bench::reference_trace_selfcheck(
+        "ablation_cluster",
+        bench::resolve_output(*out_dir, "ablation_cluster.reference.trace.json"), [&] {
+          core::ClusterMomentEngine engine(cfg);
+          (void)engine.compute(op, params, static_cast<std::size_t>(*sample));
+        });
+  }
   std::printf(
       "\nmax |mu_cluster - mu_serial| = %.3g over every node count\n"
       "expected: per-node halo bytes are CONSTANT under weak scaling (slab surface),\n"

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <functional>
 #include <optional>
 #include <string>
 #include <utility>
@@ -25,7 +26,10 @@
 #include "common/units.hpp"
 #include "core/kpm.hpp"
 #include "gpusim/check.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/report.hpp"
+#include "obs/trace_file.hpp"
+#include "obs/tracediff.hpp"
 
 namespace kpm::bench {
 
@@ -121,6 +125,34 @@ inline void finish(const Table& table, const std::string& csv_name) {
     obs::write_json(*report, sidecar);
     std::printf("metrics sidecar written to %s\n", sidecar.c_str());
   }
+}
+
+/// Runs `workload` under an isolated collector (so the extra run does not
+/// pollute the bench's own metrics sidecar), writes the modeled-only
+/// reference trace to `path`, reloads it, and proves the export/load
+/// round-trip with a zero-tolerance tracediff.  Benches drop these
+/// reference traces so schedule regressions show up as `tracediff`
+/// divergence against the previous run's artifact, not as silent CSV
+/// drift.
+inline void reference_trace_selfcheck(const std::string& label, const std::string& path,
+                                      const std::function<void()>& workload) {
+  obs::Report reference;
+  reference.label = label;
+  {
+    obs::Collect isolate(reference);
+    workload();
+  }
+  obs::write_chrome_trace(reference, path, {.include_measured = false});
+  const obs::TraceFile expected = obs::trace_from_report(reference, {.include_measured = false});
+  const obs::TraceFile loaded = obs::load_trace_file(path);
+  KPM_REQUIRE(loaded == expected,
+              "reference trace round-trip mismatch: " + path + " does not reload bit-identically");
+  const obs::TraceDiff diff = obs::diff_traces(expected, loaded);
+  const auto violations = obs::tracediff_violations(diff, obs::TraceDiffThresholds{});
+  std::string detail = violations.empty() ? std::string("ok") : violations.front();
+  KPM_REQUIRE(violations.empty(), "reference trace self-check failed: " + path + ": " + detail);
+  std::printf("reference trace written to %s (tracediff self-check: %zu keys, 0 violations)\n",
+              path.c_str(), diff.matched);
 }
 
 }  // namespace kpm::bench

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/moments_cluster.hpp"
 #include "core/moments_cpu.hpp"
 #include "core/moments_gpu.hpp"
 #include "core/moments_multigpu.hpp"
@@ -65,6 +66,13 @@ DisorderStudy run_disorder_study(const HamiltonianFactory& factory,
         MultiGpuEngineConfig cfg;
         cfg.per_device = options.gpu;
         MultiGpuMomentEngine engine(cfg);
+        moments = engine.compute(op, params, options.sample_instances);
+        break;
+      }
+      case EngineKind::ClusterSharded: {
+        ClusterEngineConfig cfg;
+        cfg.threads = options.cpu_threads;
+        ClusterMomentEngine engine(cfg);
         moments = engine.compute(op, params, options.sample_instances);
         break;
       }

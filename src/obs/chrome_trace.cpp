@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "common/error.hpp"
 #include "obs/json.hpp"
@@ -37,19 +38,36 @@ std::string meta_thread(std::size_t pid, std::size_t tid, const std::string& nam
 }
 
 void append_host_spans(std::ostringstream& os, bool& first, const Report& report) {
+  const std::vector<SpanRecord>& spans = report.trace.spans();
+  // Modeled spans are skipped (they render from the device timelines), so the
+  // exported span/parent ids index the *emitted* sequence; a skipped parent is
+  // replaced by the nearest measured ancestor.  The ids let a loader rebuild
+  // the exact span tree instead of guessing nesting from timestamps.
+  std::vector<long long> emitted(spans.size(), -1);
+  long long next_id = 0;
   bool any = false;
-  for (const SpanRecord& span : report.trace.spans()) {
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
     if (span.modeled) continue;  // modeled time renders from the device timelines
     if (!any) {
       append_event(os, first, meta_process(0, "host: " + report.label));
       append_event(os, first, meta_thread(0, 0, "measured spans"));
       any = true;
     }
+    long long parent = -1;
+    for (std::size_t up = span.parent; up != kNoParent; up = spans[up].parent) {
+      if (emitted[up] >= 0) {
+        parent = emitted[up];
+        break;
+      }
+    }
     std::ostringstream ev;
     ev << "\"ph\": \"X\", \"pid\": 0, \"tid\": 0, \"cat\": \"measured\", \"name\": \""
        << json_escape(span.name) << "\", \"ts\": " << json_number(span.start_seconds * kMicro)
-       << ", \"dur\": " << json_number(span.seconds * kMicro);
+       << ", \"dur\": " << json_number(span.seconds * kMicro) << ", \"args\": {\"span\": "
+       << next_id << ", \"parent\": " << parent << "}";
     append_event(os, first, ev.str());
+    emitted[i] = next_id++;
   }
 }
 
@@ -90,6 +108,19 @@ void append_device_tracks(std::ostringstream& os, bool& first, const Report& rep
     const std::size_t pid = 1 + t;
     append_event(os, first,
                  meta_process(pid, "gpusim: " + timeline.label + " (" + timeline.device + ")"));
+    {
+      // Machine-readable sibling of process_name: lets a loader rebuild the
+      // timeline record (label, device, stream count, peaks) without parsing
+      // the display string.
+      std::ostringstream meta;
+      meta << "\"ph\": \"M\", \"pid\": " << pid
+           << ", \"name\": \"kpm_timeline\", \"args\": {\"label\": \"" << json_escape(timeline.label)
+           << "\", \"device\": \"" << json_escape(timeline.device)
+           << "\", \"streams\": " << timeline.streams
+           << ", \"peak_flops\": " << json_number(timeline.peak_flops)
+           << ", \"peak_bandwidth\": " << json_number(timeline.peak_bandwidth) << "}";
+      append_event(os, first, meta.str());
+    }
     for (std::size_t s = 0; s < timeline.streams; ++s) {
       const std::string id = "stream " + std::to_string(s);
       append_event(os, first, meta_thread(pid, 2 * s, id + " compute"));
@@ -124,7 +155,9 @@ std::string to_chrome_trace(const Report& report, ChromeTraceOptions options) {
   if (options.include_measured) append_host_spans(os, first, report);
   append_device_tracks(os, first, report);
   append_counter_track(os, first, report);
-  os << "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+  os << "\n  ],\n  \"displayTimeUnit\": \"ms\",\n  \"metadata\": {\"schema\": \"" << kTraceSchema
+     << "\", \"exporter\": \"" << kTraceExporter << "\", \"label\": \"" << json_escape(report.label)
+     << "\", \"include_measured\": " << (options.include_measured ? "true" : "false") << "}\n}\n";
   return os.str();
 }
 

@@ -19,10 +19,19 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 namespace kpm::obs {
 
 struct Report;
+
+/// Schema identifier stamped into every exported trace's "metadata" block.
+/// tracediff and `trace_from_json` refuse documents without it: the exporter
+/// owns the format, and a version bump is a deliberate, visible act.
+inline constexpr std::string_view kTraceSchema = "kpm.trace/1";
+
+/// Exporter identity recorded next to the schema stamp.
+inline constexpr std::string_view kTraceExporter = "kpm-obs";
 
 struct ChromeTraceOptions {
   /// Emit the measured (wall-clock) host span track.  Off = deterministic

@@ -1,0 +1,350 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace kpm::obs {
+
+namespace {
+
+constexpr double kMsPerNs = 1e-6;
+
+struct Release {
+  GapCause cause = GapCause::Scheduler;
+  std::string label;
+};
+
+bool is_all_reduce(const std::string& label) {
+  return label.find("all-reduce") != std::string::npos;
+}
+
+/// The completion that ended an idle window (lo, hi]: the latest-finishing
+/// event of `timeline` with end in the window (ties: smallest index), the
+/// idea being that the lane could not proceed until that event retired.
+/// `exclude` is the index of the event whose start closes the window, so a
+/// zero-duration event never releases itself.
+Release classify_gap(const TraceFileTimeline& timeline, std::int64_t lo, std::int64_t hi,
+                     std::size_t exclude) {
+  const TraceFileEvent* releaser = nullptr;
+  for (std::size_t i = 0; i < timeline.events.size(); ++i) {
+    if (i == exclude) continue;
+    const TraceFileEvent& event = timeline.events[i];
+    if (event.end_ns <= lo || event.end_ns > hi) continue;
+    if (releaser == nullptr || event.end_ns > releaser->end_ns) releaser = &event;
+  }
+  if (releaser == nullptr) return {GapCause::Scheduler, ""};
+  Release release;
+  release.label = releaser->label;
+  if (is_all_reduce(releaser->label)) {
+    release.cause = GapCause::AllReduce;
+  } else if (releaser->on_copy_lane()) {
+    release.cause = GapCause::Copy;
+  } else {
+    release.cause = GapCause::Dependency;
+  }
+  return release;
+}
+
+using Interval = std::pair<std::int64_t, std::int64_t>;
+
+std::vector<Interval> merged_intervals(const TraceFileTimeline& timeline, bool copy_lane) {
+  std::vector<Interval> intervals;
+  for (const TraceFileEvent& event : timeline.events) {
+    if (event.on_copy_lane() != copy_lane) continue;
+    if (event.end_ns > event.start_ns) intervals.emplace_back(event.start_ns, event.end_ns);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<Interval> merged;
+  for (const Interval& iv : intervals) {
+    if (!merged.empty() && iv.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, iv.second);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+std::int64_t total_length(const std::vector<Interval>& intervals) {
+  std::int64_t total = 0;
+  for (const Interval& iv : intervals) total += iv.second - iv.first;
+  return total;
+}
+
+std::int64_t intersection_length(const std::vector<Interval>& a, const std::vector<Interval>& b) {
+  std::int64_t total = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::int64_t lo = std::max(a[i].first, b[j].first);
+    const std::int64_t hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) total += hi - lo;
+    (a[i].second < b[j].second ? i : j) += 1;
+  }
+  return total;
+}
+
+/// Strict ordering on (end, start, index) so the backward path walk always
+/// terminates even on pathological zero-duration event chains.
+bool strictly_before(const TraceFileEvent& a, std::size_t ia, const TraceFileEvent& b,
+                     std::size_t ib) {
+  if (a.end_ns != b.end_ns) return a.end_ns < b.end_ns;
+  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+  return ia < ib;
+}
+
+std::string format_ms(std::int64_t ns) {
+  return kpm::strprintf("%.6f", static_cast<double>(ns) * kMsPerNs);
+}
+
+std::string lane_name(std::size_t stream, bool copy) {
+  std::string name = "s";
+  name += std::to_string(stream);
+  if (copy) name += " copy";
+  return name;
+}
+
+}  // namespace
+
+const char* to_string(GapCause cause) noexcept {
+  switch (cause) {
+    case GapCause::Copy: return "waiting-on-copy";
+    case GapCause::AllReduce: return "waiting-on-all-reduce";
+    case GapCause::Dependency: return "waiting-on-dependency";
+    case GapCause::Scheduler: return "scheduler";
+    case GapCause::Drain: return "drain";
+  }
+  return "?";
+}
+
+double CriticalPathReport::overlap_fraction() const noexcept {
+  return copy_busy_ns > 0 ? static_cast<double>(overlap_ns) / static_cast<double>(copy_busy_ns)
+                          : 0.0;
+}
+
+CriticalPathReport critical_path(const TraceFile& trace) {
+  CriticalPathReport report;
+  report.timeline_makespan_ns.reserve(trace.timelines.size());
+
+  for (std::size_t t = 0; t < trace.timelines.size(); ++t) {
+    const TraceFileTimeline& timeline = trace.timelines[t];
+    std::int64_t makespan = 0;
+    for (const TraceFileEvent& event : timeline.events) {
+      makespan = std::max(makespan, event.end_ns);
+    }
+    report.timeline_makespan_ns.push_back(makespan);
+    if (makespan > report.makespan_ns) {
+      report.makespan_ns = makespan;
+      report.bounding_timeline = t;
+    }
+
+    // Per-lane busy/idle walk.  Events are laid out per lane without
+    // overlap, but the merge via `cursor` keeps the split exact even if an
+    // engine ever emitted overlapping events on one lane.
+    for (std::size_t s = 0; s < timeline.streams; ++s) {
+      for (const bool copy : {false, true}) {
+        LaneStats lane;
+        lane.timeline = t;
+        lane.stream = s;
+        lane.copy = copy;
+        std::vector<std::size_t> order;
+        for (std::size_t i = 0; i < timeline.events.size(); ++i) {
+          const TraceFileEvent& event = timeline.events[i];
+          if (event.stream == s && event.on_copy_lane() == copy) order.push_back(i);
+        }
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+          const TraceFileEvent& ea = timeline.events[a];
+          const TraceFileEvent& eb = timeline.events[b];
+          if (ea.start_ns != eb.start_ns) return ea.start_ns < eb.start_ns;
+          if (ea.end_ns != eb.end_ns) return ea.end_ns < eb.end_ns;
+          return a < b;
+        });
+        std::int64_t cursor = 0;
+        for (const std::size_t i : order) {
+          const TraceFileEvent& event = timeline.events[i];
+          if (event.start_ns > cursor) {
+            IdleGap gap;
+            gap.timeline = t;
+            gap.stream = s;
+            gap.copy = copy;
+            gap.start_ns = cursor;
+            gap.end_ns = event.start_ns;
+            const Release release = classify_gap(timeline, cursor, event.start_ns, i);
+            gap.cause = release.cause;
+            gap.released_by = release.label;
+            lane.waiting_ns[static_cast<std::size_t>(gap.cause)] += gap.end_ns - gap.start_ns;
+            report.gaps.push_back(std::move(gap));
+          }
+          lane.busy_ns += std::max<std::int64_t>(event.end_ns - std::max(event.start_ns, cursor), 0);
+          cursor = std::max(cursor, event.end_ns);
+          lane.events += 1;
+        }
+        if (cursor < makespan) {
+          IdleGap gap;
+          gap.timeline = t;
+          gap.stream = s;
+          gap.copy = copy;
+          gap.start_ns = cursor;
+          gap.end_ns = makespan;
+          gap.cause = GapCause::Drain;
+          gap.released_by = "(end of run)";
+          lane.waiting_ns[static_cast<std::size_t>(GapCause::Drain)] += makespan - cursor;
+          report.gaps.push_back(std::move(gap));
+        }
+        lane.idle_ns = makespan - lane.busy_ns;
+        report.lanes.push_back(std::move(lane));
+      }
+    }
+
+    const std::vector<Interval> compute = merged_intervals(timeline, /*copy_lane=*/false);
+    const std::vector<Interval> copies = merged_intervals(timeline, /*copy_lane=*/true);
+    report.compute_busy_ns += total_length(compute);
+    report.copy_busy_ns += total_length(copies);
+    report.overlap_ns += intersection_length(compute, copies);
+  }
+
+  // Critical path on the bounding timeline: walk backwards from the
+  // latest-finishing event, each step's predecessor being the
+  // latest-finishing event that retired no later than the step began.
+  if (report.makespan_ns > 0) {
+    const TraceFileTimeline& timeline = trace.timelines[report.bounding_timeline];
+    const std::vector<TraceFileEvent>& events = timeline.events;
+    std::size_t cur = 0;
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      if (strictly_before(events[cur], cur, events[i], i)) cur = i;
+    }
+    std::vector<PathStep> reversed;
+    bool have_cur = true;
+    while (have_cur) {
+      const TraceFileEvent& event = events[cur];
+      std::size_t pred = events.size();
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i == cur || events[i].end_ns > event.start_ns) continue;
+        if (!strictly_before(events[i], i, event, cur)) continue;
+        if (pred == events.size() || strictly_before(events[pred], pred, events[i], i)) pred = i;
+      }
+      PathStep step;
+      step.timeline = report.bounding_timeline;
+      step.kind = event.kind;
+      step.label = event.label;
+      step.stream = event.stream;
+      step.copy = event.on_copy_lane();
+      step.start_ns = event.start_ns;
+      step.end_ns = event.end_ns;
+      const std::int64_t released_at = pred == events.size() ? 0 : events[pred].end_ns;
+      step.wait_ns = std::max<std::int64_t>(event.start_ns - released_at, 0);
+      if (step.wait_ns > 0) {
+        step.wait_cause = classify_gap(timeline, released_at, event.start_ns, cur).cause;
+      }
+      reversed.push_back(std::move(step));
+      have_cur = pred != events.size();
+      cur = pred;
+    }
+    report.steps.assign(reversed.rbegin(), reversed.rend());
+
+    auto add_composition = [&report](const std::string& key, std::int64_t ns) {
+      if (ns <= 0) return;
+      for (auto& entry : report.composition) {
+        if (entry.first == key) {
+          entry.second += ns;
+          return;
+        }
+      }
+      report.composition.emplace_back(key, ns);
+    };
+    for (const PathStep& step : report.steps) {
+      if (step.wait_ns > 0) {
+        add_composition("(" + std::string(to_string(step.wait_cause)) + ")", step.wait_ns);
+      }
+      add_composition(step.label, step.end_ns - step.start_ns);
+    }
+  }
+  return report;
+}
+
+kpm::Table critical_path_to_table(const CriticalPathReport& report, const TraceFile& trace) {
+  kpm::Table table({"step", "timeline", "lane", "event", "kind", "start_ms", "dur_ms", "wait_ms",
+                    "waiting_on"});
+  for (std::size_t i = 0; i < report.steps.size(); ++i) {
+    const PathStep& step = report.steps[i];
+    table.add_row({std::to_string(i), trace.timelines[step.timeline].label,
+                   lane_name(step.stream, step.copy), step.label, step.kind,
+                   format_ms(step.start_ns), format_ms(step.end_ns - step.start_ns),
+                   format_ms(step.wait_ns),
+                   step.wait_ns > 0 ? to_string(step.wait_cause) : "-"});
+  }
+  return table;
+}
+
+kpm::Table lane_usage_to_table(const CriticalPathReport& report, const TraceFile& trace) {
+  kpm::Table table({"timeline", "lane", "events", "busy_ms", "idle_ms", "idle_pct", "copy_ms",
+                    "dependency_ms", "all_reduce_ms", "scheduler_ms", "drain_ms"});
+  for (const LaneStats& lane : report.lanes) {
+    const std::int64_t makespan = report.timeline_makespan_ns[lane.timeline];
+    const double idle_pct =
+        makespan > 0 ? 100.0 * static_cast<double>(lane.idle_ns) / static_cast<double>(makespan)
+                     : 0.0;
+    table.add_row({trace.timelines[lane.timeline].label, lane_name(lane.stream, lane.copy),
+                   std::to_string(lane.events), format_ms(lane.busy_ns), format_ms(lane.idle_ns),
+                   kpm::strprintf("%.1f", idle_pct),
+                   format_ms(lane.waiting_ns[static_cast<std::size_t>(GapCause::Copy)]),
+                   format_ms(lane.waiting_ns[static_cast<std::size_t>(GapCause::Dependency)]),
+                   format_ms(lane.waiting_ns[static_cast<std::size_t>(GapCause::AllReduce)]),
+                   format_ms(lane.waiting_ns[static_cast<std::size_t>(GapCause::Scheduler)]),
+                   format_ms(lane.waiting_ns[static_cast<std::size_t>(GapCause::Drain)])});
+  }
+  return table;
+}
+
+std::string critical_path_to_json(const CriticalPathReport& report, const TraceFile& trace) {
+  std::ostringstream os;
+  os << "{\n      \"schema\": \"kpm.critical_path/1\",\n      \"makespan_ns\": "
+     << report.makespan_ns << ",\n      \"bounding_timeline\": \""
+     << (report.bounding_timeline < trace.timelines.size()
+             ? json_escape(trace.timelines[report.bounding_timeline].label)
+             : std::string())
+     << "\",\n      \"overlap\": {\"compute_busy_ns\": " << report.compute_busy_ns
+     << ", \"copy_busy_ns\": " << report.copy_busy_ns << ", \"overlap_ns\": " << report.overlap_ns
+     << ", \"copy_hidden_fraction\": " << json_number(report.overlap_fraction()) << "},\n";
+  os << "      \"timelines\": [";
+  for (std::size_t t = 0; t < trace.timelines.size(); ++t) {
+    if (t != 0) os << ", ";
+    os << "{\"label\": \"" << json_escape(trace.timelines[t].label)
+       << "\", \"makespan_ns\": " << report.timeline_makespan_ns[t] << "}";
+  }
+  os << "],\n      \"lanes\": [";
+  for (std::size_t i = 0; i < report.lanes.size(); ++i) {
+    const LaneStats& lane = report.lanes[i];
+    if (i != 0) os << ", ";
+    os << "{\"timeline\": \"" << json_escape(trace.timelines[lane.timeline].label)
+       << "\", \"lane\": \"" << lane_name(lane.stream, lane.copy)
+       << "\", \"events\": " << lane.events << ", \"busy_ns\": " << lane.busy_ns
+       << ", \"idle_ns\": " << lane.idle_ns;
+    for (std::size_t c = 0; c < kGapCauseCount; ++c) {
+      os << ", \"" << to_string(static_cast<GapCause>(c)) << "_ns\": " << lane.waiting_ns[c];
+    }
+    os << "}";
+  }
+  os << "],\n      \"steps\": [";
+  for (std::size_t i = 0; i < report.steps.size(); ++i) {
+    const PathStep& step = report.steps[i];
+    if (i != 0) os << ", ";
+    os << "{\"label\": \"" << json_escape(step.label) << "\", \"kind\": \"" << step.kind
+       << "\", \"lane\": \"" << lane_name(step.stream, step.copy)
+       << "\", \"start_ns\": " << step.start_ns << ", \"end_ns\": " << step.end_ns
+       << ", \"wait_ns\": " << step.wait_ns << ", \"wait_cause\": \""
+       << (step.wait_ns > 0 ? to_string(step.wait_cause) : "-") << "\"}";
+  }
+  os << "],\n      \"composition\": [";
+  for (std::size_t i = 0; i < report.composition.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "{\"label\": \"" << json_escape(report.composition[i].first)
+       << "\", \"ns\": " << report.composition[i].second << "}";
+  }
+  os << "]\n    }";
+  return os.str();
+}
+
+}  // namespace kpm::obs

@@ -1,0 +1,121 @@
+// Modeled critical-path and idle-gap analysis over an exported trace.
+//
+// Works on `TraceFile` instants (exact integer nanosecond ticks), so every
+// number here — makespan, busy/idle splits, gap attribution, overlap — is
+// bit-identical across runs and thread counts whenever the trace itself is
+// (the `include_measured = false` projection).
+//
+// Three views of one schedule:
+//   * lanes: per (timeline, stream, copy-engine) busy/idle segmentation,
+//     each idle tick attributed to a cause;
+//   * gaps: every idle interval with the event whose completion released
+//     the lane, classified as waiting-on-copy / waiting-on-dependency /
+//     waiting-on-all-reduce (plus scheduler warm-up and end-of-run drain);
+//   * the critical path: the chain of events on the makespan-bounding
+//     timeline walked backwards by latest-finishing predecessor, with the
+//     wait before each step attributed like a gap.
+//
+// Copy/compute overlap is the intersection of the merged busy intervals of
+// the compute lanes with those of the copy lanes, summed over timelines —
+// `overlap_fraction()` is the share of copy time hidden under compute,
+// the number the paper's chunked overlap scheme exists to maximise.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+#include "obs/trace_file.hpp"
+
+namespace kpm::obs {
+
+/// Why a lane sat idle (or a critical-path step started late).
+enum class GapCause : std::size_t {
+  Copy = 0,        ///< released by an h2d/d2h completion
+  AllReduce = 1,   ///< released by an event labelled "...all-reduce..."
+  Dependency = 2,  ///< released by a kernel/alloc/memset completion
+  Scheduler = 3,   ///< nothing completed in the window — work was issued late
+  Drain = 4,       ///< trailing idle between the lane's last event and makespan
+};
+inline constexpr std::size_t kGapCauseCount = 5;
+
+/// Stable display name ("waiting-on-copy", ...).
+[[nodiscard]] const char* to_string(GapCause cause) noexcept;
+
+/// Busy/idle split of one lane, idle ticks attributed by cause.
+struct LaneStats {
+  std::size_t timeline = 0;
+  std::size_t stream = 0;
+  bool copy = false;
+  std::size_t events = 0;
+  std::int64_t busy_ns = 0;
+  std::int64_t idle_ns = 0;
+  std::array<std::int64_t, kGapCauseCount> waiting_ns{};
+  bool operator==(const LaneStats&) const = default;
+};
+
+/// One idle interval on one lane.
+struct IdleGap {
+  std::size_t timeline = 0;
+  std::size_t stream = 0;
+  bool copy = false;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  GapCause cause = GapCause::Scheduler;
+  std::string released_by;  ///< label of the completion that ended the wait
+  bool operator==(const IdleGap&) const = default;
+};
+
+/// One event on the critical path (chronological order).
+struct PathStep {
+  std::size_t timeline = 0;
+  std::string kind;
+  std::string label;
+  std::size_t stream = 0;
+  bool copy = false;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::int64_t wait_ns = 0;  ///< gap after the predecessor's completion
+  GapCause wait_cause = GapCause::Dependency;
+  bool operator==(const PathStep&) const = default;
+};
+
+struct CriticalPathReport {
+  std::int64_t makespan_ns = 0;                     ///< max over timelines
+  std::size_t bounding_timeline = 0;                ///< timeline attaining it
+  std::vector<std::int64_t> timeline_makespan_ns;   ///< per timeline
+  std::vector<PathStep> steps;                      ///< path on the bounding timeline
+  std::vector<LaneStats> lanes;                     ///< all timelines, lane order
+  std::vector<IdleGap> gaps;                        ///< all timelines, lane order
+  std::int64_t compute_busy_ns = 0;
+  std::int64_t copy_busy_ns = 0;
+  std::int64_t overlap_ns = 0;  ///< copy time concurrent with compute
+  /// Disjoint decomposition of the bounding timeline's makespan: on-path
+  /// event time by label plus "(waiting-on-*)" entries; sums to makespan_ns.
+  std::vector<std::pair<std::string, std::int64_t>> composition;
+  /// Share of copy-lane busy time hidden under compute (0 when no copies).
+  [[nodiscard]] double overlap_fraction() const noexcept;
+  bool operator==(const CriticalPathReport&) const = default;
+};
+
+/// Analyses `trace`.  Traces without timeline events yield an empty report
+/// (makespan 0, no steps/lanes/gaps).
+[[nodiscard]] CriticalPathReport critical_path(const TraceFile& trace);
+
+/// The path itself: step / lane / event / start / duration / wait / cause.
+[[nodiscard]] kpm::Table critical_path_to_table(const CriticalPathReport& report,
+                                                const TraceFile& trace);
+
+/// Per-lane busy/idle attribution across all timelines.
+[[nodiscard]] kpm::Table lane_usage_to_table(const CriticalPathReport& report,
+                                             const TraceFile& trace);
+
+/// JSON section body (schema "kpm.critical_path/1") for metrics sidecars.
+[[nodiscard]] std::string critical_path_to_json(const CriticalPathReport& report,
+                                                const TraceFile& trace);
+
+}  // namespace kpm::obs

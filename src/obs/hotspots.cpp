@@ -49,18 +49,25 @@ kpm::Table span_hotspot_table(const Report& report) {
   // that recorded into a different sink carry zero and subtract nothing.
   std::vector<double> self_flops(spans.size());
   std::vector<double> self_bytes(spans.size());
-  for (std::size_t i = 0; i < spans.size(); ++i) {
-    self[i] = spans[i].seconds;
-    self_flops[i] = spans[i].flops;
-    self_bytes[i] = spans[i].bytes_streamed;
-  }
+  // Sum the direct children first, then clamp the residual at zero once per
+  // span: exactly-abutting siblings can cover their parent a rounding step
+  // past its own duration, and zero-duration parents with timed children
+  // would otherwise surface as negative self time in the table.
+  std::vector<double> child_seconds(spans.size());
+  std::vector<double> child_flops(spans.size());
+  std::vector<double> child_bytes(spans.size());
   for (std::size_t i = 0; i < spans.size(); ++i) {
     const std::size_t parent = spans[i].parent;
     if (parent != kNoParent && spans[parent].modeled == spans[i].modeled) {
-      self[parent] -= spans[i].seconds;
-      self_flops[parent] -= spans[i].flops;
-      self_bytes[parent] -= spans[i].bytes_streamed;
+      child_seconds[parent] += spans[i].seconds;
+      child_flops[parent] += spans[i].flops;
+      child_bytes[parent] += spans[i].bytes_streamed;
     }
+  }
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    self[i] = std::max(spans[i].seconds - child_seconds[i], 0.0);
+    self_flops[i] = std::max(spans[i].flops - child_flops[i], 0.0);
+    self_bytes[i] = std::max(spans[i].bytes_streamed - child_bytes[i], 0.0);
   }
 
   std::vector<SpanAgg> aggs;
@@ -68,7 +75,7 @@ kpm::Table span_hotspot_table(const Report& report) {
   double modeled_total = 0.0;
   for (std::size_t i = 0; i < spans.size(); ++i) {
     const SpanRecord& span = spans[i];
-    (span.modeled ? modeled_total : measured_total) += std::max(self[i], 0.0);
+    (span.modeled ? modeled_total : measured_total) += self[i];
     SpanAgg* agg = nullptr;
     for (SpanAgg& a : aggs) {
       if (a.name == span.name && a.modeled == span.modeled) {

@@ -1,0 +1,189 @@
+#include "obs/trace_file.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace kpm::obs {
+
+namespace {
+
+constexpr double kMicro = 1e6;  // trace timestamps are microseconds
+
+std::int64_t ticks_from_seconds(double seconds) noexcept {
+  return trace_ticks_from_us(seconds * kMicro);
+}
+
+}  // namespace
+
+std::int64_t trace_ticks_from_us(double microseconds) noexcept {
+  return std::llround(microseconds * 1000.0);
+}
+
+TraceFile trace_from_report(const Report& report, ChromeTraceOptions options) {
+  TraceFile file;
+  file.schema = std::string(kTraceSchema);
+  file.exporter = std::string(kTraceExporter);
+  file.label = report.label;
+  file.include_measured = options.include_measured;
+
+  if (options.include_measured) {
+    // Mirror of append_host_spans: modeled spans are skipped and parent ids
+    // are remapped onto the emitted sequence.
+    const std::vector<SpanRecord>& spans = report.trace.spans();
+    std::vector<long long> emitted(spans.size(), -1);
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const SpanRecord& span = spans[i];
+      if (span.modeled) continue;
+      TraceFileSpan out;
+      out.name = span.name;
+      out.parent = kNoParent;
+      for (std::size_t up = span.parent; up != kNoParent; up = spans[up].parent) {
+        if (emitted[up] >= 0) {
+          out.parent = static_cast<std::size_t>(emitted[up]);
+          break;
+        }
+      }
+      out.start_ns = ticks_from_seconds(span.start_seconds);
+      out.dur_ns = ticks_from_seconds(span.seconds);
+      emitted[i] = static_cast<long long>(file.spans.size());
+      file.spans.push_back(std::move(out));
+    }
+  }
+
+  for (const DeviceTimelineRecord& timeline : report.timelines) {
+    TraceFileTimeline out;
+    out.label = timeline.label;
+    out.device = timeline.device;
+    out.streams = timeline.streams;
+    out.peak_flops = timeline.peak_flops;
+    out.peak_bandwidth = timeline.peak_bandwidth;
+    out.events.reserve(timeline.events.size());
+    for (const TimelineEventRecord& event : timeline.events) {
+      TraceFileEvent ev;
+      ev.kind = event.kind;
+      ev.label = event.label;
+      ev.stream = event.stream;
+      ev.start_ns = ticks_from_seconds(event.start_seconds);
+      ev.end_ns = ev.start_ns + ticks_from_seconds(event.seconds());
+      if (event.kind == "kernel") {
+        ev.flops = event.flops;
+        ev.global_bytes = event.global_bytes;
+        ev.occupancy = event.occupancy;
+        ev.bound = event.bound;
+      } else if (event.bytes > 0.0) {
+        ev.bytes = event.bytes;
+      }
+      out.events.push_back(std::move(ev));
+    }
+    file.timelines.push_back(std::move(out));
+  }
+
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const Counter c = static_cast<Counter>(i);
+    const double value = report.counters.get(c);
+    if (value == 0.0) continue;
+    file.counters.emplace_back(std::string(to_string(c)), value);
+  }
+  return file;
+}
+
+TraceFile trace_from_json(const JsonValue& document) {
+  const JsonValue* meta = document.find("metadata");
+  KPM_REQUIRE(meta != nullptr, "trace document has no metadata block (not a kpm.trace export?)");
+  const std::string& schema = meta->at("schema").string;
+  KPM_REQUIRE(schema == kTraceSchema,
+              "unsupported trace schema '" + schema + "' (expected " + std::string(kTraceSchema) +
+                  ")");
+  TraceFile file;
+  file.schema = schema;
+  file.exporter = meta->at("exporter").string;
+  file.label = meta->at("label").string;
+  file.include_measured = meta->at("include_measured").boolean;
+
+  std::map<std::size_t, std::size_t> timeline_by_pid;
+  for (const JsonValue& event : document.at("traceEvents").array) {
+    const std::string& ph = event.at("ph").string;
+    if (ph == "M") {
+      if (event.at("name").string != "kpm_timeline") continue;
+      const JsonValue& args = event.at("args");
+      const std::size_t pid = static_cast<std::size_t>(event.at("pid").number);
+      KPM_REQUIRE(pid >= 1, "kpm_timeline meta event on the host process");
+      KPM_REQUIRE(timeline_by_pid.count(pid) == 0, "duplicate kpm_timeline meta for one pid");
+      timeline_by_pid[pid] = file.timelines.size();
+      TraceFileTimeline timeline;
+      timeline.label = args.at("label").string;
+      timeline.device = args.at("device").string;
+      timeline.streams = static_cast<std::size_t>(args.at("streams").number);
+      timeline.peak_flops = args.at("peak_flops").number;
+      timeline.peak_bandwidth = args.at("peak_bandwidth").number;
+      file.timelines.push_back(std::move(timeline));
+    } else if (ph == "X") {
+      const std::size_t pid = static_cast<std::size_t>(event.at("pid").number);
+      const std::int64_t start_ns = trace_ticks_from_us(event.at("ts").number);
+      const std::int64_t dur_ns = trace_ticks_from_us(event.at("dur").number);
+      if (pid == 0) {
+        const JsonValue& args = event.at("args");
+        const auto span_id = static_cast<long long>(args.at("span").number);
+        KPM_REQUIRE(span_id == static_cast<long long>(file.spans.size()),
+                    "host span ids are not contiguous in the trace");
+        const auto parent = static_cast<long long>(args.at("parent").number);
+        KPM_REQUIRE(parent < span_id, "host span parent id refers forwards");
+        TraceFileSpan span;
+        span.name = event.at("name").string;
+        span.parent = parent < 0 ? kNoParent : static_cast<std::size_t>(parent);
+        span.start_ns = start_ns;
+        span.dur_ns = dur_ns;
+        file.spans.push_back(std::move(span));
+      } else {
+        const auto slot = timeline_by_pid.find(pid);
+        KPM_REQUIRE(slot != timeline_by_pid.end(),
+                    "device event references a pid with no kpm_timeline meta");
+        TraceFileTimeline& timeline = file.timelines[slot->second];
+        TraceFileEvent ev;
+        ev.kind = event.at("cat").string;
+        ev.label = event.at("name").string;
+        const std::size_t tid = static_cast<std::size_t>(event.at("tid").number);
+        ev.stream = tid / 2;
+        KPM_REQUIRE(ev.stream < timeline.streams, "device event on an undeclared stream");
+        ev.start_ns = start_ns;
+        ev.end_ns = start_ns + dur_ns;
+        KPM_REQUIRE((tid % 2 == 1) == ev.on_copy_lane(),
+                    "device event lane parity disagrees with its kind");
+        if (ev.kind == "kernel") {
+          const JsonValue& args = event.at("args");
+          ev.flops = args.at("flops").number;
+          ev.global_bytes = args.at("global_bytes").number;
+          ev.occupancy = args.at("occupancy").number;
+          ev.bound = args.at("bound").string;
+        } else if (const JsonValue* args = event.find("args"); args != nullptr) {
+          if (const JsonValue* bytes = args->find("bytes"); bytes != nullptr) {
+            ev.bytes = bytes->number;
+          }
+        }
+        timeline.events.push_back(std::move(ev));
+      }
+    } else if (ph == "C") {
+      file.counters.emplace_back(event.at("name").string, event.at("args").at("value").number);
+    } else {
+      KPM_FAIL("unsupported trace event phase '" + ph + "'");
+    }
+  }
+  return file;
+}
+
+TraceFile load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  KPM_REQUIRE(in.good(), "cannot open trace file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  KPM_REQUIRE(!in.bad(), "failed reading trace file: " + path);
+  return trace_from_json(parse_json(text.str()));
+}
+
+}  // namespace kpm::obs

@@ -1,0 +1,93 @@
+// Loadable representation of an exported `kpm.trace/1` Chrome trace.
+//
+// tracediff and the critical-path analyzer consume trace *files*, not live
+// reports — the exporter's JSON is the interchange format.  `TraceFile` is
+// its parsed form with every instant quantised to exact integer nanosecond
+// ticks: the canonical conversion is microseconds-as-written →
+// `llround(us * 1000.0)`, applied identically whether the trace comes from
+// disk (`trace_from_json`) or straight from a collected report
+// (`trace_from_report`).  Because the exporter writes microsecond doubles
+// that round-trip exactly (`json_number`, %.17g), the two paths agree
+// bit-for-bit: analysing a loaded file can never disagree with analysing
+// the report it was written from.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+
+namespace kpm::obs {
+
+class JsonValue;
+struct Report;
+
+/// The canonical microseconds → nanosecond-ticks quantisation.
+[[nodiscard]] std::int64_t trace_ticks_from_us(double microseconds) noexcept;
+
+/// One measured host span (pid 0 "X" event).  `parent` indexes the file's
+/// span list; `kNoParent` for roots.
+struct TraceFileSpan {
+  std::string name;
+  std::size_t parent = kNoParent;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  bool operator==(const TraceFileSpan&) const = default;
+};
+
+/// One device-timeline event (kernel / h2d / d2h / alloc / memset).
+struct TraceFileEvent {
+  std::string kind;
+  std::string label;
+  std::size_t stream = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  double bytes = 0.0;         ///< transfers / allocs / memsets
+  double flops = 0.0;         ///< kernels
+  double global_bytes = 0.0;  ///< kernels
+  double occupancy = 0.0;     ///< kernels
+  std::string bound;          ///< kernels: dominant roofline bound
+  [[nodiscard]] bool on_copy_lane() const noexcept { return kind == "h2d" || kind == "d2h"; }
+  [[nodiscard]] std::int64_t duration_ns() const noexcept { return end_ns - start_ns; }
+  bool operator==(const TraceFileEvent&) const = default;
+};
+
+/// One gpusim process (pid 1+i) with its stream lanes.
+struct TraceFileTimeline {
+  std::string label;
+  std::string device;
+  std::size_t streams = 1;
+  double peak_flops = 0.0;
+  double peak_bandwidth = 0.0;
+  std::vector<TraceFileEvent> events;  ///< emission order (monotone per lane)
+  bool operator==(const TraceFileTimeline&) const = default;
+};
+
+/// A whole parsed trace.
+struct TraceFile {
+  std::string schema;   ///< must equal kTraceSchema
+  std::string exporter;
+  std::string label;
+  bool include_measured = true;
+  std::vector<TraceFileSpan> spans;
+  std::vector<TraceFileTimeline> timelines;
+  std::vector<std::pair<std::string, double>> counters;  ///< nonzero totals, registry order
+  bool operator==(const TraceFile&) const = default;
+};
+
+/// Builds the TraceFile a report *would* export — same quantisation, same
+/// span filtering/remapping as `to_chrome_trace` — without serialising.
+[[nodiscard]] TraceFile trace_from_report(const Report& report, ChromeTraceOptions options = {});
+
+/// Parses an exported trace document.  Throws kpm::Error when the document
+/// lacks the `kpm.trace/1` metadata stamp or is structurally inconsistent.
+[[nodiscard]] TraceFile trace_from_json(const JsonValue& document);
+
+/// Reads and parses a trace file from disk.
+[[nodiscard]] TraceFile load_trace_file(const std::string& path);
+
+}  // namespace kpm::obs

@@ -1,0 +1,473 @@
+#include "obs/tracediff.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace kpm::obs {
+
+namespace {
+
+constexpr double kMsPerNs = 1e-6;
+
+/// FNV-1a 64-bit over the serialised document body.  (Deliberately local:
+/// obs must not depend on the serving layer's hashing helpers.)
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+struct Occurrence {
+  std::string key;
+  std::int64_t ns = 0;
+};
+
+/// Identity sequence of a trace, in trace order: host spans by hierarchical
+/// name path, then every timeline event by timeline/kind/label (streams
+/// excluded so stream migration shows as a lane delta, not a new key).
+std::vector<Occurrence> occurrence_sequence(const TraceFile& trace) {
+  std::vector<Occurrence> seq;
+  std::vector<std::string> path(trace.spans.size());
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const TraceFileSpan& span = trace.spans[i];
+    path[i] = span.parent == kNoParent ? span.name : path[span.parent] + "/" + span.name;
+    seq.push_back({"host:" + path[i], span.dur_ns});
+  }
+  for (const TraceFileTimeline& timeline : trace.timelines) {
+    for (const TraceFileEvent& event : timeline.events) {
+      seq.push_back({"tl:" + timeline.label + "/" + event.kind + ":" + event.label,
+                     event.duration_ns()});
+    }
+  }
+  return seq;
+}
+
+struct Run {
+  std::size_t key_id = 0;
+  std::size_t count = 0;
+};
+
+std::vector<Run> run_length_encode(const std::vector<Occurrence>& seq,
+                                   std::map<std::string, std::size_t>& key_ids,
+                                   std::vector<std::string>& keys) {
+  std::vector<Run> runs;
+  for (const Occurrence& occ : seq) {
+    auto [slot, inserted] = key_ids.try_emplace(occ.key, keys.size());
+    if (inserted) keys.push_back(occ.key);
+    if (!runs.empty() && runs.back().key_id == slot->second) {
+      runs.back().count += 1;
+    } else {
+      runs.push_back({slot->second, 1});
+    }
+  }
+  return runs;
+}
+
+/// Aligned occurrence count per key from an LCS over the RLE runs.  For the
+/// (unrealistically large) traces where the quadratic table would not fit,
+/// falls back to pure multiset matching — order violations then simply do
+/// not surface as "reordered", but nothing else changes.
+std::vector<std::size_t> aligned_occurrences(const std::vector<Run>& a, const std::vector<Run>& b,
+                                             std::size_t key_count) {
+  std::vector<std::size_t> aligned(key_count, 0);
+  constexpr std::size_t kMaxCells = 4U * 1024U * 1024U;
+  if (a.empty() || b.empty()) return aligned;
+  if (a.size() * b.size() > kMaxCells) {
+    for (std::size_t k = 0; k < key_count; ++k) aligned[k] = static_cast<std::size_t>(-1);
+    return aligned;  // sentinel: caller treats every common occurrence as aligned
+  }
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  // dp[i][j] = LCS weight of a[i..] vs b[j..], weight of an aligned run pair
+  // being min(count) occurrences.
+  std::vector<std::uint32_t> dp((n + 1) * (m + 1), 0);
+  const auto at = [m](std::size_t i, std::size_t j) { return i * (m + 1) + j; };
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = m; j-- > 0;) {
+      std::uint32_t best = std::max(dp[at(i + 1, j)], dp[at(i, j + 1)]);
+      if (a[i].key_id == b[j].key_id) {
+        best = std::max(best, static_cast<std::uint32_t>(std::min(a[i].count, b[j].count)) +
+                                  dp[at(i + 1, j + 1)]);
+      }
+      dp[at(i, j)] = best;
+    }
+  }
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < n && j < m) {
+    if (a[i].key_id == b[j].key_id &&
+        dp[at(i, j)] == static_cast<std::uint32_t>(std::min(a[i].count, b[j].count)) +
+                            dp[at(i + 1, j + 1)]) {
+      aligned[a[i].key_id] += std::min(a[i].count, b[j].count);
+      ++i;
+      ++j;
+    } else if (dp[at(i + 1, j)] >= dp[at(i, j + 1)]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return aligned;
+}
+
+std::string format_ms(std::int64_t ns) {
+  return kpm::strprintf("%.6f", static_cast<double>(ns) * kMsPerNs);
+}
+
+std::string lane_name(std::size_t stream, bool copy) {
+  std::string name = "s";
+  name += std::to_string(stream);
+  if (copy) name += " copy";
+  return name;
+}
+
+/// Lists up to `limit` keys of the given state, "+k more" beyond that.
+std::string list_keys(const TraceDiff& diff, SpanState state, std::size_t limit) {
+  std::vector<std::string> names;
+  std::size_t total = 0;
+  for (const SpanDelta& span : diff.spans) {
+    if (span.state != state) continue;
+    ++total;
+    if (names.size() < limit) names.push_back(span.key);
+  }
+  std::string out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += names[i];
+  }
+  if (total > names.size()) {
+    out += kpm::strprintf(" (+%zu more)", total - names.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(SpanState state) noexcept {
+  switch (state) {
+    case SpanState::Matched: return "matched";
+    case SpanState::Added: return "added";
+    case SpanState::Removed: return "removed";
+    case SpanState::Reordered: return "reordered";
+  }
+  return "?";
+}
+
+TraceDiff diff_traces(const TraceFile& a, const TraceFile& b) {
+  TraceDiff diff;
+  diff.label_a = a.label;
+  diff.label_b = b.label;
+
+  const std::vector<Occurrence> seq_a = occurrence_sequence(a);
+  const std::vector<Occurrence> seq_b = occurrence_sequence(b);
+  std::map<std::string, std::size_t> key_ids;
+  std::vector<std::string> keys;
+  const std::vector<Run> runs_a = run_length_encode(seq_a, key_ids, keys);
+  const std::vector<Run> runs_b = run_length_encode(seq_b, key_ids, keys);
+
+  struct SideAgg {
+    std::size_t count = 0;
+    std::int64_t ns = 0;
+  };
+  std::vector<SideAgg> agg_a(keys.size());
+  std::vector<SideAgg> agg_b(keys.size());
+  for (const Occurrence& occ : seq_a) {
+    SideAgg& agg = agg_a[key_ids.at(occ.key)];
+    agg.count += 1;
+    agg.ns += occ.ns;
+  }
+  for (const Occurrence& occ : seq_b) {
+    SideAgg& agg = agg_b[key_ids.at(occ.key)];
+    agg.count += 1;
+    agg.ns += occ.ns;
+  }
+
+  std::vector<std::size_t> aligned = aligned_occurrences(runs_a, runs_b, keys.size());
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    const std::size_t common = std::min(agg_a[k].count, agg_b[k].count);
+    if (aligned[k] == static_cast<std::size_t>(-1)) aligned[k] = common;  // LCS fallback
+    SpanDelta span;
+    span.key = keys[k];
+    span.count_a = agg_a[k].count;
+    span.count_b = agg_b[k].count;
+    span.ns_a = agg_a[k].ns;
+    span.ns_b = agg_b[k].ns;
+    if (span.count_a == 0) {
+      span.state = SpanState::Added;
+    } else if (span.count_b == 0) {
+      span.state = SpanState::Removed;
+    } else if (aligned[k] < common) {
+      span.state = SpanState::Reordered;
+    } else {
+      span.state = SpanState::Matched;
+    }
+    diff.matched += common;
+    diff.added += span.count_b - common;
+    diff.removed += span.count_a - common;
+    diff.reordered += common - std::min(aligned[k], common);
+    diff.spans.push_back(std::move(span));
+  }
+  std::stable_sort(diff.spans.begin(), diff.spans.end(), [](const SpanDelta& x, const SpanDelta& y) {
+    const std::int64_t dx = std::abs(x.ns_b - x.ns_a);
+    const std::int64_t dy = std::abs(y.ns_b - y.ns_a);
+    if (dx != dy) return dx > dy;
+    return x.key < y.key;
+  });
+
+  const CriticalPathReport cp_a = critical_path(a);
+  const CriticalPathReport cp_b = critical_path(b);
+  diff.makespan_ns_a = cp_a.makespan_ns;
+  diff.makespan_ns_b = cp_b.makespan_ns;
+  diff.overlap_a = cp_a.overlap_fraction();
+  diff.overlap_b = cp_b.overlap_fraction();
+
+  // Lanes matched by (timeline label, stream, copy), A's order first.
+  const auto lane_key = [](const TraceFile& trace, const LaneStats& lane) {
+    return trace.timelines[lane.timeline].label + "\x1f" + lane_name(lane.stream, lane.copy);
+  };
+  std::map<std::string, std::size_t> lane_slot;
+  for (const LaneStats& lane : cp_a.lanes) {
+    diff.idle_ns_a += lane.idle_ns;
+    lane_slot[lane_key(a, lane)] = diff.lanes.size();
+    LaneDelta delta;
+    delta.timeline = a.timelines[lane.timeline].label;
+    delta.stream = lane.stream;
+    delta.copy = lane.copy;
+    delta.busy_ns_a = lane.busy_ns;
+    delta.idle_ns_a = lane.idle_ns;
+    diff.lanes.push_back(std::move(delta));
+  }
+  for (const LaneStats& lane : cp_b.lanes) {
+    diff.idle_ns_b += lane.idle_ns;
+    const std::string key = lane_key(b, lane);
+    auto slot = lane_slot.find(key);
+    if (slot == lane_slot.end()) {
+      slot = lane_slot.emplace(key, diff.lanes.size()).first;
+      LaneDelta delta;
+      delta.timeline = b.timelines[lane.timeline].label;
+      delta.stream = lane.stream;
+      delta.copy = lane.copy;
+      diff.lanes.push_back(std::move(delta));
+    }
+    diff.lanes[slot->second].busy_ns_b = lane.busy_ns;
+    diff.lanes[slot->second].idle_ns_b = lane.idle_ns;
+  }
+
+  // Critical-path composition, union of entries in A's order.
+  std::map<std::string, std::size_t> comp_slot;
+  for (const auto& [label, ns] : cp_a.composition) {
+    comp_slot[label] = diff.composition.size();
+    diff.composition.push_back({label, ns, 0});
+  }
+  for (const auto& [label, ns] : cp_b.composition) {
+    auto slot = comp_slot.find(label);
+    if (slot == comp_slot.end()) {
+      slot = comp_slot.emplace(label, diff.composition.size()).first;
+      diff.composition.push_back({label, 0, 0});
+    }
+    diff.composition[slot->second].ns_b = ns;
+  }
+  return diff;
+}
+
+std::vector<std::string> tracediff_violations(const TraceDiff& diff,
+                                              const TraceDiffThresholds& limits) {
+  std::vector<std::string> violations;
+  const auto pct_of = [](std::int64_t delta, std::int64_t base) {
+    return 100.0 * static_cast<double>(delta) / static_cast<double>(base);
+  };
+
+  const std::int64_t makespan_delta = std::abs(diff.makespan_ns_b - diff.makespan_ns_a);
+  if (std::max(diff.makespan_ns_a, diff.makespan_ns_b) >= limits.min_span_ns) {
+    if (diff.makespan_ns_a == 0) {
+      violations.push_back("modeled makespan appeared out of nowhere (A 0 ns, B " +
+                           std::to_string(diff.makespan_ns_b) + " ns)");
+    } else if (pct_of(makespan_delta, diff.makespan_ns_a) > limits.max_makespan_drift_pct) {
+      violations.push_back(kpm::strprintf(
+          "modeled makespan drifted %.2f%% (A %lld ns -> B %lld ns, limit %.2f%%)",
+          pct_of(makespan_delta, diff.makespan_ns_a),
+          static_cast<long long>(diff.makespan_ns_a), static_cast<long long>(diff.makespan_ns_b),
+          limits.max_makespan_drift_pct));
+    }
+  }
+
+  if (diff.added > limits.max_added) {
+    violations.push_back(kpm::strprintf("%zu occurrence(s) added (limit %zu): ", diff.added,
+                                        limits.max_added) +
+                         list_keys(diff, SpanState::Added, 5));
+  }
+  if (diff.removed > limits.max_removed) {
+    violations.push_back(kpm::strprintf("%zu occurrence(s) removed (limit %zu): ", diff.removed,
+                                        limits.max_removed) +
+                         list_keys(diff, SpanState::Removed, 5));
+  }
+  if (diff.reordered > limits.max_reordered) {
+    violations.push_back(kpm::strprintf("%zu occurrence(s) re-ordered (limit %zu): ",
+                                        diff.reordered, limits.max_reordered) +
+                         list_keys(diff, SpanState::Reordered, 5));
+  }
+
+  std::size_t drift_overflow = 0;
+  for (const SpanDelta& span : diff.spans) {
+    if (span.count_a == 0 || span.count_b == 0) continue;  // covered by added/removed
+    if (std::max(span.ns_a, span.ns_b) < limits.min_span_ns || span.ns_a <= 0) continue;
+    const double drift = pct_of(std::abs(span.ns_b - span.ns_a), span.ns_a);
+    if (drift <= limits.max_span_drift_pct) continue;
+    if (violations.size() < 32) {
+      violations.push_back(kpm::strprintf("span '%s' model time drifted %.2f%% (%lld ns -> %lld "
+                                          "ns, limit %.2f%%)",
+                                          span.key.c_str(), drift,
+                                          static_cast<long long>(span.ns_a),
+                                          static_cast<long long>(span.ns_b),
+                                          limits.max_span_drift_pct));
+    } else {
+      ++drift_overflow;
+    }
+  }
+  if (drift_overflow > 0) {
+    violations.push_back(kpm::strprintf("... and %zu more span drift violation(s)",
+                                        drift_overflow));
+  }
+
+  if (diff.overlap_a - diff.overlap_b > limits.max_overlap_drop) {
+    violations.push_back(kpm::strprintf(
+        "copy/compute overlap dropped %.4f (A %.4f -> B %.4f, limit %.4f)",
+        diff.overlap_a - diff.overlap_b, diff.overlap_a, diff.overlap_b,
+        limits.max_overlap_drop));
+  }
+
+  const std::int64_t idle_growth = diff.idle_ns_b - diff.idle_ns_a;
+  if (idle_growth >= limits.min_span_ns) {
+    if (diff.idle_ns_a == 0) {
+      violations.push_back("stream idle time appeared (A 0 ns, B " +
+                           std::to_string(diff.idle_ns_b) + " ns)");
+    } else if (pct_of(idle_growth, diff.idle_ns_a) > limits.max_idle_growth_pct) {
+      violations.push_back(kpm::strprintf(
+          "stream idle time grew %.2f%% (A %lld ns -> B %lld ns, limit %.2f%%)",
+          pct_of(idle_growth, diff.idle_ns_a), static_cast<long long>(diff.idle_ns_a),
+          static_cast<long long>(diff.idle_ns_b), limits.max_idle_growth_pct));
+    }
+  }
+  return violations;
+}
+
+std::string tracediff_to_json(const TraceDiff& diff, const std::vector<std::string>& violations) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"" << kTraceDiffSchema << "\",\n";
+  const auto side = [&os](const char* name, const std::string& label, std::int64_t makespan,
+                          std::int64_t idle, double overlap) {
+    os << "  \"" << name << "\": {\"label\": \"" << json_escape(label)
+       << "\", \"makespan_ns\": " << makespan << ", \"idle_ns\": " << idle
+       << ", \"copy_hidden_fraction\": " << json_number(overlap) << "},\n";
+  };
+  side("a", diff.label_a, diff.makespan_ns_a, diff.idle_ns_a, diff.overlap_a);
+  side("b", diff.label_b, diff.makespan_ns_b, diff.idle_ns_b, diff.overlap_b);
+  os << "  \"alignment\": {\"matched\": " << diff.matched << ", \"added\": " << diff.added
+     << ", \"removed\": " << diff.removed << ", \"reordered\": " << diff.reordered << "},\n";
+  os << "  \"spans\": [";
+  for (std::size_t i = 0; i < diff.spans.size(); ++i) {
+    const SpanDelta& span = diff.spans[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"key\": \"" << json_escape(span.key)
+       << "\", \"state\": \"" << to_string(span.state) << "\", \"count_a\": " << span.count_a
+       << ", \"count_b\": " << span.count_b << ", \"ns_a\": " << span.ns_a
+       << ", \"ns_b\": " << span.ns_b << "}";
+  }
+  os << "\n  ],\n  \"lanes\": [";
+  for (std::size_t i = 0; i < diff.lanes.size(); ++i) {
+    const LaneDelta& lane = diff.lanes[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"timeline\": \"" << json_escape(lane.timeline)
+       << "\", \"lane\": \"" << lane_name(lane.stream, lane.copy)
+       << "\", \"busy_ns_a\": " << lane.busy_ns_a << ", \"busy_ns_b\": " << lane.busy_ns_b
+       << ", \"idle_ns_a\": " << lane.idle_ns_a << ", \"idle_ns_b\": " << lane.idle_ns_b << "}";
+  }
+  os << "\n  ],\n  \"critical_path\": [";
+  for (std::size_t i = 0; i < diff.composition.size(); ++i) {
+    const CompositionShift& entry = diff.composition[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"label\": \"" << json_escape(entry.label)
+       << "\", \"ns_a\": " << entry.ns_a << ", \"ns_b\": " << entry.ns_b << "}";
+  }
+  os << "\n  ],\n  \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(violations[i]) << "\"";
+  }
+  os << "\n  ],\n";
+  std::string body = os.str();
+  body += kpm::strprintf("  \"fingerprint\": \"0x%016llx\"\n}\n",
+                         static_cast<unsigned long long>(fnv1a64(body)));
+  return body;
+}
+
+kpm::Table tracediff_span_table(const TraceDiff& diff, std::size_t max_rows) {
+  kpm::Table table({"key", "state", "n_a", "n_b", "ms_a", "ms_b", "delta_ms"});
+  for (const SpanDelta& span : diff.spans) {
+    if (max_rows != 0 && table.rows() >= max_rows) break;
+    table.add_row({span.key, to_string(span.state), std::to_string(span.count_a),
+                   std::to_string(span.count_b), format_ms(span.ns_a), format_ms(span.ns_b),
+                   format_ms(span.ns_b - span.ns_a)});
+  }
+  return table;
+}
+
+kpm::Table tracediff_lane_table(const TraceDiff& diff) {
+  kpm::Table table({"timeline", "lane", "busy_ms_a", "busy_ms_b", "idle_ms_a", "idle_ms_b",
+                    "idle_delta_ms"});
+  for (const LaneDelta& lane : diff.lanes) {
+    table.add_row({lane.timeline, lane_name(lane.stream, lane.copy), format_ms(lane.busy_ns_a),
+                   format_ms(lane.busy_ns_b), format_ms(lane.idle_ns_a),
+                   format_ms(lane.idle_ns_b), format_ms(lane.idle_ns_b - lane.idle_ns_a)});
+  }
+  return table;
+}
+
+kpm::Table tracediff_composition_table(const TraceDiff& diff) {
+  kpm::Table table({"path_entry", "ms_a", "ms_b", "delta_ms"});
+  for (const CompositionShift& entry : diff.composition) {
+    table.add_row({entry.label, format_ms(entry.ns_a), format_ms(entry.ns_b),
+                   format_ms(entry.ns_b - entry.ns_a)});
+  }
+  return table;
+}
+
+void perturb_trace(TraceFile& trace, std::uint64_t seed) {
+  // A 25% stretch of every instant plus one renamed event: guaranteed to
+  // trip both the timing thresholds and the identity alignment, which is
+  // exactly what a negative control should do.
+  const auto stretch = [](std::int64_t ns) { return ns + ns / 4; };
+  for (TraceFileSpan& span : trace.spans) {
+    span.start_ns = stretch(span.start_ns);
+    span.dur_ns = stretch(span.dur_ns) + 1000;
+  }
+  std::size_t total_events = 0;
+  for (TraceFileTimeline& timeline : trace.timelines) {
+    total_events += timeline.events.size();
+    for (TraceFileEvent& event : timeline.events) {
+      event.start_ns = stretch(event.start_ns);
+      event.end_ns = stretch(event.end_ns) + 1000;
+    }
+  }
+  std::uint64_t state = seed != 0 ? seed : 0x9e3779b97f4a7c15ULL;
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  if (total_events > 0) {
+    std::size_t target = static_cast<std::size_t>(state % total_events);
+    for (TraceFileTimeline& timeline : trace.timelines) {
+      if (target < timeline.events.size()) {
+        timeline.events[target].label += "~perturbed";
+        break;
+      }
+      target -= timeline.events.size();
+    }
+  } else if (!trace.spans.empty()) {
+    trace.spans[state % trace.spans.size()].name += "~perturbed";
+  }
+}
+
+}  // namespace kpm::obs

@@ -1,0 +1,124 @@
+// Deterministic alignment and divergence analysis of two exported traces.
+//
+// Spans and timeline events are keyed by *identity*, not position: a host
+// span's key is its "/"-joined name path, a device event's key is its
+// timeline label + kind + label (streams excluded — a kernel migrating to
+// another stream is a schedule shift, visible in the lane deltas, not a
+// different kernel).  Occurrence sequences are run-length encoded and
+// aligned with an LCS over the runs, so two traces that differ only in how
+// many times a phase repeats (more chunks, more moments) still align phase
+// to phase; runs off the common subsequence whose key exists on both sides
+// count as re-ordered, the rest as added/removed.
+//
+// All quantities are exact ns ticks, so a diff of two deterministic traces
+// is itself deterministic: `tracediff_to_json` carries a stable FNV-1a
+// fingerprint, and `tracediff_violations` turns thresholds into the same
+// kind of gate `tools/benchgate` provides for counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/trace_file.hpp"
+
+namespace kpm::obs {
+
+inline constexpr std::string_view kTraceDiffSchema = "kpm.tracediff/1";
+
+/// Gate configuration; every limit is inclusive (violation when exceeded).
+struct TraceDiffThresholds {
+  double max_makespan_drift_pct = 2.0;  ///< |Δ makespan| relative to A
+  double max_span_drift_pct = 10.0;     ///< per-key |Δ model time| relative to A
+  std::int64_t min_span_ns = 1000;      ///< ignore relative drift of keys under this
+  std::size_t max_added = 0;
+  std::size_t max_removed = 0;
+  std::size_t max_reordered = 0;
+  double max_overlap_drop = 0.02;       ///< absolute drop in copy-hidden fraction
+  double max_idle_growth_pct = 10.0;    ///< total idle ticks, relative to A
+};
+
+/// How one key fared in the alignment.
+enum class SpanState { Matched, Added, Removed, Reordered };
+[[nodiscard]] const char* to_string(SpanState state) noexcept;
+
+/// Aggregate of one key on both sides.
+struct SpanDelta {
+  std::string key;
+  SpanState state = SpanState::Matched;
+  std::size_t count_a = 0;
+  std::size_t count_b = 0;
+  std::int64_t ns_a = 0;
+  std::int64_t ns_b = 0;
+  bool operator==(const SpanDelta&) const = default;
+};
+
+/// Busy/idle shift of one lane, matched by (timeline label, stream, copy).
+struct LaneDelta {
+  std::string timeline;
+  std::size_t stream = 0;
+  bool copy = false;
+  std::int64_t busy_ns_a = 0;
+  std::int64_t busy_ns_b = 0;
+  std::int64_t idle_ns_a = 0;
+  std::int64_t idle_ns_b = 0;
+  bool operator==(const LaneDelta&) const = default;
+};
+
+/// Critical-path composition entry on both sides (label or "(waiting-on-*)").
+struct CompositionShift {
+  std::string label;
+  std::int64_t ns_a = 0;
+  std::int64_t ns_b = 0;
+  bool operator==(const CompositionShift&) const = default;
+};
+
+struct TraceDiff {
+  std::string label_a;
+  std::string label_b;
+  std::vector<SpanDelta> spans;  ///< sorted by |Δns| desc, then key
+  std::size_t matched = 0;       ///< aligned occurrences (min of run lengths)
+  std::size_t added = 0;         ///< occurrences only in B
+  std::size_t removed = 0;       ///< occurrences only in A
+  std::size_t reordered = 0;     ///< off-LCS occurrences present on both sides
+  std::vector<LaneDelta> lanes;
+  std::vector<CompositionShift> composition;
+  std::int64_t makespan_ns_a = 0;
+  std::int64_t makespan_ns_b = 0;
+  std::int64_t idle_ns_a = 0;  ///< summed over lanes
+  std::int64_t idle_ns_b = 0;
+  double overlap_a = 0.0;  ///< copy-hidden fraction
+  double overlap_b = 0.0;
+  bool operator==(const TraceDiff&) const = default;
+};
+
+/// Aligns and diffs two traces (runs the critical-path analysis on both).
+[[nodiscard]] TraceDiff diff_traces(const TraceFile& a, const TraceFile& b);
+
+/// Human-readable violation messages; empty means the gate passes.
+[[nodiscard]] std::vector<std::string> tracediff_violations(const TraceDiff& diff,
+                                                            const TraceDiffThresholds& limits);
+
+/// Versioned kpm.tracediff/1 document with a trailing stable fingerprint
+/// (FNV-1a 64 over the document body).
+[[nodiscard]] std::string tracediff_to_json(const TraceDiff& diff,
+                                            const std::vector<std::string>& violations);
+
+/// Per-key model-time deltas (top `max_rows`; 0 = all).
+[[nodiscard]] kpm::Table tracediff_span_table(const TraceDiff& diff, std::size_t max_rows = 0);
+
+/// Per-lane busy/idle shifts.
+[[nodiscard]] kpm::Table tracediff_lane_table(const TraceDiff& diff);
+
+/// Critical-path composition shift.
+[[nodiscard]] kpm::Table tracediff_composition_table(const TraceDiff& diff);
+
+/// Seeded negative control: stretches every instant by 25% and renames one
+/// event, guaranteeing both timing and identity divergence.  seed picks the
+/// renamed event deterministically.
+void perturb_trace(TraceFile& trace, std::uint64_t seed);
+
+}  // namespace kpm::obs

@@ -38,8 +38,9 @@ EngineClass engine_class_of(core::EngineKind kind) noexcept {
   switch (kind) {
     case core::EngineKind::CpuReference:
     case core::EngineKind::CpuParallel:
-      // Bit-identical to each other at any thread count (tested property),
-      // so they share one cache class.
+    case core::EngineKind::ClusterSharded:
+      // Bit-identical to each other at any thread/node count (tested
+      // properties), so they share one cache class.
       return EngineClass::Ref64;
     case core::EngineKind::CpuPaired:
       return EngineClass::Paired;

@@ -11,8 +11,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/moments_cluster.hpp"
 #include "core/moments_cpu.hpp"
 #include "core/moments_gpu_chunked.hpp"
+#include "lattice/decompose.hpp"
 #include "lattice/hamiltonian.hpp"
 #include "lattice/lattice.hpp"
 #include "linalg/spectral_transform.hpp"
@@ -67,8 +69,10 @@ TEST(ChromeTrace, EmitsValidJsonWithExpectedTracks) {
   bool stream0 = false, stream1 = false, copy_lane = false;
   for (const obs::JsonValue& ev : events.array) {
     if (ev.at("ph").string != "M") continue;
+    const std::string& meta = ev.at("name").string;
+    if (meta != "process_name" && meta != "thread_name") continue;  // e.g. kpm_timeline
     const std::string& name = ev.at("args").at("name").string;
-    if (ev.at("name").string == "process_name") {
+    if (meta == "process_name") {
       host_process |= name.rfind("host:", 0) == 0;
       device_process |= name.rfind("gpusim:", 0) == 0;
     } else {
@@ -141,6 +145,53 @@ TEST(ChromeTrace, DeterministicProjectionIsByteIdenticalAcrossThreadCounts) {
     if (reference.empty()) {
       reference = trace;
       EXPECT_NE(trace.find("\"ph\": \"C\""), std::string::npos);
+    } else {
+      EXPECT_EQ(trace, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ChromeTrace, StampsSchemaAndExporterMetadata) {
+  const obs::JsonValue doc = obs::parse_json(obs::to_chrome_trace(gpu_report()));
+  const obs::JsonValue& meta = doc.at("metadata");
+  EXPECT_EQ(meta.at("schema").string, std::string(obs::kTraceSchema));
+  EXPECT_EQ(meta.at("exporter").string, std::string(obs::kTraceExporter));
+  EXPECT_EQ(meta.at("label").string, "trace-test");
+  EXPECT_TRUE(meta.at("include_measured").boolean);
+  const obs::JsonValue modeled =
+      obs::parse_json(obs::to_chrome_trace(gpu_report(), {.include_measured = false}));
+  EXPECT_FALSE(modeled.at("metadata").at("include_measured").boolean);
+}
+
+TEST(ChromeTrace, ClusterModeledProjectionIsByteIdenticalAcrossThreadCounts) {
+  // The cluster engine exposes one modeled timeline ("process") per node;
+  // the modeled projection of that per-node layout must be bit-identical at
+  // any host thread count — it is the input contract for tools/tracediff.
+  const auto lat = lattice::HypercubicLattice::cubic(4, 4, 4);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator raw(h);
+  const auto ht = linalg::rescale(h, linalg::make_spectral_transform(raw));
+  const linalg::MatrixOperator op(ht);
+  const obs::ChromeTraceOptions modeled_only{.include_measured = false};
+
+  std::string reference;
+  for (int threads : {1, 2, 4, 7}) {
+    obs::Report report;
+    report.label = "trace-cluster";
+    {
+      obs::Collect collect(report);
+      core::ClusterEngineConfig cfg;
+      cfg.decomposition = lattice::slab_decomposition(lat, 3);
+      cfg.threads = threads;
+      core::ClusterMomentEngine engine(cfg);
+      (void)engine.compute(op, golden_params());
+    }
+    const std::string trace = obs::to_chrome_trace(report, modeled_only);
+    if (reference.empty()) {
+      reference = trace;
+      // Every per-node timeline must appear as its own process track.
+      for (const char* node : {"node0", "node1", "node2"})
+        EXPECT_NE(trace.find(node), std::string::npos) << node;
     } else {
       EXPECT_EQ(trace, reference) << "threads=" << threads;
     }

@@ -1,0 +1,173 @@
+// Critical-path analyzer tests on hand-built TraceFiles with known
+// schedules: every busy/idle split, gap attribution, path step and the
+// copy/compute overlap is checked against values worked out by hand, and
+// the structural invariants (composition sums to makespan, gaps sum to
+// idle) are asserted exactly — everything here is integer ns ticks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "obs/critical_path.hpp"
+#include "obs/trace_file.hpp"
+
+namespace {
+
+using namespace kpm;
+
+obs::TraceFileEvent make_event(std::string kind, std::string label, std::size_t stream,
+                               std::int64_t start_ns, std::int64_t end_ns) {
+  obs::TraceFileEvent ev;
+  ev.kind = std::move(kind);
+  ev.label = std::move(label);
+  ev.stream = stream;
+  ev.start_ns = start_ns;
+  ev.end_ns = end_ns;
+  return ev;
+}
+
+/// Two-stream schedule with every quantity known by construction:
+///   s0 compute: A [0,100)                     B [300,500)
+///   s0 copy   :          up [150,300)
+///   s1 copy   :                                  down [350,450)
+/// makespan 500; critical path A -> up -> B; s0-compute gap (100,300]
+/// released by the upload; overlap = down under B = 100 ns.
+obs::TraceFile known_trace() {
+  obs::TraceFile trace;
+  trace.schema = std::string(obs::kTraceSchema);
+  trace.label = "hand-built";
+  obs::TraceFileTimeline tl;
+  tl.label = "dev";
+  tl.device = "test-device";
+  tl.streams = 2;
+  tl.events.push_back(make_event("kernel", "A", 0, 0, 100));
+  tl.events.push_back(make_event("h2d", "up", 0, 150, 300));
+  tl.events.push_back(make_event("kernel", "B", 0, 300, 500));
+  tl.events.push_back(make_event("d2h", "down", 1, 350, 450));
+  trace.timelines.push_back(std::move(tl));
+  return trace;
+}
+
+const obs::LaneStats* find_lane(const obs::CriticalPathReport& report, std::size_t stream,
+                                bool copy) {
+  for (const obs::LaneStats& lane : report.lanes)
+    if (lane.stream == stream && lane.copy == copy) return &lane;
+  return nullptr;
+}
+
+TEST(CriticalPath, EmptyTraceYieldsEmptyReport) {
+  const obs::CriticalPathReport report = obs::critical_path(obs::TraceFile{});
+  EXPECT_EQ(report.makespan_ns, 0);
+  EXPECT_TRUE(report.steps.empty());
+  EXPECT_TRUE(report.lanes.empty());
+  EXPECT_TRUE(report.gaps.empty());
+}
+
+TEST(CriticalPath, MakespanAndPathMatchHandComputation) {
+  const obs::TraceFile trace = known_trace();
+  const obs::CriticalPathReport report = obs::critical_path(trace);
+
+  EXPECT_EQ(report.makespan_ns, 500);
+  EXPECT_EQ(report.bounding_timeline, 0u);
+  ASSERT_EQ(report.timeline_makespan_ns.size(), 1u);
+  EXPECT_EQ(report.timeline_makespan_ns[0], 500);
+
+  // The path walks B <- up <- A; "down" finishes earlier and is off-path.
+  ASSERT_EQ(report.steps.size(), 3u);
+  EXPECT_EQ(report.steps[0].label, "A");
+  EXPECT_EQ(report.steps[1].label, "up");
+  EXPECT_EQ(report.steps[2].label, "B");
+  // up starts 50 ns after A completes with nothing finishing in between:
+  // scheduler-attributed wait.  B starts the instant up completes.
+  EXPECT_EQ(report.steps[1].wait_ns, 50);
+  EXPECT_EQ(report.steps[1].wait_cause, obs::GapCause::Scheduler);
+  EXPECT_EQ(report.steps[2].wait_ns, 0);
+}
+
+TEST(CriticalPath, LaneAttributionMatchesHandComputation) {
+  const obs::CriticalPathReport report = obs::critical_path(known_trace());
+
+  const obs::LaneStats* compute0 = find_lane(report, 0, false);
+  ASSERT_NE(compute0, nullptr);
+  EXPECT_EQ(compute0->busy_ns, 300);
+  EXPECT_EQ(compute0->idle_ns, 200);
+  // The (100,300] gap ends when the upload completes: waiting-on-copy.
+  EXPECT_EQ(compute0->waiting_ns[static_cast<std::size_t>(obs::GapCause::Copy)], 200);
+
+  const obs::LaneStats* copy0 = find_lane(report, 0, true);
+  ASSERT_NE(copy0, nullptr);
+  EXPECT_EQ(copy0->busy_ns, 150);
+  EXPECT_EQ(copy0->idle_ns, 350);
+  // [0,150) ends when kernel A completes (dependency); [300,500) trails.
+  EXPECT_EQ(copy0->waiting_ns[static_cast<std::size_t>(obs::GapCause::Dependency)], 150);
+  EXPECT_EQ(copy0->waiting_ns[static_cast<std::size_t>(obs::GapCause::Drain)], 200);
+
+  // An event-free lane is pure drain.
+  const obs::LaneStats* compute1 = find_lane(report, 1, false);
+  ASSERT_NE(compute1, nullptr);
+  EXPECT_EQ(compute1->busy_ns, 0);
+  EXPECT_EQ(compute1->idle_ns, 500);
+  EXPECT_EQ(compute1->waiting_ns[static_cast<std::size_t>(obs::GapCause::Drain)], 500);
+}
+
+TEST(CriticalPath, OverlapIsIntersectionOfComputeAndCopyBusyTime) {
+  const obs::CriticalPathReport report = obs::critical_path(known_trace());
+  EXPECT_EQ(report.compute_busy_ns, 300);
+  EXPECT_EQ(report.copy_busy_ns, 250);
+  // Only "down" [350,450) runs under compute ("B" [300,500)).
+  EXPECT_EQ(report.overlap_ns, 100);
+  EXPECT_DOUBLE_EQ(report.overlap_fraction(), 100.0 / 250.0);
+}
+
+TEST(CriticalPath, CompositionSumsToMakespanAndGapsSumToIdle) {
+  const obs::CriticalPathReport report = obs::critical_path(known_trace());
+
+  std::int64_t composed = 0;
+  for (const auto& [label, ns] : report.composition) composed += ns;
+  EXPECT_EQ(composed, report.makespan_ns);
+
+  for (const obs::LaneStats& lane : report.lanes) {
+    std::int64_t gap_total = 0;
+    for (const obs::IdleGap& gap : report.gaps)
+      if (gap.timeline == lane.timeline && gap.stream == lane.stream && gap.copy == lane.copy)
+        gap_total += gap.end_ns - gap.start_ns;
+    EXPECT_EQ(gap_total, lane.idle_ns) << "stream " << lane.stream << " copy " << lane.copy;
+    const std::int64_t attributed =
+        std::accumulate(lane.waiting_ns.begin(), lane.waiting_ns.end(), std::int64_t{0});
+    EXPECT_EQ(attributed, lane.idle_ns);
+  }
+}
+
+TEST(CriticalPath, AllReduceReleasesAreAttributedSeparately) {
+  obs::TraceFile trace;
+  trace.schema = std::string(obs::kTraceSchema);
+  obs::TraceFileTimeline tl;
+  tl.label = "node0";
+  tl.streams = 1;
+  tl.events.push_back(make_event("kernel", "step", 0, 0, 100));
+  tl.events.push_back(make_event("d2h", "mu ring all-reduce", 0, 100, 200));
+  tl.events.push_back(make_event("kernel", "next step", 0, 200, 300));
+  trace.timelines.push_back(std::move(tl));
+
+  const obs::CriticalPathReport report = obs::critical_path(trace);
+  const obs::LaneStats* compute = find_lane(report, 0, false);
+  ASSERT_NE(compute, nullptr);
+  // The (100,200] compute gap is released by the all-reduce, which must be
+  // classified as AllReduce, not generic Copy, despite living on the copy
+  // lane.
+  EXPECT_EQ(compute->waiting_ns[static_cast<std::size_t>(obs::GapCause::AllReduce)], 100);
+  EXPECT_EQ(compute->waiting_ns[static_cast<std::size_t>(obs::GapCause::Copy)], 0);
+}
+
+TEST(CriticalPath, ReportAndJsonAreDeterministic) {
+  const obs::TraceFile trace = known_trace();
+  const obs::CriticalPathReport first = obs::critical_path(trace);
+  const obs::CriticalPathReport second = obs::critical_path(trace);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(obs::critical_path_to_json(first, trace), obs::critical_path_to_json(second, trace));
+  EXPECT_NE(obs::critical_path_to_json(first, trace).find("kpm.critical_path/1"),
+            std::string::npos);
+}
+
+}  // namespace

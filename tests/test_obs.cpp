@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "lattice/lattice.hpp"
 #include "linalg/spectral_transform.hpp"
 #include "obs/counters.hpp"
+#include "obs/hotspots.hpp"
 #include "obs/json.hpp"
 #include "obs/parallel.hpp"
 #include "obs/report.hpp"
@@ -607,6 +609,82 @@ TEST(Trace, SpanCounterAttributionNeedsASinkAtOpenAndClose) {
   }
   ASSERT_EQ(report.trace.spans().size(), 1u);
   EXPECT_EQ(report.trace.spans()[0].flops, 0.0);
+}
+
+/// Extracts the self_s column for `name` from span_hotspot_table's CSV.
+double hotspot_self_seconds(const obs::Report& report, const std::string& name) {
+  const std::string csv = obs::span_hotspot_table(report).to_csv();
+  std::istringstream lines(csv);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind(name + ",", 0) != 0) continue;
+    std::istringstream cells(line);
+    std::string cell;
+    for (int i = 0; i < 4; ++i) std::getline(cells, cell, ',');  // span,kind,calls,self_s
+    return std::stod(cell);
+  }
+  ADD_FAILURE() << "span '" << name << "' missing from hotspot table:\n" << csv;
+  return -1.0;
+}
+
+TEST(Hotspots, ExactlyAbuttingSiblingsLeaveZeroSelfTimeNotNegative) {
+  // Two children exactly covering the parent must drive its self time to
+  // exactly 0; children that (through rounding or modeling) exceed the
+  // parent must clamp at 0 instead of going negative and corrupting the
+  // percentage denominator.
+  obs::Report report;
+  {
+    obs::Collect collect(report);
+    obs::Trace& trace = *obs::active_trace();
+    const auto covered = trace.begin_modeled("covered", 1.0);
+    trace.add_modeled("left", 0.5);
+    trace.add_modeled("right", 0.5);
+    trace.end_modeled(covered);
+    const auto exceeded = trace.begin_modeled("exceeded", 1.0);
+    trace.add_modeled("big-left", 0.6);
+    trace.add_modeled("big-right", 0.6);
+    trace.end_modeled(exceeded);
+  }
+  EXPECT_EQ(hotspot_self_seconds(report, "covered"), 0.0);
+  EXPECT_EQ(hotspot_self_seconds(report, "exceeded"), 0.0);
+  EXPECT_EQ(hotspot_self_seconds(report, "left"), 0.5);
+  EXPECT_EQ(hotspot_self_seconds(report, "big-right"), 0.6);
+  // The clock total is the sum of self times; with both parents clamped to
+  // 0 the children alone carry it, so no row can exceed 100%.
+  const std::string table = obs::span_hotspot_table(report).to_text();
+  EXPECT_EQ(table.find("-0.0"), std::string::npos) << table;
+}
+
+TEST(Hotspots, ZeroDurationParentWithTimedChildrenClampsAtZero) {
+  obs::Report report;
+  {
+    obs::Collect collect(report);
+    obs::Trace& trace = *obs::active_trace();
+    const auto zero = trace.begin_modeled("instant", 0.0);
+    trace.add_modeled("child", 0.25);
+    trace.end_modeled(zero);
+    trace.add_modeled("flat", 0.0);  // zero-duration leaf: plain 0, no NaN %
+  }
+  EXPECT_EQ(hotspot_self_seconds(report, "instant"), 0.0);
+  EXPECT_EQ(hotspot_self_seconds(report, "child"), 0.25);
+  EXPECT_EQ(hotspot_self_seconds(report, "flat"), 0.0);
+}
+
+TEST(Hotspots, OnlyDirectChildrenAreSubtracted) {
+  // Grandchildren must not be double-subtracted from the grandparent.
+  obs::Report report;
+  {
+    obs::Collect collect(report);
+    obs::Trace& trace = *obs::active_trace();
+    const auto outer = trace.begin_modeled("outer", 1.0);
+    const auto mid = trace.begin_modeled("mid", 0.8);
+    trace.add_modeled("leaf", 0.3);
+    trace.end_modeled(mid);
+    trace.end_modeled(outer);
+  }
+  EXPECT_NEAR(hotspot_self_seconds(report, "outer"), 0.2, 1e-9);
+  EXPECT_NEAR(hotspot_self_seconds(report, "mid"), 0.5, 1e-9);
+  EXPECT_NEAR(hotspot_self_seconds(report, "leaf"), 0.3, 1e-9);
 }
 
 TEST(Trace, TraceDetachSuppressesSpanRecording) {

@@ -1,0 +1,191 @@
+// tracediff tests: the exporter/loader round-trip must be exact (the
+// TraceFile parsed back from an exported document equals the TraceFile
+// built straight from the report), identical traces must diff clean with a
+// stable fingerprint, repetition-count differences must align rather than
+// explode into added/removed noise, and the seeded perturbation must trip
+// the gate deterministically.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/moments_gpu_chunked.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "linalg/spectral_transform.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_file.hpp"
+#include "obs/tracediff.hpp"
+
+namespace {
+
+using namespace kpm;
+
+obs::Report gpu_report() {
+  const auto lat = lattice::HypercubicLattice::chain(32);
+  const auto h = lattice::build_tight_binding_crs(lat);
+  linalg::MatrixOperator raw(h);
+  const auto ht = linalg::rescale(h, linalg::make_spectral_transform(raw));
+  linalg::MatrixOperator op(ht);
+  obs::Report report;
+  report.label = "tracediff-test";
+  {
+    obs::Collect collect(report);
+    core::MomentParams params;
+    params.num_moments = 16;
+    params.random_vectors = 2;
+    params.realizations = 2;
+    params.seed = 7;
+    core::ChunkedGpuMomentEngine engine;
+    (void)engine.compute(op, params);
+  }
+  return report;
+}
+
+obs::TraceFileEvent make_event(std::string kind, std::string label, std::int64_t start_ns,
+                               std::int64_t end_ns) {
+  obs::TraceFileEvent ev;
+  ev.kind = std::move(kind);
+  ev.label = std::move(label);
+  ev.start_ns = start_ns;
+  ev.end_ns = end_ns;
+  return ev;
+}
+
+obs::TraceFile single_lane_trace(const std::vector<std::pair<std::string, std::int64_t>>& kernels) {
+  obs::TraceFile trace;
+  trace.schema = std::string(obs::kTraceSchema);
+  trace.label = "hand-built";
+  obs::TraceFileTimeline tl;
+  tl.label = "dev";
+  tl.streams = 1;
+  std::int64_t cursor = 0;
+  for (const auto& [label, dur] : kernels) {
+    tl.events.push_back(make_event("kernel", label, cursor, cursor + dur));
+    cursor += dur;
+  }
+  trace.timelines.push_back(std::move(tl));
+  return trace;
+}
+
+TEST(TraceFile, LoaderRoundTripsTheExportedDocumentExactly) {
+  const obs::Report report = gpu_report();
+  for (const bool include_measured : {true, false}) {
+    const obs::ChromeTraceOptions options{.include_measured = include_measured};
+    const obs::TraceFile direct = obs::trace_from_report(report, options);
+    const obs::TraceFile loaded =
+        obs::trace_from_json(obs::parse_json(obs::to_chrome_trace(report, options)));
+    EXPECT_EQ(direct, loaded) << "include_measured=" << include_measured;
+    EXPECT_EQ(loaded.schema, std::string(obs::kTraceSchema));
+    EXPECT_EQ(loaded.include_measured, include_measured);
+    EXPECT_FALSE(loaded.timelines.empty());
+    EXPECT_FALSE(loaded.counters.empty());
+    EXPECT_EQ(loaded.spans.empty(), !include_measured);
+  }
+}
+
+TEST(TraceFile, LoadsFromDisk) {
+  const obs::Report report = gpu_report();
+  const std::string path = testing::TempDir() + "/tracediff_roundtrip.trace.json";
+  obs::write_chrome_trace(report, path, {.include_measured = false});
+  const obs::TraceFile loaded = obs::load_trace_file(path);
+  EXPECT_EQ(loaded, obs::trace_from_report(report, {.include_measured = false}));
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsDocumentsWithoutTheSchemaStamp) {
+  EXPECT_THROW((void)obs::trace_from_json(obs::parse_json("{\"traceEvents\": []}")),
+               kpm::Error);
+}
+
+TEST(TraceDiff, IdenticalTracesDiffCleanAtZeroTolerance) {
+  const obs::Report report = gpu_report();
+  const obs::TraceFile trace = obs::trace_from_report(report, {.include_measured = false});
+  const obs::TraceDiff diff = obs::diff_traces(trace, trace);
+  EXPECT_GT(diff.matched, 0u);
+  EXPECT_EQ(diff.added, 0u);
+  EXPECT_EQ(diff.removed, 0u);
+  EXPECT_EQ(diff.reordered, 0u);
+  EXPECT_EQ(diff.makespan_ns_a, diff.makespan_ns_b);
+  EXPECT_TRUE(obs::tracediff_violations(diff, obs::TraceDiffThresholds{}).empty());
+}
+
+TEST(TraceDiff, RepetitionCountDifferencesAlignAsAddedOccurrences) {
+  // A runs the phase 3 times, B runs it 5 times: the alignment must match
+  // the common 3 and report 2 added — not treat the whole sequence as
+  // disjoint.
+  const obs::TraceFile a =
+      single_lane_trace({{"fill", 10}, {"step", 50}, {"step", 50}, {"step", 50}, {"mu", 20}});
+  const obs::TraceFile b = single_lane_trace({{"fill", 10},
+                                              {"step", 50},
+                                              {"step", 50},
+                                              {"step", 50},
+                                              {"step", 50},
+                                              {"step", 50},
+                                              {"mu", 20}});
+  const obs::TraceDiff diff = obs::diff_traces(a, b);
+  EXPECT_EQ(diff.matched, 5u);  // fill + 3 steps + mu
+  EXPECT_EQ(diff.added, 2u);
+  EXPECT_EQ(diff.removed, 0u);
+  EXPECT_EQ(diff.reordered, 0u);
+}
+
+TEST(TraceDiff, SwappedPhasesCountAsReordered) {
+  const obs::TraceFile a = single_lane_trace({{"fill", 10}, {"step", 50}});
+  const obs::TraceFile b = single_lane_trace({{"step", 50}, {"fill", 10}});
+  const obs::TraceDiff diff = obs::diff_traces(a, b);
+  EXPECT_EQ(diff.added, 0u);
+  EXPECT_EQ(diff.removed, 0u);
+  EXPECT_EQ(diff.reordered, 1u);
+  const auto violations = obs::tracediff_violations(diff, obs::TraceDiffThresholds{});
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(TraceDiff, MakespanDriftTripsTheGate) {
+  const obs::TraceFile a = single_lane_trace({{"step", 1000000}});
+  const obs::TraceFile b = single_lane_trace({{"step", 1100000}});  // +10%
+  const obs::TraceDiff diff = obs::diff_traces(a, b);
+  const auto violations = obs::tracediff_violations(diff, obs::TraceDiffThresholds{});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("makespan"), std::string::npos);
+  // Raising the limits clears the gate without touching the diff.
+  obs::TraceDiffThresholds relaxed;
+  relaxed.max_makespan_drift_pct = 15.0;
+  relaxed.max_span_drift_pct = 15.0;
+  EXPECT_TRUE(obs::tracediff_violations(diff, relaxed).empty());
+}
+
+TEST(TraceDiff, JsonReportIsDeterministicWithStableFingerprint) {
+  const obs::Report report = gpu_report();
+  const obs::TraceFile trace = obs::trace_from_report(report, {.include_measured = false});
+  const obs::TraceDiff diff = obs::diff_traces(trace, trace);
+  const auto violations = obs::tracediff_violations(diff, obs::TraceDiffThresholds{});
+  const std::string first = obs::tracediff_to_json(diff, violations);
+  const std::string second = obs::tracediff_to_json(diff, violations);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find(std::string(obs::kTraceDiffSchema)), std::string::npos);
+  EXPECT_NE(first.find("\"fingerprint\": \"0x"), std::string::npos);
+}
+
+TEST(TraceDiff, SeededPerturbationTripsTheGateDeterministically) {
+  const obs::Report report = gpu_report();
+  const obs::TraceFile trace = obs::trace_from_report(report, {.include_measured = false});
+
+  obs::TraceFile perturbed = trace;
+  obs::perturb_trace(perturbed, 13);
+  EXPECT_NE(perturbed, trace);
+  obs::TraceFile again = trace;
+  obs::perturb_trace(again, 13);
+  EXPECT_EQ(perturbed, again) << "perturbation must be a pure function of (trace, seed)";
+
+  const obs::TraceDiff diff = obs::diff_traces(trace, perturbed);
+  const auto violations = obs::tracediff_violations(diff, obs::TraceDiffThresholds{});
+  EXPECT_FALSE(violations.empty());
+}
+
+}  // namespace

@@ -27,8 +27,10 @@
 #include "core/moments_cluster.hpp"
 #include "gpusim/cluster.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/hotspots.hpp"
 #include "obs/report.hpp"
+#include "obs/trace_file.hpp"
 #include "serve/replay.hpp"
 #include "verify/fixtures.hpp"
 #include "verify/verifier.hpp"
@@ -43,6 +45,7 @@ using namespace kpm;
 struct ObsFlags {
   const std::string* metrics = nullptr;
   const std::string* trace = nullptr;
+  const std::string* trace_modeled = nullptr;
 };
 
 ObsFlags add_obs_flags(CliParser& cli) {
@@ -51,6 +54,9 @@ ObsFlags add_obs_flags(CliParser& cli) {
       cli.add_string("metrics", "", "write a JSON metrics report (spans + counters)");
   flags.trace =
       cli.add_string("trace", "", "write a Chrome/Perfetto trace (ui.perfetto.dev)");
+  flags.trace_modeled = cli.add_string(
+      "trace-modeled", "",
+      "write the modeled-only trace projection (deterministic; tracediff input)");
   return flags;
 }
 
@@ -60,16 +66,21 @@ struct MetricsSink {
   obs::Report report;
   std::string metrics_path;
   std::string trace_path;
+  std::string trace_modeled_path;
   std::optional<obs::Collect> collect;
 
-  MetricsSink(std::string label, std::string metrics, std::string trace = "")
-      : metrics_path(std::move(metrics)), trace_path(std::move(trace)) {
+  MetricsSink(std::string label, std::string metrics, std::string trace = "",
+              std::string trace_modeled = "")
+      : metrics_path(std::move(metrics)),
+        trace_path(std::move(trace)),
+        trace_modeled_path(std::move(trace_modeled)) {
     report.label = std::move(label);
-    if (!metrics_path.empty() || !trace_path.empty()) collect.emplace(report);
+    if (!metrics_path.empty() || !trace_path.empty() || !trace_modeled_path.empty())
+      collect.emplace(report);
   }
 
   MetricsSink(std::string label, const ObsFlags& flags)
-      : MetricsSink(std::move(label), *flags.metrics, *flags.trace) {}
+      : MetricsSink(std::move(label), *flags.metrics, *flags.trace, *flags.trace_modeled) {}
 
   void finish() {
     if (!collect) return;
@@ -82,6 +93,10 @@ struct MetricsSink {
     if (!trace_path.empty()) {
       obs::write_chrome_trace(report, trace_path);
       std::printf("trace written to %s (load at ui.perfetto.dev)\n", trace_path.c_str());
+    }
+    if (!trace_modeled_path.empty()) {
+      obs::write_chrome_trace(report, trace_modeled_path, {.include_measured = false});
+      std::printf("deterministic modeled trace written to %s\n", trace_modeled_path.c_str());
     }
   }
 };
@@ -127,20 +142,28 @@ Workload build_workload(const std::string& kind, std::size_t edge, double disord
   return w;
 }
 
-/// Cluster-sharded knobs of the dos subcommand (ignored by other engines).
+/// Multi-node/multi-device knobs shared by dos and profile (ignored by the
+/// single-device engines).
 struct ClusterFlags {
   std::size_t nodes = 4;
   std::size_t halo = 1;
+  std::size_t devices = 4;
   std::string interconnect = "ib-qdr";
 };
 
-/// Builds the moment engine the dos subcommand asked for.
+/// Builds the moment engine the dos/profile subcommand asked for.
 std::unique_ptr<core::MomentEngine> make_engine(const std::string& name, int threads,
                                                 const ClusterFlags& cluster = {}) {
   if (name == "gpu") return std::make_unique<core::GpuMomentEngine>();
   if (name == "cpu") return std::make_unique<core::CpuMomentEngine>();
   if (name == "cpu-paired") return std::make_unique<core::CpuPairedMomentEngine>();
   if (name == "cpu-parallel") return std::make_unique<core::CpuParallelMomentEngine>(threads);
+  if (name == "multigpu") {
+    core::MultiGpuEngineConfig cfg;
+    cfg.device_count = cluster.devices;
+    cfg.link = gpusim::InterconnectSpec::from_name(cluster.interconnect);
+    return std::make_unique<core::MultiGpuMomentEngine>(cfg);
+  }
   if (name == "cluster") {
     core::ClusterEngineConfig cfg;
     cfg.node_count = cluster.nodes;
@@ -149,7 +172,7 @@ std::unique_ptr<core::MomentEngine> make_engine(const std::string& name, int thr
     cfg.threads = threads;
     return std::make_unique<core::ClusterMomentEngine>(cfg);
   }
-  KPM_FAIL("unknown engine '" + name + "' (gpu|cpu|cpu-paired|cpu-parallel|cluster)");
+  KPM_FAIL("unknown engine '" + name + "' (gpu|cpu|cpu-paired|cpu-parallel|multigpu|cluster)");
 }
 
 /// The rescaled operator in the storage layout `--storage` asked for.  The
@@ -191,7 +214,7 @@ int cmd_dos(int argc, const char* const* argv) {
   const auto* seed = cli.add_int("seed", 42, "disorder seed");
   const auto* points = cli.add_int("points", 41, "output energies");
   const auto* engine_name =
-      cli.add_string("engine", "gpu", "gpu|cpu|cpu-paired|cpu-parallel|cluster");
+      cli.add_string("engine", "gpu", "gpu|cpu|cpu-paired|cpu-parallel|multigpu|cluster");
   const auto* threads =
       cli.add_int("threads", 4, "host threads for --engine=cpu-parallel|cluster");
   const auto* block = cli.add_int("block", 1, "SpMMV vector-block width (CPU engines)");
@@ -714,10 +737,21 @@ int cmd_profile(int argc, const char* const* argv) {
   const auto* s = cli.add_int("S", 16, "realizations");
   const auto* disorder = cli.add_double("disorder", 0.0, "Anderson disorder width");
   const auto* seed = cli.add_int("seed", 42, "disorder seed");
-  const auto* engine_name =
-      cli.add_string("engine", "gpu-chunked", "gpu|gpu-chunked|cpu|cpu-paired|cpu-parallel");
-  const auto* threads = cli.add_int("threads", 4, "host threads for --engine=cpu-parallel");
+  const auto* engine_name = cli.add_string(
+      "engine", "gpu-chunked", "gpu|gpu-chunked|cpu|cpu-paired|cpu-parallel|multigpu|cluster");
+  const auto* threads =
+      cli.add_int("threads", 4, "host threads for --engine=cpu-parallel|cluster");
+  const auto* chunk_insts = cli.add_int(
+      "chunk-insts", 0, "instances per chunk for --engine=gpu-chunked (0 = VRAM-sized)");
+  const auto* nodes = cli.add_int("nodes", 4, "simulated cluster nodes (--engine=cluster)");
+  const auto* halo = cli.add_int("halo", 1, "ghost layers per exchange (--engine=cluster)");
+  const auto* devices = cli.add_int("devices", 4, "simulated devices (--engine=multigpu)");
+  const auto* interconnect =
+      cli.add_string("interconnect", "ib-qdr", "cluster/multigpu fabric: ib-qdr|pcie|ideal");
   const auto* hotspots = cli.add_flag("hotspots", "print self/total span and kernel tables");
+  const auto* critical = cli.add_flag(
+      "critical-path",
+      "print the modeled critical path, per-lane idle attribution and copy/compute overlap");
   const ObsFlags obs_flags = add_obs_flags(cli);
   cli.parse(argc, argv);
 
@@ -738,10 +772,29 @@ int cmd_profile(int argc, const char* const* argv) {
   params.random_vectors = static_cast<std::size_t>(*r);
   params.realizations = static_cast<std::size_t>(*s);
 
+  ClusterFlags cluster;
+  KPM_REQUIRE(*nodes >= 1, "kpmcli profile: --nodes must be >= 1");
+  KPM_REQUIRE(*halo >= 1, "kpmcli profile: --halo must be >= 1");
+  KPM_REQUIRE(*devices >= 1, "kpmcli profile: --devices must be >= 1");
+  cluster.nodes = static_cast<std::size_t>(*nodes);
+  cluster.halo = static_cast<std::size_t>(*halo);
+  cluster.devices = static_cast<std::size_t>(*devices);
+  (void)gpusim::InterconnectSpec::from_name(*interconnect);
+  cluster.interconnect = *interconnect;
+
   const auto engine = [&]() -> std::unique_ptr<core::MomentEngine> {
-    if (*engine_name == "gpu-chunked")
-      return std::make_unique<core::ChunkedGpuMomentEngine>();
-    return make_engine(*engine_name, static_cast<int>(*threads));
+    if (*engine_name == "gpu-chunked") {
+      core::ChunkedGpuEngineConfig cfg;
+      if (*chunk_insts > 0) {
+        // Same sizing rule as bench/ablation_chunking: budget exactly the
+        // per-chunk work vectors for the requested instance count.
+        const std::size_t per_instance =
+            4 * w.dim * sizeof(double) + params.num_moments * sizeof(double);
+        cfg.workspace_bytes = static_cast<std::size_t>(*chunk_insts) * per_instance;
+      }
+      return std::make_unique<core::ChunkedGpuMomentEngine>(cfg);
+    }
+    return make_engine(*engine_name, static_cast<int>(*threads), cluster);
   }();
   const auto result = [&] {
     obs::ScopedSpan span("compute.moments");
@@ -758,6 +811,28 @@ int cmd_profile(int argc, const char* const* argv) {
     const Table kernels = obs::kernel_hotspot_table(sink.report);
     if (kernels.rows() > 0)
       std::printf("modeled kernel roofline attribution:\n%s\n", kernels.to_text().c_str());
+  }
+  if (*critical) {
+    const obs::TraceFile trace =
+        obs::trace_from_report(sink.report, {.include_measured = false});
+    const obs::CriticalPathReport path = obs::critical_path(trace);
+    if (trace.timelines.empty()) {
+      std::printf("no modeled timelines captured — --critical-path needs a gpusim-backed "
+                  "engine (gpu|gpu-chunked|multigpu|cluster)\n");
+    } else {
+      std::printf("modeled critical path (timeline '%s', makespan %.6f ms):\n%s\n",
+                  trace.timelines[path.bounding_timeline].label.c_str(),
+                  static_cast<double>(path.makespan_ns) * 1e-6,
+                  obs::critical_path_to_table(path, trace).to_text().c_str());
+      std::printf("per-lane busy/idle attribution:\n%s\n",
+                  obs::lane_usage_to_table(path, trace).to_text().c_str());
+      std::printf("copy/compute overlap: %.6f ms of %.6f ms copy time hidden under compute "
+                  "(fraction %.4f)\n\n",
+                  static_cast<double>(path.overlap_ns) * 1e-6,
+                  static_cast<double>(path.copy_busy_ns) * 1e-6, path.overlap_fraction());
+      sink.report.sections.push_back(
+          {"critical_path", obs::critical_path_to_json(path, trace)});
+    }
   }
   const Table histograms = obs::histograms_to_table(sink.report.histograms);
   if (histograms.rows() > 0)

@@ -1,0 +1,168 @@
+// tracediff — deterministic trace alignment and schedule-regression gate.
+//
+//   tracediff A.trace.json B.trace.json [options]
+//
+// Both inputs must be `kpm.trace/1` exports (kpmcli --trace /
+// --trace-modeled, or the bench reference traces).  Spans and timeline
+// events are aligned by identity (hierarchical span path / timeline + kind
+// + kernel label) with run-length + LCS sequence alignment, so traces whose
+// phases repeat a different number of times still align phase to phase.
+// The report covers added/removed/re-ordered keys, per-key model-time
+// deltas, per-lane busy/idle shifts, and the critical-path composition
+// shift between the two schedules.
+//
+// Exit codes mirror tools/benchgate: 0 = within thresholds, 1 = divergence
+// beyond thresholds, 2 = usage/configuration error.  `--json=FILE` writes
+// the versioned `kpm.tracediff/1` document (stable fingerprint included),
+// byte-identical across runs for deterministic inputs.  `--perturb=SEED`
+// applies the seeded negative-control perturbation to B before diffing —
+// CI uses it to prove the gate can actually trip.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "obs/tracediff.hpp"
+
+namespace {
+
+using kpm::obs::TraceDiff;
+using kpm::obs::TraceDiffThresholds;
+using kpm::obs::TraceFile;
+
+struct Options {
+  std::string path_a;
+  std::string path_b;
+  std::string json_out;
+  TraceDiffThresholds limits;
+  std::size_t max_rows = 20;
+  std::uint64_t perturb_seed = 0;  // 0 = off
+};
+
+void usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "tracediff — align two deterministic kpm.trace/1 exports and gate on divergence\n\n"
+      "usage: tracediff A.trace.json B.trace.json [options]\n\n"
+      "options:\n"
+      "  --json=FILE                  write the kpm.tracediff/1 report (stable fingerprint)\n"
+      "  --max-rows=N                 span-delta rows to print (default 20, 0 = all)\n"
+      "  --perturb=SEED               perturb B before diffing (seeded negative control)\n"
+      "thresholds (gate trips when exceeded):\n"
+      "  --max-makespan-drift-pct=X   modeled makespan drift vs A (default 2)\n"
+      "  --max-span-drift-pct=X       per-key model-time drift vs A (default 10)\n"
+      "  --min-span-ns=N              ignore relative drift of keys under N ns (default 1000)\n"
+      "  --max-added=N                occurrences only in B (default 0)\n"
+      "  --max-removed=N              occurrences only in A (default 0)\n"
+      "  --max-reordered=N            off-order occurrences present in both (default 0)\n"
+      "  --max-overlap-drop=X         absolute copy-hidden-fraction drop (default 0.02)\n"
+      "  --max-idle-growth-pct=X      total stream idle growth vs A (default 10)\n");
+}
+
+int run(const Options& opts) {
+  const TraceFile a = kpm::obs::load_trace_file(opts.path_a);
+  TraceFile b = kpm::obs::load_trace_file(opts.path_b);
+  if (opts.perturb_seed != 0) {
+    kpm::obs::perturb_trace(b, opts.perturb_seed);
+    std::printf("note: B perturbed with seed %llu (negative control)\n",
+                static_cast<unsigned long long>(opts.perturb_seed));
+  }
+
+  const TraceDiff diff = kpm::obs::diff_traces(a, b);
+  const std::vector<std::string> violations = kpm::obs::tracediff_violations(diff, opts.limits);
+
+  std::printf("A: %s  (%s)\n", opts.path_a.c_str(), diff.label_a.c_str());
+  std::printf("B: %s  (%s)\n", opts.path_b.c_str(), diff.label_b.c_str());
+  std::printf("alignment: %zu matched, %zu added, %zu removed, %zu re-ordered\n", diff.matched,
+              diff.added, diff.removed, diff.reordered);
+  std::printf("makespan: %.6f ms -> %.6f ms   idle: %.6f ms -> %.6f ms   copy hidden: %.4f -> "
+              "%.4f\n\n",
+              static_cast<double>(diff.makespan_ns_a) * 1e-6,
+              static_cast<double>(diff.makespan_ns_b) * 1e-6,
+              static_cast<double>(diff.idle_ns_a) * 1e-6,
+              static_cast<double>(diff.idle_ns_b) * 1e-6, diff.overlap_a, diff.overlap_b);
+  std::printf("span deltas (top %zu by |delta|):\n%s\n", opts.max_rows,
+              kpm::obs::tracediff_span_table(diff, opts.max_rows).to_text().c_str());
+  std::printf("lane busy/idle shifts:\n%s\n",
+              kpm::obs::tracediff_lane_table(diff).to_text().c_str());
+  std::printf("critical-path composition shift:\n%s\n",
+              kpm::obs::tracediff_composition_table(diff).to_text().c_str());
+
+  if (!opts.json_out.empty()) {
+    const std::string doc = kpm::obs::tracediff_to_json(diff, violations);
+    std::ofstream out(opts.json_out);
+    KPM_REQUIRE(out.good(), "tracediff: cannot write " + opts.json_out);
+    out << doc;
+    out.flush();
+    KPM_REQUIRE(out.good(), "tracediff: failed writing " + opts.json_out);
+    std::printf("wrote %s\n", opts.json_out.c_str());
+  }
+
+  if (violations.empty()) {
+    std::printf("tracediff: schedules agree within thresholds\n");
+    return 0;
+  }
+  for (const std::string& violation : violations) {
+    std::printf("  FAIL %s\n", violation.c_str());
+  }
+  std::printf("tracediff: %zu violation(s)\n", violations.size());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::vector<std::string> positional;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&arg](std::size_t prefix) { return arg.substr(prefix); };
+      if (arg == "--help" || arg == "-h") {
+        usage(stdout);
+        return 0;
+      } else if (arg.rfind("--json=", 0) == 0) {
+        opts.json_out = value(7);
+      } else if (arg.rfind("--max-rows=", 0) == 0) {
+        opts.max_rows = std::stoul(value(11));
+      } else if (arg.rfind("--perturb=", 0) == 0) {
+        opts.perturb_seed = std::stoull(value(10));
+      } else if (arg.rfind("--max-makespan-drift-pct=", 0) == 0) {
+        opts.limits.max_makespan_drift_pct = std::stod(value(25));
+      } else if (arg.rfind("--max-span-drift-pct=", 0) == 0) {
+        opts.limits.max_span_drift_pct = std::stod(value(21));
+      } else if (arg.rfind("--min-span-ns=", 0) == 0) {
+        opts.limits.min_span_ns = std::stoll(value(14));
+      } else if (arg.rfind("--max-added=", 0) == 0) {
+        opts.limits.max_added = std::stoul(value(12));
+      } else if (arg.rfind("--max-removed=", 0) == 0) {
+        opts.limits.max_removed = std::stoul(value(14));
+      } else if (arg.rfind("--max-reordered=", 0) == 0) {
+        opts.limits.max_reordered = std::stoul(value(16));
+      } else if (arg.rfind("--max-overlap-drop=", 0) == 0) {
+        opts.limits.max_overlap_drop = std::stod(value(19));
+      } else if (arg.rfind("--max-idle-growth-pct=", 0) == 0) {
+        opts.limits.max_idle_growth_pct = std::stod(value(22));
+      } else if (arg.rfind("--", 0) == 0) {
+        std::fprintf(stderr, "tracediff: unknown option %s\n\n", arg.c_str());
+        usage(stderr);
+        return 2;
+      } else {
+        positional.push_back(arg);
+      }
+    }
+    if (positional.size() != 2) {
+      std::fprintf(stderr, "tracediff: exactly two trace files are required\n\n");
+      usage(stderr);
+      return 2;
+    }
+    opts.path_a = positional[0];
+    opts.path_b = positional[1];
+    return run(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tracediff: %s\n", e.what());
+    return 2;
+  }
+}
