@@ -1,0 +1,95 @@
+// bench_fleet — autoscaling sweep: SLO attainment vs machine-seconds.
+//
+// Replays one fixed bursty synthetic workload through fleets of increasing
+// shard count and reports the autoscaling trade: more shards drain the
+// burst faster (higher SLO attainment, lower makespan) but reserve more
+// simulated machine-seconds (shards x makespan).  Everything runs on the
+// simulated serve clock, so every swept column is deterministic; each
+// sweep point records its slice of the fleet histograms into the metrics
+// sidecar's `histogram_series` for the benchgate counter gate.
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/report.hpp"
+#include "serve/fleet/fleet.hpp"
+#include "serve/fleet/workload.hpp"
+
+using namespace kpm;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fleet",
+                "autoscaling sweep: one bursty workload through fleets of "
+                "increasing shard count (SLO attainment vs machine-seconds)");
+  const auto* edge = cli.add_int("edge", 6, "square-lattice edge of the served model");
+  const auto* count = cli.add_int("requests", 24, "requests in the synthetic workload");
+  const auto* slo = cli.add_double("slo", 0.0005, "latency SLO, simulated seconds");
+  const auto* out_dir = bench::add_out_dir(cli);
+  cli.parse(argc, argv);
+
+  bench::BenchMetrics metrics("bench_fleet");
+
+  serve::SynthConfig cfg;
+  cfg.seed = 7;
+  cfg.count = static_cast<std::size_t>(*count);
+  cfg.process = serve::ArrivalProcess::Bursty;
+  // Calm-state gaps of about one modeled service time, 8x tighter in
+  // bursts: one shard queues up during bursts and misses the SLO (or sheds),
+  // more shards drain it at the cost of reserved machine-seconds.
+  cfg.rate = 10000.0;
+  cfg.moment_choices = {128, 256};
+  cfg.random_vectors = 4;
+  cfg.seed_population = 3;
+  serve::ModelSpec spec;
+  spec.name = "m0";
+  spec.lattice = "square";
+  spec.edge = static_cast<std::size_t>(*edge);
+  spec.disorder = 1.0;
+  spec.seed = 3;
+  const serve::ReplayWorkload workload = serve::synthesize_workload(cfg, {spec});
+
+  std::printf("bench_fleet — autoscaling sweep (SLO attainment vs machine-seconds)\n");
+  std::printf("workload : %zu bursty requests on square %lld x %lld, SLO %.4f s\n\n",
+              workload.requests.size(), static_cast<long long>(*edge),
+              static_cast<long long>(*edge), *slo);
+
+  Table table({"shards", "served", "shed", "hit rate", "SLO %", "makespan s",
+               "machine s"});
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                   std::size_t{8}}) {
+    obs::SweepPoint point(metrics.report(), strprintf("shards=%zu", shards));
+
+    serve::FleetConfig config;
+    config.slo_seconds = *slo;
+    config.shard_config.workers = 2;
+    config.shard_config.max_queue = 4;
+    config.shard_config.max_batch = 4;
+    for (std::size_t i = 0; i < shards; ++i) {
+      serve::FleetShardSpec shard;
+      shard.name = strprintf("shard%02zu", i);
+      config.shards.push_back(std::move(shard));
+    }
+
+    serve::Fleet fleet(std::move(config));
+    serve::register_models(fleet, workload);
+    const serve::FleetResult result = fleet.run(workload.requests);
+
+    std::uint64_t hits = 0;
+    for (const auto& o : result.shards) hits += o.stats.cache.hits;
+    table.add_row(
+        {std::to_string(shards), std::to_string(result.served),
+         std::to_string(result.shed),
+         strprintf("%.2f", result.served > 0 ? static_cast<double>(hits) /
+                                                   static_cast<double>(result.served)
+                                             : 0.0),
+         strprintf("%.1f", result.served > 0
+                               ? 100.0 * static_cast<double>(result.slo_met) /
+                                     static_cast<double>(result.served)
+                               : 0.0),
+         strprintf("%.4f", result.makespan_seconds),
+         strprintf("%.4f", result.machine_seconds)});
+  }
+
+  bench::finish(table, bench::resolve_output(*out_dir, "fleet_autoscale.csv"));
+  return 0;
+}

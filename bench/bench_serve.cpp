@@ -14,63 +14,37 @@
 #include "lattice/hamiltonian.hpp"
 #include "lattice/lattice.hpp"
 #include "obs/report.hpp"
+#include "serve/fleet/workload.hpp"
 #include "serve/server.hpp"
 
 using namespace kpm;
 
 namespace {
 
-/// Deterministic request stream: a mix of repeated DoS queries (two seeds,
-/// so the cache sees both hits and misses), reconstruction-only variants and
-/// a fixed-site LDOS, arriving at a uniform spacing.
-std::vector<serve::Request> build_stream(std::size_t count, double spacing) {
-  std::vector<serve::Request> requests;
-  requests.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const double arrival = static_cast<double>(i) * spacing;
-    const std::uint64_t id = i + 1;
-    switch (i % 4) {
-      case 0:
-      case 1: {
-        serve::DosRequest r;
-        r.id = id;
-        r.model = "square";
-        r.arrival_seconds = arrival;
-        r.moments.num_moments = 128;
-        r.moments.random_vectors = 4;
-        r.moments.realizations = 2;
-        r.moments.seed = 11;
-        r.reconstruct.points = 64 + 16 * (i % 3);  // same key, different grids
-        requests.push_back(r);
-        break;
-      }
-      case 2: {
-        serve::LdosRequest r;
-        r.id = id;
-        r.model = "square";
-        r.arrival_seconds = arrival;
-        r.moments.num_moments = 128;
-        r.site = 20;
-        r.reconstruct.points = 48;
-        requests.push_back(r);
-        break;
-      }
-      default: {
-        serve::DosRequest r;
-        r.id = id;
-        r.model = "square";
-        r.arrival_seconds = arrival;
-        r.moments.num_moments = 128;
-        r.moments.random_vectors = 4;
-        r.moments.realizations = 2;
-        r.moments.seed = 23;  // second population: cold key per N
-        r.reconstruct.points = 64;
-        requests.push_back(r);
-        break;
-      }
-    }
-  }
-  return requests;
+/// Deterministic request stream from the workload synthesizer: a uniform
+/// drip of DoS/LDOS requests over two stochastic-seed populations, so the
+/// cache sees both hits and misses and coalescing has material.
+std::vector<serve::Request> build_stream(std::size_t count, double spacing,
+                                         std::size_t edge) {
+  serve::SynthConfig cfg;
+  cfg.seed = 11;
+  cfg.count = count;
+  cfg.process = serve::ArrivalProcess::Uniform;
+  cfg.rate = 1.0 / spacing;
+  cfg.dos_weight = 3.0;
+  cfg.ldos_weight = 1.0;
+  cfg.sigma_weight = 0.0;
+  cfg.moment_choices = {128};
+  cfg.point_choices = {48, 64, 80};  // repeated keys, different grids
+  cfg.random_vectors = 4;
+  cfg.realizations = 2;
+  cfg.seed_population = 2;
+  cfg.priority_fraction = 0.0;
+  serve::ModelSpec spec;
+  spec.name = "square";
+  spec.lattice = "square";
+  spec.edge = edge;  // bounds the LDOS site draws to the registered model
+  return serve::synthesize_requests(cfg, {spec});
 }
 
 }  // namespace
@@ -120,8 +94,9 @@ int main(int argc, char** argv) {
     serve::Server server(config);
     server.register_model("square", h);
 
-    const auto responses =
-        server.run(build_stream(static_cast<std::size_t>(*count), unit / load));
+    const auto responses = server.run(build_stream(static_cast<std::size_t>(*count),
+                                                   unit / load,
+                                                   static_cast<std::size_t>(*edge)));
 
     std::size_t served = 0, shed = 0, degraded = 0, hits = 0;
     double wait_sum = 0.0, wait_max = 0.0, makespan = 0.0;

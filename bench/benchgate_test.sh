@@ -1,7 +1,7 @@
 #!/bin/sh
 # ctest driver for the bench-baseline regression gate.
 #
-# Runs the five quick CI benches into a scratch directory, then exercises
+# Runs the six quick CI benches into a scratch directory, then exercises
 # benchgate three ways against the checked-in BENCH_BASELINE.json:
 #   1. clean pass  — counters must match the baseline exactly (wall advisory),
 #   2. seeded drift — a perturbed spmv_calls counter must trip exit code 1,
@@ -9,15 +9,17 @@
 #      sidecars with the strict (non-advisory) wall check.
 #
 # usage: benchgate_test.sh <ablation_haydock> <ablation_chunking> <bench_serve> \
-#                          <ablation_spmmv> <ablation_cluster> <benchgate> <baseline.json>
+#                          <ablation_spmmv> <ablation_cluster> <bench_fleet> \
+#                          <benchgate> <baseline.json>
 set -e
 haydock=$1
 chunking=$2
 serve=$3
 spmmv=$4
 cluster=$5
-benchgate=$6
-baseline=$7
+fleet=$6
+benchgate=$7
+baseline=$8
 
 scratch="$(pwd)/gate_scratch"
 rm -rf "$scratch"
@@ -29,6 +31,7 @@ cd "$scratch"
 "$serve" --edge=6 --requests=12 > /dev/null
 "$spmmv" --edge=6 --N=64 --R=8 > /dev/null
 "$cluster" --edge=4 --planes=2 --nodes-max=8 --N=32 --R=4 --S=2 > /dev/null
+"$fleet" --edge=6 --requests=16 > /dev/null
 
 "$benchgate" --baseline="$baseline" --wall-advisory results/*.metrics.json
 

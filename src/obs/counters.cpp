@@ -32,6 +32,11 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "serve_shed_rejected",
     "serve_shed_degraded",
     "serve_shed_expired",
+    "serve_cache_admit_refused",
+    "serve_cache_cost_saved_ns",
+    "serve_gpu_priced_batches",
+    "fleet_shards",
+    "fleet_requests_routed",
 };
 
 }  // namespace

@@ -50,9 +50,17 @@ enum class Counter : std::size_t {
   ServeShedRejected,   ///< requests shed by admission control (rejected)
   ServeShedDegraded,   ///< requests admitted at a degraded (lower-N) quality
   ServeShedExpired,    ///< requests dropped because their deadline passed in queue
+
+  // Fleet-serving counters (src/serve + src/serve/fleet): recorded on the
+  // scheduler thread from simulated-clock decisions, so deterministic.
+  ServeCacheAdmitRefused,  ///< cost-aware cache refusals (incoming density too low)
+  ServeCacheCostSavedNs,   ///< modeled recompute ns avoided by cache hits
+  ServeGpuPricedBatches,   ///< batches priced from a gpusim timeline run
+  FleetShards,             ///< server shards executed by fleet runs
+  FleetRequestsRouted,     ///< requests routed to a shard by the hash ring
 };
 
-inline constexpr std::size_t kCounterCount = 25;
+inline constexpr std::size_t kCounterCount = 30;
 
 /// Stable snake_case name used as the JSON key for `c`.
 [[nodiscard]] const char* to_string(Counter c) noexcept;

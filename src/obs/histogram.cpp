@@ -10,6 +10,7 @@ constexpr std::array<const char*, kHistoCount> kHistoNames = {
     "span_wall_ns",      "span_model_ns",         "instance_model_ns",
     "kernel_model_ns",   "transfer_bytes",        "serve_queue_depth",
     "serve_batch_occupancy", "serve_wait_ns",     "serve_service_ns",
+    "fleet_shard_requests",  "fleet_latency_ns",
 };
 
 }  // namespace
@@ -29,6 +30,7 @@ const char* unit_of(Histo h) noexcept {
       return "bytes";
     case Histo::ServeQueueDepth:
     case Histo::ServeBatchOccupancy:
+    case Histo::FleetShardRequests:
       return "requests";
     default:
       return "ns";

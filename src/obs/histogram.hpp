@@ -38,9 +38,13 @@ enum class Histo : std::size_t {
   ServeBatchOccupancy,  ///< requests coalesced into each service batch, requests
   ServeWaitNs,          ///< simulated queueing delay per served request, ns
   ServeServiceNs,       ///< simulated service time per served request, ns
+
+  // Fleet-serving histograms (src/serve/fleet): simulated clock, deterministic.
+  FleetShardRequests,  ///< requests routed to each shard per fleet run, requests
+  FleetLatencyNs,      ///< simulated end-to-end latency per served request, ns
 };
 
-inline constexpr std::size_t kHistoCount = 9;
+inline constexpr std::size_t kHistoCount = 11;
 
 /// Stable snake_case name used as the JSON key for `h`.
 [[nodiscard]] const char* to_string(Histo h) noexcept;

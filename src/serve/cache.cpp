@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 
 namespace kpm::serve {
 
@@ -81,7 +82,24 @@ std::uint64_t MomentKey::hash() const noexcept {
   return fnv1a64(words, sizeof(words));
 }
 
-MomentCache::MomentCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+const char* to_string(CachePolicy p) noexcept {
+  switch (p) {
+    case CachePolicy::Lru:
+      return "lru";
+    case CachePolicy::CostAware:
+      return "cost-aware";
+  }
+  return "?";
+}
+
+CachePolicy cache_policy_from_string(const std::string& name) {
+  if (name == "lru") return CachePolicy::Lru;
+  if (name == "cost-aware" || name == "cost") return CachePolicy::CostAware;
+  KPM_FAIL("unknown cache policy '" + name + "' (lru|cost-aware)");
+}
+
+MomentCache::MomentCache(std::size_t byte_budget, CachePolicy policy)
+    : byte_budget_(byte_budget), policy_(policy) {}
 
 const std::vector<double>* MomentCache::find(const MomentKey& key) {
   const auto it = entries_.find(key);
@@ -92,22 +110,62 @@ const std::vector<double>* MomentCache::find(const MomentKey& key) {
   }
   stats_.hits += 1;
   obs::add(obs::Counter::ServeCacheHits, 1.0);
+  const std::uint64_t saved = obs::seconds_to_ns_ticks(it->second->recompute_seconds);
+  stats_.cost_saved_ns += saved;
+  obs::add(obs::Counter::ServeCacheCostSavedNs, static_cast<double>(saved));
   lru_.splice(lru_.begin(), lru_, it->second);  // most recent
-  return &it->second->second;
+  return &it->second->mu;
 }
 
-void MomentCache::evict_to_fit(std::size_t incoming_bytes) {
+void MomentCache::evict(LruList::iterator victim) {
+  bytes_used_ -= bytes_of(victim->mu);
+  entries_.erase(victim->key);
+  lru_.erase(victim);
+  stats_.evictions += 1;
+  obs::add(obs::Counter::ServeCacheEvictions, 1.0);
+}
+
+void MomentCache::evict_lru_to_fit(std::size_t incoming_bytes) {
   while (!lru_.empty() && bytes_used_ + incoming_bytes > byte_budget_) {
-    const auto& victim = lru_.back();
-    bytes_used_ -= bytes_of(victim.second);
-    entries_.erase(victim.first);
-    lru_.pop_back();
-    stats_.evictions += 1;
-    obs::add(obs::Counter::ServeCacheEvictions, 1.0);
+    evict(std::prev(lru_.end()));
   }
 }
 
-const std::vector<double>& MomentCache::insert(const MomentKey& key, std::vector<double> mu) {
+// Evicts ascending cost-per-byte until `incoming` fits, refusing admission
+// (returns false, nothing evicted in that round) as soon as the cheapest
+// resident is at least as dense as the incoming entry: replacing equal-value
+// bytes would only thrash.  Densities compare by cross-multiplication so no
+// division is involved (exactly reproducible).
+bool MomentCache::evict_cost_aware_to_fit(std::size_t incoming_bytes,
+                                          double incoming_seconds) {
+  while (bytes_used_ + incoming_bytes > byte_budget_) {
+    KPM_REQUIRE(!lru_.empty(), "MomentCache: budget accounting underflow");
+    // Least-dense resident; scanning back-to-front with strict < prefers the
+    // least-recently-used entry among equals.
+    auto victim = std::prev(lru_.end());
+    for (auto it = victim; it != lru_.begin();) {
+      --it;
+      const bool less_dense = it->recompute_seconds *
+                                  static_cast<double>(bytes_of(victim->mu)) <
+                              victim->recompute_seconds *
+                                  static_cast<double>(bytes_of(it->mu));
+      if (less_dense) victim = it;
+    }
+    const bool incoming_beats_victim =
+        incoming_seconds * static_cast<double>(bytes_of(victim->mu)) >
+        victim->recompute_seconds * static_cast<double>(incoming_bytes);
+    if (!incoming_beats_victim) {
+      stats_.admit_refused += 1;
+      obs::add(obs::Counter::ServeCacheAdmitRefused, 1.0);
+      return false;
+    }
+    evict(victim);
+  }
+  return true;
+}
+
+const std::vector<double>& MomentCache::insert(const MomentKey& key, std::vector<double> mu,
+                                               double recompute_seconds) {
   KPM_REQUIRE(entries_.find(key) == entries_.end(),
               "MomentCache::insert: key already present");
   const std::size_t incoming = bytes_of(mu);
@@ -117,11 +175,16 @@ const std::vector<double>& MomentCache::insert(const MomentKey& key, std::vector
     unstored_ = std::move(mu);
     return unstored_;
   }
-  evict_to_fit(incoming);
-  lru_.emplace_front(key, std::move(mu));
+  if (policy_ == CachePolicy::Lru) {
+    evict_lru_to_fit(incoming);
+  } else if (!evict_cost_aware_to_fit(incoming, recompute_seconds)) {
+    unstored_ = std::move(mu);
+    return unstored_;
+  }
+  lru_.push_front(Entry{key, std::move(mu), recompute_seconds});
   entries_.emplace(key, lru_.begin());
   bytes_used_ += incoming;
-  return lru_.front().second;
+  return lru_.front().mu;
 }
 
 }  // namespace kpm::serve

@@ -89,47 +89,80 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t admit_refused = 0;  ///< cost-aware refusals (incoming density too low)
+  std::uint64_t cost_saved_ns = 0;  ///< modeled recompute ns avoided by hits
 };
 
-/// LRU moment cache with a byte budget.  Single-threaded by design: the
-/// serve scheduler is the only caller, and it runs on one thread (workers
-/// only execute inside a batch).  Lookups and insertions record the
-/// serve_cache_* obs counters into the calling thread's sink.
+/// Replacement policy.  `Lru` is classic least-recently-used by bytes.
+/// `CostAware` ranks entries by modeled recompute cost per byte: eviction
+/// removes the lowest-density entry first (LRU order breaks ties), and an
+/// incoming entry whose density does not beat its would-be victims is
+/// refused admission instead of thrashing residents.  Cost-aware wins when
+/// moment sizes are similar but recompute costs vary widely by kind (one
+/// LDOS instance vs R*S stochastic DoS instances).
+enum class CachePolicy : std::uint8_t { Lru, CostAware };
+
+/// "lru" or "cost-aware".
+[[nodiscard]] const char* to_string(CachePolicy p) noexcept;
+
+/// Inverse of `to_string`.  Throws kpm::Error for unknown names.
+[[nodiscard]] CachePolicy cache_policy_from_string(const std::string& name);
+
+/// Moment cache with a byte budget and a selectable replacement policy.
+/// Single-threaded by design: the serve scheduler is the only caller, and
+/// it runs on one thread (workers only execute inside a batch).  Lookups
+/// and insertions record the serve_cache_* obs counters into the calling
+/// thread's sink.
 class MomentCache {
  public:
   /// `byte_budget` bounds the sum of stored moment bytes; 0 disables
   /// caching entirely (every lookup misses, nothing is stored).
-  explicit MomentCache(std::size_t byte_budget);
+  explicit MomentCache(std::size_t byte_budget, CachePolicy policy = CachePolicy::Lru);
 
   /// Returns the cached moments for `key` (touching its LRU position) or
-  /// nullptr.  Counts a hit or a miss.
+  /// nullptr.  Counts a hit or a miss; a hit also banks the entry's
+  /// modeled recompute cost as `cost_saved_ns`.
   [[nodiscard]] const std::vector<double>* find(const MomentKey& key);
 
-  /// Stores `mu` under `key` (which must not be present), evicting
-  /// least-recently-used entries while over budget.  Entries larger than
-  /// the whole budget are not stored.  Returns the stored moments, or
-  /// `mu`'s new home in the caller-visible fallback when not stored.
-  const std::vector<double>& insert(const MomentKey& key, std::vector<double> mu);
+  /// Stores `mu` under `key` (which must not be present), evicting entries
+  /// per the policy while over budget.  `recompute_seconds` is the modeled
+  /// engine cost of rebuilding `mu` from scratch (the cost-aware policy's
+  /// ranking signal; ignored by LRU eviction but still banked on hits).
+  /// Entries larger than the whole budget — and cost-aware refusals — are
+  /// not stored.  Returns the stored moments, or `mu`'s new home in the
+  /// caller-visible fallback when not stored.
+  const std::vector<double>& insert(const MomentKey& key, std::vector<double> mu,
+                                    double recompute_seconds = 0.0);
 
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t entries() const noexcept { return entries_.size(); }
   [[nodiscard]] std::size_t bytes_used() const noexcept { return bytes_used_; }
   [[nodiscard]] std::size_t byte_budget() const noexcept { return byte_budget_; }
+  [[nodiscard]] CachePolicy policy() const noexcept { return policy_; }
 
  private:
+  struct Entry {
+    MomentKey key;
+    std::vector<double> mu;
+    double recompute_seconds = 0.0;
+  };
+  using LruList = std::list<Entry>;
+
   static std::size_t bytes_of(const std::vector<double>& mu) noexcept {
     return mu.size() * sizeof(double);
   }
-  void evict_to_fit(std::size_t incoming_bytes);
-
-  using LruList = std::list<std::pair<MomentKey, std::vector<double>>>;
+  void evict(LruList::iterator victim);
+  void evict_lru_to_fit(std::size_t incoming_bytes);
+  [[nodiscard]] bool evict_cost_aware_to_fit(std::size_t incoming_bytes,
+                                             double incoming_seconds);
 
   std::size_t byte_budget_;
+  CachePolicy policy_;
   std::size_t bytes_used_ = 0;
   LruList lru_;  ///< front = most recent
   std::unordered_map<MomentKey, LruList::iterator, MomentKeyHash> entries_;
   CacheStats stats_;
-  std::vector<double> unstored_;  ///< home of oversized / budget-0 inserts
+  std::vector<double> unstored_;  ///< home of oversized / refused / budget-0 inserts
 };
 
 }  // namespace kpm::serve

@@ -1,0 +1,176 @@
+#include "serve/fleet/fleet.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace kpm::serve {
+
+void FleetConfig::validate() const {
+  KPM_REQUIRE(!shards.empty(), "FleetConfig: need at least one shard");
+  std::unordered_set<std::string> names;
+  for (const FleetShardSpec& spec : shards) {
+    KPM_REQUIRE(!spec.name.empty(), "FleetConfig: shard name must not be empty");
+    KPM_REQUIRE(names.insert(spec.name).second,
+                "FleetConfig: duplicate shard name '" + spec.name + "'");
+  }
+  ring.validate();
+  shard_config.validate();
+}
+
+Fleet::Fleet(FleetConfig config) : config_(std::move(config)), router_(config_.ring) {
+  config_.validate();
+  // Canonical order: every downstream loop (and the ring itself) is then a
+  // pure function of the shard *set*, never of enumeration order.
+  std::sort(config_.shards.begin(), config_.shards.end(),
+            [](const FleetShardSpec& a, const FleetShardSpec& b) { return a.name < b.name; });
+  servers_.reserve(config_.shards.size());
+  for (const FleetShardSpec& spec : config_.shards) {
+    router_.add_shard(spec.name);
+    ServeConfig sc = config_.shard_config;
+    sc.pricing = spec.pricing;
+    sc.cache_policy = spec.cache_policy;
+    servers_.push_back(std::make_unique<Server>(sc));
+  }
+}
+
+Fleet::~Fleet() = default;
+
+void Fleet::register_model(const std::string& name, const linalg::CrsMatrix& h) {
+  for (const auto& server : servers_) server->register_model(name, h);
+}
+
+void Fleet::register_current(const std::string& model, std::size_t axis,
+                             const linalg::CrsMatrix& a) {
+  for (const auto& server : servers_) server->register_current(model, axis, a);
+}
+
+FleetResult Fleet::run(const std::vector<Request>& requests) {
+  obs::ScopedSpan run_span("fleet.run");
+  obs::add(obs::Counter::FleetShards, static_cast<double>(servers_.size()));
+
+  // Fleet-wide id uniqueness up front: per-shard validation cannot see
+  // duplicates the ring happens to separate.
+  std::unordered_set<std::uint64_t> seen_ids;
+  for (const Request& req : requests) {
+    const std::uint64_t id = base_of(req).id;
+    KPM_REQUIRE(seen_ids.insert(id).second,
+                "fleet: duplicate request id " + std::to_string(id));
+  }
+
+  // Route on the canonical key (shard 0's key_of — every shard registers
+  // the same models, so any shard computes the same key).
+  std::vector<std::vector<Request>> partitions(servers_.size());
+  for (const Request& req : requests) {
+    const MomentKey key = servers_[0]->key_of(req);
+    partitions[router_.route_index(key.hash())].push_back(req);
+    obs::add(obs::Counter::FleetRequestsRouted, 1.0);
+  }
+
+  FleetResult result;
+  result.ring_fingerprint = router_.fingerprint();
+  result.responses.reserve(requests.size());
+  obs::Report* report = obs::active_report();
+
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const FleetShardSpec& spec = config_.shards[i];
+    const std::size_t timelines_before = report != nullptr ? report->timelines.size() : 0;
+    std::vector<Response> responses;
+    {
+      obs::ScopedSpan shard_span("fleet.shard." + spec.name);
+      responses = servers_[i]->run(partitions[i]);
+    }
+    if (report != nullptr) {
+      // Prefix device timelines the shard's engines emitted so the Chrome
+      // export renders one Perfetto process per shard.
+      for (std::size_t t = timelines_before; t < report->timelines.size(); ++t)
+        report->timelines[t].label = spec.name + ":" + report->timelines[t].label;
+      report->sections.push_back({"serve." + spec.name, servers_[i]->section_json()});
+    }
+    obs::record(obs::Histo::FleetShardRequests, partitions[i].size());
+
+    FleetShardOutcome outcome;
+    outcome.name = spec.name;
+    outcome.pricing = spec.pricing;
+    outcome.cache_policy = spec.cache_policy;
+    outcome.routed = partitions[i].size();
+    outcome.stats = servers_[i]->stats();
+    for (const Response& r : responses)
+      outcome.makespan_seconds = std::max(outcome.makespan_seconds, r.finish_seconds);
+    result.makespan_seconds = std::max(result.makespan_seconds, outcome.makespan_seconds);
+    result.shards.push_back(std::move(outcome));
+    result.responses.insert(result.responses.end(),
+                            std::make_move_iterator(responses.begin()),
+                            std::make_move_iterator(responses.end()));
+  }
+
+  for (const Response& r : result.responses) {
+    if (r.status != ResponseStatus::Ok) {
+      result.shed += 1;
+      continue;
+    }
+    result.served += 1;
+    const double latency = r.finish_seconds - r.arrival_seconds;
+    obs::record(obs::Histo::FleetLatencyNs, obs::seconds_to_ns_ticks(latency));
+    if (config_.slo_seconds > 0.0 && latency <= config_.slo_seconds) result.slo_met += 1;
+  }
+  result.machine_seconds =
+      static_cast<double>(servers_.size()) * result.makespan_seconds;
+
+  std::sort(result.responses.begin(), result.responses.end(),
+            [](const Response& a, const Response& b) { return a.id < b.id; });
+
+  // kpm.serve.fleet/1: the routing function, per-shard summary and fleet
+  // totals.  Per-response records live in the per-shard serve.* sections.
+  std::ostringstream os;
+  os << "{\n      \"schema\": \"kpm.serve.fleet/1\",\n";
+  os << "      \"ring\": {\"virtual_nodes\": " << config_.ring.virtual_nodes
+     << ", \"seed\": " << config_.ring.seed << ", \"fingerprint\": \""
+     << strprintf("0x%016llx", static_cast<unsigned long long>(result.ring_fingerprint))
+     << "\"},\n";
+  os << "      \"slo_seconds\": " << obs::json_number(config_.slo_seconds) << ",\n";
+  os << "      \"shards\": [";
+  for (std::size_t i = 0; i < result.shards.size(); ++i) {
+    const FleetShardOutcome& o = result.shards[i];
+    if (i > 0) os << ",";
+    os << "\n        {\"name\": \"" << obs::json_escape(o.name) << "\", \"pricing\": \""
+       << to_string(o.pricing) << "\", \"cache_policy\": \"" << to_string(o.cache_policy)
+       << "\", \"routed\": " << o.routed << ", \"batches\": " << o.stats.batches
+       << ", \"coalesced\": " << o.stats.coalesced << ",\n"
+       << "         \"shed\": " << o.stats.rejected + o.stats.expired
+       << ", \"degraded\": " << o.stats.degraded << ", \"cache_hits\": " << o.stats.cache.hits
+       << ", \"cache_misses\": " << o.stats.cache.misses
+       << ", \"cache_evictions\": " << o.stats.cache.evictions
+       << ", \"admit_refused\": " << o.stats.cache.admit_refused
+       << ", \"cost_saved_ns\": " << o.stats.cache.cost_saved_ns << ",\n"
+       << "         \"makespan_s\": " << obs::json_number(o.makespan_seconds) << "}";
+  }
+  os << (result.shards.empty() ? "]" : "\n      ]") << ",\n";
+  os << "      \"totals\": {\"requests\": " << requests.size()
+     << ", \"served\": " << result.served << ", \"shed\": " << result.shed
+     << ", \"slo_met\": " << result.slo_met << ", \"makespan_s\": "
+     << obs::json_number(result.makespan_seconds) << ", \"machine_seconds\": "
+     << obs::json_number(result.machine_seconds) << "}\n    }";
+  result.section_json = os.str();
+  if (report != nullptr) report->sections.push_back({"fleet", result.section_json});
+
+  return result;
+}
+
+void register_models(Fleet& fleet, const ReplayWorkload& workload) {
+  for (const ModelSpec& spec : workload.models) {
+    fleet.register_model(spec.name, build_model_matrix(spec));
+    for (const std::size_t axis : spec.currents)
+      fleet.register_current(spec.name, axis, build_model_current(spec, axis));
+  }
+}
+
+}  // namespace kpm::serve

@@ -1,0 +1,119 @@
+// Deterministic simulated serving fleet.
+//
+// A `Fleet` fronts N shared-nothing `serve::Server` shards behind a
+// consistent-hash ring: every request's *canonical* content-addressed
+// moment key (Server::key_of — a pure function of request and model
+// content) is hashed onto the ring, requests partition per shard, and each
+// shard replays its partition through the single-server discrete-event
+// loop with its own queue, admission control and `MomentCache`.  Shards
+// never share state, so a fleet run is exactly N independent server runs
+// plus deterministic aggregation:
+//
+//   clients -> key_of(request) -> hash ring -> shard_k -> Server::run
+//
+// Per-shard knobs: `BatchPricing` (a gpu-timeline shard prices DoS batches
+// from gpusim device timelines and emits a per-shard Perfetto process) and
+// `CachePolicy` (LRU vs cost-aware admission/eviction).
+//
+// Determinism contract, inherited from the single server and the
+// order-free ring: responses, per-shard accounting and the report
+// fingerprint are bit-identical at any worker count AND for any shard
+// enumeration order (shards are canonicalized by name; ring points are a
+// pure function of membership).  `machine_seconds` — shard count times the
+// fleet makespan — is the cost axis the autoscaling sweep in
+// bench/bench_fleet.cpp trades against latency-SLO attainment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/fleet/router.hpp"
+#include "serve/replay.hpp"
+#include "serve/server.hpp"
+
+namespace kpm::serve {
+
+/// One shard's identity and per-shard policy knobs.
+struct FleetShardSpec {
+  std::string name;
+  BatchPricing pricing = BatchPricing::SerialRoofline;
+  CachePolicy cache_policy = CachePolicy::Lru;
+};
+
+struct FleetConfig {
+  /// Shard set; enumeration order is irrelevant (canonicalized by name).
+  std::vector<FleetShardSpec> shards;
+  RingConfig ring;
+  /// Per-shard server knobs (workers, queue/batch bounds, cache budget,
+  /// gpu device spec); pricing and cache_policy come from each spec.
+  ServeConfig shard_config;
+  /// Latency SLO for attainment accounting; <= 0 disables it.
+  double slo_seconds = 0.0;
+
+  void validate() const;
+};
+
+/// Accounting of one shard within a fleet run.
+struct FleetShardOutcome {
+  std::string name;
+  BatchPricing pricing = BatchPricing::SerialRoofline;
+  CachePolicy cache_policy = CachePolicy::Lru;
+  std::uint64_t routed = 0;           ///< requests the ring sent here
+  ServeStats stats;                   ///< the shard's run accounting
+  double makespan_seconds = 0.0;      ///< last simulated event on this shard
+};
+
+/// Aggregate result of one fleet run.
+struct FleetResult {
+  std::vector<Response> responses;        ///< merged, sorted by id
+  std::vector<FleetShardOutcome> shards;  ///< canonical (name-sorted) order
+  std::uint64_t ring_fingerprint = 0;
+  std::uint64_t served = 0;    ///< responses with status Ok
+  std::uint64_t shed = 0;      ///< rejected + expired
+  std::uint64_t slo_met = 0;   ///< served within slo_seconds (0 when disabled)
+  double makespan_seconds = 0.0;  ///< max shard makespan
+  /// Simulated fleet cost: every shard is reserved until the slowest one
+  /// drains, so cost = shards * makespan.
+  double machine_seconds = 0.0;
+  std::string section_json;  ///< pre-rendered `kpm.serve.fleet/1` section
+};
+
+/// The fleet front end.  Register models once (they land on every shard —
+/// any shard must be able to serve any key the ring assigns it), then
+/// `run` request vectors.
+class Fleet {
+ public:
+  explicit Fleet(FleetConfig config);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  void register_model(const std::string& name, const linalg::CrsMatrix& h);
+  void register_current(const std::string& model, std::size_t axis,
+                        const linalg::CrsMatrix& a);
+
+  /// Routes and serves `requests`.  Ids must be unique fleet-wide.  When an
+  /// obs report is active, pushes one `serve.<shard>` section per shard
+  /// plus the `fleet` section, relabels shard-emitted device timelines with
+  /// the shard name, and records fleet_* counters/histograms.
+  [[nodiscard]] FleetResult run(const std::vector<Request>& requests);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return servers_.size(); }
+  [[nodiscard]] const ConsistentHashRouter& router() const noexcept { return router_; }
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+
+ private:
+  FleetConfig config_;  ///< shards canonicalized by name
+  ConsistentHashRouter router_;
+  std::vector<std::unique_ptr<Server>> servers_;  ///< parallel to config_.shards
+};
+
+/// Builds and registers every model of `workload` into `fleet` (same
+/// recipes as the single-server overload).
+void register_models(Fleet& fleet, const ReplayWorkload& workload);
+
+}  // namespace kpm::serve

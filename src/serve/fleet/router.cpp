@@ -1,0 +1,86 @@
+#include "serve/fleet/router.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "serve/cache.hpp"
+
+namespace kpm::serve {
+
+void RingConfig::validate() const {
+  KPM_REQUIRE(virtual_nodes >= 1, "RingConfig: need at least one virtual node");
+}
+
+ConsistentHashRouter::ConsistentHashRouter(RingConfig config) : config_(config) {
+  config_.validate();
+}
+
+std::uint64_t ConsistentHashRouter::point_hash(const std::string& name,
+                                               std::uint32_t vnode) const noexcept {
+  std::uint64_t h = fnv1a64(&config_.seed, sizeof(config_.seed));
+  h = fnv1a64(name.data(), name.size(), h);
+  h = fnv1a64(&vnode, sizeof(vnode), h);
+  return h;
+}
+
+void ConsistentHashRouter::rebuild_points() {
+  ring_.clear();
+  ring_.reserve(shards_.size() * config_.virtual_nodes);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (std::uint32_t v = 0; v < config_.virtual_nodes; ++v) {
+      ring_.push_back(Point{point_hash(shards_[s], v), v, s});
+    }
+  }
+  // Total order even on hash collisions: the ring is then a pure function
+  // of membership, never of insertion history.
+  std::sort(ring_.begin(), ring_.end(), [&](const Point& a, const Point& b) {
+    if (a.hash != b.hash) return a.hash < b.hash;
+    if (shards_[a.shard] != shards_[b.shard]) return shards_[a.shard] < shards_[b.shard];
+    return a.vnode < b.vnode;
+  });
+}
+
+void ConsistentHashRouter::add_shard(const std::string& name) {
+  KPM_REQUIRE(!name.empty(), "router: shard name must not be empty");
+  const auto it = std::lower_bound(shards_.begin(), shards_.end(), name);
+  KPM_REQUIRE(it == shards_.end() || *it != name,
+              "router: shard '" + name + "' is already on the ring");
+  shards_.insert(it, name);
+  rebuild_points();
+}
+
+void ConsistentHashRouter::remove_shard(const std::string& name) {
+  const auto it = std::lower_bound(shards_.begin(), shards_.end(), name);
+  KPM_REQUIRE(it != shards_.end() && *it == name,
+              "router: shard '" + name + "' is not on the ring");
+  shards_.erase(it);
+  rebuild_points();
+}
+
+std::size_t ConsistentHashRouter::route_index(std::uint64_t key_hash) const {
+  KPM_REQUIRE(!ring_.empty(), "router: cannot route on an empty ring");
+  // First point clockwise from the key (wrapping to the smallest point).
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key_hash,
+      [](const Point& p, std::uint64_t h) { return p.hash < h; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+const std::string& ConsistentHashRouter::route(std::uint64_t key_hash) const {
+  return shards_[route_index(key_hash)];
+}
+
+std::uint64_t ConsistentHashRouter::fingerprint() const noexcept {
+  std::uint64_t h = fnv1a64(&config_.seed, sizeof(config_.seed));
+  const std::uint64_t vnodes = config_.virtual_nodes;
+  h = fnv1a64(&vnodes, sizeof(vnodes), h);
+  for (const Point& p : ring_) {
+    h = fnv1a64(&p.hash, sizeof(p.hash), h);
+    const std::string& name = shards_[p.shard];
+    h = fnv1a64(name.data(), name.size(), h);
+  }
+  return h;
+}
+
+}  // namespace kpm::serve

@@ -1,0 +1,75 @@
+// Consistent-hash routing of content-addressed moment keys.
+//
+// A fleet spreads requests over N shared-nothing server shards.  Routing
+// must (a) send every occurrence of the same moment key to the same shard —
+// coalescing and the content-addressed cache only work within a shard — and
+// (b) move only ~1/N of the key space when a shard joins or leaves.  The
+// classic consistent-hash ring does both: each shard owns `virtual_nodes`
+// points on a 64-bit ring (FNV-1a over ring seed, shard name, vnode index),
+// and a key lands on the first point clockwise from its hash.
+//
+// Everything is a pure function of (ring seed, shard names, vnode count):
+// insertion order never matters (points are sorted with a total tie-break),
+// so a fleet built from a permuted shard list routes identically — the
+// property the fleet fingerprint tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kpm::serve {
+
+struct RingConfig {
+  std::size_t virtual_nodes = 64;               ///< ring points per shard
+  std::uint64_t seed = 0x6b706d666c656574ULL;   ///< "kpmfleet": salts every point
+
+  void validate() const;
+};
+
+class ConsistentHashRouter {
+ public:
+  explicit ConsistentHashRouter(RingConfig config = {});
+
+  /// Adds `name` (must be new and non-empty) to the ring.
+  void add_shard(const std::string& name);
+
+  /// Removes `name` (must be present) and its ring points.
+  void remove_shard(const std::string& name);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Shard names in sorted order; `route_index` indexes into this.
+  [[nodiscard]] const std::vector<std::string>& shards() const noexcept { return shards_; }
+
+  /// Owning shard of `key_hash` (typically MomentKey::hash()).  Requires a
+  /// non-empty ring.
+  [[nodiscard]] const std::string& route(std::uint64_t key_hash) const;
+
+  /// Index of `route(key_hash)` within `shards()`.
+  [[nodiscard]] std::size_t route_index(std::uint64_t key_hash) const;
+
+  /// FNV-1a over the sorted ring points — identifies the routing function
+  /// itself (seed, membership, vnode count) independent of build order.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+  [[nodiscard]] const RingConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Point {
+    std::uint64_t hash = 0;
+    std::uint32_t vnode = 0;
+    std::size_t shard = 0;  ///< into shards_
+  };
+
+  [[nodiscard]] std::uint64_t point_hash(const std::string& name,
+                                         std::uint32_t vnode) const noexcept;
+  void rebuild_points();
+
+  RingConfig config_;
+  std::vector<std::string> shards_;  ///< sorted
+  std::vector<Point> ring_;          ///< sorted by (hash, shard name, vnode)
+};
+
+}  // namespace kpm::serve

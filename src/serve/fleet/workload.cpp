@@ -1,0 +1,247 @@
+#include "serve/fleet/workload.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "rng/distributions.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace kpm::serve {
+
+const char* to_string(ArrivalProcess p) noexcept {
+  switch (p) {
+    case ArrivalProcess::Uniform:
+      return "uniform";
+    case ArrivalProcess::Poisson:
+      return "poisson";
+    case ArrivalProcess::Bursty:
+      return "bursty";
+    case ArrivalProcess::Diurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+ArrivalProcess arrival_process_from_string(const std::string& name) {
+  if (name == "uniform") return ArrivalProcess::Uniform;
+  if (name == "poisson") return ArrivalProcess::Poisson;
+  if (name == "bursty") return ArrivalProcess::Bursty;
+  if (name == "diurnal") return ArrivalProcess::Diurnal;
+  KPM_FAIL("unknown arrival process '" + name + "' (uniform|poisson|bursty|diurnal)");
+}
+
+void SynthConfig::validate() const {
+  KPM_REQUIRE(count >= 1, "SynthConfig: count must be >= 1");
+  KPM_REQUIRE(rate > 0.0, "SynthConfig: rate must be > 0");
+  KPM_REQUIRE(burst_factor > 0.0, "SynthConfig: burst_factor must be > 0");
+  KPM_REQUIRE(burst_on >= 0.0 && burst_on <= 1.0, "SynthConfig: burst_on must be in [0, 1]");
+  KPM_REQUIRE(burst_off >= 0.0 && burst_off <= 1.0,
+              "SynthConfig: burst_off must be in [0, 1]");
+  KPM_REQUIRE(period_seconds > 0.0, "SynthConfig: period_seconds must be > 0");
+  KPM_REQUIRE(amplitude >= 0.0 && amplitude < 1.0, "SynthConfig: amplitude must be in [0, 1)");
+  KPM_REQUIRE(dos_weight >= 0.0 && ldos_weight >= 0.0 && sigma_weight >= 0.0,
+              "SynthConfig: kind weights must be >= 0");
+  KPM_REQUIRE(dos_weight + ldos_weight + sigma_weight > 0.0,
+              "SynthConfig: at least one kind weight must be > 0");
+  KPM_REQUIRE(!moment_choices.empty(), "SynthConfig: moment_choices must not be empty");
+  for (const std::size_t n : moment_choices)
+    KPM_REQUIRE(n >= 2, "SynthConfig: every moment choice needs at least two moments");
+  KPM_REQUIRE(!point_choices.empty(), "SynthConfig: point_choices must not be empty");
+  for (const std::size_t p : point_choices)
+    KPM_REQUIRE(p >= 1, "SynthConfig: every point choice must be >= 1");
+  KPM_REQUIRE(random_vectors >= 1 && realizations >= 1,
+              "SynthConfig: R and S must be >= 1");
+  KPM_REQUIRE(seed_population >= 1, "SynthConfig: seed_population must be >= 1");
+  KPM_REQUIRE(priority_fraction >= 0.0 && priority_fraction <= 1.0,
+              "SynthConfig: priority_fraction must be in [0, 1]");
+  KPM_REQUIRE(deadline_fraction >= 0.0 && deadline_fraction <= 1.0,
+              "SynthConfig: deadline_fraction must be in [0, 1]");
+  KPM_REQUIRE(deadline_slack_seconds > 0.0,
+              "SynthConfig: deadline_slack_seconds must be > 0");
+}
+
+namespace {
+
+std::size_t model_dim(const ModelSpec& spec) {
+  if (spec.lattice == "chain") return spec.edge;
+  if (spec.lattice == "square") return spec.edge * spec.edge;
+  if (spec.lattice == "cubic") return spec.edge * spec.edge * spec.edge;
+  KPM_FAIL("workload: unknown lattice '" + spec.lattice + "' (chain|square|cubic)");
+}
+
+}  // namespace
+
+std::vector<Request> synthesize_requests(const SynthConfig& cfg,
+                                         const std::vector<ModelSpec>& models) {
+  cfg.validate();
+  KPM_REQUIRE(!models.empty(), "synthesize_requests: need at least one model");
+
+  rng::SplitMix64 gen(cfg.seed);
+  const auto u01 = [&] { return rng::u64_to_unit_double(gen.next()); };
+  const auto exp_gap = [&](double rate) {
+    return -std::log(rng::u64_to_unit_double_open(gen.next())) / rate;
+  };
+  const auto pick = [&](const std::vector<std::size_t>& choices) {
+    return choices[gen.next() % choices.size()];
+  };
+
+  std::vector<Request> requests;
+  requests.reserve(cfg.count);
+  double t = 0.0;
+  bool burst = false;
+  const double kind_total = cfg.dos_weight + cfg.ldos_weight + cfg.sigma_weight;
+
+  for (std::size_t i = 0; i < cfg.count; ++i) {
+    switch (cfg.process) {
+      case ArrivalProcess::Uniform:
+        t += 1.0 / cfg.rate;
+        break;
+      case ArrivalProcess::Poisson:
+        t += exp_gap(cfg.rate);
+        break;
+      case ArrivalProcess::Bursty: {
+        t += exp_gap(burst ? cfg.rate * cfg.burst_factor : cfg.rate);
+        // State flips are checked once per arrival, making burst lengths
+        // geometric in arrivals (a 2-state MMPP observed at its own jumps).
+        if (burst) {
+          if (u01() < cfg.burst_off) burst = false;
+        } else {
+          if (u01() < cfg.burst_on) burst = true;
+        }
+        break;
+      }
+      case ArrivalProcess::Diurnal: {
+        // Thinning (Lewis-Shedler): candidates at the peak rate, accepted
+        // with probability rate(t)/peak.
+        const double peak = cfg.rate * (1.0 + cfg.amplitude);
+        for (;;) {
+          t += exp_gap(peak);
+          const double modulated =
+              1.0 + cfg.amplitude *
+                        std::sin(2.0 * std::numbers::pi * t / cfg.period_seconds);
+          if (u01() * (1.0 + cfg.amplitude) <= modulated) break;
+        }
+        break;
+      }
+    }
+
+    const ModelSpec& model = models[gen.next() % models.size()];
+    const double kind_draw = u01() * kind_total;
+    RequestKind kind = RequestKind::Dos;
+    if (kind_draw >= cfg.dos_weight) {
+      kind = kind_draw < cfg.dos_weight + cfg.ldos_weight ? RequestKind::Ldos
+                                                          : RequestKind::Sigma;
+    }
+    if (kind == RequestKind::Sigma && model.currents.empty()) kind = RequestKind::Dos;
+
+    RequestBase base;
+    base.id = i + 1;
+    base.model = model.name;
+    base.arrival_seconds = t;
+    base.engine = cfg.engine;
+    base.moments.num_moments = pick(cfg.moment_choices);
+    base.moments.random_vectors = cfg.random_vectors;
+    base.moments.realizations = cfg.realizations;
+    base.moments.seed = 1 + gen.next() % cfg.seed_population;
+    base.reconstruct.points = pick(cfg.point_choices);
+    if (u01() < cfg.priority_fraction) base.priority = 1 + static_cast<int>(gen.next() % 3);
+    if (u01() < cfg.deadline_fraction)
+      base.deadline_seconds = t + cfg.deadline_slack_seconds;
+
+    switch (kind) {
+      case RequestKind::Dos: {
+        DosRequest req;
+        static_cast<RequestBase&>(req) = base;
+        requests.push_back(req);
+        break;
+      }
+      case RequestKind::Ldos: {
+        LdosRequest req;
+        static_cast<RequestBase&>(req) = base;
+        req.site = gen.next() % model_dim(model);
+        requests.push_back(req);
+        break;
+      }
+      case RequestKind::Sigma: {
+        SigmaRequest req;
+        static_cast<RequestBase&>(req) = base;
+        req.axis = model.currents[gen.next() % model.currents.size()];
+        req.sigma.kernel = req.reconstruct.kernel;
+        req.sigma.points = req.reconstruct.points;
+        requests.push_back(req);
+        break;
+      }
+    }
+  }
+  return requests;
+}
+
+ReplayWorkload synthesize_workload(const SynthConfig& cfg, std::vector<ModelSpec> models,
+                                   ServeConfig server_config) {
+  ReplayWorkload w;
+  w.label = cfg.label;
+  w.config = server_config;
+  w.config_sets_workers = true;
+  w.requests = synthesize_requests(cfg, models);
+  w.models = std::move(models);
+  return w;
+}
+
+std::string workload_json(const ReplayWorkload& w) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"kpm.serve.workload/1\",\n";
+  os << "  \"label\": \"" << obs::json_escape(w.label) << "\",\n";
+  os << "  \"config\": {\"workers\": " << w.config.workers
+     << ", \"max_queue\": " << w.config.max_queue
+     << ", \"max_batch\": " << w.config.max_batch << ", \"policy\": \""
+     << to_string(w.config.policy) << "\", \"degrade_floor\": " << w.config.degrade_floor
+     << ", \"cache_bytes\": " << w.config.cache_bytes << ", \"cache_policy\": \""
+     << to_string(w.config.cache_policy) << "\", \"pricing\": \""
+     << to_string(w.config.pricing) << "\"},\n";
+  os << "  \"models\": [";
+  for (std::size_t i = 0; i < w.models.size(); ++i) {
+    const ModelSpec& m = w.models[i];
+    if (i > 0) os << ",";
+    os << "\n    {\"name\": \"" << obs::json_escape(m.name) << "\", \"lattice\": \""
+       << obs::json_escape(m.lattice) << "\", \"edge\": " << m.edge
+       << ", \"disorder\": " << obs::json_number(m.disorder) << ", \"seed\": " << m.seed;
+    if (!m.currents.empty()) {
+      os << ", \"currents\": [";
+      for (std::size_t c = 0; c < m.currents.size(); ++c)
+        os << (c > 0 ? ", " : "") << m.currents[c];
+      os << "]";
+    }
+    os << "}";
+  }
+  os << (w.models.empty() ? "]" : "\n  ]") << ",\n";
+  os << "  \"requests\": [";
+  for (std::size_t i = 0; i < w.requests.size(); ++i) {
+    const Request& req = w.requests[i];
+    const RequestBase& b = base_of(req);
+    if (i > 0) os << ",";
+    os << "\n    {\"kind\": \"" << to_string(kind_of(req)) << "\", \"id\": " << b.id
+       << ", \"model\": \"" << obs::json_escape(b.model) << "\", \"arrival\": "
+       << obs::json_number(b.arrival_seconds) << ", \"priority\": " << b.priority
+       << ", \"deadline\": " << obs::json_number(b.deadline_seconds) << ",\n"
+       << "     \"engine\": \"" << core::to_string(b.engine)
+       << "\", \"moments\": " << b.moments.num_moments
+       << ", \"R\": " << b.moments.random_vectors << ", \"S\": " << b.moments.realizations
+       << ", \"seed\": " << b.moments.seed;
+    if (const auto* l = std::get_if<LdosRequest>(&req)) {
+      os << ", \"site\": " << l->site << ", \"points\": " << b.reconstruct.points;
+    } else if (const auto* s = std::get_if<SigmaRequest>(&req)) {
+      os << ", \"axis\": " << s->axis << ", \"points\": " << s->sigma.points;
+    } else {
+      os << ", \"points\": " << b.reconstruct.points;
+    }
+    os << "}";
+  }
+  os << (w.requests.empty() ? "]" : "\n  ]");
+  os << "\n}\n";
+  return os.str();
+}
+
+}  // namespace kpm::serve

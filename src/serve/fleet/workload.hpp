@@ -1,0 +1,103 @@
+// Seeded synthetic serve workloads.
+//
+// Real serving traffic is not a uniform drip: arrivals cluster (bursts),
+// breathe with the day (diurnal), and mix request kinds whose recompute
+// costs differ by orders of magnitude.  `synthesize_requests` generates
+// such traces deterministically from a single SplitMix64 seed — the same
+// config always yields the same byte-identical workload — over four
+// arrival processes:
+//
+//   uniform   fixed inter-arrival 1/rate (the old bench_serve drip)
+//   poisson   exponential inter-arrivals at `rate`
+//   bursty    2-state Markov-modulated Poisson process: a calm state at
+//             `rate` and a burst state at `rate * burst_factor`, switching
+//             per arrival with probabilities burst_on / burst_off
+//   diurnal   inhomogeneous Poisson via thinning against
+//             rate * (1 + amplitude * sin(2*pi*t / period))
+//
+// Kind, moment size, stochastic seed, points, priority and deadline are
+// drawn from small configurable populations, so repeated keys occur at
+// realistic frequencies and the moment cache has something to do.  The
+// draw sequence is part of the determinism contract: adding a draw changes
+// every workload downstream of it, which is fine (workloads are pinned by
+// seed, not bit-archaeology) but should be deliberate.
+//
+// `workload_json` serializes to the `kpm.serve.workload/1` schema consumed
+// by `parse_workload`, round-tripping bit-exactly (doubles via the exact
+// obs JSON number format).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/replay.hpp"
+
+namespace kpm::serve {
+
+/// Arrival process shapes (see file comment).
+enum class ArrivalProcess : std::uint8_t { Uniform, Poisson, Bursty, Diurnal };
+
+/// "uniform", "poisson", "bursty" or "diurnal".
+[[nodiscard]] const char* to_string(ArrivalProcess p) noexcept;
+
+/// Inverse of `to_string`.  Throws kpm::Error for unknown names.
+[[nodiscard]] ArrivalProcess arrival_process_from_string(const std::string& name);
+
+struct SynthConfig {
+  std::string label = "synth";
+  std::uint64_t seed = 1;
+  std::size_t count = 64;
+
+  ArrivalProcess process = ArrivalProcess::Poisson;
+  double rate = 8.0;  ///< mean arrivals per simulated second (calm state)
+
+  // Bursty (2-state MMPP) knobs.
+  double burst_factor = 8.0;  ///< burst-state rate multiplier
+  double burst_on = 0.15;     ///< P(calm -> burst) checked per arrival
+  double burst_off = 0.35;    ///< P(burst -> calm) checked per arrival
+
+  // Diurnal knobs.
+  double period_seconds = 60.0;  ///< one simulated "day"
+  double amplitude = 0.8;        ///< rate modulation depth, in [0, 1)
+
+  // Request-kind mix (relative weights; sigma falls back to dos for models
+  // without a registered current operator).
+  double dos_weight = 4.0;
+  double ldos_weight = 2.0;
+  double sigma_weight = 1.0;
+
+  // Request-shape populations.  Small populations make repeats (and thus
+  // cache hits / coalescing) likely.
+  std::vector<std::size_t> moment_choices = {64, 128};  ///< N values
+  std::vector<std::size_t> point_choices = {64, 128, 256};
+  std::size_t random_vectors = 2;  ///< R
+  std::size_t realizations = 2;    ///< S
+  std::size_t seed_population = 3;  ///< distinct stochastic seeds in the trace
+
+  double priority_fraction = 0.25;  ///< fraction with priority in {1, 2, 3}
+  double deadline_fraction = 0.0;   ///< fraction with an absolute deadline
+  double deadline_slack_seconds = 1.0;
+
+  core::EngineKind engine = core::EngineKind::CpuParallel;
+
+  void validate() const;
+};
+
+/// Generates `cfg.count` requests against `models` (ids 1..count, arrivals
+/// nondecreasing).  Pure function of (cfg, models).
+[[nodiscard]] std::vector<Request> synthesize_requests(const SynthConfig& cfg,
+                                                       const std::vector<ModelSpec>& models);
+
+/// Bundles synthesized requests with `models` and a server config into a
+/// replayable workload (label taken from `cfg.label`).
+[[nodiscard]] ReplayWorkload synthesize_workload(const SynthConfig& cfg,
+                                                 std::vector<ModelSpec> models,
+                                                 ServeConfig server_config = {});
+
+/// Serializes `w` as a `kpm.serve.workload/1` document; `parse_workload`
+/// of the result reproduces the workload bit-exactly.
+[[nodiscard]] std::string workload_json(const ReplayWorkload& w);
+
+}  // namespace kpm::serve

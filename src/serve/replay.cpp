@@ -45,14 +45,16 @@ RequestBase parse_base(const JsonValue& r) {
   b.model = string_or(r, "model", "");
   KPM_REQUIRE(!b.model.empty(), "workload: request is missing 'model'");
   b.arrival_seconds = number_or(r, "arrival", 0.0);
+  KPM_REQUIRE(b.arrival_seconds >= 0.0,
+              "workload: request 'arrival' must be >= 0 (the simulated clock starts at 0)");
   b.priority = static_cast<int>(number_or(r, "priority", 0.0));
   b.deadline_seconds = number_or(r, "deadline", 0.0);
   b.engine = engine_kind_from_string(string_or(r, "engine", "cpu-parallel"));
   b.moments.num_moments = size_or(r, "moments", b.moments.num_moments);
   b.moments.random_vectors = size_or(r, "R", b.moments.random_vectors);
   b.moments.realizations = size_or(r, "S", b.moments.realizations);
-  if (const JsonValue* seed = r.find("seed"))
-    b.moments.seed = static_cast<std::uint64_t>(seed->number);
+  b.moments.seed = static_cast<std::uint64_t>(
+      size_or(r, "seed", static_cast<std::size_t>(b.moments.seed)));
   const std::string kernel = string_or(r, "kernel", "");
   if (!kernel.empty()) b.reconstruct.kernel = core::damping_kernel_from_string(kernel);
   b.reconstruct.points = size_or(r, "points", b.reconstruct.points);
@@ -109,6 +111,7 @@ ReplayWorkload parse_workload(const std::string& json_text) {
   if (const JsonValue* config = doc.find("config")) {
     KPM_REQUIRE(config->kind == JsonValue::Kind::Object,
                 "workload: 'config' must be an object");
+    w.config_sets_workers = config->find("workers") != nullptr;
     w.config.workers = size_or(*config, "workers", w.config.workers);
     w.config.max_queue = size_or(*config, "max_queue", w.config.max_queue);
     w.config.max_batch = size_or(*config, "max_batch", w.config.max_batch);
@@ -116,6 +119,10 @@ ReplayWorkload parse_workload(const std::string& json_text) {
         shed_policy_from_string(string_or(*config, "policy", to_string(w.config.policy)));
     w.config.degrade_floor = size_or(*config, "degrade_floor", w.config.degrade_floor);
     w.config.cache_bytes = size_or(*config, "cache_bytes", w.config.cache_bytes);
+    w.config.cache_policy = cache_policy_from_string(
+        string_or(*config, "cache_policy", to_string(w.config.cache_policy)));
+    w.config.pricing = batch_pricing_from_string(
+        string_or(*config, "pricing", to_string(w.config.pricing)));
     w.config.validate();
   }
 
@@ -129,8 +136,8 @@ ReplayWorkload parse_workload(const std::string& json_text) {
     spec.lattice = string_or(m, "lattice", spec.lattice);
     spec.edge = size_or(m, "edge", spec.edge);
     spec.disorder = number_or(m, "disorder", spec.disorder);
-    if (const JsonValue* seed = m.find("seed"))
-      spec.seed = static_cast<std::uint64_t>(seed->number);
+    spec.seed = static_cast<std::uint64_t>(
+        size_or(m, "seed", static_cast<std::size_t>(spec.seed)));
     if (const JsonValue* currents = m.find("currents")) {
       KPM_REQUIRE(currents->kind == JsonValue::Kind::Array,
                   "workload: 'currents' must be an array of axes");
@@ -158,22 +165,35 @@ ReplayWorkload load_workload(const std::string& path) {
   return parse_workload(text.str());
 }
 
+namespace {
+
+lattice::HypercubicLattice lattice_of(const ModelSpec& spec) {
+  if (spec.lattice == "chain") return lattice::HypercubicLattice::chain(spec.edge);
+  if (spec.lattice == "square")
+    return lattice::HypercubicLattice::square(spec.edge, spec.edge);
+  if (spec.lattice == "cubic")
+    return lattice::HypercubicLattice::cubic(spec.edge, spec.edge, spec.edge);
+  KPM_FAIL("workload: unknown lattice '" + spec.lattice + "' (chain|square|cubic)");
+}
+
+}  // namespace
+
+linalg::CrsMatrix build_model_matrix(const ModelSpec& spec) {
+  const auto onsite = spec.disorder > 0.0
+                          ? lattice::anderson_disorder(spec.disorder, spec.seed)
+                          : lattice::OnsiteFunction{};
+  return lattice::build_tight_binding_crs(lattice_of(spec), {}, onsite);
+}
+
+linalg::CrsMatrix build_model_current(const ModelSpec& spec, std::size_t axis) {
+  return lattice::build_current_operator_crs(lattice_of(spec), axis);
+}
+
 void register_models(Server& server, const ReplayWorkload& workload) {
   for (const ModelSpec& spec : workload.models) {
-    const auto lat = [&]() -> lattice::HypercubicLattice {
-      if (spec.lattice == "chain") return lattice::HypercubicLattice::chain(spec.edge);
-      if (spec.lattice == "square")
-        return lattice::HypercubicLattice::square(spec.edge, spec.edge);
-      if (spec.lattice == "cubic")
-        return lattice::HypercubicLattice::cubic(spec.edge, spec.edge, spec.edge);
-      KPM_FAIL("workload: unknown lattice '" + spec.lattice + "' (chain|square|cubic)");
-    }();
-    const auto onsite = spec.disorder > 0.0
-                            ? lattice::anderson_disorder(spec.disorder, spec.seed)
-                            : lattice::OnsiteFunction{};
-    server.register_model(spec.name, lattice::build_tight_binding_crs(lat, {}, onsite));
+    server.register_model(spec.name, build_model_matrix(spec));
     for (const std::size_t axis : spec.currents)
-      server.register_current(spec.name, axis, lattice::build_current_operator_crs(lat, axis));
+      server.register_current(spec.name, axis, build_model_current(spec, axis));
   }
 }
 

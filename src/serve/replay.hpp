@@ -56,6 +56,7 @@ struct ModelSpec {
 struct ReplayWorkload {
   std::string label;
   ServeConfig config;
+  bool config_sets_workers = false;  ///< file carried an explicit config.workers
   std::vector<ModelSpec> models;
   std::vector<Request> requests;
 };
@@ -66,6 +67,12 @@ struct ReplayWorkload {
 
 /// Reads and parses a workload file from disk.
 [[nodiscard]] ReplayWorkload load_workload(const std::string& path);
+
+/// Builds the (unscaled) Hamiltonian of `spec` from its lattice recipe.
+[[nodiscard]] linalg::CrsMatrix build_model_matrix(const ModelSpec& spec);
+
+/// Builds the current operator of `spec` along `axis`.
+[[nodiscard]] linalg::CrsMatrix build_model_current(const ModelSpec& spec, std::size_t axis);
 
 /// Builds and registers every model of `workload` (Hamiltonian plus the
 /// requested current operators) into `server`.

@@ -29,6 +29,16 @@ ShedPolicy shed_policy_from_string(const std::string& name) {
   KPM_FAIL("unknown shed policy '" + name + "' (reject|degrade)");
 }
 
+const char* to_string(BatchPricing p) noexcept {
+  return p == BatchPricing::SerialRoofline ? "serial-roofline" : "gpu-timeline";
+}
+
+BatchPricing batch_pricing_from_string(const std::string& name) {
+  if (name == "serial-roofline" || name == "roofline") return BatchPricing::SerialRoofline;
+  if (name == "gpu-timeline" || name == "gpu") return BatchPricing::GpuTimeline;
+  KPM_FAIL("unknown batch pricing '" + name + "' (serial-roofline|gpu-timeline)");
+}
+
 void ServeConfig::validate() const {
   KPM_REQUIRE(workers >= 1, "ServeConfig: need at least one worker");
   KPM_REQUIRE(max_queue >= 1, "ServeConfig: max_queue must be >= 1");
@@ -147,7 +157,7 @@ std::uint64_t response_checksum(const Response& r) {
 Server::Server(ServeConfig config)
     : config_(config),
       pool_((config.validate(), config.workers)),
-      cache_(config.cache_bytes) {}
+      cache_(config.cache_bytes, config.cache_policy) {}
 
 Server::~Server() = default;
 
@@ -195,6 +205,56 @@ const Server::Model& Server::model_of(const std::string& name) const {
   return *it->second;
 }
 
+MomentKey Server::moment_key(const Request& req, const Model& m, std::size_t served_n,
+                             bool apply_pricing) const {
+  const RequestBase& b = base_of(req);
+  MomentKey key;
+  key.kind = kind_of(req);
+  key.num_moments = served_n;
+  switch (key.kind) {
+    case RequestKind::Dos:
+      key.content = m.fingerprint;
+      key.random_vectors = b.moments.random_vectors;
+      key.realizations = b.moments.realizations;
+      key.seed = b.moments.seed;
+      key.vector_kind = static_cast<int>(b.moments.vector_kind);
+      // Engine hint picks the functional compute path, and only classes
+      // with tested bit-identity may share cached bytes.  A gpu-timeline
+      // shard runs every DoS batch on the simulated GPU engine, so its
+      // cache entries live in the gpu class regardless of the hint.
+      key.engine_class = apply_pricing && config_.pricing == BatchPricing::GpuTimeline
+                             ? EngineClass::Gpu
+                             : engine_class_of(b.engine);
+      break;
+    case RequestKind::Ldos:
+      // Deterministic recursion: no stochastic fields, one code path
+      // regardless of the engine hint.
+      key.content = m.fingerprint;
+      key.detail = std::get<LdosRequest>(req).site;
+      key.engine_class = EngineClass::Ref64;
+      break;
+    case RequestKind::Sigma: {
+      const auto& s = std::get<SigmaRequest>(req);
+      const std::uint64_t pair[2] = {m.fingerprint, m.current(s.axis).fingerprint};
+      key.content = fnv1a64(pair, sizeof(pair));
+      key.detail = s.axis;
+      key.random_vectors = b.moments.random_vectors;
+      key.realizations = b.moments.realizations;
+      key.seed = b.moments.seed;
+      key.vector_kind = static_cast<int>(b.moments.vector_kind);
+      key.engine_class = EngineClass::Ref64;
+      break;
+    }
+  }
+  return key;
+}
+
+MomentKey Server::key_of(const Request& req) const {
+  const RequestBase& b = base_of(req);
+  return moment_key(req, model_of(b.model), b.moments.num_moments,
+                    /*apply_pricing=*/false);
+}
+
 std::vector<Response> Server::run(const std::vector<Request>& requests) {
   obs::ScopedSpan run_span("serve.run");
 
@@ -237,46 +297,6 @@ std::vector<Response> Server::run(const std::vector<Request>& requests) {
   std::size_t next = 0;
   double t_free = 0.0;
   std::size_t batch_index = 0;
-
-  auto make_key = [&](const Request& req, const Model& m,
-                      std::size_t served_n) -> MomentKey {
-    const RequestBase& b = base_of(req);
-    MomentKey key;
-    key.kind = kind_of(req);
-    key.num_moments = served_n;
-    switch (key.kind) {
-      case RequestKind::Dos:
-        key.content = m.fingerprint;
-        key.random_vectors = b.moments.random_vectors;
-        key.realizations = b.moments.realizations;
-        key.seed = b.moments.seed;
-        key.vector_kind = static_cast<int>(b.moments.vector_kind);
-        // Engine hint picks the functional compute path, and only classes
-        // with tested bit-identity may share cached bytes.
-        key.engine_class = engine_class_of(b.engine);
-        break;
-      case RequestKind::Ldos:
-        // Deterministic recursion: no stochastic fields, one code path
-        // regardless of the engine hint.
-        key.content = m.fingerprint;
-        key.detail = std::get<LdosRequest>(req).site;
-        key.engine_class = EngineClass::Ref64;
-        break;
-      case RequestKind::Sigma: {
-        const auto& s = std::get<SigmaRequest>(req);
-        const std::uint64_t pair[2] = {m.fingerprint, m.current(s.axis).fingerprint};
-        key.content = fnv1a64(pair, sizeof(pair));
-        key.detail = s.axis;
-        key.random_vectors = b.moments.random_vectors;
-        key.realizations = b.moments.realizations;
-        key.seed = b.moments.seed;
-        key.vector_kind = static_cast<int>(b.moments.vector_kind);
-        key.engine_class = EngineClass::Ref64;
-        break;
-      }
-    }
-    return key;
-  };
 
   auto admit = [&](std::size_t index) {
     const Request& req = requests[index];
@@ -333,32 +353,51 @@ std::vector<Response> Server::run(const std::vector<Request>& requests) {
     q.deadline = b.deadline_seconds;
     q.served_n = served_n;
     q.degraded = degraded;
-    q.key = make_key(req, m, served_n);
+    q.key = moment_key(req, m, served_n, /*apply_pricing=*/true);
+    // Always the roofline estimate; a gpu-timeline shard reprices the batch
+    // from the engine's timeline at service time (admission and retry-after
+    // hints stay estimates, as in a real fleet).
     q.engine_seconds = modeled_engine_seconds(kind, *m.op, served_n, instances);
     q.reconstruct_seconds =
         modeled_reconstruct_seconds(kind, served_n, reconstruct_points(req));
     queue.push_back(q);
   };
 
+  // Moments plus the timeline price when this shard runs the simulated GPU
+  // engine (timeline_priced == false means "charge the roofline estimate").
+  struct ComputedMu {
+    std::vector<double> mu;
+    double engine_seconds = 0.0;
+    bool timeline_priced = false;
+  };
   auto compute_mu = [&](const Request& req, const Model& m,
-                        std::size_t served_n) -> std::vector<double> {
+                        std::size_t served_n) -> ComputedMu {
     const RequestBase& b = base_of(req);
     switch (kind_of(req)) {
       case RequestKind::Dos: {
         core::MomentParams p = b.moments;
         p.num_moments = served_n;
         core::MomentComputeOptions opt;
+        if (config_.pricing == BatchPricing::GpuTimeline) {
+          opt.engine = core::EngineKind::Gpu;
+          opt.gpu = config_.gpu;
+          core::MomentResult result = core::compute_moments(*m.op, p, opt);
+          // model_seconds is the gpusim device critical path plus context
+          // setup — the engine also emitted its timeline into the report.
+          return {std::move(result.mu), result.model_seconds, true};
+        }
         opt.engine = b.engine;
         opt.cpu_threads = static_cast<int>(config_.workers);
-        return core::compute_moments(*m.op, p, opt).mu;
+        return {core::compute_moments(*m.op, p, opt).mu, 0.0, false};
       }
       case RequestKind::Ldos:
-        return core::ldos_moments(*m.op, std::get<LdosRequest>(req).site, served_n);
+        return {core::ldos_moments(*m.op, std::get<LdosRequest>(req).site, served_n), 0.0,
+                false};
       case RequestKind::Sigma: {
         const auto& s = std::get<SigmaRequest>(req);
         core::MomentParams p = b.moments;
         p.num_moments = served_n;
-        return core::conductivity_moments(*m.op, *m.current(s.axis).op, p).mu;
+        return {core::conductivity_moments(*m.op, *m.current(s.axis).op, p).mu, 0.0, false};
       }
     }
     return {};
@@ -410,9 +449,17 @@ std::vector<Response> Server::run(const std::vector<Request>& requests) {
 
     const std::vector<double>* mu = cache_.find(head.key);
     const bool hit = mu != nullptr;
-    if (!hit) mu = &cache_.insert(head.key, compute_mu(head_req, model, head.served_n));
+    double engine_cost = head.engine_seconds;
+    if (!hit) {
+      ComputedMu computed = compute_mu(head_req, model, head.served_n);
+      if (computed.timeline_priced) {
+        engine_cost = computed.engine_seconds;
+        obs::add(obs::Counter::ServeGpuPricedBatches, 1.0);
+      }
+      mu = &cache_.insert(head.key, std::move(computed.mu), engine_cost);
+    }
 
-    double service = hit ? 0.0 : head.engine_seconds;
+    double service = hit ? 0.0 : engine_cost;
     for (const std::size_t mi : members) service += queue[mi].reconstruct_seconds;
     const double finish = t0 + service;
 
@@ -495,7 +542,9 @@ std::vector<Response> Server::run(const std::vector<Request>& requests) {
   os << "      \"config\": {\"max_queue\": " << config_.max_queue
      << ", \"max_batch\": " << config_.max_batch << ", \"policy\": \""
      << to_string(config_.policy) << "\", \"degrade_floor\": " << config_.degrade_floor
-     << ", \"cache_bytes\": " << config_.cache_bytes << "},\n";
+     << ", \"cache_bytes\": " << config_.cache_bytes << ", \"cache_policy\": \""
+     << to_string(config_.cache_policy) << "\", \"pricing\": \""
+     << to_string(config_.pricing) << "\"},\n";
   os << "      \"requests\": " << stats_.requests << ", \"batches\": " << stats_.batches
      << ", \"coalesced\": " << stats_.coalesced << ",\n";
   os << "      \"shed\": {\"rejected\": " << stats_.rejected
@@ -504,6 +553,8 @@ std::vector<Response> Server::run(const std::vector<Request>& requests) {
   os << "      \"cache\": {\"hits\": " << stats_.cache.hits
      << ", \"misses\": " << stats_.cache.misses
      << ", \"evictions\": " << stats_.cache.evictions
+     << ", \"admit_refused\": " << stats_.cache.admit_refused
+     << ", \"cost_saved_ns\": " << stats_.cache.cost_saved_ns
      << ", \"entries\": " << stats_.cache_entries
      << ", \"bytes_used\": " << stats_.cache_bytes_used << "},\n";
   os << "      \"responses\": [";

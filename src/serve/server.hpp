@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/moments_gpu.hpp"
 #include "linalg/crs_matrix.hpp"
 #include "linalg/operator.hpp"
 #include "linalg/spectral_transform.hpp"
@@ -56,6 +57,22 @@ enum class ShedPolicy {
 /// Inverse of `to_string`.  Throws kpm::Error for unknown names.
 [[nodiscard]] ShedPolicy shed_policy_from_string(const std::string& name);
 
+/// How the engine half of a batch is priced on the simulated clock.
+/// `SerialRoofline` uses the CPU reference roofline for every kind (the
+/// original single-server behavior).  `GpuTimeline` marks a GPU-engine
+/// shard: DoS batches run the simulated GPU engine and take their price
+/// from its gpusim timeline (device critical path plus context setup),
+/// emitting the device timeline into the active report; LDOS and sigma
+/// stay host-pipelined on the roofline.  Both are deterministic and
+/// worker-invariant.
+enum class BatchPricing : std::uint8_t { SerialRoofline, GpuTimeline };
+
+/// "serial-roofline" or "gpu-timeline".
+[[nodiscard]] const char* to_string(BatchPricing p) noexcept;
+
+/// Inverse of `to_string`.  Throws kpm::Error for unknown names.
+[[nodiscard]] BatchPricing batch_pricing_from_string(const std::string& name);
+
 struct ServeConfig {
   /// Worker-pool lanes for the functional compute.  Has NO effect on
   /// responses, accounting or the report fingerprint — only on wall time.
@@ -65,6 +82,9 @@ struct ServeConfig {
   ShedPolicy policy = ShedPolicy::Degrade;
   std::size_t degrade_floor = 16;      ///< minimum N a degraded admit may have
   std::size_t cache_bytes = 1 << 20;   ///< moment-cache byte budget
+  CachePolicy cache_policy = CachePolicy::Lru;
+  BatchPricing pricing = BatchPricing::SerialRoofline;
+  core::GpuEngineConfig gpu{};  ///< device simulated when pricing == GpuTimeline
 
   void validate() const;
 };
@@ -103,6 +123,12 @@ class Server {
 
   [[nodiscard]] bool has_model(const std::string& name) const noexcept;
 
+  /// Canonical content-addressed moment key of `req` at its requested N: a
+  /// pure function of the request and the registered model content, never
+  /// of this server's pricing/policy knobs.  This is what the fleet router
+  /// hashes, so every shard agrees on where a key lives.
+  [[nodiscard]] MomentKey key_of(const Request& req) const;
+
   /// Serves `requests` on the simulated clock.  Request ids must be unique;
   /// every request produces exactly one response; responses are returned
   /// sorted by id.  Records serve_* counters/histograms and trace spans
@@ -125,6 +151,8 @@ class Server {
   struct Queued;
 
   const Model& model_of(const std::string& name) const;
+  [[nodiscard]] MomentKey moment_key(const Request& req, const Model& m,
+                                     std::size_t served_n, bool apply_pricing) const;
 
   ServeConfig config_;
   common::ThreadPool pool_;

@@ -144,6 +144,32 @@ TEST(MomentCache, OversizedEntryIsServedButNotStored) {
   EXPECT_EQ(cache.stats().evictions, 0u);
 }
 
+TEST(MomentCache, OversizedPassthroughDoesNotPerturbRecency) {
+  // Regression guard: handing out an unstored oversized entry must leave the
+  // LRU order of residents exactly as it was — the next eviction victim is
+  // still the entry that was least recently *found*, not whichever insert
+  // happened to pass through.
+  serve::MomentCache cache(2 * 8 * sizeof(double));
+  serve::MomentKey k1, k2, k3, big;
+  k1.content = 1;
+  k2.content = 2;
+  k3.content = 3;
+  big.content = 99;
+  (void)cache.insert(k1, std::vector<double>(8, 1.0));
+  (void)cache.insert(k2, std::vector<double>(8, 2.0));
+  ASSERT_NE(cache.find(k1), nullptr);  // k2 is now LRU
+
+  const std::vector<double>& served = cache.insert(big, std::vector<double>(100, 9.0));
+  EXPECT_EQ(served.size(), 100u);
+  EXPECT_EQ(cache.entries(), 2u);
+
+  (void)cache.insert(k3, std::vector<double>(8, 3.0));  // overflow: evicts LRU
+  EXPECT_EQ(cache.find(k2), nullptr) << "k2 was LRU before the oversized passthrough "
+                                        "and must still be the victim after it";
+  EXPECT_NE(cache.find(k1), nullptr);
+  EXPECT_NE(cache.find(k3), nullptr);
+}
+
 TEST(MomentCache, ZeroBudgetDisablesCaching) {
   serve::MomentCache cache(0);
   serve::MomentKey k;
@@ -412,6 +438,33 @@ TEST(Replay, RejectsBadDocuments) {
               "requests": [{"kind": "warp", "id": 1, "model": "m"}]})"),
       kpm::Error);
   EXPECT_THROW((void)serve::load_workload("/nonexistent/workload.json"), kpm::Error);
+}
+
+TEST(Replay, RejectsMalformedDocuments) {
+  // No schema stamp at all (not just a wrong one).
+  EXPECT_THROW((void)serve::parse_workload(R"({"models": [], "requests": []})"),
+               kpm::Error);
+  // The simulated clock starts at 0: negative arrivals are a data error.
+  EXPECT_THROW(
+      (void)serve::parse_workload(
+          R"({"schema": "kpm.serve.workload/1",
+              "models": [{"name": "m", "lattice": "chain", "edge": 8}],
+              "requests": [{"kind": "dos", "id": 1, "model": "m", "arrival": -0.25}]})"),
+      kpm::Error);
+  // Seeds are unsigned; a negative one would silently wrap if coerced.
+  EXPECT_THROW(
+      (void)serve::parse_workload(
+          R"({"schema": "kpm.serve.workload/1",
+              "models": [{"name": "m", "lattice": "chain", "edge": 8}],
+              "requests": [{"kind": "dos", "id": 1, "model": "m", "seed": -7}]})"),
+      kpm::Error);
+  // Unknown request kind in an otherwise valid document.
+  EXPECT_THROW(
+      (void)serve::parse_workload(
+          R"({"schema": "kpm.serve.workload/1",
+              "models": [{"name": "m", "lattice": "chain", "edge": 8}],
+              "requests": [{"kind": "tdos", "id": 1, "model": "m"}]})"),
+      kpm::Error);
 }
 
 TEST(Replay, EngineNamesRoundTrip) {

@@ -6,16 +6,21 @@
 //   kpmcli thermo  --lattice=cubic --edge=8 --temperature=0.5
 //   kpmcli evolve  --sites=128 --time=20
 //   kpmcli serve   --replay=workload.json --workers=4
+//   kpmcli workload synth --out=trace.json --process=bursty --count=64
+//   kpmcli fleet   --synth --shards=4 --gpu-shards=1 --cache-policy=cost-aware
 //   kpmcli devices
 //
 // Every subcommand prints a table and (where meaningful) writes a CSV.
 // Lattices: chain, square, cubic, honeycomb; optional Anderson disorder.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/finding.hpp"
@@ -31,6 +36,8 @@
 #include "obs/hotspots.hpp"
 #include "obs/report.hpp"
 #include "obs/trace_file.hpp"
+#include "serve/fleet/fleet.hpp"
+#include "serve/fleet/workload.hpp"
 #include "serve/replay.hpp"
 #include "verify/fixtures.hpp"
 #include "verify/verifier.hpp"
@@ -842,6 +849,281 @@ int cmd_profile(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Comma-separated list of positive integers ("64,128" -> {64, 128}).
+std::vector<std::size_t> parse_size_list(const std::string& text, const char* what) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string token =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    KPM_REQUIRE(!token.empty(), std::string("kpmcli: empty entry in --") + what);
+    out.push_back(static_cast<std::size_t>(std::stoull(token)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  KPM_REQUIRE(!out.empty(), std::string("kpmcli: --") + what + " must not be empty");
+  return out;
+}
+
+/// The synthetic-workload knobs shared by `workload synth` and `fleet --synth`.
+struct SynthFlags {
+  const std::string* label = nullptr;
+  const std::int64_t* seed = nullptr;
+  const std::int64_t* count = nullptr;
+  const std::string* process = nullptr;
+  const double* rate = nullptr;
+  const double* burst_factor = nullptr;
+  const double* period = nullptr;
+  const double* amplitude = nullptr;
+  const double* dos_weight = nullptr;
+  const double* ldos_weight = nullptr;
+  const double* sigma_weight = nullptr;
+  const std::string* moments = nullptr;
+  const std::int64_t* random_vectors = nullptr;
+  const std::int64_t* realizations = nullptr;
+  const std::int64_t* seed_population = nullptr;
+  const double* deadline_fraction = nullptr;
+  const double* deadline_slack = nullptr;
+  const std::string* lattice = nullptr;
+  const std::int64_t* edge = nullptr;
+  const double* disorder = nullptr;
+  const std::int64_t* model_seed = nullptr;
+  const bool* currents = nullptr;
+};
+
+SynthFlags add_synth_flags(CliParser& cli) {
+  SynthFlags f;
+  f.label = cli.add_string("label", "synth", "workload label");
+  f.seed = cli.add_int("seed", 1, "generator seed (same seed => identical workload)");
+  f.count = cli.add_int("count", 64, "requests to generate");
+  f.process =
+      cli.add_string("process", "poisson", "arrival process: uniform|poisson|bursty|diurnal");
+  f.rate = cli.add_double("rate", 8.0, "mean arrivals per simulated second");
+  f.burst_factor = cli.add_double("burst-factor", 8.0, "bursty: burst-state rate multiplier");
+  f.period = cli.add_double("period", 60.0, "diurnal: period of the rate modulation, seconds");
+  f.amplitude = cli.add_double("amplitude", 0.8, "diurnal: modulation depth in [0, 1)");
+  f.dos_weight = cli.add_double("dos-weight", 4.0, "relative weight of dos requests");
+  f.ldos_weight = cli.add_double("ldos-weight", 2.0, "relative weight of ldos requests");
+  f.sigma_weight = cli.add_double("sigma-weight", 1.0,
+                                  "relative weight of sigma requests (needs --currents)");
+  f.moments = cli.add_string("moments", "64,128", "comma list of N choices");
+  f.random_vectors = cli.add_int("R", 2, "random vectors per realization");
+  f.realizations = cli.add_int("S", 2, "realizations");
+  f.seed_population = cli.add_int("seeds", 3, "distinct stochastic seeds in the trace");
+  f.deadline_fraction =
+      cli.add_double("deadline-fraction", 0.0, "fraction of requests with a deadline");
+  f.deadline_slack = cli.add_double("deadline-slack", 1.0, "deadline slack, seconds");
+  f.lattice = cli.add_string("lattice", "square", "model lattice: chain|square|cubic");
+  f.edge = cli.add_int("edge", 8, "model lattice edge");
+  f.disorder = cli.add_double("disorder", 0.0, "Anderson disorder strength W");
+  f.model_seed = cli.add_int("model-seed", 3, "disorder realization seed");
+  f.currents = cli.add_flag("currents", "register a current operator (enables sigma)");
+  return f;
+}
+
+serve::SynthConfig synth_config_of(const SynthFlags& f) {
+  serve::SynthConfig cfg;
+  cfg.label = *f.label;
+  cfg.seed = static_cast<std::uint64_t>(*f.seed);
+  cfg.count = static_cast<std::size_t>(*f.count);
+  cfg.process = serve::arrival_process_from_string(*f.process);
+  cfg.rate = *f.rate;
+  cfg.burst_factor = *f.burst_factor;
+  cfg.period_seconds = *f.period;
+  cfg.amplitude = *f.amplitude;
+  cfg.dos_weight = *f.dos_weight;
+  cfg.ldos_weight = *f.ldos_weight;
+  cfg.sigma_weight = *f.currents ? *f.sigma_weight : 0.0;
+  cfg.moment_choices = parse_size_list(*f.moments, "moments");
+  cfg.random_vectors = static_cast<std::size_t>(*f.random_vectors);
+  cfg.realizations = static_cast<std::size_t>(*f.realizations);
+  cfg.seed_population = static_cast<std::size_t>(*f.seed_population);
+  cfg.deadline_fraction = *f.deadline_fraction;
+  cfg.deadline_slack_seconds = *f.deadline_slack;
+  return cfg;
+}
+
+serve::ModelSpec synth_model_of(const SynthFlags& f) {
+  serve::ModelSpec spec;
+  spec.name = "m0";
+  spec.lattice = *f.lattice;
+  spec.edge = static_cast<std::size_t>(*f.edge);
+  spec.disorder = *f.disorder;
+  spec.seed = static_cast<std::uint64_t>(*f.model_seed);
+  if (*f.currents) spec.currents = {0};
+  return spec;
+}
+
+/// --workers resolution shared by serve and fleet: explicit flag, else the
+/// workload file's config (when it sets one), else hardware concurrency
+/// capped at 16.  Returns the value and a human-readable source for the
+/// header line (the fingerprint line itself never mentions workers).
+std::size_t resolve_workers(std::int64_t flag_value, const serve::ReplayWorkload* workload,
+                            const char** source) {
+  if (flag_value > 0) {
+    *source = "flag";
+    return static_cast<std::size_t>(flag_value);
+  }
+  if (workload != nullptr && workload->config_sets_workers) {
+    *source = "workload config";
+    return workload->config.workers;
+  }
+  *source = "auto: hardware concurrency, capped at 16";
+  const unsigned hc = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(hc == 0 ? 1 : hc, 16);
+}
+
+int cmd_workload(int argc, const char* const* argv) {
+  if (argc < 2 || std::string(argv[1]) != "synth") {
+    std::fprintf(stderr, "usage: kpmcli workload synth --out=<file.json> [options]\n");
+    return 2;
+  }
+  CliParser cli("kpmcli workload synth",
+                "Generates a seeded synthetic kpm.serve.workload/1 request trace from a "
+                "configurable arrival process (uniform|poisson|bursty|diurnal) and "
+                "kind/size mix.  The same flags always produce a byte-identical file.");
+  const auto* out = cli.add_string("out", "", "output workload JSON file (required)");
+  const SynthFlags synth = add_synth_flags(cli);
+  cli.parse(argc - 1, argv + 1);
+  KPM_REQUIRE(!out->empty(), "kpmcli workload synth: --out=<file.json> is required");
+
+  const serve::SynthConfig cfg = synth_config_of(synth);
+  const serve::ReplayWorkload workload =
+      serve::synthesize_workload(cfg, {synth_model_of(synth)});
+  const std::string json = serve::workload_json(workload);
+  {
+    std::ofstream file(*out, std::ios::binary);
+    KPM_REQUIRE(file.good(), "kpmcli workload synth: cannot write '" + *out + "'");
+    file << json;
+  }
+
+  std::size_t kinds[3] = {0, 0, 0};
+  for (const auto& req : workload.requests)
+    kinds[static_cast<std::size_t>(serve::kind_of(req))] += 1;
+  const double span = workload.requests.empty()
+                          ? 0.0
+                          : serve::base_of(workload.requests.back()).arrival_seconds;
+  std::printf("workload '%s': %zu requests over %.3f s (%s process, rate %.2f/s)\n",
+              workload.label.c_str(), workload.requests.size(), span,
+              serve::to_string(cfg.process), cfg.rate);
+  std::printf("mix: %zu dos, %zu ldos, %zu sigma | N choices %s | %zu stochastic seeds\n",
+              kinds[0], kinds[1], kinds[2], synth.moments->c_str(), cfg.seed_population);
+  std::printf("wrote %s (%zu bytes)\n", out->c_str(), json.size());
+  return 0;
+}
+
+int cmd_fleet(int argc, const char* const* argv) {
+  CliParser cli("kpmcli fleet",
+                "Routes a request trace (--replay file or --synth generator) across N "
+                "shared-nothing server shards via a consistent-hash ring and replays "
+                "every shard on the simulated clock.  Per-shard knobs: gpusim-timeline "
+                "batch pricing (--gpu-shards) and cost-aware caching (--cache-policy).  "
+                "The deterministic fingerprint is identical at any --workers and for "
+                "any shard enumeration order.");
+  const auto* replay = cli.add_string("replay", "", "workload JSON file (or use --synth)");
+  const auto* synth_enable = cli.add_flag("synth", "synthesize the workload in-process");
+  const SynthFlags synth = add_synth_flags(cli);
+  const auto* shards = cli.add_int("shards", 4, "server shards behind the ring");
+  const auto* gpu_shards =
+      cli.add_int("gpu-shards", 0, "leading shards priced from gpusim timelines");
+  const auto* vnodes = cli.add_int("vnodes", 64, "virtual ring nodes per shard");
+  const auto* ring_seed = cli.add_int("ring-seed", 0, "ring salt; 0 = library default");
+  const auto* cache_policy =
+      cli.add_string("cache-policy", "lru", "moment-cache policy: lru|cost-aware");
+  const auto* cache_bytes = cli.add_int("cache-bytes", 1 << 20, "per-shard cache budget");
+  const auto* policy = cli.add_string("policy", "degrade", "shed policy: reject|degrade");
+  const auto* max_queue = cli.add_int("max-queue", 8, "per-shard admission queue bound");
+  const auto* max_batch = cli.add_int("max-batch", 4, "per-shard coalescer cap");
+  const auto* workers = cli.add_int(
+      "workers", 0, "worker lanes; 0 = workload config, else hardware concurrency (cap 16)");
+  const auto* slo = cli.add_double("slo", 0.0, "latency SLO, seconds (0 disables)");
+  const ObsFlags obs_flags = add_obs_flags(cli);
+  cli.parse(argc, argv);
+  KPM_REQUIRE(*shards >= 1, "kpmcli fleet: --shards must be >= 1");
+  KPM_REQUIRE(*gpu_shards >= 0 && *gpu_shards <= *shards,
+              "kpmcli fleet: --gpu-shards must be in [0, shards]");
+  KPM_REQUIRE(replay->empty() != !*synth_enable,
+              "kpmcli fleet: pass exactly one of --replay=<file> or --synth");
+
+  serve::ReplayWorkload workload;
+  if (!replay->empty()) {
+    workload = serve::load_workload(*replay);
+  } else {
+    serve::ServeConfig base;
+    base.max_queue = static_cast<std::size_t>(*max_queue);
+    base.max_batch = static_cast<std::size_t>(*max_batch);
+    base.policy = serve::shed_policy_from_string(*policy);
+    base.cache_bytes = static_cast<std::size_t>(*cache_bytes);
+    workload = serve::synthesize_workload(synth_config_of(synth), {synth_model_of(synth)},
+                                          base);
+    workload.config_sets_workers = false;
+  }
+
+  const char* workers_source = nullptr;
+  serve::FleetConfig config;
+  config.shard_config = workload.config;
+  config.shard_config.workers = resolve_workers(*workers, &workload, &workers_source);
+  config.shard_config.cache_policy = serve::cache_policy_from_string(*cache_policy);
+  config.ring.virtual_nodes = static_cast<std::size_t>(*vnodes);
+  if (*ring_seed != 0) config.ring.seed = static_cast<std::uint64_t>(*ring_seed);
+  config.slo_seconds = *slo;
+  for (std::int64_t i = 0; i < *shards; ++i) {
+    serve::FleetShardSpec spec;
+    spec.name = strprintf("shard%02lld", static_cast<long long>(i));
+    spec.pricing = i < *gpu_shards ? serve::BatchPricing::GpuTimeline
+                                   : serve::BatchPricing::SerialRoofline;
+    spec.cache_policy = config.shard_config.cache_policy;
+    config.shards.push_back(std::move(spec));
+  }
+
+  MetricsSink sink("kpmcli fleet " + workload.label, obs_flags);
+  if (!sink.collect) sink.collect.emplace(sink.report);
+
+  serve::Fleet fleet(std::move(config));
+  serve::register_models(fleet, workload);
+  const serve::FleetResult result = fleet.run(workload.requests);
+
+  std::printf("fleet '%s': %zu requests, %lld shards (%lld gpu-priced, %s cache), "
+              "%zu workers (%s)\n\n",
+              workload.label.c_str(), workload.requests.size(),
+              static_cast<long long>(*shards), static_cast<long long>(*gpu_shards),
+              cache_policy->c_str(), fleet.config().shard_config.workers, workers_source);
+
+  Table table({"shard", "pricing", "routed", "batches", "coal", "hit", "miss", "evict",
+               "refuse", "shed", "makespan s"});
+  for (const auto& o : result.shards) {
+    table.add_row({o.name, serve::to_string(o.pricing), std::to_string(o.routed),
+                   std::to_string(o.stats.batches), std::to_string(o.stats.coalesced),
+                   std::to_string(o.stats.cache.hits), std::to_string(o.stats.cache.misses),
+                   std::to_string(o.stats.cache.evictions),
+                   std::to_string(o.stats.cache.admit_refused),
+                   std::to_string(o.stats.rejected + o.stats.expired),
+                   strprintf("%.4f", o.makespan_seconds)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("served %llu | shed %llu", static_cast<unsigned long long>(result.served),
+              static_cast<unsigned long long>(result.shed));
+  if (fleet.config().slo_seconds > 0.0 && result.served > 0)
+    std::printf(" | SLO(%.3fs) %.1f%%", fleet.config().slo_seconds,
+                100.0 * static_cast<double>(result.slo_met) /
+                    static_cast<double>(result.served));
+  std::printf(" | makespan %.4f s | machine-seconds %.4f | ring %s\n",
+              result.makespan_seconds, result.machine_seconds,
+              strprintf("0x%016llx",
+                        static_cast<unsigned long long>(result.ring_fingerprint))
+                  .c_str());
+
+  sink.finish();
+  const std::string fingerprint = obs::deterministic_fingerprint(sink.report);
+  std::printf("deterministic fingerprint: %s\n",
+              strprintf("0x%016llx",
+                        static_cast<unsigned long long>(serve::fnv1a64(
+                            fingerprint.data(), fingerprint.size())))
+                  .c_str());
+  return 0;
+}
+
 int cmd_serve(int argc, const char* const* argv) {
   CliParser cli("kpmcli serve",
                 "Replays a kpm.serve.workload/1 request trace through the deterministic "
@@ -849,14 +1131,16 @@ int cmd_serve(int argc, const char* const* argv) {
                 "admission control) and prints per-request accounting on the simulated "
                 "clock.  The deterministic fingerprint is identical at any --workers.");
   const auto* replay = cli.add_string("replay", "", "workload JSON file (required)");
-  const auto* workers = cli.add_int("workers", 0, "worker lanes; 0 = workload config");
+  const auto* workers = cli.add_int(
+      "workers", 0, "worker lanes; 0 = workload config, else hardware concurrency (cap 16)");
   const ObsFlags obs_flags = add_obs_flags(cli);
   cli.parse(argc, argv);
   KPM_REQUIRE(!replay->empty(), "kpmcli serve: --replay=<workload.json> is required");
 
   const serve::ReplayWorkload workload = serve::load_workload(*replay);
   serve::ServeConfig config = workload.config;
-  if (*workers > 0) config.workers = static_cast<std::size_t>(*workers);
+  const char* workers_source = nullptr;
+  config.workers = resolve_workers(*workers, &workload, &workers_source);
 
   MetricsSink sink("kpmcli serve " + workload.label, obs_flags);
   if (!sink.collect) sink.collect.emplace(sink.report);
@@ -885,11 +1169,12 @@ int cmd_serve(int argc, const char* const* argv) {
                        : "-"});
   }
   const auto& stats = server.stats();
-  std::printf("workload '%s': %zu requests, %s, %zu workers\n\n", workload.label.c_str(),
-              workload.requests.size(), workload.models.size() == 1
-                                            ? "1 model"
-                                            : strprintf("%zu models", workload.models.size()).c_str(),
-              config.workers);
+  std::printf("workload '%s': %zu requests, %s, %zu workers (%s)\n\n",
+              workload.label.c_str(), workload.requests.size(),
+              workload.models.size() == 1
+                  ? "1 model"
+                  : strprintf("%zu models", workload.models.size()).c_str(),
+              config.workers, workers_source);
   std::printf("%s\n", table.to_text().c_str());
   std::printf(
       "batches %llu (coalesced %llu) | cache %llu hit / %llu miss / %llu evicted | "
@@ -943,6 +1228,8 @@ void usage() {
       "  ldosmap  ASCII LDOS map around an impurity\n"
       "  profile  profile one run: Perfetto trace, hotspot + roofline tables\n"
       "  serve    replay a request trace through the deterministic serving layer\n"
+      "  workload synthesize a seeded kpm.serve.workload/1 request trace\n"
+      "  fleet    route a trace across consistent-hash server shards and replay all\n"
       "  check    hazard analysis (racecheck/memcheck) over the GPU kernels\n"
       "  verify   static kernel verification for all launch geometries\n"
       "  devices  list the simulated device presets\n\n"
@@ -971,6 +1258,8 @@ int main(int argc, char** argv) {
     if (cmd == "ldosmap") return cmd_ldosmap(sub_argc, sub_argv);
     if (cmd == "profile") return cmd_profile(sub_argc, sub_argv);
     if (cmd == "serve") return cmd_serve(sub_argc, sub_argv);
+    if (cmd == "workload") return cmd_workload(sub_argc, sub_argv);
+    if (cmd == "fleet") return cmd_fleet(sub_argc, sub_argv);
     if (cmd == "check") return cmd_check(sub_argc, sub_argv);
     if (cmd == "verify") return cmd_verify(sub_argc, sub_argv);
     if (cmd == "devices") return cmd_devices(sub_argc, sub_argv);
